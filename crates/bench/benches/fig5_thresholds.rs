@@ -1,0 +1,42 @@
+//! Criterion bench regenerating a reduced Fig. 5 of the paper (one trial
+//! per measured point; the full-fidelity sweep is `hcsim-exp fig5`).
+//! The measured quantity is the wall-clock cost of one experiment cell,
+//! and the bench asserts (via the harness) that the cell runs end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsim_core::{HeuristicKind, PruningConfig};
+use hcsim_exp::{FigOptions, Scenario};
+
+fn opts() -> FigOptions {
+    FigOptions { trials: 1, num_tasks: 150, seed: 5, threads: 1 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_threshold_cell");
+    for (drop, defer) in [(0.25f64, 0.30f64), (0.50, 0.90), (0.75, 0.90)] {
+        let id = format!("drop{}_defer{}", (drop * 100.0) as u32, (defer * 100.0) as u32);
+        group.bench_with_input(BenchmarkId::new("pair", id), &(drop, defer), |b, &(drop, defer)| {
+            let scenario = Scenario {
+                label: "cell".into(),
+                pruning: PruningConfig {
+                    drop_threshold: drop,
+                    defer_threshold: defer,
+                    ..PruningConfig::default()
+                },
+                ..Scenario::paper_default(HeuristicKind::Pam, 34_000.0)
+            };
+            b.iter(|| black_box(scenario.run(&opts())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench regenerating a reduced Fig. 6 of the paper (one trial
+//! per measured point; the full-fidelity sweep is `hcsim-exp fig6`).
+//! The measured quantity is the wall-clock cost of one experiment cell,
+//! and the bench asserts (via the harness) that the cell runs end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsim_core::{HeuristicKind, PruningConfig};
+use hcsim_exp::{FigOptions, Scenario};
+
+fn opts() -> FigOptions {
+    FigOptions { trials: 1, num_tasks: 150, seed: 5, threads: 1 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fairness_cell");
+    for factor in [0.0f64, 0.05, 0.25] {
+        group.bench_with_input(
+            BenchmarkId::new("theta", format!("{}", (factor * 100.0) as u32)),
+            &factor,
+            |b, &factor| {
+                let scenario = Scenario {
+                    label: "cell".into(),
+                    pruning: PruningConfig { fairness_factor: factor, ..PruningConfig::default() },
+                    ..Scenario::paper_default(HeuristicKind::Pamf, 34_000.0)
+                };
+                b.iter(|| black_box(scenario.run(&opts())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench regenerating a reduced Fig. 8 of the paper (one trial
+//! per measured point; the full-fidelity sweep is `hcsim-exp fig8`).
+//! The measured quantity is the wall-clock cost of one experiment cell,
+//! and the bench asserts (via the harness) that the cell runs end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsim_core::HeuristicKind;
+use hcsim_exp::{FigOptions, Scenario};
+
+fn opts() -> FigOptions {
+    FigOptions { trials: 1, num_tasks: 150, seed: 5, threads: 1 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cost_cell");
+    for kind in [HeuristicKind::Pam, HeuristicKind::Pamf, HeuristicKind::Moc, HeuristicKind::Mm] {
+        group.bench_with_input(BenchmarkId::new("heuristic", kind.name()), &kind, |b, &kind| {
+            let scenario = Scenario::paper_default(kind, 34_000.0);
+            b.iter(|| {
+                let agg = scenario.run(&opts());
+                black_box(agg.cost_per_percent)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench regenerating a reduced Fig. 9 of the paper (one trial
+//! per measured point; the full-fidelity sweep is `hcsim-exp fig9`).
+//! The measured quantity is the wall-clock cost of one experiment cell,
+//! and the bench asserts (via the harness) that the cell runs end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsim_core::HeuristicKind;
+use hcsim_exp::{FigOptions, Scenario, SystemKind};
+use hcsim_workload::WorkloadConfig;
+
+fn opts() -> FigOptions {
+    FigOptions { trials: 1, num_tasks: 150, seed: 5, threads: 1 }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_transcode_cell");
+    for oversub in [10_000.0f64, 17_500.0] {
+        for kind in [HeuristicKind::Pamf, HeuristicKind::Mm] {
+            let id = format!("{}_{}k", kind.name(), oversub / 1000.0);
+            group.bench_with_input(BenchmarkId::new("cell", id), &(kind, oversub), |b, &(kind, oversub)| {
+                let scenario = Scenario {
+                    label: "cell".into(),
+                    system: SystemKind::Transcode,
+                    workload: WorkloadConfig { oversubscription: oversub, ..Default::default() },
+                    ..Scenario::paper_default(kind, oversub)
+                };
+                b.iter(|| black_box(scenario.run(&opts())));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of whole-trial mapping throughput per heuristic and
+//! of the probabilistic scorer. The scalar baselines should be orders of
+//! magnitude cheaper per event than the PMF-based heuristics — the price
+//! the paper's approach pays for robustness awareness.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
+use hcsim_model::{SystemSpec, Task};
+use hcsim_pmf::DropPolicy;
+use hcsim_sim::{run_simulation, MachineState, SimConfig};
+use hcsim_stats::SeedSequence;
+use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
+
+fn fixture(n_tasks: usize) -> (SystemSpec, Vec<Task>, SeedSequence) {
+    let seeds = SeedSequence::new(99);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: n_tasks,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    (spec, tasks, seeds)
+}
+
+fn bench_trial_per_heuristic(c: &mut Criterion) {
+    let (spec, tasks, seeds) = fixture(200);
+    let mut group = c.benchmark_group("trial_200_tasks_34k");
+    group.sample_size(10);
+    for kind in HeuristicKind::FIG7 {
+        group.bench_with_input(BenchmarkId::new("heuristic", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut mapper = kind.build(PruningConfig::default());
+                let mut rng = seeds.stream(2);
+                black_box(run_simulation(
+                    &spec,
+                    SimConfig::untrimmed(),
+                    &tasks,
+                    &mut mapper,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scorer(c: &mut Criterion) {
+    let (spec, tasks, _) = fixture(64);
+    let mut scorer = ProbScorer::new(&spec.pet, DropPolicy::All, 24);
+    let machine = MachineState::new(hcsim_model::MachineId(0), 6);
+    scorer.begin_event(0);
+    c.bench_function("scorer_score_idle_machine", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for task in &tasks {
+                acc += scorer.score(&machine, &spec.pet, black_box(task)).robustness;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_trial_per_heuristic, bench_scorer
+}
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the PMF calculus — the simulator's hot path.
+//!
+//! §IV notes the convolution overhead is "not insignificant" and proposes
+//! impulse aggregation; these benches quantify both.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf};
+use hcsim_stats::{Gamma, Histogram, SeedSequence};
+
+fn gamma_pmf(mean: f64, shape: f64, bins: usize, seed: u64) -> Pmf {
+    let mut rng = SeedSequence::new(seed).stream(0);
+    let gamma = Gamma::from_mean_shape(mean, shape).unwrap();
+    let samples: Vec<f64> = (0..500).map(|_| gamma.sample(&mut rng)).collect();
+    Pmf::from_histogram(&Histogram::from_samples(&samples, bins))
+}
+
+fn bench_convolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolve");
+    for &n in &[8usize, 16, 32, 64] {
+        let a = gamma_pmf(100.0, 4.0, n, 1);
+        let b = gamma_pmf(140.0, 9.0, n, 2);
+        group.bench_with_input(BenchmarkId::new("impulses", n), &n, |bencher, _| {
+            bencher.iter(|| convolve(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_step");
+    let avail = gamma_pmf(200.0, 6.0, 24, 3);
+    let exec = gamma_pmf(120.0, 8.0, 24, 4);
+    let deadline = 320;
+    for policy in [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All] {
+        group.bench_function(format!("{policy:?}"), |bencher| {
+            bencher.iter(|| {
+                queue_step(black_box(&avail), black_box(&exec), black_box(deadline), policy)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_depth(c: &mut Criterion) {
+    // Cost of chaining a full machine queue (the paper's queue size is 6).
+    let mut group = c.benchmark_group("chain");
+    let exec = gamma_pmf(120.0, 8.0, 24, 5);
+    for &depth in &[2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |bencher, _| {
+            bencher.iter(|| {
+                let mut avail = Pmf::delta(0);
+                for i in 0..depth {
+                    let mut step =
+                        queue_step(&avail, &exec, 200 * (i as u64 + 1), DropPolicy::All);
+                    step.availability.compact(24);
+                    avail = step.availability;
+                }
+                black_box(avail)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compact");
+    let wide = {
+        let a = gamma_pmf(300.0, 2.0, 64, 6);
+        let b = gamma_pmf(250.0, 2.0, 64, 7);
+        convolve(&a, &b) // hundreds of impulses
+    };
+    for &budget in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("to", budget), &budget, |bencher, _| {
+            bencher.iter_batched(
+                || wide.clone(),
+                |mut p| {
+                    p.compact(budget);
+                    black_box(p)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let p = gamma_pmf(100.0, 3.0, 32, 8);
+    c.bench_function("bounded_skewness_32", |bencher| {
+        bencher.iter(|| black_box(&p).bounded_skewness());
+    });
+    c.bench_function("cdf_at_32", |bencher| {
+        bencher.iter(|| black_box(&p).cdf_at(black_box(120)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_convolve, bench_queue_step, bench_chain_depth, bench_compaction, bench_moments
+}
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Benchmark-only crate: see `benches/` for the Criterion targets.
+//!
+//! * `micro_pmf` — convolution, queue chaining, compaction, moments.
+//! * `micro_mapping` — whole-trial throughput per heuristic + scorer.
+//! * `fig4_lambda` … `fig9_transcoding` — one reduced cell per paper
+//!   figure (the full-fidelity sweeps are `hcsim-exp fig4` … `fig9`).

@@ -1,0 +1,321 @@
+//! Machine-queue analysis: per-position completion PMFs and robustness.
+//!
+//! §IV of the paper defines how the completion-time PMF of each task in a
+//! machine queue is obtained: the executing task's PET is shifted by its
+//! start time, and every pending task's PET is chained onto the machine's
+//! availability by the drop-policy-aware convolution ([`queue_step`]).
+//!
+//! The executing task's PMF is additionally *conditioned* on the fact that
+//! it has not finished yet (mass before `now` is impossible and is
+//! renormalized away) — without this, long-running tasks would keep stale
+//! optimistic estimates.
+
+use hcsim_model::{PetMatrix, Task, Time};
+use hcsim_pmf::{queue_step, DropPolicy, Pmf};
+use hcsim_sim::MachineState;
+
+/// Analysis of one queue position.
+#[derive(Debug, Clone)]
+pub struct QueueSlot {
+    /// The task occupying the position.
+    pub task: Task,
+    /// Queue position κ: 0 is the executing task (or the first pending
+    /// task on an idle-but-nonempty queue snapshot).
+    pub position: usize,
+    /// Eq. 1 robustness: probability of completing by the deadline.
+    pub robustness: f64,
+    /// The task's own completion-time PMF (`None` when it can never start
+    /// before its deadline).
+    pub completion: Option<Pmf>,
+    /// Eq. 6 bounded skewness of the completion PMF (0 when `completion`
+    /// is `None`).
+    pub skewness: f64,
+}
+
+/// Full analysis of a machine queue at one instant.
+#[derive(Debug, Clone)]
+pub struct QueueAnalysis {
+    /// Every queued task, head first.
+    pub slots: Vec<QueueSlot>,
+    /// Machine availability after the last queued task — the PMF an
+    /// appended task's execution would chain onto.
+    pub tail: Pmf,
+}
+
+/// Analyzes `machine`'s queue under `policy`, compacting every
+/// intermediate availability PMF to `budget` impulses.
+///
+/// `now` is the current simulation time; the tail of an idle machine is a
+/// unit impulse at `now`.
+#[must_use]
+pub fn analyze_queue(
+    machine: &MachineState,
+    pet: &PetMatrix,
+    now: Time,
+    policy: DropPolicy,
+    budget: usize,
+) -> QueueAnalysis {
+    let mut slots = Vec::with_capacity(machine.occupancy());
+    let mut avail = Pmf::delta(now);
+
+    if let Some(exec) = machine.executing() {
+        // The completion PMF of the executing task is its *residual*
+        // execution distribution — the PET conditioned on having already
+        // run `elapsed` units (across preemption segments) — shifted to
+        // now. For a never-preempted task this equals the paper's
+        // "shift by the start time" plus conditioning on still running.
+        let elapsed = exec.elapsed_at(now);
+        let mut completion =
+            pet.pmf(exec.task.type_id, machine.id()).residual(elapsed).shift(now);
+        completion.compact(budget);
+        // Float-noise guard: a CDF sum can exceed 1 by an ulp or two.
+        let robustness = completion.cdf_at(exec.task.deadline).min(1.0);
+        let skewness = completion.bounded_skewness();
+        let mut after = completion.clone();
+        if policy == DropPolicy::All {
+            // Eq. 5: the executing task is evicted at its deadline, so the
+            // machine is free no later than δ.
+            after.clamp_above(exec.task.deadline);
+        }
+        slots.push(QueueSlot {
+            task: exec.task,
+            position: 0,
+            robustness,
+            completion: Some(completion),
+            skewness,
+        });
+        avail = after;
+    }
+
+    for entry in machine.pending_entries() {
+        let task = &entry.task;
+        // A preempted entry resumes with its remaining work: model it by
+        // the residual PET (§VIII — preemption's impact on convolution).
+        let base_pmf = pet.pmf(task.type_id, machine.id());
+        let resumed;
+        let exec_pmf = if entry.progress > 0 {
+            resumed = base_pmf.residual(entry.progress);
+            &resumed
+        } else {
+            base_pmf
+        };
+        let mut step = queue_step(&avail, exec_pmf, task.deadline, policy);
+        step.availability.compact(budget);
+        let skewness = step.completion.as_ref().map_or(0.0, Pmf::bounded_skewness);
+        slots.push(QueueSlot {
+            task: *task,
+            position: slots.len(),
+            robustness: step.robustness.min(1.0),
+            completion: step.completion,
+            skewness,
+        });
+        avail = step.availability;
+    }
+
+    QueueAnalysis { slots, tail: avail }
+}
+
+/// Robustness and expected completion of hypothetically appending `task`
+/// to a queue whose tail availability is `tail`.
+#[derive(Debug, Clone)]
+pub struct AppendOutcome {
+    /// Eq. 1 robustness of the appended task.
+    pub robustness: f64,
+    /// Mean of the appended task's completion PMF (`infinity` when it can
+    /// never start before its deadline).
+    pub expected_completion: f64,
+}
+
+/// Evaluates appending `task` behind `tail` on machine `m` of `pet`.
+#[must_use]
+pub fn append_outcome(
+    tail: &Pmf,
+    pet_pmf: &Pmf,
+    task: &Task,
+    policy: DropPolicy,
+) -> AppendOutcome {
+    let step = queue_step(tail, pet_pmf, task.deadline, policy);
+    let expected_completion = match &step.completion {
+        Some(c) => c.mean(),
+        None => f64::INFINITY,
+    };
+    AppendOutcome { robustness: step.robustness, expected_completion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{MachineId, PetBuilder, TaskId, TaskTypeId};
+    use hcsim_sim::{run_simulation, FirstFitMapper, SimConfig};
+    use hcsim_stats::SeedSequence;
+
+    fn pet_with_mean(mean: f64) -> PetMatrix {
+        let mut rng = SeedSequence::new(3).stream(0);
+        let (pet, _) = PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![mean]], &mut rng);
+        pet
+    }
+
+    fn task(id: u32, deadline: Time) -> Task {
+        Task { id: TaskId(id), type_id: TaskTypeId(0), arrival: 0, deadline }
+    }
+
+    /// Builds a MachineState via a real mini-simulation so the crate-only
+    /// visibility of its mutators is respected: we freeze a moment where
+    /// one task executes and others are pending by snapshotting inside a
+    /// probe mapper.
+    struct Snapshot {
+        analysis: Option<QueueAnalysis>,
+        pet: PetMatrix,
+        budget: usize,
+        min_queue: usize,
+    }
+
+    impl hcsim_sim::Mapper for Snapshot {
+        fn name(&self) -> &str {
+            "snapshot"
+        }
+        fn on_mapping_event(&mut self, ctx: &mut hcsim_sim::MapContext<'_>) {
+            FirstFitMapper.on_mapping_event(ctx);
+            let machine = ctx.machine(MachineId(0));
+            if self.analysis.is_none() && machine.occupancy() >= self.min_queue {
+                self.analysis = Some(analyze_queue(
+                    machine,
+                    &self.pet,
+                    ctx.now(),
+                    DropPolicy::All,
+                    self.budget,
+                ));
+            }
+        }
+    }
+
+    fn snapshot_queue(n_tasks: usize, min_queue: usize, deadline_slack: Time) -> QueueAnalysis {
+        let mut rng = SeedSequence::new(9).stream(0);
+        let (pet, truth) = PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![20.0]], &mut rng);
+        let spec = hcsim_model::SystemSpec {
+            machines: vec![hcsim_model::MachineSpec { name: "m".into() }],
+            task_types: vec![hcsim_model::TaskTypeSpec { name: "t".into() }],
+            pet: pet.clone(),
+            truth,
+            prices: hcsim_model::PriceTable::uniform(1, 1.0),
+            queue_capacity: 6,
+        }
+        .validated();
+        let tasks: Vec<Task> = (0..n_tasks)
+            .map(|i| Task {
+                id: TaskId(i as u32),
+                type_id: TaskTypeId(0),
+                arrival: 0,
+                deadline: deadline_slack,
+            })
+            .collect();
+        let mut probe = Snapshot { analysis: None, pet, budget: 24, min_queue };
+        let mut rng2 = SeedSequence::new(10).stream(0);
+        let _ = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut probe, &mut rng2);
+        probe.analysis.expect("snapshot captured")
+    }
+
+    #[test]
+    fn idle_machine_tail_is_delta_now() {
+        let pet = pet_with_mean(20.0);
+        let machine = MachineState::new(MachineId(0), 6);
+        let analysis = analyze_queue(&machine, &pet, 123, DropPolicy::All, 16);
+        assert!(analysis.slots.is_empty());
+        assert_eq!(analysis.tail.impulses().len(), 1);
+        assert_eq!(analysis.tail.min_time(), 123);
+        assert!(analysis.tail.is_normalized());
+    }
+
+    #[test]
+    fn snapshot_has_positions_in_order() {
+        let analysis = snapshot_queue(4, 4, 500);
+        assert_eq!(analysis.slots.len(), 4);
+        for (i, slot) in analysis.slots.iter().enumerate() {
+            assert_eq!(slot.position, i);
+        }
+    }
+
+    #[test]
+    fn robustness_decreases_down_the_queue() {
+        // Same type, same deadline: tasks deeper in the queue wait longer,
+        // so robustness must be non-increasing.
+        let analysis = snapshot_queue(5, 5, 120);
+        let r: Vec<f64> = analysis.slots.iter().map(|s| s.robustness).collect();
+        for w in r.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "robustness should decay down-queue: {r:?}");
+        }
+    }
+
+    #[test]
+    fn generous_deadlines_give_high_robustness() {
+        let analysis = snapshot_queue(3, 3, 100_000);
+        for slot in &analysis.slots {
+            assert!(slot.robustness > 0.99, "slot {}: {}", slot.position, slot.robustness);
+        }
+    }
+
+    #[test]
+    fn hopeless_deadlines_give_zero_robustness_deep_in_queue() {
+        // Deadline 25 with ~20ms tasks: the 5th task has essentially no
+        // chance.
+        let analysis = snapshot_queue(5, 5, 25);
+        let last = analysis.slots.last().unwrap();
+        assert!(last.robustness < 0.05, "deep slot robustness {}", last.robustness);
+    }
+
+    #[test]
+    fn tail_is_normalized_and_compact() {
+        let analysis = snapshot_queue(5, 5, 120);
+        assert!(analysis.tail.is_normalized(), "tail mass {}", analysis.tail.mass());
+        assert!(analysis.tail.len() <= 24);
+    }
+
+    #[test]
+    fn drop_all_bounds_tail_by_deadlines() {
+        // Under DropPolicy::All every queued task is gone by its deadline,
+        // so the tail support cannot exceed the max deadline.
+        let analysis = snapshot_queue(5, 5, 80);
+        let max_deadline = analysis.slots.iter().map(|s| s.task.deadline).max().unwrap();
+        assert!(analysis.tail.max_time() <= max_deadline);
+    }
+
+    #[test]
+    fn append_outcome_on_idle_machine() {
+        let pet = pet_with_mean(20.0);
+        let tail = Pmf::delta(100);
+        let pet_pmf = pet.pmf(TaskTypeId(0), MachineId(0));
+        // Deadline 100+60 ≈ mean 20 + slack: nearly certain.
+        let good = append_outcome(&tail, pet_pmf, &task(0, 160), DropPolicy::All);
+        assert!(good.robustness > 0.95, "{}", good.robustness);
+        assert!(good.expected_completion > 100.0 && good.expected_completion < 160.0);
+        // Deadline already passed: impossible.
+        let hopeless = append_outcome(&tail, pet_pmf, &task(1, 90), DropPolicy::All);
+        assert_eq!(hopeless.robustness, 0.0);
+        assert!(hopeless.expected_completion.is_infinite());
+    }
+
+    #[test]
+    fn append_robustness_monotone_in_deadline() {
+        let pet = pet_with_mean(20.0);
+        let tail = Pmf::delta(0);
+        let pet_pmf = pet.pmf(TaskTypeId(0), MachineId(0));
+        let mut prev = 0.0;
+        for slack in [5u64, 15, 25, 40, 80] {
+            let out = append_outcome(&tail, pet_pmf, &task(0, slack), DropPolicy::All);
+            assert!(out.robustness + 1e-12 >= prev, "slack {slack}");
+            prev = out.robustness;
+        }
+        assert!(prev > 0.99);
+    }
+
+    #[test]
+    fn executing_task_conditioning_removes_past_mass() {
+        // Snapshot during execution: completion PMF of the head must not
+        // contain mass before the snapshot time.
+        let analysis = snapshot_queue(2, 2, 10_000);
+        let head = &analysis.slots[0];
+        let completion = head.completion.as_ref().unwrap();
+        assert!(completion.is_normalized());
+        assert!(head.robustness > 0.99);
+    }
+}

@@ -1,0 +1,140 @@
+//! Per-task-type sufferage accounting for PAMF (§V-D2).
+//!
+//! "We define sufferage value at mapping event e for each task type f …
+//! that determines how much to decrease (i.e., relax) the base pruning
+//! threshold." A successful completion of type f lowers its sufferage by
+//! the fairness factor ϑ; an unsuccessful terminal event (deadline miss or
+//! prune) raises it by ϑ. Sufferage is clamped to `[0, 1]` ("we limit
+//! sufferage values to be between 0 to 100 %").
+
+use hcsim_model::TaskTypeId;
+use serde::{Deserialize, Serialize};
+
+/// Sufferage values per task type.
+///
+/// ```
+/// use hcsim_core::SufferageTable;
+/// use hcsim_model::TaskTypeId;
+///
+/// let mut s = SufferageTable::new(2, 0.05);
+/// s.on_task_finished(TaskTypeId(0), false); // a miss raises sufferage
+/// s.on_task_finished(TaskTypeId(0), false);
+/// // The suffering type's defer threshold is relaxed from 90% to 80%.
+/// assert!((s.relax(TaskTypeId(0), 0.9) - 0.8).abs() < 1e-12);
+/// assert_eq!(s.relax(TaskTypeId(1), 0.9), 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SufferageTable {
+    values: Vec<f64>,
+    factor: f64,
+}
+
+impl SufferageTable {
+    /// Creates a table of zeros ("we define 0 as no sufferage") for
+    /// `num_types` task types with fairness factor ϑ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ϑ is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn new(num_types: usize, factor: f64) -> Self {
+        assert!(factor.is_finite() && (0.0..=1.0).contains(&factor), "fairness factor in [0,1]");
+        Self { values: vec![0.0; num_types], factor }
+    }
+
+    /// The fairness factor ϑ.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Current sufferage of a task type.
+    #[must_use]
+    pub fn sufferage(&self, tt: TaskTypeId) -> f64 {
+        self.values[tt.index()]
+    }
+
+    /// Records a terminal task event: success lowers the type's sufferage
+    /// by ϑ, failure raises it by ϑ.
+    pub fn on_task_finished(&mut self, tt: TaskTypeId, success: bool) {
+        let v = &mut self.values[tt.index()];
+        if success {
+            *v -= self.factor;
+        } else {
+            *v += self.factor;
+        }
+        *v = v.clamp(0.0, 1.0);
+    }
+
+    /// Relaxes a base pruning threshold for a task type: threshold minus
+    /// sufferage, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn relax(&self, tt: TaskTypeId, threshold: f64) -> f64 {
+        (threshold - self.sufferage(tt)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let s = SufferageTable::new(3, 0.05);
+        for tt in 0..3usize {
+            assert_eq!(s.sufferage(TaskTypeId::from(tt)), 0.0);
+        }
+        assert_eq!(s.factor(), 0.05);
+    }
+
+    #[test]
+    fn failure_raises_success_lowers() {
+        let mut s = SufferageTable::new(2, 0.05);
+        let tt = TaskTypeId(0);
+        s.on_task_finished(tt, false);
+        s.on_task_finished(tt, false);
+        assert!((s.sufferage(tt) - 0.10).abs() < 1e-12);
+        s.on_task_finished(tt, true);
+        assert!((s.sufferage(tt) - 0.05).abs() < 1e-12);
+        // Other types untouched.
+        assert_eq!(s.sufferage(TaskTypeId(1)), 0.0);
+    }
+
+    #[test]
+    fn clamped_to_unit_interval() {
+        let mut s = SufferageTable::new(1, 0.4);
+        let tt = TaskTypeId(0);
+        s.on_task_finished(tt, true); // would go negative
+        assert_eq!(s.sufferage(tt), 0.0);
+        for _ in 0..5 {
+            s.on_task_finished(tt, false);
+        }
+        assert_eq!(s.sufferage(tt), 1.0);
+    }
+
+    #[test]
+    fn relax_subtracts_and_clamps() {
+        let mut s = SufferageTable::new(1, 0.3);
+        let tt = TaskTypeId(0);
+        s.on_task_finished(tt, false); // sufferage 0.3
+        assert!((s.relax(tt, 0.9) - 0.6).abs() < 1e-12);
+        s.on_task_finished(tt, false); // 0.6
+        s.on_task_finished(tt, false); // 0.9
+        assert_eq!(s.relax(tt, 0.5), 0.0, "relaxation clamps at zero");
+    }
+
+    #[test]
+    fn zero_factor_is_inert() {
+        let mut s = SufferageTable::new(1, 0.0);
+        let tt = TaskTypeId(0);
+        s.on_task_finished(tt, false);
+        assert_eq!(s.sufferage(tt), 0.0);
+        assert_eq!(s.relax(tt, 0.7), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fairness factor")]
+    fn invalid_factor_rejected() {
+        let _ = SufferageTable::new(1, 1.5);
+    }
+}

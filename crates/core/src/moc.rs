@@ -1,0 +1,322 @@
+//! MOC — Max On-time Completions (§VI-C4, from Salehi et al., JPDC 2016).
+//!
+//! The strongest baseline: robustness-aware like PAM, but with neither
+//! deferring-vs-dropping separation nor dynamic aggression. Per mapping
+//! event:
+//!
+//! 1. **Phase 1** — for each batch task, find the machine offering the
+//!    highest robustness (among machines with a free slot).
+//! 2. **Culling** — discard provisional pairs below a fixed 30 %
+//!    robustness threshold (the tasks stay in the batch; MOC never drops
+//!    tasks from machine queues — "the inability to probabilistically drop
+//!    tasks leads to wasted processing", §VII-E).
+//! 3. **Permutation** — take the three pairs with the highest robustness
+//!    and try committing each; for each hypothetical commit, re-score the
+//!    other two candidates (their machine may now be busier) and keep the
+//!    commit that maximizes total robustness. Map exactly one pair, then
+//!    repeat until queues fill or candidates run out.
+
+use crate::scorer::{PairScore, ProbScorer};
+use hcsim_model::{MachineId, TaskId};
+use hcsim_pmf::queue_step;
+use hcsim_sim::{MapContext, Mapper};
+
+/// Configuration for [`Moc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MocConfig {
+    /// Culling threshold (paper: 30 %).
+    pub cull_threshold: f64,
+    /// Number of top pairs permuted (paper: 3).
+    pub permute_top: usize,
+    /// Impulse budget for availability PMFs.
+    pub impulse_budget: usize,
+    /// Maximum batch tasks evaluated per event (same engineering bound as
+    /// PAM's).
+    pub batch_window: usize,
+}
+
+impl Default for MocConfig {
+    fn default() -> Self {
+        Self { cull_threshold: 0.30, permute_top: 3, impulse_budget: 24, batch_window: 192 }
+    }
+}
+
+/// The MOC mapping heuristic.
+#[derive(Debug)]
+pub struct Moc {
+    config: MocConfig,
+    scorer: Option<ProbScorer>,
+}
+
+impl Moc {
+    /// Creates MOC with the paper's parameters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(MocConfig::default())
+    }
+
+    /// Creates MOC with explicit parameters.
+    #[must_use]
+    pub fn with_config(config: MocConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.cull_threshold));
+        assert!(config.permute_top >= 1);
+        Self { config, scorer: None }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &MocConfig {
+        &self.config
+    }
+}
+
+impl Default for Moc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    task: TaskId,
+    machine: MachineId,
+    score: PairScore,
+}
+
+impl Mapper for Moc {
+    fn name(&self) -> &str {
+        "MOC"
+    }
+
+    fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+        if self.scorer.is_none() {
+            self.scorer = Some(ProbScorer::new(
+                &ctx.spec().pet,
+                ctx.drop_policy(),
+                self.config.impulse_budget,
+            ));
+        }
+        let mut scorer = self.scorer.take().expect("initialized above");
+        scorer.begin_event(ctx.now());
+
+        loop {
+            if ctx.total_free_slots() == 0 {
+                break;
+            }
+            let window = self.config.batch_window.min(ctx.batch().len());
+            if window == 0 {
+                break;
+            }
+
+            // Phase 1 + culling.
+            let mut candidates: Vec<Candidate> = Vec::new();
+            for i in 0..window {
+                let task = ctx.batch()[i];
+                let mut best: Option<Candidate> = None;
+                for m in 0..ctx.num_machines() {
+                    let machine_id = MachineId::from(m);
+                    let machine = ctx.machine(machine_id);
+                    if !machine.has_free_slot() {
+                        continue;
+                    }
+                    let score = scorer.score(machine, &ctx.spec().pet, &task);
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            score.robustness > b.score.robustness
+                                || (score.robustness == b.score.robustness
+                                    && score.expected_completion < b.score.expected_completion)
+                        }
+                    };
+                    if better {
+                        best = Some(Candidate { task: task.id, machine: machine_id, score });
+                    }
+                }
+                if let Some(c) = best {
+                    if c.score.robustness >= self.config.cull_threshold {
+                        candidates.push(c);
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                break;
+            }
+
+            // Top-k by robustness.
+            candidates.sort_by(|a, b| b.score.robustness.total_cmp(&a.score.robustness));
+            candidates.truncate(self.config.permute_top);
+
+            // Permutation: commit the candidate whose assignment leaves the
+            // highest total robustness across the top-k.
+            let chosen = if candidates.len() == 1 {
+                candidates[0]
+            } else {
+                let mut best_total = f64::NEG_INFINITY;
+                let mut best_idx = 0;
+                for (idx, cand) in candidates.iter().enumerate() {
+                    let mut total = cand.score.robustness;
+                    // Hypothetical tail of cand's machine after assignment.
+                    let machine = ctx.machine(cand.machine);
+                    let tail = scorer.tail(machine, &ctx.spec().pet).clone();
+                    let task = ctx
+                        .batch()
+                        .iter()
+                        .find(|t| t.id == cand.task)
+                        .copied()
+                        .expect("candidate from batch");
+                    let pet_pmf = ctx.spec().pet.pmf(task.type_id, cand.machine);
+                    let mut step =
+                        queue_step(&tail, pet_pmf, task.deadline, scorer.policy());
+                    step.availability.compact(self.config.impulse_budget);
+                    let hypo_tail = step.availability;
+                    let slot_left = machine.free_slots() > 1;
+                    for (jdx, other) in candidates.iter().enumerate() {
+                        if jdx == idx {
+                            continue;
+                        }
+                        let other_task = ctx
+                            .batch()
+                            .iter()
+                            .find(|t| t.id == other.task)
+                            .copied()
+                            .expect("candidate from batch");
+                        let r = if other.machine == cand.machine {
+                            if slot_left {
+                                scorer
+                                    .score_against_tail(
+                                        &hypo_tail,
+                                        other_task.type_id,
+                                        other.machine,
+                                        other_task.deadline,
+                                    )
+                                    .robustness
+                            } else {
+                                0.0 // queue would be full for the other
+                            }
+                        } else {
+                            other.score.robustness
+                        };
+                        total += r;
+                    }
+                    if total > best_total {
+                        best_total = total;
+                        best_idx = idx;
+                    }
+                }
+                candidates[best_idx]
+            };
+
+            ctx.assign(chosen.task, chosen.machine).expect("machine had a free slot");
+        }
+
+        self.scorer = Some(scorer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{TaskOutcome, TaskTypeId};
+    use hcsim_sim::{run_simulation, SimConfig, SimReport};
+    use hcsim_stats::SeedSequence;
+    use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
+
+    fn run_moc(oversub: f64, seed: u64) -> SimReport {
+        let seeds = SeedSequence::new(seed);
+        let spec = specint_system(6, &mut seeds.stream(0));
+        let gen = WorkloadGenerator::new(WorkloadConfig {
+            num_tasks: 200,
+            oversubscription: oversub,
+            ..Default::default()
+        });
+        let tasks = gen.generate(&spec, &mut seeds.stream(1));
+        let mut mapper = Moc::new();
+        let mut rng = seeds.stream(2);
+        run_simulation(&spec, SimConfig { trim: 20, ..SimConfig::default() }, &tasks, &mut mapper, &mut rng)
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let moc = Moc::new();
+        assert_eq!(moc.name(), "MOC");
+        assert!((moc.config().cull_threshold - 0.30).abs() < 1e-12);
+        assert_eq!(moc.config().permute_top, 3);
+    }
+
+    #[test]
+    fn moc_runs_to_completion() {
+        let report = run_moc(19_000.0, 60);
+        assert_eq!(report.records.len(), 200);
+        assert!(report.metrics.pct_on_time > 0.0, "{:?}", report.metrics.outcomes);
+    }
+
+    #[test]
+    fn moc_never_prunes_queued_tasks() {
+        let report = run_moc(34_000.0, 61);
+        let pruned = report
+            .records
+            .iter()
+            .filter(|r| r.outcome == TaskOutcome::PrunedDropped)
+            .count();
+        assert_eq!(pruned, 0, "MOC has no dropping mechanism");
+    }
+
+    #[test]
+    fn moc_culls_hopeless_tasks_from_mapping() {
+        // Tasks below 30% robustness are never mapped: they expire
+        // unmapped (machine: None).
+        let report = run_moc(34_000.0, 62);
+        let expired_unmapped = report
+            .records
+            .iter()
+            .filter(|r| r.outcome == TaskOutcome::ExpiredUnstarted && r.machine.is_none())
+            .count();
+        assert!(expired_unmapped > 0, "{:?}", report.metrics.outcomes);
+    }
+
+    #[test]
+    fn moc_beats_firstfit() {
+        let seeds = SeedSequence::new(63);
+        let spec = specint_system(6, &mut seeds.stream(0));
+        let gen = WorkloadGenerator::new(WorkloadConfig {
+            num_tasks: 200,
+            oversubscription: 19_000.0,
+            ..Default::default()
+        });
+        let tasks = gen.generate(&spec, &mut seeds.stream(1));
+        let cfg = SimConfig { trim: 20, ..SimConfig::default() };
+        let mut moc = Moc::new();
+        let moc_report =
+            run_simulation(&spec, cfg, &tasks, &mut moc, &mut seeds.stream(2));
+        let mut ff = hcsim_sim::FirstFitMapper;
+        let ff_report = run_simulation(&spec, cfg, &tasks, &mut ff, &mut seeds.stream(2));
+        assert!(
+            moc_report.metrics.pct_on_time >= ff_report.metrics.pct_on_time,
+            "MOC {} vs FirstFit {}",
+            moc_report.metrics.pct_on_time,
+            ff_report.metrics.pct_on_time
+        );
+    }
+
+    #[test]
+    fn single_candidate_short_circuits() {
+        // One task, generous deadline: permutation phase degenerates.
+        let seeds = SeedSequence::new(64);
+        let spec = specint_system(6, &mut seeds.stream(0));
+        let tasks = vec![hcsim_model::Task {
+            id: hcsim_model::TaskId(0),
+            type_id: TaskTypeId(0),
+            arrival: 0,
+            deadline: 100_000,
+        }];
+        let mut mapper = Moc::new();
+        let report = run_simulation(
+            &spec,
+            SimConfig::untrimmed(),
+            &tasks,
+            &mut mapper,
+            &mut seeds.stream(1),
+        );
+        assert_eq!(report.metrics.outcomes.on_time, 1);
+    }
+}

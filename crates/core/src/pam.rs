@@ -1,0 +1,450 @@
+//! PAM — the Pruning-Aware Mapper (§V-D1) — and its fairness-aware
+//! extension PAMF (§V-D2).
+//!
+//! At every mapping event PAM:
+//!
+//! 1. feeds the deadline misses since the last event into the Eq. 8
+//!    oversubscription detector;
+//! 2. when the detector's dropping toggle is engaged, runs the pruner's
+//!    dropping pass over all machine queues (head first, per-task adjusted
+//!    thresholds, re-analysis after every drop);
+//! 3. phase 1: for each unmapped task, finds the machine offering the
+//!    highest robustness; tasks whose best robustness falls below the
+//!    *deferring* threshold are deferred — left in the batch queue for a
+//!    future event in the hope of a better match (§V-A);
+//! 4. phase 2: among surviving (task, machine) pairs, commits the pair
+//!    with the lowest expected completion time, breaking ties by shortest
+//!    expected execution time; repeats until queues fill or candidates run
+//!    out.
+//!
+//! PAMF additionally maintains a [`SufferageTable`]: task types that keep
+//! missing deadlines accumulate sufferage, which *relaxes* (lowers) both
+//! pruning thresholds for that type, shielding it from starvation at a
+//! small cost in overall robustness (Fig. 6).
+
+use crate::fairness::SufferageTable;
+use crate::pruner::{OversubscriptionDetector, Pruner, PruningConfig};
+use crate::scorer::{PairScore, ProbScorer};
+use hcsim_model::{MachineId, Task, TaskId, TaskTypeId};
+use hcsim_pmf::{queue_step, Pmf};
+use hcsim_sim::{MapContext, Mapper, MapperInstrumentation};
+
+/// The pruning-aware mapper (PAM), optionally with PAMF fairness.
+#[derive(Debug)]
+pub struct Pam {
+    config: PruningConfig,
+    detector: OversubscriptionDetector,
+    pruner: Pruner,
+    scorer: Option<ProbScorer>,
+    sufferage: Option<SufferageTable>,
+    name: &'static str,
+    instr: MapperInstrumentation,
+}
+
+impl Pam {
+    /// Plain PAM.
+    #[must_use]
+    pub fn new(config: PruningConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            detector: OversubscriptionDetector::new(&config),
+            pruner: Pruner::new(config),
+            scorer: None,
+            sufferage: None,
+            name: "PAM",
+            instr: MapperInstrumentation::default(),
+        }
+    }
+
+    /// PAMF: PAM with per-type sufferage using `config.fairness_factor`.
+    /// The table is sized lazily at the first mapping event.
+    #[must_use]
+    pub fn with_fairness(config: PruningConfig) -> Self {
+        let mut pam = Self::new(config);
+        pam.name = "PAMF";
+        pam
+    }
+
+    /// The pruning configuration.
+    #[must_use]
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Current oversubscription level d_τ (for instrumentation).
+    #[must_use]
+    pub fn oversubscription_level(&self) -> f64 {
+        self.detector.level()
+    }
+
+    /// True while the dropping toggle is engaged.
+    #[must_use]
+    pub fn dropping_engaged(&self) -> bool {
+        self.detector.dropping_engaged()
+    }
+
+    fn is_fair(&self) -> bool {
+        self.name == "PAMF"
+    }
+
+    fn defer_threshold_for(&self, tt: TaskTypeId) -> f64 {
+        match &self.sufferage {
+            Some(s) => s.relax(tt, self.config.defer_threshold),
+            None => self.config.defer_threshold,
+        }
+    }
+
+    /// Phase 1 for one task: the machine offering the highest robustness
+    /// among machines with free slots (tie → lower expected completion).
+    fn best_machine(
+        scorer: &mut ProbScorer,
+        ctx: &MapContext<'_>,
+        task: &Task,
+    ) -> Option<(MachineId, PairScore)> {
+        let pet = &ctx.spec().pet;
+        let mut best: Option<(MachineId, PairScore)> = None;
+        for m in 0..ctx.num_machines() {
+            let machine_id = MachineId::from(m);
+            let machine = ctx.machine(machine_id);
+            if !machine.has_free_slot() {
+                continue;
+            }
+            let score = scorer.score(machine, pet, task);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    score.robustness > b.robustness
+                        || (score.robustness == b.robustness
+                            && score.expected_completion < b.expected_completion)
+                }
+            };
+            if better {
+                best = Some((machine_id, score));
+            }
+        }
+        best
+    }
+}
+
+impl Mapper for Pam {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+        // Lazy one-time initialization against the system spec.
+        if self.scorer.is_none() {
+            self.scorer = Some(ProbScorer::new(
+                &ctx.spec().pet,
+                ctx.drop_policy(),
+                self.config.impulse_budget,
+            ));
+            if self.is_fair() {
+                self.sufferage = Some(SufferageTable::new(
+                    ctx.spec().num_task_types(),
+                    self.config.fairness_factor,
+                ));
+            }
+        }
+        let mut scorer = self.scorer.take().expect("initialized above");
+        scorer.begin_event(ctx.now());
+
+        // Aggression control (§V-C).
+        let was_engaged = self.detector.dropping_engaged();
+        self.detector.observe(ctx.missed_since_last());
+        self.instr.mapping_events += 1;
+        if self.detector.dropping_engaged() != was_engaged {
+            self.instr.toggle_transitions += 1;
+        }
+        if self.detector.dropping_engaged() {
+            self.instr.events_dropping_engaged += 1;
+            let sufferage = &self.sufferage;
+            let drop_base = self.config.drop_threshold;
+            let threshold_for = move |tt: TaskTypeId| match sufferage {
+                Some(s) => s.relax(tt, drop_base),
+                None => drop_base,
+            };
+            self.instr.pruner_drops += self.pruner.drop_pass(ctx, &scorer, &threshold_for) as u64;
+        }
+
+        // Two-phase mapping with deferral.
+        loop {
+            if ctx.total_free_slots() == 0 {
+                break;
+            }
+            let window = self.config.batch_window.min(ctx.batch().len());
+            if window == 0 {
+                break;
+            }
+            // Phase 1 + deferral: collect candidates above the (possibly
+            // relaxed) defer threshold.
+            let mut chosen: Option<(TaskId, MachineId, PairScore)> = None;
+            for i in 0..window {
+                let task = ctx.batch()[i];
+                let Some((machine, score)) = Self::best_machine(&mut scorer, ctx, &task) else {
+                    continue;
+                };
+                if score.robustness < self.defer_threshold_for(task.type_id) {
+                    continue; // deferred: stays in the batch queue
+                }
+                // Phase 2: minimum expected completion, tie → shortest
+                // expected execution time.
+                let better = match &chosen {
+                    None => true,
+                    Some((_, _, b)) => {
+                        score.expected_completion < b.expected_completion
+                            || (score.expected_completion == b.expected_completion
+                                && score.mean_exec < b.mean_exec)
+                    }
+                };
+                if better {
+                    chosen = Some((task.id, machine, score));
+                }
+            }
+            let Some((task_id, machine, _)) = chosen else { break };
+            ctx.assign(task_id, machine).expect("machine had a free slot");
+            // Only `machine`'s tail changed; the scorer's version check
+            // recomputes exactly that column next iteration.
+        }
+
+        // §VIII extension: probabilistic preemption for urgent arrivals
+        // that the normal phases had to defer.
+        if self.config.preemption {
+            self.try_preempt(ctx, &scorer);
+        }
+
+        self.scorer = Some(scorer);
+    }
+
+    fn on_task_finished(&mut self, task: &Task, success: bool) {
+        if let Some(s) = &mut self.sufferage {
+            s.on_task_finished(task.type_id, success);
+        }
+    }
+
+    fn instrumentation(&self) -> Option<MapperInstrumentation> {
+        Some(self.instr)
+    }
+}
+
+impl Pam {
+    /// Preempts at most one executing task per event, when an otherwise-
+    /// deferred batch task would meet the defer threshold if started
+    /// immediately AND the incumbent — modeled by its residual execution
+    /// PMF — would still meet the defer threshold after resuming behind
+    /// it. Machines with pending work are skipped (their queues would be
+    /// pushed back too).
+    fn try_preempt(&mut self, ctx: &mut MapContext<'_>, scorer: &ProbScorer) {
+        let now = ctx.now();
+        let pet = &ctx.spec().pet;
+        let window = self.config.batch_window.min(ctx.batch().len());
+        let idle_tail = Pmf::delta(now);
+
+        let mut best: Option<(TaskId, MachineId, f64)> = None;
+        for i in 0..window {
+            let task = ctx.batch()[i];
+            let defer_t = self.defer_threshold_for(task.type_id);
+            for m in 0..ctx.num_machines() {
+                let machine_id = MachineId::from(m);
+                let machine = ctx.machine(machine_id);
+                let Some(exec) = machine.executing() else { continue };
+                if machine.pending().len() > 0 {
+                    continue; // conservative: do not push back queued work
+                }
+                // (a) The urgent task succeeds if it starts right now.
+                let immediate = scorer.score_against_tail(
+                    &idle_tail,
+                    task.type_id,
+                    machine_id,
+                    task.deadline,
+                );
+                if immediate.robustness < defer_t {
+                    continue;
+                }
+                // (b) The incumbent can afford the delay: chain its
+                // residual behind the urgent task's completion.
+                let urgent_completion =
+                    pet.pmf(task.type_id, machine_id).shift(now);
+                let residual =
+                    pet.pmf(exec.task.type_id, machine_id).residual(exec.elapsed_at(now));
+                let resumed = queue_step(
+                    &urgent_completion,
+                    &residual,
+                    exec.task.deadline,
+                    scorer.policy(),
+                );
+                if resumed.robustness < self.defer_threshold_for(exec.task.type_id) {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, r)| immediate.robustness > r) {
+                    best = Some((task.id, machine_id, immediate.robustness));
+                }
+            }
+        }
+        if let Some((task_id, machine_id, _)) = best {
+            ctx.preempt_and_assign(machine_id, task_id)
+                .expect("machine verified executing, task from batch");
+            self.instr.preemptions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{
+        MachineSpec, PetBuilder, PriceTable, SystemSpec, TaskTypeSpec,
+    };
+    use hcsim_sim::{run_simulation, SimConfig, SimReport};
+    use hcsim_stats::SeedSequence;
+    use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
+
+    fn oversubscribed_report(kind: &str, oversub: f64, seed: u64) -> SimReport {
+        let seeds = SeedSequence::new(seed);
+        let spec = specint_system(6, &mut seeds.stream(0));
+        let gen = WorkloadGenerator::new(WorkloadConfig {
+            num_tasks: 250,
+            oversubscription: oversub,
+            ..Default::default()
+        });
+        let tasks = gen.generate(&spec, &mut seeds.stream(1));
+        let cfg = PruningConfig::default();
+        let mut rng = seeds.stream(2);
+        let config = SimConfig { trim: 25, ..SimConfig::default() };
+        match kind {
+            "PAM" => {
+                let mut m = Pam::new(cfg);
+                run_simulation(&spec, config, &tasks, &mut m, &mut rng)
+            }
+            "PAMF" => {
+                let mut m = Pam::with_fairness(cfg);
+                run_simulation(&spec, config, &tasks, &mut m, &mut rng)
+            }
+            "MM" => {
+                let mut m = crate::ScalarMapper::mm();
+                run_simulation(&spec, config, &tasks, &mut m, &mut rng)
+            }
+            other => panic!("unknown {other}"),
+        }
+    }
+
+    #[test]
+    fn pam_names() {
+        assert_eq!(Pam::new(PruningConfig::default()).name(), "PAM");
+        assert_eq!(Pam::with_fairness(PruningConfig::default()).name(), "PAMF");
+    }
+
+    #[test]
+    fn pam_runs_and_completes_all_records() {
+        let report = oversubscribed_report("PAM", 19_000.0, 42);
+        assert_eq!(report.records.len(), 250);
+        assert_eq!(report.metrics.outcomes.total(), report.metrics.counted);
+        assert!(report.metrics.pct_on_time > 0.0, "{:?}", report.metrics.outcomes);
+    }
+
+    #[test]
+    fn pam_prunes_under_oversubscription() {
+        let report = oversubscribed_report("PAM", 34_000.0, 43);
+        // The dropping toggle must have engaged and removed tasks.
+        let pruned_total: usize = report
+            .records
+            .iter()
+            .filter(|r| r.outcome == hcsim_model::TaskOutcome::PrunedDropped)
+            .count();
+        assert!(pruned_total > 0, "PAM never engaged dropping: {:?}", report.metrics.outcomes);
+    }
+
+    #[test]
+    fn pam_beats_mm_under_heavy_oversubscription() {
+        // The paper's headline claim (Fig. 7): probabilistic pruning
+        // substantially outperforms MinMin when oversubscribed.
+        let mut pam_wins = 0;
+        for seed in [101, 202, 303] {
+            let pam = oversubscribed_report("PAM", 34_000.0, seed);
+            let mm = oversubscribed_report("MM", 34_000.0, seed);
+            if pam.metrics.pct_on_time > mm.metrics.pct_on_time {
+                pam_wins += 1;
+            }
+        }
+        assert!(pam_wins >= 2, "PAM won only {pam_wins}/3 trials against MM");
+    }
+
+    #[test]
+    fn pamf_reduces_type_variance_vs_pam() {
+        // Fig. 6: fairness trades a little robustness for a lower variance
+        // of per-type completion percentages. Averaged over seeds to damp
+        // noise.
+        let mut pam_var = 0.0;
+        let mut pamf_var = 0.0;
+        for seed in [11, 22, 33, 44] {
+            pam_var += oversubscribed_report("PAM", 34_000.0, seed).metrics.type_variance;
+            pamf_var += oversubscribed_report("PAMF", 34_000.0, seed).metrics.type_variance;
+        }
+        assert!(
+            pamf_var < pam_var,
+            "PAMF variance {pamf_var} should undercut PAM variance {pam_var}"
+        );
+    }
+
+    #[test]
+    fn pam_defers_hopeless_tasks_when_not_oversubscribed() {
+        // A single machine, one task whose deadline is far too tight:
+        // phase 1 robustness < defer threshold → never mapped, expires in
+        // the batch queue (not evicted mid-queue, simply deferred).
+        let mut rng = SeedSequence::new(50).stream(0);
+        let (pet, truth) =
+            PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![100.0]], &mut rng);
+        let spec = SystemSpec {
+            machines: vec![MachineSpec { name: "m".into() }],
+            task_types: vec![TaskTypeSpec { name: "t".into() }],
+            pet,
+            truth,
+            prices: PriceTable::uniform(1, 1.0),
+            queue_capacity: 6,
+        }
+        .validated();
+        let tasks = vec![Task {
+            id: TaskId(0),
+            type_id: TaskTypeId(0),
+            arrival: 0,
+            deadline: 10, // mean exec is 100: robustness ≈ 0
+        }];
+        let mut mapper = Pam::new(PruningConfig::default());
+        let mut rng2 = SeedSequence::new(51).stream(0);
+        let report =
+            run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng2);
+        assert_eq!(report.records[0].outcome, hcsim_model::TaskOutcome::ExpiredUnstarted);
+        assert!(report.records[0].machine.is_none(), "task must never have been mapped");
+        assert_eq!(report.total_cost, 0.0, "no machine time wasted on a hopeless task");
+    }
+
+    #[test]
+    fn pam_maps_confident_tasks_immediately() {
+        let mut rng = SeedSequence::new(52).stream(0);
+        let (pet, truth) =
+            PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![20.0]], &mut rng);
+        let spec = SystemSpec {
+            machines: vec![MachineSpec { name: "m".into() }],
+            task_types: vec![TaskTypeSpec { name: "t".into() }],
+            pet,
+            truth,
+            prices: PriceTable::uniform(1, 1.0),
+            queue_capacity: 6,
+        }
+        .validated();
+        let tasks = vec![Task { id: TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline: 500 }];
+        let mut mapper = Pam::new(PruningConfig::default());
+        let mut rng2 = SeedSequence::new(53).stream(0);
+        let report =
+            run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng2);
+        assert_eq!(report.metrics.outcomes.on_time, 1);
+    }
+
+    #[test]
+    fn detector_is_exposed_for_instrumentation() {
+        let pam = Pam::new(PruningConfig::default());
+        assert_eq!(pam.oversubscription_level(), 0.0);
+        assert!(!pam.dropping_engaged());
+    }
+}

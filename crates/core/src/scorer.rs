@@ -1,0 +1,368 @@
+//! Fast per-(task, machine) robustness scoring with per-event caching.
+//!
+//! A mapping event evaluates every batch task against every machine. The
+//! naive approach performs a full Eq. 3–4 convolution per pair; this module
+//! exploits that PAM/MOC only need two scalars per pair:
+//!
+//! * **robustness** `Σ_{u<δ} A(u) · CDF_E(δ − u)` — the deadline CDF of the
+//!   (deadline-truncated) convolution, computable directly from the
+//!   machine-tail availability `A` and a prefix-sum CDF of the PET cell
+//!   `E` without materializing the convolution;
+//! * **expected completion** `Σ_{u<δ} A(u)·(u + E[E]) / Σ_{u<δ} A(u)` —
+//!   the mean of the truncated convolution, again in closed form.
+//!
+//! Both are *exact* (they equal [`hcsim_pmf::queue_step`]'s outputs, minus
+//! the compaction error that full convolution would introduce; a unit test
+//! asserts the equivalence). Machine-tail PMFs are the only convolution
+//! work left and are cached per `(event, machine version)` — one chain of
+//! at most queue-capacity convolutions per machine per event.
+
+use crate::chain::{analyze_queue, QueueAnalysis};
+use hcsim_model::{MachineId, PetMatrix, Task, TaskTypeId, Time};
+use hcsim_pmf::{DropPolicy, Pmf};
+use hcsim_sim::MachineState;
+
+/// The two scalars phase 1/2 of the probabilistic heuristics consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScore {
+    /// Eq. 1 robustness of appending the task to the machine's queue.
+    pub robustness: f64,
+    /// Expected completion time given the task starts (infinite when it
+    /// can never start before its deadline).
+    pub expected_completion: f64,
+    /// Expected execution time of the task on this machine (the paper's
+    /// tie-breaker).
+    pub mean_exec: f64,
+}
+
+/// Prefix-CDF view of one PET cell.
+#[derive(Debug, Clone)]
+struct PetCdf {
+    times: Vec<Time>,
+    /// `prefix[i]` = total mass at `times[..=i]`.
+    prefix: Vec<f64>,
+    mean: f64,
+}
+
+impl PetCdf {
+    fn build(pmf: &Pmf) -> Self {
+        let times: Vec<Time> = pmf.impulses().iter().map(|i| i.t).collect();
+        let mut acc = 0.0;
+        let prefix = pmf
+            .impulses()
+            .iter()
+            .map(|i| {
+                acc += i.p;
+                acc
+            })
+            .collect();
+        Self { times, prefix, mean: pmf.mean() }
+    }
+
+    /// Mass at execution times `<= t`.
+    #[inline]
+    fn cdf_at(&self, t: Time) -> f64 {
+        let idx = self.times.partition_point(|&x| x <= t);
+        if idx == 0 {
+            0.0
+        } else {
+            self.prefix[idx - 1]
+        }
+    }
+}
+
+/// Robustness/expected-completion scorer with per-event tail caching.
+#[derive(Debug)]
+pub struct ProbScorer {
+    policy: DropPolicy,
+    budget: usize,
+    /// Prefix CDFs, row-major `(task_type, machine)`, built once.
+    cdfs: Vec<PetCdf>,
+    machines: usize,
+    /// Per-machine cached tail: `(machine version, tail)`. Valid only
+    /// within the current event (the executing-task conditioning depends
+    /// on `now`).
+    tails: Vec<Option<(u64, Pmf)>>,
+    event_now: Time,
+}
+
+impl ProbScorer {
+    /// Builds a scorer for `pet` under `policy`, compacting intermediate
+    /// availability PMFs to `budget` impulses.
+    #[must_use]
+    pub fn new(pet: &PetMatrix, policy: DropPolicy, budget: usize) -> Self {
+        let mut cdfs = Vec::with_capacity(pet.task_types() * pet.machines());
+        for tt in 0..pet.task_types() {
+            for m in 0..pet.machines() {
+                cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
+            }
+        }
+        Self {
+            policy,
+            budget,
+            cdfs,
+            machines: pet.machines(),
+            tails: vec![None; pet.machines()],
+            event_now: 0,
+        }
+    }
+
+    /// The drop policy the scorer models.
+    #[must_use]
+    pub fn policy(&self) -> DropPolicy {
+        self.policy
+    }
+
+    /// Starts a new mapping event at `now`, invalidating tail caches (the
+    /// executing-task conditioning is time-dependent).
+    pub fn begin_event(&mut self, now: Time) {
+        if now != self.event_now {
+            self.event_now = now;
+            for t in &mut self.tails {
+                *t = None;
+            }
+        }
+    }
+
+    #[inline]
+    fn cdf(&self, tt: TaskTypeId, m: MachineId) -> &PetCdf {
+        &self.cdfs[tt.index() * self.machines + m.index()]
+    }
+
+    /// Full queue analysis (uncached) — used by the pruner, which needs
+    /// per-slot robustness and skewness rather than tails.
+    #[must_use]
+    pub fn analyze(&self, machine: &MachineState, pet: &PetMatrix, now: Time) -> QueueAnalysis {
+        analyze_queue(machine, pet, now, self.policy, self.budget)
+    }
+
+    /// The machine's tail availability PMF, cached per (event, version).
+    pub fn tail(&mut self, machine: &MachineState, pet: &PetMatrix) -> &Pmf {
+        let idx = machine.id().index();
+        let version = machine.version();
+        let stale = match &self.tails[idx] {
+            Some((v, _)) => *v != version,
+            None => true,
+        };
+        if stale {
+            let analysis = analyze_queue(machine, pet, self.event_now, self.policy, self.budget);
+            self.tails[idx] = Some((version, analysis.tail));
+        }
+        &self.tails[idx].as_ref().expect("just filled").1
+    }
+
+    /// Scores appending `task` to `machine`'s queue.
+    pub fn score(&mut self, machine: &MachineState, pet: &PetMatrix, task: &Task) -> PairScore {
+        let m = machine.id();
+        let tt = task.type_id;
+        // Split borrows: compute tail first (mutable), then score against
+        // it (immutable).
+        self.tail(machine, pet);
+        let tail = &self.tails[m.index()].as_ref().expect("cached").1;
+        score_against(tail, self.cdf(tt, m), task.deadline, self.policy)
+    }
+
+    /// Scores `task` against an explicit tail (used by MOC's permutation
+    /// phase, which evaluates hypothetical assignments).
+    #[must_use]
+    pub fn score_against_tail(
+        &self,
+        tail: &Pmf,
+        tt: TaskTypeId,
+        m: MachineId,
+        deadline: Time,
+    ) -> PairScore {
+        score_against(tail, self.cdf(tt, m), deadline, self.policy)
+    }
+}
+
+fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -> PairScore {
+    let mut robustness = 0.0;
+    let mut startable_mass = 0.0;
+    let mut weighted_start = 0.0;
+    let mut full_mass = 0.0;
+    let mut full_weighted_start = 0.0;
+    for imp in tail.impulses() {
+        full_mass += imp.p;
+        full_weighted_start += imp.t as f64 * imp.p;
+        if imp.t < deadline {
+            robustness += imp.p * cdf.cdf_at(deadline - imp.t);
+            startable_mass += imp.p;
+            weighted_start += imp.t as f64 * imp.p;
+        }
+    }
+    let expected_completion = match policy {
+        // Scenario A: every start happens eventually; the completion mean
+        // is E[A] + E[E] over the full availability.
+        DropPolicy::None => {
+            if full_mass > 0.0 {
+                full_weighted_start / full_mass + cdf.mean
+            } else {
+                f64::INFINITY
+            }
+        }
+        // Scenarios B/C: only starts before δ execute.
+        DropPolicy::PendingOnly | DropPolicy::All => {
+            if startable_mass > 0.0 {
+                weighted_start / startable_mass + cdf.mean
+            } else {
+                f64::INFINITY
+            }
+        }
+    };
+    // Float-noise guard: normalized masses can sum an ulp above 1.
+    PairScore { robustness: robustness.min(1.0), expected_completion, mean_exec: cdf.mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_pmf::queue_step;
+
+    fn pet_single(points: &[(Time, f64)]) -> PetMatrix {
+        PetMatrix::from_pmfs(1, 1, vec![Pmf::from_points(points).unwrap()])
+    }
+
+    fn task_with_deadline(deadline: Time) -> Task {
+        Task {
+            id: hcsim_model::TaskId(0),
+            type_id: TaskTypeId(0),
+            arrival: 0,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_queue_step() {
+        let pet = pet_single(&[(2, 0.25), (3, 0.5), (5, 0.25)]);
+        let tail = Pmf::from_points(&[(1, 0.3), (4, 0.4), (9, 0.3)]).unwrap();
+        for deadline in [1u64, 3, 5, 7, 9, 12, 20] {
+            for policy in [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All] {
+                let scorer = ProbScorer::new(&pet, policy, 64);
+                let score =
+                    scorer.score_against_tail(&tail, TaskTypeId(0), MachineId(0), deadline);
+                let step = queue_step(
+                    &tail,
+                    pet.pmf(TaskTypeId(0), MachineId(0)),
+                    deadline,
+                    policy,
+                );
+                assert!(
+                    (score.robustness - step.robustness).abs() < 1e-12,
+                    "robustness mismatch at δ={deadline} {policy:?}: {} vs {}",
+                    score.robustness,
+                    step.robustness
+                );
+                if policy != DropPolicy::None {
+                    match &step.completion {
+                        Some(c) => {
+                            assert!(
+                                (score.expected_completion - c.mean()).abs() < 1e-9,
+                                "mean mismatch at δ={deadline} {policy:?}"
+                            );
+                        }
+                        None => assert!(score.expected_completion.is_infinite()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_none_mean_is_additive() {
+        let pet = pet_single(&[(2, 0.5), (6, 0.5)]);
+        let tail = Pmf::from_points(&[(10, 0.5), (20, 0.5)]).unwrap();
+        let scorer = ProbScorer::new(&pet, DropPolicy::None, 64);
+        let score = scorer.score_against_tail(&tail, TaskTypeId(0), MachineId(0), 5);
+        assert!((score.expected_completion - (15.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_exec_reported() {
+        let pet = pet_single(&[(2, 0.5), (6, 0.5)]);
+        let scorer = ProbScorer::new(&pet, DropPolicy::All, 64);
+        let score = scorer.score_against_tail(&Pmf::delta(0), TaskTypeId(0), MachineId(0), 100);
+        assert!((score.mean_exec - 4.0).abs() < 1e-12);
+        assert!((score.robustness - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_cache_respects_version_and_event() {
+        let pet = pet_single(&[(5, 1.0)]);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let machine = MachineState::new(MachineId(0), 4);
+        scorer.begin_event(100);
+        let t1 = scorer.tail(&machine, &pet).clone();
+        assert_eq!(t1.min_time(), 100, "idle tail anchors at now");
+        // Same event: cached.
+        let t2 = scorer.tail(&machine, &pet).clone();
+        assert_eq!(t1, t2);
+        // New event at a later time: idle tail must move to the new now.
+        scorer.begin_event(250);
+        let t3 = scorer.tail(&machine, &pet).clone();
+        assert_eq!(t3.min_time(), 250);
+    }
+
+    #[test]
+    fn score_on_idle_machine_matches_direct() {
+        let pet = pet_single(&[(2, 0.25), (3, 0.5), (5, 0.25)]);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let machine = MachineState::new(MachineId(0), 4);
+        scorer.begin_event(10);
+        let task = task_with_deadline(14);
+        let score = scorer.score(&machine, &pet, &task);
+        // Start at 10; completes by 14 iff exec <= 4 → 0.75.
+        assert!((score.robustness - 0.75).abs() < 1e-12);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pmf(max_t: Time, max_n: usize) -> impl Strategy<Value = Pmf> {
+            prop::collection::vec((1..max_t, 0.01f64..1.0), 1..max_n).prop_map(|pts| {
+                let mut p = Pmf::from_points(&pts).unwrap();
+                p.normalize();
+                p
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn closed_form_always_matches_queue_step(
+                tail in arb_pmf(300, 12),
+                exec in arb_pmf(80, 10),
+                deadline in 1u64..400,
+                policy_idx in 0usize..3,
+            ) {
+                let policy =
+                    [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All][policy_idx];
+                let pet = PetMatrix::from_pmfs(1, 1, vec![exec.clone()]);
+                let scorer = ProbScorer::new(&pet, policy, 256);
+                let score =
+                    scorer.score_against_tail(&tail, TaskTypeId(0), MachineId(0), deadline);
+                let step = queue_step(&tail, &exec, deadline, policy);
+                prop_assert!((score.robustness - step.robustness).abs() < 1e-9);
+                if policy != DropPolicy::None {
+                    match &step.completion {
+                        Some(c) => prop_assert!(
+                            (score.expected_completion - c.mean()).abs() < 1e-6
+                        ),
+                        None => prop_assert!(score.expected_completion.is_infinite()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hopeless_deadline_scores_zero() {
+        let pet = pet_single(&[(2, 1.0)]);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let machine = MachineState::new(MachineId(0), 4);
+        scorer.begin_event(100);
+        let score = scorer.score(&machine, &pet, &task_with_deadline(50));
+        assert_eq!(score.robustness, 0.0);
+        assert!(score.expected_completion.is_infinite());
+    }
+}

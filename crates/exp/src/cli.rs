@@ -1,0 +1,176 @@
+//! Argument parsing for the `hcsim-exp` binary, factored into the library
+//! so it is unit-testable.
+
+use crate::figures::{ALL_FIGURES, EXTRA_FIGURES};
+use crate::runner::FigOptions;
+use std::path::PathBuf;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Figure names to run, in order ("fig4" … "fig9", "levels", "ablate").
+    pub figures: Vec<String>,
+    /// Trial/seed/thread options.
+    pub opts: FigOptions,
+    /// Emit CSV to stdout instead of Markdown.
+    pub csv: bool,
+    /// Directory to write `<fig>.md` / `<fig>.csv` into.
+    pub out_dir: Option<PathBuf>,
+}
+
+/// CLI usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "usage: hcsim-exp <fig4|fig5|fig6|fig7|fig8|fig9|all|levels|ablate> [options]
+
+figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
+          'levels' sweeps all heuristics over six oversubscription levels;
+          'ablate' runs the design-choice ablation suite (see DESIGN.md)
+
+options:
+  --quick           5 trials x 300 tasks (smoke run)
+  --full            30 trials x 800 tasks (paper fidelity; the default)
+  --trials N        workload trials per data point
+  --tasks N         tasks per trial
+  --seed N          master seed (default 2019)
+  --threads N       worker threads (default: available parallelism)
+  --csv             print CSV instead of Markdown
+  --out DIR         write <fig>.md and <fig>.csv into DIR
+  -h, --help        this text"
+}
+
+/// Parses CLI arguments (excluding the binary name).
+///
+/// # Errors
+///
+/// Returns a human-readable message on invalid input; the empty string
+/// signals that help was requested.
+pub fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut figures = Vec::new();
+    let mut opts = FigOptions::default();
+    let mut csv = false;
+    let mut out_dir = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--quick" => {
+                opts = FigOptions { seed: opts.seed, threads: opts.threads, ..FigOptions::quick() }
+            }
+            "--full" => {
+                opts =
+                    FigOptions { seed: opts.seed, threads: opts.threads, ..FigOptions::default() }
+            }
+            "--csv" => csv = true,
+            "--trials" | "--tasks" | "--seed" | "--threads" | "--out" => {
+                let value = iter.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                match arg.as_str() {
+                    "--trials" => {
+                        opts.trials = value.parse().map_err(|_| format!("bad --trials {value}"))?
+                    }
+                    "--tasks" => {
+                        opts.num_tasks =
+                            value.parse().map_err(|_| format!("bad --tasks {value}"))?
+                    }
+                    "--seed" => {
+                        opts.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?
+                    }
+                    "--threads" => {
+                        opts.threads =
+                            value.parse().map_err(|_| format!("bad --threads {value}"))?
+                    }
+                    "--out" => out_dir = Some(PathBuf::from(value)),
+                    _ => unreachable!(),
+                }
+            }
+            "all" => figures.extend(ALL_FIGURES.iter().map(|s| (*s).to_string())),
+            "ablate" => figures.push("ablate".to_string()),
+            name if ALL_FIGURES.contains(&name) || EXTRA_FIGURES.contains(&name) => {
+                figures.push(name.to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if figures.is_empty() {
+        return Err("no figure selected".to_string());
+    }
+    if opts.trials == 0 || opts.num_tasks == 0 {
+        return Err("--trials and --tasks must be positive".to_string());
+    }
+    figures.dedup();
+    Ok(Cli { figures, opts, csv, out_dir })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_args(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn single_figure_defaults_to_full_fidelity() {
+        let cli = parse(&["fig7"]).unwrap();
+        assert_eq!(cli.figures, vec!["fig7"]);
+        assert_eq!(cli.opts.trials, 30);
+        assert_eq!(cli.opts.num_tasks, 800);
+        assert_eq!(cli.opts.seed, 2019);
+        assert!(!cli.csv);
+        assert!(cli.out_dir.is_none());
+    }
+
+    #[test]
+    fn all_expands_in_paper_order() {
+        let cli = parse(&["all"]).unwrap();
+        assert_eq!(cli.figures, vec!["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"]);
+    }
+
+    #[test]
+    fn extras_and_ablate_accepted() {
+        let cli = parse(&["levels", "ablate"]).unwrap();
+        assert_eq!(cli.figures, vec!["levels", "ablate"]);
+    }
+
+    #[test]
+    fn quick_preset_and_overrides_compose() {
+        let cli = parse(&["fig5", "--quick", "--trials", "7", "--seed", "99"]).unwrap();
+        assert_eq!(cli.opts.trials, 7, "explicit --trials overrides the preset");
+        assert_eq!(cli.opts.num_tasks, 300, "preset task count kept");
+        assert_eq!(cli.opts.seed, 99);
+    }
+
+    #[test]
+    fn csv_and_out_dir() {
+        let cli = parse(&["fig8", "--csv", "--out", "/tmp/x"]).unwrap();
+        assert!(cli.csv);
+        assert_eq!(cli.out_dir.unwrap(), PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn duplicate_adjacent_figures_deduped() {
+        let cli = parse(&["fig7", "fig7"]).unwrap();
+        assert_eq!(cli.figures, vec!["fig7"]);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&[]).unwrap_err().contains("no figure"));
+        assert!(parse(&["nope"]).unwrap_err().contains("unknown argument"));
+        assert!(parse(&["fig7", "--trials"]).unwrap_err().contains("requires a value"));
+        assert!(parse(&["fig7", "--trials", "x"]).unwrap_err().contains("bad --trials"));
+        assert!(parse(&["fig7", "--trials", "0"]).unwrap_err().contains("positive"));
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for name in ALL_FIGURES {
+            assert!(u.contains(name) || u.contains("fig4..fig9"), "{name} undocumented");
+        }
+        assert!(u.contains("levels"));
+        assert!(u.contains("ablate"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Tabular output: the rows/series each paper figure plots, rendered as
+//! Markdown (for humans) or CSV (for plotting tools).
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (e.g. "Fig. 7 — Robustness comparison").
+    pub title: String,
+    /// Free-form notes (configuration, caveats) printed under the title.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match `headers.len()`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: Vec<String>) -> Self {
+        Self { title: title.into(), notes: Vec::new(), headers, rows: Vec::new() }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Adds a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders GitHub-flavored Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "> {note}");
+        }
+        let _ = writeln!(out);
+
+        // Column widths for alignment.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}", w = *w))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", render_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "| {} |", sep.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", render_row(row));
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows; fields containing commas or quotes are
+    /// quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig. X — sample", vec!["a".into(), "b".into()]);
+        t.note("config: demo");
+        t.push_row(vec!["1".into(), "long value".into()]);
+        t.push_row(vec!["2222".into(), "y".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_structure() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("## Fig. X — sample"));
+        assert!(md.contains("> config: demo"));
+        assert!(md.contains("| a    | b          |"));
+        assert!(md.contains("| 2222 | y          |"));
+        // Header separator present.
+        assert!(md.contains("| ---- |"));
+    }
+
+    #[test]
+    fn csv_structure_and_escaping() {
+        let mut t = sample();
+        t.push_row(vec!["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "1,long value");
+        assert_eq!(lines[3], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Scenario definition and the parallel multi-trial runner.
+//!
+//! A [`Scenario`] pins everything §VII holds fixed within one data point:
+//! the system, the workload intensity, the heuristic, and the pruning
+//! parameters. [`Scenario::run`] executes `trials` independent workload
+//! trials (different arrival realizations from the same rate — §VII-A) in
+//! parallel and aggregates the paper's metrics with 95 % confidence
+//! intervals.
+//!
+//! Randomness layout (all from one master seed, independent of thread
+//! scheduling):
+//!
+//! * stream `(0)` — PET/system construction, shared by every scenario so
+//!   "the PET matrix remains constant across all of our experiments"
+//!   (§VI-A); the transcoding system uses stream `(1)`.
+//! * per trial `t`: `child(100 + t)` → stream 0 for arrivals, stream 1 for
+//!   actual execution times.
+
+use crate::parallel::parallel_map;
+use hcsim_core::{HeuristicKind, PruningConfig};
+use hcsim_model::SystemSpec;
+use hcsim_sim::{run_simulation, SimConfig};
+use hcsim_stats::{mean_ci95, ConfidenceInterval, SeedSequence};
+use hcsim_workload::{
+    specint_system, specint_system_with_model_error, transcode_system, WorkloadConfig,
+    WorkloadGenerator,
+};
+
+/// Which of the two evaluated HC systems a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// §VI-A: 12 SPECint-derived task types × 8 machines.
+    SpecInt,
+    /// §VII-G: 4 transcoding operations × 4 EC2 VM types.
+    Transcode,
+    /// The SPECint system with the PET built from means perturbed by the
+    /// given ± percentage (ground truth unchanged) — scheduler model
+    /// error, for the ablation harness.
+    SpecIntModelError(u8),
+}
+
+impl SystemKind {
+    /// Builds the system. The RNG stream index is fixed per kind so every
+    /// scenario sees the identical PET matrix.
+    #[must_use]
+    pub fn build(self, queue_capacity: usize, seeds: &SeedSequence) -> SystemSpec {
+        match self {
+            SystemKind::SpecInt => specint_system(queue_capacity, &mut seeds.stream(0)),
+            SystemKind::Transcode => transcode_system(queue_capacity, &mut seeds.stream(1)),
+            SystemKind::SpecIntModelError(pct) => specint_system_with_model_error(
+                queue_capacity,
+                f64::from(pct) / 100.0,
+                &mut seeds.stream(2),
+            ),
+        }
+    }
+}
+
+/// Global experiment options shared by every figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigOptions {
+    /// Workload trials per data point (paper: 30).
+    pub trials: usize,
+    /// Tasks per trial (paper: 800).
+    pub num_tasks: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for trial parallelism.
+    pub threads: usize,
+}
+
+impl Default for FigOptions {
+    fn default() -> Self {
+        Self {
+            trials: 30,
+            num_tasks: 800,
+            seed: 2019, // the paper's publication year
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        }
+    }
+}
+
+impl FigOptions {
+    /// Reduced preset for smoke runs (`--quick`).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { trials: 5, num_tasks: 300, ..Self::default() }
+    }
+}
+
+/// One data point's full configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label ("PAM @ 34k", "λ=0.9 schmitt", …).
+    pub label: String,
+    /// System to simulate.
+    pub system: SystemKind,
+    /// Machine-queue capacity (paper: 6).
+    pub queue_capacity: usize,
+    /// Workload parameters (oversubscription level, slack, …).
+    pub workload: WorkloadConfig,
+    /// Engine configuration (drop policy, trimming).
+    pub sim: SimConfig,
+    /// The heuristic under test.
+    pub heuristic: HeuristicKind,
+    /// Pruning parameters (consulted by PAM/PAMF).
+    pub pruning: PruningConfig,
+}
+
+impl Scenario {
+    /// A paper-default scenario for `heuristic` at the given
+    /// oversubscription level on the SPECint system.
+    #[must_use]
+    pub fn paper_default(heuristic: HeuristicKind, oversubscription: f64) -> Self {
+        Self {
+            label: format!("{} @ {}k", heuristic.name(), oversubscription / 1000.0),
+            system: SystemKind::SpecInt,
+            queue_capacity: 6,
+            workload: WorkloadConfig { oversubscription, ..Default::default() },
+            sim: SimConfig::default(),
+            heuristic,
+            pruning: PruningConfig::default(),
+        }
+    }
+
+    /// Runs all trials and aggregates.
+    #[must_use]
+    pub fn run(&self, opts: &FigOptions) -> Aggregate {
+        let started = std::time::Instant::now();
+        let seeds = SeedSequence::new(opts.seed);
+        let spec = self.system.build(self.queue_capacity, &seeds);
+        let workload = WorkloadConfig { num_tasks: opts.num_tasks, ..self.workload };
+        let generator = WorkloadGenerator::new(workload);
+
+        let outcomes: Vec<TrialOutcome> = parallel_map(opts.trials, opts.threads, |trial| {
+            let trial_seeds = seeds.child(100 + trial as u64);
+            let tasks = generator.generate(&spec, &mut trial_seeds.stream(0));
+            let mut mapper = self.heuristic.build(self.pruning);
+            let mut exec_rng = trial_seeds.stream(1);
+            let report = run_simulation(&spec, self.sim, &tasks, &mut mapper, &mut exec_rng);
+            let instr = hcsim_sim::Mapper::instrumentation(&mapper);
+            TrialOutcome {
+                robustness: report.metrics.pct_on_time,
+                useful: report.metrics.pct_useful,
+                approx: report.metrics.outcomes.approx,
+                type_variance: report.metrics.type_variance,
+                total_cost: report.total_cost,
+                cost_per_percent: report.cost_per_percent,
+                pruned: report.metrics.outcomes.pruned,
+                expired: report.metrics.outcomes.expired_unstarted
+                    + report.metrics.outcomes.expired_executing,
+                engaged_fraction: instr.map(|i| {
+                    if i.mapping_events == 0 {
+                        0.0
+                    } else {
+                        i.events_dropping_engaged as f64 / i.mapping_events as f64
+                    }
+                }),
+                toggle_transitions: instr.map(|i| i.toggle_transitions),
+            }
+        });
+
+        let mut agg = Aggregate::from_trials(&self.label, outcomes);
+        agg.wall_seconds = started.elapsed().as_secs_f64();
+        agg
+    }
+}
+
+/// Per-trial metrics extracted from a [`hcsim_sim::SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// % of counted tasks completed on time.
+    pub robustness: f64,
+    /// % of counted tasks delivering full or approximate results.
+    pub useful: f64,
+    /// Counted tasks completed approximately (§VIII extension).
+    pub approx: usize,
+    /// Variance of per-type completion percentages.
+    pub type_variance: f64,
+    /// Total incurred cost (USD).
+    pub total_cost: f64,
+    /// Cost / % on-time (`None` when robustness was 0 — "unchartable").
+    pub cost_per_percent: Option<f64>,
+    /// Counted tasks removed by the pruner.
+    pub pruned: usize,
+    /// Counted tasks that expired (unstarted or mid-execution).
+    pub expired: usize,
+    /// Fraction of mapping events with the dropping toggle engaged
+    /// (PAM/PAMF only).
+    pub engaged_fraction: Option<f64>,
+    /// On/off transitions of the dropping toggle (PAM/PAMF only).
+    pub toggle_transitions: Option<u64>,
+}
+
+/// Aggregated metrics over all trials of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Scenario label.
+    pub label: String,
+    /// Robustness (% on time), mean ± 95 % CI over trials.
+    pub robustness: ConfidenceInterval,
+    /// Service level including approximate completions, mean ± CI.
+    pub useful: ConfidenceInterval,
+    /// Mean approximate completions per trial.
+    pub mean_approx: f64,
+    /// Fairness variance, mean ± CI.
+    pub type_variance: ConfidenceInterval,
+    /// Total cost, mean ± CI.
+    pub total_cost: ConfidenceInterval,
+    /// Cost / % on-time over trials where it was chartable, with the count
+    /// of unchartable trials.
+    pub cost_per_percent: Option<ConfidenceInterval>,
+    /// Trials whose robustness was zero (cost metric unchartable).
+    pub unchartable_trials: usize,
+    /// Mean number of pruned tasks per trial.
+    pub mean_pruned: f64,
+    /// Mean fraction of mapping events with dropping engaged (PAM/PAMF).
+    pub mean_engaged_fraction: Option<f64>,
+    /// Mean dropping-toggle transitions per trial (PAM/PAMF).
+    pub mean_toggle_transitions: Option<f64>,
+    /// Wall-clock seconds spent running all trials of this scenario.
+    pub wall_seconds: f64,
+    /// Raw per-trial outcomes (for downstream analysis).
+    pub trials: Vec<TrialOutcome>,
+}
+
+impl Aggregate {
+    fn from_trials(label: &str, trials: Vec<TrialOutcome>) -> Self {
+        let robustness = mean_ci95(&trials.iter().map(|t| t.robustness).collect::<Vec<_>>());
+        let useful = mean_ci95(&trials.iter().map(|t| t.useful).collect::<Vec<_>>());
+        let mean_approx =
+            trials.iter().map(|t| t.approx as f64).sum::<f64>() / trials.len().max(1) as f64;
+        let type_variance =
+            mean_ci95(&trials.iter().map(|t| t.type_variance).collect::<Vec<_>>());
+        let total_cost = mean_ci95(&trials.iter().map(|t| t.total_cost).collect::<Vec<_>>());
+        let chartable: Vec<f64> = trials.iter().filter_map(|t| t.cost_per_percent).collect();
+        let unchartable_trials = trials.len() - chartable.len();
+        let cost_per_percent =
+            if chartable.is_empty() { None } else { Some(mean_ci95(&chartable)) };
+        let mean_pruned =
+            trials.iter().map(|t| t.pruned as f64).sum::<f64>() / trials.len().max(1) as f64;
+        let engaged: Vec<f64> = trials.iter().filter_map(|t| t.engaged_fraction).collect();
+        let mean_engaged_fraction = (!engaged.is_empty())
+            .then(|| engaged.iter().sum::<f64>() / engaged.len() as f64);
+        let toggles: Vec<f64> =
+            trials.iter().filter_map(|t| t.toggle_transitions.map(|v| v as f64)).collect();
+        let mean_toggle_transitions =
+            (!toggles.is_empty()).then(|| toggles.iter().sum::<f64>() / toggles.len() as f64);
+        Self {
+            label: label.to_string(),
+            robustness,
+            useful,
+            mean_approx,
+            type_variance,
+            total_cost,
+            cost_per_percent,
+            unchartable_trials,
+            mean_pruned,
+            mean_engaged_fraction,
+            mean_toggle_transitions,
+            wall_seconds: 0.0,
+            trials,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> FigOptions {
+        FigOptions { trials: 3, num_tasks: 120, seed: 7, threads: 2 }
+    }
+
+    #[test]
+    fn scenario_runs_and_aggregates() {
+        let scenario = Scenario::paper_default(HeuristicKind::Mm, 19_000.0);
+        let agg = scenario.run(&tiny_opts());
+        assert_eq!(agg.trials.len(), 3);
+        assert_eq!(agg.robustness.n, 3);
+        assert!(agg.robustness.mean >= 0.0 && agg.robustness.mean <= 100.0);
+        assert!(agg.total_cost.mean > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let scenario = Scenario::paper_default(HeuristicKind::Pam, 19_000.0);
+        let seq = scenario.run(&FigOptions { threads: 1, ..tiny_opts() });
+        let par = scenario.run(&FigOptions { threads: 4, ..tiny_opts() });
+        assert_eq!(seq.trials, par.trials, "trial results must not depend on scheduling");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scenario = Scenario::paper_default(HeuristicKind::Mm, 19_000.0);
+        let a = scenario.run(&tiny_opts());
+        let b = scenario.run(&FigOptions { seed: 8, ..tiny_opts() });
+        assert_ne!(a.trials, b.trials);
+    }
+
+    #[test]
+    fn systems_are_stable_across_scenarios() {
+        // The PET must be identical for every SpecInt scenario under one
+        // master seed (§VI-A: constant across all experiments).
+        let seeds = SeedSequence::new(7);
+        let a = SystemKind::SpecInt.build(6, &seeds);
+        let b = SystemKind::SpecInt.build(6, &seeds);
+        assert_eq!(a, b);
+        let t = SystemKind::Transcode.build(6, &seeds);
+        assert_eq!(t.num_machines(), 4);
+    }
+
+    #[test]
+    fn paper_default_labels() {
+        let s = Scenario::paper_default(HeuristicKind::Pamf, 34_000.0);
+        assert_eq!(s.label, "PAMF @ 34k");
+        assert_eq!(s.queue_capacity, 6);
+        assert_eq!(s.workload.num_tasks, 800);
+    }
+}

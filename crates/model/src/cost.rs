@@ -1,0 +1,194 @@
+//! Cloud pricing and machine-usage cost accounting (§VII-F).
+//!
+//! "To investigate the incurred cost of using resources, pricing from
+//! Amazon cloud VMs has been mapped to the machines in the simulation.
+//! Each machine's usage time is tracked. The price incurred to process the
+//! tasks is divided by the percentage of on-time tasks completed to provide
+//! a normalized view of the incurred costs in the system."
+
+use crate::{MachineId, Time};
+use serde::{Deserialize, Serialize};
+
+/// Per-machine prices in USD per hour of busy time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceTable {
+    usd_per_hour: Vec<f64>,
+}
+
+/// Number of simulation time units (milliseconds) per billed hour.
+const MS_PER_HOUR: f64 = 3_600_000.0;
+
+impl PriceTable {
+    /// Creates a price table from per-machine hourly prices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if any price is negative or non-finite.
+    #[must_use]
+    pub fn new(usd_per_hour: Vec<f64>) -> Self {
+        assert!(!usd_per_hour.is_empty(), "price table must cover at least one machine");
+        for &p in &usd_per_hour {
+            assert!(p.is_finite() && p >= 0.0, "prices must be finite and non-negative");
+        }
+        Self { usd_per_hour }
+    }
+
+    /// A uniform price for `machines` machines (useful in tests and as the
+    /// trivial baseline where cost is proportional to busy time).
+    #[must_use]
+    pub fn uniform(machines: usize, usd_per_hour: f64) -> Self {
+        Self::new(vec![usd_per_hour; machines])
+    }
+
+    /// Number of machines covered.
+    #[must_use]
+    pub fn machines(&self) -> usize {
+        self.usd_per_hour.len()
+    }
+
+    /// Hourly price of machine `m`.
+    #[must_use]
+    pub fn usd_per_hour(&self, m: MachineId) -> f64 {
+        self.usd_per_hour[m.index()]
+    }
+
+    /// Cost of `busy` time units on machine `m`.
+    #[must_use]
+    pub fn cost_of(&self, m: MachineId, busy: Time) -> f64 {
+        self.usd_per_hour(m) * busy as f64 / MS_PER_HOUR
+    }
+}
+
+/// Accumulates per-machine busy time during a simulation and prices it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostTracker {
+    busy: Vec<Time>,
+}
+
+impl CostTracker {
+    /// Creates a tracker for `machines` machines.
+    #[must_use]
+    pub fn new(machines: usize) -> Self {
+        Self { busy: vec![0; machines] }
+    }
+
+    /// Records `duration` time units of busy time on machine `m`.
+    pub fn record_busy(&mut self, m: MachineId, duration: Time) {
+        self.busy[m.index()] += duration;
+    }
+
+    /// Total busy time of machine `m`.
+    #[must_use]
+    pub fn busy_time(&self, m: MachineId) -> Time {
+        self.busy[m.index()]
+    }
+
+    /// Total busy time over all machines.
+    #[must_use]
+    pub fn total_busy_time(&self) -> Time {
+        self.busy.iter().sum()
+    }
+
+    /// Total incurred cost under `prices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the price table covers a different machine count.
+    #[must_use]
+    pub fn total_cost(&self, prices: &PriceTable) -> f64 {
+        assert_eq!(prices.machines(), self.busy.len(), "price table / tracker size mismatch");
+        self.busy
+            .iter()
+            .enumerate()
+            .map(|(m, &busy)| prices.cost_of(MachineId::from(m), busy))
+            .sum()
+    }
+
+    /// The paper's Fig. 8 metric: total cost divided by the *percentage*
+    /// of tasks completed on time. Returns `None` when the percentage is
+    /// zero (the paper calls these points "unchartable").
+    #[must_use]
+    pub fn cost_per_percent_on_time(
+        &self,
+        prices: &PriceTable,
+        percent_on_time: f64,
+    ) -> Option<f64> {
+        if percent_on_time <= 0.0 {
+            None
+        } else {
+            Some(self.total_cost(prices) / percent_on_time)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn price_lookup_and_cost() {
+        let prices = PriceTable::new(vec![3.6, 7.2]);
+        assert_eq!(prices.machines(), 2);
+        assert_eq!(prices.usd_per_hour(MachineId(1)), 7.2);
+        // 30 minutes on machine 0 at 3.6/h = 1.8.
+        assert!((prices.cost_of(MachineId(0), 1_800_000) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_table() {
+        let prices = PriceTable::uniform(4, 1.0);
+        for m in 0..4u16 {
+            assert_eq!(prices.usd_per_hour(MachineId(m)), 1.0);
+        }
+    }
+
+    #[test]
+    fn tracker_accumulates() {
+        let mut tracker = CostTracker::new(3);
+        tracker.record_busy(MachineId(0), 100);
+        tracker.record_busy(MachineId(0), 50);
+        tracker.record_busy(MachineId(2), 25);
+        assert_eq!(tracker.busy_time(MachineId(0)), 150);
+        assert_eq!(tracker.busy_time(MachineId(1)), 0);
+        assert_eq!(tracker.total_busy_time(), 175);
+    }
+
+    #[test]
+    fn total_cost_weights_by_machine_price() {
+        let prices = PriceTable::new(vec![3.6, 36.0]);
+        let mut tracker = CostTracker::new(2);
+        tracker.record_busy(MachineId(0), 1_000_000);
+        tracker.record_busy(MachineId(1), 1_000_000);
+        let want = 3.6 / 3.6 + 36.0 / 3.6; // 1 + 10
+        assert!((tracker.total_cost(&prices) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_per_percent_metric() {
+        let prices = PriceTable::uniform(1, 3.6);
+        let mut tracker = CostTracker::new(1);
+        tracker.record_busy(MachineId(0), 3_600_000); // exactly 3.6 USD
+        let normalized = tracker.cost_per_percent_on_time(&prices, 40.0).unwrap();
+        assert!((normalized - 0.09).abs() < 1e-12);
+        assert!(tracker.cost_per_percent_on_time(&prices, 0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn tracker_price_mismatch_panics() {
+        let tracker = CostTracker::new(2);
+        let _ = tracker.total_cost(&PriceTable::uniform(3, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_price_rejected() {
+        let _ = PriceTable::new(vec![-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_price_table_rejected() {
+        let _ = PriceTable::new(vec![]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Strongly-typed identifiers.
+//!
+//! Index-style newtypes keep task types, machines, and task instances from
+//! being mixed up at compile time; all are plain indices into the vectors
+//! held by [`crate::SystemSpec`] and the simulator.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! index_id {
+    ($(#[$doc:meta])* $name:ident($repr:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The identifier as a `usize` index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v as $repr)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+index_id! {
+    /// Identifies a task *type* (a row of the PET matrix).
+    TaskTypeId(u16)
+}
+
+index_id! {
+    /// Identifies a machine (a column of the PET matrix). Machines are
+    /// individually heterogeneous, so machine identity and machine type
+    /// coincide in this model.
+    MachineId(u16)
+}
+
+index_id! {
+    /// Identifies a task *instance* within one workload.
+    TaskId(u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let t = TaskTypeId::from(3usize);
+        assert_eq!(t.index(), 3);
+        let m: MachineId = 7u16.into();
+        assert_eq!(m.index(), 7);
+        let id = TaskId(41);
+        assert_eq!(id.index(), 41);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TaskTypeId(2).to_string(), "TaskTypeId2");
+        assert_eq!(MachineId(0).to_string(), "MachineId0");
+        assert_eq!(TaskId(9).to_string(), "TaskId9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(TaskId(1));
+        set.insert(TaskId(1));
+        set.insert(TaskId(2));
+        assert_eq!(set.len(), 2);
+        assert!(TaskId(1) < TaskId(2));
+    }
+}

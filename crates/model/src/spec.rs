@@ -1,0 +1,133 @@
+//! The assembled system specification handed to the simulator.
+
+use crate::{GroundTruth, PetMatrix, PriceTable};
+use serde::{Deserialize, Serialize};
+
+/// One machine of the HC system.
+///
+/// Machines in this model are *individually* heterogeneous (§VI-A uses
+/// eight distinct physical machines), so there is no separate machine-type
+/// layer: a machine's identity is its PET column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable name (e.g. the benchmark machine it emulates).
+    pub name: String,
+}
+
+/// One task type of the HC system (a PET row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTypeSpec {
+    /// Human-readable name (e.g. the SPECint benchmark or transcoding
+    /// operation it represents).
+    pub name: String,
+}
+
+/// Everything static about an HC system: machines, task types, the PET
+/// matrix the scheduler consults, the ground truth the simulator samples,
+/// prices, and the machine-queue capacity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// The machines (PET columns).
+    pub machines: Vec<MachineSpec>,
+    /// The task types (PET rows).
+    pub task_types: Vec<TaskTypeSpec>,
+    /// The scheduler's probabilistic execution-time model.
+    pub pet: PetMatrix,
+    /// The distributions actual execution times are drawn from.
+    pub truth: GroundTruth,
+    /// Cloud prices for the cost experiments.
+    pub prices: PriceTable,
+    /// Machine-queue capacity *including* the executing task (§VII-A:
+    /// "a machine-queue size of six, counting the executing task").
+    pub queue_capacity: usize,
+}
+
+impl SystemSpec {
+    /// Validates internal consistency; returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension disagrees (PET vs ground truth vs machine
+    /// list vs price table) or the queue capacity is zero.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        assert_eq!(self.pet.machines(), self.machines.len(), "PET machine count");
+        assert_eq!(self.pet.task_types(), self.task_types.len(), "PET task type count");
+        assert_eq!(self.truth.machines(), self.machines.len(), "truth machine count");
+        assert_eq!(self.truth.task_types(), self.task_types.len(), "truth task type count");
+        assert_eq!(self.prices.machines(), self.machines.len(), "price table size");
+        assert!(self.queue_capacity >= 1, "queue capacity must include the executing slot");
+        self
+    }
+
+    /// Number of machines.
+    #[must_use]
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of task types.
+    #[must_use]
+    pub fn num_task_types(&self) -> usize {
+        self.task_types.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PetBuilder;
+    use hcsim_stats::SeedSequence;
+
+    fn spec() -> SystemSpec {
+        let mut rng = SeedSequence::new(1).stream(0);
+        let means = vec![vec![50.0, 100.0], vec![120.0, 60.0]];
+        let (pet, truth) = PetBuilder::new().build(&means, &mut rng);
+        SystemSpec {
+            machines: vec![
+                MachineSpec { name: "m0".into() },
+                MachineSpec { name: "m1".into() },
+            ],
+            task_types: vec![
+                TaskTypeSpec { name: "t0".into() },
+                TaskTypeSpec { name: "t1".into() },
+            ],
+            pet,
+            truth,
+            prices: PriceTable::uniform(2, 1.0),
+            queue_capacity: 6,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        let s = spec().validated();
+        assert_eq!(s.num_machines(), 2);
+        assert_eq!(s.num_task_types(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "price table size")]
+    fn price_mismatch_caught() {
+        let mut s = spec();
+        s.prices = PriceTable::uniform(3, 1.0);
+        let _ = s.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "PET machine count")]
+    fn machine_count_mismatch_caught() {
+        let mut s = spec();
+        s.machines.push(MachineSpec { name: "extra".into() });
+        s.prices = PriceTable::uniform(3, 1.0);
+        let _ = s.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_capacity_caught() {
+        let mut s = spec();
+        s.queue_capacity = 0;
+        let _ = s.validated();
+    }
+}

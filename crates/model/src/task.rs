@@ -1,0 +1,162 @@
+//! Task instances and their lifecycle outcomes.
+
+use crate::{MachineId, TaskId, TaskTypeId, Time};
+use serde::{Deserialize, Serialize};
+
+/// A task instance: an arrival of one task type with a hard deadline.
+///
+/// §III: "Each task is considered to have a hard individual deadline, past
+/// which, no value remains in executing the task."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique id within the workload.
+    pub id: TaskId,
+    /// The task's type (PET matrix row).
+    pub type_id: TaskTypeId,
+    /// Arrival time α.
+    pub arrival: Time,
+    /// Hard deadline δ.
+    pub deadline: Time,
+}
+
+impl Task {
+    /// Remaining slack at `now`: `δ − now`, or zero if the deadline has
+    /// passed.
+    #[must_use]
+    pub fn slack_at(&self, now: Time) -> Time {
+        self.deadline.saturating_sub(now)
+    }
+
+    /// True when the deadline has passed at `now` (a task due exactly now
+    /// can still complete on time).
+    #[must_use]
+    pub fn is_expired_at(&self, now: Time) -> bool {
+        now > self.deadline
+    }
+}
+
+/// Terminal state of a task in one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOutcome {
+    /// Completed at or before its deadline — the success the robustness
+    /// metric counts.
+    CompletedOnTime,
+    /// Completed after its deadline (only possible under
+    /// [`hcsim_pmf::DropPolicy::None`] / `PendingOnly`, where an executing
+    /// task may run past its deadline).
+    CompletedLate,
+    /// Evicted at its deadline but far enough along to deliver a degraded
+    /// result (the paper's §VIII "approximately compute tasks" future
+    /// work; enabled via `SimConfig::approx_min_progress`). Not a
+    /// robustness success, but counted separately as salvaged service.
+    CompletedApprox,
+    /// Removed from the batch queue or a machine queue because its deadline
+    /// passed before it could start.
+    ExpiredUnstarted,
+    /// Evicted mid-execution when its deadline passed.
+    ExpiredExecuting,
+    /// Removed by the pruning mechanism's probabilistic dropper while
+    /// pending in a machine queue.
+    PrunedDropped,
+    /// Still in the batch queue when the simulation ended (deadline not yet
+    /// reached); counted as unsuccessful.
+    Unfinished,
+}
+
+impl TaskOutcome {
+    /// True only for [`TaskOutcome::CompletedOnTime`].
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        matches!(self, TaskOutcome::CompletedOnTime)
+    }
+
+    /// True when the task consumed machine time (it started executing).
+    /// (A pruner eviction mid-execution also consumes machine time; that
+    /// case is visible through [`TaskRecord::machine_time`] instead.)
+    #[must_use]
+    pub fn consumed_machine_time(self) -> bool {
+        matches!(
+            self,
+            TaskOutcome::CompletedOnTime
+                | TaskOutcome::CompletedLate
+                | TaskOutcome::CompletedApprox
+                | TaskOutcome::ExpiredExecuting
+        )
+    }
+}
+
+/// Full per-task record emitted by the simulator for analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task.
+    pub task: Task,
+    /// Terminal outcome.
+    pub outcome: TaskOutcome,
+    /// Machine the task ran on (if it started executing).
+    pub machine: Option<MachineId>,
+    /// Time execution began, if it did.
+    pub started_at: Option<Time>,
+    /// Time the task left the system (completion, eviction, or drop).
+    pub finished_at: Time,
+    /// Machine time consumed (execution until completion or eviction).
+    pub machine_time: Time,
+}
+
+impl TaskRecord {
+    /// Convenience: the task completed at or before its deadline.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_success()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(arrival: Time, deadline: Time) -> Task {
+        Task { id: TaskId(0), type_id: TaskTypeId(0), arrival, deadline }
+    }
+
+    #[test]
+    fn slack_saturates() {
+        let t = task(0, 100);
+        assert_eq!(t.slack_at(40), 60);
+        assert_eq!(t.slack_at(100), 0);
+        assert_eq!(t.slack_at(150), 0);
+    }
+
+    #[test]
+    fn expiry_is_strict() {
+        let t = task(0, 100);
+        assert!(!t.is_expired_at(99));
+        assert!(!t.is_expired_at(100), "due exactly now can still succeed");
+        assert!(t.is_expired_at(101));
+    }
+
+    #[test]
+    fn outcome_success_classification() {
+        assert!(TaskOutcome::CompletedOnTime.is_success());
+        for o in [
+            TaskOutcome::CompletedLate,
+            TaskOutcome::CompletedApprox,
+            TaskOutcome::ExpiredUnstarted,
+            TaskOutcome::ExpiredExecuting,
+            TaskOutcome::PrunedDropped,
+            TaskOutcome::Unfinished,
+        ] {
+            assert!(!o.is_success(), "{o:?}");
+        }
+    }
+
+    #[test]
+    fn outcome_machine_time_classification() {
+        assert!(TaskOutcome::CompletedOnTime.consumed_machine_time());
+        assert!(TaskOutcome::CompletedLate.consumed_machine_time());
+        assert!(TaskOutcome::CompletedApprox.consumed_machine_time());
+        assert!(TaskOutcome::ExpiredExecuting.consumed_machine_time());
+        assert!(!TaskOutcome::ExpiredUnstarted.consumed_machine_time());
+        assert!(!TaskOutcome::PrunedDropped.consumed_machine_time());
+        assert!(!TaskOutcome::Unfinished.consumed_machine_time());
+    }
+}

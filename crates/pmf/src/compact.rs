@@ -1,0 +1,224 @@
+//! Impulse aggregation ("compaction").
+//!
+//! §IV of the paper notes that the convolution overhead "can be mitigated
+//! … by aggregating impulses". Without aggregation, convolving a machine
+//! queue of depth 6 multiplies impulse counts geometrically; with it, every
+//! intermediate PMF is capped at a configurable budget.
+//!
+//! Strategy: *mass-quantile* grouping. The sorted impulse list is walked
+//! once, cutting a new group whenever the accumulated mass reaches the next
+//! multiple of `total / max_impulses`. Each group is replaced by a single
+//! impulse at the group's mass-weighted mean time (rounded to the grid).
+//!
+//! Properties, verified by the tests below and crate-level proptests:
+//! * total mass is preserved exactly (group masses are sums);
+//! * the mean moves by at most half a grid unit per group (rounding);
+//! * impulse count after compaction is `<= max_impulses`;
+//! * the operation is deterministic and order-preserving.
+
+use crate::pmf::{merge_sorted_duplicates, Impulse};
+
+/// Compacts `impulses` (sorted, merged) down to at most `max_impulses`
+/// entries in place. `max_impulses` of zero is treated as one.
+pub(crate) fn compact_in_place(impulses: &mut Vec<Impulse>, max_impulses: usize) {
+    let max = max_impulses.max(1);
+    if impulses.len() <= max {
+        return;
+    }
+    let total: f64 = impulses.iter().map(|i| i.p).sum();
+    if total <= 0.0 {
+        // Zero-mass PMFs cannot arise through public constructors, but be
+        // defensive: collapse to the first impulse.
+        impulses.truncate(1);
+        return;
+    }
+    let quantum = total / max as f64;
+
+    let mut out: Vec<Impulse> = Vec::with_capacity(max);
+    let mut group_mass = 0.0f64;
+    let mut group_sum_tp = 0.0f64; // Σ t·p within the group
+    let mut cum = 0.0f64; // running mass over all emitted + current group
+    let mut next_cut = quantum;
+
+    for imp in impulses.iter() {
+        group_mass += imp.p;
+        group_sum_tp += imp.t as f64 * imp.p;
+        cum += imp.p;
+        // Close the group once we cross the next quantile boundary.
+        // (A single heavy impulse may span several boundaries; it still
+        // produces one group, which only helps the budget.)
+        if cum + 1e-15 >= next_cut {
+            let t = (group_sum_tp / group_mass).round() as u64;
+            out.push(Impulse { t, p: group_mass });
+            group_mass = 0.0;
+            group_sum_tp = 0.0;
+            while next_cut <= cum + 1e-15 {
+                next_cut += quantum;
+            }
+        }
+    }
+    if group_mass > 0.0 {
+        let t = (group_sum_tp / group_mass).round() as u64;
+        out.push(Impulse { t, p: group_mass });
+    }
+
+    // Weighted-mean rounding can make adjacent groups collide on a time.
+    merge_sorted_duplicates(&mut out);
+    debug_assert!(out.len() <= max, "compaction produced {} > {max}", out.len());
+    *impulses = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Pmf;
+
+    fn uniform(n: u64) -> Pmf {
+        let p = 1.0 / n as f64;
+        Pmf::from_points(&(1..=n).map(|t| (t, p)).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn noop_below_budget() {
+        let mut p = uniform(8);
+        let before = p.clone();
+        p.compact(16);
+        assert_eq!(p, before);
+        p.compact(8);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn reduces_to_budget() {
+        for &(n, max) in &[(100u64, 10usize), (64, 16), (1000, 32), (7, 2), (50, 1)] {
+            let mut p = uniform(n);
+            p.compact(max);
+            assert!(p.len() <= max, "n={n} max={max} got {}", p.len());
+        }
+    }
+
+    #[test]
+    fn preserves_total_mass() {
+        let mut p = uniform(257);
+        let mass_before = p.mass();
+        p.compact(12);
+        assert!((p.mass() - mass_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approximately_preserves_mean() {
+        let mut p = uniform(1000);
+        let mean_before = p.mean();
+        p.compact(16);
+        // Weighted-mean grouping: rounding shifts each group's center by at
+        // most 0.5 time units.
+        assert!((p.mean() - mean_before).abs() <= 0.5, "mean drifted {}", p.mean() - mean_before);
+    }
+
+    #[test]
+    fn heavy_impulse_survives() {
+        // One impulse carries 90% of the mass; compaction must keep it
+        // essentially in place.
+        let mut p = Pmf::from_points(&[(10, 0.9), (100, 0.02), (200, 0.02), (300, 0.02), (400, 0.02), (500, 0.02)]).unwrap();
+        p.compact(3);
+        assert!(p.len() <= 3);
+        // The dominant mass should remain near t=10.
+        assert!(p.cdf_at(20) >= 0.9 - 1e-12, "cdf(20) = {}", p.cdf_at(20));
+    }
+
+    #[test]
+    fn budget_one_collapses_to_mean() {
+        let mut p = Pmf::from_points(&[(10, 0.5), (20, 0.5)]).unwrap();
+        p.compact(1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.impulses()[0].t, 15);
+        assert!((p.mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_zero_treated_as_one() {
+        let mut p = uniform(10);
+        p.compact(0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = uniform(333);
+        let mut b = uniform(333);
+        a.compact(20);
+        b.compact(20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unnormalized_input_supported() {
+        // Sub-distributions (mass < 1) occur mid-computation in Eq. 3-4.
+        let mut p = Pmf::from_points(&[(1, 0.1), (2, 0.1), (3, 0.1), (4, 0.1)]).unwrap();
+        p.compact(2);
+        assert!(p.len() <= 2);
+        assert!((p.mass() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_times_after_compaction() {
+        let mut p = uniform(500);
+        p.compact(25);
+        let times: Vec<_> = p.impulses().iter().map(|i| i.t).collect();
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    mod props {
+        use crate::Pmf;
+        use proptest::prelude::*;
+
+        fn arb_pmf() -> impl Strategy<Value = Pmf> {
+            prop::collection::vec((0u64..5_000, 0.001f64..1.0), 2..200).prop_map(|pts| {
+                let mut p = Pmf::from_points(&pts).unwrap();
+                p.normalize();
+                p
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn budget_mass_and_order_hold(p in arb_pmf(), max in 1usize..64) {
+                let mut c = p.clone();
+                c.compact(max);
+                prop_assert!(c.len() <= max);
+                prop_assert!((c.mass() - p.mass()).abs() < 1e-9);
+                for w in c.impulses().windows(2) {
+                    prop_assert!(w[0].t < w[1].t);
+                }
+            }
+
+            #[test]
+            fn cdf_error_is_bounded_by_group_mass(p in arb_pmf(), max in 2usize..64) {
+                // Mass only moves within a group; a group holds at most
+                // quantum + the heaviest single impulse of mass, plus the
+                // half-unit rounding of the group center. The CDF at any
+                // probe point can therefore shift by at most that much.
+                let mut c = p.clone();
+                c.compact(max);
+                let max_imp =
+                    p.impulses().iter().map(|i| i.p).fold(0.0f64, f64::max);
+                let bound = p.mass() / max as f64 + max_imp + 1e-9;
+                for probe in [0u64, 100, 500, 1_000, 2_500, 5_000, 10_000] {
+                    let err = (c.cdf_at(probe) - p.cdf_at(probe)).abs();
+                    prop_assert!(
+                        err <= bound,
+                        "cdf error {err} exceeds bound {bound} at t={probe} (max={max})"
+                    );
+                }
+            }
+
+            #[test]
+            fn mean_within_one_time_unit(p in arb_pmf(), max in 2usize..64) {
+                let mut c = p.clone();
+                c.compact(max);
+                prop_assert!((c.mean() - p.mean()).abs() <= 1.0);
+            }
+        }
+    }
+}

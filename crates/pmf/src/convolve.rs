@@ -1,0 +1,499 @@
+//! Completion-time convolution under the paper's three dropping scenarios.
+//!
+//! §IV: given the availability PMF of a machine queue position (`PCT(i−1)`,
+//! when the machine becomes free for task *i*) and the execution-time PMF
+//! `PET(i)`, the completion time `PCT(i)` of task *i* is:
+//!
+//! * **Eq. 2** — [`DropPolicy::None`]: plain convolution; every mapped task
+//!   runs to completion.
+//! * **Eq. 3–4** — [`DropPolicy::PendingOnly`]: starts at or after the
+//!   deadline δᵢ are impossible (the pending task is dropped once its
+//!   deadline passes), so impulses of `PCT(i−1)` at `t >= δᵢ` are excluded
+//!   from the convolution and added back verbatim as *carry-over*: the
+//!   machine frees up when task i−1 finishes and task i vanishes.
+//! * **Eq. 5** — [`DropPolicy::All`]: additionally, a task still executing
+//!   at δᵢ is evicted, so all of task i's own completion mass after δᵢ is
+//!   aggregated onto the impulse at δᵢ (the machine is guaranteed free by
+//!   then); carry-over mass is unaffected.
+//!
+//! A task's **robustness** (Eq. 1) is the probability it completes by its
+//! deadline: the CDF of its *own* completion mass at δᵢ — carry-over mass
+//! (the machine freeing up because the task was dropped) never counts as
+//! success. [`queue_step`] returns both quantities separately so callers
+//! cannot conflate them.
+
+use crate::pmf::{merge_sorted_duplicates, Impulse, Pmf};
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// Which tasks may be dropped when their deadline passes (§IV scenarios
+/// A/B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DropPolicy {
+    /// Scenario A: no dropping; all mapped tasks execute to completion.
+    None,
+    /// Scenario B: pending (not yet executing) tasks are dropped at their
+    /// deadline.
+    PendingOnly,
+    /// Scenario C: any task, including the executing one, is dropped
+    /// (evicted) at its deadline. This is the mode the paper's pruning
+    /// mechanism operates in.
+    #[default]
+    All,
+}
+
+/// Reusable scratch buffer for convolution, keeping the hot mapping loop
+/// allocation-free apart from the output PMF itself.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    buf: Vec<Impulse>,
+}
+
+impl ConvScratch {
+    /// Creates an empty scratch buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch buffer with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+}
+
+/// Plain convolution (Eq. 2): the distribution of `A + B` for independent
+/// `A ~ a`, `B ~ b`. Masses multiply, so `mass(out) = mass(a) · mass(b)`.
+#[must_use]
+pub fn convolve(a: &Pmf, b: &Pmf) -> Pmf {
+    let mut scratch = ConvScratch::with_capacity(a.len() * b.len());
+    convolve_into(a, b, &mut scratch)
+}
+
+/// [`convolve`] with a caller-provided scratch buffer.
+pub fn convolve_into(a: &Pmf, b: &Pmf, scratch: &mut ConvScratch) -> Pmf {
+    let buf = &mut scratch.buf;
+    buf.clear();
+    buf.reserve(a.len() * b.len());
+    for ia in a.impulses() {
+        for ib in b.impulses() {
+            buf.push(Impulse { t: ia.t + ib.t, p: ia.p * ib.p });
+        }
+    }
+    buf.sort_unstable_by_key(|i| i.t);
+    merge_sorted_duplicates(buf);
+    Pmf::from_sorted_unchecked(buf.clone())
+}
+
+/// Result of appending one task behind a machine-queue position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueStep {
+    /// The task's own completion-time mass. `None` when the task can never
+    /// start before its deadline (all availability mass lies at `t >= δ`).
+    /// Under [`DropPolicy::None`] this is the full Eq. 2 convolution; under
+    /// B/C it is the deadline-truncated convolution of Eq. 3–4 and is
+    /// generally sub-normalized.
+    pub completion: Option<Pmf>,
+    /// When the machine becomes free *after* this queue position — the PMF
+    /// to chain into the next task's [`queue_step`]. Includes carry-over
+    /// mass under B/C, and the Eq. 5 deadline aggregation under C.
+    pub availability: Pmf,
+    /// Eq. 1 robustness: probability the task completes at or before its
+    /// deadline.
+    pub robustness: f64,
+}
+
+/// Computes completion and availability PMFs for a task with execution PMF
+/// `exec` and deadline `deadline`, queued behind availability `avail`,
+/// under the given [`DropPolicy`].
+///
+/// Execution times of zero are legal but make scenario A's robustness
+/// differ from B/C's (a task could "start" exactly at its deadline and
+/// still finish); the workload layer never produces them.
+#[must_use]
+pub fn queue_step(avail: &Pmf, exec: &Pmf, deadline: Time, policy: DropPolicy) -> QueueStep {
+    let mut scratch = ConvScratch::new();
+    queue_step_into(avail, exec, deadline, policy, &mut scratch)
+}
+
+/// [`queue_step`] with a caller-provided scratch buffer.
+pub fn queue_step_into(
+    avail: &Pmf,
+    exec: &Pmf,
+    deadline: Time,
+    policy: DropPolicy,
+    scratch: &mut ConvScratch,
+) -> QueueStep {
+    match policy {
+        DropPolicy::None => {
+            let completion = convolve_into(avail, exec, scratch);
+            let robustness = completion.cdf_at(deadline);
+            QueueStep { availability: completion.clone(), completion: Some(completion), robustness }
+        }
+        DropPolicy::PendingOnly | DropPolicy::All => {
+            // Eq. 3: only starts strictly before δ are possible.
+            let (startable, carryover) = avail.partition_at(deadline);
+            let completion = startable.map(|s| convolve_into(&s, exec, scratch));
+            let robustness = completion.as_ref().map_or(0.0, |c| c.cdf_at(deadline));
+            let availability = match (&completion, carryover) {
+                (Some(c), carry) => {
+                    let mut a = c.clone();
+                    if policy == DropPolicy::All {
+                        // Eq. 5: the task is evicted at δ, so its own
+                        // completion mass cannot extend past δ — aggregate
+                        // it onto the impulse at δ.
+                        a.clamp_above(deadline);
+                    }
+                    if let Some(carry) = carry {
+                        // Eq. 4's second branch: for t >= δ, add the
+                        // predecessor's impulses — the machine frees when
+                        // task i−1 finishes and task i is dropped.
+                        a.superpose(&carry);
+                    }
+                    a
+                }
+                (None, Some(carry)) => carry,
+                (None, None) => unreachable!("partition of a non-empty PMF has a non-empty side"),
+            };
+            QueueStep { completion, availability, robustness }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmf(points: &[(Time, f64)]) -> Pmf {
+        Pmf::from_points(points).unwrap()
+    }
+
+    fn assert_pmf_eq(actual: &Pmf, expected: &[(Time, f64)]) {
+        assert_eq!(actual.len(), expected.len(), "impulse count: {actual:?} vs {expected:?}");
+        for (imp, &(t, p)) in actual.impulses().iter().zip(expected) {
+            assert_eq!(imp.t, t, "time mismatch in {actual:?}");
+            assert!((imp.p - p).abs() < 1e-12, "mass at t={t}: {} vs {p}", imp.p);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Paper Figure 2: PET of arriving task i (δ=7) convolved with the PCT
+    // of the last task on machine queue j.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn paper_fig2_convolution() {
+        let pct_prev = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
+        let pet = pmf(&[(1, 0.50), (2, 0.25), (3, 0.25)]);
+        let pct = convolve(&pct_prev, &pet);
+        assert_pmf_eq(
+            &pct,
+            &[(4, 0.125), (5, 0.3125), (6, 0.3125), (7, 0.1875), (8, 0.0625)],
+        );
+        // Eq. 1 robustness at δ=7.
+        assert!((pct.cdf_at(7) - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_commutes_fig2() {
+        let a = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
+        let b = pmf(&[(1, 0.50), (2, 0.25), (3, 0.25)]);
+        assert_eq!(convolve(&a, &b), convolve(&b, &a));
+    }
+
+    // ------------------------------------------------------------------
+    // Paper Figure 3: effect of task i's completion-PMF skewness on the
+    // robustness of task i+1 (exec {1:.25, 2:.5, 3:.25}, δ_{i+1} = 5).
+    // All three task-i PMFs have robustness 0.75 at δ_i = 3.
+    // ------------------------------------------------------------------
+
+    const FIG3_EXEC: &[(Time, f64)] = &[(1, 0.25), (2, 0.50), (3, 0.25)];
+
+    #[test]
+    fn paper_fig3a_no_skew() {
+        let pct_i = pmf(&[(2, 0.25), (3, 0.50), (4, 0.25)]);
+        assert!((pct_i.cdf_at(3) - 0.75).abs() < 1e-12);
+        assert!(pct_i.skewness().abs() < 1e-12);
+        let pct_next = convolve(&pct_i, &pmf(FIG3_EXEC));
+        assert_pmf_eq(
+            &pct_next,
+            &[(3, 0.0625), (4, 0.25), (5, 0.375), (6, 0.25), (7, 0.0625)],
+        );
+        assert!((pct_next.cdf_at(5) - 0.6875).abs() < 1e-12, "Fig 3(a): 0.6875 robust");
+    }
+
+    #[test]
+    fn paper_fig3b_left_skew_hurts_successor() {
+        let pct_i = pmf(&[(2, 0.15), (3, 0.60), (4, 0.25)]);
+        assert!((pct_i.cdf_at(3) - 0.75).abs() < 1e-12);
+        assert!(pct_i.skewness() < 0.0, "left skew");
+        let pct_next = convolve(&pct_i, &pmf(FIG3_EXEC));
+        assert_pmf_eq(
+            &pct_next,
+            &[(3, 0.0375), (4, 0.225), (5, 0.4), (6, 0.275), (7, 0.0625)],
+        );
+        assert!((pct_next.cdf_at(5) - 0.6625).abs() < 1e-12, "Fig 3(b): 0.6625 robust");
+    }
+
+    #[test]
+    fn paper_fig3c_right_skew_helps_successor() {
+        let pct_i = pmf(&[(2, 0.50), (3, 0.25), (4, 0.25)]);
+        assert!((pct_i.cdf_at(3) - 0.75).abs() < 1e-12);
+        assert!(pct_i.skewness() > 0.0, "right skew");
+        let pct_next = convolve(&pct_i, &pmf(FIG3_EXEC));
+        assert_pmf_eq(
+            &pct_next,
+            &[(3, 0.125), (4, 0.3125), (5, 0.3125), (6, 0.1875), (7, 0.0625)],
+        );
+        assert!((pct_next.cdf_at(5) - 0.75).abs() < 1e-12, "Fig 3(c): 0.75 robust");
+    }
+
+    #[test]
+    fn fig3_ordering_matches_paper_narrative() {
+        // Positive skew propagates benefit; negative skew propagates harm.
+        let exec = pmf(FIG3_EXEC);
+        let r = |points: &[(Time, f64)]| convolve(&pmf(points), &exec).cdf_at(5);
+        let none = r(&[(2, 0.25), (3, 0.50), (4, 0.25)]);
+        let left = r(&[(2, 0.15), (3, 0.60), (4, 0.25)]);
+        let right = r(&[(2, 0.50), (3, 0.25), (4, 0.25)]);
+        assert!(right > none && none > left);
+    }
+
+    // ------------------------------------------------------------------
+    // Eq. 2-5 queue_step semantics.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn policy_none_matches_plain_convolution() {
+        let avail = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
+        let exec = pmf(&[(1, 0.50), (2, 0.25), (3, 0.25)]);
+        let step = queue_step(&avail, &exec, 7, DropPolicy::None);
+        assert_eq!(step.completion.as_ref().unwrap(), &convolve(&avail, &exec));
+        assert_eq!(&step.availability, step.completion.as_ref().unwrap());
+        assert!((step.robustness - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pending_only_excludes_late_starts() {
+        // Availability straddles the deadline: starts at 3 (ok) and 8 (too
+        // late; the pending task is dropped).
+        let avail = pmf(&[(3, 0.6), (8, 0.4)]);
+        let exec = pmf(&[(2, 1.0)]);
+        let step = queue_step(&avail, &exec, 6, DropPolicy::PendingOnly);
+        // Completion only from the start at 3: finish at 5 with mass .6.
+        let completion = step.completion.as_ref().unwrap();
+        assert_pmf_eq(completion, &[(5, 0.6)]);
+        assert!((step.robustness - 0.6).abs() < 1e-12);
+        // Availability = completion + carry-over at t=8.
+        assert_pmf_eq(&step.availability, &[(5, 0.6), (8, 0.4)]);
+        assert!(step.availability.is_normalized());
+    }
+
+    #[test]
+    fn pending_only_start_at_deadline_is_dropped() {
+        // Eq. 3 requires start strictly before δ: a start exactly at δ is a
+        // drop (the deadline has passed when it would begin).
+        let avail = pmf(&[(6, 1.0)]);
+        let exec = pmf(&[(1, 1.0)]);
+        let step = queue_step(&avail, &exec, 6, DropPolicy::PendingOnly);
+        assert!(step.completion.is_none());
+        assert_eq!(step.robustness, 0.0);
+        assert_pmf_eq(&step.availability, &[(6, 1.0)]);
+    }
+
+    #[test]
+    fn all_policy_aggregates_completion_tail_at_deadline() {
+        // Start at 3 always; exec 2 or 6 → completion at 5 (ok) or 9
+        // (evicted at δ=6, machine free at 6).
+        let avail = pmf(&[(3, 1.0)]);
+        let exec = pmf(&[(2, 0.5), (6, 0.5)]);
+        let step = queue_step(&avail, &exec, 6, DropPolicy::All);
+        assert!((step.robustness - 0.5).abs() < 1e-12);
+        assert_pmf_eq(&step.availability, &[(5, 0.5), (6, 0.5)]);
+        // Completion (pre-aggregation, Eq. 4) keeps the true finish times.
+        assert_pmf_eq(step.completion.as_ref().unwrap(), &[(5, 0.5), (9, 0.5)]);
+    }
+
+    #[test]
+    fn all_policy_carryover_survives_past_deadline() {
+        // Machine may free at 9 (> δ=6) because the *predecessor* runs
+        // long; that mass stays at 9 (the predecessor is not evicted at
+        // OUR deadline).
+        let avail = pmf(&[(3, 0.5), (9, 0.5)]);
+        let exec = pmf(&[(10, 1.0)]);
+        let step = queue_step(&avail, &exec, 6, DropPolicy::All);
+        assert_eq!(step.robustness, 0.0);
+        // Start at 3 → would finish at 13 → evicted at 6; carry-over at 9.
+        assert_pmf_eq(&step.availability, &[(6, 0.5), (9, 0.5)]);
+    }
+
+    #[test]
+    fn robustness_identical_across_policies_for_positive_exec() {
+        // With exec times >= 1, late starts can never produce on-time
+        // completions, so Eq. 1 robustness is policy-independent; the
+        // policies differ only in the availability seen by LATER tasks.
+        let avail = pmf(&[(2, 0.3), (5, 0.3), (9, 0.4)]);
+        let exec = pmf(&[(1, 0.2), (3, 0.5), (7, 0.3)]);
+        let deadline = 8;
+        let r_none = queue_step(&avail, &exec, deadline, DropPolicy::None).robustness;
+        let r_pend = queue_step(&avail, &exec, deadline, DropPolicy::PendingOnly).robustness;
+        let r_all = queue_step(&avail, &exec, deadline, DropPolicy::All).robustness;
+        assert!((r_none - r_pend).abs() < 1e-12);
+        assert!((r_pend - r_all).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropping_improves_successor_availability() {
+        // The core claim of §IV: dropping a hopeless task frees the machine
+        // earlier for tasks behind it.
+        let avail = pmf(&[(2, 0.5), (20, 0.5)]); // predecessor may run very long
+        let exec = pmf(&[(5, 1.0)]);
+        let deadline = 4; // this task is nearly hopeless
+        let none = queue_step(&avail, &exec, deadline, DropPolicy::None);
+        let all = queue_step(&avail, &exec, deadline, DropPolicy::All);
+        // Under no-drop the machine frees at 7 or 25; under drop-all it
+        // frees at 4 (evicted) or 20 (carry-over).
+        assert!(all.availability.mean() < none.availability.mean());
+        // Successor deadline 9: it succeeds only from the early-freed
+        // machine (4+3=7 <= 9) and not from the no-drop path (7+3=10 > 9).
+        let successor_exec = pmf(&[(3, 1.0)]);
+        let succ_none = queue_step(&none.availability, &successor_exec, 9, DropPolicy::All);
+        let succ_all = queue_step(&all.availability, &successor_exec, 9, DropPolicy::All);
+        assert!(succ_all.robustness > succ_none.robustness);
+    }
+
+    #[test]
+    fn mass_conservation_all_policies() {
+        let avail = pmf(&[(1, 0.25), (4, 0.25), (7, 0.25), (10, 0.25)]);
+        let exec = pmf(&[(2, 0.5), (5, 0.5)]);
+        for policy in [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All] {
+            let step = queue_step(&avail, &exec, 6, policy);
+            assert!(
+                (step.availability.mass() - 1.0).abs() < 1e-12,
+                "{policy:?}: availability mass {}",
+                step.availability.mass()
+            );
+        }
+    }
+
+    #[test]
+    fn completion_none_when_avail_entirely_late() {
+        let avail = pmf(&[(10, 1.0)]);
+        let exec = pmf(&[(1, 1.0)]);
+        for policy in [DropPolicy::PendingOnly, DropPolicy::All] {
+            let step = queue_step(&avail, &exec, 5, policy);
+            assert!(step.completion.is_none());
+            assert_eq!(step.robustness, 0.0);
+            assert_pmf_eq(&step.availability, &[(10, 1.0)]);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_produces_identical_results() {
+        let a = pmf(&[(1, 0.5), (2, 0.5)]);
+        let b = pmf(&[(3, 0.25), (4, 0.75)]);
+        let mut scratch = ConvScratch::new();
+        let first = convolve_into(&a, &b, &mut scratch);
+        let second = convolve_into(&a, &b, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(first, convolve(&a, &b));
+    }
+
+    #[test]
+    fn convolve_with_delta_is_shift() {
+        let p = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
+        let shifted = convolve(&p, &Pmf::delta(10));
+        assert_eq!(shifted, p.shift(10));
+    }
+
+    #[test]
+    fn convolution_mean_is_additive() {
+        let a = pmf(&[(2, 0.3), (5, 0.7)]);
+        let b = pmf(&[(1, 0.6), (9, 0.4)]);
+        let c = convolve(&a, &b);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Property-based invariants.
+    // ------------------------------------------------------------------
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pmf(max_t: Time, max_n: usize) -> impl Strategy<Value = Pmf> {
+            prop::collection::vec((0..max_t, 0.01f64..1.0), 1..max_n).prop_map(|pts| {
+                let mut p = Pmf::from_points(&pts).unwrap();
+                p.normalize();
+                p
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn conv_mass_is_product(a in arb_pmf(100, 8), b in arb_pmf(100, 8)) {
+                let c = convolve(&a, &b);
+                prop_assert!((c.mass() - a.mass() * b.mass()).abs() < 1e-9);
+            }
+
+            #[test]
+            fn conv_commutes(a in arb_pmf(50, 6), b in arb_pmf(50, 6)) {
+                let ab = convolve(&a, &b);
+                let ba = convolve(&b, &a);
+                prop_assert_eq!(ab.len(), ba.len());
+                for (x, y) in ab.impulses().iter().zip(ba.impulses()) {
+                    prop_assert_eq!(x.t, y.t);
+                    prop_assert!((x.p - y.p).abs() < 1e-12);
+                }
+            }
+
+            #[test]
+            fn queue_step_invariants(
+                avail in arb_pmf(100, 8),
+                exec in arb_pmf(40, 8),
+                deadline in 1u64..150,
+                policy_idx in 0usize..3,
+            ) {
+                let policy = [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All][policy_idx];
+                let step = queue_step(&avail, &exec, deadline, policy);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&step.robustness));
+                // Availability mass conserved (normalized inputs).
+                prop_assert!((step.availability.mass() - 1.0).abs() < 1e-9);
+                // Availability never predates the earliest possible event.
+                prop_assert!(step.availability.min_time() >= avail.min_time().min(deadline));
+                if policy == DropPolicy::All {
+                    // Machine must be free by max(δ, predecessor max).
+                    prop_assert!(step.availability.max_time() <= deadline.max(avail.max_time()));
+                }
+            }
+
+            #[test]
+            fn robustness_monotone_in_deadline(
+                avail in arb_pmf(60, 6),
+                exec in arb_pmf(30, 6),
+                d1 in 1u64..100,
+                d2 in 1u64..100,
+            ) {
+                let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+                let r_lo = queue_step(&avail, &exec, lo, DropPolicy::All).robustness;
+                let r_hi = queue_step(&avail, &exec, hi, DropPolicy::All).robustness;
+                prop_assert!(r_hi + 1e-12 >= r_lo, "robustness must grow with slack: {r_lo} vs {r_hi}");
+            }
+
+            #[test]
+            fn compaction_preserves_queue_step_mass(
+                avail in arb_pmf(200, 20),
+                exec in arb_pmf(60, 12),
+                deadline in 1u64..250,
+            ) {
+                let step = queue_step(&avail, &exec, deadline, DropPolicy::All);
+                let mut compacted = step.availability.clone();
+                compacted.compact(8);
+                prop_assert!(compacted.len() <= 8);
+                prop_assert!((compacted.mass() - step.availability.mass()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! The [`Pmf`] impulse representation and its point-wise operations.
+
+use crate::{Time, MASS_EPSILON};
+use hcsim_stats::moments::WeightedMoments;
+use hcsim_stats::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// A single probability impulse: mass `p` at discrete time `t`.
+///
+/// Matches the paper's notation `e_ij(t)` / `c_ij(t)` — "an impulse
+/// represents the completion time of task i on machine j at time t".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Impulse {
+    /// Discrete time of the impulse.
+    pub t: Time,
+    /// Probability mass at `t` (non-negative, finite).
+    pub p: f64,
+}
+
+/// Error produced when constructing a [`Pmf`] from invalid data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmfError {
+    /// A mass was negative, NaN, or infinite.
+    InvalidMass,
+    /// The PMF would contain no impulses.
+    Empty,
+}
+
+impl std::fmt::Display for PmfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmfError::InvalidMass => write!(f, "impulse mass must be finite and >= 0"),
+            PmfError::Empty => write!(f, "a PMF must contain at least one impulse"),
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+/// A discrete probability mass function over simulation time.
+///
+/// Invariants (enforced by every constructor and mutator):
+/// * impulses are sorted by strictly increasing `t`;
+/// * every mass is finite and non-negative;
+/// * there is at least one impulse.
+///
+/// Total mass is *usually* 1 but sub-distributions (e.g. the deadline-
+/// truncated completion PMFs of Eq. 3–4 before carry-over is added) are
+/// legal; [`Pmf::is_normalized`] distinguishes the two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pmf {
+    impulses: Vec<Impulse>,
+}
+
+impl Pmf {
+    /// A unit impulse: all mass at time `t`.
+    ///
+    /// Models a deterministic event, e.g. "machine j is idle now" is
+    /// `Pmf::delta(now)` as the availability distribution.
+    #[must_use]
+    pub fn delta(t: Time) -> Self {
+        Self { impulses: vec![Impulse { t, p: 1.0 }] }
+    }
+
+    /// Builds a PMF from `(time, mass)` points. Points are sorted and
+    /// duplicate times merged; zero-mass points are kept out.
+    pub fn from_points(points: &[(Time, f64)]) -> Result<Self, PmfError> {
+        let mut impulses = Vec::with_capacity(points.len());
+        for &(t, p) in points {
+            if !p.is_finite() || p < 0.0 {
+                return Err(PmfError::InvalidMass);
+            }
+            if p > 0.0 {
+                impulses.push(Impulse { t, p });
+            }
+        }
+        if impulses.is_empty() {
+            return Err(PmfError::Empty);
+        }
+        impulses.sort_unstable_by_key(|i| i.t);
+        merge_sorted_duplicates(&mut impulses);
+        Ok(Self { impulses })
+    }
+
+    /// Builds a PMF from a [`Histogram`] of continuous samples by rounding
+    /// bin centers onto the time grid (clamping below at `1` — an execution
+    /// time of zero is meaningless).
+    ///
+    /// This is the §VI-A pipeline: gamma samples → histogram → PMF.
+    #[must_use]
+    pub fn from_histogram(hist: &Histogram) -> Self {
+        let mut impulses: Vec<Impulse> = hist
+            .centers()
+            .map(|(c, m)| Impulse { t: (c.round().max(1.0)) as Time, p: m })
+            .collect();
+        impulses.sort_unstable_by_key(|i| i.t);
+        merge_sorted_duplicates(&mut impulses);
+        debug_assert!(!impulses.is_empty());
+        Self { impulses }
+    }
+
+    /// Internal constructor from already-sorted, already-merged impulses.
+    pub(crate) fn from_sorted_unchecked(impulses: Vec<Impulse>) -> Self {
+        debug_assert!(!impulses.is_empty());
+        debug_assert!(impulses.windows(2).all(|w| w[0].t < w[1].t));
+        debug_assert!(impulses.iter().all(|i| i.p.is_finite() && i.p >= 0.0));
+        Self { impulses }
+    }
+
+    /// The impulses, sorted by time.
+    #[must_use]
+    pub fn impulses(&self) -> &[Impulse] {
+        &self.impulses
+    }
+
+    /// Number of impulses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.impulses.len()
+    }
+
+    /// Always false: the empty PMF is unrepresentable.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total probability mass.
+    #[must_use]
+    pub fn mass(&self) -> f64 {
+        self.impulses.iter().map(|i| i.p).sum()
+    }
+
+    /// True when the total mass is 1 within [`MASS_EPSILON`].
+    #[must_use]
+    pub fn is_normalized(&self) -> bool {
+        (self.mass() - 1.0).abs() <= MASS_EPSILON
+    }
+
+    /// Earliest impulse time.
+    #[must_use]
+    pub fn min_time(&self) -> Time {
+        self.impulses[0].t
+    }
+
+    /// Latest impulse time.
+    #[must_use]
+    pub fn max_time(&self) -> Time {
+        self.impulses[self.impulses.len() - 1].t
+    }
+
+    /// CDF at `t`: total mass at times `<= t`.
+    ///
+    /// Eq. 1 of the paper: the robustness of task `i` on machine `j` is
+    /// `p_ij(δ_i) = Σ_{t <= δ_i} c_ij(t)` — i.e. `pct.cdf_at(deadline)`.
+    #[must_use]
+    pub fn cdf_at(&self, t: Time) -> f64 {
+        self.impulses.iter().take_while(|i| i.t <= t).map(|i| i.p).sum()
+    }
+
+    /// Mass strictly after `t` (`1 - cdf` for normalized PMFs, without the
+    /// cancellation error of computing it that way).
+    #[must_use]
+    pub fn mass_above(&self, t: Time) -> f64 {
+        self.impulses.iter().rev().take_while(|i| i.t > t).map(|i| i.p).sum()
+    }
+
+    /// Expected value `Σ t·p(t)` (not normalized by mass; for normalized
+    /// PMFs this is the mean).
+    #[must_use]
+    pub fn expected_value(&self) -> f64 {
+        self.impulses.iter().map(|i| i.t as f64 * i.p).sum()
+    }
+
+    /// Mean of the distribution: expected value divided by total mass.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let mass = self.mass();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        self.expected_value() / mass
+    }
+
+    /// Population variance of the distribution.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.weighted_moments().variance()
+    }
+
+    /// Skewness of the distribution (third standardized moment).
+    ///
+    /// §V-B1 uses the *shape* of a completion-time PMF to decide which
+    /// queued tasks to favor when dropping: positive skew ⇒ the task tends
+    /// to finish early ⇒ keep it.
+    #[must_use]
+    pub fn skewness(&self) -> f64 {
+        self.weighted_moments().skewness()
+    }
+
+    /// Eq. 6 bounded skewness `s ∈ [-1, 1]`.
+    #[must_use]
+    pub fn bounded_skewness(&self) -> f64 {
+        self.skewness().clamp(-1.0, 1.0)
+    }
+
+    fn weighted_moments(&self) -> WeightedMoments {
+        let mut acc = WeightedMoments::new();
+        for i in &self.impulses {
+            acc.push(i.t as f64, i.p);
+        }
+        acc
+    }
+
+    /// Shifts every impulse later by `dt`.
+    ///
+    /// §IV: "the impulses in PET(i, j) are shifted by α to form PCT(i, j)"
+    /// when the machine is idle and the task starts at its arrival time α.
+    #[must_use]
+    pub fn shift(&self, dt: Time) -> Self {
+        let impulses = self
+            .impulses
+            .iter()
+            .map(|i| Impulse { t: i.t.checked_add(dt).expect("time overflow in shift"), p: i.p })
+            .collect();
+        Self { impulses }
+    }
+
+    /// Splits into `(below, at_or_above)` around `t`: impulses strictly
+    /// before `t` and impulses at or after `t`.
+    ///
+    /// This is the partition Eq. 3 performs on `PCT(i−1, j)`: starts before
+    /// the deadline can execute; the remainder becomes carry-over. Either
+    /// side may be `None` when it would be empty.
+    #[must_use]
+    pub fn partition_at(&self, t: Time) -> (Option<Pmf>, Option<Pmf>) {
+        let split = self.impulses.partition_point(|i| i.t < t);
+        let below = &self.impulses[..split];
+        let above = &self.impulses[split..];
+        (
+            (!below.is_empty()).then(|| Pmf::from_sorted_unchecked(below.to_vec())),
+            (!above.is_empty()).then(|| Pmf::from_sorted_unchecked(above.to_vec())),
+        )
+    }
+
+    /// Removes mass strictly before `t` and renormalizes. Returns the mass
+    /// removed.
+    ///
+    /// Used to condition an executing task's completion PMF on "it has not
+    /// finished by `now`": completion before `now` is impossible, so the
+    /// surviving mass is rescaled to 1. If all mass lies before `t`, the
+    /// result collapses to a unit impulse at `t` (the task is overdue and
+    /// will complete imminently as far as the model knows).
+    pub fn condition_min(&mut self, t: Time) -> f64 {
+        let split = self.impulses.partition_point(|i| i.t < t);
+        if split == 0 {
+            return 0.0;
+        }
+        let removed: f64 = self.impulses[..split].iter().map(|i| i.p).sum();
+        self.impulses.drain(..split);
+        if self.impulses.is_empty() {
+            self.impulses.push(Impulse { t, p: 1.0 });
+            return removed;
+        }
+        let remaining: f64 = self.impulses.iter().map(|i| i.p).sum();
+        if remaining > 0.0 {
+            let scale = 1.0 / remaining;
+            for i in &mut self.impulses {
+                i.p *= scale;
+            }
+        }
+        removed
+    }
+
+    /// Moves all mass at times strictly greater than `t` onto a single
+    /// impulse at `t`.
+    ///
+    /// This is the Eq. 5 aggregation step: under [`crate::DropPolicy::All`]
+    /// a task still running at its deadline is evicted, so the machine is
+    /// guaranteed free by `t = δ`; "all the impulses after δ_i are
+    /// aggregated into the impulse at t = δ_i".
+    pub fn clamp_above(&mut self, t: Time) {
+        let split = self.impulses.partition_point(|i| i.t <= t);
+        if split == self.impulses.len() {
+            return;
+        }
+        let moved: f64 = self.impulses[split..].iter().map(|i| i.p).sum();
+        self.impulses.truncate(split);
+        match self.impulses.last_mut() {
+            Some(last) if last.t == t => last.p += moved,
+            _ => self.impulses.push(Impulse { t, p: moved }),
+        }
+    }
+
+    /// Adds (superposes) another PMF's impulses into this one.
+    ///
+    /// Used for the carry-over term of Eq. 4: `c_pend(t) += c_{i−1}(t)` for
+    /// `t >= δ_i`. Mass is additive; the result is generally *not*
+    /// normalized until all contributions are in.
+    pub fn superpose(&mut self, other: &Pmf) {
+        // Merge two sorted impulse lists.
+        let mut merged = Vec::with_capacity(self.impulses.len() + other.impulses.len());
+        let (mut a, mut b) = (self.impulses.iter().peekable(), other.impulses.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.t < y.t {
+                        merged.push(**x);
+                        a.next();
+                    } else if y.t < x.t {
+                        merged.push(**y);
+                        b.next();
+                    } else {
+                        merged.push(Impulse { t: x.t, p: x.p + y.p });
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(x), None) => {
+                    merged.push(**x);
+                    a.next();
+                }
+                (None, Some(y)) => {
+                    merged.push(**y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.impulses = merged;
+    }
+
+    /// The residual distribution after `elapsed` time units of execution:
+    /// `P(remaining = r) = P(total = elapsed + r | total > elapsed)`.
+    ///
+    /// This is the §VIII "impact [of preemption] on the convolution
+    /// process": a preempted task's remaining work is its execution PMF
+    /// conditioned on having already survived `elapsed` units, shifted
+    /// back to the origin. When the distribution carries no mass above
+    /// `elapsed` (the model thinks the task should already have finished),
+    /// the residual collapses to a unit impulse at 1 — "any moment now".
+    ///
+    /// ```
+    /// use hcsim_pmf::Pmf;
+    ///
+    /// let exec = Pmf::from_points(&[(2, 0.25), (4, 0.5), (6, 0.25)]).unwrap();
+    /// let after3 = exec.residual(3); // total must be 4 or 6 → remaining 1 or 3
+    /// assert_eq!(after3.impulses().len(), 2);
+    /// assert_eq!(after3.min_time(), 1);
+    /// assert!(after3.is_normalized());
+    /// ```
+    #[must_use]
+    pub fn residual(&self, elapsed: Time) -> Pmf {
+        let above: Vec<Impulse> = self
+            .impulses
+            .iter()
+            .filter(|i| i.t > elapsed)
+            .map(|i| Impulse { t: i.t - elapsed, p: i.p })
+            .collect();
+        if above.is_empty() {
+            return Pmf::delta(1);
+        }
+        let mut residual = Pmf::from_sorted_unchecked(above);
+        residual.normalize();
+        residual
+    }
+
+    /// Rescales all masses so the total becomes exactly 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current total mass is zero.
+    pub fn normalize(&mut self) {
+        let mass = self.mass();
+        assert!(mass > 0.0, "cannot normalize a zero-mass PMF");
+        let scale = 1.0 / mass;
+        for i in &mut self.impulses {
+            i.p *= scale;
+        }
+    }
+
+    /// Reduces the PMF to at most `max_impulses` by aggregating neighbours
+    /// (mass-quantile aggregation; see the `compact` module docs). No-op when already small
+    /// enough.
+    pub fn compact(&mut self, max_impulses: usize) {
+        crate::compact::compact_in_place(&mut self.impulses, max_impulses);
+    }
+
+    /// Consumes the PMF, returning its impulse vector.
+    #[must_use]
+    pub fn into_impulses(self) -> Vec<Impulse> {
+        self.impulses
+    }
+}
+
+/// Merges runs of equal-time impulses in a sorted vector (summing mass).
+pub(crate) fn merge_sorted_duplicates(impulses: &mut Vec<Impulse>) {
+    let mut write = 0usize;
+    for read in 1..impulses.len() {
+        if impulses[read].t == impulses[write].t {
+            impulses[write].p += impulses[read].p;
+        } else {
+            write += 1;
+            impulses[write] = impulses[read];
+        }
+    }
+    impulses.truncate(write + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmf(points: &[(Time, f64)]) -> Pmf {
+        Pmf::from_points(points).unwrap()
+    }
+
+    #[test]
+    fn delta_basics() {
+        let d = Pmf::delta(10);
+        assert_eq!(d.len(), 1);
+        assert!(d.is_normalized());
+        assert_eq!(d.min_time(), 10);
+        assert_eq!(d.max_time(), 10);
+        assert_eq!(d.cdf_at(9), 0.0);
+        assert_eq!(d.cdf_at(10), 1.0);
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn from_points_sorts_merges_and_drops_zeros() {
+        let p = pmf(&[(5, 0.25), (3, 0.25), (5, 0.25), (4, 0.25), (6, 0.0)]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.impulses()[0].t, 3);
+        assert_eq!(p.impulses()[1].t, 4);
+        assert_eq!(p.impulses()[2].t, 5);
+        assert!((p.impulses()[2].p - 0.5).abs() < 1e-12);
+        assert!(p.is_normalized());
+    }
+
+    #[test]
+    fn from_points_rejects_bad_mass() {
+        assert_eq!(Pmf::from_points(&[(1, -0.1)]), Err(PmfError::InvalidMass));
+        assert_eq!(Pmf::from_points(&[(1, f64::NAN)]), Err(PmfError::InvalidMass));
+        assert_eq!(Pmf::from_points(&[(1, f64::INFINITY)]), Err(PmfError::InvalidMass));
+        assert_eq!(Pmf::from_points(&[]), Err(PmfError::Empty));
+        assert_eq!(Pmf::from_points(&[(1, 0.0)]), Err(PmfError::Empty));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(PmfError::InvalidMass.to_string().contains("finite"));
+        assert!(PmfError::Empty.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn cdf_and_mass_above_agree() {
+        let p = pmf(&[(2, 0.2), (4, 0.3), (6, 0.5)]);
+        for t in 0..8 {
+            let total = p.cdf_at(t) + p.mass_above(t);
+            assert!((total - 1.0).abs() < 1e-12, "t={t}");
+        }
+        assert_eq!(p.cdf_at(1), 0.0);
+        assert!((p.cdf_at(4) - 0.5).abs() < 1e-12);
+        assert!((p.cdf_at(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_eq1_robustness_is_cdf_at_deadline() {
+        // Fig. 2 convolved PCT = {4:.125, 5:.3125, 6:.3125, 7:.1875, 8:.0625}
+        // with δ_i = 7 → robustness .9375.
+        let pct = pmf(&[(4, 0.125), (5, 0.3125), (6, 0.3125), (7, 0.1875), (8, 0.0625)]);
+        assert!((pct.cdf_at(7) - 0.9375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_skewness() {
+        let p = pmf(&[(1, 0.25), (2, 0.5), (3, 0.25)]);
+        assert!((p.mean() - 2.0).abs() < 1e-12);
+        assert!((p.variance() - 0.5).abs() < 1e-12);
+        assert!(p.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_signs_match_paper_fig3() {
+        // Fig. 3(c): bulk early, tail right → positive skew.
+        let right = pmf(&[(2, 0.50), (3, 0.25), (4, 0.25)]);
+        assert!(right.skewness() > 0.0, "right-skew PMF: {}", right.skewness());
+        // Fig. 3(b): bulk late-ish with more mass at the right → negative.
+        let left = pmf(&[(2, 0.15), (3, 0.60), (4, 0.25)]);
+        assert!(left.skewness() < 0.0, "left-skew PMF: {}", left.skewness());
+        // Fig. 3(a): symmetric → zero.
+        let none = pmf(&[(2, 0.25), (3, 0.50), (4, 0.25)]);
+        assert!(none.skewness().abs() < 1e-12);
+        assert!(right.bounded_skewness() <= 1.0 && right.bounded_skewness() > 0.0);
+    }
+
+    #[test]
+    fn bounded_skewness_clamps() {
+        let extreme = pmf(&[(1, 0.97), (100, 0.03)]);
+        assert!(extreme.skewness() > 1.0);
+        assert_eq!(extreme.bounded_skewness(), 1.0);
+    }
+
+    #[test]
+    fn shift_moves_all_impulses() {
+        let p = pmf(&[(1, 0.5), (3, 0.5)]);
+        let s = p.shift(10);
+        assert_eq!(s.min_time(), 11);
+        assert_eq!(s.max_time(), 13);
+        assert!((s.mass() - 1.0).abs() < 1e-12);
+        assert!((s.mean() - (p.mean() + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_at_boundaries() {
+        let p = pmf(&[(2, 0.2), (4, 0.3), (6, 0.5)]);
+        let (below, above) = p.partition_at(4);
+        let below = below.unwrap();
+        let above = above.unwrap();
+        assert_eq!(below.len(), 1);
+        assert_eq!(below.impulses()[0].t, 2);
+        assert_eq!(above.len(), 2);
+        assert_eq!(above.impulses()[0].t, 4);
+        assert!((below.mass() + above.mass() - 1.0).abs() < 1e-12);
+
+        let (none_below, all) = p.partition_at(0);
+        assert!(none_below.is_none());
+        assert_eq!(all.unwrap().len(), 3);
+
+        let (all, none_above) = p.partition_at(100);
+        assert_eq!(all.unwrap().len(), 3);
+        assert!(none_above.is_none());
+    }
+
+    #[test]
+    fn condition_min_renormalizes() {
+        let mut p = pmf(&[(2, 0.25), (4, 0.25), (6, 0.5)]);
+        let removed = p.condition_min(4);
+        assert!((removed - 0.25).abs() < 1e-12);
+        assert!(p.is_normalized());
+        assert_eq!(p.min_time(), 4);
+        assert!((p.cdf_at(4) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condition_min_noop_when_no_mass_below() {
+        let mut p = pmf(&[(5, 0.5), (6, 0.5)]);
+        assert_eq!(p.condition_min(5), 0.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn condition_min_collapses_when_all_mass_below() {
+        let mut p = pmf(&[(1, 0.5), (2, 0.5)]);
+        let removed = p.condition_min(10);
+        assert!((removed - 1.0).abs() < 1e-12);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.min_time(), 10);
+        assert!(p.is_normalized());
+    }
+
+    #[test]
+    fn clamp_above_aggregates_tail() {
+        // Eq. 5 aggregation: everything after δ collapses onto δ.
+        let mut p = pmf(&[(2, 0.2), (5, 0.3), (7, 0.4), (9, 0.1)]);
+        p.clamp_above(5);
+        assert_eq!(p.max_time(), 5);
+        assert!((p.cdf_at(5) - 1.0).abs() < 1e-12);
+        assert!((p.impulses()[1].p - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_above_creates_impulse_when_missing() {
+        let mut p = pmf(&[(2, 0.5), (8, 0.5)]);
+        p.clamp_above(5);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.max_time(), 5);
+        assert!((p.impulses()[1].p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_above_noop() {
+        let mut p = pmf(&[(2, 0.5), (4, 0.5)]);
+        let before = p.clone();
+        p.clamp_above(10);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn superpose_merges_sorted() {
+        let mut a = pmf(&[(1, 0.2), (3, 0.3)]);
+        let b = pmf(&[(2, 0.1), (3, 0.2), (5, 0.2)]);
+        a.superpose(&b);
+        assert_eq!(a.len(), 4);
+        assert!((a.mass() - 1.0).abs() < 1e-12);
+        assert!((a.impulses()[2].p - 0.5).abs() < 1e-12); // 0.3 + 0.2 at t=3
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut p = pmf(&[(1, 0.2), (2, 0.2)]);
+        p.normalize();
+        assert!(p.is_normalized());
+        assert!((p.impulses()[0].p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time overflow")]
+    fn shift_overflow_panics() {
+        let p = pmf(&[(u64::MAX - 1, 1.0)]);
+        let _ = p.shift(10);
+    }
+
+    #[test]
+    fn residual_conditions_and_shifts() {
+        let p = pmf(&[(2, 0.25), (4, 0.5), (6, 0.25)]);
+        // After 3 units: total must be 4 or 6 → remaining 1 or 3, masses
+        // renormalized 0.5/0.75 and 0.25/0.75.
+        let r = p.residual(3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.impulses()[0].t, 1);
+        assert!((r.impulses()[0].p - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.impulses()[1].t, 3);
+        assert!((r.impulses()[1].p - 1.0 / 3.0).abs() < 1e-12);
+        assert!(r.is_normalized());
+    }
+
+    #[test]
+    fn residual_zero_elapsed_is_identity() {
+        let p = pmf(&[(2, 0.25), (4, 0.5), (6, 0.25)]);
+        assert_eq!(p.residual(0), p);
+    }
+
+    #[test]
+    fn residual_overdue_collapses_to_one_tick() {
+        let p = pmf(&[(2, 0.5), (4, 0.5)]);
+        let r = p.residual(10);
+        assert_eq!(r, Pmf::delta(1));
+    }
+
+    #[test]
+    fn residual_mean_decreases_with_elapsed() {
+        let p = pmf(&[(5, 0.2), (10, 0.3), (20, 0.3), (40, 0.2)]);
+        // Residual mean can exceed the unconditional mean early on (the
+        // survivors are the long executions), but must be non-increasing
+        // in expectation of remaining+elapsed ... simply check remaining
+        // mean is finite, positive, and eventually shrinks.
+        let r5 = p.residual(5).mean();
+        let r19 = p.residual(19).mean();
+        let r39 = p.residual(39).mean();
+        assert!(r5 > 0.0 && r19 > 0.0 && r39 > 0.0);
+        assert!(r39 <= r19, "{r39} vs {r19}");
+        assert_eq!(p.residual(39).max_time(), 1);
+    }
+
+    #[test]
+    fn from_histogram_quantizes() {
+        let hist = Histogram::from_samples(&[10.2, 10.4, 20.6, 20.8], 2);
+        let p = Pmf::from_histogram(&hist);
+        assert!(p.is_normalized());
+        assert_eq!(p.len(), 2);
+        assert!(p.min_time() >= 1);
+    }
+
+    #[test]
+    fn from_histogram_never_emits_time_zero() {
+        let hist = Histogram::from_samples(&[0.01, 0.02, 0.03], 2);
+        let p = Pmf::from_histogram(&hist);
+        assert!(p.min_time() >= 1);
+    }
+}

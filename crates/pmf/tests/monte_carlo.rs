@@ -1,0 +1,165 @@
+//! Monte-Carlo validation of the Eq. 2–5 queue-step semantics.
+//!
+//! The analytic convolutions in `hcsim-pmf` were derived from the paper's
+//! closed forms; this test validates them against a brute-force sampler
+//! that *acts out* the queue semantics draw by draw:
+//!
+//! * draw a machine-free time `u ~ avail` and an execution time `e ~ exec`;
+//! * scenario A: the task always runs, completing at `u + e`;
+//! * scenario B: if `u >= δ` the task is dropped (machine free at `u`),
+//!   otherwise it runs to `u + e`;
+//! * scenario C: as B, but a run still alive at `δ` is evicted (machine
+//!   free at `δ`).
+//!
+//! Robustness and the availability distribution estimated from 400 000
+//! samples must agree with the analytic PMFs.
+
+use hcsim_pmf::{queue_step, DropPolicy, Pmf, Time};
+use hcsim_stats::{SeedSequence, Xoshiro256pp};
+
+/// Samples a time from a normalized PMF via inverse CDF.
+fn sample_pmf(pmf: &Pmf, rng: &mut Xoshiro256pp) -> Time {
+    let u = rng.next_f64() * pmf.mass();
+    let mut acc = 0.0;
+    for imp in pmf.impulses() {
+        acc += imp.p;
+        if u < acc {
+            return imp.t;
+        }
+    }
+    pmf.max_time()
+}
+
+struct McEstimate {
+    robustness: f64,
+    avail_mean: f64,
+    avail_cdf_at: Box<dyn Fn(Time) -> f64>,
+}
+
+fn monte_carlo(
+    avail: &Pmf,
+    exec: &Pmf,
+    deadline: Time,
+    policy: DropPolicy,
+    samples: usize,
+    seed: u64,
+) -> McEstimate {
+    let mut rng = SeedSequence::new(seed).stream(0);
+    let mut successes = 0usize;
+    let mut free_times: Vec<Time> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let u = sample_pmf(avail, &mut rng);
+        let e = sample_pmf(exec, &mut rng);
+        let (free, on_time) = match policy {
+            DropPolicy::None => (u + e, u + e <= deadline),
+            DropPolicy::PendingOnly => {
+                if u >= deadline {
+                    (u, false) // dropped before starting
+                } else {
+                    (u + e, u + e <= deadline)
+                }
+            }
+            DropPolicy::All => {
+                if u >= deadline {
+                    (u, false)
+                } else if u + e <= deadline {
+                    (u + e, true)
+                } else {
+                    (deadline, false) // evicted at δ
+                }
+            }
+        };
+        if on_time {
+            successes += 1;
+        }
+        free_times.push(free);
+    }
+    free_times.sort_unstable();
+    let n = free_times.len() as f64;
+    let avail_mean = free_times.iter().map(|&t| t as f64).sum::<f64>() / n;
+    let robustness = successes as f64 / n;
+    let cdf = move |t: Time| free_times.partition_point(|&x| x <= t) as f64 / n;
+    McEstimate { robustness, avail_mean, avail_cdf_at: Box::new(cdf) }
+}
+
+fn check_case(avail: &Pmf, exec: &Pmf, deadline: Time, policy: DropPolicy, seed: u64) {
+    const SAMPLES: usize = 400_000;
+    const TOL: f64 = 0.005; // ~6 sigma for 400k Bernoulli samples
+
+    let step = queue_step(avail, exec, deadline, policy);
+    let mc = monte_carlo(avail, exec, deadline, policy, SAMPLES, seed);
+
+    assert!(
+        (step.robustness - mc.robustness).abs() < TOL,
+        "{policy:?} δ={deadline}: analytic robustness {} vs MC {}",
+        step.robustness,
+        mc.robustness
+    );
+    assert!(
+        (step.availability.mean() - mc.avail_mean).abs() / mc.avail_mean.max(1.0) < 0.01,
+        "{policy:?} δ={deadline}: analytic avail mean {} vs MC {}",
+        step.availability.mean(),
+        mc.avail_mean
+    );
+    // Availability CDF agreement at several probe points.
+    for probe in [deadline / 2, deadline, deadline + 5, deadline * 2] {
+        let analytic = step.availability.cdf_at(probe);
+        let sampled = (mc.avail_cdf_at)(probe);
+        assert!(
+            (analytic - sampled).abs() < TOL,
+            "{policy:?} δ={deadline}: availability CDF({probe}) {analytic} vs MC {sampled}"
+        );
+    }
+}
+
+fn pmf(points: &[(Time, f64)]) -> Pmf {
+    Pmf::from_points(points).unwrap()
+}
+
+#[test]
+fn mc_validates_simple_straddling_case() {
+    let avail = pmf(&[(3, 0.6), (8, 0.4)]);
+    let exec = pmf(&[(2, 0.5), (6, 0.5)]);
+    for (i, policy) in
+        [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All].into_iter().enumerate()
+    {
+        check_case(&avail, &exec, 6, policy, 100 + i as u64);
+    }
+}
+
+#[test]
+fn mc_validates_paper_fig2_shapes() {
+    let avail = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
+    let exec = pmf(&[(1, 0.50), (2, 0.25), (3, 0.25)]);
+    for (i, policy) in
+        [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All].into_iter().enumerate()
+    {
+        check_case(&avail, &exec, 7, policy, 200 + i as u64);
+    }
+}
+
+#[test]
+fn mc_validates_wide_distributions() {
+    // Wider, irregular PMFs with the deadline cutting through both the
+    // availability and the completion distributions.
+    let avail = pmf(&[(1, 0.15), (6, 0.2), (11, 0.3), (19, 0.2), (30, 0.15)]);
+    let exec = pmf(&[(2, 0.3), (5, 0.25), (9, 0.25), (16, 0.2)]);
+    for (i, policy) in
+        [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All].into_iter().enumerate()
+    {
+        for (j, deadline) in [8u64, 15, 24, 40].into_iter().enumerate() {
+            check_case(&avail, &exec, deadline, policy, 300 + (i * 10 + j) as u64);
+        }
+    }
+}
+
+#[test]
+fn mc_validates_hopeless_and_certain_extremes() {
+    let avail = pmf(&[(10, 1.0)]);
+    let exec = pmf(&[(5, 1.0)]);
+    // Deadline before any possible start: drop (B/C) or late run (A).
+    check_case(&avail, &exec, 8, DropPolicy::All, 400);
+    check_case(&avail, &exec, 8, DropPolicy::None, 401);
+    // Deadline after everything: certain success.
+    check_case(&avail, &exec, 100, DropPolicy::All, 402);
+}

@@ -1,0 +1,623 @@
+//! The event loop driving one simulation trial.
+//!
+//! Event types:
+//!
+//! * **Arrival** — a workload task enters the batch queue.
+//! * **Finish** — the executing task on a machine completes (or is evicted
+//!   at its deadline under [`DropPolicy::All`]). Finish events carry the
+//!   machine's `run_token`; a pruner eviction bumps the token, turning the
+//!   stale event into a no-op.
+//! * **DeadlineSweep** — scheduled only when the event heap would drain
+//!   while unmapped tasks remain (all machines idle, mapper deferring);
+//!   guarantees those tasks eventually expire and the simulation
+//!   terminates.
+//!
+//! Every event is a *mapping event* (§III: "a mapping event occurs upon
+//! arrival of a new task or when a task gets completed"): expired tasks
+//! are culled, the mapper runs, then idle machines start the head of
+//! their queue with an execution time sampled from the ground truth.
+
+use crate::config::SimConfig;
+use crate::machine::MachineState;
+use crate::mapper::{MapContext, Mapper, PrunedTask};
+use crate::metrics::Metrics;
+use hcsim_model::{
+    CostTracker, MachineId, SystemSpec, Task, TaskOutcome, TaskRecord, Time,
+};
+use hcsim_pmf::DropPolicy;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Arrival(u32),
+    Finish { machine: MachineId, token: u64, evict: bool },
+    DeadlineSweep,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Output of one simulation trial.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-task records in arrival (id) order.
+    pub records: Vec<TaskRecord>,
+    /// Trimmed robustness/fairness metrics.
+    pub metrics: Metrics,
+    /// Per-machine busy-time accounting.
+    pub cost: CostTracker,
+    /// Total incurred cost under the system's price table.
+    pub total_cost: f64,
+    /// Fig. 8 metric: cost / % on-time (`None` when robustness is 0).
+    pub cost_per_percent: Option<f64>,
+    /// Number of mapping events fired.
+    pub mapping_events: u64,
+    /// Time of the last processed event.
+    pub end_time: Time,
+}
+
+struct Engine<'a, M: Mapper, R: rand::Rng> {
+    spec: &'a SystemSpec,
+    config: SimConfig,
+    mapper: &'a mut M,
+    rng: &'a mut R,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    batch: Vec<Task>,
+    machines: Vec<MachineState>,
+    records: Vec<Option<TaskRecord>>,
+    cost: CostTracker,
+    missed_since_last: usize,
+    mapping_events: u64,
+    now: Time,
+    /// Scratch buffers reused across events.
+    expired_buf: Vec<Task>,
+    pruned_buf: Vec<PrunedTask>,
+}
+
+impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
+    fn new(
+        spec: &'a SystemSpec,
+        config: SimConfig,
+        tasks: &[Task],
+        mapper: &'a mut M,
+        rng: &'a mut R,
+    ) -> Self {
+        let mut events = BinaryHeap::with_capacity(tasks.len() * 2);
+        let mut seq = 0u64;
+        for (i, t) in tasks.iter().enumerate() {
+            debug_assert_eq!(t.id.index(), i, "task ids must be arrival-ordered indices");
+            events.push(Reverse(Event { time: t.arrival, seq, kind: EventKind::Arrival(i as u32) }));
+            seq += 1;
+        }
+        let machines = (0..spec.num_machines())
+            .map(|m| MachineState::new(MachineId::from(m), spec.queue_capacity))
+            .collect();
+        Self {
+            spec,
+            config,
+            mapper,
+            rng,
+            events,
+            seq,
+            batch: Vec::new(),
+            machines,
+            records: vec![None; tasks.len()],
+            cost: CostTracker::new(spec.num_machines()),
+            missed_since_last: 0,
+            mapping_events: 0,
+            now: 0,
+            expired_buf: Vec::new(),
+            pruned_buf: Vec::new(),
+        }
+    }
+
+    fn push_event(&mut self, time: Time, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn record(&mut self, task: Task, outcome: TaskOutcome, machine: Option<MachineId>, started_at: Option<Time>, machine_time: Time) {
+        let rec = TaskRecord {
+            task,
+            outcome,
+            machine,
+            started_at,
+            finished_at: self.now,
+            machine_time,
+        };
+        let slot = &mut self.records[task.id.index()];
+        debug_assert!(slot.is_none(), "task {} finished twice", task.id);
+        *slot = Some(rec);
+        self.mapper.on_task_finished(&task, outcome.is_success());
+    }
+
+    fn run(mut self, tasks: &[Task]) -> SimReport {
+        while let Some(Reverse(event)) = self.events.pop() {
+            debug_assert!(event.time >= self.now, "time went backwards");
+            self.now = event.time;
+            match event.kind {
+                EventKind::Arrival(idx) => {
+                    self.batch.push(tasks[idx as usize]);
+                }
+                EventKind::Finish { machine, token, evict } => {
+                    if self.machines[machine.index()].run_token != token {
+                        // Stale: the pruner evicted this task during an
+                        // earlier mapping event. Not a mapping event itself,
+                        // but the progress guarantee must still hold (this
+                        // could be the last event in the heap).
+                        self.ensure_progress();
+                        continue;
+                    }
+                    self.handle_finish(machine, evict);
+                }
+                EventKind::DeadlineSweep => {}
+            }
+            self.mapping_event();
+            self.start_idle_machines();
+            self.ensure_progress();
+        }
+
+        self.finish_report()
+    }
+
+    fn handle_finish(&mut self, machine: MachineId, evict: bool) {
+        let exec = self.machines[machine.index()]
+            .finish_executing()
+            .expect("finish event for idle machine");
+        // Only the current segment is new busy time (earlier segments were
+        // charged at preemption); the record reports total machine time.
+        let segment = self.now - exec.started_at;
+        self.cost.record_busy(machine, segment);
+        let elapsed = exec.elapsed_at(self.now);
+        let outcome = if evict {
+            // Still a deadline miss for the oversubscription detector —
+            // but under approximate computing (§VIII future work) an
+            // eviction that got far enough delivers a degraded result.
+            self.missed_since_last += 1;
+            let progress = elapsed as f64 / exec.total_exec.max(1) as f64;
+            match self.config.approx_min_progress {
+                Some(min) if progress >= min => TaskOutcome::CompletedApprox,
+                _ => TaskOutcome::ExpiredExecuting,
+            }
+        } else if self.now <= exec.task.deadline {
+            TaskOutcome::CompletedOnTime
+        } else {
+            self.missed_since_last += 1;
+            TaskOutcome::CompletedLate
+        };
+        self.record(exec.task, outcome, Some(machine), Some(exec.started_at), elapsed);
+    }
+
+    /// Culls expired tasks, runs the mapper, applies pruner removals.
+    fn mapping_event(&mut self) {
+        // Expired unmapped tasks leave the system (§III: "before the
+        // mapping event, tasks that have missed their deadlines are
+        // dropped").
+        let now = self.now;
+        let mut expired = std::mem::take(&mut self.expired_buf);
+        expired.clear();
+        self.batch.retain(|t| {
+            if t.is_expired_at(now) {
+                expired.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        for t in expired.drain(..) {
+            self.missed_since_last += 1;
+            self.record(t, TaskOutcome::ExpiredUnstarted, None, None, 0);
+        }
+
+        // Expired pending tasks leave their machine queues under B/C.
+        if self.config.drop_policy != DropPolicy::None {
+            for m in 0..self.machines.len() {
+                self.machines[m].drain_expired_pending(now, &mut expired);
+                let machine = MachineId::from(m);
+                for t in expired.drain(..) {
+                    self.missed_since_last += 1;
+                    self.record(t, TaskOutcome::ExpiredUnstarted, Some(machine), None, 0);
+                }
+            }
+        }
+        self.expired_buf = expired;
+
+        // Run the mapping heuristic.
+        self.mapping_events += 1;
+        let mut pruned = std::mem::take(&mut self.pruned_buf);
+        pruned.clear();
+        let mut segment_charges: Vec<(MachineId, Time)> = Vec::new();
+        let mut ctx = MapContext {
+            now,
+            missed_since_last: self.missed_since_last,
+            drop_policy: self.config.drop_policy,
+            spec: self.spec,
+            batch: &mut self.batch,
+            machines: &mut self.machines,
+            pruned: &mut pruned,
+            segment_charges: &mut segment_charges,
+        };
+        self.mapper.on_mapping_event(&mut ctx);
+        self.missed_since_last = 0;
+        for (machine, segment) in segment_charges {
+            self.cost.record_busy(machine, segment);
+        }
+
+        // Account for the pruner's removals. An evicted executing task
+        // consumed machine time up to now.
+        for p in pruned.drain(..) {
+            let segment = p.started_at.map_or(0, |s| now - s);
+            if segment > 0 {
+                self.cost.record_busy(p.machine, segment);
+            }
+            let machine_time = p.progress_before + segment;
+            self.record(p.task, TaskOutcome::PrunedDropped, Some(p.machine), p.started_at, machine_time);
+        }
+        self.pruned_buf = pruned;
+    }
+
+    /// Starts the queue head on every idle machine, sampling actual
+    /// execution times from the ground truth.
+    fn start_idle_machines(&mut self) {
+        let drop_all = self.config.drop_policy == DropPolicy::All;
+        let cull_pending = self.config.drop_policy != DropPolicy::None;
+        for m in 0..self.machines.len() {
+            let machine = MachineId::from(m);
+            while self.machines[m].executing().is_none() {
+                let Some(entry) = self.machines[m].pop_next_pending() else { break };
+                let task = entry.task;
+                // Eq. 3: a start is only possible strictly before the
+                // deadline — a task beginning at δ can never finish by δ.
+                if cull_pending && self.now >= task.deadline {
+                    self.missed_since_last += 1;
+                    self.record(task, TaskOutcome::ExpiredUnstarted, Some(machine), None, 0);
+                    continue;
+                }
+                // Preempted tasks resume their remaining work; fresh tasks
+                // sample a ground-truth total once.
+                let total = entry.sampled_total.unwrap_or_else(|| {
+                    self.spec.truth.sample_exec(task.type_id, machine, self.rng)
+                });
+                let remaining = total.saturating_sub(entry.progress).max(1);
+                self.machines[m].start(entry, self.now, total);
+                let finish = self.now + remaining;
+                let token = self.machines[m].run_token;
+                if drop_all && finish > task.deadline {
+                    // The task will be evicted at its deadline (Eq. 5
+                    // semantics): machine frees at δ, outcome is a miss.
+                    self.push_event(task.deadline, EventKind::Finish { machine, token, evict: true });
+                } else {
+                    self.push_event(finish, EventKind::Finish { machine, token, evict: false });
+                }
+            }
+        }
+    }
+
+    /// If the heap drained while unmapped tasks remain (mapper deferring
+    /// with all machines idle), schedule a sweep at the next deadline so
+    /// the simulation cannot stall.
+    fn ensure_progress(&mut self) {
+        if self.events.is_empty() && !self.batch.is_empty() {
+            let next_deadline = self.batch.iter().map(|t| t.deadline).min().expect("non-empty");
+            let when = next_deadline.max(self.now) + 1;
+            self.push_event(when, EventKind::DeadlineSweep);
+        }
+    }
+
+    fn finish_report(self) -> SimReport {
+        // Anything without a record at this point is a logic error in the
+        // engine (sweeps guarantee expiry), but stay total: mark leftovers.
+        let now = self.now;
+        let records: Vec<TaskRecord> = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    debug_assert!(false, "task {i} has no terminal record");
+                    TaskRecord {
+                        task: self.batch.iter().find(|t| t.id.index() == i).copied().unwrap_or(
+                            Task {
+                                id: hcsim_model::TaskId::from(i),
+                                type_id: hcsim_model::TaskTypeId(0),
+                                arrival: 0,
+                                deadline: 0,
+                            },
+                        ),
+                        outcome: TaskOutcome::Unfinished,
+                        machine: None,
+                        started_at: None,
+                        finished_at: now,
+                        machine_time: 0,
+                    }
+                })
+            })
+            .collect();
+
+        let metrics = Metrics::compute(&records, self.spec.num_task_types(), self.config.trim);
+        let total_cost = self.cost.total_cost(&self.spec.prices);
+        let cost_per_percent =
+            self.cost.cost_per_percent_on_time(&self.spec.prices, metrics.pct_on_time);
+        SimReport {
+            records,
+            metrics,
+            cost: self.cost,
+            total_cost,
+            cost_per_percent,
+            mapping_events: self.mapping_events,
+            end_time: now,
+        }
+    }
+}
+
+/// Runs one trial: `tasks` (arrival-ordered, ids = indices) through
+/// `mapper` on the system `spec`.
+///
+/// Actual execution times are drawn from `rng`; pass a dedicated stream
+/// per trial for reproducibility.
+pub fn run_simulation<M: Mapper, R: rand::Rng>(
+    spec: &SystemSpec,
+    config: SimConfig,
+    tasks: &[Task],
+    mapper: &mut M,
+    rng: &mut R,
+) -> SimReport {
+    Engine::new(spec, config, tasks, mapper, rng).run(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::FirstFitMapper;
+    use hcsim_model::{MachineSpec, PetBuilder, PriceTable, TaskId, TaskTypeId, TaskTypeSpec};
+    use hcsim_stats::SeedSequence;
+
+    /// 1 task type, 2 machines, deterministic-ish exec around 10 / 20 ms.
+    fn small_spec(queue_capacity: usize) -> SystemSpec {
+        let mut rng = SeedSequence::new(77).stream(0);
+        let (pet, truth) = PetBuilder::new()
+            .shape_range(200.0, 200.0) // tiny variance → near-deterministic
+            .build(&[vec![10.0, 20.0]], &mut rng);
+        SystemSpec {
+            machines: vec![MachineSpec { name: "fast".into() }, MachineSpec { name: "slow".into() }],
+            task_types: vec![TaskTypeSpec { name: "t".into() }],
+            pet,
+            truth,
+            prices: PriceTable::new(vec![2.0, 1.0]),
+            queue_capacity,
+        }
+        .validated()
+    }
+
+    fn tasks_every(n: usize, gap: Time, slack: Time) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                let arrival = i as Time * gap;
+                Task {
+                    id: TaskId(i as u32),
+                    type_id: TaskTypeId(0),
+                    arrival,
+                    deadline: arrival + slack,
+                }
+            })
+            .collect()
+    }
+
+    fn run(spec: &SystemSpec, tasks: &[Task], seed: u64) -> SimReport {
+        let mut rng = SeedSequence::new(seed).stream(9);
+        let mut mapper = FirstFitMapper;
+        run_simulation(spec, SimConfig::untrimmed(), tasks, &mut mapper, &mut rng)
+    }
+
+    #[test]
+    fn relaxed_load_all_tasks_succeed() {
+        let spec = small_spec(6);
+        // Tasks every 50 ms with 100 ms slack; exec ~10 ms → all succeed.
+        let tasks = tasks_every(10, 50, 100);
+        let report = run(&spec, &tasks, 1);
+        assert_eq!(report.metrics.counted, 10);
+        assert_eq!(report.metrics.outcomes.on_time, 10, "{:?}", report.metrics.outcomes);
+        assert!((report.metrics.pct_on_time - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_task_gets_exactly_one_record() {
+        let spec = small_spec(2);
+        let tasks = tasks_every(50, 1, 30);
+        let report = run(&spec, &tasks, 2);
+        assert_eq!(report.records.len(), 50);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.task.id.index(), i);
+        }
+        assert_eq!(report.metrics.outcomes.total(), 50);
+        assert_eq!(report.metrics.outcomes.unfinished, 0);
+    }
+
+    #[test]
+    fn oversubscription_causes_misses() {
+        let spec = small_spec(2);
+        // 100 tasks all at once with tight slack: far beyond capacity.
+        let tasks = tasks_every(100, 0, 40);
+        let report = run(&spec, &tasks, 3);
+        assert!(report.metrics.outcomes.on_time < 100);
+        assert!(
+            report.metrics.outcomes.expired_unstarted > 0,
+            "{:?}",
+            report.metrics.outcomes
+        );
+    }
+
+    #[test]
+    fn eviction_at_deadline_under_drop_all() {
+        let spec = small_spec(2);
+        // Slack shorter than any possible execution (exec ≈ 10) → the task
+        // starts and is evicted at its deadline.
+        let tasks = vec![Task { id: TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline: 3 }];
+        let report = run(&spec, &tasks, 4);
+        assert_eq!(report.metrics.outcomes.expired_executing, 1, "{:?}", report.metrics.outcomes);
+        let rec = &report.records[0];
+        assert_eq!(rec.finished_at, 3, "evicted exactly at the deadline");
+        assert_eq!(rec.machine_time, 3);
+    }
+
+    #[test]
+    fn late_completion_under_policy_none() {
+        let spec = small_spec(2);
+        let tasks = vec![Task { id: TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline: 3 }];
+        let mut rng = SeedSequence::new(5).stream(9);
+        let mut mapper = FirstFitMapper;
+        let config = SimConfig { drop_policy: DropPolicy::None, trim: 0, ..SimConfig::default() };
+        let report = run_simulation(&spec, config, &tasks, &mut mapper, &mut rng);
+        assert_eq!(report.metrics.outcomes.late, 1, "{:?}", report.metrics.outcomes);
+        assert!(report.records[0].finished_at > 3);
+    }
+
+    #[test]
+    fn busy_time_and_cost_accounting() {
+        let spec = small_spec(6);
+        let tasks = tasks_every(4, 100, 200);
+        let report = run(&spec, &tasks, 6);
+        let total_busy = report.cost.total_busy_time();
+        let sum_machine_time: Time = report.records.iter().map(|r| r.machine_time).sum();
+        assert_eq!(total_busy, sum_machine_time);
+        assert!(report.total_cost > 0.0);
+        assert!(report.cost_per_percent.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_same_stream() {
+        let spec = small_spec(4);
+        let tasks = tasks_every(30, 2, 50);
+        let a = run(&spec, &tasks, 42);
+        let b = run(&spec, &tasks, 42);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.mapping_events, b.mapping_events);
+    }
+
+    #[test]
+    fn deferring_mapper_cannot_stall_the_simulation() {
+        /// A mapper that never assigns anything.
+        struct NeverMap;
+        impl Mapper for NeverMap {
+            fn name(&self) -> &str {
+                "never"
+            }
+            fn on_mapping_event(&mut self, _ctx: &mut MapContext<'_>) {}
+        }
+        let spec = small_spec(2);
+        let tasks = tasks_every(5, 10, 1000);
+        let mut rng = SeedSequence::new(7).stream(0);
+        let mut mapper = NeverMap;
+        let report =
+            run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
+        // All tasks must expire via deadline sweeps rather than hanging.
+        assert_eq!(report.metrics.outcomes.expired_unstarted, 5);
+        assert!(report.end_time > 1000);
+    }
+
+    #[test]
+    fn mapper_finish_notifications_fire_for_every_task() {
+        #[derive(Default)]
+        struct Counting {
+            inner: FirstFitMapper,
+            finished: usize,
+            successes: usize,
+        }
+        impl Mapper for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+                self.inner.on_mapping_event(ctx);
+            }
+            fn on_task_finished(&mut self, _task: &Task, success: bool) {
+                self.finished += 1;
+                if success {
+                    self.successes += 1;
+                }
+            }
+        }
+        let spec = small_spec(2);
+        let tasks = tasks_every(40, 1, 25);
+        let mut rng = SeedSequence::new(8).stream(0);
+        let mut mapper = Counting::default();
+        let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
+        assert_eq!(mapper.finished, 40);
+        assert_eq!(mapper.successes, report.metrics.outcomes.on_time);
+    }
+
+    #[test]
+    fn trim_is_applied_to_metrics_not_records() {
+        let spec = small_spec(6);
+        let tasks = tasks_every(20, 50, 200);
+        let mut rng = SeedSequence::new(9).stream(0);
+        let mut mapper = FirstFitMapper;
+        let config = SimConfig { trim: 5, ..SimConfig::default() };
+        let report = run_simulation(&spec, config, &tasks, &mut mapper, &mut rng);
+        assert_eq!(report.records.len(), 20);
+        assert_eq!(report.metrics.counted, 10);
+    }
+
+    #[test]
+    fn pruner_eviction_is_charged_and_recorded() {
+        /// Evicts whatever machine 0 is executing on the first event where
+        /// it is busy, then maps nothing further.
+        #[derive(Default)]
+        struct EvictOnce {
+            evicted: bool,
+            inner: FirstFitMapper,
+        }
+        impl Mapper for EvictOnce {
+            fn name(&self) -> &str {
+                "evict-once"
+            }
+            fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+                if !self.evicted && ctx.machine(MachineId(0)).executing().is_some() {
+                    ctx.evict_executing(MachineId(0)).unwrap();
+                    self.evicted = true;
+                }
+                self.inner.on_mapping_event(ctx);
+            }
+        }
+        let spec = small_spec(2);
+        let tasks = tasks_every(3, 2, 500);
+        let mut rng = SeedSequence::new(10).stream(0);
+        let mut mapper = EvictOnce::default();
+        let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
+        assert_eq!(report.metrics.outcomes.pruned, 1, "{:?}", report.metrics.outcomes);
+        let pruned_rec =
+            report.records.iter().find(|r| r.outcome == TaskOutcome::PrunedDropped).unwrap();
+        assert!(pruned_rec.started_at.is_some());
+        // All three tasks still terminate (stale Finish event is skipped).
+        assert_eq!(report.metrics.outcomes.total(), 3);
+    }
+
+    #[test]
+    fn first_fit_prefers_low_index_machines() {
+        let spec = small_spec(6);
+        let tasks = tasks_every(2, 0, 500);
+        let report = run(&spec, &tasks, 11);
+        // Both tasks arrive at t=0; FirstFit puts both on machine 0.
+        let machines: Vec<_> = report.records.iter().filter_map(|r| r.machine).collect();
+        assert_eq!(machines, vec![MachineId(0), MachineId(0)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Event-driven simulator of the oversubscribed HC system of §III.
+//!
+//! The simulated world:
+//!
+//! * Tasks arrive dynamically into a **batch queue** of unmapped tasks.
+//! * A **mapping event** fires on every task arrival and every task
+//!   completion. Before the mapper runs, tasks whose deadlines have passed
+//!   are removed from the system (the paper's baseline dropping).
+//! * The [`Mapper`] (one of the heuristics in `hcsim-core`) then inspects
+//!   the batch queue and the bounded FCFS **machine queues** through a
+//!   [`MapContext`], optionally prunes queued tasks, and assigns batch
+//!   tasks to free queue slots.
+//! * Once mapped, a task cannot be remapped (§III: data-transfer overhead);
+//!   machines execute their queue in FCFS order with no preemption. Actual
+//!   execution times are drawn from the system's ground-truth
+//!   distributions — the mapper only ever sees the PET model.
+//! * Depending on [`DropPolicy`], tasks that reach their deadline are
+//!   removed while pending ([`DropPolicy::PendingOnly`]) or also evicted
+//!   mid-execution ([`DropPolicy::All`]).
+//!
+//! [`run_simulation`] drives one trial to completion and produces a
+//! [`SimReport`] with per-task records, trimmed robustness metrics
+//! (§VI-B removes the first and last 100 tasks from analysis), per-type
+//! fairness statistics, and priced machine utilization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod machine;
+mod mapper;
+mod metrics;
+
+pub use config::SimConfig;
+pub use engine::{run_simulation, SimReport};
+pub use machine::{ExecutingTask, MachineState, PendingEntry};
+pub use mapper::{AssignError, FirstFitMapper, MapContext, Mapper, MapperInstrumentation};
+pub use metrics::{Metrics, OutcomeCounts};
+
+pub use hcsim_model::Time;
+pub use hcsim_pmf::DropPolicy;

@@ -1,0 +1,403 @@
+//! Per-machine queue state.
+//!
+//! §III: machines use limited-size local queues processed FCFS; the queue
+//! capacity *includes* the executing task (§VII-A). The mapper sees this
+//! state read-only and reasons about it probabilistically; it never sees
+//! the sampled actual execution time of the executing task.
+
+use hcsim_model::{MachineId, Task, TaskId, Time};
+use std::collections::VecDeque;
+
+/// A mapped-but-not-executing queue entry. `progress` is non-zero only for
+/// tasks that were preempted mid-execution (§VIII future work): the work
+/// already done is retained and the engine resumes the remainder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingEntry {
+    /// The task.
+    pub task: Task,
+    /// Execution time already completed in earlier segments.
+    pub progress: Time,
+    /// Ground-truth total sampled at first start (crate-private; absent
+    /// until the task has started once).
+    pub(crate) sampled_total: Option<Time>,
+}
+
+impl PendingEntry {
+    /// A fresh, never-started entry.
+    #[must_use]
+    pub fn new(task: Task) -> Self {
+        Self { task, progress: 0, sampled_total: None }
+    }
+}
+
+/// The task currently executing on a machine.
+///
+/// The sampled total execution time is deliberately *crate-private*:
+/// schedulers only know the start time and must reason from the PET; the
+/// engine uses the ground truth for completion scheduling and for the
+/// approximate-computing progress check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutingTask {
+    /// The task.
+    pub task: Task,
+    /// When the current execution segment began.
+    pub started_at: Time,
+    /// Execution time completed in earlier segments (non-zero only after
+    /// a preemption).
+    pub progress_before: Time,
+    /// Ground-truth total execution time (hidden from mappers).
+    pub(crate) total_exec: Time,
+}
+
+impl ExecutingTask {
+    /// Total execution time completed by `now`, across all segments.
+    #[must_use]
+    pub fn elapsed_at(&self, now: Time) -> Time {
+        self.progress_before + now.saturating_sub(self.started_at)
+    }
+}
+
+/// One machine's queue: the executing task plus pending FCFS entries.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    id: MachineId,
+    capacity: usize,
+    executing: Option<ExecutingTask>,
+    pending: VecDeque<PendingEntry>,
+    /// Bumped on every mutation; robustness caches key on this.
+    version: u64,
+    /// Invalidates in-flight completion events after an eviction.
+    pub(crate) run_token: u64,
+}
+
+impl MachineState {
+    /// Creates an empty machine with the given queue capacity (including
+    /// the executing slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(id: MachineId, capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must include the executing slot");
+        Self { id, capacity, executing: None, pending: VecDeque::new(), version: 0, run_token: 0 }
+    }
+
+    /// The machine's id.
+    #[must_use]
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Queue capacity including the executing slot.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The currently executing task, if any.
+    #[must_use]
+    pub fn executing(&self) -> Option<&ExecutingTask> {
+        self.executing.as_ref()
+    }
+
+    /// Pending (mapped but not yet started) tasks in FCFS order.
+    pub fn pending(&self) -> impl ExactSizeIterator<Item = &Task> {
+        self.pending.iter().map(|e| &e.task)
+    }
+
+    /// Pending entries including preemption progress, FCFS order.
+    pub fn pending_entries(&self) -> impl ExactSizeIterator<Item = &PendingEntry> {
+        self.pending.iter()
+    }
+
+    /// Occupied slots: executing (0/1) + pending.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        usize::from(self.executing.is_some()) + self.pending.len()
+    }
+
+    /// Free queue slots.
+    #[must_use]
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.occupancy()
+    }
+
+    /// True when a new task can be queued.
+    #[must_use]
+    pub fn has_free_slot(&self) -> bool {
+        self.free_slots() > 0
+    }
+
+    /// True when nothing is executing or pending.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.executing.is_none() && self.pending.is_empty()
+    }
+
+    /// Monotone version counter; any mutation bumps it. Heuristics use it
+    /// to key robustness caches per machine.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whole queue from the head: the executing task (position 0, if any)
+    /// followed by pending tasks. Matches the paper's queue-position κ
+    /// numbering for the Eq. 7 threshold adjustment.
+    pub fn queued_tasks(&self) -> impl Iterator<Item = &Task> {
+        self.executing
+            .as_ref()
+            .map(|e| &e.task)
+            .into_iter()
+            .chain(self.pending.iter().map(|e| &e.task))
+    }
+
+    // ---- mutations (crate-internal: only the engine mutates machines) ----
+
+    pub(crate) fn push_pending(&mut self, task: Task) {
+        debug_assert!(self.has_free_slot(), "push on full machine {}", self.id);
+        self.pending.push_back(PendingEntry::new(task));
+        self.version += 1;
+    }
+
+    /// Inserts an entry at the queue front (preemption bookkeeping).
+    pub(crate) fn push_pending_front(&mut self, entry: PendingEntry) {
+        debug_assert!(self.has_free_slot(), "push on full machine {}", self.id);
+        self.pending.push_front(entry);
+        self.version += 1;
+    }
+
+    pub(crate) fn pop_next_pending(&mut self) -> Option<PendingEntry> {
+        let t = self.pending.pop_front();
+        if t.is_some() {
+            self.version += 1;
+        }
+        t
+    }
+
+    pub(crate) fn start(&mut self, entry: PendingEntry, now: Time, total_exec: Time) {
+        debug_assert!(self.executing.is_none(), "start on busy machine {}", self.id);
+        self.executing = Some(ExecutingTask {
+            task: entry.task,
+            started_at: now,
+            progress_before: entry.progress,
+            total_exec,
+        });
+        self.version += 1;
+    }
+
+    /// Preempts the executing task: it returns to the *front* of the
+    /// pending queue with its accumulated progress, and the in-flight
+    /// completion event is invalidated. Returns the duration of the
+    /// interrupted segment (for busy-time accounting).
+    pub(crate) fn preempt_executing(&mut self, now: Time) -> Option<Time> {
+        let exec = self.executing.take()?;
+        let segment = now.saturating_sub(exec.started_at);
+        self.pending.push_front(PendingEntry {
+            task: exec.task,
+            progress: exec.progress_before + segment,
+            sampled_total: Some(exec.total_exec),
+        });
+        self.version += 1;
+        self.run_token += 1; // stale the scheduled Finish event
+        Some(segment)
+    }
+
+    pub(crate) fn finish_executing(&mut self) -> Option<ExecutingTask> {
+        let e = self.executing.take();
+        if e.is_some() {
+            self.version += 1;
+            self.run_token += 1;
+        }
+        e
+    }
+
+    /// Removes a pending task by id; returns it if present.
+    pub(crate) fn remove_pending(&mut self, task_id: TaskId) -> Option<Task> {
+        let pos = self.pending.iter().position(|e| e.task.id == task_id)?;
+        let e = self.pending.remove(pos);
+        self.version += 1;
+        e.map(|e| e.task)
+    }
+
+    /// Removes all pending tasks whose deadline has passed at `now`.
+    pub(crate) fn drain_expired_pending(&mut self, now: Time, out: &mut Vec<Task>) {
+        let before = self.pending.len();
+        // VecDeque::retain preserves FCFS order of survivors.
+        self.pending.retain(|e| {
+            if e.task.is_expired_at(now) {
+                out.push(e.task);
+                false
+            } else {
+                true
+            }
+        });
+        if self.pending.len() != before {
+            self.version += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::TaskTypeId;
+
+    fn task(id: u32, deadline: Time) -> Task {
+        Task { id: TaskId(id), type_id: TaskTypeId(0), arrival: 0, deadline }
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut m = MachineState::new(MachineId(0), 3);
+        assert!(m.is_idle());
+        assert_eq!(m.free_slots(), 3);
+        m.push_pending(task(1, 100));
+        m.push_pending(task(2, 100));
+        assert_eq!(m.occupancy(), 2);
+        let first = m.pop_next_pending().unwrap();
+        m.start(first, 10, 30);
+        assert_eq!(m.occupancy(), 2); // 1 executing + 1 pending
+        assert_eq!(m.free_slots(), 1);
+        assert!(!m.is_idle());
+        m.push_pending(task(3, 100));
+        assert!(!m.has_free_slot());
+    }
+
+    #[test]
+    fn fcfs_order_preserved() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        for id in 1..=3 {
+            m.push_pending(task(id, 100));
+        }
+        assert_eq!(m.pop_next_pending().unwrap().task.id, TaskId(1));
+        assert_eq!(m.pop_next_pending().unwrap().task.id, TaskId(2));
+        assert_eq!(m.pop_next_pending().unwrap().task.id, TaskId(3));
+        assert!(m.pop_next_pending().is_none());
+    }
+
+    #[test]
+    fn queued_tasks_includes_executing_head_first() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.push_pending(task(1, 100));
+        m.push_pending(task(2, 100));
+        let first = m.pop_next_pending().unwrap();
+        m.start(first, 0, 30);
+        let ids: Vec<u32> = m.queued_tasks().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        let v0 = m.version();
+        m.push_pending(task(1, 100));
+        let v1 = m.version();
+        assert!(v1 > v0);
+        let t = m.pop_next_pending().unwrap();
+        let v2 = m.version();
+        assert!(v2 > v1);
+        m.start(t, 0, 30);
+        let v3 = m.version();
+        assert!(v3 > v2);
+        m.finish_executing();
+        assert!(m.version() > v3);
+    }
+
+    #[test]
+    fn finish_bumps_run_token() {
+        let mut m = MachineState::new(MachineId(0), 2);
+        m.start(PendingEntry::new(task(1, 100)), 0, 30);
+        let tok = m.run_token;
+        let done = m.finish_executing().unwrap();
+        assert_eq!(done.task.id, TaskId(1));
+        assert_eq!(done.started_at, 0);
+        assert!(m.run_token > tok);
+        assert!(m.finish_executing().is_none());
+    }
+
+    #[test]
+    fn remove_pending_by_id() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.push_pending(task(1, 100));
+        m.push_pending(task(2, 100));
+        m.push_pending(task(3, 100));
+        assert_eq!(m.remove_pending(TaskId(2)).unwrap().id, TaskId(2));
+        assert!(m.remove_pending(TaskId(2)).is_none());
+        let ids: Vec<u32> = m.pending().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn drain_expired_keeps_order() {
+        let mut m = MachineState::new(MachineId(0), 6);
+        m.push_pending(task(1, 50));
+        m.push_pending(task(2, 200));
+        m.push_pending(task(3, 60));
+        m.push_pending(task(4, 300));
+        let mut expired = Vec::new();
+        m.drain_expired_pending(100, &mut expired);
+        assert_eq!(expired.iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(m.pending().map(|t| t.id.0).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn drain_expired_boundary_is_strict() {
+        let mut m = MachineState::new(MachineId(0), 2);
+        m.push_pending(task(1, 100));
+        let mut expired = Vec::new();
+        m.drain_expired_pending(100, &mut expired); // due exactly now: keep
+        assert!(expired.is_empty());
+        m.drain_expired_pending(101, &mut expired);
+        assert_eq!(expired.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = MachineState::new(MachineId(0), 0);
+    }
+
+    #[test]
+    fn preempt_returns_task_to_front_with_progress() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.push_pending(task(1, 1000));
+        m.push_pending(task(2, 1000));
+        let first = m.pop_next_pending().unwrap();
+        m.start(first, 100, 50); // total exec 50, started at 100
+        let token = m.run_token;
+        let segment = m.preempt_executing(130).unwrap();
+        assert_eq!(segment, 30);
+        assert!(m.executing().is_none());
+        assert!(m.run_token > token, "in-flight finish event must be staled");
+        let head = m.pending_entries().next().unwrap();
+        assert_eq!(head.task.id, TaskId(1));
+        assert_eq!(head.progress, 30);
+        assert_eq!(head.sampled_total, Some(50));
+        // FCFS order: preempted task resumes before task 2.
+        let ids: Vec<u32> = m.pending().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn preempt_idle_machine_is_none() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        assert!(m.preempt_executing(10).is_none());
+    }
+
+    #[test]
+    fn elapsed_accumulates_across_segments() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.push_pending(task(1, 1000));
+        let e = m.pop_next_pending().unwrap();
+        m.start(e, 0, 100);
+        m.preempt_executing(40);
+        let resumed = m.pop_next_pending().unwrap();
+        assert_eq!(resumed.progress, 40);
+        m.start(resumed, 70, 100);
+        let exec = m.executing().unwrap();
+        assert_eq!(exec.progress_before, 40);
+        assert_eq!(exec.elapsed_at(90), 60); // 40 earlier + 20 current
+    }
+}

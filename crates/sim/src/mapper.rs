@@ -1,0 +1,458 @@
+//! The [`Mapper`] trait and the [`MapContext`] through which mapping
+//! heuristics observe and mutate the system at each mapping event.
+//!
+//! The engine guarantees the mapper a consistent snapshot: expired tasks
+//! have already been culled, `missed_since_last` counts the deadline misses
+//! since the previous mapping event (the µ_τ of Eq. 8), and every mutation
+//! the mapper performs (assign / drop / evict) is applied immediately so
+//! later decisions within the same event see their effects.
+
+use crate::machine::MachineState;
+use hcsim_model::{MachineId, SystemSpec, Task, TaskId, Time};
+use hcsim_pmf::DropPolicy;
+
+/// Why an assignment was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignError {
+    /// The task id is not in the batch queue (already mapped or removed).
+    NotInBatch,
+    /// The target machine has no free queue slot.
+    MachineFull,
+    /// A preemption was requested on a machine with no executing task.
+    MachineNotExecuting,
+}
+
+impl std::fmt::Display for AssignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignError::NotInBatch => write!(f, "task is not in the batch queue"),
+            AssignError::MachineFull => write!(f, "machine queue is full"),
+            AssignError::MachineNotExecuting => {
+                write!(f, "machine has no executing task to preempt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+/// A task removed by the pruner during a mapping event, recorded by the
+/// engine after the mapper returns.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrunedTask {
+    pub task: Task,
+    pub machine: MachineId,
+    /// `Some(started_at)` when the task was executing (evicted), `None`
+    /// when it was pending.
+    pub started_at: Option<Time>,
+    /// Execution time from earlier (preempted) segments.
+    pub progress_before: Time,
+}
+
+/// Mutable view of the system handed to the mapper at each mapping event.
+pub struct MapContext<'a> {
+    pub(crate) now: Time,
+    pub(crate) missed_since_last: usize,
+    pub(crate) drop_policy: DropPolicy,
+    pub(crate) spec: &'a SystemSpec,
+    pub(crate) batch: &'a mut Vec<Task>,
+    pub(crate) machines: &'a mut [MachineState],
+    pub(crate) pruned: &'a mut Vec<PrunedTask>,
+    /// Busy time consumed by interrupted execution segments (preemptions)
+    /// during this event, applied by the engine afterwards.
+    pub(crate) segment_charges: &'a mut Vec<(MachineId, Time)>,
+}
+
+impl<'a> MapContext<'a> {
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of tasks that missed their deadline since the previous
+    /// mapping event — µ_τ in the oversubscription detector (Eq. 8).
+    /// Probabilistic prunes do *not* count; only genuine deadline misses.
+    #[must_use]
+    pub fn missed_since_last(&self) -> usize {
+        self.missed_since_last
+    }
+
+    /// The static system description (machines, PET, prices).
+    #[must_use]
+    pub fn spec(&self) -> &SystemSpec {
+        self.spec
+    }
+
+    /// The drop policy the engine enforces (§IV scenario), so heuristics
+    /// can model exactly the world they are scheduling into.
+    #[must_use]
+    pub fn drop_policy(&self) -> DropPolicy {
+        self.drop_policy
+    }
+
+    /// Unmapped tasks in arrival order.
+    #[must_use]
+    pub fn batch(&self) -> &[Task] {
+        self.batch
+    }
+
+    /// All machine states.
+    #[must_use]
+    pub fn machines(&self) -> &[MachineState] {
+        self.machines
+    }
+
+    /// One machine's state.
+    #[must_use]
+    pub fn machine(&self, m: MachineId) -> &MachineState {
+        &self.machines[m.index()]
+    }
+
+    /// Number of machines.
+    #[must_use]
+    pub fn num_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total free queue slots across machines.
+    #[must_use]
+    pub fn total_free_slots(&self) -> usize {
+        self.machines.iter().map(MachineState::free_slots).sum()
+    }
+
+    /// Moves a batch task to the tail of machine `m`'s queue.
+    ///
+    /// §III: once mapped, a task cannot be remapped.
+    pub fn assign(&mut self, task_id: TaskId, m: MachineId) -> Result<(), AssignError> {
+        if !self.machines[m.index()].has_free_slot() {
+            return Err(AssignError::MachineFull);
+        }
+        let pos = self
+            .batch
+            .iter()
+            .position(|t| t.id == task_id)
+            .ok_or(AssignError::NotInBatch)?;
+        let task = self.batch.remove(pos);
+        self.machines[m.index()].push_pending(task);
+        Ok(())
+    }
+
+    /// Probabilistically drops a *pending* task from machine `m`'s queue
+    /// (the pruner's dropping stage, §V-B). Returns false when the task is
+    /// not pending on that machine.
+    pub fn drop_pending(&mut self, m: MachineId, task_id: TaskId) -> bool {
+        match self.machines[m.index()].remove_pending(task_id) {
+            Some(task) => {
+                self.pruned.push(PrunedTask {
+                    task,
+                    machine: m,
+                    started_at: None,
+                    progress_before: 0,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evicts the *executing* task on machine `m` (only meaningful under
+    /// [`hcsim_pmf::DropPolicy::All`], where the executing task may be
+    /// dropped). Returns the evicted task, or `None` if the machine was not
+    /// executing.
+    pub fn evict_executing(&mut self, m: MachineId) -> Option<Task> {
+        let exec = self.machines[m.index()].finish_executing()?;
+        self.pruned.push(PrunedTask {
+            task: exec.task,
+            machine: m,
+            started_at: Some(exec.started_at),
+            progress_before: exec.progress_before,
+        });
+        Some(exec.task)
+    }
+
+    /// Preempts machine `m`'s executing task and maps `task_id` ahead of
+    /// it: the batch task takes the queue head, the preempted task resumes
+    /// immediately after with its completed work retained (§VIII future
+    /// work — probabilistic task preemption).
+    ///
+    /// Fails when the machine is idle or the task is not in the batch;
+    /// occupancy is unchanged (executing → pending), so capacity is never
+    /// an obstacle.
+    pub fn preempt_and_assign(
+        &mut self,
+        m: MachineId,
+        task_id: TaskId,
+    ) -> Result<(), AssignError> {
+        if self.machines[m.index()].executing().is_none() {
+            return Err(AssignError::MachineNotExecuting);
+        }
+        let pos = self
+            .batch
+            .iter()
+            .position(|t| t.id == task_id)
+            .ok_or(AssignError::NotInBatch)?;
+        let task = self.batch.remove(pos);
+        let now = self.now;
+        let machine = &mut self.machines[m.index()];
+        let segment = machine.preempt_executing(now).expect("checked executing above");
+        self.segment_charges.push((m, segment));
+        machine.push_pending_front(crate::machine::PendingEntry::new(task));
+        Ok(())
+    }
+}
+
+/// Counters a mapper may expose for experiment instrumentation (Fig. 4's
+/// detector dynamics). All counts are cumulative over one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapperInstrumentation {
+    /// Mapping events observed.
+    pub mapping_events: u64,
+    /// Events during which the dropping toggle was engaged.
+    pub events_dropping_engaged: u64,
+    /// Number of on/off transitions of the dropping toggle (the Schmitt
+    /// trigger exists to keep this low).
+    pub toggle_transitions: u64,
+    /// Tasks removed by the probabilistic dropping pass.
+    pub pruner_drops: u64,
+    /// Executing tasks preempted in favor of urgent arrivals (§VIII
+    /// extension; zero unless preemption is enabled).
+    pub preemptions: u64,
+}
+
+/// A mapping heuristic driven by the engine at every mapping event.
+pub trait Mapper {
+    /// Short display name ("PAM", "MM", …) used in reports.
+    fn name(&self) -> &str;
+
+    /// Invoked at each mapping event (task arrival or completion), after
+    /// expired tasks have been culled. Implementations assign batch tasks
+    /// to machines and may prune queued tasks.
+    fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>);
+
+    /// Invoked on every terminal task event — on-time completion, late
+    /// completion, expiry, or prune — with `success` true only for on-time
+    /// completion. PAMF uses this to maintain per-type sufferage values.
+    fn on_task_finished(&mut self, task: &Task, success: bool) {
+        let _ = (task, success);
+    }
+
+    /// Instrumentation counters, when the heuristic tracks them (PAM/PAMF
+    /// do; the baselines return `None`).
+    fn instrumentation(&self) -> Option<MapperInstrumentation> {
+        None
+    }
+}
+
+impl<M: Mapper + ?Sized> Mapper for &mut M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+        (**self).on_mapping_event(ctx);
+    }
+
+    fn on_task_finished(&mut self, task: &Task, success: bool) {
+        (**self).on_task_finished(task, success);
+    }
+
+    fn instrumentation(&self) -> Option<MapperInstrumentation> {
+        (**self).instrumentation()
+    }
+}
+
+impl<M: Mapper + ?Sized> Mapper for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+        (**self).on_mapping_event(ctx);
+    }
+
+    fn on_task_finished(&mut self, task: &Task, success: bool) {
+        (**self).on_task_finished(task, success);
+    }
+
+    fn instrumentation(&self) -> Option<MapperInstrumentation> {
+        (**self).instrumentation()
+    }
+}
+
+/// Baseline-of-baselines: assigns each batch task (in arrival order) to
+/// the first machine with a free slot, with no probabilistic reasoning.
+/// Exists for engine tests and as a floor in comparisons.
+#[derive(Debug, Default, Clone)]
+pub struct FirstFitMapper;
+
+impl Mapper for FirstFitMapper {
+    fn name(&self) -> &str {
+        "FirstFit"
+    }
+
+    fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+        let ids: Vec<TaskId> = ctx.batch().iter().map(|t| t.id).collect();
+        for id in ids {
+            let target = (0..ctx.num_machines())
+                .map(MachineId::from)
+                .find(|&m| ctx.machine(m).has_free_slot());
+            match target {
+                Some(m) => {
+                    ctx.assign(id, m).expect("slot checked above");
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{PetBuilder, PriceTable, TaskTypeId};
+    use hcsim_stats::SeedSequence;
+
+    fn spec() -> SystemSpec {
+        let mut rng = SeedSequence::new(1).stream(0);
+        let (pet, truth) = PetBuilder::new().build(&[vec![50.0, 80.0]], &mut rng);
+        SystemSpec {
+            machines: vec![
+                hcsim_model::MachineSpec { name: "a".into() },
+                hcsim_model::MachineSpec { name: "b".into() },
+            ],
+            task_types: vec![hcsim_model::TaskTypeSpec { name: "t".into() }],
+            pet,
+            truth,
+            prices: PriceTable::uniform(2, 1.0),
+            queue_capacity: 2,
+        }
+        .validated()
+    }
+
+    fn task(id: u32) -> Task {
+        Task { id: TaskId(id), type_id: TaskTypeId(0), arrival: 0, deadline: 1000 }
+    }
+
+    struct Fixture {
+        spec: SystemSpec,
+        batch: Vec<Task>,
+        machines: Vec<MachineState>,
+        pruned: Vec<PrunedTask>,
+        segment_charges: Vec<(MachineId, crate::Time)>,
+    }
+
+    impl Fixture {
+        fn new(batch: Vec<Task>) -> Self {
+            let spec = spec();
+            let machines =
+                (0..2).map(|m| MachineState::new(MachineId::from(m as usize), 2)).collect();
+            Self { spec, batch, machines, pruned: Vec::new(), segment_charges: Vec::new() }
+        }
+
+        fn ctx(&mut self) -> MapContext<'_> {
+            MapContext {
+                now: 0,
+                missed_since_last: 0,
+                drop_policy: DropPolicy::All,
+                spec: &self.spec,
+                batch: &mut self.batch,
+                machines: &mut self.machines,
+                pruned: &mut self.pruned,
+                segment_charges: &mut self.segment_charges,
+            }
+        }
+    }
+
+    #[test]
+    fn assign_moves_task_from_batch() {
+        let mut fx = Fixture::new(vec![task(1), task(2)]);
+        let mut ctx = fx.ctx();
+        ctx.assign(TaskId(1), MachineId(0)).unwrap();
+        assert_eq!(ctx.batch().len(), 1);
+        assert_eq!(ctx.machine(MachineId(0)).occupancy(), 1);
+        assert_eq!(ctx.total_free_slots(), 3);
+    }
+
+    #[test]
+    fn assign_rejects_unknown_task() {
+        let mut fx = Fixture::new(vec![task(1)]);
+        let mut ctx = fx.ctx();
+        assert_eq!(ctx.assign(TaskId(99), MachineId(0)), Err(AssignError::NotInBatch));
+    }
+
+    #[test]
+    fn assign_rejects_full_machine() {
+        let mut fx = Fixture::new(vec![task(1), task(2), task(3)]);
+        let mut ctx = fx.ctx();
+        ctx.assign(TaskId(1), MachineId(0)).unwrap();
+        ctx.assign(TaskId(2), MachineId(0)).unwrap();
+        assert_eq!(ctx.assign(TaskId(3), MachineId(0)), Err(AssignError::MachineFull));
+    }
+
+    #[test]
+    fn drop_pending_records_prune() {
+        let mut fx = Fixture::new(vec![task(1)]);
+        let mut ctx = fx.ctx();
+        ctx.assign(TaskId(1), MachineId(1)).unwrap();
+        assert!(ctx.drop_pending(MachineId(1), TaskId(1)));
+        assert!(!ctx.drop_pending(MachineId(1), TaskId(1)));
+        assert_eq!(fx.pruned.len(), 1);
+        assert_eq!(fx.pruned[0].machine, MachineId(1));
+        assert!(fx.pruned[0].started_at.is_none());
+    }
+
+    #[test]
+    fn evict_executing_records_start_time() {
+        let mut fx = Fixture::new(vec![]);
+        fx.machines[0].start(crate::machine::PendingEntry::new(task(7)), 42, 30);
+        let mut ctx = fx.ctx();
+        let evicted = ctx.evict_executing(MachineId(0)).unwrap();
+        assert_eq!(evicted.id, TaskId(7));
+        assert!(ctx.evict_executing(MachineId(0)).is_none());
+        assert_eq!(fx.pruned[0].started_at, Some(42));
+    }
+
+    #[test]
+    fn first_fit_fills_in_order() {
+        let mut fx = Fixture::new(vec![task(1), task(2), task(3), task(4), task(5)]);
+        let mut ctx = fx.ctx();
+        FirstFitMapper.on_mapping_event(&mut ctx);
+        // Capacity 2+2: four tasks mapped, one left in batch.
+        assert_eq!(fx.batch.len(), 1);
+        assert_eq!(fx.batch[0].id, TaskId(5));
+        assert_eq!(fx.machines[0].occupancy(), 2);
+        assert_eq!(fx.machines[1].occupancy(), 2);
+    }
+
+    #[test]
+    fn preempt_and_assign_orders_queue_correctly() {
+        let mut fx = Fixture::new(vec![task(9)]);
+        fx.machines[0].start(crate::machine::PendingEntry::new(task(1)), 0, 100);
+        let mut ctx = fx.ctx();
+        ctx.preempt_and_assign(MachineId(0), TaskId(9)).unwrap();
+        assert!(ctx.batch().is_empty());
+        let m = ctx.machine(MachineId(0));
+        assert!(m.executing().is_none(), "engine restarts after the event");
+        let order: Vec<u32> = m.pending().map(|t| t.id.0).collect();
+        assert_eq!(order, vec![9, 1], "urgent task first, preempted resumes second");
+        assert_eq!(fx.segment_charges.len(), 1);
+    }
+
+    #[test]
+    fn preempt_requires_executing_task() {
+        let mut fx = Fixture::new(vec![task(9)]);
+        let mut ctx = fx.ctx();
+        assert_eq!(
+            ctx.preempt_and_assign(MachineId(0), TaskId(9)),
+            Err(AssignError::MachineNotExecuting)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(AssignError::NotInBatch.to_string().contains("batch"));
+        assert!(AssignError::MachineFull.to_string().contains("full"));
+        assert!(AssignError::MachineNotExecuting.to_string().contains("preempt"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Robustness and fairness metrics over one simulation run.
+//!
+//! §VII-A: "the performance metric (and the vertical axis) is the
+//! percentage of tasks completed before their deadline (i.e., overall
+//! robustness)". §VI-B: the first and last `trim` tasks are excluded so
+//! only the oversubscribed steady state is measured. §VII-D additionally
+//! reports the *variance* of per-task-type completion percentages — the
+//! fairness axis of Fig. 6.
+
+use hcsim_model::{TaskOutcome, TaskRecord};
+use serde::{Deserialize, Serialize};
+
+/// Counts of terminal outcomes over the counted (untrimmed) tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Completed at or before the deadline.
+    pub on_time: usize,
+    /// Completed after the deadline (scenario A/B only).
+    pub late: usize,
+    /// Evicted at the deadline but delivered a degraded (approximate)
+    /// result — §VIII future work, opt-in via
+    /// `SimConfig::approx_min_progress`.
+    pub approx: usize,
+    /// Expired before starting (batch queue or machine queue).
+    pub expired_unstarted: usize,
+    /// Evicted at deadline mid-execution.
+    pub expired_executing: usize,
+    /// Removed by the probabilistic pruner.
+    pub pruned: usize,
+    /// Still in the system when the simulation ended.
+    pub unfinished: usize,
+}
+
+impl OutcomeCounts {
+    fn add(&mut self, outcome: TaskOutcome) {
+        match outcome {
+            TaskOutcome::CompletedOnTime => self.on_time += 1,
+            TaskOutcome::CompletedLate => self.late += 1,
+            TaskOutcome::CompletedApprox => self.approx += 1,
+            TaskOutcome::ExpiredUnstarted => self.expired_unstarted += 1,
+            TaskOutcome::ExpiredExecuting => self.expired_executing += 1,
+            TaskOutcome::PrunedDropped => self.pruned += 1,
+            TaskOutcome::Unfinished => self.unfinished += 1,
+        }
+    }
+
+    /// Total counted tasks.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.on_time
+            + self.late
+            + self.approx
+            + self.expired_unstarted
+            + self.expired_executing
+            + self.pruned
+            + self.unfinished
+    }
+}
+
+/// Aggregated metrics for one trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Tasks included after trimming.
+    pub counted: usize,
+    /// Outcome breakdown over counted tasks.
+    pub outcomes: OutcomeCounts,
+    /// Overall robustness: % of counted tasks completed on time.
+    pub pct_on_time: f64,
+    /// Per-task-type robustness (% on time); `NaN` for types with no
+    /// counted tasks.
+    pub per_type_pct: Vec<f64>,
+    /// Per-task-type `(on_time, total)` counted tasks.
+    pub per_type_counts: Vec<(usize, usize)>,
+    /// Population variance of `per_type_pct` over types that appeared —
+    /// the fairness metric of Fig. 6 (lower = fairer).
+    pub type_variance: f64,
+    /// Service level including approximate completions: % of counted tasks
+    /// that delivered either a full on-time result or a degraded one.
+    pub pct_useful: f64,
+}
+
+impl Metrics {
+    /// Computes metrics from per-task records.
+    ///
+    /// `trim` tasks are excluded from each end *by arrival order* (records
+    /// must be in arrival order, which the engine guarantees since task
+    /// ids are assigned by arrival). If `2·trim >= records.len()`, nothing
+    /// is counted and all percentages are zero.
+    #[must_use]
+    pub fn compute(records: &[TaskRecord], num_task_types: usize, trim: usize) -> Self {
+        let n = records.len();
+        let counted_range = if 2 * trim >= n { 0..0 } else { trim..n - trim };
+        let counted_records = &records[counted_range];
+
+        let mut outcomes = OutcomeCounts::default();
+        let mut per_type = vec![(0usize, 0usize); num_task_types];
+        for rec in counted_records {
+            outcomes.add(rec.outcome);
+            let cell = &mut per_type[rec.task.type_id.index()];
+            cell.1 += 1;
+            if rec.is_success() {
+                cell.0 += 1;
+            }
+        }
+
+        let counted = counted_records.len();
+        let pct_on_time =
+            if counted == 0 { 0.0 } else { 100.0 * outcomes.on_time as f64 / counted as f64 };
+        let pct_useful = if counted == 0 {
+            0.0
+        } else {
+            100.0 * (outcomes.on_time + outcomes.approx) as f64 / counted as f64
+        };
+
+        let per_type_pct: Vec<f64> = per_type
+            .iter()
+            .map(|&(ok, total)| {
+                if total == 0 {
+                    f64::NAN
+                } else {
+                    100.0 * ok as f64 / total as f64
+                }
+            })
+            .collect();
+
+        let present: Vec<f64> = per_type_pct.iter().copied().filter(|p| !p.is_nan()).collect();
+        let type_variance = if present.len() < 2 {
+            0.0
+        } else {
+            let mean = present.iter().sum::<f64>() / present.len() as f64;
+            present.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / present.len() as f64
+        };
+
+        Self {
+            counted,
+            outcomes,
+            pct_on_time,
+            pct_useful,
+            per_type_pct,
+            per_type_counts: per_type,
+            type_variance,
+        }
+    }
+
+    /// Standard deviation across task types (square root of
+    /// [`Metrics::type_variance`]).
+    #[must_use]
+    pub fn type_std_dev(&self) -> f64 {
+        self.type_variance.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{MachineId, Task, TaskId, TaskTypeId};
+
+    fn record(id: u32, type_id: u16, outcome: TaskOutcome) -> TaskRecord {
+        TaskRecord {
+            task: Task {
+                id: TaskId(id),
+                type_id: TaskTypeId(type_id),
+                arrival: id as u64,
+                deadline: id as u64 + 100,
+            },
+            outcome,
+            machine: Some(MachineId(0)),
+            started_at: None,
+            finished_at: id as u64 + 50,
+            machine_time: 0,
+        }
+    }
+
+    #[test]
+    fn basic_percentages() {
+        let records = vec![
+            record(0, 0, TaskOutcome::CompletedOnTime),
+            record(1, 0, TaskOutcome::ExpiredUnstarted),
+            record(2, 1, TaskOutcome::CompletedOnTime),
+            record(3, 1, TaskOutcome::CompletedOnTime),
+        ];
+        let m = Metrics::compute(&records, 2, 0);
+        assert_eq!(m.counted, 4);
+        assert_eq!(m.outcomes.on_time, 3);
+        assert!((m.pct_on_time - 75.0).abs() < 1e-12);
+        assert!((m.per_type_pct[0] - 50.0).abs() < 1e-12);
+        assert!((m.per_type_pct[1] - 100.0).abs() < 1e-12);
+        assert_eq!(m.per_type_counts, vec![(1, 2), (2, 2)]);
+        // Variance of {50, 100}: mean 75, var 625.
+        assert!((m.type_variance - 625.0).abs() < 1e-9);
+        assert!((m.type_std_dev() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trimming_excludes_both_ends() {
+        let mut records = Vec::new();
+        // 10 tasks: first 2 and last 2 fail; middle 6 succeed.
+        for i in 0..10u32 {
+            let outcome = if (2..8).contains(&i) {
+                TaskOutcome::CompletedOnTime
+            } else {
+                TaskOutcome::ExpiredUnstarted
+            };
+            records.push(record(i, 0, outcome));
+        }
+        let m = Metrics::compute(&records, 1, 2);
+        assert_eq!(m.counted, 6);
+        assert!((m.pct_on_time - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_trimming_counts_nothing() {
+        let records = vec![record(0, 0, TaskOutcome::CompletedOnTime)];
+        let m = Metrics::compute(&records, 1, 1);
+        assert_eq!(m.counted, 0);
+        assert_eq!(m.pct_on_time, 0.0);
+        assert_eq!(m.type_variance, 0.0);
+    }
+
+    #[test]
+    fn absent_types_are_nan_and_skipped_in_variance() {
+        let records = vec![
+            record(0, 0, TaskOutcome::CompletedOnTime),
+            record(1, 2, TaskOutcome::CompletedOnTime),
+        ];
+        let m = Metrics::compute(&records, 3, 0);
+        assert!(m.per_type_pct[1].is_nan());
+        // Both present types at 100% → zero variance.
+        assert_eq!(m.type_variance, 0.0);
+    }
+
+    #[test]
+    fn outcome_counts_cover_all_variants() {
+        let records = vec![
+            record(0, 0, TaskOutcome::CompletedOnTime),
+            record(1, 0, TaskOutcome::CompletedLate),
+            record(2, 0, TaskOutcome::ExpiredUnstarted),
+            record(3, 0, TaskOutcome::ExpiredExecuting),
+            record(4, 0, TaskOutcome::PrunedDropped),
+            record(5, 0, TaskOutcome::Unfinished),
+            record(6, 0, TaskOutcome::CompletedApprox),
+        ];
+        let m = Metrics::compute(&records, 1, 0);
+        assert_eq!(m.outcomes.total(), 7);
+        assert_eq!(m.outcomes.on_time, 1);
+        assert_eq!(m.outcomes.late, 1);
+        assert_eq!(m.outcomes.approx, 1);
+        assert_eq!(m.outcomes.expired_unstarted, 1);
+        assert_eq!(m.outcomes.expired_executing, 1);
+        assert_eq!(m.outcomes.pruned, 1);
+        assert_eq!(m.outcomes.unfinished, 1);
+        // pct_useful counts on-time + approx.
+        assert!((m.pct_useful - 100.0 * 2.0 / 7.0).abs() < 1e-9);
+        assert!(m.pct_useful > m.pct_on_time);
+    }
+
+    #[test]
+    fn empty_records() {
+        let m = Metrics::compute(&[], 4, 0);
+        assert_eq!(m.counted, 0);
+        assert_eq!(m.pct_on_time, 0.0);
+        assert!(m.per_type_pct.iter().all(|p| p.is_nan()));
+    }
+
+    #[test]
+    fn single_type_has_zero_variance() {
+        let records =
+            vec![record(0, 0, TaskOutcome::CompletedOnTime), record(1, 0, TaskOutcome::PrunedDropped)];
+        let m = Metrics::compute(&records, 1, 0);
+        assert_eq!(m.type_variance, 0.0);
+    }
+}

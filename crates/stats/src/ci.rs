@@ -1,0 +1,177 @@
+//! Mean ± 95 % confidence intervals over experiment trials.
+//!
+//! §VII-A of the paper: "for each examined parameter, 30 workload trials
+//! were performed … and the mean and 95 % confidence interval of the results
+//! is reported". The interval uses the Student-t critical value for the
+//! trial count (t is materially wider than the normal 1.96 at n = 30).
+
+use serde::{Deserialize, Serialize};
+
+/// A mean with a symmetric 95 % confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval (0 for n < 2).
+    pub half_width: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True if `other`'s interval overlaps this one. Two non-overlapping
+    /// intervals indicate a statistically meaningful difference at ~95 %.
+    #[must_use]
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.half_width)
+    }
+}
+
+/// Two-sided 95 % Student-t critical values by degrees of freedom.
+///
+/// Exact table values for df 1–30, then selected rows with linear
+/// interpolation, converging to the normal quantile 1.96 for large df.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    const SPARSE: [(usize, f64); 6] =
+        [(30, 2.042), (40, 2.021), (60, 2.000), (80, 1.990), (100, 1.984), (120, 1.980)];
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    if df <= 30 {
+        return TABLE[df - 1];
+    }
+    if df >= 120 {
+        return 1.96;
+    }
+    // Linear interpolation between sparse rows.
+    for window in SPARSE.windows(2) {
+        let (d0, t0) = window[0];
+        let (d1, t1) = window[1];
+        if df >= d0 && df <= d1 {
+            let frac = (df - d0) as f64 / (d1 - d0) as f64;
+            return t0 + frac * (t1 - t0);
+        }
+    }
+    1.96
+}
+
+/// Computes the mean and 95 % confidence interval of `values`.
+///
+/// Returns a zero-width interval for fewer than two observations and a NaN
+/// mean for an empty slice.
+#[must_use]
+pub fn mean_ci95(values: &[f64]) -> ConfidenceInterval {
+    let n = values.len();
+    if n == 0 {
+        return ConfidenceInterval { mean: f64::NAN, half_width: 0.0, n: 0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return ConfidenceInterval { mean, half_width: 0.0, n };
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    let se = (var / n as f64).sqrt();
+    let t = t_critical_95(n - 1);
+    ConfidenceInterval { mean, half_width: t * se, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_anchor_values() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(29) - 2.045).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert_eq!(t_critical_95(200), 1.96);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn t_table_interpolation_monotone() {
+        let mut prev = t_critical_95(30);
+        for df in 31..=121 {
+            let t = t_critical_95(df);
+            assert!(t <= prev + 1e-12, "df {df}: {t} > {prev}");
+            assert!(t >= 1.96 - 1e-12);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ci_of_constant_data_is_zero_width() {
+        let ci = mean_ci95(&[5.0; 30]);
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+        assert_eq!(ci.n, 30);
+    }
+
+    #[test]
+    fn ci_known_example() {
+        // n=4, mean=5, sample sd=2 → se=1, t(3)=3.182 → hw=3.182
+        let ci = mean_ci95(&[3.0, 4.0, 6.0, 7.0]);
+        assert!((ci.mean - 5.0).abs() < 1e-12);
+        let sd = ((4.0 + 1.0 + 1.0 + 4.0) / 3.0f64).sqrt();
+        let expected = 3.182 * sd / 2.0;
+        assert!((ci.half_width - expected).abs() < 1e-9, "{} vs {expected}", ci.half_width);
+    }
+
+    #[test]
+    fn ci_empty_and_singleton() {
+        assert!(mean_ci95(&[]).mean.is_nan());
+        let one = mean_ci95(&[42.0]);
+        assert_eq!(one.mean, 42.0);
+        assert_eq!(one.half_width, 0.0);
+    }
+
+    #[test]
+    fn ci_30_trials_uses_t29() {
+        // 30 observations alternating ±1 around 10.
+        let values: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 9.0 } else { 11.0 }).collect();
+        let ci = mean_ci95(&values);
+        let sd = (30.0 / 29.0f64).sqrt();
+        let expected = 2.045 * sd / 30.0f64.sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ConfidenceInterval { mean: 10.0, half_width: 1.0, n: 30 };
+        let b = ConfidenceInterval { mean: 11.5, half_width: 1.0, n: 30 };
+        let c = ConfidenceInterval { mean: 20.0, half_width: 1.0, n: 30 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!c.overlaps(&a));
+    }
+
+    #[test]
+    fn display_format() {
+        let ci = ConfidenceInterval { mean: 12.345, half_width: 0.678, n: 30 };
+        assert_eq!(ci.to_string(), "12.35 ± 0.68");
+    }
+}

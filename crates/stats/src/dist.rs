@@ -1,0 +1,391 @@
+//! Continuous distributions needed by the paper's experimental setup.
+//!
+//! §VI-A: execution-time PMFs are built from gamma distributions whose mean
+//! comes from benchmark measurements and whose shape is drawn uniformly from
+//! `[1, 20]`. §VI-B: task inter-arrival times are gamma with variance equal
+//! to 10 % of the mean.
+//!
+//! The approved offline dependency set contains `rand` but not `rand_distr`,
+//! so the samplers live here:
+//!
+//! * [`Normal`] — polar Box–Muller.
+//! * [`Gamma`] — Marsaglia & Tsang's squeeze method for `shape >= 1`, with
+//!   the standard `U^(1/shape)` boost for `shape < 1`.
+//! * [`Exponential`] — inverse CDF.
+//!
+//! All samplers are validated against analytic moments in the tests.
+
+use rand::Rng;
+
+/// Error returned when constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError {
+    what: &'static str,
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Normal distribution `N(mean, std_dev^2)` sampled via polar Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution. `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError { what: "Normal requires finite mean and std_dev >= 0" });
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { mean: 0.0, std_dev: 1.0 }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Polar (Marsaglia) variant of Box–Muller: rejection-sample a point
+        // in the unit disc, then transform. One of the pair is discarded to
+        // keep the sampler stateless.
+        loop {
+            let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Gamma distribution with `shape` k and `scale` θ (mean = k·θ,
+/// variance = k·θ²).
+///
+/// Sampling uses Marsaglia & Tsang, "A Simple Method for Generating Gamma
+/// Variables" (ACM TOMS 2000): for `shape >= 1`, squeeze-accept a cubed
+/// normal transform; for `shape < 1`, sample `Gamma(shape + 1)` and multiply
+/// by `U^(1/shape)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution. Both parameters must be finite and
+    /// strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(ParamError { what: "Gamma requires shape > 0" });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(ParamError { what: "Gamma requires scale > 0" });
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// Constructs the gamma distribution with the given `mean` and `shape`
+    /// (scale is derived as `mean / shape`).
+    ///
+    /// This is the parameterization §VI-A uses: benchmark means plus a shape
+    /// drawn from `[1, 20]`.
+    pub fn from_mean_shape(mean: f64, shape: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(ParamError { what: "Gamma requires mean > 0" });
+        }
+        Self::new(shape, mean / shape)
+    }
+
+    /// Constructs the gamma distribution with the given `mean` and
+    /// `variance`.
+    ///
+    /// §VI-B parameterizes arrival processes this way (variance = 10 % of
+    /// the mean).
+    pub fn from_mean_variance(mean: f64, variance: f64) -> Result<Self, ParamError> {
+        if !(variance.is_finite() && variance > 0.0) {
+            return Err(ParamError { what: "Gamma requires variance > 0" });
+        }
+        let scale = variance / mean;
+        let shape = mean / scale;
+        Self::new(shape, scale)
+    }
+
+    /// Shape parameter k.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter θ.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Mean k·θ.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Variance k·θ².
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    /// Analytic skewness `2 / sqrt(k)`; used to cross-check the empirical
+    /// skewness machinery.
+    #[must_use]
+    pub fn skewness(&self) -> f64 {
+        2.0 / self.shape.sqrt()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: X ~ Gamma(shape+1), return X * U^(1/shape).
+            let boosted = Gamma { shape: self.shape + 1.0, scale: self.scale };
+            let u: f64 = loop {
+                let u = rng.gen::<f64>();
+                if u > 0.0 {
+                    break u;
+                }
+            };
+            return boosted.sample_shape_ge1(rng) * u.powf(1.0 / self.shape);
+        }
+        self.sample_shape_ge1(rng)
+    }
+
+    /// Marsaglia–Tsang core, valid for `shape >= 1`.
+    fn sample_shape_ge1<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let normal = Normal::standard();
+        loop {
+            let x = normal.sample(rng);
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u: f64 = rng.gen();
+            // Squeeze check (fast accept), then the full log check.
+            if u < 1.0 - 0.0331 * x * x * x * x {
+                return d * v3 * self.scale;
+            }
+            if u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+                return d * v3 * self.scale;
+            }
+        }
+    }
+}
+
+/// Exponential distribution with the given rate λ (mean 1/λ), sampled by
+/// inverse CDF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution. `rate` must be finite and `> 0`.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ParamError { what: "Exponential requires rate > 0" });
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates the exponential distribution with the given mean.
+    pub fn from_mean(mean: f64) -> Result<Self, ParamError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(ParamError { what: "Exponential requires mean > 0" });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Mean 1/λ.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - U in (0, 1] avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = Xoshiro256pp::new(1);
+        let dist = Normal::new(10.0, 3.0).unwrap();
+        let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn gamma_moments_match_shape_ge1() {
+        let mut rng = Xoshiro256pp::new(2);
+        for &(shape, scale) in &[(1.0, 2.0), (4.0, 25.0), (20.0, 10.0)] {
+            let dist = Gamma::new(shape, scale).unwrap();
+            let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+            let (mean, var) = moments(&samples);
+            let rel_mean = (mean - dist.mean()).abs() / dist.mean();
+            let rel_var = (var - dist.variance()).abs() / dist.variance();
+            assert!(rel_mean < 0.02, "shape {shape}: mean {mean} vs {}", dist.mean());
+            assert!(rel_var < 0.05, "shape {shape}: var {var} vs {}", dist.variance());
+        }
+    }
+
+    #[test]
+    fn gamma_moments_match_shape_lt1() {
+        let mut rng = Xoshiro256pp::new(3);
+        let dist = Gamma::new(0.5, 4.0).unwrap();
+        let samples: Vec<f64> = (0..300_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - dist.mean()).abs() / dist.mean() < 0.02, "mean {mean}");
+        assert!((var - dist.variance()).abs() / dist.variance() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn gamma_samples_positive() {
+        let mut rng = Xoshiro256pp::new(4);
+        let dist = Gamma::new(1.0, 50.0).unwrap();
+        for _ in 0..50_000 {
+            assert!(dist.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gamma_from_mean_shape() {
+        let dist = Gamma::from_mean_shape(100.0, 4.0).unwrap();
+        assert!((dist.mean() - 100.0).abs() < 1e-12);
+        assert!((dist.shape() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_from_mean_variance_matches_paper_arrivals() {
+        // §VI-B: variance = 10 % of the mean.
+        let mean = 75.0;
+        let dist = Gamma::from_mean_variance(mean, 0.1 * mean).unwrap();
+        assert!((dist.mean() - mean).abs() < 1e-9);
+        assert!((dist.variance() - 0.1 * mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_rejects_bad_params() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(-1.0, 1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::from_mean_shape(-5.0, 2.0).is_err());
+        assert!(Gamma::from_mean_variance(5.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn gamma_analytic_skewness() {
+        let dist = Gamma::new(4.0, 1.0).unwrap();
+        assert!((dist.skewness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_moments_match() {
+        let mut rng = Xoshiro256pp::new(5);
+        let dist = Exponential::from_mean(40.0).unwrap();
+        let samples: Vec<f64> = (0..200_000).map(|_| dist.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 40.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 1600.0).abs() / 1600.0 < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_rejects_bad_params() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::from_mean(-1.0).is_err());
+    }
+
+    #[test]
+    fn param_error_displays() {
+        let err = Gamma::new(0.0, 1.0).unwrap_err();
+        assert!(err.to_string().contains("shape"));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+            #[test]
+            fn gamma_sample_mean_tracks_parameter(
+                mean in 1.0f64..500.0,
+                shape in 0.5f64..30.0,
+                seed in 0u64..1_000,
+            ) {
+                let dist = Gamma::from_mean_shape(mean, shape).unwrap();
+                let mut rng = Xoshiro256pp::new(seed);
+                let n = 20_000;
+                let avg: f64 =
+                    (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / f64::from(n);
+                // CLT tolerance: sd/sqrt(n) with sd = mean/sqrt(shape);
+                // 6 sigma keeps false failures negligible.
+                let tol = 6.0 * mean / shape.sqrt() / f64::from(n).sqrt();
+                prop_assert!(
+                    (avg - mean).abs() < tol.max(mean * 0.05),
+                    "mean {avg} vs {mean} (shape {shape})"
+                );
+            }
+
+            #[test]
+            fn gamma_samples_always_positive(
+                mean in 0.1f64..100.0,
+                shape in 0.2f64..25.0,
+                seed in 0u64..500,
+            ) {
+                let dist = Gamma::from_mean_shape(mean, shape).unwrap();
+                let mut rng = Xoshiro256pp::new(seed);
+                for _ in 0..200 {
+                    prop_assert!(dist.sample(&mut rng) > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Histogram construction: continuous samples → discrete mass function.
+//!
+//! §VI-A of the paper: "from these times, a histogram was generated to
+//! produce a discrete probability mass function (PMF)". This module owns the
+//! sample→bins step; the `hcsim-pmf` crate turns the result into its impulse
+//! representation.
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram over `f64` samples, normalized to total mass 1.
+///
+/// Bin `i` covers `[lo + i·w, lo + (i+1)·w)` with the last bin closed on the
+/// right so the maximum sample is included. [`Histogram::centers`] reports
+/// each bin's center, which is what gets quantized onto the simulator's
+/// discrete time grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    mass: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the sample
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, `bins` is zero, or any sample is
+    /// non-finite.
+    #[must_use]
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "histogram needs at least one sample");
+        assert!(bins > 0, "histogram needs at least one bin");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &s in samples {
+            assert!(s.is_finite(), "non-finite sample {s}");
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        if hi == lo {
+            // Degenerate: all samples identical; single unit-mass bin.
+            return Self { lo, width: 1.0, mass: vec![1.0] };
+        }
+        let width = (hi - lo) / bins as f64;
+        let mut mass = vec![0.0; bins];
+        let unit = 1.0 / samples.len() as f64;
+        for &s in samples {
+            let mut idx = ((s - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1; // the maximum sample lands in the last bin
+            }
+            mass[idx] += unit;
+        }
+        Self { lo, width, mass }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// True when the histogram has no bins (never produced by
+    /// constructors; kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Lower bound of the sample range.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Bin width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Normalized per-bin mass.
+    #[must_use]
+    pub fn mass(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Total mass (should always be 1 up to rounding).
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Iterator over `(bin_center, mass)` pairs, skipping empty bins.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.mass.iter().enumerate().filter(|(_, &m)| m > 0.0).map(move |(i, &m)| {
+            (self.lo + (i as f64 + 0.5) * self.width, m)
+        })
+    }
+
+    /// Mean of the binned distribution (bin centers weighted by mass).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.centers().map(|(c, m)| c * m).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Gamma;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn uniform_samples_spread_evenly() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let hist = Histogram::from_samples(&samples, 10);
+        assert_eq!(hist.len(), 10);
+        for &m in hist.mass() {
+            assert!((m - 0.1).abs() < 0.011, "bin mass {m}");
+        }
+        assert!((hist.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_sample_included() {
+        let samples = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let hist = Histogram::from_samples(&samples, 4);
+        assert!((hist.total_mass() - 1.0).abs() < 1e-12);
+        // The max (4.0) must land in the last bin, not be dropped.
+        assert!(hist.mass()[3] > 0.3);
+    }
+
+    #[test]
+    fn degenerate_all_equal() {
+        let samples = [5.0; 20];
+        let hist = Histogram::from_samples(&samples, 8);
+        assert_eq!(hist.len(), 1);
+        assert!((hist.total_mass() - 1.0).abs() < 1e-12);
+        let (center, mass) = hist.centers().next().unwrap();
+        assert!((center - 5.5).abs() < 1.0);
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_mean_tracks_sample_mean() {
+        let mut rng = Xoshiro256pp::new(8);
+        let gamma = Gamma::from_mean_shape(120.0, 6.0).unwrap();
+        let samples: Vec<f64> = (0..500).map(|_| gamma.sample(&mut rng)).collect();
+        let sample_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let hist = Histogram::from_samples(&samples, 32);
+        assert!(
+            (hist.mean() - sample_mean).abs() / sample_mean < 0.03,
+            "hist mean {} vs sample mean {}",
+            hist.mean(),
+            sample_mean
+        );
+    }
+
+    #[test]
+    fn centers_skip_empty_bins() {
+        let samples = [0.0, 0.1, 9.9, 10.0];
+        let hist = Histogram::from_samples(&samples, 10);
+        let nonzero: Vec<_> = hist.centers().collect();
+        assert!(nonzero.len() < 10);
+        let mass_sum: f64 = nonzero.iter().map(|(_, m)| m).sum();
+        assert!((mass_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_panic() {
+        let _ = Histogram::from_samples(&[], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panic() {
+        let _ = Histogram::from_samples(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_sample_panics() {
+        let _ = Histogram::from_samples(&[1.0, f64::NAN], 4);
+    }
+
+    mod props {
+        use super::super::Histogram;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn mass_is_one_and_mean_in_range(
+                samples in prop::collection::vec(-1e6f64..1e6, 1..500),
+                bins in 1usize..64,
+            ) {
+                let hist = Histogram::from_samples(&samples, bins);
+                prop_assert!((hist.total_mass() - 1.0).abs() < 1e-9);
+                let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                // Bin centers sit within half a bin of the sample range.
+                let slack = hist.width() / 2.0 + 1e-9;
+                prop_assert!(hist.mean() >= lo - slack);
+                prop_assert!(hist.mean() <= hi + slack + 1.0);
+            }
+
+            #[test]
+            fn bin_count_respected(
+                samples in prop::collection::vec(0f64..1e3, 2..200),
+                bins in 1usize..32,
+            ) {
+                let hist = Histogram::from_samples(&samples, bins);
+                prop_assert!(hist.len() <= bins.max(1));
+            }
+        }
+    }
+}

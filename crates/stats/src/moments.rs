@@ -1,0 +1,348 @@
+//! Sample moments: online mean/variance and the paper's skewness estimator.
+//!
+//! Eq. 6 of the paper defines skewness with the bias correction
+//! `sqrt(N(N-1)) / (N-2)` applied to the third standardized moment, and
+//! §V-B1 then *bounds* it to `[-1, 1]` ("|S| >= 1 is considered highly
+//! skewed, thus we define s as bounded skewness").
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online accumulator for mean, variance, and the third
+/// central moment, enabling single-pass skewness computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+}
+
+impl OnlineMoments {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        // Pébay's single-pass update for central moments.
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Returns 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (n−1 denominator). Returns 0 for n < 2.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Population variance (n denominator). Returns 0 when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Skewness per the paper's Eq. 6:
+    /// `S = sqrt(N(N-1))/(N-2) · (Σ(Yi − Ȳ)³/N) / σ³`
+    /// where σ is the population standard deviation. Returns 0 for n < 3 or
+    /// zero variance.
+    #[must_use]
+    pub fn skewness(&self) -> f64 {
+        if self.n < 3 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let pop_var = self.m2 / n;
+        if pop_var <= 0.0 {
+            return 0.0;
+        }
+        let g1 = (self.m3 / n) / pop_var.powf(1.5);
+        (n * (n - 1.0)).sqrt() / (n - 2.0) * g1
+    }
+
+    /// Skewness clamped to `[-1, 1]` (the paper's bounded skewness `s`).
+    #[must_use]
+    pub fn bounded_skewness(&self) -> f64 {
+        self.skewness().clamp(-1.0, 1.0)
+    }
+}
+
+/// Computes Eq. 6 sample skewness of a slice in one pass.
+///
+/// Returns 0 for fewer than 3 observations or zero variance.
+#[must_use]
+pub fn sample_skewness(samples: &[f64]) -> f64 {
+    let mut acc = OnlineMoments::new();
+    for &s in samples {
+        acc.push(s);
+    }
+    acc.skewness()
+}
+
+/// Eq. 6 skewness clamped to `[-1, 1]` — the paper's bounded skewness `s`
+/// used by the per-task drop-threshold adjustment (Eq. 7).
+#[must_use]
+pub fn bounded_skewness(samples: &[f64]) -> f64 {
+    sample_skewness(samples).clamp(-1.0, 1.0)
+}
+
+/// Mass-weighted moments for distributions given as `(value, weight)`
+/// pairs, e.g. PMF impulses. Skewness here is the *population* third
+/// standardized moment (no small-sample correction: a PMF is the full
+/// distribution, not a sample from one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WeightedMoments {
+    weight: f64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+}
+
+impl WeightedMoments {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a value with non-negative weight.
+    pub fn push(&mut self, x: f64, w: f64) {
+        debug_assert!(w >= 0.0 && w.is_finite(), "bad weight {w}");
+        if w <= 0.0 {
+            return;
+        }
+        let w_old = self.weight;
+        let w_new = w_old + w;
+        let delta = x - self.mean;
+        let delta_w = delta * w / w_new;
+        // Pébay's pairwise-combination formulas specialized to merging a
+        // single weighted point (M2_B = M3_B = 0, n_B = w):
+        //   M3 += δ³·n_A·w·(n_A − w)/n² − 3·δ·w·M2_A/n
+        //   M2 += δ²·n_A·w/n
+        self.m3 += delta * delta * delta * w_old * w * (w_old - w) / (w_new * w_new)
+            - 3.0 * delta_w * self.m2;
+        self.m2 += w_old * delta * delta_w;
+        self.mean += delta_w;
+        self.weight = w_new;
+    }
+
+    /// Total accumulated weight.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Weighted mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Weighted population variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.weight <= 0.0 {
+            0.0
+        } else {
+            self.m2 / self.weight
+        }
+    }
+
+    /// Weighted population skewness (third standardized moment).
+    #[must_use]
+    pub fn skewness(&self) -> f64 {
+        if self.weight <= 0.0 {
+            return 0.0;
+        }
+        let var = self.m2 / self.weight;
+        if var <= 1e-300 {
+            return 0.0;
+        }
+        (self.m3 / self.weight) / var.powf(1.5)
+    }
+
+    /// Skewness clamped to `[-1, 1]`.
+    #[must_use]
+    pub fn bounded_skewness(&self) -> f64 {
+        self.skewness().clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Gamma;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn online_mean_variance() {
+        let mut acc = OnlineMoments::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        assert!((acc.population_variance() - 4.0).abs() < 1e-12);
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let acc = OnlineMoments::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.skewness(), 0.0);
+        let mut one = OnlineMoments::new();
+        one.push(3.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.skewness(), 0.0);
+        let mut two = OnlineMoments::new();
+        two.push(1.0);
+        two.push(2.0);
+        assert_eq!(two.skewness(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_data_zero_skew() {
+        let s = sample_skewness(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(s.abs() < 1e-12, "skew {s}");
+    }
+
+    #[test]
+    fn right_tail_positive_skew() {
+        // Bulk on the left, long tail to the right → positive skewness.
+        let s = sample_skewness(&[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 10.0]);
+        assert!(s > 1.0, "skew {s}");
+        assert!((bounded_skewness(&[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 10.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn left_tail_negative_skew() {
+        let s = sample_skewness(&[-10.0, -2.0, -2.0, -1.0, -1.0, -1.0, -1.0]);
+        assert!(s < -1.0, "skew {s}");
+        assert_eq!(bounded_skewness(&[-10.0, -2.0, -2.0, -1.0, -1.0, -1.0, -1.0]), -1.0);
+    }
+
+    #[test]
+    fn constant_data_zero_skew() {
+        assert_eq!(sample_skewness(&[4.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn gamma_empirical_skewness_matches_analytic() {
+        let mut rng = Xoshiro256pp::new(10);
+        let dist = Gamma::new(4.0, 2.0).unwrap(); // analytic skew = 1.0
+        let samples: Vec<f64> = (0..400_000).map(|_| dist.sample(&mut rng)).collect();
+        let s = sample_skewness(&samples);
+        assert!((s - 1.0).abs() < 0.05, "skew {s}");
+    }
+
+    #[test]
+    fn weighted_matches_unweighted_on_unit_weights() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = WeightedMoments::new();
+        for &x in &xs {
+            w.push(x, 1.0);
+        }
+        let mut o = OnlineMoments::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        assert!((w.mean() - o.mean()).abs() < 1e-12);
+        assert!((w.variance() - o.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_scale_invariance() {
+        // Scaling all weights by a constant must not change any moment.
+        let pts = [(1.0, 0.25), (2.0, 0.5), (3.0, 0.25)];
+        let mut a = WeightedMoments::new();
+        let mut b = WeightedMoments::new();
+        for &(x, w) in &pts {
+            a.push(x, w);
+            b.push(x, w * 7.5);
+        }
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+        assert!((a.variance() - b.variance()).abs() < 1e-12);
+        assert!((a.skewness() - b.skewness()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_pmf_skewness_signs() {
+        // Paper Fig. 3(b): mass {1: .25, 2: .60, 3: .15}? No — left skew
+        // example is {1: .15, 2: .60, 3: .25} reversed; just verify signs.
+        let mut right = WeightedMoments::new(); // bulk left, tail right
+        right.push(1.0, 0.60);
+        right.push(2.0, 0.25);
+        right.push(3.0, 0.15);
+        assert!(right.skewness() > 0.0);
+
+        let mut left = WeightedMoments::new(); // bulk right, tail left
+        left.push(1.0, 0.15);
+        left.push(2.0, 0.25);
+        left.push(3.0, 0.60);
+        assert!(left.skewness() < 0.0);
+    }
+
+    #[test]
+    fn weighted_zero_and_negative_guard() {
+        let mut w = WeightedMoments::new();
+        w.push(5.0, 0.0);
+        assert_eq!(w.total_weight(), 0.0);
+        assert_eq!(w.skewness(), 0.0);
+        w.push(5.0, 1.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.skewness(), 0.0);
+    }
+
+    #[test]
+    fn weighted_third_moment_reference() {
+        // Exact check against direct computation for a small PMF.
+        let pts = [(0.0, 0.2), (1.0, 0.5), (4.0, 0.3)];
+        let mut acc = WeightedMoments::new();
+        for &(x, w) in &pts {
+            acc.push(x, w);
+        }
+        let mean: f64 = pts.iter().map(|(x, w)| x * w).sum();
+        let var: f64 = pts.iter().map(|(x, w)| w * (x - mean).powi(2)).sum();
+        let m3: f64 = pts.iter().map(|(x, w)| w * (x - mean).powi(3)).sum();
+        let skew = m3 / var.powf(1.5);
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.variance() - var).abs() < 1e-12);
+        assert!((acc.skewness() - skew).abs() < 1e-9, "{} vs {}", acc.skewness(), skew);
+    }
+}

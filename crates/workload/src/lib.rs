@@ -1,0 +1,35 @@
+//! Workload generation for the experiments of §VI-B and §VII.
+//!
+//! Two complete HC systems are provided:
+//!
+//! * [`specint_system`] — the paper's main setup: 12 task types whose mean
+//!   execution times derive from SPECint benchmarks measured on 8 named
+//!   heterogeneous machines, with gamma-distributed execution times
+//!   (shape ∈ [1, 20]) and EC2-style prices.
+//! * [`transcode_system`] — the §VII-G setting: 4 video-transcoding task
+//!   types on 4 cloud VM types with strong affinity structure (GPU excels
+//!   at codec changes, gains little on bit-rate changes).
+//!
+//! [`WorkloadGenerator`] then produces task lists per §VI-B: per-type gamma
+//! arrival processes (variance = 10 % of the mean inter-arrival), deadlines
+//! `δᵢ = arrᵢ + avgᵢ + β·avg_all`, and an *oversubscription level* expressed
+//! as the nominal number of tasks the arrival intensity corresponds to over
+//! the simulated span (the paper's "19k/34k tasks" x-axis).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod specint;
+mod trace;
+mod transcode;
+
+pub use gen::{WorkloadConfig, WorkloadGenerator};
+pub use specint::{
+    specint_means, specint_system, specint_system_with_model_error, SPECINT_BENCHMARKS,
+    SPECINT_MACHINES,
+};
+pub use trace::{load_tasks_csv, save_tasks_csv, TraceError};
+pub use transcode::{transcode_means, transcode_system, TRANSCODE_OPS, TRANSCODE_VMS};
+
+pub use hcsim_model::Time;

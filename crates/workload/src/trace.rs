@@ -1,0 +1,205 @@
+//! Plain-text (CSV) persistence for task traces.
+//!
+//! Workload trials are cheap to regenerate from seeds, but a file format
+//! makes traces portable: the experiment harness can dump the exact task
+//! list behind a figure, and external tools can replay it. The format is
+//! a four-column CSV with a header:
+//!
+//! ```text
+//! id,type,arrival,deadline
+//! 0,3,12,265
+//! ```
+//!
+//! (The approved offline dependency set has `serde` but no serde *format*
+//! crate, so the writer/parser is hand-rolled; the format is deliberately
+//! trivial.)
+
+use hcsim_model::{Task, TaskId, TaskTypeId, Time};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Errors from parsing a task trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes tasks as CSV (with header) to `out`.
+pub fn save_tasks_csv<W: Write>(tasks: &[Task], out: &mut W) -> Result<(), TraceError> {
+    writeln!(out, "id,type,arrival,deadline")?;
+    for t in tasks {
+        writeln!(out, "{},{},{},{}", t.id.0, t.type_id.0, t.arrival, t.deadline)?;
+    }
+    Ok(())
+}
+
+/// Reads tasks from CSV produced by [`save_tasks_csv`].
+pub fn load_tasks_csv<R: Read>(input: R) -> Result<Vec<Task>, TraceError> {
+    let reader = BufReader::new(input);
+    let mut tasks = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if idx == 0 {
+            if trimmed != "id,type,arrival,deadline" {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    reason: format!("unexpected header {trimmed:?}"),
+                });
+            }
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let mut next_field = |name: &str| {
+            fields.next().ok_or_else(|| TraceError::Parse {
+                line: lineno,
+                reason: format!("missing field {name}"),
+            })
+        };
+        let id: u32 = parse_field(next_field("id")?, "id", lineno)?;
+        let type_id: u16 = parse_field(next_field("type")?, "type", lineno)?;
+        let arrival: Time = parse_field(next_field("arrival")?, "arrival", lineno)?;
+        let deadline: Time = parse_field(next_field("deadline")?, "deadline", lineno)?;
+        if fields.next().is_some() {
+            return Err(TraceError::Parse { line: lineno, reason: "too many fields".into() });
+        }
+        if deadline < arrival {
+            return Err(TraceError::Parse {
+                line: lineno,
+                reason: format!("deadline {deadline} precedes arrival {arrival}"),
+            });
+        }
+        tasks.push(Task {
+            id: TaskId(id),
+            type_id: TaskTypeId(type_id),
+            arrival,
+            deadline,
+        });
+    }
+    Ok(tasks)
+}
+
+fn parse_field<T: std::str::FromStr>(s: &str, name: &str, line: usize) -> Result<T, TraceError> {
+    s.trim().parse().map_err(|_| TraceError::Parse {
+        line,
+        reason: format!("invalid {name}: {s:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tasks() -> Vec<Task> {
+        vec![
+            Task { id: TaskId(0), type_id: TaskTypeId(3), arrival: 12, deadline: 265 },
+            Task { id: TaskId(1), type_id: TaskTypeId(0), arrival: 15, deadline: 280 },
+            Task { id: TaskId(2), type_id: TaskTypeId(11), arrival: 15, deadline: 222 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let tasks = sample_tasks();
+        let mut buf = Vec::new();
+        save_tasks_csv(&tasks, &mut buf).unwrap();
+        let loaded = load_tasks_csv(buf.as_slice()).unwrap();
+        assert_eq!(tasks, loaded);
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let mut buf = Vec::new();
+        save_tasks_csv(&[], &mut buf).unwrap();
+        let loaded = load_tasks_csv(buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn header_is_checked() {
+        let err = load_tasks_csv("wrong,header\n1,2,3,4\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_number_reported_with_line() {
+        let input = "id,type,arrival,deadline\n0,1,abc,100\n";
+        let err = load_tasks_csv(input.as_bytes()).unwrap_err();
+        match err {
+            TraceError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("arrival"), "{reason}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let input = "id,type,arrival,deadline\n0,1,5\n";
+        assert!(load_tasks_csv(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn extra_field_rejected() {
+        let input = "id,type,arrival,deadline\n0,1,5,9,extra\n";
+        assert!(load_tasks_csv(input.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn deadline_before_arrival_rejected() {
+        let input = "id,type,arrival,deadline\n0,1,100,50\n";
+        let err = load_tasks_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("precedes"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let input = "id,type,arrival,deadline\n\n0,1,5,9\n\n";
+        let tasks = load_tasks_csv(input.as_bytes()).unwrap();
+        assert_eq!(tasks.len(), 1);
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let err = TraceError::Parse { line: 7, reason: "boom".into() };
+        assert_eq!(err.to_string(), "trace parse error at line 7: boom");
+    }
+}

@@ -1,0 +1,67 @@
+//! PAMF's fairness mechanism (§V-D2) in action: per-type sufferage values
+//! protect task types that keep getting pruned, trading a little overall
+//! robustness for a much fairer completion mix (the paper's Fig. 6).
+//!
+//! ```sh
+//! cargo run --release --example fairness
+//! ```
+
+use hcsim::prelude::*;
+
+fn per_type_table(label: &str, metrics: &Metrics, spec: &SystemSpec) {
+    println!("{label}");
+    for (tt, pct) in metrics.per_type_pct.iter().enumerate() {
+        let (ok, total) = metrics.per_type_counts[tt];
+        if pct.is_nan() {
+            continue;
+        }
+        println!(
+            "    {:<18} {:>5.1}%  ({ok:>3}/{total:<3}) {}",
+            spec.task_types[tt].name,
+            pct,
+            "*".repeat((pct / 4.0).round() as usize),
+        );
+    }
+    println!(
+        "    overall {:>5.1}% | per-type variance {:>7.1}\n",
+        metrics.pct_on_time, metrics.type_variance
+    );
+}
+
+fn main() {
+    let seeds = SeedSequence::new(5);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let workload = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 800,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let tasks = workload.generate(&spec, &mut seeds.stream(1));
+
+    // Plain PAM: maximizes robustness, may starve slow task types.
+    let mut pam = Pam::new(PruningConfig::default());
+    let pam_report =
+        run_simulation(&spec, SimConfig::default(), &tasks, &mut pam, &mut seeds.stream(2));
+    per_type_table("PAM (no fairness):", &pam_report.metrics, &spec);
+
+    // PAMF with the paper's 5% fairness factor.
+    let mut pamf = Pam::with_fairness(PruningConfig::default());
+    let pamf_report =
+        run_simulation(&spec, SimConfig::default(), &tasks, &mut pamf, &mut seeds.stream(2));
+    per_type_table("PAMF (fairness factor 5%):", &pamf_report.metrics, &spec);
+
+    // An aggressive fairness factor for contrast.
+    let mut pamf25 = Pam::with_fairness(PruningConfig {
+        fairness_factor: 0.25,
+        ..PruningConfig::default()
+    });
+    let pamf25_report =
+        run_simulation(&spec, SimConfig::default(), &tasks, &mut pamf25, &mut seeds.stream(2));
+    per_type_table("PAMF (fairness factor 25%):", &pamf25_report.metrics, &spec);
+
+    println!(
+        "sufferage accounting relaxes the pruning thresholds of task types\n\
+         that keep missing deadlines, flattening the per-type distribution\n\
+         at a few points of overall robustness (§VII-D settles on 5%)."
+    );
+}

@@ -1,0 +1,49 @@
+//! Robustness-vs-load curves for every heuristic — the picture behind the
+//! paper's statement that "the mechanism is more impactful under higher
+//! oversubscription levels" (§VII-E).
+//!
+//! ```sh
+//! cargo run --release --example oversubscription_sweep
+//! ```
+
+use hcsim::core::HeuristicKind;
+use hcsim::exp::{FigOptions, Scenario};
+
+fn main() {
+    let opts = FigOptions { trials: 4, num_tasks: 400, seed: 3, threads: 2 };
+    let levels = [10_000.0, 15_000.0, 19_000.0, 25_000.0, 30_000.0, 34_000.0];
+
+    print!("{:<6}", "level");
+    for kind in HeuristicKind::FIG7 {
+        print!("{:>7}", kind.name());
+    }
+    println!();
+
+    let mut pam_over_mm = Vec::new();
+    for oversub in levels {
+        print!("{:<6}", format!("{}k", oversub / 1000.0));
+        let mut pam = 0.0;
+        let mut mm = 0.0;
+        for kind in HeuristicKind::FIG7 {
+            let agg = Scenario::paper_default(kind, oversub).run(&opts);
+            print!("{:>6.1}%", agg.robustness.mean);
+            match kind {
+                HeuristicKind::Pam => pam = agg.robustness.mean,
+                HeuristicKind::Mm => mm = agg.robustness.mean,
+                _ => {}
+            }
+        }
+        println!();
+        pam_over_mm.push((oversub, pam / mm.max(0.1)));
+    }
+
+    println!("\nPAM's relative advantage over MinMin grows with load:");
+    for (level, ratio) in pam_over_mm {
+        println!(
+            "  {:>5}k  {:>5.2}x  {}",
+            level / 1000.0,
+            ratio,
+            "=".repeat((ratio * 10.0).round() as usize)
+        );
+    }
+}

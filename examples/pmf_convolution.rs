@@ -1,0 +1,68 @@
+//! Reproduces the worked examples of the paper's Figures 2 and 3 exactly:
+//! the PET ⊛ PCT convolution, Eq. 1 robustness, and the effect of
+//! completion-PMF skewness on the next task in queue.
+//!
+//! ```sh
+//! cargo run --example pmf_convolution
+//! ```
+
+use hcsim::prelude::*;
+
+fn show(label: &str, pmf: &Pmf) {
+    let impulses: Vec<String> =
+        pmf.impulses().iter().map(|i| format!("{}:{:.4}", i.t, i.p)).collect();
+    println!("{label:<28} {{{}}}", impulses.join(", "));
+}
+
+fn main() {
+    println!("=== Paper Fig. 2: convolving PET(i) with PCT(i-1) ===\n");
+    // The machine's last queued task completes at 3, 4, or 5.
+    let pct_prev = Pmf::from_points(&[(3, 0.25), (4, 0.50), (5, 0.25)]).unwrap();
+    // Arriving task i executes in 1, 2, or 3 time units; deadline δ = 7.
+    let pet = Pmf::from_points(&[(1, 0.50), (2, 0.25), (3, 0.25)]).unwrap();
+    let pct = convolve(&pct_prev, &pet);
+    show("PCT(i-1):", &pct_prev);
+    show("PET(i):", &pet);
+    show("PCT(i) = PCT(i-1) * PET(i):", &pct);
+    println!("\nEq. 1 robustness p_ij(7) = CDF(7) = {:.4}  (paper: 0.9375)", pct.cdf_at(7));
+    assert!((pct.cdf_at(7) - 0.9375).abs() < 1e-12);
+
+    println!("\n=== Paper Fig. 3: skewness of task i vs robustness of task i+1 ===\n");
+    // Task i+1 executes in 1, 2, or 3 units with deadline 5. Task i's
+    // completion PMF has robustness 0.75 at δ_i = 3 in all three cases —
+    // only its *shape* differs.
+    let exec_next = Pmf::from_points(&[(1, 0.25), (2, 0.50), (3, 0.25)]).unwrap();
+    let cases: [(&str, &[(Time, f64)]); 3] = [
+        ("(a) no skew", &[(2, 0.25), (3, 0.50), (4, 0.25)]),
+        ("(b) left skew", &[(2, 0.15), (3, 0.60), (4, 0.25)]),
+        ("(c) right skew", &[(2, 0.50), (3, 0.25), (4, 0.25)]),
+    ];
+    for (label, points) in cases {
+        let pct_i = Pmf::from_points(points).unwrap();
+        let pct_next = convolve(&pct_i, &exec_next);
+        println!(
+            "{label:<15} skew {:+.3} | robustness(i)={:.2} | robustness(i+1)={:.4}",
+            pct_i.bounded_skewness(),
+            pct_i.cdf_at(3),
+            pct_next.cdf_at(5),
+        );
+    }
+    println!(
+        "\npaper values: (a) 0.6875, (b) 0.6625, (c) 0.7500 — positively\n\
+         skewed tasks propagate their head start to the tasks behind them,\n\
+         which is why Eq. 7 protects them from dropping."
+    );
+
+    println!("\n=== Eq. 3-5: the same append under task-dropping policies ===\n");
+    // A machine whose availability straddles the appended task's deadline.
+    let avail = Pmf::from_points(&[(3, 0.6), (8, 0.4)]).unwrap();
+    let exec = Pmf::from_points(&[(2, 1.0)]).unwrap();
+    for policy in [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All] {
+        let step = queue_step(&avail, &exec, 6, policy);
+        show(&format!("{policy:?}: availability ->"), &step.availability);
+    }
+    println!(
+        "\nunder PendingOnly/All the start at t=8 (past δ=6) becomes carry-over\n\
+         mass instead of a doomed execution — dropping frees the machine early."
+    );
+}

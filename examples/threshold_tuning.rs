@@ -1,0 +1,53 @@
+//! Mini version of the paper's Fig. 5: how the deferring and dropping
+//! thresholds shape robustness, and why `defer >> drop` wins (§V-B2).
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use hcsim::exp::{FigOptions, Scenario};
+use hcsim::prelude::*;
+
+fn main() {
+    let opts = FigOptions { trials: 4, num_tasks: 400, seed: 11, threads: 2 };
+
+    println!("PAM @ 34k — robustness by (drop, defer) threshold pair:\n");
+    println!("  {:>6} {:>6} {:>12}", "drop%", "defer%", "robustness");
+    for (drop, defer) in [
+        (0.25, 0.30),
+        (0.25, 0.60),
+        (0.25, 0.90),
+        (0.50, 0.55),
+        (0.50, 0.90),
+        (0.75, 0.80),
+        (0.75, 0.90),
+    ] {
+        let scenario = Scenario {
+            label: format!("drop {drop} defer {defer}"),
+            pruning: PruningConfig {
+                drop_threshold: drop,
+                defer_threshold: defer,
+                ..PruningConfig::default()
+            },
+            ..Scenario::paper_default(HeuristicKind::Pam, 34_000.0)
+        };
+        let agg = scenario.run(&opts);
+        println!(
+            "  {:>6.0} {:>6.0} {:>9.1}%  {}",
+            drop * 100.0,
+            defer * 100.0,
+            agg.robustness.mean,
+            bar(agg.robustness.mean)
+        );
+    }
+
+    println!(
+        "\nthe paper's conclusion (§VII-C): a high deferring threshold does the\n\
+         heavy lifting; once defer = 90%, the dropping threshold barely\n\
+         matters. hcsim defaults to drop 50% / defer 90% accordingly."
+    );
+}
+
+fn bar(pct: f64) -> String {
+    "#".repeat((pct / 2.0).round() as usize)
+}

@@ -1,0 +1,90 @@
+//! Integration tests of the §VIII future-work extension: approximate
+//! computing — evictions that got far enough deliver degraded results.
+
+use hcsim::prelude::*;
+
+fn run_with_approx(min_progress: Option<f64>, seed: u64) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 300,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let mut mapper = ScalarMapper::mm(); // deadline-blind → plenty of evictions
+    let config = SimConfig { approx_min_progress: min_progress, trim: 0, ..SimConfig::default() };
+    run_simulation(&spec, config, &tasks, &mut mapper, &mut seeds.stream(2))
+}
+
+#[test]
+fn disabled_by_default_no_approx_outcomes() {
+    let report = run_with_approx(None, 1);
+    assert_eq!(report.metrics.outcomes.approx, 0);
+    assert_eq!(report.metrics.pct_useful, report.metrics.pct_on_time);
+}
+
+#[test]
+fn zero_threshold_converts_every_eviction() {
+    let with = run_with_approx(Some(0.0), 2);
+    let without = run_with_approx(None, 2);
+    // Same RNG streams → identical dynamics; every eviction becomes an
+    // approximate completion.
+    assert_eq!(with.metrics.outcomes.expired_executing, 0);
+    assert_eq!(
+        with.metrics.outcomes.approx,
+        without.metrics.outcomes.expired_executing,
+        "every eviction should be salvaged at threshold 0"
+    );
+    // Robustness itself is untouched — approx results are not on-time.
+    assert_eq!(with.metrics.pct_on_time, without.metrics.pct_on_time);
+    assert!(with.metrics.pct_useful >= with.metrics.pct_on_time);
+}
+
+#[test]
+fn stricter_threshold_salvages_less() {
+    let relaxed = run_with_approx(Some(0.25), 3);
+    let strict = run_with_approx(Some(0.9), 3);
+    assert!(
+        relaxed.metrics.outcomes.approx >= strict.metrics.outcomes.approx,
+        "relaxed {} vs strict {}",
+        relaxed.metrics.outcomes.approx,
+        strict.metrics.outcomes.approx
+    );
+    // Partition invariant: approx + expired_executing is constant.
+    assert_eq!(
+        relaxed.metrics.outcomes.approx + relaxed.metrics.outcomes.expired_executing,
+        strict.metrics.outcomes.approx + strict.metrics.outcomes.expired_executing,
+    );
+}
+
+#[test]
+fn approx_records_are_evictions_at_deadline() {
+    let report = run_with_approx(Some(0.5), 4);
+    let approx: Vec<_> = report
+        .records
+        .iter()
+        .filter(|r| r.outcome == TaskOutcome::CompletedApprox)
+        .collect();
+    assert!(!approx.is_empty(), "34k + MM should produce salvageable evictions");
+    for rec in approx {
+        assert_eq!(rec.finished_at, rec.task.deadline, "approx results arrive at the deadline");
+        let started = rec.started_at.expect("approx implies execution");
+        let progress_time = rec.task.deadline - started;
+        assert_eq!(rec.machine_time, progress_time);
+        assert!(rec.machine_time > 0);
+    }
+}
+
+#[test]
+fn useful_metric_is_monotone_in_threshold() {
+    let mut last_useful = f64::INFINITY;
+    for min in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let useful = run_with_approx(Some(min), 5).metrics.pct_useful;
+        assert!(
+            useful <= last_useful + 1e-9,
+            "useful% must not grow with a stricter threshold: {useful} after {last_useful}"
+        );
+        last_useful = useful;
+    }
+}

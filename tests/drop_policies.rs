@@ -1,0 +1,100 @@
+//! Ablation of the §IV dropping scenarios (A/B/C) at the whole-system
+//! level: the same workload under `DropPolicy::{None, PendingOnly, All}`.
+
+use hcsim::prelude::*;
+
+fn run_policy(policy: DropPolicy, kind: HeuristicKind, seed: u64) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 300,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let mut mapper = kind.build(PruningConfig::default());
+    let config = SimConfig { drop_policy: policy, trim: 0, ..SimConfig::default() };
+    run_simulation(&spec, config, &tasks, &mut mapper, &mut seeds.stream(2))
+}
+
+#[test]
+fn scenario_a_allows_late_completions_and_never_evicts() {
+    let report = run_policy(DropPolicy::None, HeuristicKind::Mm, 1);
+    assert!(report.metrics.outcomes.late > 0, "{:?}", report.metrics.outcomes);
+    assert_eq!(report.metrics.outcomes.expired_executing, 0);
+    // Every mapped task runs to completion: no expiry inside machine queues
+    // after mapping... pending tasks are never culled under scenario A, so
+    // the only expiries happen in the batch queue (machine: None).
+    for rec in &report.records {
+        if rec.outcome == TaskOutcome::ExpiredUnstarted {
+            assert!(rec.machine.is_none(), "scenario A culled a mapped task: {rec:?}");
+        }
+    }
+}
+
+#[test]
+fn scenario_b_culls_pending_but_completes_executing() {
+    let report = run_policy(DropPolicy::PendingOnly, HeuristicKind::Mm, 2);
+    assert_eq!(report.metrics.outcomes.expired_executing, 0, "B never evicts executing tasks");
+    // Pending tasks do get culled: some expiries carry a machine id.
+    let mapped_expiries = report
+        .records
+        .iter()
+        .filter(|r| r.outcome == TaskOutcome::ExpiredUnstarted && r.machine.is_some())
+        .count();
+    assert!(mapped_expiries > 0, "scenario B should cull expired pending tasks");
+}
+
+#[test]
+fn scenario_c_evicts_and_never_finishes_late() {
+    let report = run_policy(DropPolicy::All, HeuristicKind::Mm, 3);
+    assert!(report.metrics.outcomes.expired_executing > 0, "{:?}", report.metrics.outcomes);
+    assert_eq!(report.metrics.outcomes.late, 0, "C evicts at the deadline");
+    // Evictions are charged exactly up to the deadline.
+    for rec in &report.records {
+        if rec.outcome == TaskOutcome::ExpiredExecuting {
+            assert_eq!(rec.finished_at, rec.task.deadline);
+        }
+    }
+}
+
+#[test]
+fn dropping_policies_waste_less_machine_time() {
+    // Scenario A finishes doomed work; C cuts it at the deadline. Busy time
+    // must be ordered A >= B >= C for the deadline-blind baseline.
+    let a = run_policy(DropPolicy::None, HeuristicKind::Mm, 4).cost.total_busy_time();
+    let b = run_policy(DropPolicy::PendingOnly, HeuristicKind::Mm, 4).cost.total_busy_time();
+    let c = run_policy(DropPolicy::All, HeuristicKind::Mm, 4).cost.total_busy_time();
+    assert!(a >= b, "A busy {a} vs B busy {b}");
+    assert!(b >= c, "B busy {b} vs C busy {c}");
+}
+
+#[test]
+fn eviction_improves_robustness_for_deadline_blind_mapping() {
+    // The core premise of §IV: time spent on doomed tasks cascades down
+    // the queue. Cutting them (C) must beat running them out (A) for MM.
+    let mut wins = 0;
+    for seed in [5, 6, 7] {
+        let a = run_policy(DropPolicy::None, HeuristicKind::Mm, seed);
+        let c = run_policy(DropPolicy::All, HeuristicKind::Mm, seed);
+        if c.metrics.pct_on_time >= a.metrics.pct_on_time {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "eviction should usually help MM under oversubscription ({wins}/3)");
+}
+
+#[test]
+fn outcomes_partition_exactly_under_every_policy() {
+    for policy in [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All] {
+        for kind in [HeuristicKind::Mm, HeuristicKind::Pam] {
+            let report = run_policy(policy, kind, 8);
+            assert_eq!(
+                report.metrics.outcomes.total(),
+                300,
+                "{policy:?}/{kind}: {:?}",
+                report.metrics.outcomes
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration: the full pipeline (stats → pmf → model →
+//! workload → sim → core) holds its global invariants on realistic runs.
+
+use hcsim::prelude::*;
+
+fn setup(oversub: f64, n: usize, seed: u64) -> (SystemSpec, Vec<Task>, SeedSequence) {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: n,
+        oversubscription: oversub,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    (spec, tasks, seeds)
+}
+
+fn run(kind: HeuristicKind, oversub: f64, n: usize, seed: u64) -> SimReport {
+    let (spec, tasks, seeds) = setup(oversub, n, seed);
+    let mut mapper = kind.build(PruningConfig::default());
+    run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut seeds.stream(2))
+}
+
+#[test]
+fn every_heuristic_terminates_and_accounts_for_every_task() {
+    for kind in HeuristicKind::FIG7 {
+        let report = run(kind, 34_000.0, 300, 1);
+        assert_eq!(report.records.len(), 300, "{kind}");
+        assert_eq!(report.metrics.outcomes.total(), 300, "{kind}");
+        assert_eq!(report.metrics.outcomes.unfinished, 0, "{kind}: tasks left unaccounted");
+    }
+}
+
+#[test]
+fn records_respect_causality() {
+    for kind in [HeuristicKind::Pam, HeuristicKind::Mm, HeuristicKind::Moc] {
+        let report = run(kind, 19_000.0, 300, 2);
+        for rec in &report.records {
+            assert!(rec.finished_at >= rec.task.arrival, "{kind}: finished before arrival");
+            if let Some(start) = rec.started_at {
+                assert!(start >= rec.task.arrival, "{kind}: started before arrival");
+                assert!(rec.finished_at >= start, "{kind}: finished before start");
+                assert_eq!(
+                    rec.machine_time,
+                    rec.finished_at - start,
+                    "{kind}: machine time mismatch"
+                );
+                assert!(rec.machine.is_some(), "{kind}: started without a machine");
+            } else {
+                assert_eq!(rec.machine_time, 0, "{kind}: machine time without a start");
+            }
+            if rec.outcome == TaskOutcome::CompletedOnTime {
+                assert!(rec.finished_at <= rec.task.deadline, "{kind}: late 'on-time' task");
+            }
+        }
+    }
+}
+
+#[test]
+fn cost_accounting_matches_records() {
+    for kind in [HeuristicKind::Pam, HeuristicKind::Mm] {
+        let report = run(kind, 34_000.0, 300, 3);
+        let record_time: Time = report.records.iter().map(|r| r.machine_time).sum();
+        assert_eq!(report.cost.total_busy_time(), record_time, "{kind}");
+        assert!(report.total_cost > 0.0, "{kind}");
+    }
+}
+
+#[test]
+fn default_drop_policy_never_completes_late() {
+    // Under DropPolicy::All a task still running at its deadline is
+    // evicted, so CompletedLate must be impossible.
+    for kind in HeuristicKind::FIG7 {
+        let report = run(kind, 34_000.0, 250, 4);
+        assert_eq!(report.metrics.outcomes.late, 0, "{kind}");
+    }
+}
+
+#[test]
+fn full_determinism_across_reruns() {
+    for kind in [HeuristicKind::Pam, HeuristicKind::Pamf, HeuristicKind::Moc] {
+        let a = run(kind, 34_000.0, 200, 5);
+        let b = run(kind, 34_000.0, 200, 5);
+        assert_eq!(a.records, b.records, "{kind}");
+        assert_eq!(a.total_cost, b.total_cost, "{kind}");
+        assert_eq!(a.mapping_events, b.mapping_events, "{kind}");
+    }
+}
+
+#[test]
+fn trimmed_metrics_are_a_subset() {
+    let (spec, tasks, seeds) = setup(19_000.0, 400, 6);
+    let mut mapper = HeuristicKind::Pam.build(PruningConfig::default());
+    let trimmed = run_simulation(
+        &spec,
+        SimConfig::default(), // trim = 100
+        &tasks,
+        &mut mapper,
+        &mut seeds.stream(2),
+    );
+    assert_eq!(trimmed.records.len(), 400);
+    assert_eq!(trimmed.metrics.counted, 200);
+    // Metrics recomputed from the middle records must agree.
+    let manual_on_time =
+        trimmed.records[100..300].iter().filter(|r| r.is_success()).count();
+    assert_eq!(trimmed.metrics.outcomes.on_time, manual_on_time);
+}
+
+#[test]
+fn per_type_percentages_are_consistent() {
+    let report = run(HeuristicKind::Pamf, 34_000.0, 400, 7);
+    let m = &report.metrics;
+    let mut on_time = 0;
+    let mut total = 0;
+    for (tt, &(ok, cnt)) in m.per_type_counts.iter().enumerate() {
+        on_time += ok;
+        total += cnt;
+        if cnt > 0 {
+            assert!((m.per_type_pct[tt] - 100.0 * ok as f64 / cnt as f64).abs() < 1e-9);
+        }
+    }
+    assert_eq!(on_time, m.outcomes.on_time);
+    assert_eq!(total, m.counted);
+}
+
+#[test]
+fn queue_capacity_is_never_exceeded() {
+    // Indirect check: with capacity 1 per machine, at most 8 tasks can be
+    // mapped at any time; the rest must wait in the batch. The sim must
+    // still terminate and account for everything.
+    let seeds = SeedSequence::new(8);
+    let spec = specint_system(1, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 150,
+        oversubscription: 19_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let mut mapper = HeuristicKind::Pam.build(PruningConfig::default());
+    let report =
+        run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut seeds.stream(2));
+    assert_eq!(report.metrics.outcomes.total(), 150);
+}
+
+#[test]
+fn pam_instrumentation_is_reported() {
+    let (spec, tasks, seeds) = setup(34_000.0, 300, 9);
+    let mut mapper = Pam::new(PruningConfig::default());
+    let report =
+        run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut seeds.stream(2));
+    let instr = Mapper::instrumentation(&mapper).expect("PAM is instrumented");
+    assert_eq!(instr.mapping_events, report.mapping_events);
+    assert!(instr.events_dropping_engaged > 0, "34k must engage dropping");
+    let pruned = report
+        .records
+        .iter()
+        .filter(|r| r.outcome == TaskOutcome::PrunedDropped)
+        .count() as u64;
+    assert_eq!(instr.pruner_drops, pruned);
+}
+
+#[test]
+fn baselines_report_no_instrumentation() {
+    let mm = ScalarMapper::mm();
+    assert!(Mapper::instrumentation(&mm).is_none());
+}

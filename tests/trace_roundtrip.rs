@@ -1,0 +1,54 @@
+//! Workload traces survive CSV persistence, and replaying a loaded trace
+//! reproduces the original simulation bit-for-bit.
+
+use hcsim::prelude::*;
+use hcsim::workload::{load_tasks_csv, save_tasks_csv};
+
+#[test]
+fn csv_roundtrip_preserves_simulation_results() {
+    let seeds = SeedSequence::new(77);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 250,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+
+    let mut buf = Vec::new();
+    save_tasks_csv(&tasks, &mut buf).expect("serialize");
+    let loaded = load_tasks_csv(buf.as_slice()).expect("parse");
+    assert_eq!(tasks, loaded);
+
+    let run = |tasks: &[Task]| {
+        let mut mapper = Pam::new(PruningConfig::default());
+        run_simulation(
+            &spec,
+            SimConfig::untrimmed(),
+            tasks,
+            &mut mapper,
+            &mut seeds.stream(2),
+        )
+    };
+    let original = run(&tasks);
+    let replayed = run(&loaded);
+    assert_eq!(original.records, replayed.records);
+    assert_eq!(original.total_cost, replayed.total_cost);
+}
+
+#[test]
+fn transcode_trace_roundtrip() {
+    let seeds = SeedSequence::new(78);
+    let spec = transcode_system(6, &mut seeds.stream(1));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 120,
+        oversubscription: 15_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(2));
+    let mut buf = Vec::new();
+    save_tasks_csv(&tasks, &mut buf).unwrap();
+    assert_eq!(load_tasks_csv(buf.as_slice()).unwrap(), tasks);
+    // Header + one line per task.
+    assert_eq!(buf.iter().filter(|&&b| b == b'\n').count(), 121);
+}
