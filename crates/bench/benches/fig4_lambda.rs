@@ -14,14 +14,18 @@ fn opts() -> FigOptions {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_lambda_cell");
     for lambda in [0.1f64, 0.5, 0.9] {
-        group.bench_with_input(BenchmarkId::new("lambda", format!("{lambda}")), &lambda, |b, &lambda| {
-            let scenario = Scenario {
-                label: format!("λ={lambda}"),
-                pruning: PruningConfig { lambda, ..PruningConfig::default() },
-                ..Scenario::paper_default(HeuristicKind::Pam, 34_000.0)
-            };
-            b.iter(|| black_box(scenario.run(&opts())));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lambda", format!("{lambda}")),
+            &lambda,
+            |b, &lambda| {
+                let scenario = Scenario {
+                    label: format!("λ={lambda}"),
+                    pruning: PruningConfig { lambda, ..PruningConfig::default() },
+                    ..Scenario::paper_default(HeuristicKind::Pam, 34_000.0)
+                };
+                b.iter(|| black_box(scenario.run(&opts())));
+            },
+        );
     }
     group.finish();
 }

@@ -15,18 +15,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_threshold_cell");
     for (drop, defer) in [(0.25f64, 0.30f64), (0.50, 0.90), (0.75, 0.90)] {
         let id = format!("drop{}_defer{}", (drop * 100.0) as u32, (defer * 100.0) as u32);
-        group.bench_with_input(BenchmarkId::new("pair", id), &(drop, defer), |b, &(drop, defer)| {
-            let scenario = Scenario {
-                label: "cell".into(),
-                pruning: PruningConfig {
-                    drop_threshold: drop,
-                    defer_threshold: defer,
-                    ..PruningConfig::default()
-                },
-                ..Scenario::paper_default(HeuristicKind::Pam, 34_000.0)
-            };
-            b.iter(|| black_box(scenario.run(&opts())));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pair", id),
+            &(drop, defer),
+            |b, &(drop, defer)| {
+                let scenario = Scenario {
+                    label: "cell".into(),
+                    pruning: PruningConfig {
+                        drop_threshold: drop,
+                        defer_threshold: defer,
+                        ..PruningConfig::default()
+                    },
+                    ..Scenario::paper_default(HeuristicKind::Pam, 34_000.0)
+                };
+                b.iter(|| black_box(scenario.run(&opts())));
+            },
+        );
     }
     group.finish();
 }

@@ -17,15 +17,22 @@ fn bench(c: &mut Criterion) {
     for oversub in [10_000.0f64, 17_500.0] {
         for kind in [HeuristicKind::Pamf, HeuristicKind::Mm] {
             let id = format!("{}_{}k", kind.name(), oversub / 1000.0);
-            group.bench_with_input(BenchmarkId::new("cell", id), &(kind, oversub), |b, &(kind, oversub)| {
-                let scenario = Scenario {
-                    label: "cell".into(),
-                    system: SystemKind::Transcode,
-                    workload: WorkloadConfig { oversubscription: oversub, ..Default::default() },
-                    ..Scenario::paper_default(kind, oversub)
-                };
-                b.iter(|| black_box(scenario.run(&opts())));
-            });
+            group.bench_with_input(
+                BenchmarkId::new("cell", id),
+                &(kind, oversub),
+                |b, &(kind, oversub)| {
+                    let scenario = Scenario {
+                        label: "cell".into(),
+                        system: SystemKind::Transcode,
+                        workload: WorkloadConfig {
+                            oversubscription: oversub,
+                            ..Default::default()
+                        },
+                        ..Scenario::paper_default(kind, oversub)
+                    };
+                    b.iter(|| black_box(scenario.run(&opts())));
+                },
+            );
         }
     }
     group.finish();

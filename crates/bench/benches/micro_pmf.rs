@@ -50,8 +50,7 @@ fn bench_chain_depth(c: &mut Criterion) {
             bencher.iter(|| {
                 let mut avail = Pmf::delta(0);
                 for i in 0..depth {
-                    let mut step =
-                        queue_step(&avail, &exec, 200 * (i as u64 + 1), DropPolicy::All);
+                    let mut step = queue_step(&avail, &exec, 200 * (i as u64 + 1), DropPolicy::All);
                     step.availability.compact(24);
                     avail = step.availability;
                 }

@@ -87,10 +87,10 @@ impl ScalarMapper {
         let pet = &ctx.spec().pet;
         let now = ctx.now();
         self.avail.clear();
-        self.avail
-            .extend((0..ctx.num_machines()).map(|m| {
-                expected_available(ctx.machine(MachineId::from(m)), pet, now)
-            }));
+        self.avail.extend(
+            (0..ctx.num_machines())
+                .map(|m| expected_available(ctx.machine(MachineId::from(m)), pet, now)),
+        );
     }
 }
 
@@ -119,7 +119,12 @@ impl Mapper for ScalarMapper {
             let mut pairs: Vec<Pair> = Vec::with_capacity(ctx.batch().len());
             for task in ctx.batch() {
                 if let Some((machine, completion)) = self.best_machine(ctx, task) {
-                    pairs.push(Pair { task: task.id, deadline: task.deadline, machine, completion });
+                    pairs.push(Pair {
+                        task: task.id,
+                        deadline: task.deadline,
+                        machine,
+                        completion,
+                    });
                 }
             }
             let Some(chosen) = self.select(&pairs) else { break };
@@ -133,16 +138,13 @@ impl Mapper for ScalarMapper {
 impl ScalarMapper {
     fn select(&self, pairs: &[Pair]) -> Option<Pair> {
         match self.rule {
-            Phase2Rule::MinCompletion => pairs
-                .iter()
-                .min_by(|a, b| a.completion.total_cmp(&b.completion))
-                .copied(),
+            Phase2Rule::MinCompletion => {
+                pairs.iter().min_by(|a, b| a.completion.total_cmp(&b.completion)).copied()
+            }
             Phase2Rule::SoonestDeadline => pairs
                 .iter()
                 .min_by(|a, b| {
-                    a.deadline
-                        .cmp(&b.deadline)
-                        .then_with(|| a.completion.total_cmp(&b.completion))
+                    a.deadline.cmp(&b.deadline).then_with(|| a.completion.total_cmp(&b.completion))
                 })
                 .copied(),
             Phase2Rule::MaxUrgency => pairs
@@ -161,9 +163,7 @@ impl ScalarMapper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcsim_model::{
-        MachineSpec, PetBuilder, PriceTable, SystemSpec, TaskTypeId, TaskTypeSpec,
-    };
+    use hcsim_model::{MachineSpec, PetBuilder, PriceTable, SystemSpec, TaskTypeId, TaskTypeSpec};
     use hcsim_sim::{run_simulation, SimConfig};
     use hcsim_stats::SeedSequence;
 
@@ -196,8 +196,7 @@ mod tests {
         let spec = affinity_spec();
         // Alternating types, generous deadlines: MM should route type 0 to
         // machine 0 and type 1 to machine 1.
-        let tasks: Vec<Task> =
-            (0..8).map(|i| task(i, (i % 2) as u16, 0, 10_000)).collect();
+        let tasks: Vec<Task> = (0..8).map(|i| task(i, (i % 2) as u16, 0, 10_000)).collect();
         let mut mapper = ScalarMapper::mm();
         let mut rng = SeedSequence::new(6).stream(0);
         let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
@@ -217,8 +216,7 @@ mod tests {
     /// arrivals to accumulate in the batch, exposing phase-2 ordering.
     fn bottleneck_spec() -> SystemSpec {
         let mut rng = SeedSequence::new(15).stream(0);
-        let (pet, truth) =
-            PetBuilder::new().shape_range(50.0, 50.0).build(&[vec![50.0]], &mut rng);
+        let (pet, truth) = PetBuilder::new().shape_range(50.0, 50.0).build(&[vec![50.0]], &mut rng);
         SystemSpec {
             machines: vec![MachineSpec { name: "m0".into() }],
             task_types: vec![TaskTypeSpec { name: "t0".into() }],
@@ -235,9 +233,9 @@ mod tests {
     fn bottleneck_starts(mapper: &mut ScalarMapper, seed: u64) -> (Time, Time) {
         let spec = bottleneck_spec();
         let tasks = vec![
-            task(0, 0, 0, 100_000),  // blocker: occupies the only slot
-            task(1, 0, 1, 100_000),  // relaxed deadline
-            task(2, 0, 2, 400),      // pressed deadline, arrives last
+            task(0, 0, 0, 100_000), // blocker: occupies the only slot
+            task(1, 0, 1, 100_000), // relaxed deadline
+            task(2, 0, 2, 400),     // pressed deadline, arrives last
         ];
         let mut rng = SeedSequence::new(seed).stream(0);
         let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, mapper, &mut rng);

@@ -65,8 +65,7 @@ pub fn analyze_queue(
         // now. For a never-preempted task this equals the paper's
         // "shift by the start time" plus conditioning on still running.
         let elapsed = exec.elapsed_at(now);
-        let mut completion =
-            pet.pmf(exec.task.type_id, machine.id()).residual(elapsed).shift(now);
+        let mut completion = pet.pmf(exec.task.type_id, machine.id()).residual(elapsed).shift(now);
         completion.compact(budget);
         // Float-noise guard: a CDF sum can exceed 1 by an ulp or two.
         let robustness = completion.cdf_at(exec.task.deadline).min(1.0);
@@ -128,12 +127,7 @@ pub struct AppendOutcome {
 
 /// Evaluates appending `task` behind `tail` on machine `m` of `pet`.
 #[must_use]
-pub fn append_outcome(
-    tail: &Pmf,
-    pet_pmf: &Pmf,
-    task: &Task,
-    policy: DropPolicy,
-) -> AppendOutcome {
+pub fn append_outcome(tail: &Pmf, pet_pmf: &Pmf, task: &Task, policy: DropPolicy) -> AppendOutcome {
     let step = queue_step(tail, pet_pmf, task.deadline, policy);
     let expected_completion = match &step.completion {
         Some(c) => c.mean(),

@@ -165,8 +165,7 @@ impl Mapper for Moc {
                         .copied()
                         .expect("candidate from batch");
                     let pet_pmf = ctx.spec().pet.pmf(task.type_id, cand.machine);
-                    let mut step =
-                        queue_step(&tail, pet_pmf, task.deadline, scorer.policy());
+                    let mut step = queue_step(&tail, pet_pmf, task.deadline, scorer.policy());
                     step.availability.compact(self.config.impulse_budget);
                     let hypo_tail = step.availability;
                     let slot_left = machine.free_slots() > 1;
@@ -232,7 +231,13 @@ mod tests {
         let tasks = gen.generate(&spec, &mut seeds.stream(1));
         let mut mapper = Moc::new();
         let mut rng = seeds.stream(2);
-        run_simulation(&spec, SimConfig { trim: 20, ..SimConfig::default() }, &tasks, &mut mapper, &mut rng)
+        run_simulation(
+            &spec,
+            SimConfig { trim: 20, ..SimConfig::default() },
+            &tasks,
+            &mut mapper,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -253,11 +258,8 @@ mod tests {
     #[test]
     fn moc_never_prunes_queued_tasks() {
         let report = run_moc(34_000.0, 61);
-        let pruned = report
-            .records
-            .iter()
-            .filter(|r| r.outcome == TaskOutcome::PrunedDropped)
-            .count();
+        let pruned =
+            report.records.iter().filter(|r| r.outcome == TaskOutcome::PrunedDropped).count();
         assert_eq!(pruned, 0, "MOC has no dropping mechanism");
     }
 
@@ -286,8 +288,7 @@ mod tests {
         let tasks = gen.generate(&spec, &mut seeds.stream(1));
         let cfg = SimConfig { trim: 20, ..SimConfig::default() };
         let mut moc = Moc::new();
-        let moc_report =
-            run_simulation(&spec, cfg, &tasks, &mut moc, &mut seeds.stream(2));
+        let moc_report = run_simulation(&spec, cfg, &tasks, &mut moc, &mut seeds.stream(2));
         let mut ff = hcsim_sim::FirstFitMapper;
         let ff_report = run_simulation(&spec, cfg, &tasks, &mut ff, &mut seeds.stream(2));
         assert!(

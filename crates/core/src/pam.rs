@@ -253,27 +253,18 @@ impl Pam {
                     continue; // conservative: do not push back queued work
                 }
                 // (a) The urgent task succeeds if it starts right now.
-                let immediate = scorer.score_against_tail(
-                    &idle_tail,
-                    task.type_id,
-                    machine_id,
-                    task.deadline,
-                );
+                let immediate =
+                    scorer.score_against_tail(&idle_tail, task.type_id, machine_id, task.deadline);
                 if immediate.robustness < defer_t {
                     continue;
                 }
                 // (b) The incumbent can afford the delay: chain its
                 // residual behind the urgent task's completion.
-                let urgent_completion =
-                    pet.pmf(task.type_id, machine_id).shift(now);
+                let urgent_completion = pet.pmf(task.type_id, machine_id).shift(now);
                 let residual =
                     pet.pmf(exec.task.type_id, machine_id).residual(exec.elapsed_at(now));
-                let resumed = queue_step(
-                    &urgent_completion,
-                    &residual,
-                    exec.task.deadline,
-                    scorer.policy(),
-                );
+                let resumed =
+                    queue_step(&urgent_completion, &residual, exec.task.deadline, scorer.policy());
                 if resumed.robustness < self.defer_threshold_for(exec.task.type_id) {
                     continue;
                 }
@@ -293,9 +284,7 @@ impl Pam {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hcsim_model::{
-        MachineSpec, PetBuilder, PriceTable, SystemSpec, TaskTypeSpec,
-    };
+    use hcsim_model::{MachineSpec, PetBuilder, PriceTable, SystemSpec, TaskTypeSpec};
     use hcsim_sim::{run_simulation, SimConfig, SimReport};
     use hcsim_stats::SeedSequence;
     use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
@@ -393,8 +382,7 @@ mod tests {
         // phase 1 robustness < defer threshold → never mapped, expires in
         // the batch queue (not evicted mid-queue, simply deferred).
         let mut rng = SeedSequence::new(50).stream(0);
-        let (pet, truth) =
-            PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![100.0]], &mut rng);
+        let (pet, truth) = PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![100.0]], &mut rng);
         let spec = SystemSpec {
             machines: vec![MachineSpec { name: "m".into() }],
             task_types: vec![TaskTypeSpec { name: "t".into() }],
@@ -412,8 +400,7 @@ mod tests {
         }];
         let mut mapper = Pam::new(PruningConfig::default());
         let mut rng2 = SeedSequence::new(51).stream(0);
-        let report =
-            run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng2);
+        let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng2);
         assert_eq!(report.records[0].outcome, hcsim_model::TaskOutcome::ExpiredUnstarted);
         assert!(report.records[0].machine.is_none(), "task must never have been mapped");
         assert_eq!(report.total_cost, 0.0, "no machine time wasted on a hopeless task");
@@ -422,8 +409,7 @@ mod tests {
     #[test]
     fn pam_maps_confident_tasks_immediately() {
         let mut rng = SeedSequence::new(52).stream(0);
-        let (pet, truth) =
-            PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![20.0]], &mut rng);
+        let (pet, truth) = PetBuilder::new().shape_range(6.0, 6.0).build(&[vec![20.0]], &mut rng);
         let spec = SystemSpec {
             machines: vec![MachineSpec { name: "m".into() }],
             task_types: vec![TaskTypeSpec { name: "t".into() }],
@@ -436,8 +422,7 @@ mod tests {
         let tasks = vec![Task { id: TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline: 500 }];
         let mut mapper = Pam::new(PruningConfig::default());
         let mut rng2 = SeedSequence::new(53).stream(0);
-        let report =
-            run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng2);
+        let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng2);
         assert_eq!(report.metrics.outcomes.on_time, 1);
     }
 

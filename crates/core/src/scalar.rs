@@ -30,12 +30,7 @@ pub fn expected_available(machine: &MachineState, pet: &PetMatrix, now: Time) ->
 
 /// Expected completion time of appending `task` to `machine`'s queue.
 #[must_use]
-pub fn expected_completion(
-    machine: &MachineState,
-    pet: &PetMatrix,
-    now: Time,
-    task: &Task,
-) -> f64 {
+pub fn expected_completion(machine: &MachineState, pet: &PetMatrix, now: Time, task: &Task) -> f64 {
     expected_available(machine, pet, now) + pet.mean_exec(task.type_id, machine.id())
 }
 

@@ -224,12 +224,7 @@ mod tests {
     }
 
     fn task_with_deadline(deadline: Time) -> Task {
-        Task {
-            id: hcsim_model::TaskId(0),
-            type_id: TaskTypeId(0),
-            arrival: 0,
-            deadline,
-        }
+        Task { id: hcsim_model::TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline }
     }
 
     #[test]
@@ -239,14 +234,9 @@ mod tests {
         for deadline in [1u64, 3, 5, 7, 9, 12, 20] {
             for policy in [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All] {
                 let scorer = ProbScorer::new(&pet, policy, 64);
-                let score =
-                    scorer.score_against_tail(&tail, TaskTypeId(0), MachineId(0), deadline);
-                let step = queue_step(
-                    &tail,
-                    pet.pmf(TaskTypeId(0), MachineId(0)),
-                    deadline,
-                    policy,
-                );
+                let score = scorer.score_against_tail(&tail, TaskTypeId(0), MachineId(0), deadline);
+                let step =
+                    queue_step(&tail, pet.pmf(TaskTypeId(0), MachineId(0)), deadline, policy);
                 assert!(
                     (score.robustness - step.robustness).abs() < 1e-12,
                     "robustness mismatch at δ={deadline} {policy:?}: {} vs {}",

@@ -102,14 +102,8 @@ fn dropping_deep_hopeless_tasks_saves_the_feasible_ones() {
     // wait ~150+ ms vs deadline 160). A 50% threshold prunes the hopeless
     // tail without touching the feasible head.
     let spec = one_machine_spec();
-    let tasks = vec![
-        task(0, 70),
-        task(1, 130),
-        task(2, 190),
-        task(3, 165),
-        task(4, 168),
-        task(5, 170),
-    ];
+    let tasks =
+        vec![task(0, 70), task(1, 130), task(2, 190), task(3, 165), task(4, 168), task(5, 170)];
     let mut probe = PruneProbe::new(0.5);
     let mut rng = SeedSequence::new(4).stream(0);
     let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut probe, &mut rng);

@@ -270,11 +270,7 @@ pub fn queue_capacity(opts: &FigOptions) -> Table {
 pub fn arrival_burstiness(opts: &FigOptions) -> Table {
     let mut table = Table::new(
         "Ablation — arrival burstiness",
-        vec![
-            "variance / mean".into(),
-            "PAM @34k (%)".into(),
-            "MM @34k (%)".into(),
-        ],
+        vec!["variance / mean".into(), "PAM @34k (%)".into(), "MM @34k (%)".into()],
     );
     table.note("gamma inter-arrivals; paper fixes variance at 10% of the mean");
     for frac in [0.1, 0.5, 1.0, 2.0, 4.0] {
@@ -300,11 +296,7 @@ pub fn arrival_burstiness(opts: &FigOptions) -> Table {
 pub fn preemption(opts: &FigOptions) -> Table {
     let mut table = Table::new(
         "Extension — probabilistic preemption (paper §VIII future work)",
-        vec![
-            "arrivals".into(),
-            "PAM (%)".into(),
-            "PAM+preempt (%)".into(),
-        ],
+        vec!["arrivals".into(), "PAM (%)".into(), "PAM+preempt (%)".into()],
     );
     table.note("@34k; preemption gated on residual-PMF robustness of the incumbent");
     for (label, variance_frac) in [("steady (var 0.1x)", 0.1), ("bursty (var 2.0x)", 2.0)] {

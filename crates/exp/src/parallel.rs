@@ -8,8 +8,8 @@
 //!
 //! [`SystemSpec`]: hcsim_model::SystemSpec
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Maps `f` over `0..n` using up to `threads` scoped worker threads,
 /// returning results in index order.
@@ -36,23 +36,24 @@ where
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let result = f(i);
-                *slots[i].lock() = Some(result);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("every index was processed"))
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("every index was processed")
+        })
         .collect()
 }
 

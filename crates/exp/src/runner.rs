@@ -230,8 +230,7 @@ impl Aggregate {
         let useful = mean_ci95(&trials.iter().map(|t| t.useful).collect::<Vec<_>>());
         let mean_approx =
             trials.iter().map(|t| t.approx as f64).sum::<f64>() / trials.len().max(1) as f64;
-        let type_variance =
-            mean_ci95(&trials.iter().map(|t| t.type_variance).collect::<Vec<_>>());
+        let type_variance = mean_ci95(&trials.iter().map(|t| t.type_variance).collect::<Vec<_>>());
         let total_cost = mean_ci95(&trials.iter().map(|t| t.total_cost).collect::<Vec<_>>());
         let chartable: Vec<f64> = trials.iter().filter_map(|t| t.cost_per_percent).collect();
         let unchartable_trials = trials.len() - chartable.len();
@@ -240,8 +239,8 @@ impl Aggregate {
         let mean_pruned =
             trials.iter().map(|t| t.pruned as f64).sum::<f64>() / trials.len().max(1) as f64;
         let engaged: Vec<f64> = trials.iter().filter_map(|t| t.engaged_fraction).collect();
-        let mean_engaged_fraction = (!engaged.is_empty())
-            .then(|| engaged.iter().sum::<f64>() / engaged.len() as f64);
+        let mean_engaged_fraction =
+            (!engaged.is_empty()).then(|| engaged.iter().sum::<f64>() / engaged.len() as f64);
         let toggles: Vec<f64> =
             trials.iter().filter_map(|t| t.toggle_transitions.map(|v| v as f64)).collect();
         let mean_toggle_transitions =

@@ -268,11 +268,7 @@ impl PetBuilder {
     /// # Panics
     ///
     /// Panics if `means` is empty, ragged, or contains non-positive means.
-    pub fn build<R: rand::Rng>(
-        &self,
-        means: &[Vec<f64>],
-        rng: &mut R,
-    ) -> (PetMatrix, GroundTruth) {
+    pub fn build<R: rand::Rng>(&self, means: &[Vec<f64>], rng: &mut R) -> (PetMatrix, GroundTruth) {
         assert!(!means.is_empty(), "at least one task type required");
         let machines = means[0].len();
         assert!(machines > 0, "at least one machine required");
@@ -296,8 +292,7 @@ impl PetBuilder {
                 } else {
                     mean
                 };
-                let gamma =
-                    Gamma::from_mean_shape(believed_mean, shape).expect("positive params");
+                let gamma = Gamma::from_mean_shape(believed_mean, shape).expect("positive params");
                 for s in &mut samples {
                     *s = gamma.sample(rng);
                 }
@@ -443,8 +438,7 @@ mod tests {
     #[test]
     fn fixed_shape_range_is_allowed() {
         let mut rng = SeedSequence::new(5).stream(0);
-        let (_, truth) =
-            PetBuilder::new().shape_range(4.0, 4.0).build(&small_means(), &mut rng);
+        let (_, truth) = PetBuilder::new().shape_range(4.0, 4.0).build(&small_means(), &mut rng);
         for tt in 0..2usize {
             for m in 0..3usize {
                 let (_, shape) = truth.params(TaskTypeId::from(tt), MachineId::from(m));
@@ -456,8 +450,10 @@ mod tests {
     #[test]
     fn model_error_perturbs_pet_but_not_truth() {
         let mut rng = SeedSequence::new(21).stream(0);
-        let (pet, truth) =
-            PetBuilder::new().model_error(0.5).shape_range(20.0, 20.0).build(&small_means(), &mut rng);
+        let (pet, truth) = PetBuilder::new()
+            .model_error(0.5)
+            .shape_range(20.0, 20.0)
+            .build(&small_means(), &mut rng);
         let means = small_means();
         let mut max_rel_error = 0.0f64;
         for (tt, row) in means.iter().enumerate() {

@@ -84,10 +84,7 @@ mod tests {
         let means = vec![vec![50.0, 100.0], vec![120.0, 60.0]];
         let (pet, truth) = PetBuilder::new().build(&means, &mut rng);
         SystemSpec {
-            machines: vec![
-                MachineSpec { name: "m0".into() },
-                MachineSpec { name: "m1".into() },
-            ],
+            machines: vec![MachineSpec { name: "m0".into() }, MachineSpec { name: "m1".into() }],
             task_types: vec![
                 TaskTypeSpec { name: "t0".into() },
                 TaskTypeSpec { name: "t1".into() },

@@ -118,7 +118,15 @@ mod tests {
     fn heavy_impulse_survives() {
         // One impulse carries 90% of the mass; compaction must keep it
         // essentially in place.
-        let mut p = Pmf::from_points(&[(10, 0.9), (100, 0.02), (200, 0.02), (300, 0.02), (400, 0.02), (500, 0.02)]).unwrap();
+        let mut p = Pmf::from_points(&[
+            (10, 0.9),
+            (100, 0.02),
+            (200, 0.02),
+            (300, 0.02),
+            (400, 0.02),
+            (500, 0.02),
+        ])
+        .unwrap();
         p.compact(3);
         assert!(p.len() <= 3);
         // The dominant mass should remain near t=10.

@@ -187,10 +187,7 @@ mod tests {
         let pct_prev = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
         let pet = pmf(&[(1, 0.50), (2, 0.25), (3, 0.25)]);
         let pct = convolve(&pct_prev, &pet);
-        assert_pmf_eq(
-            &pct,
-            &[(4, 0.125), (5, 0.3125), (6, 0.3125), (7, 0.1875), (8, 0.0625)],
-        );
+        assert_pmf_eq(&pct, &[(4, 0.125), (5, 0.3125), (6, 0.3125), (7, 0.1875), (8, 0.0625)]);
         // Eq. 1 robustness at δ=7.
         assert!((pct.cdf_at(7) - 0.9375).abs() < 1e-12);
     }
@@ -216,10 +213,7 @@ mod tests {
         assert!((pct_i.cdf_at(3) - 0.75).abs() < 1e-12);
         assert!(pct_i.skewness().abs() < 1e-12);
         let pct_next = convolve(&pct_i, &pmf(FIG3_EXEC));
-        assert_pmf_eq(
-            &pct_next,
-            &[(3, 0.0625), (4, 0.25), (5, 0.375), (6, 0.25), (7, 0.0625)],
-        );
+        assert_pmf_eq(&pct_next, &[(3, 0.0625), (4, 0.25), (5, 0.375), (6, 0.25), (7, 0.0625)]);
         assert!((pct_next.cdf_at(5) - 0.6875).abs() < 1e-12, "Fig 3(a): 0.6875 robust");
     }
 
@@ -229,10 +223,7 @@ mod tests {
         assert!((pct_i.cdf_at(3) - 0.75).abs() < 1e-12);
         assert!(pct_i.skewness() < 0.0, "left skew");
         let pct_next = convolve(&pct_i, &pmf(FIG3_EXEC));
-        assert_pmf_eq(
-            &pct_next,
-            &[(3, 0.0375), (4, 0.225), (5, 0.4), (6, 0.275), (7, 0.0625)],
-        );
+        assert_pmf_eq(&pct_next, &[(3, 0.0375), (4, 0.225), (5, 0.4), (6, 0.275), (7, 0.0625)]);
         assert!((pct_next.cdf_at(5) - 0.6625).abs() < 1e-12, "Fig 3(b): 0.6625 robust");
     }
 
@@ -242,10 +233,7 @@ mod tests {
         assert!((pct_i.cdf_at(3) - 0.75).abs() < 1e-12);
         assert!(pct_i.skewness() > 0.0, "right skew");
         let pct_next = convolve(&pct_i, &pmf(FIG3_EXEC));
-        assert_pmf_eq(
-            &pct_next,
-            &[(3, 0.125), (4, 0.3125), (5, 0.3125), (6, 0.1875), (7, 0.0625)],
-        );
+        assert_pmf_eq(&pct_next, &[(3, 0.125), (4, 0.3125), (5, 0.3125), (6, 0.1875), (7, 0.0625)]);
         assert!((pct_next.cdf_at(5) - 0.75).abs() < 1e-12, "Fig 3(c): 0.75 robust");
     }
 

@@ -12,10 +12,33 @@
 //!   free at `δ`).
 //!
 //! Robustness and the availability distribution estimated from 400 000
-//! samples must agree with the analytic PMFs.
+//! samples must agree with the analytic PMFs, and [`convolve`] itself is
+//! cross-validated against a 100 000-sample sum of independent draws.
+//!
+//! # Tolerances
+//!
+//! Every tolerance is derived, not guessed, and every assertion prints the
+//! observed error next to the allowed error:
+//!
+//! * **Probabilities** (robustness, CDF probes): a Monte-Carlo estimate of
+//!   a probability `p` from `n` Bernoulli samples has standard error
+//!   `sqrt(p(1-p)/n) <= 0.5/sqrt(n)`. We allow 6 sigma of the worst case:
+//!   `TOL = 6 * 0.5 / sqrt(n)`, i.e. ~0.0047 at n = 400 000 and ~0.0095 at
+//!   n = 100 000. A correct implementation fails a 6-sigma check with
+//!   probability ~2e-9 per probe; a systematically wrong one exceeds it
+//!   almost surely.
+//! * **Means**: the availability mean is compared relatively at 1 %, which
+//!   is > 6 sigma for every distribution used here (their coefficients of
+//!   variation are all < 1 and n >= 100 000).
 
-use hcsim_pmf::{queue_step, DropPolicy, Pmf, Time};
+use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf, Time};
 use hcsim_stats::{SeedSequence, Xoshiro256pp};
+
+/// 6-sigma worst-case binomial tolerance for a probability estimated from
+/// `n` samples (see the module docs for the derivation).
+fn prob_tol(n: usize) -> f64 {
+    6.0 * 0.5 / (n as f64).sqrt()
+}
 
 /// Samples a time from a normalized PMF via inverse CDF.
 fn sample_pmf(pmf: &Pmf, rng: &mut Xoshiro256pp) -> Time {
@@ -84,20 +107,25 @@ fn monte_carlo(
 
 fn check_case(avail: &Pmf, exec: &Pmf, deadline: Time, policy: DropPolicy, seed: u64) {
     const SAMPLES: usize = 400_000;
-    const TOL: f64 = 0.005; // ~6 sigma for 400k Bernoulli samples
+    let tol = prob_tol(SAMPLES); // ~0.0047: 6 sigma at 400k Bernoulli samples
+    const MEAN_REL_TOL: f64 = 0.01; // > 6 sigma for all cases used here
 
     let step = queue_step(avail, exec, deadline, policy);
     let mc = monte_carlo(avail, exec, deadline, policy, SAMPLES, seed);
 
+    let err = (step.robustness - mc.robustness).abs();
     assert!(
-        (step.robustness - mc.robustness).abs() < TOL,
-        "{policy:?} δ={deadline}: analytic robustness {} vs MC {}",
+        err < tol,
+        "{policy:?} δ={deadline}: robustness analytic {} vs MC {} \
+         (observed error {err:.6}, allowed {tol:.6})",
         step.robustness,
         mc.robustness
     );
+    let mean_err = (step.availability.mean() - mc.avail_mean).abs() / mc.avail_mean.max(1.0);
     assert!(
-        (step.availability.mean() - mc.avail_mean).abs() / mc.avail_mean.max(1.0) < 0.01,
-        "{policy:?} δ={deadline}: analytic avail mean {} vs MC {}",
+        mean_err < MEAN_REL_TOL,
+        "{policy:?} δ={deadline}: avail mean analytic {} vs MC {} \
+         (observed rel. error {mean_err:.6}, allowed {MEAN_REL_TOL})",
         step.availability.mean(),
         mc.avail_mean
     );
@@ -105,15 +133,54 @@ fn check_case(avail: &Pmf, exec: &Pmf, deadline: Time, policy: DropPolicy, seed:
     for probe in [deadline / 2, deadline, deadline + 5, deadline * 2] {
         let analytic = step.availability.cdf_at(probe);
         let sampled = (mc.avail_cdf_at)(probe);
+        let err = (analytic - sampled).abs();
         assert!(
-            (analytic - sampled).abs() < TOL,
-            "{policy:?} δ={deadline}: availability CDF({probe}) {analytic} vs MC {sampled}"
+            err < tol,
+            "{policy:?} δ={deadline}: availability CDF({probe}) analytic {analytic} \
+             vs MC {sampled} (observed error {err:.6}, allowed {tol:.6})"
         );
     }
 }
 
 fn pmf(points: &[(Time, f64)]) -> Pmf {
     Pmf::from_points(points).unwrap()
+}
+
+#[test]
+fn mc_validates_convolve_directly() {
+    // Eq. 2 without any dropping: the completion-time PMF of a task behind
+    // another is the distribution of the sum of two independent draws.
+    const SAMPLES: usize = 100_000;
+    let tol = prob_tol(SAMPLES); // ~0.0095: 6 sigma at 100k samples
+
+    let a = pmf(&[(1, 0.15), (6, 0.2), (11, 0.3), (19, 0.2), (30, 0.15)]);
+    let b = pmf(&[(2, 0.3), (5, 0.25), (9, 0.25), (16, 0.2)]);
+    let analytic = convolve(&a, &b);
+
+    let mut rng = SeedSequence::new(9001).stream(0);
+    let mut sums: Vec<Time> =
+        (0..SAMPLES).map(|_| sample_pmf(&a, &mut rng) + sample_pmf(&b, &mut rng)).collect();
+    sums.sort_unstable();
+    let n = sums.len() as f64;
+
+    for probe in [3u64, 6, 11, 16, 20, 27, 35, 46] {
+        let sampled = sums.partition_point(|&x| x <= probe) as f64 / n;
+        let exact = analytic.cdf_at(probe);
+        let err = (exact - sampled).abs();
+        assert!(
+            err < tol,
+            "convolve CDF({probe}): analytic {exact} vs MC {sampled} \
+             (observed error {err:.6}, allowed {tol:.6})"
+        );
+    }
+    let mc_mean = sums.iter().map(|&t| t as f64).sum::<f64>() / n;
+    let mean_err = (analytic.mean() - mc_mean).abs() / mc_mean;
+    assert!(
+        mean_err < 0.01,
+        "convolve mean: analytic {} vs MC {mc_mean} \
+         (observed rel. error {mean_err:.6}, allowed 0.01)",
+        analytic.mean()
+    );
 }
 
 #[test]

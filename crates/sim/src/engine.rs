@@ -21,9 +21,7 @@ use crate::config::SimConfig;
 use crate::machine::MachineState;
 use crate::mapper::{MapContext, Mapper, PrunedTask};
 use crate::metrics::Metrics;
-use hcsim_model::{
-    CostTracker, MachineId, SystemSpec, Task, TaskOutcome, TaskRecord, Time,
-};
+use hcsim_model::{CostTracker, MachineId, SystemSpec, Task, TaskOutcome, TaskRecord, Time};
 use hcsim_pmf::DropPolicy;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -104,7 +102,11 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         let mut seq = 0u64;
         for (i, t) in tasks.iter().enumerate() {
             debug_assert_eq!(t.id.index(), i, "task ids must be arrival-ordered indices");
-            events.push(Reverse(Event { time: t.arrival, seq, kind: EventKind::Arrival(i as u32) }));
+            events.push(Reverse(Event {
+                time: t.arrival,
+                seq,
+                kind: EventKind::Arrival(i as u32),
+            }));
             seq += 1;
         }
         let machines = (0..spec.num_machines())
@@ -135,15 +137,16 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         self.events.push(Reverse(Event { time, seq, kind }));
     }
 
-    fn record(&mut self, task: Task, outcome: TaskOutcome, machine: Option<MachineId>, started_at: Option<Time>, machine_time: Time) {
-        let rec = TaskRecord {
-            task,
-            outcome,
-            machine,
-            started_at,
-            finished_at: self.now,
-            machine_time,
-        };
+    fn record(
+        &mut self,
+        task: Task,
+        outcome: TaskOutcome,
+        machine: Option<MachineId>,
+        started_at: Option<Time>,
+        machine_time: Time,
+    ) {
+        let rec =
+            TaskRecord { task, outcome, machine, started_at, finished_at: self.now, machine_time };
         let slot = &mut self.records[task.id.index()];
         debug_assert!(slot.is_none(), "task {} finished twice", task.id);
         *slot = Some(rec);
@@ -270,7 +273,13 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                 self.cost.record_busy(p.machine, segment);
             }
             let machine_time = p.progress_before + segment;
-            self.record(p.task, TaskOutcome::PrunedDropped, Some(p.machine), p.started_at, machine_time);
+            self.record(
+                p.task,
+                TaskOutcome::PrunedDropped,
+                Some(p.machine),
+                p.started_at,
+                machine_time,
+            );
         }
         self.pruned_buf = pruned;
     }
@@ -304,7 +313,10 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                 if drop_all && finish > task.deadline {
                     // The task will be evicted at its deadline (Eq. 5
                     // semantics): machine frees at δ, outcome is a miss.
-                    self.push_event(task.deadline, EventKind::Finish { machine, token, evict: true });
+                    self.push_event(
+                        task.deadline,
+                        EventKind::Finish { machine, token, evict: true },
+                    );
                 } else {
                     self.push_event(finish, EventKind::Finish { machine, token, evict: false });
                 }
@@ -398,7 +410,10 @@ mod tests {
             .shape_range(200.0, 200.0) // tiny variance → near-deterministic
             .build(&[vec![10.0, 20.0]], &mut rng);
         SystemSpec {
-            machines: vec![MachineSpec { name: "fast".into() }, MachineSpec { name: "slow".into() }],
+            machines: vec![
+                MachineSpec { name: "fast".into() },
+                MachineSpec { name: "slow".into() },
+            ],
             task_types: vec![TaskTypeSpec { name: "t".into() }],
             pet,
             truth,
@@ -459,11 +474,7 @@ mod tests {
         let tasks = tasks_every(100, 0, 40);
         let report = run(&spec, &tasks, 3);
         assert!(report.metrics.outcomes.on_time < 100);
-        assert!(
-            report.metrics.outcomes.expired_unstarted > 0,
-            "{:?}",
-            report.metrics.outcomes
-        );
+        assert!(report.metrics.outcomes.expired_unstarted > 0, "{:?}", report.metrics.outcomes);
     }
 
     #[test]
@@ -527,8 +538,7 @@ mod tests {
         let tasks = tasks_every(5, 10, 1000);
         let mut rng = SeedSequence::new(7).stream(0);
         let mut mapper = NeverMap;
-        let report =
-            run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
+        let report = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
         // All tasks must expire via deadline sweeps rather than hanging.
         assert_eq!(report.metrics.outcomes.expired_unstarted, 5);
         assert!(report.end_time > 1000);

@@ -128,11 +128,7 @@ impl<'a> MapContext<'a> {
         if !self.machines[m.index()].has_free_slot() {
             return Err(AssignError::MachineFull);
         }
-        let pos = self
-            .batch
-            .iter()
-            .position(|t| t.id == task_id)
-            .ok_or(AssignError::NotInBatch)?;
+        let pos = self.batch.iter().position(|t| t.id == task_id).ok_or(AssignError::NotInBatch)?;
         let task = self.batch.remove(pos);
         self.machines[m.index()].push_pending(task);
         Ok(())
@@ -179,19 +175,11 @@ impl<'a> MapContext<'a> {
     /// Fails when the machine is idle or the task is not in the batch;
     /// occupancy is unchanged (executing → pending), so capacity is never
     /// an obstacle.
-    pub fn preempt_and_assign(
-        &mut self,
-        m: MachineId,
-        task_id: TaskId,
-    ) -> Result<(), AssignError> {
+    pub fn preempt_and_assign(&mut self, m: MachineId, task_id: TaskId) -> Result<(), AssignError> {
         if self.machines[m.index()].executing().is_none() {
             return Err(AssignError::MachineNotExecuting);
         }
-        let pos = self
-            .batch
-            .iter()
-            .position(|t| t.id == task_id)
-            .ok_or(AssignError::NotInBatch)?;
+        let pos = self.batch.iter().position(|t| t.id == task_id).ok_or(AssignError::NotInBatch)?;
         let task = self.batch.remove(pos);
         let now = self.now;
         let machine = &mut self.machines[m.index()];

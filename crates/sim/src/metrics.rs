@@ -114,13 +114,15 @@ impl Metrics {
 
         let per_type_pct: Vec<f64> = per_type
             .iter()
-            .map(|&(ok, total)| {
-                if total == 0 {
-                    f64::NAN
-                } else {
-                    100.0 * ok as f64 / total as f64
-                }
-            })
+            .map(
+                |&(ok, total)| {
+                    if total == 0 {
+                        f64::NAN
+                    } else {
+                        100.0 * ok as f64 / total as f64
+                    }
+                },
+            )
             .collect();
 
         let present: Vec<f64> = per_type_pct.iter().copied().filter(|p| !p.is_nan()).collect();
@@ -264,8 +266,10 @@ mod tests {
 
     #[test]
     fn single_type_has_zero_variance() {
-        let records =
-            vec![record(0, 0, TaskOutcome::CompletedOnTime), record(1, 0, TaskOutcome::PrunedDropped)];
+        let records = vec![
+            record(0, 0, TaskOutcome::CompletedOnTime),
+            record(1, 0, TaskOutcome::PrunedDropped),
+        ];
         let m = Metrics::compute(&records, 1, 0);
         assert_eq!(m.type_variance, 0.0);
     }

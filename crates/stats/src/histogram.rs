@@ -95,9 +95,11 @@ impl Histogram {
 
     /// Iterator over `(bin_center, mass)` pairs, skipping empty bins.
     pub fn centers(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.mass.iter().enumerate().filter(|(_, &m)| m > 0.0).map(move |(i, &m)| {
-            (self.lo + (i as f64 + 0.5) * self.width, m)
-        })
+        self.mass
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 0.0)
+            .map(move |(i, &m)| (self.lo + (i as f64 + 0.5) * self.width, m))
     }
 
     /// Mean of the binned distribution (bin centers weighted by mass).

@@ -106,21 +106,15 @@ pub fn load_tasks_csv<R: Read>(input: R) -> Result<Vec<Task>, TraceError> {
                 reason: format!("deadline {deadline} precedes arrival {arrival}"),
             });
         }
-        tasks.push(Task {
-            id: TaskId(id),
-            type_id: TaskTypeId(type_id),
-            arrival,
-            deadline,
-        });
+        tasks.push(Task { id: TaskId(id), type_id: TaskTypeId(type_id), arrival, deadline });
     }
     Ok(tasks)
 }
 
 fn parse_field<T: std::str::FromStr>(s: &str, name: &str, line: usize) -> Result<T, TraceError> {
-    s.trim().parse().map_err(|_| TraceError::Parse {
-        line,
-        reason: format!("invalid {name}: {s:?}"),
-    })
+    s.trim()
+        .parse()
+        .map_err(|_| TraceError::Parse { line, reason: format!("invalid {name}: {s:?}") })
 }
 
 #[cfg(test)]

@@ -21,8 +21,12 @@
 use hcsim_model::{MachineSpec, PetBuilder, PriceTable, SystemSpec, TaskTypeSpec};
 
 /// The four EC2 VM types of §VII-G.
-pub const TRANSCODE_VMS: [&str; 4] =
-    ["CPU-Optimized (c4.xlarge)", "Memory-Optimized (r3.xlarge)", "General Purpose (m4.xlarge)", "GPU (g2.2xlarge)"];
+pub const TRANSCODE_VMS: [&str; 4] = [
+    "CPU-Optimized (c4.xlarge)",
+    "Memory-Optimized (r3.xlarge)",
+    "General Purpose (m4.xlarge)",
+    "GPU (g2.2xlarge)",
+];
 
 /// The four transcoding operations of §VII-G.
 pub const TRANSCODE_OPS: [&str; 4] =

@@ -21,9 +21,9 @@ fn main() {
     // The T4 crushes the vision transformer, the CPU box is competitive
     // only for the tiny tabular model — inconsistent heterogeneity.
     let means = vec![
-        vec![40.0, 90.0, 260.0],  // vision transformer
-        vec![70.0, 60.0, 150.0],  // speech model
-        vec![30.0, 25.0, 35.0],   // tabular model
+        vec![40.0, 90.0, 260.0], // vision transformer
+        vec![70.0, 60.0, 150.0], // speech model
+        vec![30.0, 25.0, 35.0],  // tabular model
     ];
     let (pet, truth) = PetBuilder::new()
         .shape_range(2.0, 10.0) // bursty, input-dependent latency

@@ -51,10 +51,8 @@ fn main() {
     per_type_table("PAMF (fairness factor 5%):", &pamf_report.metrics, &spec);
 
     // An aggressive fairness factor for contrast.
-    let mut pamf25 = Pam::with_fairness(PruningConfig {
-        fairness_factor: 0.25,
-        ..PruningConfig::default()
-    });
+    let mut pamf25 =
+        Pam::with_fairness(PruningConfig { fairness_factor: 0.25, ..PruningConfig::default() });
     let pamf25_report =
         run_simulation(&spec, SimConfig::default(), &tasks, &mut pamf25, &mut seeds.stream(2));
     per_type_table("PAMF (fairness factor 25%):", &pamf25_report.metrics, &spec);

@@ -14,8 +14,7 @@ fn run_with<M: Mapper>(
     tasks: &[Task],
     seeds: &SeedSequence,
 ) -> f64 {
-    let report =
-        run_simulation(spec, SimConfig::default(), tasks, mapper, &mut seeds.stream(99));
+    let report = run_simulation(spec, SimConfig::default(), tasks, mapper, &mut seeds.stream(99));
     println!(
         "{name:>5}: {:5.1}% on time | {:3} pruned | {:3} expired | cost ${:.4}",
         report.metrics.pct_on_time,

@@ -69,11 +69,7 @@ pub mod prelude {
         TaskOutcome, TaskRecord, TaskTypeId, TaskTypeSpec, Time,
     };
     pub use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf};
-    pub use hcsim_sim::{
-        run_simulation, MapContext, Mapper, Metrics, SimConfig, SimReport,
-    };
+    pub use hcsim_sim::{run_simulation, MapContext, Mapper, Metrics, SimConfig, SimReport};
     pub use hcsim_stats::{mean_ci95, Gamma, Histogram, SeedSequence};
-    pub use hcsim_workload::{
-        specint_system, transcode_system, WorkloadConfig, WorkloadGenerator,
-    };
+    pub use hcsim_workload::{specint_system, transcode_system, WorkloadConfig, WorkloadGenerator};
 }

@@ -32,8 +32,7 @@ fn zero_threshold_converts_every_eviction() {
     // approximate completion.
     assert_eq!(with.metrics.outcomes.expired_executing, 0);
     assert_eq!(
-        with.metrics.outcomes.approx,
-        without.metrics.outcomes.expired_executing,
+        with.metrics.outcomes.approx, without.metrics.outcomes.expired_executing,
         "every eviction should be salvaged at threshold 0"
     );
     // Robustness itself is untouched — approx results are not on-time.
@@ -61,11 +60,8 @@ fn stricter_threshold_salvages_less() {
 #[test]
 fn approx_records_are_evictions_at_deadline() {
     let report = run_with_approx(Some(0.5), 4);
-    let approx: Vec<_> = report
-        .records
-        .iter()
-        .filter(|r| r.outcome == TaskOutcome::CompletedApprox)
-        .collect();
+    let approx: Vec<_> =
+        report.records.iter().filter(|r| r.outcome == TaskOutcome::CompletedApprox).collect();
     assert!(!approx.is_empty(), "34k + MM should produce salvageable evictions");
     for rec in approx {
         assert_eq!(rec.finished_at, rec.task.deadline, "approx results arrive at the deadline");

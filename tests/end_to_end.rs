@@ -101,8 +101,7 @@ fn trimmed_metrics_are_a_subset() {
     assert_eq!(trimmed.records.len(), 400);
     assert_eq!(trimmed.metrics.counted, 200);
     // Metrics recomputed from the middle records must agree.
-    let manual_on_time =
-        trimmed.records[100..300].iter().filter(|r| r.is_success()).count();
+    let manual_on_time = trimmed.records[100..300].iter().filter(|r| r.is_success()).count();
     assert_eq!(trimmed.metrics.outcomes.on_time, manual_on_time);
 }
 
@@ -151,11 +150,8 @@ fn pam_instrumentation_is_reported() {
     let instr = Mapper::instrumentation(&mapper).expect("PAM is instrumented");
     assert_eq!(instr.mapping_events, report.mapping_events);
     assert!(instr.events_dropping_engaged > 0, "34k must engage dropping");
-    let pruned = report
-        .records
-        .iter()
-        .filter(|r| r.outcome == TaskOutcome::PrunedDropped)
-        .count() as u64;
+    let pruned =
+        report.records.iter().filter(|r| r.outcome == TaskOutcome::PrunedDropped).count() as u64;
     assert_eq!(instr.pruner_drops, pruned);
 }
 

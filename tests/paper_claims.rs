@@ -2,6 +2,15 @@
 //! trials. These are the properties EXPERIMENTS.md reports at full scale;
 //! here they gate the test suite so a regression that breaks a *finding*
 //! (not just a function) fails CI.
+//!
+//! Triage status (PR 1): all eight claim tests pass deterministically —
+//! Fig. 4 (Schmitt trigger), Fig. 5 (defer threshold), Fig. 6 (fairness
+//! variance), Fig. 7 (heuristic ordering at 19k/34k), Fig. 8 (cost per
+//! on-time %), Fig. 9 (PAMF vs MM on transcoding), plus the two
+//! oversubscription-trend claims. Policy for future PRs: a claim test must
+//! either pass or carry `#[ignore = "awaits Fig./Eq. ..."]` with a one-line
+//! reason naming the figure or equation it awaits — never be left silently
+//! failing or weakened without a comment.
 
 use hcsim::exp::{FigOptions, Scenario, SystemKind};
 use hcsim::prelude::*;

@@ -36,8 +36,7 @@ fn workload() -> Vec<Task> {
 fn run_pam(preemption: bool) -> SimReport {
     let spec = spec();
     let tasks = workload();
-    let mut mapper =
-        Pam::new(PruningConfig { preemption, ..PruningConfig::default() });
+    let mut mapper = Pam::new(PruningConfig { preemption, ..PruningConfig::default() });
     let mut rng = SeedSequence::new(2).stream(0);
     run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng)
 }

@@ -23,10 +23,8 @@ fn build_system(
                 .collect()
         })
         .collect();
-    let (pet, truth) = PetBuilder::new()
-        .samples_per_cell(120)
-        .histogram_bins(16)
-        .build(&means, &mut rng);
+    let (pet, truth) =
+        PetBuilder::new().samples_per_cell(120).histogram_bins(16).build(&means, &mut rng);
     SystemSpec {
         machines: (0..machines).map(|m| MachineSpec { name: format!("m{m}") }).collect(),
         task_types: (0..types).map(|t| TaskTypeSpec { name: format!("t{t}") }).collect(),

@@ -22,13 +22,7 @@ fn csv_roundtrip_preserves_simulation_results() {
 
     let run = |tasks: &[Task]| {
         let mut mapper = Pam::new(PruningConfig::default());
-        run_simulation(
-            &spec,
-            SimConfig::untrimmed(),
-            tasks,
-            &mut mapper,
-            &mut seeds.stream(2),
-        )
+        run_simulation(&spec, SimConfig::untrimmed(), tasks, &mut mapper, &mut seeds.stream(2))
     };
     let original = run(&tasks);
     let replayed = run(&loaded);

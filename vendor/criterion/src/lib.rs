@@ -1,0 +1,471 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of the criterion API the `hcsim-bench` targets use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`] (`iter`, `iter_batched`),
+//! [`BenchmarkId`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple but
+//! real measurement loop: each benchmark is warmed up, then timed over
+//! `sample_size` samples, and the per-iteration mean / min / max are
+//! printed. There are no plots, no statistics beyond the summary line, and
+//! no baseline comparison; the numbers are honest wall-clock means suitable
+//! for spotting order-of-magnitude regressions.
+//!
+//! Like upstream criterion, benches are expected to set `harness = false`
+//! and let [`criterion_main!`] supply `fn main`. `--bench`/`--test` CLI
+//! arguments passed by `cargo bench`/`cargo test` are accepted; in
+//! `--test` mode each benchmark body runs exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. Only the names matter here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted wherever a benchmark is named (mirrors upstream's
+/// `IntoBenchmarkId`): plain strings or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing settings shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    /// `cargo test` runs `--bench` targets with `--test`: run once, fast.
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Applies `cargo bench`/`cargo test` CLI arguments (`--test` mode and
+    /// a name filter). Called by [`criterion_main!`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        // Flags known to take no value; anything else starting with `-` is
+        // assumed to consume the following token as its value, so that e.g.
+        // `--sample-size 20` does not leave `20` behind as a name filter.
+        const BOOLEAN_FLAGS: &[&str] = &[
+            "--test",
+            "--bench",
+            "--",
+            "--nocapture",
+            "--quiet",
+            "-q",
+            "--exact",
+            "--ignored",
+            "--include-ignored",
+            "--list",
+            "--verbose",
+        ];
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                s if s.starts_with('-') && (BOOLEAN_FLAGS.contains(&s) || s.contains('=')) => {}
+                s if s.starts_with('-') => {
+                    // Unknown value-taking flag: swallow its value too.
+                    if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), settings: None }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings;
+        self.run_one(&id.into_id(), settings, &mut f);
+        self
+    }
+
+    /// Runs a single benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let settings = self.settings;
+        self.run_one(&id.into_id(), settings, &mut |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { settings, test_mode: self.test_mode, samples: Vec::new() };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    settings: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn effective(&self) -> Settings {
+        self.settings.unwrap_or(self.parent.settings)
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        let mut s = self.effective();
+        s.sample_size = n;
+        self.settings = Some(s);
+        self
+    }
+
+    /// Overrides the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        let mut s = self.effective();
+        s.warm_up_time = d;
+        self.settings = Some(s);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let mut s = self.effective();
+        s.measurement_time = d;
+        self.settings = Some(s);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let settings = self.effective();
+        self.parent.run_one(&full, settings, &mut f);
+        self
+    }
+
+    /// Runs one benchmark in the group with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let settings = self.effective();
+        self.parent.run_one(&full, settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (All reporting is incremental; nothing to flush.)
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up: also estimates the per-iteration cost so each sample can
+        // batch enough iterations to be measurable.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.settings.measurement_time.as_secs_f64();
+        // Cap at u32::MAX so `batch` below survives the Duration division's
+        // u32 cast even at sample_size 1.
+        let total_iters = ((budget / per_iter.max(1e-9)) as u64)
+            .clamp(self.settings.sample_size as u64, u64::from(u32::MAX));
+        let batch = (total_iters / self.settings.sample_size as u64).max(1);
+
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.settings.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), BatchSize::PerIteration)
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        if self.test_mode {
+            println!("{id:<48} ok (test mode)");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<Duration>().as_secs_f64() / n;
+        let min = self.samples.iter().min().unwrap().as_secs_f64();
+        let max = self.samples.iter().max().unwrap().as_secs_f64();
+        println!(
+            "{id:<48} mean {} [min {}, max {}] ({} samples)",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+            self.samples.len(),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark targets, upstream-compatible in both the
+/// `name =/config =/targets =` and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = $crate::Criterion::configure_from_args(criterion);
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `fn main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("conv", 8).into_id(), "conv/8");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, ..Criterion::default() };
+        let mut runs = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the small part of the `rand` 0.8 API the workspace actually uses is
+//! re-implemented here and wired in as a path dependency:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — implemented by
+//!   `hcsim_stats::Xoshiro256pp`, the workspace's only generator.
+//! * [`Rng`] — the extension trait providing `gen`, `gen_range`, `gen_bool`
+//!   and `sample`, blanket-implemented for every `RngCore`.
+//! * [`Error`] — the error type named by `RngCore::try_fill_bytes`.
+//! * [`distributions::Standard`] / [`distributions::Distribution`] — just
+//!   enough to back `Rng::gen::<f64>()` and friends.
+//!
+//! Uniform ranges use Lemire's widening-multiply method for integers and a
+//! 53-bit mantissa scaling for floats, so sequences are fully deterministic
+//! functions of the generator state — a requirement of the workspace's
+//! seed-determinism tests. The algorithms intentionally do NOT promise
+//! bit-compatibility with crates.io `rand`; the workspace pins its own
+//! generators (`SplitMix64`, xoshiro256++) precisely so that nothing depends
+//! on `rand`'s value sequences.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+use core::ops::{Range, RangeInclusive};
+
+/// Error type reported by fallible [`RngCore`] methods.
+///
+/// The workspace's generators are infallible; this type exists only so that
+/// `try_fill_bytes` has the signature downstream code expects.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("random number generator failure")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure as an [`Error`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed;
+    /// Builds the generator from `seed`.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+pub mod distributions {
+    //! Sampling distributions: the [`Distribution`] trait and the
+    //! [`Standard`] distribution backing [`Rng::gen`](crate::Rng::gen).
+
+    use super::RngCore;
+
+    /// Types which can produce values of type `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over a type's natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 significant bits, the conversion used by the xoshiro authors.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+mod uniform {
+    use super::RngCore;
+    use super::{Range, RangeInclusive};
+
+    /// A range that can produce uniformly distributed values of type `T`.
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    // Lemire's widening-multiply bounded integers: unbiased enough for
+    // simulation work and branch-free in the common case.
+    macro_rules! impl_int_range {
+        ($($t:ty => $wide:ty, $u:ty);+ $(;)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty gen_range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    let hi = ((rng.next_u64() as $wide * span as $wide)
+                        >> (8 * core::mem::size_of::<u64>())) as $u;
+                    self.start.wrapping_add(hi as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "empty gen_range");
+                    if lo == <$t>::MIN && hi == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                    let v = ((rng.next_u64() as $wide * span as $wide)
+                        >> (8 * core::mem::size_of::<u64>())) as $u;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )+};
+    }
+
+    impl_int_range! {
+        u8 => u128, u64;
+        u16 => u128, u64;
+        u32 => u128, u64;
+        u64 => u128, u64;
+        usize => u128, u64;
+        i8 => u128, u64;
+        i16 => u128, u64;
+        i32 => u128, u64;
+        i64 => u128, u64;
+        isize => u128, u64;
+    }
+
+    macro_rules! impl_float_range {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty gen_range");
+                    let u = (rng.next_u64() >> 11) as f64
+                        * (1.0 / (1u64 << 53) as f64);
+                    let v = (self.start as f64
+                        + u * (self.end as f64 - self.start as f64)) as $t;
+                    // Guard against rounding up to the excluded endpoint —
+                    // compare after the cast, which for f32 can round up.
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+        )+};
+    }
+
+    impl_float_range!(f32, f64);
+}
+
+pub use uniform::SampleRange;
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the [`Standard`] distribution
+    /// (`[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0, 1]: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Draws one value from `distr`.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 so the bit patterns are well distributed.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_int_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(0..10);
+            assert!(v < 10);
+            let w: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&w));
+            let x: usize = rng.gen_range(3..=3);
+            assert_eq!(x, 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_float_in_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_f32_excludes_endpoint() {
+        // The f64→f32 rounding at the top of the interval must never land
+        // on the excluded endpoint.
+        let mut rng = Counter(6);
+        for _ in 0..100_000 {
+            let v: f32 = rng.gen_range(0.0f32..1.0f32);
+            assert!((0.0..1.0).contains(&v), "f32 endpoint leaked: {v}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval_and_mean() {
+        let mut rng = Counter(3);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = Counter(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all of 0..10 hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

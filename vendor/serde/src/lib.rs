@@ -1,0 +1,32 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that real serialization can be
+//! switched on the moment the genuine crates are available, but nothing in
+//! the tree currently *calls* a serializer (the CSV trace format in
+//! `hcsim-workload` is hand-rolled). This crate therefore provides:
+//!
+//! * marker traits [`Serialize`] / [`Deserialize`] blanket-implemented for
+//!   every type, and
+//! * no-op derive macros of the same names (from `vendor/serde_derive`).
+//!
+//! Swapping in crates.io serde later is a one-line change per manifest; no
+//! source file needs to change.
+
+#![forbid(unsafe_code)]
+
+// Derive macros live in the macro namespace, the traits in the type
+// namespace — both import under the same names, exactly like real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that could be deserialized. Blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline `serde` stand-in (see `vendor/serde`) blanket-implements its
+//! marker traits for every type, so the derives here only need to exist and
+//! accept the `#[serde(...)]` helper attribute — they emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
