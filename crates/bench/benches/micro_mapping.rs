@@ -5,9 +5,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
-use hcsim_model::{SystemSpec, Task};
+use hcsim_model::{SystemSpec, Task, TaskId, TaskTypeId};
 use hcsim_pmf::DropPolicy;
-use hcsim_sim::{run_simulation, MachineState, SimConfig};
+use hcsim_sim::{run_simulation, testkit, MachineState, SimConfig};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
 
@@ -61,12 +61,52 @@ fn bench_scorer(c: &mut Criterion) {
     });
 }
 
+/// The steady-state mapping op at queue depth d: one queue mutation
+/// (version bump) followed by a tail query. The incremental tail cache
+/// turns this from a full O(depth) reconvolution into a single
+/// `queue_step` — the headline speedup of the allocation-free PMF
+/// pipeline (mirrors `hcsim-exp bench`'s `tail_after_append`).
+fn bench_tail_after_append(c: &mut Criterion) {
+    let seeds = SeedSequence::new(99);
+    let spec = specint_system(8, &mut seeds.stream(0));
+    let mut group = c.benchmark_group("tail_after_append");
+    for depth in [2usize, 4, 6] {
+        let pending: Vec<Task> = (0..depth as u32)
+            .map(|i| Task {
+                id: TaskId(i),
+                type_id: TaskTypeId((i % 12) as u16),
+                arrival: 0,
+                deadline: 2_000 + u64::from(i) * 250,
+            })
+            .collect();
+        let mut machine =
+            testkit::machine_with_pending(hcsim_model::MachineId(0), depth + 2, &pending);
+        let mut scorer = ProbScorer::new(&spec.pet, DropPolicy::All, 24);
+        scorer.begin_event(100);
+        let mut i = depth as u32;
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let t = Task {
+                    id: TaskId(i),
+                    type_id: TaskTypeId((i % 12) as u16),
+                    arrival: 0,
+                    deadline: 2_000 + u64::from(i % 16) * 125,
+                };
+                testkit::replace_last_pending(&mut machine, t);
+                black_box(scorer.tail(&machine, &spec.pet).len())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_trial_per_heuristic, bench_scorer
+    targets = bench_trial_per_heuristic, bench_scorer, bench_tail_after_append
 }
 criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! Benchmark-only crate: see `benches/` for the Criterion targets.
 //!
 //! * `micro_pmf` — convolution, queue chaining, compaction, moments.
-//! * `micro_mapping` — whole-trial throughput per heuristic + scorer.
+//! * `micro_mapping` — whole-trial throughput per heuristic + scorer +
+//!   the incremental-tail `tail_after_append` op at queue depths 2/4/6.
 //! * `fig4_lambda` … `fig9_transcoding` — one reduced cell per paper
 //!   figure (the full-fidelity sweeps are `hcsim-exp fig4` … `fig9`).
+//!
+//! Set `HCSIM_BENCH_JSON=<path>` to append each result as a JSON line in
+//! the same per-result schema `hcsim-exp bench` writes to `BENCH_*.json`.

@@ -109,11 +109,17 @@ impl Mapper for ScalarMapper {
     }
 
     fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+        if ctx.total_free_slots() == 0 || ctx.batch().is_empty() {
+            return;
+        }
+        // Expected availabilities are a function of each machine's own
+        // queue, so they are computed once per event and then patched
+        // point-wise: a commit only changes the assigned machine.
+        self.refresh_availability(ctx);
         loop {
             if ctx.total_free_slots() == 0 || ctx.batch().is_empty() {
                 break;
             }
-            self.refresh_availability(ctx);
 
             // Phase 1: provisional (task, best machine) pairs.
             let mut pairs: Vec<Pair> = Vec::with_capacity(ctx.batch().len());
@@ -129,8 +135,9 @@ impl Mapper for ScalarMapper {
             }
             let Some(chosen) = self.select(&pairs) else { break };
             ctx.assign(chosen.task, chosen.machine).expect("pair referenced a free slot");
-            // Loop: the assignment changed one machine's availability; the
-            // next iteration recomputes and commits the next pair.
+            // Only the assigned machine's availability moved.
+            self.avail[chosen.machine.index()] =
+                expected_available(ctx.machine(chosen.machine), &ctx.spec().pet, ctx.now());
         }
     }
 }

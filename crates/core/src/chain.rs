@@ -11,7 +11,7 @@
 //! optimistic estimates.
 
 use hcsim_model::{PetMatrix, Task, Time};
-use hcsim_pmf::{queue_step, DropPolicy, Pmf};
+use hcsim_pmf::{queue_step, queue_step_into, ConvScratch, DropPolicy, Pmf};
 use hcsim_sim::MachineState;
 
 /// Analysis of one queue position.
@@ -55,21 +55,29 @@ pub fn analyze_queue(
     policy: DropPolicy,
     budget: usize,
 ) -> QueueAnalysis {
+    let mut scratch = ConvScratch::new();
+    analyze_queue_into(machine, pet, now, policy, budget, &mut scratch)
+}
+
+/// [`analyze_queue`] with a caller-provided [`ConvScratch`]: intermediate
+/// availability PMFs are drawn from and returned to the scratch pool, so
+/// repeated analyses (the pruner's re-evaluation loop, Monte-Carlo
+/// sweeps) stop churning the allocator.
+#[must_use]
+pub fn analyze_queue_into(
+    machine: &MachineState,
+    pet: &PetMatrix,
+    now: Time,
+    policy: DropPolicy,
+    budget: usize,
+    scratch: &mut ConvScratch,
+) -> QueueAnalysis {
     let mut slots = Vec::with_capacity(machine.occupancy());
     let mut avail = Pmf::delta(now);
 
     if let Some(exec) = machine.executing() {
-        // The completion PMF of the executing task is its *residual*
-        // execution distribution — the PET conditioned on having already
-        // run `elapsed` units (across preemption segments) — shifted to
-        // now. For a never-preempted task this equals the paper's
-        // "shift by the start time" plus conditioning on still running.
-        let elapsed = exec.elapsed_at(now);
-        let mut completion = pet.pmf(exec.task.type_id, machine.id()).residual(elapsed).shift(now);
-        completion.compact(budget);
-        // Float-noise guard: a CDF sum can exceed 1 by an ulp or two.
-        let robustness = completion.cdf_at(exec.task.deadline).min(1.0);
-        let skewness = completion.bounded_skewness();
+        let (completion, robustness, skewness) =
+            conditioned_head(exec, pet, machine.id(), now, budget);
         let mut after = completion.clone();
         if policy == DropPolicy::All {
             // Eq. 5: the executing task is evicted at its deadline, so the
@@ -87,31 +95,85 @@ pub fn analyze_queue(
     }
 
     for entry in machine.pending_entries() {
-        let task = &entry.task;
-        // A preempted entry resumes with its remaining work: model it by
-        // the residual PET (§VIII — preemption's impact on convolution).
-        let base_pmf = pet.pmf(task.type_id, machine.id());
-        let resumed;
-        let exec_pmf = if entry.progress > 0 {
-            resumed = base_pmf.residual(entry.progress);
-            &resumed
-        } else {
-            base_pmf
-        };
-        let mut step = queue_step(&avail, exec_pmf, task.deadline, policy);
-        step.availability.compact(budget);
-        let skewness = step.completion.as_ref().map_or(0.0, Pmf::bounded_skewness);
+        let (mut step, skewness) =
+            chain_extension(&avail, entry, pet, machine.id(), policy, budget, true, scratch);
         slots.push(QueueSlot {
-            task: *task,
+            task: entry.task,
             position: slots.len(),
             robustness: step.robustness.min(1.0),
-            completion: step.completion,
+            completion: step.completion.take(),
             skewness,
         });
-        avail = step.availability;
+        scratch.recycle(std::mem::replace(&mut avail, step.availability));
     }
 
     QueueAnalysis { slots, tail: avail }
+}
+
+/// The executing task's completion PMF conditioned on still running at
+/// `now` (§IV "shift by the start time" plus conditioning), compacted to
+/// `budget`, with its Eq. 1 robustness and Eq. 6 bounded skewness.
+///
+/// This is the *single* definition of the head-slot float pipeline; the
+/// from-scratch analysis above and the scorer's incremental tail cache
+/// both call it, which is what keeps cached tails bit-identical to
+/// from-scratch analysis. Callers apply the policy-dependent Eq. 5 clamp
+/// themselves (the analysis keeps the unclamped completion for its slot).
+pub(crate) fn conditioned_head(
+    exec: &hcsim_sim::ExecutingTask,
+    pet: &PetMatrix,
+    machine: hcsim_model::MachineId,
+    now: Time,
+    budget: usize,
+) -> (Pmf, f64, f64) {
+    // The completion PMF of the executing task is its *residual* execution
+    // distribution — the PET conditioned on having already run `elapsed`
+    // units (across preemption segments) — shifted to now.
+    let elapsed = exec.elapsed_at(now);
+    let mut completion = pet.pmf(exec.task.type_id, machine).residual(elapsed).shift(now);
+    completion.compact(budget);
+    // Float-noise guard: a CDF sum can exceed 1 by an ulp or two.
+    let robustness = completion.cdf_at(exec.task.deadline).min(1.0);
+    let skewness = completion.bounded_skewness();
+    (completion, robustness, skewness)
+}
+
+/// Chains one pending entry behind `avail`: the policy-aware
+/// [`queue_step_into`] with the availability compacted to `budget`, plus
+/// the completion's Eq. 6 bounded skewness (0 when the task can never
+/// start; NaN when `with_skewness` is false — the scorer's stats-free
+/// fast path skips the moment pass over the uncompacted completion).
+/// Shared by the from-scratch analysis and the scorer's incremental
+/// extension — see [`conditioned_head`] for why.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn chain_extension(
+    avail: &Pmf,
+    entry: &hcsim_sim::PendingEntry,
+    pet: &PetMatrix,
+    machine: hcsim_model::MachineId,
+    policy: DropPolicy,
+    budget: usize,
+    with_skewness: bool,
+    scratch: &mut ConvScratch,
+) -> (hcsim_pmf::QueueStep, f64) {
+    // A preempted entry resumes with its remaining work: model it by the
+    // residual PET (§VIII — preemption's impact on convolution).
+    let base_pmf = pet.pmf(entry.task.type_id, machine);
+    let resumed;
+    let exec_pmf = if entry.progress > 0 {
+        resumed = base_pmf.residual(entry.progress);
+        &resumed
+    } else {
+        base_pmf
+    };
+    let mut step = queue_step_into(avail, exec_pmf, entry.task.deadline, policy, scratch);
+    step.availability.compact(budget);
+    let skewness = if with_skewness {
+        step.completion.as_ref().map_or(0.0, Pmf::bounded_skewness)
+    } else {
+        f64::NAN
+    };
+    (step, skewness)
 }
 
 /// Robustness and expected completion of hypothetically appending `task`
@@ -215,7 +277,7 @@ mod tests {
         let machine = MachineState::new(MachineId(0), 6);
         let analysis = analyze_queue(&machine, &pet, 123, DropPolicy::All, 16);
         assert!(analysis.slots.is_empty());
-        assert_eq!(analysis.tail.impulses().len(), 1);
+        assert_eq!(analysis.tail.len(), 1);
         assert_eq!(analysis.tail.min_time(), 123);
         assert!(analysis.tail.is_normalized());
     }

@@ -70,4 +70,4 @@ pub use fairness::SufferageTable;
 pub use moc::Moc;
 pub use pam::Pam;
 pub use pruner::{OversubscriptionDetector, Pruner, PruningConfig};
-pub use scorer::{PairScore, ProbScorer};
+pub use scorer::{PairScore, ProbScorer, SlotScore};

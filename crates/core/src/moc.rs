@@ -18,7 +18,6 @@
 
 use crate::scorer::{PairScore, ProbScorer};
 use hcsim_model::{MachineId, TaskId};
-use hcsim_pmf::queue_step;
 use hcsim_sim::{MapContext, Mapper};
 
 /// Configuration for [`Moc`].
@@ -165,9 +164,9 @@ impl Mapper for Moc {
                         .copied()
                         .expect("candidate from batch");
                     let pet_pmf = ctx.spec().pet.pmf(task.type_id, cand.machine);
-                    let mut step = queue_step(&tail, pet_pmf, task.deadline, scorer.policy());
-                    step.availability.compact(self.config.impulse_budget);
-                    let hypo_tail = step.availability;
+                    // Pooled hypothetical append: the scorer compacts to
+                    // its own budget (== ours) and pools the storage.
+                    let hypo_tail = scorer.append_availability(&tail, pet_pmf, task.deadline);
                     let slot_left = machine.free_slots() > 1;
                     for (jdx, other) in candidates.iter().enumerate() {
                         if jdx == idx {
@@ -197,6 +196,7 @@ impl Mapper for Moc {
                         };
                         total += r;
                     }
+                    scorer.recycle(hypo_tail);
                     if total > best_total {
                         best_total = total;
                         best_idx = idx;

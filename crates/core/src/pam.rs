@@ -165,7 +165,8 @@ impl Mapper for Pam {
                 Some(s) => s.relax(tt, drop_base),
                 None => drop_base,
             };
-            self.instr.pruner_drops += self.pruner.drop_pass(ctx, &scorer, &threshold_for) as u64;
+            self.instr.pruner_drops +=
+                self.pruner.drop_pass(ctx, &mut scorer, &threshold_for) as u64;
         }
 
         // Two-phase mapping with deferral.

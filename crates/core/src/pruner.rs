@@ -202,26 +202,34 @@ impl Pruner {
     /// Runs the dropping pass over all machine queues. `threshold_for`
     /// supplies the (possibly fairness-relaxed) base dropping threshold per
     /// task type. Returns the number of tasks removed.
+    ///
+    /// Queue scores come from the scorer's incremental tail cache
+    /// ([`ProbScorer::slot_scores`]), so the re-evaluation after each drop
+    /// reconvolves only the queue suffix behind the removed task instead of
+    /// rebuilding the whole chain.
     pub fn drop_pass(
         &self,
         ctx: &mut MapContext<'_>,
-        scorer: &ProbScorer,
+        scorer: &mut ProbScorer,
         threshold_for: &dyn Fn(TaskTypeId) -> f64,
     ) -> usize {
         let mut dropped = 0;
+        // Anchor the cache to this event's clock (a no-op when the mapper
+        // already began the event; required when the pruner is driven
+        // standalone, as the behavioral tests do).
+        scorer.begin_event(ctx.now());
+        let may_evict = self.config.drop_executing && scorer.policy() == hcsim_pmf::DropPolicy::All;
         for m in 0..ctx.num_machines() {
             let machine_id = MachineId::from(m);
-            // Re-analyze after every drop; bounded by queue capacity.
+            // Re-evaluate after every drop; bounded by queue capacity.
             loop {
-                let analysis = {
-                    let machine = ctx.machine(machine_id);
-                    if machine.occupancy() == 0 {
-                        break;
-                    }
-                    scorer.analyze(machine, &ctx.spec().pet, ctx.now())
-                };
-                let mut removed_one = false;
-                for slot in &analysis.slots {
+                let machine = ctx.machine(machine_id);
+                if machine.occupancy() == 0 {
+                    break;
+                }
+                let slots = scorer.slot_scores(machine, &ctx.spec().pet);
+                let mut removal: Option<(hcsim_model::TaskId, bool)> = None;
+                for slot in slots {
                     let base = threshold_for(slot.task.type_id);
                     let threshold = if self.config.per_task_adjustment {
                         adjusted_drop_threshold(base, slot.skewness, slot.position, self.config.rho)
@@ -234,24 +242,30 @@ impl Pruner {
                                 .machine(machine_id)
                                 .executing()
                                 .is_some_and(|e| e.task.id == slot.task.id);
-                        if is_executing {
-                            if self.config.drop_executing
-                                && scorer.policy() == hcsim_pmf::DropPolicy::All
-                            {
-                                ctx.evict_executing(machine_id);
-                            } else {
-                                continue; // protected; inspect the rest
-                            }
-                        } else if !ctx.drop_pending(machine_id, slot.task.id) {
-                            continue;
+                        if is_executing && !may_evict {
+                            continue; // protected; inspect the rest
                         }
-                        dropped += 1;
-                        removed_one = true;
-                        break; // queue changed: re-analyze this machine
+                        removal = Some((slot.task.id, is_executing));
+                        break; // queue changes: re-evaluate this machine
                     }
                 }
-                if !removed_one {
-                    break;
+                match removal {
+                    Some((task_id, true)) => {
+                        ctx.evict_executing(machine_id);
+                        debug_assert!(
+                            ctx.machine(machine_id).executing().is_none(),
+                            "evicted task {task_id} still executing"
+                        );
+                        dropped += 1;
+                    }
+                    Some((task_id, false)) => {
+                        if ctx.drop_pending(machine_id, task_id) {
+                            dropped += 1;
+                        } else {
+                            break; // defensive: task vanished; stop looping
+                        }
+                    }
+                    None => break,
                 }
             }
         }

@@ -1,4 +1,5 @@
-//! Fast per-(task, machine) robustness scoring with per-event caching.
+//! Fast per-(task, machine) robustness scoring with *incremental* machine-
+//! tail caching.
 //!
 //! A mapping event evaluates every batch task against every machine. The
 //! naive approach performs a full Eq. 3–4 convolution per pair; this module
@@ -13,13 +14,37 @@
 //!
 //! Both are *exact* (they equal [`hcsim_pmf::queue_step`]'s outputs, minus
 //! the compaction error that full convolution would introduce; a unit test
-//! asserts the equivalence). Machine-tail PMFs are the only convolution
-//! work left and are cached per `(event, machine version)` — one chain of
-//! at most queue-capacity convolutions per machine per event.
+//! asserts the equivalence).
+//!
+//! # Incremental tail maintenance
+//!
+//! The machine-tail availability is the only convolution work left, and it
+//! is maintained *incrementally* across mapping events rather than rebuilt
+//! from `Pmf::delta(now)` at every version bump. Each machine's
+//! [`TailCache`] holds two layers:
+//!
+//! 1. a **conditioned head** — the executing task's residual-execution
+//!    availability, which depends on `now` and is therefore recomputed
+//!    whenever the event time moves;
+//! 2. a **pending chain** — one availability PMF per pending queue entry,
+//!    chained by [`hcsim_pmf::queue_step_into`]. On a queue mutation the
+//!    cache matches the *longest common prefix* of the cached entry
+//!    signatures `(task id, progress)` against the live queue and
+//!    reconvolves only the suffix: appending a task (the mapper's
+//!    assignment loop) costs one `queue_step`; dropping a mid-queue task
+//!    (the pruner) reuses everything ahead of it. Eviction, preemption, or
+//!    a new event time fall back to a full rebuild.
+//!
+//! Because the incremental path replays exactly the operations a
+//! from-scratch [`analyze_queue`] would perform — in the same order, with
+//! the same compaction budget — cached tails are bit-identical to
+//! from-scratch analysis (a replay proptest in `tests/` asserts this).
+//! All intermediate storage is drawn from a [`ConvScratch`] pool, so the
+//! steady-state scoring loop allocates nothing per (task, machine) pair.
 
 use crate::chain::{analyze_queue, QueueAnalysis};
-use hcsim_model::{MachineId, PetMatrix, Task, TaskTypeId, Time};
-use hcsim_pmf::{DropPolicy, Pmf};
+use hcsim_model::{MachineId, PetMatrix, Task, TaskId, TaskTypeId, Time};
+use hcsim_pmf::{queue_step_into, ConvScratch, DropPolicy, Pmf};
 use hcsim_sim::MachineState;
 
 /// The two scalars phase 1/2 of the probabilistic heuristics consume.
@@ -35,6 +60,22 @@ pub struct PairScore {
     pub mean_exec: f64,
 }
 
+/// Per-slot robustness/skewness of a queued task — the pruner's view of a
+/// machine queue, served from the incremental cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotScore {
+    /// The task occupying the slot.
+    pub task: Task,
+    /// Queue position κ: 0 is the executing task (or the first pending
+    /// task on an idle-but-nonempty queue snapshot).
+    pub position: usize,
+    /// Eq. 1 robustness of completing by the deadline.
+    pub robustness: f64,
+    /// Eq. 6 bounded skewness of the completion PMF (0 when the task can
+    /// never start).
+    pub skewness: f64,
+}
+
 /// Prefix-CDF view of one PET cell.
 #[derive(Debug, Clone)]
 struct PetCdf {
@@ -46,13 +87,13 @@ struct PetCdf {
 
 impl PetCdf {
     fn build(pmf: &Pmf) -> Self {
-        let times: Vec<Time> = pmf.impulses().iter().map(|i| i.t).collect();
+        let times: Vec<Time> = pmf.times().to_vec();
         let mut acc = 0.0;
         let prefix = pmf
-            .impulses()
+            .masses()
             .iter()
-            .map(|i| {
-                acc += i.p;
+            .map(|&p| {
+                acc += p;
                 acc
             })
             .collect();
@@ -71,7 +112,51 @@ impl PetCdf {
     }
 }
 
-/// Robustness/expected-completion scorer with per-event tail caching.
+/// Identity of one pending queue entry, as far as the chain math cares:
+/// the task id pins (type, deadline); `progress` pins the residual PET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingSig {
+    id: TaskId,
+    progress: Time,
+}
+
+/// One machine's cached availability chain (see module docs).
+#[derive(Debug, Default)]
+struct TailCache {
+    valid: bool,
+    /// Machine version the cache reflects.
+    version: u64,
+    /// Event time the conditioned head was computed at.
+    now: Time,
+    /// Executing-task identity: `(id, started_at, progress_before)`.
+    /// Together with `now` this fully determines the conditioned head.
+    exec_sig: Option<(TaskId, Time, Time)>,
+    /// Signatures of the pending entries the chain was built over.
+    pending_sig: Vec<PendingSig>,
+    /// Layer 1: availability after the executing task (or `delta(now)`);
+    /// `None` only before the first build.
+    head: Option<Pmf>,
+    /// Layer 2: availability after each pending entry; the machine tail is
+    /// `links.last()` (or `head` when no tasks are pending).
+    links: Vec<Pmf>,
+    /// Per-slot robustness/skewness, head first — the pruner's view.
+    slots: Vec<SlotScore>,
+    /// True when every slot's skewness is populated. Skewness is only
+    /// needed by the pruner and costs a moment pass over the *uncompacted*
+    /// completion PMF, so tail/score extensions skip it (leaving NaN
+    /// placeholders) and [`ProbScorer::slot_scores`] rebuilds in stats
+    /// mode on demand.
+    stats_valid: bool,
+}
+
+impl TailCache {
+    /// Only called after `ensure`, which always populates the head.
+    fn tail(&self) -> &Pmf {
+        self.links.last().or(self.head.as_ref()).expect("cache built before query")
+    }
+}
+
+/// Robustness/expected-completion scorer with incremental tail caching.
 #[derive(Debug)]
 pub struct ProbScorer {
     policy: DropPolicy,
@@ -79,11 +164,11 @@ pub struct ProbScorer {
     /// Prefix CDFs, row-major `(task_type, machine)`, built once.
     cdfs: Vec<PetCdf>,
     machines: usize,
-    /// Per-machine cached tail: `(machine version, tail)`. Valid only
-    /// within the current event (the executing-task conditioning depends
-    /// on `now`).
-    tails: Vec<Option<(u64, Pmf)>>,
+    /// Per-machine incremental availability chains.
+    caches: Vec<TailCache>,
     event_now: Time,
+    /// Convolution scratch + PMF storage pool shared by every cache.
+    scratch: ConvScratch,
 }
 
 impl ProbScorer {
@@ -97,13 +182,15 @@ impl ProbScorer {
                 cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
             }
         }
+        let caches = (0..pet.machines()).map(|_| TailCache::default()).collect();
         Self {
             policy,
             budget,
             cdfs,
             machines: pet.machines(),
-            tails: vec![None; pet.machines()],
+            caches,
             event_now: 0,
+            scratch: ConvScratch::new(),
         }
     }
 
@@ -113,15 +200,13 @@ impl ProbScorer {
         self.policy
     }
 
-    /// Starts a new mapping event at `now`, invalidating tail caches (the
-    /// executing-task conditioning is time-dependent).
+    /// Starts a new mapping event at `now`. Caches are *not* discarded:
+    /// validity is re-checked lazily against `(version, now)`, so an event
+    /// at the same timestamp (a same-instant arrival burst) keeps every
+    /// chain, and a moved clock rebuilds only the machines actually
+    /// queried.
     pub fn begin_event(&mut self, now: Time) {
-        if now != self.event_now {
-            self.event_now = now;
-            for t in &mut self.tails {
-                *t = None;
-            }
-        }
+        self.event_now = now;
     }
 
     #[inline]
@@ -129,37 +214,136 @@ impl ProbScorer {
         &self.cdfs[tt.index() * self.machines + m.index()]
     }
 
-    /// Full queue analysis (uncached) — used by the pruner, which needs
-    /// per-slot robustness and skewness rather than tails.
+    /// Full queue analysis built from scratch — the reference
+    /// implementation the incremental cache is verified against, and the
+    /// source of per-slot completion PMFs when a caller needs more than
+    /// [`SlotScore`] scalars.
     #[must_use]
     pub fn analyze(&self, machine: &MachineState, pet: &PetMatrix, now: Time) -> QueueAnalysis {
         analyze_queue(machine, pet, now, self.policy, self.budget)
     }
 
-    /// The machine's tail availability PMF, cached per (event, version).
-    pub fn tail(&mut self, machine: &MachineState, pet: &PetMatrix) -> &Pmf {
-        let idx = machine.id().index();
-        let version = machine.version();
-        let stale = match &self.tails[idx] {
-            Some((v, _)) => *v != version,
-            None => true,
-        };
-        if stale {
-            let analysis = analyze_queue(machine, pet, self.event_now, self.policy, self.budget);
-            self.tails[idx] = Some((version, analysis.tail));
+    /// Brings `machine`'s cache up to date (see module docs for the
+    /// incremental strategy). `want_stats` additionally guarantees every
+    /// slot's skewness is populated, rebuilding the chain in stats mode
+    /// when a previous stats-free extension left placeholders.
+    fn ensure(&mut self, machine: &MachineState, pet: &PetMatrix, want_stats: bool) {
+        let Self { policy, budget, caches, event_now, scratch, .. } = self;
+        let (policy, budget, now) = (*policy, *budget, *event_now);
+        let cache = &mut caches[machine.id().index()];
+        if cache.valid
+            && cache.version == machine.version()
+            && cache.now == now
+            && (!want_stats || cache.stats_valid)
+        {
+            return;
         }
-        &self.tails[idx].as_ref().expect("just filled").1
+
+        let exec_sig = machine.executing().map(|e| (e.task.id, e.started_at, e.progress_before));
+        let head_reusable = cache.valid
+            && cache.now == now
+            && cache.exec_sig == exec_sig
+            && (!want_stats || cache.stats_valid);
+        if head_reusable {
+            // Layer 2 prefix reuse: keep every chain link up to the first
+            // divergence between the cached and live pending queues.
+            let lcp = machine
+                .pending_entries()
+                .zip(cache.pending_sig.iter())
+                .take_while(|(e, s)| e.task.id == s.id && e.progress == s.progress)
+                .count();
+            for link in cache.links.drain(lcp..) {
+                scratch.recycle(link);
+            }
+            cache.pending_sig.truncate(lcp);
+            cache.slots.truncate(usize::from(exec_sig.is_some()) + lcp);
+        } else {
+            // Full rebuild: recompute the conditioned head at `now`.
+            for link in cache.links.drain(..) {
+                scratch.recycle(link);
+            }
+            cache.pending_sig.clear();
+            cache.slots.clear();
+            if let Some(old) = cache.head.take() {
+                scratch.recycle(old);
+            }
+            if let Some(exec) = machine.executing() {
+                // Shared head pipeline (`chain::conditioned_head`) keeps
+                // this bit-identical to from-scratch analysis.
+                let (mut completion, robustness, skewness) =
+                    crate::chain::conditioned_head(exec, pet, machine.id(), now, budget);
+                if policy == DropPolicy::All {
+                    // Eq. 5: the executing task is evicted at its deadline,
+                    // so the machine is free no later than δ.
+                    completion.clamp_above(exec.task.deadline);
+                }
+                cache.slots.push(SlotScore { task: exec.task, position: 0, robustness, skewness });
+                cache.head = Some(completion);
+            } else {
+                cache.head = Some(Pmf::delta(now));
+            }
+            cache.exec_sig = exec_sig;
+            cache.stats_valid = true;
+        }
+
+        // Extend the chain over the (new) pending suffix, via the shared
+        // `chain::chain_extension` step. The Eq. 6 moment pass over the
+        // uncompacted completion is the single most expensive part of an
+        // append; only the pruner reads it, so stats-free callers skip it
+        // (leaving the NaN placeholder `stats_valid` tracks).
+        for entry in machine.pending_entries().skip(cache.pending_sig.len()) {
+            let avail = cache.links.last().or(cache.head.as_ref()).expect("head built above");
+            let (mut step, skewness) = crate::chain::chain_extension(
+                avail,
+                entry,
+                pet,
+                machine.id(),
+                policy,
+                budget,
+                want_stats,
+                scratch,
+            );
+            if !want_stats {
+                cache.stats_valid = false;
+            }
+            if let Some(c) = step.completion.take() {
+                scratch.recycle(c);
+            }
+            cache.slots.push(SlotScore {
+                task: entry.task,
+                position: cache.slots.len(),
+                robustness: step.robustness.min(1.0),
+                skewness,
+            });
+            cache.pending_sig.push(PendingSig { id: entry.task.id, progress: entry.progress });
+            cache.links.push(step.availability);
+        }
+
+        cache.valid = true;
+        cache.version = machine.version();
+        cache.now = now;
+    }
+
+    /// The machine's tail availability PMF, maintained incrementally.
+    pub fn tail(&mut self, machine: &MachineState, pet: &PetMatrix) -> &Pmf {
+        self.ensure(machine, pet, false);
+        self.caches[machine.id().index()].tail()
+    }
+
+    /// Per-slot robustness/skewness for every queued task (head first) —
+    /// what the pruner's dropping pass consumes. Served from the
+    /// incremental cache, so re-evaluating a queue after a mid-queue drop
+    /// reconvolves only the suffix behind the removed task.
+    pub fn slot_scores(&mut self, machine: &MachineState, pet: &PetMatrix) -> &[SlotScore] {
+        self.ensure(machine, pet, true);
+        &self.caches[machine.id().index()].slots
     }
 
     /// Scores appending `task` to `machine`'s queue.
     pub fn score(&mut self, machine: &MachineState, pet: &PetMatrix, task: &Task) -> PairScore {
-        let m = machine.id();
-        let tt = task.type_id;
-        // Split borrows: compute tail first (mutable), then score against
-        // it (immutable).
-        self.tail(machine, pet);
-        let tail = &self.tails[m.index()].as_ref().expect("cached").1;
-        score_against(tail, self.cdf(tt, m), task.deadline, self.policy)
+        self.ensure(machine, pet, false);
+        let tail = self.caches[machine.id().index()].tail();
+        score_against(tail, self.cdf(task.type_id, machine.id()), task.deadline, self.policy)
     }
 
     /// Scores `task` against an explicit tail (used by MOC's permutation
@@ -174,6 +358,24 @@ impl ProbScorer {
     ) -> PairScore {
         score_against(tail, self.cdf(tt, m), deadline, self.policy)
     }
+
+    /// Availability after hypothetically appending a task with execution
+    /// PMF `exec` and `deadline` behind `tail`, compacted to the scorer's
+    /// budget. Storage is drawn from the scorer's pool; hand the result
+    /// back via [`ProbScorer::recycle`] to keep the loop allocation-free.
+    pub fn append_availability(&mut self, tail: &Pmf, exec: &Pmf, deadline: Time) -> Pmf {
+        let mut step = queue_step_into(tail, exec, deadline, self.policy, &mut self.scratch);
+        step.availability.compact(self.budget);
+        if let Some(c) = step.completion {
+            self.scratch.recycle(c);
+        }
+        step.availability
+    }
+
+    /// Returns a PMF obtained from this scorer to its storage pool.
+    pub fn recycle(&mut self, pmf: Pmf) {
+        self.scratch.recycle(pmf);
+    }
 }
 
 fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -> PairScore {
@@ -182,13 +384,13 @@ fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -
     let mut weighted_start = 0.0;
     let mut full_mass = 0.0;
     let mut full_weighted_start = 0.0;
-    for imp in tail.impulses() {
-        full_mass += imp.p;
-        full_weighted_start += imp.t as f64 * imp.p;
-        if imp.t < deadline {
-            robustness += imp.p * cdf.cdf_at(deadline - imp.t);
-            startable_mass += imp.p;
-            weighted_start += imp.t as f64 * imp.p;
+    for (&t, &p) in tail.times().iter().zip(tail.masses()) {
+        full_mass += p;
+        full_weighted_start += t as f64 * p;
+        if t < deadline {
+            robustness += p * cdf.cdf_at(deadline - t);
+            startable_mass += p;
+            weighted_start += t as f64 * p;
         }
     }
     let expected_completion = match policy {
@@ -218,6 +420,7 @@ fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -
 mod tests {
     use super::*;
     use hcsim_pmf::queue_step;
+    use hcsim_sim::testkit;
 
     fn pet_single(points: &[(Time, f64)]) -> PetMatrix {
         PetMatrix::from_pmfs(1, 1, vec![Pmf::from_points(points).unwrap()])
@@ -294,6 +497,79 @@ mod tests {
     }
 
     #[test]
+    fn incremental_append_matches_from_scratch() {
+        let pet = pet_single(&[(3, 0.25), (5, 0.5), (9, 0.25)]);
+        let mut machine = MachineState::new(MachineId(0), 8);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(10);
+        // Grow the queue one task at a time; after every append the cached
+        // tail (one incremental queue_step) must equal a from-scratch
+        // analysis of the whole queue.
+        for i in 0..6u32 {
+            let t = Task {
+                id: TaskId(i),
+                type_id: TaskTypeId(0),
+                arrival: 0,
+                deadline: 30 + u64::from(i) * 20,
+            };
+            assert!(testkit::apply(&mut machine, testkit::QueueOp::Push(t)));
+            let cached = scorer.tail(&machine, &pet).clone();
+            let scratch = analyze_queue(&machine, &pet, 10, DropPolicy::All, 16);
+            assert_eq!(cached, scratch.tail, "append {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_mid_queue_drop_matches_from_scratch() {
+        let pet = pet_single(&[(3, 0.25), (5, 0.5), (9, 0.25)]);
+        let mut machine = MachineState::new(MachineId(0), 8);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(0);
+        for i in 0..5u32 {
+            let t = Task {
+                id: TaskId(i),
+                type_id: TaskTypeId(0),
+                arrival: 0,
+                deadline: 40 + u64::from(i) * 25,
+            };
+            testkit::apply(&mut machine, testkit::QueueOp::Push(t));
+        }
+        let _ = scorer.tail(&machine, &pet);
+        // Drop the middle task: the cache reuses the prefix ahead of it.
+        testkit::apply(&mut machine, testkit::QueueOp::RemovePending(TaskId(2)));
+        let cached = scorer.tail(&machine, &pet).clone();
+        let scratch = analyze_queue(&machine, &pet, 0, DropPolicy::All, 16);
+        assert_eq!(cached, scratch.tail);
+    }
+
+    #[test]
+    fn slot_scores_match_analyze_queue() {
+        let pet = pet_single(&[(4, 0.5), (8, 0.5)]);
+        let mut machine = MachineState::new(MachineId(0), 6);
+        for i in 0..3u32 {
+            let t = Task {
+                id: TaskId(i),
+                type_id: TaskTypeId(0),
+                arrival: 0,
+                deadline: 20 + u64::from(i) * 15,
+            };
+            testkit::apply(&mut machine, testkit::QueueOp::Push(t));
+        }
+        testkit::apply(&mut machine, testkit::QueueOp::StartNext { now: 2, total_exec: 6 });
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(5);
+        let slots = scorer.slot_scores(&machine, &pet).to_vec();
+        let reference = analyze_queue(&machine, &pet, 5, DropPolicy::All, 16);
+        assert_eq!(slots.len(), reference.slots.len());
+        for (got, want) in slots.iter().zip(&reference.slots) {
+            assert_eq!(got.task.id, want.task.id);
+            assert_eq!(got.position, want.position);
+            assert!((got.robustness - want.robustness).abs() == 0.0, "robustness drift");
+            assert!((got.skewness - want.skewness).abs() == 0.0, "skewness drift");
+        }
+    }
+
+    #[test]
     fn score_on_idle_machine_matches_direct() {
         let pet = pet_single(&[(2, 0.25), (3, 0.5), (5, 0.25)]);
         let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
@@ -303,6 +579,19 @@ mod tests {
         let score = scorer.score(&machine, &pet, &task);
         // Start at 10; completes by 14 iff exec <= 4 → 0.75.
         assert!((score.robustness - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn append_availability_matches_queue_step() {
+        let pet = pet_single(&[(2, 0.25), (3, 0.5), (5, 0.25)]);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 64);
+        let tail = Pmf::from_points(&[(1, 0.3), (4, 0.4), (9, 0.3)]).unwrap();
+        let exec = pet.pmf(TaskTypeId(0), MachineId(0));
+        let got = scorer.append_availability(&tail, exec, 7);
+        let mut want = queue_step(&tail, exec, 7, DropPolicy::All).availability;
+        want.compact(64);
+        assert_eq!(got, want);
+        scorer.recycle(got);
     }
 
     mod props {

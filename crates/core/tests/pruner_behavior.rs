@@ -59,9 +59,9 @@ impl Mapper for PruneProbe {
 
     fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
         FirstFitMapper.on_mapping_event(ctx);
-        let scorer = ProbScorer::new(&ctx.spec().pet, ctx.drop_policy(), 24);
+        let mut scorer = ProbScorer::new(&ctx.spec().pet, ctx.drop_policy(), 24);
         let threshold = self.threshold;
-        let dropped = self.pruner.drop_pass(ctx, &scorer, &|_| threshold);
+        let dropped = self.pruner.drop_pass(ctx, &mut scorer, &|_| threshold);
         self.drops_per_event.push(dropped);
     }
 }

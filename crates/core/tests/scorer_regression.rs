@@ -1,0 +1,133 @@
+//! Regression pin: [`ProbScorer`] scores and a fixed-seed PAM run must be
+//! bit-for-bit unchanged by performance refactors of the PMF pipeline
+//! (struct-of-arrays layout, scratch reuse, incremental tail caching).
+//!
+//! The golden values below were captured from the seed implementation
+//! (straight `Vec<Impulse>` PMFs, from-scratch `analyze_queue` at every
+//! version bump). Any drift means an optimization changed *behavior*, not
+//! just speed.
+
+// The pins are intentionally recorded at full f64 round-trip precision.
+#![allow(clippy::excessive_precision)]
+
+use hcsim_core::{Pam, ProbScorer, PruningConfig};
+use hcsim_model::{MachineId, Task, TaskId, TaskTypeId};
+use hcsim_pmf::DropPolicy;
+use hcsim_sim::{run_simulation, testkit, SimConfig, SimReport};
+use hcsim_stats::SeedSequence;
+use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
+
+fn task(id: u32, tt: u16, deadline: u64) -> Task {
+    Task { id: TaskId(id), type_id: TaskTypeId(tt), arrival: 0, deadline }
+}
+
+/// The paper's Fig. 4 default cell (PAM, λ=0.9, Schmitt trigger, 34k
+/// oversubscription) at quick size, fully seeded.
+fn fig4_cell_report() -> SimReport {
+    let seeds = SeedSequence::new(2019);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: 300,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let mut mapper = Pam::new(PruningConfig::default());
+    let mut rng = seeds.stream(2);
+    run_simulation(
+        &spec,
+        SimConfig { trim: 25, ..SimConfig::default() },
+        &tasks,
+        &mut mapper,
+        &mut rng,
+    )
+}
+
+#[test]
+fn fixed_seed_fig4_run_is_unchanged() {
+    let report = fig4_cell_report();
+    let o = &report.metrics.outcomes;
+    eprintln!(
+        "golden: on_time={} late={} approx={} pruned={} exp_unstarted={} exp_executing={} \
+         events={} end={} pct={:.12} cost={:.17e}",
+        o.on_time,
+        o.late,
+        o.approx,
+        o.pruned,
+        o.expired_unstarted,
+        o.expired_executing,
+        report.mapping_events,
+        report.end_time,
+        report.metrics.pct_on_time,
+        report.total_cost,
+    );
+    assert_eq!(o.on_time, GOLDEN_ON_TIME);
+    assert_eq!(o.late, GOLDEN_LATE);
+    assert_eq!(o.pruned, GOLDEN_PRUNED);
+    assert_eq!(o.expired_unstarted, GOLDEN_EXPIRED_UNSTARTED);
+    assert_eq!(o.expired_executing, GOLDEN_EXPIRED_EXECUTING);
+    assert_eq!(report.mapping_events, GOLDEN_MAPPING_EVENTS);
+    assert_eq!(report.end_time, GOLDEN_END_TIME);
+    assert!((report.metrics.pct_on_time - GOLDEN_PCT_ON_TIME).abs() < 1e-9);
+    assert!((report.total_cost - GOLDEN_TOTAL_COST).abs() < 1e-6);
+}
+
+const GOLDEN_ON_TIME: usize = 114;
+const GOLDEN_LATE: usize = 0;
+const GOLDEN_PRUNED: usize = 3;
+const GOLDEN_EXPIRED_UNSTARTED: usize = 129;
+const GOLDEN_EXPIRED_EXECUTING: usize = 4;
+const GOLDEN_MAPPING_EVENTS: u64 = 462;
+const GOLDEN_END_TIME: u64 = 1651;
+const GOLDEN_PCT_ON_TIME: f64 = 45.6;
+const GOLDEN_TOTAL_COST: f64 = 0.002066;
+
+/// Scores a deterministic deep-queue machine state (with an executing head
+/// conditioned on `now`) for several (type, deadline) probes.
+fn probe_scores() -> Vec<(f64, f64, f64)> {
+    let seeds = SeedSequence::new(99);
+    let spec = specint_system(8, &mut seeds.stream(0));
+    let pending: Vec<Task> =
+        (0..5u32).map(|i| task(i, (i % 12) as u16, 1_500 + u64::from(i) * 400)).collect();
+    let mut machine = testkit::machine_with_pending(MachineId(2), 8, &pending);
+    assert!(testkit::apply(&mut machine, testkit::QueueOp::StartNext { now: 40, total_exec: 90 }));
+    let mut scorer = ProbScorer::new(&spec.pet, DropPolicy::All, 24);
+    scorer.begin_event(100);
+    let probes =
+        [(0u16, 900u64), (3, 1_400), (7, 2_200), (11, 3_000), (5, 650), (2, 5_000), (9, 120)];
+    probes
+        .iter()
+        .map(|&(tt, deadline)| {
+            let s = scorer.score(&machine, &spec.pet, &task(100 + u32::from(tt), tt, deadline));
+            (s.robustness, s.expected_completion, s.mean_exec)
+        })
+        .collect()
+}
+
+#[test]
+fn scorer_pair_scores_are_unchanged() {
+    let scores = probe_scores();
+    for (i, (r, ec, me)) in scores.iter().enumerate() {
+        eprintln!("golden[{i}]: ({r:.17e}, {ec:.17e}, {me:.17e}),");
+    }
+    assert_eq!(scores.len(), GOLDEN_SCORES.len());
+    for (i, ((r, ec, me), (gr, gec, gme))) in scores.iter().zip(GOLDEN_SCORES).enumerate() {
+        assert!((r - gr).abs() < 1e-12, "probe {i} robustness {r} vs {gr}");
+        if gec.is_finite() {
+            assert!((ec - gec).abs() < 1e-6, "probe {i} completion {ec} vs {gec}");
+        } else {
+            assert!(ec.is_infinite(), "probe {i} completion {ec} should be inf");
+        }
+        assert!((me - gme).abs() < 1e-9, "probe {i} mean_exec {me} vs {gme}");
+    }
+}
+
+const GOLDEN_SCORES: [(f64, f64, f64); 7] = [
+    (8.25332734331601259e-1, 7.50049497386168582e2, 8.58080000000000069e1),
+    (9.99840190296876319e-1, 8.51872879004102288e2, 1.63791999999999945e2),
+    (1.0, 8.84220879004102244e2, 1.96139999999999930e2),
+    (1.0, 8.86844879004102268e2, 1.98763999999999868e2),
+    (7.14143923015301968e-2, 7.19944557535690137e2, 1.52147999999999968e2),
+    (1.0, 8.54062879004102342e2, 1.65981999999999999e2),
+    (0.0, f64::INFINITY, 9.55219999999999771e1),
+];

@@ -1,0 +1,191 @@
+//! Equivalence proof for the incremental tail cache: replay random machine
+//! event sequences (assign / start / finish / evict / preempt / drop /
+//! clock advance) and assert that the scorer's cached tail — maintained by
+//! prefix reuse and single-step extension — is **byte-identical** to a
+//! from-scratch [`analyze_queue`] of the same machine state at the same
+//! instant. Per-slot robustness/skewness served from the cache must match
+//! the from-scratch analysis exactly as well.
+//!
+//! This is the safety net that lets the mapping loop trust incremental
+//! maintenance: both paths perform the same `queue_step` → `compact`
+//! sequence, so *any* divergence is a bug, not float noise — hence exact
+//! (bitwise) comparison, no epsilons.
+
+use hcsim_core::chain::analyze_queue;
+use hcsim_core::ProbScorer;
+use hcsim_model::{MachineId, PetBuilder, PetMatrix, Task, TaskId, TaskTypeId, Time};
+use hcsim_pmf::DropPolicy;
+use hcsim_sim::testkit::{self, QueueOp};
+use hcsim_sim::MachineState;
+use hcsim_stats::SeedSequence;
+use proptest::prelude::*;
+
+const BUDGET: usize = 16;
+const CAPACITY: usize = 6;
+const NUM_TYPES: usize = 3;
+
+fn build_pet() -> PetMatrix {
+    let mut rng = SeedSequence::new(4242).stream(0);
+    let means: Vec<Vec<f64>> = (0..NUM_TYPES).map(|tt| vec![20.0 + 15.0 * tt as f64]).collect();
+    let (pet, _) = PetBuilder::new().shape_range(2.0, 8.0).build(&means, &mut rng);
+    pet
+}
+
+/// One scripted step: an optional clock advance followed by a queue op.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    advance: Time,
+    op: OpKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    Push { tt: u16, slack: Time },
+    StartNext { total: Time },
+    Finish,
+    Evict,
+    Preempt,
+    DropAt { nth: usize },
+    DrainExpired,
+}
+
+/// Decodes one step from plain integers (the vendored proptest stand-in
+/// has no `prop_oneof!`; a weighted decode over a raw tuple is
+/// equivalent and keeps cases deterministic).
+fn arb_step() -> impl Strategy<Value = Step> {
+    ((0u64..5, 1u64..60, 0u32..13), (0u32..NUM_TYPES as u32, 5u64..400, 5u64..120, 0u64..6))
+        .prop_map(|((adv_sel, adv, kind), (tt, slack, total, nth))| {
+            // ~40% of steps advance the clock; the rest mutate same-event.
+            let advance = if adv_sel < 2 { adv } else { 0 };
+            let op = match kind {
+                0..=3 => OpKind::Push { tt: tt as u16, slack },
+                4 | 5 => OpKind::StartNext { total },
+                6 | 7 => OpKind::Finish,
+                8 => OpKind::Evict,
+                9 => OpKind::Preempt,
+                10 | 11 => OpKind::DropAt { nth: nth as usize },
+                _ => OpKind::DrainExpired,
+            };
+            Step { advance, op }
+        })
+}
+
+fn apply_step(machine: &mut MachineState, step: OpKind, now: Time, next_id: &mut u32) {
+    match step {
+        OpKind::Push { tt, slack } => {
+            let task = Task {
+                id: TaskId(*next_id),
+                type_id: TaskTypeId(tt),
+                arrival: now,
+                deadline: now + slack,
+            };
+            *next_id += 1;
+            testkit::apply(machine, QueueOp::Push(task));
+        }
+        OpKind::StartNext { total } => {
+            testkit::apply(machine, QueueOp::StartNext { now, total_exec: total });
+        }
+        OpKind::Finish => {
+            testkit::apply(machine, QueueOp::FinishExecuting);
+        }
+        // The pruner's eviction path is `finish_executing` on the machine;
+        // distinguishing it exercises the same transition twice as often.
+        OpKind::Evict => {
+            testkit::apply(machine, QueueOp::FinishExecuting);
+        }
+        OpKind::Preempt => {
+            testkit::apply(machine, QueueOp::Preempt { now });
+        }
+        OpKind::DropAt { nth } => {
+            let id = machine.pending().nth(nth).map(|t| t.id);
+            if let Some(id) = id {
+                testkit::apply(machine, QueueOp::RemovePending(id));
+            }
+        }
+        OpKind::DrainExpired => {
+            testkit::apply(machine, QueueOp::DrainExpired { now });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The headline invariant: after every event in a random replay, the
+    /// cached tail equals a from-scratch analysis byte for byte, under
+    /// every drop policy.
+    #[test]
+    fn cached_tail_is_byte_identical_to_from_scratch(
+        steps in prop::collection::vec(arb_step(), 1..40),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All][policy_idx];
+        let pet = build_pet();
+        let mut machine = MachineState::new(MachineId(0), CAPACITY);
+        let mut scorer = ProbScorer::new(&pet, policy, BUDGET);
+        let mut now: Time = 0;
+        let mut next_id: u32 = 0;
+        for step in steps {
+            now += step.advance;
+            scorer.begin_event(now);
+            apply_step(&mut machine, step.op, now, &mut next_id);
+            let cached = scorer.tail(&machine, &pet).clone();
+            let reference = analyze_queue(&machine, &pet, now, policy, BUDGET);
+            // Bitwise equality: times and masses must match exactly.
+            prop_assert_eq!(cached.times(), reference.tail.times(), "times diverged at t={}", now);
+            prop_assert!(
+                cached
+                    .masses()
+                    .iter()
+                    .zip(reference.tail.masses())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "masses diverged at t={}: {:?} vs {:?}",
+                now,
+                cached.masses(),
+                reference.tail.masses()
+            );
+        }
+    }
+
+    /// The pruner's cached per-slot view must match from-scratch analysis
+    /// exactly, including after interleaved tail queries that extend the
+    /// chain without slot statistics.
+    #[test]
+    fn cached_slot_scores_match_from_scratch(
+        steps in prop::collection::vec(arb_step(), 1..30),
+    ) {
+        let policy = DropPolicy::All;
+        let pet = build_pet();
+        let mut machine = MachineState::new(MachineId(0), CAPACITY);
+        let mut scorer = ProbScorer::new(&pet, policy, BUDGET);
+        let mut now: Time = 0;
+        let mut next_id: u32 = 0;
+        for (i, step) in steps.into_iter().enumerate() {
+            now += step.advance;
+            scorer.begin_event(now);
+            apply_step(&mut machine, step.op, now, &mut next_id);
+            // Alternate access order so stats-free extensions (tail first)
+            // and stats rebuilds (slots first) both get exercised.
+            if i % 2 == 0 {
+                let _ = scorer.tail(&machine, &pet);
+            }
+            let slots = scorer.slot_scores(&machine, &pet).to_vec();
+            let reference = analyze_queue(&machine, &pet, now, policy, BUDGET);
+            prop_assert_eq!(slots.len(), reference.slots.len());
+            for (got, want) in slots.iter().zip(&reference.slots) {
+                prop_assert_eq!(got.task.id, want.task.id);
+                prop_assert_eq!(got.position, want.position);
+                prop_assert!(
+                    got.robustness.to_bits() == want.robustness.to_bits(),
+                    "robustness diverged for task {} at t={}: {} vs {}",
+                    got.task.id, now, got.robustness, want.robustness
+                );
+                prop_assert!(
+                    got.skewness.to_bits() == want.skewness.to_bits(),
+                    "skewness diverged for task {} at t={}: {} vs {}",
+                    got.task.id, now, got.skewness, want.skewness
+                );
+            }
+        }
+    }
+}

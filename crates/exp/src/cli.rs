@@ -8,7 +8,8 @@ use std::path::PathBuf;
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
-    /// Figure names to run, in order ("fig4" … "fig9", "levels", "ablate").
+    /// Figure names to run, in order ("fig4" … "fig9", "levels", "ablate",
+    /// "bench").
     pub figures: Vec<String>,
     /// Trial/seed/thread options.
     pub opts: FigOptions,
@@ -16,26 +17,36 @@ pub struct Cli {
     pub csv: bool,
     /// Directory to write `<fig>.md` / `<fig>.csv` into.
     pub out_dir: Option<PathBuf>,
+    /// `--quick` was passed (bench uses reduced sample counts).
+    pub quick: bool,
+    /// bench: compare against committed `BENCH_*.json` from this directory.
+    pub against: Option<PathBuf>,
+    /// bench: fail on a >2× regression versus the `--against` baseline.
+    pub check: bool,
 }
 
 /// CLI usage text.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: hcsim-exp <fig4|fig5|fig6|fig7|fig8|fig9|all|levels|ablate> [options]
+    "usage: hcsim-exp <fig4|fig5|fig6|fig7|fig8|fig9|all|levels|ablate|bench> [options]
 
 figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           'levels' sweeps all heuristics over six oversubscription levels;
-          'ablate' runs the design-choice ablation suite (see DESIGN.md)
+          'ablate' runs the design-choice ablation suite (see DESIGN.md);
+          'bench' times the PMF calculus and the mapping loop, writing
+          BENCH_pmf.json / BENCH_mapping.json
 
 options:
-  --quick           5 trials x 300 tasks (smoke run)
+  --quick           5 trials x 300 tasks (smoke run; bench: fewer samples)
   --full            30 trials x 800 tasks (paper fidelity; the default)
   --trials N        workload trials per data point
   --tasks N         tasks per trial
   --seed N          master seed (default 2019)
   --threads N       worker threads (default: available parallelism)
   --csv             print CSV instead of Markdown
-  --out DIR         write <fig>.md and <fig>.csv into DIR
+  --out DIR         write <fig>.md and <fig>.csv (bench: BENCH_*.json) into DIR
+  --against DIR     bench: record DIR's BENCH_*.json numbers as the baseline
+  --check           bench: exit nonzero if any op regresses >2x vs --against
   -h, --help        this text"
 }
 
@@ -50,12 +61,16 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut opts = FigOptions::default();
     let mut csv = false;
     let mut out_dir = None;
+    let mut quick = false;
+    let mut against = None;
+    let mut check = false;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "-h" | "--help" => return Err(String::new()),
             "--quick" => {
+                quick = true;
                 opts = FigOptions { seed: opts.seed, threads: opts.threads, ..FigOptions::quick() }
             }
             "--full" => {
@@ -63,6 +78,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
                     FigOptions { seed: opts.seed, threads: opts.threads, ..FigOptions::default() }
             }
             "--csv" => csv = true,
+            "--check" => check = true,
+            "--against" => {
+                let value = iter.next().ok_or_else(|| format!("{arg} requires a value"))?;
+                against = Some(PathBuf::from(value));
+            }
             "--trials" | "--tasks" | "--seed" | "--threads" | "--out" => {
                 let value = iter.next().ok_or_else(|| format!("{arg} requires a value"))?;
                 match arg.as_str() {
@@ -86,6 +106,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "all" => figures.extend(ALL_FIGURES.iter().map(|s| (*s).to_string())),
             "ablate" => figures.push("ablate".to_string()),
+            "bench" => figures.push("bench".to_string()),
             name if ALL_FIGURES.contains(&name) || EXTRA_FIGURES.contains(&name) => {
                 figures.push(name.to_string())
             }
@@ -99,7 +120,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         return Err("--trials and --tasks must be positive".to_string());
     }
     figures.dedup();
-    Ok(Cli { figures, opts, csv, out_dir })
+    Ok(Cli { figures, opts, csv, out_dir, quick, against, check })
 }
 
 #[cfg(test)]

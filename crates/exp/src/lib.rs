@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod cli;
 pub mod figures;
 mod parallel;

@@ -7,8 +7,9 @@
 //! hcsim-exp all levels ablate --out results/
 //! ```
 
+use hcsim_exp::bench::BenchOptions;
 use hcsim_exp::cli::{parse_args, usage, Cli};
-use hcsim_exp::{ablations, figures, Table};
+use hcsim_exp::{ablations, bench, figures, Table};
 use std::process::ExitCode;
 
 fn emit(table: &Table, name: &str, cli: &Cli) -> std::io::Result<()> {
@@ -52,7 +53,20 @@ fn main() -> ExitCode {
     for name in &cli.figures {
         let started = std::time::Instant::now();
         eprintln!("== {name} ==");
-        if name == "ablate" {
+        if name == "bench" {
+            bench::warn_ignored_fig_options(&cli.opts, cli.quick);
+            let bench_opts = BenchOptions {
+                against: cli.against.clone(),
+                check: cli.check,
+                ..BenchOptions::from_cli(cli.out_dir.as_deref(), cli.quick)
+            };
+            if let Err(failures) = bench::run_and_emit(&bench_opts) {
+                for f in failures {
+                    eprintln!("bench regression: {f}");
+                }
+                return ExitCode::FAILURE;
+            }
+        } else if name == "ablate" {
             for (i, table) in ablations::all(&cli.opts).into_iter().enumerate() {
                 if let Err(e) = emit(&table, &format!("ablation_{}", i + 1), &cli) {
                     eprintln!("error writing output: {e}");

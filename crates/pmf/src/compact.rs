@@ -5,51 +5,59 @@
 //! queue of depth 6 multiplies impulse counts geometrically; with it, every
 //! intermediate PMF is capped at a configurable budget.
 //!
-//! Strategy: *mass-quantile* grouping. The sorted impulse list is walked
-//! once, cutting a new group whenever the accumulated mass reaches the next
-//! multiple of `total / max_impulses`. Each group is replaced by a single
-//! impulse at the group's mass-weighted mean time (rounded to the grid).
+//! Strategy: *mass-quantile* grouping. The sorted impulse columns are
+//! walked once, cutting a new group whenever the accumulated mass reaches
+//! the next multiple of `total / max_impulses`. Each group is replaced by a
+//! single impulse at the group's mass-weighted mean time (rounded to the
+//! grid). The walk writes groups back into the input columns in place —
+//! the write cursor can never overtake the read cursor, so compaction
+//! allocates nothing.
 //!
 //! Properties, verified by the tests below and crate-level proptests:
 //! * total mass is preserved exactly (group masses are sums);
 //! * the mean moves by at most half a grid unit per group (rounding);
 //! * impulse count after compaction is `<= max_impulses`;
-//! * the operation is deterministic and order-preserving.
+//! * the operation is deterministic, order-preserving, and allocation-free.
 
-use crate::pmf::{merge_sorted_duplicates, Impulse};
+use crate::Time;
 
-/// Compacts `impulses` (sorted, merged) down to at most `max_impulses`
-/// entries in place. `max_impulses` of zero is treated as one.
-pub(crate) fn compact_in_place(impulses: &mut Vec<Impulse>, max_impulses: usize) {
+/// Compacts the parallel `times`/`masses` columns (sorted, merged) down to
+/// at most `max_impulses` entries in place. `max_impulses` of zero is
+/// treated as one.
+pub(crate) fn compact_in_place(times: &mut Vec<Time>, masses: &mut Vec<f64>, max_impulses: usize) {
     let max = max_impulses.max(1);
-    if impulses.len() <= max {
+    debug_assert_eq!(times.len(), masses.len());
+    if times.len() <= max {
         return;
     }
-    let total: f64 = impulses.iter().map(|i| i.p).sum();
+    let total: f64 = masses.iter().sum();
     if total <= 0.0 {
         // Zero-mass PMFs cannot arise through public constructors, but be
         // defensive: collapse to the first impulse.
-        impulses.truncate(1);
+        times.truncate(1);
+        masses.truncate(1);
         return;
     }
     let quantum = total / max as f64;
 
-    let mut out: Vec<Impulse> = Vec::with_capacity(max);
+    let mut write = 0usize;
     let mut group_mass = 0.0f64;
     let mut group_sum_tp = 0.0f64; // Σ t·p within the group
     let mut cum = 0.0f64; // running mass over all emitted + current group
     let mut next_cut = quantum;
 
-    for imp in impulses.iter() {
-        group_mass += imp.p;
-        group_sum_tp += imp.t as f64 * imp.p;
-        cum += imp.p;
+    for read in 0..times.len() {
+        let (t, p) = (times[read], masses[read]);
+        group_mass += p;
+        group_sum_tp += t as f64 * p;
+        cum += p;
         // Close the group once we cross the next quantile boundary.
         // (A single heavy impulse may span several boundaries; it still
         // produces one group, which only helps the budget.)
         if cum + 1e-15 >= next_cut {
-            let t = (group_sum_tp / group_mass).round() as u64;
-            out.push(Impulse { t, p: group_mass });
+            times[write] = (group_sum_tp / group_mass).round() as u64;
+            masses[write] = group_mass;
+            write += 1;
             group_mass = 0.0;
             group_sum_tp = 0.0;
             while next_cut <= cum + 1e-15 {
@@ -58,14 +66,32 @@ pub(crate) fn compact_in_place(impulses: &mut Vec<Impulse>, max_impulses: usize)
         }
     }
     if group_mass > 0.0 {
-        let t = (group_sum_tp / group_mass).round() as u64;
-        out.push(Impulse { t, p: group_mass });
+        times[write] = (group_sum_tp / group_mass).round() as u64;
+        masses[write] = group_mass;
+        write += 1;
     }
+    times.truncate(write);
+    masses.truncate(write);
 
     // Weighted-mean rounding can make adjacent groups collide on a time.
-    merge_sorted_duplicates(&mut out);
-    debug_assert!(out.len() <= max, "compaction produced {} > {max}", out.len());
-    *impulses = out;
+    merge_sorted_columns(times, masses);
+    debug_assert!(times.len() <= max, "compaction produced {} > {max}", times.len());
+}
+
+/// Merges runs of equal times in sorted parallel columns (summing mass).
+pub(crate) fn merge_sorted_columns(times: &mut Vec<Time>, masses: &mut Vec<f64>) {
+    let mut write = 0usize;
+    for read in 1..times.len() {
+        if times[read] == times[write] {
+            masses[write] += masses[read];
+        } else {
+            write += 1;
+            times[write] = times[read];
+            masses[write] = masses[read];
+        }
+    }
+    times.truncate(write + 1);
+    masses.truncate(write + 1);
 }
 
 #[cfg(test)]
@@ -138,7 +164,7 @@ mod tests {
         let mut p = Pmf::from_points(&[(10, 0.5), (20, 0.5)]).unwrap();
         p.compact(1);
         assert_eq!(p.len(), 1);
-        assert_eq!(p.impulses()[0].t, 15);
+        assert_eq!(p.times()[0], 15);
         assert!((p.mass() - 1.0).abs() < 1e-12);
     }
 
@@ -171,7 +197,7 @@ mod tests {
     fn monotone_times_after_compaction() {
         let mut p = uniform(500);
         p.compact(25);
-        let times: Vec<_> = p.impulses().iter().map(|i| i.t).collect();
+        let times = p.times();
         for w in times.windows(2) {
             assert!(w[0] < w[1]);
         }
@@ -196,8 +222,8 @@ mod tests {
                 c.compact(max);
                 prop_assert!(c.len() <= max);
                 prop_assert!((c.mass() - p.mass()).abs() < 1e-9);
-                for w in c.impulses().windows(2) {
-                    prop_assert!(w[0].t < w[1].t);
+                for w in c.times().windows(2) {
+                    prop_assert!(w[0] < w[1]);
                 }
             }
 
@@ -210,7 +236,7 @@ mod tests {
                 let mut c = p.clone();
                 c.compact(max);
                 let max_imp =
-                    p.impulses().iter().map(|i| i.p).fold(0.0f64, f64::max);
+                    p.masses().iter().copied().fold(0.0f64, f64::max);
                 let bound = p.mass() / max as f64 + max_imp + 1e-9;
                 for probe in [0u64, 100, 500, 1_000, 2_500, 5_000, 10_000] {
                     let err = (c.cdf_at(probe) - p.cdf_at(probe)).abs();

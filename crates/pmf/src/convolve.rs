@@ -21,8 +21,18 @@
 //! (the machine freeing up because the task was dropped) never counts as
 //! success. [`queue_step`] returns both quantities separately so callers
 //! cannot conflate them.
+//!
+//! # Allocation discipline
+//!
+//! The mapping loop performs one [`queue_step`] per (task, machine)
+//! evaluation, so the `*_into` variants take a [`ConvScratch`] that owns
+//! every intermediate buffer *and* a free-list of retired [`Pmf`] storage:
+//! output PMFs draw their columns from the pool, and callers hand finished
+//! PMFs back via [`ConvScratch::recycle`]. In steady state (pool warm,
+//! capacities grown to the workload's impulse budget) a `queue_step_into`
+//! call performs zero heap allocation.
 
-use crate::pmf::{merge_sorted_duplicates, Impulse, Pmf};
+use crate::pmf::{merge_add, merge_sorted_pairs, Impulse, Pmf};
 use crate::Time;
 use serde::{Deserialize, Serialize};
 
@@ -42,11 +52,17 @@ pub enum DropPolicy {
     All,
 }
 
-/// Reusable scratch buffer for convolution, keeping the hot mapping loop
-/// allocation-free apart from the output PMF itself.
+/// Reusable scratch for the convolution calculus: pairing/merge buffers
+/// plus a free-list of retired PMF storage, keeping the hot mapping loop
+/// allocation-free including its outputs.
 #[derive(Debug, Default)]
 pub struct ConvScratch {
-    buf: Vec<Impulse>,
+    /// Convolution accumulation buffer (sorted then merged in place).
+    pairs: Vec<Impulse>,
+    /// Auxiliary buffer for the radix sort's stable scatter passes.
+    radix: Vec<Impulse>,
+    /// Retired PMF storage, reused for outputs.
+    pool: Vec<(Vec<Time>, Vec<f64>)>,
 }
 
 impl ConvScratch {
@@ -56,10 +72,59 @@ impl ConvScratch {
         Self::default()
     }
 
-    /// Creates a scratch buffer with pre-reserved capacity.
+    /// Creates a scratch buffer with pre-reserved capacity for the pairing
+    /// buffer (≈ the product of typical input impulse counts).
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self { pairs: Vec::with_capacity(cap), ..Self::default() }
+    }
+
+    /// Returns a finished PMF's storage to the pool for reuse by later
+    /// outputs. Dropping a PMF instead of recycling it is always correct —
+    /// the pool is purely an allocation saver.
+    pub fn recycle(&mut self, pmf: Pmf) {
+        if self.pool.len() < 64 {
+            self.pool.push(pmf.into_parts());
+        }
+    }
+
+    /// Number of pooled storage pairs currently available (observability
+    /// for tests).
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Takes storage from the pool (or allocates) with both columns empty.
+    fn take_storage(&mut self) -> (Vec<Time>, Vec<f64>) {
+        match self.pool.pop() {
+            Some((mut t, mut m)) => {
+                t.clear();
+                m.clear();
+                (t, m)
+            }
+            None => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Builds a pooled PMF from the sorted, merged pairing buffer.
+    fn pmf_from_pairs(&mut self) -> Pmf {
+        let (mut times, mut masses) = self.take_storage();
+        times.reserve(self.pairs.len());
+        masses.reserve(self.pairs.len());
+        for i in &self.pairs {
+            times.push(i.t);
+            masses.push(i.p);
+        }
+        Pmf::from_parts_unchecked(times, masses)
+    }
+
+    /// Builds a pooled PMF copying the given columns.
+    fn pmf_from_slices(&mut self, src_times: &[Time], src_masses: &[f64]) -> Pmf {
+        let (mut times, mut masses) = self.take_storage();
+        times.extend_from_slice(src_times);
+        masses.extend_from_slice(src_masses);
+        Pmf::from_parts_unchecked(times, masses)
     }
 }
 
@@ -71,19 +136,87 @@ pub fn convolve(a: &Pmf, b: &Pmf) -> Pmf {
     convolve_into(a, b, &mut scratch)
 }
 
-/// [`convolve`] with a caller-provided scratch buffer.
+/// [`convolve`] with a caller-provided scratch buffer; the output PMF draws
+/// its storage from the scratch pool.
 pub fn convolve_into(a: &Pmf, b: &Pmf, scratch: &mut ConvScratch) -> Pmf {
-    let buf = &mut scratch.buf;
+    convolve_slices((a.times(), a.masses()), b, scratch)
+}
+
+/// Convolves an availability *prefix* (the Eq. 3 startable slice) with an
+/// execution PMF without materializing the prefix as a PMF.
+fn convolve_slices(a: (&[Time], &[f64]), b: &Pmf, scratch: &mut ConvScratch) -> Pmf {
+    let (at, am) = a;
+    let (bt, bm) = (b.times(), b.masses());
+    let (buf, aux) = (&mut scratch.pairs, &mut scratch.radix);
     buf.clear();
-    buf.reserve(a.len() * b.len());
-    for ia in a.impulses() {
-        for ib in b.impulses() {
-            buf.push(Impulse { t: ia.t + ib.t, p: ia.p * ib.p });
+    buf.reserve(at.len() * bt.len());
+    for (&ta, &pa) in at.iter().zip(am) {
+        for (&tb, &pb) in bt.iter().zip(bm) {
+            buf.push(Impulse { t: ta + tb, p: pa * pb });
         }
     }
-    buf.sort_unstable_by_key(|i| i.t);
-    merge_sorted_duplicates(buf);
-    Pmf::from_sorted_unchecked(buf.clone())
+    radix_sort_by_time(buf, aux);
+    merge_sorted_pairs(buf);
+    scratch.pmf_from_pairs()
+}
+
+/// Stable LSB-radix sort of impulse pairs by time, byte-wise over only the
+/// bytes the (rebased) key range actually needs. For the mapping loop's
+/// pair buffers (hundreds of entries, time ranges in the thousands) this
+/// runs in 1–2 linear passes where a comparison sort pays `n log n`
+/// branchy compares — the single hottest win in the whole pipeline.
+///
+/// Stability makes the order of equal times *defined* (input order, i.e.
+/// lexicographic in the convolution's (availability, execution) indices)
+/// rather than whatever an unstable comparison sort leaves; downstream
+/// duplicate-merging sums masses in exactly that order.
+fn radix_sort_by_time(buf: &mut Vec<Impulse>, aux: &mut Vec<Impulse>) {
+    let n = buf.len();
+    if n < 2 {
+        return;
+    }
+    // Tiny buffers: insertion sort (stable) beats histogramming.
+    if n <= 32 {
+        for i in 1..n {
+            let x = buf[i];
+            let mut j = i;
+            while j > 0 && buf[j - 1].t > x.t {
+                buf[j] = buf[j - 1];
+                j -= 1;
+            }
+            buf[j] = x;
+        }
+        return;
+    }
+    let min = buf.iter().map(|i| i.t).min().expect("non-empty");
+    let max = buf.iter().map(|i| i.t).max().expect("non-empty");
+    let range = max - min;
+    if range == 0 {
+        return; // all keys equal: already "sorted", order untouched
+    }
+    let bytes = (8 - (range.leading_zeros() / 8) as usize).max(1);
+    aux.clear();
+    aux.resize(n, Impulse { t: 0, p: 0.0 });
+    let mut counts = [0usize; 256];
+    for pass in 0..bytes {
+        let shift = pass * 8;
+        counts.fill(0);
+        for imp in buf.iter() {
+            counts[(((imp.t - min) >> shift) & 0xff) as usize] += 1;
+        }
+        let mut acc = 0usize;
+        for c in &mut counts {
+            let start = acc;
+            acc += *c;
+            *c = start;
+        }
+        for imp in buf.iter() {
+            let bucket = (((imp.t - min) >> shift) & 0xff) as usize;
+            aux[counts[bucket]] = *imp;
+            counts[bucket] += 1;
+        }
+        std::mem::swap(buf, aux);
+    }
 }
 
 /// Result of appending one task behind a machine-queue position.
@@ -104,6 +237,17 @@ pub struct QueueStep {
     pub robustness: f64,
 }
 
+impl QueueStep {
+    /// Returns this step's PMFs to `scratch`'s pool once the caller has
+    /// extracted what it needs.
+    pub fn recycle_into(self, scratch: &mut ConvScratch) {
+        if let Some(c) = self.completion {
+            scratch.recycle(c);
+        }
+        scratch.recycle(self.availability);
+    }
+}
+
 /// Computes completion and availability PMFs for a task with execution PMF
 /// `exec` and deadline `deadline`, queued behind availability `avail`,
 /// under the given [`DropPolicy`].
@@ -117,7 +261,8 @@ pub fn queue_step(avail: &Pmf, exec: &Pmf, deadline: Time, policy: DropPolicy) -
     queue_step_into(avail, exec, deadline, policy, &mut scratch)
 }
 
-/// [`queue_step`] with a caller-provided scratch buffer.
+/// [`queue_step`] with a caller-provided scratch buffer. Output PMFs draw
+/// their storage from the scratch pool; recycle them when done.
 pub fn queue_step_into(
     avail: &Pmf,
     exec: &Pmf,
@@ -129,34 +274,71 @@ pub fn queue_step_into(
         DropPolicy::None => {
             let completion = convolve_into(avail, exec, scratch);
             let robustness = completion.cdf_at(deadline);
-            QueueStep { availability: completion.clone(), completion: Some(completion), robustness }
+            let availability = scratch.pmf_from_slices(completion.times(), completion.masses());
+            QueueStep { availability, completion: Some(completion), robustness }
         }
         DropPolicy::PendingOnly | DropPolicy::All => {
             // Eq. 3: only starts strictly before δ are possible.
-            let (startable, carryover) = avail.partition_at(deadline);
-            let completion = startable.map(|s| convolve_into(&s, exec, scratch));
-            let robustness = completion.as_ref().map_or(0.0, |c| c.cdf_at(deadline));
-            let availability = match (&completion, carryover) {
-                (Some(c), carry) => {
-                    let mut a = c.clone();
-                    if policy == DropPolicy::All {
-                        // Eq. 5: the task is evicted at δ, so its own
-                        // completion mass cannot extend past δ — aggregate
-                        // it onto the impulse at δ.
-                        a.clamp_above(deadline);
+            let split = avail.partition_index(deadline);
+            let (carry_times, carry_masses) = (&avail.times()[split..], &avail.masses()[split..]);
+            if split == 0 {
+                // The task can never start: availability is the carry-over
+                // verbatim (a non-empty PMF has a non-empty late side here).
+                let availability = scratch.pmf_from_slices(carry_times, carry_masses);
+                return QueueStep { completion: None, availability, robustness: 0.0 };
+            }
+            let completion =
+                convolve_slices((&avail.times()[..split], &avail.masses()[..split]), exec, scratch);
+            let robustness = completion.cdf_at(deadline);
+            let availability = if policy == DropPolicy::All {
+                // Eq. 5 + Eq. 4 fused in one pass: the task's own mass
+                // past δ aggregates onto the impulse at δ (eviction), and
+                // the carry-over — whose support is entirely `>= δ` by
+                // construction — appends after it, summing on a shared
+                // boundary impulse. Operation order matches the unfused
+                // clamp-then-superpose exactly.
+                let (mut times, mut masses) = scratch.take_storage();
+                let cut = completion.times().partition_point(|&x| x <= deadline);
+                times.extend_from_slice(&completion.times()[..cut]);
+                masses.extend_from_slice(&completion.masses()[..cut]);
+                if cut < completion.len() {
+                    let moved: f64 = completion.masses()[cut..].iter().sum();
+                    match times.last() {
+                        Some(&last) if last == deadline => {
+                            *masses.last_mut().expect("parallel") += moved;
+                        }
+                        _ => {
+                            times.push(deadline);
+                            masses.push(moved);
+                        }
                     }
-                    if let Some(carry) = carry {
-                        // Eq. 4's second branch: for t >= δ, add the
-                        // predecessor's impulses — the machine frees when
-                        // task i−1 finishes and task i is dropped.
-                        a.superpose(&carry);
-                    }
-                    a
                 }
-                (None, Some(carry)) => carry,
-                (None, None) => unreachable!("partition of a non-empty PMF has a non-empty side"),
+                let mut k = 0;
+                if let (Some(&first), Some(&last)) = (carry_times.first(), times.last()) {
+                    if first == last {
+                        *masses.last_mut().expect("parallel") += carry_masses[0];
+                        k = 1;
+                    }
+                }
+                times.extend_from_slice(&carry_times[k..]);
+                masses.extend_from_slice(&carry_masses[k..]);
+                Pmf::from_parts_unchecked(times, masses)
+            } else if carry_times.is_empty() {
+                scratch.pmf_from_slices(completion.times(), completion.masses())
+            } else {
+                // Eq. 4's second branch: for t >= δ, add the predecessor's
+                // impulses — the machine frees when task i−1 finishes and
+                // task i is dropped.
+                let (mut times, mut masses) = scratch.take_storage();
+                merge_add(
+                    (completion.times(), completion.masses()),
+                    (carry_times, carry_masses),
+                    &mut times,
+                    &mut masses,
+                );
+                Pmf::from_parts_unchecked(times, masses)
             };
-            QueueStep { completion, availability, robustness }
+            QueueStep { completion: Some(completion), availability, robustness }
         }
     }
 }
@@ -171,7 +353,7 @@ mod tests {
 
     fn assert_pmf_eq(actual: &Pmf, expected: &[(Time, f64)]) {
         assert_eq!(actual.len(), expected.len(), "impulse count: {actual:?} vs {expected:?}");
-        for (imp, &(t, p)) in actual.impulses().iter().zip(expected) {
+        for (imp, &(t, p)) in actual.iter().zip(expected) {
             assert_eq!(imp.t, t, "time mismatch in {actual:?}");
             assert!((imp.p - p).abs() < 1e-12, "mass at t={t}: {} vs {p}", imp.p);
         }
@@ -389,6 +571,22 @@ mod tests {
     }
 
     #[test]
+    fn pool_recycles_storage_across_steps() {
+        let avail = pmf(&[(1, 0.25), (4, 0.25), (7, 0.25), (10, 0.25)]);
+        let exec = pmf(&[(2, 0.5), (5, 0.5)]);
+        let mut scratch = ConvScratch::new();
+        let reference = queue_step(&avail, &exec, 6, DropPolicy::All);
+        for _ in 0..10 {
+            let step = queue_step_into(&avail, &exec, 6, DropPolicy::All, &mut scratch);
+            assert_eq!(step.availability, reference.availability);
+            assert_eq!(step.completion, reference.completion);
+            step.recycle_into(&mut scratch);
+        }
+        // Steady state: completion + availability storage both pooled.
+        assert!(scratch.pooled() >= 2, "pool empty after recycling");
+    }
+
+    #[test]
     fn convolve_with_delta_is_shift() {
         let p = pmf(&[(3, 0.25), (4, 0.50), (5, 0.25)]);
         let shifted = convolve(&p, &Pmf::delta(10));
@@ -431,7 +629,7 @@ mod tests {
                 let ab = convolve(&a, &b);
                 let ba = convolve(&b, &a);
                 prop_assert_eq!(ab.len(), ba.len());
-                for (x, y) in ab.impulses().iter().zip(ba.impulses()) {
+                for (x, y) in ab.iter().zip(ba.iter()) {
                     prop_assert_eq!(x.t, y.t);
                     prop_assert!((x.p - y.p).abs() < 1e-12);
                 }
@@ -455,6 +653,27 @@ mod tests {
                     // Machine must be free by max(δ, predecessor max).
                     prop_assert!(step.availability.max_time() <= deadline.max(avail.max_time()));
                 }
+            }
+
+            #[test]
+            fn scratch_path_matches_allocating_path(
+                avail in arb_pmf(100, 8),
+                exec in arb_pmf(40, 8),
+                deadline in 1u64..150,
+                policy_idx in 0usize..3,
+            ) {
+                let policy = [DropPolicy::None, DropPolicy::PendingOnly, DropPolicy::All][policy_idx];
+                let mut scratch = ConvScratch::new();
+                // Warm the pool so pooled storage is actually exercised.
+                for _ in 0..3 {
+                    let warm = queue_step_into(&avail, &exec, deadline, policy, &mut scratch);
+                    warm.recycle_into(&mut scratch);
+                }
+                let pooled = queue_step_into(&avail, &exec, deadline, policy, &mut scratch);
+                let fresh = queue_step(&avail, &exec, deadline, policy);
+                prop_assert_eq!(&pooled.availability, &fresh.availability);
+                prop_assert_eq!(&pooled.completion, &fresh.completion);
+                prop_assert!((pooled.robustness - fresh.robustness).abs() == 0.0);
             }
 
             #[test]

@@ -43,7 +43,9 @@ mod compact;
 mod convolve;
 mod pmf;
 
-pub use convolve::{convolve, convolve_into, queue_step, ConvScratch, DropPolicy, QueueStep};
+pub use convolve::{
+    convolve, convolve_into, queue_step, queue_step_into, ConvScratch, DropPolicy, QueueStep,
+};
 pub use pmf::{Impulse, Pmf, PmfError};
 
 /// Discrete simulation time. One unit is interpreted as a millisecond by

@@ -1,4 +1,11 @@
 //! The [`Pmf`] impulse representation and its point-wise operations.
+//!
+//! Layout: struct-of-arrays. Times and masses live in two parallel vectors
+//! (`times: Vec<Time>`, `masses: Vec<f64>`), so the CDF queries on the
+//! mapping hot path are a `partition_point` binary search over a dense
+//! `&[u64]` followed by a vectorizable partial sum — no pointer-chasing
+//! through `(t, p)` pairs, and mass-only passes (normalize, total mass)
+//! never touch the time column.
 
 use crate::{Time, MASS_EPSILON};
 use hcsim_stats::moments::WeightedMoments;
@@ -9,6 +16,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// Matches the paper's notation `e_ij(t)` / `c_ij(t)` — "an impulse
 /// represents the completion time of task i on machine j at time t".
+/// [`Pmf`] stores impulses column-wise; this type is the row view yielded
+/// by [`Pmf::iter`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Impulse {
     /// Discrete time of the impulse.
@@ -40,7 +49,7 @@ impl std::error::Error for PmfError {}
 /// A discrete probability mass function over simulation time.
 ///
 /// Invariants (enforced by every constructor and mutator):
-/// * impulses are sorted by strictly increasing `t`;
+/// * `times` is strictly increasing and `masses` runs parallel to it;
 /// * every mass is finite and non-negative;
 /// * there is at least one impulse.
 ///
@@ -49,7 +58,8 @@ impl std::error::Error for PmfError {}
 /// legal; [`Pmf::is_normalized`] distinguishes the two.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Pmf {
-    impulses: Vec<Impulse>,
+    times: Vec<Time>,
+    masses: Vec<f64>,
 }
 
 impl Pmf {
@@ -59,27 +69,27 @@ impl Pmf {
     /// `Pmf::delta(now)` as the availability distribution.
     #[must_use]
     pub fn delta(t: Time) -> Self {
-        Self { impulses: vec![Impulse { t, p: 1.0 }] }
+        Self { times: vec![t], masses: vec![1.0] }
     }
 
     /// Builds a PMF from `(time, mass)` points. Points are sorted and
     /// duplicate times merged; zero-mass points are kept out.
     pub fn from_points(points: &[(Time, f64)]) -> Result<Self, PmfError> {
-        let mut impulses = Vec::with_capacity(points.len());
+        let mut pairs = Vec::with_capacity(points.len());
         for &(t, p) in points {
             if !p.is_finite() || p < 0.0 {
                 return Err(PmfError::InvalidMass);
             }
             if p > 0.0 {
-                impulses.push(Impulse { t, p });
+                pairs.push(Impulse { t, p });
             }
         }
-        if impulses.is_empty() {
+        if pairs.is_empty() {
             return Err(PmfError::Empty);
         }
-        impulses.sort_unstable_by_key(|i| i.t);
-        merge_sorted_duplicates(&mut impulses);
-        Ok(Self { impulses })
+        pairs.sort_unstable_by_key(|i| i.t);
+        merge_sorted_pairs(&mut pairs);
+        Ok(Self::from_pairs(&pairs))
     }
 
     /// Builds a PMF from a [`Histogram`] of continuous samples by rounding
@@ -89,34 +99,59 @@ impl Pmf {
     /// This is the §VI-A pipeline: gamma samples → histogram → PMF.
     #[must_use]
     pub fn from_histogram(hist: &Histogram) -> Self {
-        let mut impulses: Vec<Impulse> = hist
+        let mut pairs: Vec<Impulse> = hist
             .centers()
             .map(|(c, m)| Impulse { t: (c.round().max(1.0)) as Time, p: m })
             .collect();
-        impulses.sort_unstable_by_key(|i| i.t);
-        merge_sorted_duplicates(&mut impulses);
-        debug_assert!(!impulses.is_empty());
-        Self { impulses }
+        pairs.sort_unstable_by_key(|i| i.t);
+        merge_sorted_pairs(&mut pairs);
+        debug_assert!(!pairs.is_empty());
+        Self::from_pairs(&pairs)
     }
 
-    /// Internal constructor from already-sorted, already-merged impulses.
-    pub(crate) fn from_sorted_unchecked(impulses: Vec<Impulse>) -> Self {
-        debug_assert!(!impulses.is_empty());
-        debug_assert!(impulses.windows(2).all(|w| w[0].t < w[1].t));
-        debug_assert!(impulses.iter().all(|i| i.p.is_finite() && i.p >= 0.0));
-        Self { impulses }
+    /// Internal constructor splitting sorted, merged `(t, p)` pairs into
+    /// the column layout.
+    pub(crate) fn from_pairs(pairs: &[Impulse]) -> Self {
+        let times = pairs.iter().map(|i| i.t).collect();
+        let masses = pairs.iter().map(|i| i.p).collect();
+        Self::from_parts_unchecked(times, masses)
     }
 
-    /// The impulses, sorted by time.
+    /// Internal constructor from already-sorted, already-merged columns.
+    pub(crate) fn from_parts_unchecked(times: Vec<Time>, masses: Vec<f64>) -> Self {
+        debug_assert!(!times.is_empty());
+        debug_assert_eq!(times.len(), masses.len());
+        debug_assert!(times.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(masses.iter().all(|p| p.is_finite() && *p >= 0.0));
+        Self { times, masses }
+    }
+
+    /// Consumes the PMF, returning its columns for storage reuse.
+    pub(crate) fn into_parts(self) -> (Vec<Time>, Vec<f64>) {
+        (self.times, self.masses)
+    }
+
+    /// The impulse times, strictly increasing.
     #[must_use]
-    pub fn impulses(&self) -> &[Impulse] {
-        &self.impulses
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// The impulse masses, parallel to [`Pmf::times`].
+    #[must_use]
+    pub fn masses(&self) -> &[f64] {
+        &self.masses
+    }
+
+    /// Row-wise view of the impulses, in time order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = Impulse> + '_ {
+        self.times.iter().zip(&self.masses).map(|(&t, &p)| Impulse { t, p })
     }
 
     /// Number of impulses.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.impulses.len()
+        self.times.len()
     }
 
     /// Always false: the empty PMF is unrepresentable.
@@ -128,7 +163,7 @@ impl Pmf {
     /// Total probability mass.
     #[must_use]
     pub fn mass(&self) -> f64 {
-        self.impulses.iter().map(|i| i.p).sum()
+        self.masses.iter().sum()
     }
 
     /// True when the total mass is 1 within [`MASS_EPSILON`].
@@ -140,36 +175,44 @@ impl Pmf {
     /// Earliest impulse time.
     #[must_use]
     pub fn min_time(&self) -> Time {
-        self.impulses[0].t
+        self.times[0]
     }
 
     /// Latest impulse time.
     #[must_use]
     pub fn max_time(&self) -> Time {
-        self.impulses[self.impulses.len() - 1].t
+        self.times[self.times.len() - 1]
     }
 
     /// CDF at `t`: total mass at times `<= t`.
     ///
     /// Eq. 1 of the paper: the robustness of task `i` on machine `j` is
     /// `p_ij(δ_i) = Σ_{t <= δ_i} c_ij(t)` — i.e. `pct.cdf_at(deadline)`.
+    ///
+    /// Binary search for the cut, then a dense partial sum: O(log n + k)
+    /// with a branch-free, auto-vectorizable summation loop instead of the
+    /// old per-impulse `take_while` compare.
     #[must_use]
     pub fn cdf_at(&self, t: Time) -> f64 {
-        self.impulses.iter().take_while(|i| i.t <= t).map(|i| i.p).sum()
+        let idx = self.times.partition_point(|&x| x <= t);
+        self.masses[..idx].iter().sum()
     }
 
     /// Mass strictly after `t` (`1 - cdf` for normalized PMFs, without the
     /// cancellation error of computing it that way).
     #[must_use]
     pub fn mass_above(&self, t: Time) -> f64 {
-        self.impulses.iter().rev().take_while(|i| i.t > t).map(|i| i.p).sum()
+        let idx = self.times.partition_point(|&x| x <= t);
+        // Summed back-to-front to keep bit-identical results with the
+        // historical reverse `take_while` scan.
+        self.masses[idx..].iter().rev().sum()
     }
 
     /// Expected value `Σ t·p(t)` (not normalized by mass; for normalized
     /// PMFs this is the mean).
     #[must_use]
     pub fn expected_value(&self) -> f64 {
-        self.impulses.iter().map(|i| i.t as f64 * i.p).sum()
+        self.times.iter().zip(&self.masses).map(|(&t, &p)| t as f64 * p).sum()
     }
 
     /// Mean of the distribution: expected value divided by total mass.
@@ -206,8 +249,8 @@ impl Pmf {
 
     fn weighted_moments(&self) -> WeightedMoments {
         let mut acc = WeightedMoments::new();
-        for i in &self.impulses {
-            acc.push(i.t as f64, i.p);
+        for (&t, &p) in self.times.iter().zip(&self.masses) {
+            acc.push(t as f64, p);
         }
         acc
     }
@@ -218,12 +261,12 @@ impl Pmf {
     /// when the machine is idle and the task starts at its arrival time α.
     #[must_use]
     pub fn shift(&self, dt: Time) -> Self {
-        let impulses = self
-            .impulses
+        let times = self
+            .times
             .iter()
-            .map(|i| Impulse { t: i.t.checked_add(dt).expect("time overflow in shift"), p: i.p })
+            .map(|&t| t.checked_add(dt).expect("time overflow in shift"))
             .collect();
-        Self { impulses }
+        Self { times, masses: self.masses.clone() }
     }
 
     /// Splits into `(below, at_or_above)` around `t`: impulses strictly
@@ -234,13 +277,21 @@ impl Pmf {
     /// side may be `None` when it would be empty.
     #[must_use]
     pub fn partition_at(&self, t: Time) -> (Option<Pmf>, Option<Pmf>) {
-        let split = self.impulses.partition_point(|i| i.t < t);
-        let below = &self.impulses[..split];
-        let above = &self.impulses[split..];
-        (
-            (!below.is_empty()).then(|| Pmf::from_sorted_unchecked(below.to_vec())),
-            (!above.is_empty()).then(|| Pmf::from_sorted_unchecked(above.to_vec())),
-        )
+        let split = self.times.partition_point(|&x| x < t);
+        let below = (split > 0).then(|| {
+            Pmf::from_parts_unchecked(self.times[..split].to_vec(), self.masses[..split].to_vec())
+        });
+        let above = (split < self.len()).then(|| {
+            Pmf::from_parts_unchecked(self.times[split..].to_vec(), self.masses[split..].to_vec())
+        });
+        (below, above)
+    }
+
+    /// Index of the first impulse at or after `t` — the Eq. 3 cut between
+    /// startable mass (`..idx`) and carry-over (`idx..`).
+    #[must_use]
+    pub fn partition_index(&self, t: Time) -> usize {
+        self.times.partition_point(|&x| x < t)
     }
 
     /// Removes mass strictly before `t` and renormalizes. Returns the mass
@@ -252,21 +303,23 @@ impl Pmf {
     /// result collapses to a unit impulse at `t` (the task is overdue and
     /// will complete imminently as far as the model knows).
     pub fn condition_min(&mut self, t: Time) -> f64 {
-        let split = self.impulses.partition_point(|i| i.t < t);
+        let split = self.times.partition_point(|&x| x < t);
         if split == 0 {
             return 0.0;
         }
-        let removed: f64 = self.impulses[..split].iter().map(|i| i.p).sum();
-        self.impulses.drain(..split);
-        if self.impulses.is_empty() {
-            self.impulses.push(Impulse { t, p: 1.0 });
+        let removed: f64 = self.masses[..split].iter().sum();
+        self.times.drain(..split);
+        self.masses.drain(..split);
+        if self.times.is_empty() {
+            self.times.push(t);
+            self.masses.push(1.0);
             return removed;
         }
-        let remaining: f64 = self.impulses.iter().map(|i| i.p).sum();
+        let remaining: f64 = self.masses.iter().sum();
         if remaining > 0.0 {
             let scale = 1.0 / remaining;
-            for i in &mut self.impulses {
-                i.p *= scale;
+            for p in &mut self.masses {
+                *p *= scale;
             }
         }
         removed
@@ -280,15 +333,19 @@ impl Pmf {
     /// guaranteed free by `t = δ`; "all the impulses after δ_i are
     /// aggregated into the impulse at t = δ_i".
     pub fn clamp_above(&mut self, t: Time) {
-        let split = self.impulses.partition_point(|i| i.t <= t);
-        if split == self.impulses.len() {
+        let split = self.times.partition_point(|&x| x <= t);
+        if split == self.len() {
             return;
         }
-        let moved: f64 = self.impulses[split..].iter().map(|i| i.p).sum();
-        self.impulses.truncate(split);
-        match self.impulses.last_mut() {
-            Some(last) if last.t == t => last.p += moved,
-            _ => self.impulses.push(Impulse { t, p: moved }),
+        let moved: f64 = self.masses[split..].iter().sum();
+        self.times.truncate(split);
+        self.masses.truncate(split);
+        match self.times.last() {
+            Some(&last) if last == t => *self.masses.last_mut().expect("parallel") += moved,
+            _ => {
+                self.times.push(t);
+                self.masses.push(moved);
+            }
         }
     }
 
@@ -298,36 +355,16 @@ impl Pmf {
     /// `t >= δ_i`. Mass is additive; the result is generally *not*
     /// normalized until all contributions are in.
     pub fn superpose(&mut self, other: &Pmf) {
-        // Merge two sorted impulse lists.
-        let mut merged = Vec::with_capacity(self.impulses.len() + other.impulses.len());
-        let (mut a, mut b) = (self.impulses.iter().peekable(), other.impulses.iter().peekable());
-        loop {
-            match (a.peek(), b.peek()) {
-                (Some(x), Some(y)) => {
-                    if x.t < y.t {
-                        merged.push(**x);
-                        a.next();
-                    } else if y.t < x.t {
-                        merged.push(**y);
-                        b.next();
-                    } else {
-                        merged.push(Impulse { t: x.t, p: x.p + y.p });
-                        a.next();
-                        b.next();
-                    }
-                }
-                (Some(x), None) => {
-                    merged.push(**x);
-                    a.next();
-                }
-                (None, Some(y)) => {
-                    merged.push(**y);
-                    b.next();
-                }
-                (None, None) => break,
-            }
-        }
-        self.impulses = merged;
+        let mut times = Vec::with_capacity(self.len() + other.len());
+        let mut masses = Vec::with_capacity(self.len() + other.len());
+        merge_add(
+            (&self.times, &self.masses),
+            (&other.times, &other.masses),
+            &mut times,
+            &mut masses,
+        );
+        self.times = times;
+        self.masses = masses;
     }
 
     /// The residual distribution after `elapsed` time units of execution:
@@ -345,22 +382,19 @@ impl Pmf {
     ///
     /// let exec = Pmf::from_points(&[(2, 0.25), (4, 0.5), (6, 0.25)]).unwrap();
     /// let after3 = exec.residual(3); // total must be 4 or 6 → remaining 1 or 3
-    /// assert_eq!(after3.impulses().len(), 2);
+    /// assert_eq!(after3.len(), 2);
     /// assert_eq!(after3.min_time(), 1);
     /// assert!(after3.is_normalized());
     /// ```
     #[must_use]
     pub fn residual(&self, elapsed: Time) -> Pmf {
-        let above: Vec<Impulse> = self
-            .impulses
-            .iter()
-            .filter(|i| i.t > elapsed)
-            .map(|i| Impulse { t: i.t - elapsed, p: i.p })
-            .collect();
-        if above.is_empty() {
+        let split = self.times.partition_point(|&x| x <= elapsed);
+        if split == self.len() {
             return Pmf::delta(1);
         }
-        let mut residual = Pmf::from_sorted_unchecked(above);
+        let times: Vec<Time> = self.times[split..].iter().map(|&t| t - elapsed).collect();
+        let masses: Vec<f64> = self.masses[split..].to_vec();
+        let mut residual = Pmf::from_parts_unchecked(times, masses);
         residual.normalize();
         residual
     }
@@ -374,8 +408,8 @@ impl Pmf {
         let mass = self.mass();
         assert!(mass > 0.0, "cannot normalize a zero-mass PMF");
         let scale = 1.0 / mass;
-        for i in &mut self.impulses {
-            i.p *= scale;
+        for p in &mut self.masses {
+            *p *= scale;
         }
     }
 
@@ -383,28 +417,56 @@ impl Pmf {
     /// (mass-quantile aggregation; see the `compact` module docs). No-op when already small
     /// enough.
     pub fn compact(&mut self, max_impulses: usize) {
-        crate::compact::compact_in_place(&mut self.impulses, max_impulses);
-    }
-
-    /// Consumes the PMF, returning its impulse vector.
-    #[must_use]
-    pub fn into_impulses(self) -> Vec<Impulse> {
-        self.impulses
+        crate::compact::compact_in_place(&mut self.times, &mut self.masses, max_impulses);
     }
 }
 
-/// Merges runs of equal-time impulses in a sorted vector (summing mass).
-pub(crate) fn merge_sorted_duplicates(impulses: &mut Vec<Impulse>) {
+/// Merges runs of equal-time impulses in a sorted pair buffer (summing
+/// mass) — the post-sort fixup shared by the constructors and convolution.
+pub(crate) fn merge_sorted_pairs(pairs: &mut Vec<Impulse>) {
     let mut write = 0usize;
-    for read in 1..impulses.len() {
-        if impulses[read].t == impulses[write].t {
-            impulses[write].p += impulses[read].p;
+    for read in 1..pairs.len() {
+        if pairs[read].t == pairs[write].t {
+            pairs[write].p += pairs[read].p;
         } else {
             write += 1;
-            impulses[write] = impulses[read];
+            pairs[write] = pairs[read];
         }
     }
-    impulses.truncate(write + 1);
+    pairs.truncate(write + 1);
+}
+
+/// Merges two sorted column sets into `out_times`/`out_masses`, summing
+/// masses at equal times. Output buffers are appended to (callers clear).
+pub(crate) fn merge_add(
+    a: (&[Time], &[f64]),
+    b: (&[Time], &[f64]),
+    out_times: &mut Vec<Time>,
+    out_masses: &mut Vec<f64>,
+) {
+    let (at, am) = a;
+    let (bt, bm) = b;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < at.len() && j < bt.len() {
+        if at[i] < bt[j] {
+            out_times.push(at[i]);
+            out_masses.push(am[i]);
+            i += 1;
+        } else if bt[j] < at[i] {
+            out_times.push(bt[j]);
+            out_masses.push(bm[j]);
+            j += 1;
+        } else {
+            out_times.push(at[i]);
+            out_masses.push(am[i] + bm[j]);
+            i += 1;
+            j += 1;
+        }
+    }
+    out_times.extend_from_slice(&at[i..]);
+    out_masses.extend_from_slice(&am[i..]);
+    out_times.extend_from_slice(&bt[j..]);
+    out_masses.extend_from_slice(&bm[j..]);
 }
 
 #[cfg(test)]
@@ -432,11 +494,19 @@ mod tests {
     fn from_points_sorts_merges_and_drops_zeros() {
         let p = pmf(&[(5, 0.25), (3, 0.25), (5, 0.25), (4, 0.25), (6, 0.0)]);
         assert_eq!(p.len(), 3);
-        assert_eq!(p.impulses()[0].t, 3);
-        assert_eq!(p.impulses()[1].t, 4);
-        assert_eq!(p.impulses()[2].t, 5);
-        assert!((p.impulses()[2].p - 0.5).abs() < 1e-12);
+        assert_eq!(p.times(), &[3, 4, 5]);
+        assert!((p.masses()[2] - 0.5).abs() < 1e-12);
         assert!(p.is_normalized());
+    }
+
+    #[test]
+    fn iter_yields_row_view() {
+        let p = pmf(&[(2, 0.25), (7, 0.75)]);
+        let rows: Vec<Impulse> = p.iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], Impulse { t: 2, p: 0.25 });
+        assert_eq!(rows[1], Impulse { t: 7, p: 0.75 });
+        assert_eq!(p.iter().len(), 2);
     }
 
     #[test]
@@ -464,6 +534,27 @@ mod tests {
         assert_eq!(p.cdf_at(1), 0.0);
         assert!((p.cdf_at(4) - 0.5).abs() < 1e-12);
         assert!((p.cdf_at(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_binary_search_matches_linear_scan_on_long_pmf() {
+        // Regression guard for the partition_point cut: probe every
+        // boundary of a many-impulse PMF against a reference linear scan.
+        let points: Vec<(Time, f64)> = (0..257u64).map(|t| (3 * t + 1, 1.0 / 257.0)).collect();
+        let p = pmf(&points);
+        for probe in 0..800u64 {
+            let linear: f64 = p.iter().take_while(|i| i.t <= probe).map(|i| i.p).sum();
+            assert!((p.cdf_at(probe) - linear).abs() < 1e-15, "probe {probe}");
+            let linear_above: f64 = p
+                .iter()
+                .collect::<Vec<_>>()
+                .iter()
+                .rev()
+                .take_while(|i| i.t > probe)
+                .map(|i| i.p)
+                .sum();
+            assert!((p.mass_above(probe) - linear_above).abs() < 1e-15, "probe {probe}");
+        }
     }
 
     #[test]
@@ -520,18 +611,21 @@ mod tests {
         let below = below.unwrap();
         let above = above.unwrap();
         assert_eq!(below.len(), 1);
-        assert_eq!(below.impulses()[0].t, 2);
+        assert_eq!(below.times()[0], 2);
         assert_eq!(above.len(), 2);
-        assert_eq!(above.impulses()[0].t, 4);
+        assert_eq!(above.times()[0], 4);
         assert!((below.mass() + above.mass() - 1.0).abs() < 1e-12);
+        assert_eq!(p.partition_index(4), 1);
 
         let (none_below, all) = p.partition_at(0);
         assert!(none_below.is_none());
         assert_eq!(all.unwrap().len(), 3);
+        assert_eq!(p.partition_index(0), 0);
 
         let (all, none_above) = p.partition_at(100);
         assert_eq!(all.unwrap().len(), 3);
         assert!(none_above.is_none());
+        assert_eq!(p.partition_index(100), 3);
     }
 
     #[test]
@@ -568,7 +662,7 @@ mod tests {
         p.clamp_above(5);
         assert_eq!(p.max_time(), 5);
         assert!((p.cdf_at(5) - 1.0).abs() < 1e-12);
-        assert!((p.impulses()[1].p - 0.8).abs() < 1e-12);
+        assert!((p.masses()[1] - 0.8).abs() < 1e-12);
     }
 
     #[test]
@@ -577,7 +671,7 @@ mod tests {
         p.clamp_above(5);
         assert_eq!(p.len(), 2);
         assert_eq!(p.max_time(), 5);
-        assert!((p.impulses()[1].p - 0.5).abs() < 1e-12);
+        assert!((p.masses()[1] - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -595,7 +689,7 @@ mod tests {
         a.superpose(&b);
         assert_eq!(a.len(), 4);
         assert!((a.mass() - 1.0).abs() < 1e-12);
-        assert!((a.impulses()[2].p - 0.5).abs() < 1e-12); // 0.3 + 0.2 at t=3
+        assert!((a.masses()[2] - 0.5).abs() < 1e-12); // 0.3 + 0.2 at t=3
     }
 
     #[test]
@@ -603,7 +697,7 @@ mod tests {
         let mut p = pmf(&[(1, 0.2), (2, 0.2)]);
         p.normalize();
         assert!(p.is_normalized());
-        assert!((p.impulses()[0].p - 0.5).abs() < 1e-12);
+        assert!((p.masses()[0] - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -620,10 +714,10 @@ mod tests {
         // renormalized 0.5/0.75 and 0.25/0.75.
         let r = p.residual(3);
         assert_eq!(r.len(), 2);
-        assert_eq!(r.impulses()[0].t, 1);
-        assert!((r.impulses()[0].p - 2.0 / 3.0).abs() < 1e-12);
-        assert_eq!(r.impulses()[1].t, 3);
-        assert!((r.impulses()[1].p - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.times()[0], 1);
+        assert!((r.masses()[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.times()[1], 3);
+        assert!((r.masses()[1] - 1.0 / 3.0).abs() < 1e-12);
         assert!(r.is_normalized());
     }
 
@@ -669,5 +763,20 @@ mod tests {
         let hist = Histogram::from_samples(&[0.01, 0.02, 0.03], 2);
         let p = Pmf::from_histogram(&hist);
         assert!(p.min_time() >= 1);
+    }
+
+    #[test]
+    fn merge_add_sums_equal_times() {
+        let mut times = Vec::new();
+        let mut masses = Vec::new();
+        merge_add(
+            (&[1, 3, 5], &[0.1, 0.2, 0.3]),
+            (&[3, 6], &[0.05, 0.15]),
+            &mut times,
+            &mut masses,
+        );
+        assert_eq!(times, vec![1, 3, 5, 6]);
+        assert!((masses[1] - 0.25).abs() < 1e-15);
+        assert!((masses.iter().sum::<f64>() - 0.8).abs() < 1e-15);
     }
 }

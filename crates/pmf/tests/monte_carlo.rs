@@ -44,7 +44,7 @@ fn prob_tol(n: usize) -> f64 {
 fn sample_pmf(pmf: &Pmf, rng: &mut Xoshiro256pp) -> Time {
     let u = rng.next_f64() * pmf.mass();
     let mut acc = 0.0;
-    for imp in pmf.impulses() {
+    for imp in pmf.iter() {
         acc += imp.p;
         if u < acc {
             return imp.t;

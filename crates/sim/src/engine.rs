@@ -88,6 +88,7 @@ struct Engine<'a, M: Mapper, R: rand::Rng> {
     /// Scratch buffers reused across events.
     expired_buf: Vec<Task>,
     pruned_buf: Vec<PrunedTask>,
+    segment_charges_buf: Vec<(MachineId, Time)>,
 }
 
 impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
@@ -109,9 +110,14 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             }));
             seq += 1;
         }
-        let machines = (0..spec.num_machines())
+        let machines: Vec<MachineState> = (0..spec.num_machines())
             .map(|m| MachineState::new(MachineId::from(m), spec.queue_capacity))
             .collect();
+        // Pre-size the per-event scratch from workload statistics: the
+        // batch can hold every task at once (burst arrivals under heavy
+        // oversubscription), and an expiry/prune sweep can at most empty
+        // every machine queue in one event.
+        let queue_slots = spec.num_machines() * spec.queue_capacity;
         Self {
             spec,
             config,
@@ -119,15 +125,16 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             rng,
             events,
             seq,
-            batch: Vec::new(),
+            batch: Vec::with_capacity(tasks.len()),
             machines,
             records: vec![None; tasks.len()],
             cost: CostTracker::new(spec.num_machines()),
             missed_since_last: 0,
             mapping_events: 0,
             now: 0,
-            expired_buf: Vec::new(),
-            pruned_buf: Vec::new(),
+            expired_buf: Vec::with_capacity(queue_slots),
+            pruned_buf: Vec::with_capacity(queue_slots),
+            segment_charges_buf: Vec::with_capacity(spec.num_machines()),
         }
     }
 
@@ -248,7 +255,8 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         self.mapping_events += 1;
         let mut pruned = std::mem::take(&mut self.pruned_buf);
         pruned.clear();
-        let mut segment_charges: Vec<(MachineId, Time)> = Vec::new();
+        let mut segment_charges = std::mem::take(&mut self.segment_charges_buf);
+        segment_charges.clear();
         let mut ctx = MapContext {
             now,
             missed_since_last: self.missed_since_last,
@@ -261,9 +269,10 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         };
         self.mapper.on_mapping_event(&mut ctx);
         self.missed_since_last = 0;
-        for (machine, segment) in segment_charges {
+        for &(machine, segment) in &segment_charges {
             self.cost.record_busy(machine, segment);
         }
+        self.segment_charges_buf = segment_charges;
 
         // Account for the pruner's removals. An evicted executing task
         // consumed machine time up to now.

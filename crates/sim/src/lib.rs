@@ -31,6 +31,7 @@ mod engine;
 mod machine;
 mod mapper;
 mod metrics;
+pub mod testkit;
 
 pub use config::SimConfig;
 pub use engine::{run_simulation, SimReport};

@@ -1,0 +1,182 @@
+//! Deterministic construction and mutation of [`MachineState`] outside the
+//! engine — for benchmarks and property tests that need arbitrary queue
+//! states without driving a full simulation.
+//!
+//! The engine remains the only *production* mutator of machine state: the
+//! mutating methods on [`MachineState`] stay crate-private so mappers can
+//! never bypass [`crate::MapContext`]. This module re-exposes the same
+//! transitions behind an explicit test/bench surface, so downstream crates
+//! (the scorer's incremental tail cache, the bench harness) can replay
+//! event sequences and check invariants against a from-scratch analysis.
+//!
+//! Every operation is *total*: instead of panicking on an illegal
+//! transition it reports whether it applied, which lets property tests
+//! feed arbitrary operation sequences without pre-filtering.
+
+use crate::machine::{MachineState, PendingEntry};
+use hcsim_model::{Task, TaskId, Time};
+
+/// One queue transition, mirroring the engine's machine mutations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueOp {
+    /// Append a task to the pending queue (engine: mapper `assign`).
+    Push(Task),
+    /// Start the queue head executing with the given ground-truth total
+    /// execution time (engine: `start_idle_machines`).
+    StartNext {
+        /// Current simulation time.
+        now: Time,
+        /// Sampled total execution time.
+        total_exec: Time,
+    },
+    /// Complete (or evict) the executing task (engine: `Finish` event /
+    /// pruner eviction).
+    FinishExecuting,
+    /// Preempt the executing task back to the queue front with its
+    /// progress retained (engine: `preempt_and_assign`).
+    Preempt {
+        /// Current simulation time.
+        now: Time,
+    },
+    /// Remove a pending task by id (engine: pruner `drop_pending`).
+    RemovePending(TaskId),
+    /// Drop every pending task whose deadline has passed (engine:
+    /// `drain_expired_pending`).
+    DrainExpired {
+        /// Current simulation time.
+        now: Time,
+    },
+}
+
+/// Applies `op` to `machine`; returns whether the transition was legal and
+/// therefore applied. Illegal transitions (start on a busy machine, push on
+/// a full queue, …) leave the state untouched and return `false`.
+pub fn apply(machine: &mut MachineState, op: QueueOp) -> bool {
+    match op {
+        QueueOp::Push(task) => {
+            if !machine.has_free_slot() {
+                return false;
+            }
+            machine.push_pending(task);
+            true
+        }
+        QueueOp::StartNext { now, total_exec } => {
+            if machine.executing().is_some() {
+                return false;
+            }
+            match machine.pop_next_pending() {
+                Some(entry) => {
+                    machine.start(entry, now, total_exec.max(1));
+                    true
+                }
+                None => false,
+            }
+        }
+        QueueOp::FinishExecuting => machine.finish_executing().is_some(),
+        QueueOp::Preempt { now } => machine.preempt_executing(now).is_some(),
+        QueueOp::RemovePending(id) => machine.remove_pending(id).is_some(),
+        QueueOp::DrainExpired { now } => {
+            let mut out = Vec::new();
+            machine.drain_expired_pending(now, &mut out);
+            !out.is_empty()
+        }
+    }
+}
+
+/// Builds a machine with `tasks` already pending (in order), without an
+/// executing task — the common fixture for tail-cache benchmarks.
+///
+/// # Panics
+///
+/// Panics if `tasks.len()` exceeds `capacity`.
+#[must_use]
+pub fn machine_with_pending(
+    id: hcsim_model::MachineId,
+    capacity: usize,
+    tasks: &[Task],
+) -> MachineState {
+    assert!(tasks.len() <= capacity, "{} tasks exceed capacity {capacity}", tasks.len());
+    let mut m = MachineState::new(id, capacity);
+    for &t in tasks {
+        m.push_pending(t);
+    }
+    m
+}
+
+/// Replaces the last pending task with `task` (remove + push), keeping the
+/// queue depth constant — the steady-state mutation the tail-cache
+/// benchmarks use to force a version bump per iteration.
+///
+/// Returns `false` (no-op) when the queue has no pending tasks or no way
+/// to re-add one.
+pub fn replace_last_pending(machine: &mut MachineState, task: Task) -> bool {
+    let Some(last) = machine.pending().last().map(|t| t.id) else {
+        return false;
+    };
+    let removed = machine.remove_pending(last).is_some();
+    debug_assert!(removed);
+    machine.push_pending(task);
+    true
+}
+
+/// Starts `entry`-style execution directly (bypassing the pending queue):
+/// pushes `task`, starts it at `now` with `total_exec`. Returns `false`
+/// when the machine is already executing or full.
+pub fn start_executing(
+    machine: &mut MachineState,
+    task: Task,
+    now: Time,
+    total_exec: Time,
+) -> bool {
+    if machine.executing().is_some() || !machine.has_free_slot() {
+        return false;
+    }
+    machine.start(PendingEntry::new(task), now, total_exec.max(1));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{MachineId, TaskTypeId};
+
+    fn task(id: u32, deadline: Time) -> Task {
+        Task { id: TaskId(id), type_id: TaskTypeId(0), arrival: 0, deadline }
+    }
+
+    #[test]
+    fn ops_mirror_engine_transitions() {
+        let mut m = MachineState::new(MachineId(0), 3);
+        assert!(apply(&mut m, QueueOp::Push(task(1, 100))));
+        assert!(apply(&mut m, QueueOp::Push(task(2, 100))));
+        assert!(apply(&mut m, QueueOp::Push(task(3, 100))));
+        assert!(!apply(&mut m, QueueOp::Push(task(4, 100))), "full queue rejects");
+        assert!(apply(&mut m, QueueOp::StartNext { now: 0, total_exec: 50 }));
+        assert!(!apply(&mut m, QueueOp::StartNext { now: 0, total_exec: 50 }), "busy rejects");
+        assert!(apply(&mut m, QueueOp::Preempt { now: 10 }));
+        assert_eq!(m.pending_entries().next().unwrap().progress, 10);
+        assert!(apply(&mut m, QueueOp::StartNext { now: 10, total_exec: 50 }));
+        assert!(apply(&mut m, QueueOp::FinishExecuting));
+        assert!(!apply(&mut m, QueueOp::FinishExecuting));
+        assert!(apply(&mut m, QueueOp::RemovePending(TaskId(2))));
+        assert!(!apply(&mut m, QueueOp::RemovePending(TaskId(2))));
+        assert!(!apply(&mut m, QueueOp::DrainExpired { now: 0 }));
+        assert!(apply(&mut m, QueueOp::DrainExpired { now: 1_000 }));
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn fixture_builders() {
+        let tasks: Vec<Task> = (0..4).map(|i| task(i, 500)).collect();
+        let mut m = machine_with_pending(MachineId(1), 6, &tasks);
+        assert_eq!(m.occupancy(), 4);
+        let v = m.version();
+        assert!(replace_last_pending(&mut m, task(99, 700)));
+        assert_eq!(m.occupancy(), 4);
+        assert!(m.version() > v);
+        assert_eq!(m.pending().last().unwrap().id, TaskId(99));
+        assert!(start_executing(&mut m, task(100, 900), 5, 40));
+        assert!(!start_executing(&mut m, task(101, 900), 5, 40));
+        assert_eq!(m.executing().unwrap().task.id, TaskId(100));
+    }
+}

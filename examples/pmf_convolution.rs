@@ -9,8 +9,7 @@
 use hcsim::prelude::*;
 
 fn show(label: &str, pmf: &Pmf) {
-    let impulses: Vec<String> =
-        pmf.impulses().iter().map(|i| format!("{}:{:.4}", i.t, i.p)).collect();
+    let impulses: Vec<String> = pmf.iter().map(|i| format!("{}:{:.4}", i.t, i.p)).collect();
     println!("{label:<28} {{{}}}", impulses.join(", "));
 }
 

@@ -380,6 +380,51 @@ impl Bencher {
             fmt_time(max),
             self.samples.len(),
         );
+        emit_json_line(id, mean, min, max, self.samples.len());
+    }
+}
+
+/// Appends one result object as a JSON line to `$HCSIM_BENCH_JSON`, using
+/// the same per-result schema as `hcsim-exp bench`'s `BENCH_*.json`
+/// documents (`id`, `ns_per_op`, `ns_min`, `ns_max`, `samples`), so the
+/// criterion targets and the bench subcommand feed one downstream format.
+/// Remove the file before a run to start a fresh capture.
+fn emit_json_line(id: &str, mean_s: f64, min_s: f64, max_s: f64, samples: usize) {
+    let Ok(path) = std::env::var("HCSIM_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    write_json_line(std::path::Path::new(&path), id, mean_s, min_s, max_s, samples);
+}
+
+/// The env-independent writer behind [`emit_json_line`] (unit-testable
+/// without touching process-global state).
+fn write_json_line(
+    path: &std::path::Path,
+    id: &str,
+    mean_s: f64,
+    min_s: f64,
+    max_s: f64,
+    samples: usize,
+) {
+    use std::io::Write;
+    let line = format!(
+        "{{\"id\": \"{}\", \"ns_per_op\": {:.1}, \"ns_min\": {:.1}, \"ns_max\": {:.1}, \"samples\": {}}}\n",
+        id.replace('"', "'"),
+        mean_s * 1e9,
+        min_s * 1e9,
+        max_s * 1e9,
+        samples,
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: could not append bench JSON to {}: {e}", path.display());
     }
 }
 
@@ -455,6 +500,24 @@ mod tests {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
         });
         group.finish();
+    }
+
+    #[test]
+    fn json_line_schema_matches_bench_subcommand() {
+        // Exercised through the env-independent writer: mutating
+        // HCSIM_BENCH_JSON here would race with parallel tests whose real
+        // bench runs read the same variable.
+        let path =
+            std::env::temp_dir().join(format!("hcsim_bench_json_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        write_json_line(&path, "grp/case", 1.5e-6, 1.0e-6, 2.0e-6, 7);
+        write_json_line(&path, "solo", 2.0e-9, 2.0e-9, 2.0e-9, 1);
+        let body = std::fs::read_to_string(&path).expect("file written");
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.contains("\"id\": \"grp/case\""));
+        assert!(body.contains("\"ns_per_op\": 1500.0"));
+        assert!(body.contains("\"samples\": 7"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
