@@ -77,7 +77,7 @@ pub fn analyze_queue_into(
 
     if let Some(exec) = machine.executing() {
         let (completion, robustness, skewness) =
-            conditioned_head(exec, pet, machine.id(), now, budget);
+            conditioned_head(exec, pet, machine.id(), now, budget, scratch);
         let mut after = completion.clone();
         if policy == DropPolicy::All {
             // Eq. 5: the executing task is evicted at its deadline, so the
@@ -119,18 +119,23 @@ pub fn analyze_queue_into(
 /// both call it, which is what keeps cached tails bit-identical to
 /// from-scratch analysis. Callers apply the policy-dependent Eq. 5 clamp
 /// themselves (the analysis keeps the unclamped completion for its slot).
+/// The completion's storage is drawn from `scratch`'s free-list.
 pub(crate) fn conditioned_head(
     exec: &hcsim_sim::ExecutingTask,
     pet: &PetMatrix,
     machine: hcsim_model::MachineId,
     now: Time,
     budget: usize,
+    scratch: &mut ConvScratch,
 ) -> (Pmf, f64, f64) {
     // The completion PMF of the executing task is its *residual* execution
     // distribution — the PET conditioned on having already run `elapsed`
-    // units (across preemption segments) — shifted to now.
+    // units (across preemption segments) — shifted to now, with its
+    // storage pooled (`residual` used to allocate two fresh PMFs per head
+    // recompute, once per machine per mapping event).
     let elapsed = exec.elapsed_at(now);
-    let mut completion = pet.pmf(exec.task.type_id, machine).residual(elapsed).shift(now);
+    let mut completion =
+        pet.pmf(exec.task.type_id, machine).residual_shifted_into(elapsed, now, scratch);
     completion.compact(budget);
     // Float-noise guard: a CDF sum can exceed 1 by an ulp or two.
     let robustness = completion.cdf_at(exec.task.deadline).min(1.0);
@@ -157,15 +162,12 @@ pub(crate) fn chain_extension(
     scratch: &mut ConvScratch,
 ) -> (hcsim_pmf::QueueStep, f64) {
     // A preempted entry resumes with its remaining work: model it by the
-    // residual PET (§VIII — preemption's impact on convolution).
+    // residual PET (§VIII — preemption's impact on convolution), with the
+    // residual's storage drawn from — and returned to — the scratch pool.
     let base_pmf = pet.pmf(entry.task.type_id, machine);
-    let resumed;
-    let exec_pmf = if entry.progress > 0 {
-        resumed = base_pmf.residual(entry.progress);
-        &resumed
-    } else {
-        base_pmf
-    };
+    let resumed =
+        (entry.progress > 0).then(|| base_pmf.residual_shifted_into(entry.progress, 0, scratch));
+    let exec_pmf = resumed.as_ref().unwrap_or(base_pmf);
     let mut step = queue_step_into(avail, exec_pmf, entry.task.deadline, policy, scratch);
     step.availability.compact(budget);
     let skewness = if with_skewness {
@@ -173,6 +175,9 @@ pub(crate) fn chain_extension(
     } else {
         f64::NAN
     };
+    if let Some(residual) = resumed {
+        scratch.recycle(residual);
+    }
     (step, skewness)
 }
 

@@ -2,7 +2,7 @@
 //! the experiment harness and CLI build mappers through this.
 
 use crate::baselines::ScalarMapper;
-use crate::moc::Moc;
+use crate::moc::{Moc, MocConfig};
 use crate::pam::Pam;
 use crate::pruner::PruningConfig;
 use hcsim_sim::{FirstFitMapper, Mapper};
@@ -67,14 +67,18 @@ impl HeuristicKind {
         }
     }
 
-    /// Instantiates the mapper. `config` parameterizes PAM/PAMF (the
-    /// baselines ignore it).
+    /// Instantiates the mapper. `config` parameterizes PAM/PAMF; MOC
+    /// inherits only its `threads` fan-out knob (its own tunables stay at
+    /// the paper's values); the scalar baselines ignore it entirely.
     #[must_use]
     pub fn build(self, config: PruningConfig) -> Box<dyn Mapper> {
         match self {
             HeuristicKind::Pam => Box::new(Pam::new(config)),
             HeuristicKind::Pamf => Box::new(Pam::with_fairness(config)),
-            HeuristicKind::Moc => Box::new(Moc::new()),
+            HeuristicKind::Moc => Box::new(Moc::with_config(MocConfig {
+                threads: config.threads,
+                ..MocConfig::default()
+            })),
             HeuristicKind::Mm => Box::new(ScalarMapper::mm()),
             HeuristicKind::Msd => Box::new(ScalarMapper::msd()),
             HeuristicKind::Mmu => Box::new(ScalarMapper::mmu()),

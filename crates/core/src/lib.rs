@@ -67,7 +67,18 @@ mod scorer;
 pub use baselines::{Phase2Rule, ScalarMapper};
 pub use factory::HeuristicKind;
 pub use fairness::SufferageTable;
-pub use moc::Moc;
+pub use moc::{Moc, MocConfig};
 pub use pam::Pam;
 pub use pruner::{OversubscriptionDetector, Pruner, PruningConfig};
-pub use scorer::{PairScore, ProbScorer, SlotScore};
+pub use scorer::{PairScore, ProbScorer, ScoreTable, SlotScore, PARALLEL_MIN_MACHINES};
+
+/// Resolves a heuristic-level `threads` knob against the engine-level one:
+/// a nonzero mapper knob wins, else a nonzero [`SimConfig::threads`], else
+/// the host's available parallelism.
+///
+/// [`SimConfig::threads`]: hcsim_sim::SimConfig
+#[must_use]
+pub fn effective_threads(mapper_threads: usize, ctx: &hcsim_sim::MapContext<'_>) -> usize {
+    let requested = if mapper_threads > 0 { mapper_threads } else { ctx.threads() };
+    hcsim_parallel::resolve_threads(requested)
+}

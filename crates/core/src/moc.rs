@@ -16,7 +16,7 @@
 //!    commit that maximizes total robustness. Map exactly one pair, then
 //!    repeat until queues fill or candidates run out.
 
-use crate::scorer::{PairScore, ProbScorer};
+use crate::scorer::{PairScore, ProbScorer, ScoreTable};
 use hcsim_model::{MachineId, TaskId};
 use hcsim_sim::{MapContext, Mapper};
 
@@ -32,11 +32,21 @@ pub struct MocConfig {
     /// Maximum batch tasks evaluated per event (same engineering bound as
     /// PAM's).
     pub batch_window: usize,
+    /// Worker threads for the phase-1 per-machine scoring fan-out (`0` =
+    /// auto, same resolution and bit-identical-merge guarantee as
+    /// [`crate::PruningConfig::threads`]).
+    pub threads: usize,
 }
 
 impl Default for MocConfig {
     fn default() -> Self {
-        Self { cull_threshold: 0.30, permute_top: 3, impulse_budget: 24, batch_window: 192 }
+        Self {
+            cull_threshold: 0.30,
+            permute_top: 3,
+            impulse_budget: 24,
+            batch_window: 192,
+            threads: 0,
+        }
     }
 }
 
@@ -45,6 +55,9 @@ impl Default for MocConfig {
 pub struct Moc {
     config: MocConfig,
     scorer: Option<ProbScorer>,
+    /// Reused (window × machine) score matrix; rebuilt per event, updated
+    /// incrementally between assignments.
+    table: ScoreTable,
 }
 
 impl Moc {
@@ -59,7 +72,7 @@ impl Moc {
     pub fn with_config(config: MocConfig) -> Self {
         assert!((0.0..=1.0).contains(&config.cull_threshold));
         assert!(config.permute_top >= 1);
-        Self { config, scorer: None }
+        Self { config, scorer: None, table: ScoreTable::new() }
     }
 
     /// The configuration.
@@ -77,6 +90,8 @@ impl Default for Moc {
 
 #[derive(Debug, Clone, Copy)]
 struct Candidate {
+    /// Window row (= batch position) the candidate came from.
+    row: usize,
     task: TaskId,
     machine: MachineId,
     score: PairScore,
@@ -98,6 +113,18 @@ impl Mapper for Moc {
         let mut scorer = self.scorer.take().expect("initialized above");
         scorer.begin_event(ctx.now());
 
+        // Phase 1 runs over the incremental (window × machine) score
+        // table: one per-machine fan-out per event, then only the assigned
+        // machine's column is rescored between assignments. The reduction
+        // reads exactly the values per-pair rescoring would compute, so
+        // culling and permutation decisions are unchanged.
+        let threads = crate::effective_threads(self.config.threads, ctx);
+        // Rows the bound pass proves below the culling threshold would be
+        // discarded by the reduction anyway — skip scoring them.
+        let cull = self.config.cull_threshold;
+        let skip_below = move |_tt: hcsim_model::TaskTypeId| cull;
+        let mut table = std::mem::take(&mut self.table);
+        let mut table_fresh = false;
         loop {
             if ctx.total_free_slots() == 0 {
                 break;
@@ -106,35 +133,28 @@ impl Mapper for Moc {
             if window == 0 {
                 break;
             }
+            if !table_fresh {
+                table.rebuild(
+                    &mut scorer,
+                    ctx.machines(),
+                    &ctx.spec().pet,
+                    &ctx.batch()[..window],
+                    threads,
+                    &skip_below,
+                );
+                table_fresh = true;
+            }
+            debug_assert_eq!(table.rows(), window, "table drifted from batch window");
 
             // Phase 1 + culling.
             let mut candidates: Vec<Candidate> = Vec::new();
             for i in 0..window {
                 let task = ctx.batch()[i];
-                let mut best: Option<Candidate> = None;
-                for m in 0..ctx.num_machines() {
-                    let machine_id = MachineId::from(m);
-                    let machine = ctx.machine(machine_id);
-                    if !machine.has_free_slot() {
-                        continue;
-                    }
-                    let score = scorer.score(machine, &ctx.spec().pet, &task);
-                    let better = match &best {
-                        None => true,
-                        Some(b) => {
-                            score.robustness > b.score.robustness
-                                || (score.robustness == b.score.robustness
-                                    && score.expected_completion < b.score.expected_completion)
-                        }
-                    };
-                    if better {
-                        best = Some(Candidate { task: task.id, machine: machine_id, score });
-                    }
-                }
-                if let Some(c) = best {
-                    if c.score.robustness >= self.config.cull_threshold {
-                        candidates.push(c);
-                    }
+                let Some((machine, score)) = table.best_for_row(ctx.machines(), i) else {
+                    continue;
+                };
+                if score.robustness >= self.config.cull_threshold {
+                    candidates.push(Candidate { row: i, task: task.id, machine, score });
                 }
             }
             if candidates.is_empty() {
@@ -206,7 +226,28 @@ impl Mapper for Moc {
             };
 
             ctx.assign(chosen.task, chosen.machine).expect("machine had a free slot");
+            // Incremental maintenance, mirroring PAM's.
+            table.remove_row(chosen.row);
+            let next_window = self.config.batch_window.min(ctx.batch().len());
+            while table.rows() < next_window {
+                let admitted = ctx.batch()[table.rows()];
+                table.push_row(
+                    &mut scorer,
+                    ctx.machines(),
+                    &ctx.spec().pet,
+                    &admitted,
+                    &skip_below,
+                );
+            }
+            table.refresh_machine(
+                &mut scorer,
+                ctx.machines(),
+                &ctx.spec().pet,
+                &ctx.batch()[..next_window],
+                chosen.machine.index(),
+            );
         }
+        self.table = table;
 
         self.scorer = Some(scorer);
     }

@@ -24,7 +24,7 @@
 
 use crate::fairness::SufferageTable;
 use crate::pruner::{OversubscriptionDetector, Pruner, PruningConfig};
-use crate::scorer::{PairScore, ProbScorer};
+use crate::scorer::{PairScore, ProbScorer, ScoreTable};
 use hcsim_model::{MachineId, Task, TaskId, TaskTypeId};
 use hcsim_pmf::{queue_step, Pmf};
 use hcsim_sim::{MapContext, Mapper, MapperInstrumentation};
@@ -36,6 +36,9 @@ pub struct Pam {
     detector: OversubscriptionDetector,
     pruner: Pruner,
     scorer: Option<ProbScorer>,
+    /// Reused (window × machine) score matrix; rebuilt per event, updated
+    /// incrementally between assignments.
+    table: ScoreTable,
     sufferage: Option<SufferageTable>,
     name: &'static str,
     instr: MapperInstrumentation,
@@ -51,6 +54,7 @@ impl Pam {
             detector: OversubscriptionDetector::new(&config),
             pruner: Pruner::new(config),
             scorer: None,
+            table: ScoreTable::new(),
             sufferage: None,
             name: "PAM",
             instr: MapperInstrumentation::default(),
@@ -93,37 +97,6 @@ impl Pam {
             Some(s) => s.relax(tt, self.config.defer_threshold),
             None => self.config.defer_threshold,
         }
-    }
-
-    /// Phase 1 for one task: the machine offering the highest robustness
-    /// among machines with free slots (tie → lower expected completion).
-    fn best_machine(
-        scorer: &mut ProbScorer,
-        ctx: &MapContext<'_>,
-        task: &Task,
-    ) -> Option<(MachineId, PairScore)> {
-        let pet = &ctx.spec().pet;
-        let mut best: Option<(MachineId, PairScore)> = None;
-        for m in 0..ctx.num_machines() {
-            let machine_id = MachineId::from(m);
-            let machine = ctx.machine(machine_id);
-            if !machine.has_free_slot() {
-                continue;
-            }
-            let score = scorer.score(machine, pet, task);
-            let better = match &best {
-                None => true,
-                Some((_, b)) => {
-                    score.robustness > b.robustness
-                        || (score.robustness == b.robustness
-                            && score.expected_completion < b.expected_completion)
-                }
-            };
-            if better {
-                best = Some((machine_id, score));
-            }
-        }
-        best
     }
 }
 
@@ -169,7 +142,25 @@ impl Mapper for Pam {
                 self.pruner.drop_pass(ctx, &mut scorer, &threshold_for) as u64;
         }
 
-        // Two-phase mapping with deferral.
+        // Two-phase mapping with deferral, reduced over the incremental
+        // (window × machine) score table: the full matrix is computed once
+        // per event in a per-machine fan-out (with a bound pass proving
+        // most to-be-deferred rows skippable), and each assignment then
+        // refreshes only the assigned machine's column (plus one appended
+        // row when a batch task slides into the window). Every score the
+        // reduction reads is bit-identical to what per-pair rescoring
+        // would produce, so decisions are unchanged.
+        let threads = crate::effective_threads(self.config.threads, ctx);
+        let sufferage = &self.sufferage;
+        let defer_base = self.config.defer_threshold;
+        // Same thresholds the reduction applies below — a row skipped by
+        // the bound pass is exactly a row the reduction would defer.
+        let skip_below = move |tt: TaskTypeId| match sufferage {
+            Some(s) => s.relax(tt, defer_base),
+            None => defer_base,
+        };
+        let mut table = std::mem::take(&mut self.table);
+        let mut table_fresh = false;
         loop {
             if ctx.total_free_slots() == 0 {
                 break;
@@ -178,36 +169,68 @@ impl Mapper for Pam {
             if window == 0 {
                 break;
             }
-            // Phase 1 + deferral: collect candidates above the (possibly
-            // relaxed) defer threshold.
-            let mut chosen: Option<(TaskId, MachineId, PairScore)> = None;
+            if !table_fresh {
+                table.rebuild(
+                    &mut scorer,
+                    ctx.machines(),
+                    &ctx.spec().pet,
+                    &ctx.batch()[..window],
+                    threads,
+                    &skip_below,
+                );
+                table_fresh = true;
+            }
+            debug_assert_eq!(table.rows(), window, "table drifted from batch window");
+            // Phase 1 + deferral: candidates above the (possibly relaxed)
+            // defer threshold; phase 2: minimum expected completion, tie →
+            // shortest expected execution time.
+            let mut chosen: Option<(usize, TaskId, MachineId, PairScore)> = None;
             for i in 0..window {
                 let task = ctx.batch()[i];
-                let Some((machine, score)) = Self::best_machine(&mut scorer, ctx, &task) else {
+                let Some((machine, score)) = table.best_for_row(ctx.machines(), i) else {
                     continue;
                 };
                 if score.robustness < self.defer_threshold_for(task.type_id) {
                     continue; // deferred: stays in the batch queue
                 }
-                // Phase 2: minimum expected completion, tie → shortest
-                // expected execution time.
                 let better = match &chosen {
                     None => true,
-                    Some((_, _, b)) => {
+                    Some((_, _, _, b)) => {
                         score.expected_completion < b.expected_completion
                             || (score.expected_completion == b.expected_completion
                                 && score.mean_exec < b.mean_exec)
                     }
                 };
                 if better {
-                    chosen = Some((task.id, machine, score));
+                    chosen = Some((i, task.id, machine, score));
                 }
             }
-            let Some((task_id, machine, _)) = chosen else { break };
+            let Some((row, task_id, machine, _)) = chosen else { break };
             ctx.assign(task_id, machine).expect("machine had a free slot");
-            // Only `machine`'s tail changed; the scorer's version check
-            // recomputes exactly that column next iteration.
+            // Incremental maintenance: drop the assigned row, admit batch
+            // tasks that slid into the window, rescore only the column of
+            // the machine whose queue just changed.
+            table.remove_row(row);
+            let next_window = self.config.batch_window.min(ctx.batch().len());
+            while table.rows() < next_window {
+                let admitted = ctx.batch()[table.rows()];
+                table.push_row(
+                    &mut scorer,
+                    ctx.machines(),
+                    &ctx.spec().pet,
+                    &admitted,
+                    &skip_below,
+                );
+            }
+            table.refresh_machine(
+                &mut scorer,
+                ctx.machines(),
+                &ctx.spec().pet,
+                &ctx.batch()[..next_window],
+                machine.index(),
+            );
         }
+        self.table = table;
 
         // §VIII extension: probabilistic preemption for urgent arrivals
         // that the normal phases had to defer.

@@ -49,6 +49,13 @@ pub struct PruningConfig {
     /// (judged by its residual execution PMF). Off by default — the
     /// paper's published mechanism does not preempt.
     pub preemption: bool,
+    /// Worker threads for the per-machine scoring fan-out (`0` = auto:
+    /// defer to [`hcsim_sim::SimConfig::threads`], which itself defaults
+    /// to the host's available parallelism). The fan-out merges in
+    /// machine-index order and every per-machine computation is
+    /// deterministic, so results are **bit-identical at any thread
+    /// count** — this is purely a performance knob.
+    pub threads: usize,
 }
 
 impl Default for PruningConfig {
@@ -66,6 +73,7 @@ impl Default for PruningConfig {
             batch_window: 192,
             fairness_factor: 0.05,
             preemption: false,
+            threads: 0,
         }
     }
 }
@@ -218,6 +226,13 @@ impl Pruner {
         // already began the event; required when the pruner is driven
         // standalone, as the behavioral tests do).
         scorer.begin_event(ctx.now());
+        // Fan the expensive per-machine chain/statistics computation out
+        // across cores before the sequential decision walk below: the
+        // first `slot_scores` query per machine then hits a warm cache,
+        // and only machines that actually drop pay for re-analysis. The
+        // warm-up is bit-identical to lazy sequential evaluation.
+        let threads = crate::effective_threads(self.config.threads, ctx);
+        scorer.warm_caches(ctx.machines(), &ctx.spec().pet, true, threads);
         let may_evict = self.config.drop_executing && scorer.policy() == hcsim_pmf::DropPolicy::All;
         for m in 0..ctx.num_machines() {
             let machine_id = MachineId::from(m);

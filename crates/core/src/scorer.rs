@@ -1,5 +1,5 @@
 //! Fast per-(task, machine) robustness scoring with *incremental* machine-
-//! tail caching.
+//! tail caching and a per-machine parallel fan-out.
 //!
 //! A mapping event evaluates every batch task against every machine. The
 //! naive approach performs a full Eq. 3–4 convolution per pair; this module
@@ -21,7 +21,7 @@
 //! The machine-tail availability is the only convolution work left, and it
 //! is maintained *incrementally* across mapping events rather than rebuilt
 //! from `Pmf::delta(now)` at every version bump. Each machine's
-//! [`TailCache`] holds two layers:
+//! [`MachineCache`] holds two layers:
 //!
 //! 1. a **conditioned head** — the executing task's residual-execution
 //!    availability, which depends on `now` and is therefore recomputed
@@ -39,13 +39,38 @@
 //! from-scratch [`analyze_queue`] would perform — in the same order, with
 //! the same compaction budget — cached tails are bit-identical to
 //! from-scratch analysis (a replay proptest in `tests/` asserts this).
-//! All intermediate storage is drawn from a [`ConvScratch`] pool, so the
-//! steady-state scoring loop allocates nothing per (task, machine) pair.
+//! All intermediate storage is drawn from a per-machine [`ConvScratch`]
+//! pool, so the steady-state scoring loop allocates nothing per
+//! (task, machine) pair.
+//!
+//! # Parallel per-machine fan-out
+//!
+//! Each [`MachineCache`] is a self-contained mutable cell: its chain, its
+//! slot statistics, *and* its convolution scratch pool. That is what lets
+//! [`ScoreTable::rebuild`] and [`ProbScorer::warm_caches`] fan the
+//! per-machine work out over scoped worker threads
+//! ([`hcsim_parallel::parallel_for_each_mut`]) with no locking: every
+//! worker owns a disjoint set of machine cells, and results merge in
+//! machine-index order. Because every per-machine computation is
+//! deterministic in the machine's state alone (the replay-equivalence
+//! invariant above), the fan-out is **bit-identical** to sequential
+//! evaluation at any thread count — `threads` is purely a performance
+//! knob. Small fan-outs fall back to a single thread (see
+//! [`PARALLEL_MIN_MACHINES`]) so scoped-spawn overhead never lands on the
+//! small-cluster hot path.
 
 use crate::chain::{analyze_queue, QueueAnalysis};
 use hcsim_model::{MachineId, PetMatrix, Task, TaskId, TaskTypeId, Time};
+use hcsim_parallel::parallel_for_each_mut;
 use hcsim_pmf::{queue_step_into, ConvScratch, DropPolicy, Pmf};
 use hcsim_sim::MachineState;
+
+/// Minimum number of active per-machine jobs before a fan-out actually
+/// spawns worker threads. Below this the scoped-spawn overhead (tens of
+/// microseconds per thread) exceeds the work itself on paper-sized
+/// clusters (8 machines), so the fan-out degenerates to the sequential
+/// path — which produces bit-identical results by construction.
+pub const PARALLEL_MIN_MACHINES: usize = 16;
 
 /// The two scalars phase 1/2 of the probabilistic heuristics consume.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,81 +181,50 @@ impl TailCache {
     }
 }
 
-/// Robustness/expected-completion scorer with incremental tail caching.
+/// The scorer state shared *read-only* across every machine cell during a
+/// fan-out: the drop policy, the compaction budget, the prefix CDFs of
+/// every PET cell, and the current event clock.
 #[derive(Debug)]
-pub struct ProbScorer {
+struct ScorerShared {
     policy: DropPolicy,
     budget: usize,
     /// Prefix CDFs, row-major `(task_type, machine)`, built once.
     cdfs: Vec<PetCdf>,
     machines: usize,
-    /// Per-machine incremental availability chains.
-    caches: Vec<TailCache>,
     event_now: Time,
-    /// Convolution scratch + PMF storage pool shared by every cache.
-    scratch: ConvScratch,
 }
 
-impl ProbScorer {
-    /// Builds a scorer for `pet` under `policy`, compacting intermediate
-    /// availability PMFs to `budget` impulses.
-    #[must_use]
-    pub fn new(pet: &PetMatrix, policy: DropPolicy, budget: usize) -> Self {
-        let mut cdfs = Vec::with_capacity(pet.task_types() * pet.machines());
-        for tt in 0..pet.task_types() {
-            for m in 0..pet.machines() {
-                cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
-            }
-        }
-        let caches = (0..pet.machines()).map(|_| TailCache::default()).collect();
-        Self {
-            policy,
-            budget,
-            cdfs,
-            machines: pet.machines(),
-            caches,
-            event_now: 0,
-            scratch: ConvScratch::new(),
-        }
-    }
-
-    /// The drop policy the scorer models.
-    #[must_use]
-    pub fn policy(&self) -> DropPolicy {
-        self.policy
-    }
-
-    /// Starts a new mapping event at `now`. Caches are *not* discarded:
-    /// validity is re-checked lazily against `(version, now)`, so an event
-    /// at the same timestamp (a same-instant arrival burst) keeps every
-    /// chain, and a moved clock rebuilds only the machines actually
-    /// queried.
-    pub fn begin_event(&mut self, now: Time) {
-        self.event_now = now;
-    }
-
+impl ScorerShared {
     #[inline]
     fn cdf(&self, tt: TaskTypeId, m: MachineId) -> &PetCdf {
         &self.cdfs[tt.index() * self.machines + m.index()]
     }
+}
 
-    /// Full queue analysis built from scratch — the reference
-    /// implementation the incremental cache is verified against, and the
-    /// source of per-slot completion PMFs when a caller needs more than
-    /// [`SlotScore`] scalars.
-    #[must_use]
-    pub fn analyze(&self, machine: &MachineState, pet: &PetMatrix, now: Time) -> QueueAnalysis {
-        analyze_queue(machine, pet, now, self.policy, self.budget)
-    }
+/// One machine's independently-borrowable scoring cell: the incremental
+/// tail cache plus the convolution scratch pool that feeds it. Workers in
+/// a fan-out own one cell each; nothing is shared mutably across cells.
+#[derive(Debug, Default)]
+struct MachineCache {
+    cache: TailCache,
+    /// Convolution scratch + PMF storage pool private to this machine.
+    scratch: ConvScratch,
+}
 
-    /// Brings `machine`'s cache up to date (see module docs for the
-    /// incremental strategy). `want_stats` additionally guarantees every
-    /// slot's skewness is populated, rebuilding the chain in stats mode
-    /// when a previous stats-free extension left placeholders.
-    fn ensure(&mut self, machine: &MachineState, pet: &PetMatrix, want_stats: bool) {
-        let Self { policy, budget, caches, event_now, scratch, .. } = self;
-        let (policy, budget, now) = (*policy, *budget, *event_now);
-        let cache = &mut caches[machine.id().index()];
+impl MachineCache {
+    /// Brings the cache up to date against `machine` (see module docs for
+    /// the incremental strategy). `want_stats` additionally guarantees
+    /// every slot's skewness is populated, rebuilding the chain in stats
+    /// mode when a previous stats-free extension left placeholders.
+    fn ensure(
+        &mut self,
+        shared: &ScorerShared,
+        machine: &MachineState,
+        pet: &PetMatrix,
+        want_stats: bool,
+    ) {
+        let (policy, budget, now) = (shared.policy, shared.budget, shared.event_now);
+        let Self { cache, scratch } = self;
         if cache.valid
             && cache.version == machine.version()
             && cache.now == now
@@ -271,7 +265,7 @@ impl ProbScorer {
                 // Shared head pipeline (`chain::conditioned_head`) keeps
                 // this bit-identical to from-scratch analysis.
                 let (mut completion, robustness, skewness) =
-                    crate::chain::conditioned_head(exec, pet, machine.id(), now, budget);
+                    crate::chain::conditioned_head(exec, pet, machine.id(), now, budget, scratch);
                 if policy == DropPolicy::All {
                     // Eq. 5: the executing task is evicted at its deadline,
                     // so the machine is free no later than δ.
@@ -324,10 +318,71 @@ impl ProbScorer {
         cache.now = now;
     }
 
+    fn tail(&self) -> &Pmf {
+        self.cache.tail()
+    }
+}
+
+/// Robustness/expected-completion scorer with incremental tail caching.
+#[derive(Debug)]
+pub struct ProbScorer {
+    shared: ScorerShared,
+    /// Per-machine incremental availability chains, index-aligned with
+    /// machine ids.
+    caches: Vec<MachineCache>,
+    /// Scratch for scorer-level (machine-independent) operations:
+    /// hypothetical appends and their recycling.
+    hypo_scratch: ConvScratch,
+}
+
+impl ProbScorer {
+    /// Builds a scorer for `pet` under `policy`, compacting intermediate
+    /// availability PMFs to `budget` impulses.
+    #[must_use]
+    pub fn new(pet: &PetMatrix, policy: DropPolicy, budget: usize) -> Self {
+        let mut cdfs = Vec::with_capacity(pet.task_types() * pet.machines());
+        for tt in 0..pet.task_types() {
+            for m in 0..pet.machines() {
+                cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
+            }
+        }
+        let caches = (0..pet.machines()).map(|_| MachineCache::default()).collect();
+        Self {
+            shared: ScorerShared { policy, budget, cdfs, machines: pet.machines(), event_now: 0 },
+            caches,
+            hypo_scratch: ConvScratch::new(),
+        }
+    }
+
+    /// The drop policy the scorer models.
+    #[must_use]
+    pub fn policy(&self) -> DropPolicy {
+        self.shared.policy
+    }
+
+    /// Starts a new mapping event at `now`. Caches are *not* discarded:
+    /// validity is re-checked lazily against `(version, now)`, so an event
+    /// at the same timestamp (a same-instant arrival burst) keeps every
+    /// chain, and a moved clock rebuilds only the machines actually
+    /// queried.
+    pub fn begin_event(&mut self, now: Time) {
+        self.shared.event_now = now;
+    }
+
+    /// Full queue analysis built from scratch — the reference
+    /// implementation the incremental cache is verified against, and the
+    /// source of per-slot completion PMFs when a caller needs more than
+    /// [`SlotScore`] scalars.
+    #[must_use]
+    pub fn analyze(&self, machine: &MachineState, pet: &PetMatrix, now: Time) -> QueueAnalysis {
+        analyze_queue(machine, pet, now, self.shared.policy, self.shared.budget)
+    }
+
     /// The machine's tail availability PMF, maintained incrementally.
     pub fn tail(&mut self, machine: &MachineState, pet: &PetMatrix) -> &Pmf {
-        self.ensure(machine, pet, false);
-        self.caches[machine.id().index()].tail()
+        let cell = &mut self.caches[machine.id().index()];
+        cell.ensure(&self.shared, machine, pet, false);
+        cell.tail()
     }
 
     /// Per-slot robustness/skewness for every queued task (head first) —
@@ -335,15 +390,21 @@ impl ProbScorer {
     /// incremental cache, so re-evaluating a queue after a mid-queue drop
     /// reconvolves only the suffix behind the removed task.
     pub fn slot_scores(&mut self, machine: &MachineState, pet: &PetMatrix) -> &[SlotScore] {
-        self.ensure(machine, pet, true);
-        &self.caches[machine.id().index()].slots
+        let cell = &mut self.caches[machine.id().index()];
+        cell.ensure(&self.shared, machine, pet, true);
+        &cell.cache.slots
     }
 
     /// Scores appending `task` to `machine`'s queue.
     pub fn score(&mut self, machine: &MachineState, pet: &PetMatrix, task: &Task) -> PairScore {
-        self.ensure(machine, pet, false);
-        let tail = self.caches[machine.id().index()].tail();
-        score_against(tail, self.cdf(task.type_id, machine.id()), task.deadline, self.policy)
+        let cell = &mut self.caches[machine.id().index()];
+        cell.ensure(&self.shared, machine, pet, false);
+        score_against(
+            cell.tail(),
+            self.shared.cdf(task.type_id, machine.id()),
+            task.deadline,
+            self.shared.policy,
+        )
     }
 
     /// Scores `task` against an explicit tail (used by MOC's permutation
@@ -356,7 +417,7 @@ impl ProbScorer {
         m: MachineId,
         deadline: Time,
     ) -> PairScore {
-        score_against(tail, self.cdf(tt, m), deadline, self.policy)
+        score_against(tail, self.shared.cdf(tt, m), deadline, self.shared.policy)
     }
 
     /// Availability after hypothetically appending a task with execution
@@ -364,39 +425,498 @@ impl ProbScorer {
     /// budget. Storage is drawn from the scorer's pool; hand the result
     /// back via [`ProbScorer::recycle`] to keep the loop allocation-free.
     pub fn append_availability(&mut self, tail: &Pmf, exec: &Pmf, deadline: Time) -> Pmf {
-        let mut step = queue_step_into(tail, exec, deadline, self.policy, &mut self.scratch);
-        step.availability.compact(self.budget);
+        let mut step =
+            queue_step_into(tail, exec, deadline, self.shared.policy, &mut self.hypo_scratch);
+        step.availability.compact(self.shared.budget);
         if let Some(c) = step.completion {
-            self.scratch.recycle(c);
+            self.hypo_scratch.recycle(c);
         }
         step.availability
     }
 
     /// Returns a PMF obtained from this scorer to its storage pool.
     pub fn recycle(&mut self, pmf: Pmf) {
-        self.scratch.recycle(pmf);
+        self.hypo_scratch.recycle(pmf);
+    }
+
+    /// Brings every occupied machine's cache up to date in one fan-out —
+    /// the pruner calls this with `want_stats` before its sequential
+    /// dropping walk so the expensive chain/statistics work runs across
+    /// cores while the drop *decisions* stay in machine-index order.
+    ///
+    /// Results are bit-identical at any `threads` (each cell's update is
+    /// deterministic in the machine state alone); fan-outs smaller than
+    /// [`PARALLEL_MIN_MACHINES`] run sequentially.
+    pub fn warm_caches(
+        &mut self,
+        machines: &[MachineState],
+        pet: &PetMatrix,
+        want_stats: bool,
+        threads: usize,
+    ) {
+        debug_assert_machine_alignment(machines);
+        let Self { shared, caches, .. } = self;
+        let shared = &*shared;
+        struct WarmJob<'a> {
+            cell: &'a mut MachineCache,
+            machine: &'a MachineState,
+        }
+        let mut jobs: Vec<WarmJob<'_>> = caches
+            .iter_mut()
+            .zip(machines)
+            .filter(|(_, machine)| machine.occupancy() > 0)
+            .map(|(cell, machine)| WarmJob { cell, machine })
+            .collect();
+        let threads = if jobs.len() >= PARALLEL_MIN_MACHINES { threads } else { 1 };
+        parallel_for_each_mut(&mut jobs, threads, |_, job| {
+            job.cell.ensure(shared, job.machine, pet, want_stats);
+        });
+    }
+
+    /// Fan-out 1 of [`ScoreTable::rebuild`]: brings every *free* machine's
+    /// availability chain up to date (callers pre-gate `threads`).
+    fn warm_free_machines(&mut self, machines: &[MachineState], pet: &PetMatrix, threads: usize) {
+        let Self { shared, caches, .. } = self;
+        let shared = &*shared;
+        struct WarmJob<'a> {
+            cell: &'a mut MachineCache,
+            machine: &'a MachineState,
+        }
+        let mut jobs: Vec<WarmJob<'_>> = caches
+            .iter_mut()
+            .zip(machines)
+            .filter(|(_, machine)| machine.has_free_slot())
+            .map(|(cell, machine)| WarmJob { cell, machine })
+            .collect();
+        parallel_for_each_mut(&mut jobs, threads, |_, job| {
+            job.cell.ensure(shared, job.machine, pet, false);
+        });
     }
 }
 
-fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -> PairScore {
-    let mut robustness = 0.0;
-    let mut startable_mass = 0.0;
-    let mut weighted_start = 0.0;
-    let mut full_mass = 0.0;
-    let mut full_weighted_start = 0.0;
-    for (&t, &p) in tail.times().iter().zip(tail.masses()) {
-        full_mass += p;
-        full_weighted_start += t as f64 * p;
-        if t < deadline {
-            robustness += p * cdf.cdf_at(deadline - t);
-            startable_mass += p;
-            weighted_start += t as f64 * p;
+/// Slop added to the robustness upper bound before comparing it against a
+/// skip threshold. The analytic bound `Σ p_u · cdf(δ−u) ≤ cdf(δ−u_min)`
+/// can be violated by float rounding only by ~`n·ulp` (≤ 1e-13 for any
+/// realistic tail) plus the tail's normalization epsilon (1e-9), so a
+/// 1e-8 margin makes the skip decision *provably* agree with the exact
+/// comparison.
+const BOUND_MARGIN: f64 = 1e-8;
+
+/// The (window task × machine) score matrix PAM and MOC reduce over,
+/// maintained *incrementally* within a mapping event.
+///
+/// Layout is machine-major (one contiguous column per machine), which is
+/// what makes the update paths cheap:
+///
+/// * [`ScoreTable::rebuild`] — once per mapping event — ensures every
+///   free machine's tail cache in a per-machine scoped-thread fan-out,
+///   then scores the batch window against the tails in a second fan-out
+///   (columns are disjoint `&mut` cells, merged in machine-index order);
+/// * between the two fan-outs, a **bound pass** proves most window rows
+///   deferred without scoring them: the robustness of (task, machine) is
+///   at most `CDF_E(δ − tail.min_time())` (every startable impulse has at
+///   least that much slack, and the tail carries at most unit mass), so a
+///   row whose bound stays below the caller's skip threshold on *every*
+///   free machine would be deferred/culled by the exact reduction too —
+///   and its scores are consumed by nothing else. Skipped rows keep
+///   `None` entries, which the reductions already treat exactly like a
+///   deferral. [`BOUND_MARGIN`] absorbs float slop, so decisions are
+///   *identical* to exact scoring, not just approximately so.
+/// * between assignments, only the *assigned* machine's column changes
+///   ([`ScoreTable::refresh_machine`]), plus one appended row when a new
+///   batch task slides into the window ([`ScoreTable::push_row`]). Every
+///   other pair keeps its previously computed score — which is exactly
+///   the value a from-scratch rescore would produce, because pair scores
+///   are deterministic in (machine state, task) alone. Within one event
+///   machines only fill up and bounds only tighten, so a skipped row can
+///   never need resurrection.
+///
+/// The sequential heuristics used to rescore the full window × machines
+/// product on every loop iteration; under oversubscription — where the
+/// batch is dominated by tasks that will be deferred again — the table
+/// turns that into a cheap bound sweep plus O(live rows) exact work,
+/// without changing a single mapping decision.
+#[derive(Debug, Default)]
+pub struct ScoreTable {
+    /// One column per machine; `cols[m][i]` scores window task `i` on
+    /// machine `m` (`None`: no free slot, or row skipped by the bound
+    /// pass).
+    cols: Vec<Vec<Option<PairScore>>>,
+    /// Row-aligned: false when the bound pass proved the row deferred.
+    scored: Vec<bool>,
+    /// Scratch: `(row, task)` pairs surviving the bound pass.
+    live: Vec<(usize, Task)>,
+}
+
+impl ScoreTable {
+    /// An empty table; [`ScoreTable::rebuild`] sizes it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of window tasks currently tracked.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.scored.len()
+    }
+
+    /// Recomputes the whole table for `tasks` (the batch window) against
+    /// every machine, fanning the per-machine work out over up to
+    /// `threads` scoped workers. `skip_below` gives, per task type, the
+    /// robustness threshold under which the caller's reduction would
+    /// defer/cull the task anyway — rows whose bound proves that are left
+    /// unscored. Machines without a free slot get an all-`None` column.
+    /// Bit-identical at any thread count.
+    pub fn rebuild(
+        &mut self,
+        scorer: &mut ProbScorer,
+        machines: &[MachineState],
+        pet: &PetMatrix,
+        tasks: &[Task],
+        threads: usize,
+        skip_below: &dyn Fn(TaskTypeId) -> f64,
+    ) {
+        debug_assert_machine_alignment(machines);
+        self.cols.resize_with(machines.len(), Vec::new);
+        let free = machines.iter().filter(|m| m.has_free_slot()).count();
+        let threads = if free >= PARALLEL_MIN_MACHINES { threads } else { 1 };
+
+        // Fan-out 1: bring every free machine's availability chain up to
+        // date (the convolution-heavy part).
+        scorer.warm_free_machines(machines, pet, threads);
+
+        // Bound pass: prove rows deferred where possible.
+        let ProbScorer { shared, caches, .. } = scorer;
+        let shared = &*shared;
+        self.scored.clear();
+        self.live.clear();
+        for (row, task) in tasks.iter().enumerate() {
+            let threshold = skip_below(task.type_id);
+            let mut provable = true;
+            for (cell, machine) in caches.iter().zip(machines) {
+                if !machine.has_free_slot() {
+                    continue;
+                }
+                let cdf = shared.cdf(task.type_id, machine.id());
+                if robustness_bound(cell.tail(), cdf, task.deadline) + BOUND_MARGIN >= threshold {
+                    provable = false;
+                    break;
+                }
+            }
+            self.scored.push(!provable);
+            if !provable {
+                self.live.push((row, *task));
+            }
+        }
+
+        // Fan-out 2: exact scores for the surviving rows, one column per
+        // machine.
+        let live = &self.live;
+        struct ColJob<'a> {
+            cell: &'a mut MachineCache,
+            machine: &'a MachineState,
+            col: &'a mut Vec<Option<PairScore>>,
+        }
+        let mut jobs: Vec<ColJob<'_>> = caches
+            .iter_mut()
+            .zip(machines)
+            .zip(&mut self.cols)
+            .map(|((cell, machine), col)| ColJob { cell, machine, col })
+            .collect();
+        parallel_for_each_mut(&mut jobs, threads, |_, job| {
+            job.col.clear();
+            job.col.resize(tasks.len(), None);
+            if !job.machine.has_free_slot() {
+                return;
+            }
+            score_column_scatter(job.cell.tail(), shared, job.machine.id(), live, job.col);
+        });
+    }
+
+    /// Drops window row `row` (its task was assigned or left the batch).
+    pub fn remove_row(&mut self, row: usize) {
+        for col in &mut self.cols {
+            col.remove(row);
+        }
+        self.scored.remove(row);
+    }
+
+    /// Appends a row for `task` (a batch task that slid into the window):
+    /// bound-checked first, then scored against every machine that
+    /// currently has a free slot.
+    pub fn push_row(
+        &mut self,
+        scorer: &mut ProbScorer,
+        machines: &[MachineState],
+        pet: &PetMatrix,
+        task: &Task,
+        skip_below: &dyn Fn(TaskTypeId) -> f64,
+    ) {
+        let threshold = skip_below(task.type_id);
+        let mut provable = true;
+        for machine in machines {
+            if !machine.has_free_slot() {
+                continue;
+            }
+            let cell = &mut scorer.caches[machine.id().index()];
+            cell.ensure(&scorer.shared, machine, pet, false);
+            let cdf = scorer.shared.cdf(task.type_id, machine.id());
+            if robustness_bound(cell.tail(), cdf, task.deadline) + BOUND_MARGIN >= threshold {
+                provable = false;
+                break;
+            }
+        }
+        self.scored.push(!provable);
+        for (machine, col) in machines.iter().zip(&mut self.cols) {
+            let value =
+                (!provable && machine.has_free_slot()).then(|| scorer.score(machine, pet, task));
+            col.push(value);
         }
     }
+
+    /// Rescores machine `m`'s column against the current window `tasks`
+    /// (its queue changed). A machine that filled up gets an all-`None`
+    /// column; within one mapping event machines never go full → free and
+    /// skipped rows never resurrect (their bound only tightens), so stale
+    /// entries cannot resurface.
+    pub fn refresh_machine(
+        &mut self,
+        scorer: &mut ProbScorer,
+        machines: &[MachineState],
+        pet: &PetMatrix,
+        tasks: &[Task],
+        m: usize,
+    ) {
+        debug_assert_eq!(tasks.len(), self.rows(), "window drifted from table");
+        let machine = &machines[m];
+        let col = &mut self.cols[m];
+        col.clear();
+        col.resize(tasks.len(), None);
+        if !machine.has_free_slot() {
+            return;
+        }
+        self.live.clear();
+        for (row, task) in tasks.iter().enumerate() {
+            if self.scored[row] {
+                self.live.push((row, *task));
+            }
+        }
+        let cell = &mut scorer.caches[m];
+        cell.ensure(&scorer.shared, machine, pet, false);
+        score_column_scatter(cell.tail(), &scorer.shared, machine.id(), &self.live, col);
+    }
+
+    /// The score of window task `row` on machine `m`, if it was scored.
+    #[must_use]
+    pub fn get(&self, row: usize, m: usize) -> Option<PairScore> {
+        self.cols[m][row]
+    }
+
+    /// Phase 1 for one window task: the machine offering the highest
+    /// robustness among machines with free slots (tie → lower expected
+    /// completion) — the same scan order and comparisons the sequential
+    /// heuristics used, served from the table.
+    #[must_use]
+    pub fn best_for_row(
+        &self,
+        machines: &[MachineState],
+        row: usize,
+    ) -> Option<(MachineId, PairScore)> {
+        let mut best: Option<(MachineId, PairScore)> = None;
+        for (m, col) in self.cols.iter().enumerate() {
+            if !machines[m].has_free_slot() {
+                continue;
+            }
+            let Some(score) = col[row] else { continue };
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    score.robustness > b.robustness
+                        || (score.robustness == b.robustness
+                            && score.expected_completion < b.expected_completion)
+                }
+            };
+            if better {
+                best = Some((MachineId::from(m), score));
+            }
+        }
+        best
+    }
+}
+
+fn debug_assert_machine_alignment(machines: &[MachineState]) {
+    debug_assert!(
+        machines.iter().enumerate().all(|(i, m)| m.id().index() == i),
+        "machine slice must be id-ordered"
+    );
+}
+
+/// Walk-down cursor over a [`PetCdf`] for *non-increasing* query
+/// sequences. The scoring loops probe `CDF_E(δ − t)` with the tail times
+/// `t` ascending, so the cut index only ever moves left; maintaining it
+/// with a pointer walk replaces one binary search per (impulse, task)
+/// probe with amortized O(|cdf|) total work per task — and returns the
+/// *exact* same prefix value as [`PetCdf::cdf_at`].
+struct CdfCursor<'a> {
+    times: &'a [Time],
+    prefix: &'a [f64],
+    idx: usize,
+}
+
+impl<'a> CdfCursor<'a> {
+    fn new(cdf: &'a PetCdf) -> Self {
+        Self { times: &cdf.times, prefix: &cdf.prefix, idx: cdf.times.len() }
+    }
+
+    /// CDF at `q`; callers must probe with non-increasing `q`.
+    #[inline]
+    fn at_descending(&mut self, q: Time) -> f64 {
+        debug_assert!(self.idx == self.times.len() || self.times[self.idx] > q);
+        while self.idx > 0 && self.times[self.idx - 1] > q {
+            self.idx -= 1;
+        }
+        if self.idx == 0 {
+            0.0
+        } else {
+            self.prefix[self.idx - 1]
+        }
+    }
+}
+
+/// Upper bound on the Eq. 1 robustness of appending a task with deadline
+/// `deadline` behind `tail`: every startable impulse leaves at most
+/// `δ − tail.min_time()` slack, and the tail carries at most unit mass,
+/// so `Σ p_u · CDF_E(δ−u) ≤ CDF_E(δ − u_min)`. One CDF lookup — the
+/// [`ScoreTable`] bound pass runs this per (row, machine) in place of the
+/// full scoring walk.
+fn robustness_bound(tail: &Pmf, cdf: &PetCdf, deadline: Time) -> f64 {
+    let earliest = tail.min_time();
+    if earliest >= deadline {
+        0.0
+    } else {
+        cdf.cdf_at(deadline - earliest)
+    }
+}
+
+/// Fills one machine column of a [`ScoreTable`] for the bound-surviving
+/// `(row, task)` pairs, every task scored against the same tail. Tasks
+/// are processed four at a time — one shared walk over the tail drives
+/// four independent accumulator lanes (distinct tasks → distinct
+/// accumulators and CDF cursors), which gives the superscalar core four
+/// dependency chains instead of one. Each lane performs exactly the
+/// per-task walk of [`score_against`] (same impulse order, same CDF
+/// values, same float operations), so the column is bit-identical to
+/// per-pair scoring; the remainder lanes literally call it.
+fn score_column_scatter(
+    tail: &Pmf,
+    shared: &ScorerShared,
+    machine: MachineId,
+    live: &[(usize, Task)],
+    col: &mut [Option<PairScore>],
+) {
+    let mut quads = live.chunks_exact(4);
+    for quad in &mut quads {
+        let tasks = [quad[0].1, quad[1].1, quad[2].1, quad[3].1];
+        let scores = score_quad(tail, shared, machine, &tasks);
+        for (&(row, _), score) in quad.iter().zip(scores) {
+            col[row] = Some(score);
+        }
+    }
+    for &(row, task) in quads.remainder() {
+        col[row] = Some(score_against(
+            tail,
+            shared.cdf(task.type_id, machine),
+            task.deadline,
+            shared.policy,
+        ));
+    }
+}
+
+/// Four-lane unrolled [`score_against`] under the dropping scenarios; see
+/// [`score_column_scatter`]. Scenario A (policy `None`) has no early-break
+/// structure to share, so it stays on the scalar path.
+fn score_quad(
+    tail: &Pmf,
+    shared: &ScorerShared,
+    machine: MachineId,
+    quad: &[Task],
+) -> [PairScore; 4] {
+    let cdfs = [
+        shared.cdf(quad[0].type_id, machine),
+        shared.cdf(quad[1].type_id, machine),
+        shared.cdf(quad[2].type_id, machine),
+        shared.cdf(quad[3].type_id, machine),
+    ];
+    let deadlines = [quad[0].deadline, quad[1].deadline, quad[2].deadline, quad[3].deadline];
+    if shared.policy == DropPolicy::None {
+        return [0, 1, 2, 3].map(|l| score_against(tail, cdfs[l], deadlines[l], shared.policy));
+    }
+    let (times, masses) = (tail.times(), tail.masses());
+    let mut cursors = [
+        CdfCursor::new(cdfs[0]),
+        CdfCursor::new(cdfs[1]),
+        CdfCursor::new(cdfs[2]),
+        CdfCursor::new(cdfs[3]),
+    ];
+    let mut robustness = [0.0f64; 4];
+    let mut startable = [0.0f64; 4];
+    let mut weighted = [0.0f64; 4];
+    let max_deadline = deadlines.iter().copied().max().expect("four lanes");
+    for (&t, &p) in times.iter().zip(masses) {
+        if t >= max_deadline {
+            break; // sorted: no lane can start from here on
+        }
+        let tp = t as f64 * p;
+        for lane in 0..4 {
+            if t < deadlines[lane] {
+                robustness[lane] += p * cursors[lane].at_descending(deadlines[lane] - t);
+                startable[lane] += p;
+                weighted[lane] += tp;
+            }
+        }
+    }
+    [0, 1, 2, 3].map(|lane| {
+        let expected_completion = if startable[lane] > 0.0 {
+            weighted[lane] / startable[lane] + cdfs[lane].mean
+        } else {
+            f64::INFINITY
+        };
+        PairScore {
+            robustness: robustness[lane].min(1.0),
+            expected_completion,
+            mean_exec: cdfs[lane].mean,
+        }
+    })
+}
+
+/// The per-pair closed-form scoring kernel. Hot enough that it is
+/// specialized by policy: under the dropping scenarios (B/C) the
+/// full-availability accumulators are dead weight (only the startable
+/// prefix matters), impulses at or past the deadline contribute nothing
+/// (sorted times → early break), and a task that can never start —
+/// `tail.min_time() >= δ`, the common case for the hopeless tasks that
+/// pile up in an oversubscribed batch — short-circuits to the exact
+/// values the full walk would produce. All three specializations are
+/// bit-identical to the naive loop: the robustness sum visits the same
+/// impulses in the same order with the same CDF values.
+fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -> PairScore {
+    let (times, masses) = (tail.times(), tail.masses());
+    let mut robustness = 0.0;
+    let mut cursor = CdfCursor::new(cdf);
     let expected_completion = match policy {
         // Scenario A: every start happens eventually; the completion mean
         // is E[A] + E[E] over the full availability.
         DropPolicy::None => {
+            let mut full_mass = 0.0;
+            let mut full_weighted_start = 0.0;
+            for (&t, &p) in times.iter().zip(masses) {
+                full_mass += p;
+                full_weighted_start += t as f64 * p;
+                if t < deadline {
+                    robustness += p * cursor.at_descending(deadline - t);
+                }
+            }
             if full_mass > 0.0 {
                 full_weighted_start / full_mass + cdf.mean
             } else {
@@ -405,6 +925,16 @@ fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -
         }
         // Scenarios B/C: only starts before δ execute.
         DropPolicy::PendingOnly | DropPolicy::All => {
+            let mut startable_mass = 0.0;
+            let mut weighted_start = 0.0;
+            for (&t, &p) in times.iter().zip(masses) {
+                if t >= deadline {
+                    break; // sorted: nothing behind can start either
+                }
+                robustness += p * cursor.at_descending(deadline - t);
+                startable_mass += p;
+                weighted_start += t as f64 * p;
+            }
             if startable_mass > 0.0 {
                 weighted_start / startable_mass + cdf.mean
             } else {
@@ -592,6 +1122,170 @@ mod tests {
         want.compact(64);
         assert_eq!(got, want);
         scorer.recycle(got);
+    }
+
+    /// Multi-machine fixture for the fan-out tests: `n` machines with
+    /// heterogeneous queues over a 2-type PET.
+    fn fanout_fixture(n: usize) -> (PetMatrix, Vec<MachineState>) {
+        let pmfs: Vec<Pmf> = (0..2 * n)
+            .map(|i| {
+                let base = 2 + (i as u64 % 5);
+                Pmf::from_points(&[(base, 0.25), (base + 3, 0.5), (base + 7, 0.25)]).unwrap()
+            })
+            .collect();
+        let pet = PetMatrix::from_pmfs(2, n, pmfs);
+        let machines: Vec<MachineState> = (0..n)
+            .map(|m| {
+                let depth = m % 4; // heterogeneous queue depths, incl. idle
+                let pending: Vec<Task> = (0..depth as u32)
+                    .map(|i| Task {
+                        id: TaskId(m as u32 * 100 + i),
+                        type_id: TaskTypeId((i % 2) as u16),
+                        arrival: 0,
+                        deadline: 60 + u64::from(i) * 25 + m as u64,
+                    })
+                    .collect();
+                testkit::machine_with_pending(MachineId::from(m), 6, &pending)
+            })
+            .collect();
+        (pet, machines)
+    }
+
+    #[test]
+    fn score_table_matches_pairwise_scoring_bitwise() {
+        // 20 machines crosses PARALLEL_MIN_MACHINES, so threads=4 takes
+        // the real fan-out path; every table entry must equal a direct
+        // `score` call bit for bit, and threads=1 must equal threads=4.
+        let (pet, machines) = fanout_fixture(20);
+        let tasks: Vec<Task> = (0..7u32)
+            .map(|i| Task {
+                id: TaskId(1_000 + i),
+                type_id: TaskTypeId((i % 2) as u16),
+                arrival: 0,
+                deadline: 40 + u64::from(i) * 30,
+            })
+            .collect();
+        let mut table_seq = ScoreTable::new();
+        let mut table_par = ScoreTable::new();
+        let mut scorer_seq = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let mut scorer_par = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let mut scorer_ref = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer_seq.begin_event(5);
+        scorer_par.begin_event(5);
+        scorer_ref.begin_event(5);
+        table_seq.rebuild(&mut scorer_seq, &machines, &pet, &tasks, 1, &|_| 0.0);
+        table_par.rebuild(&mut scorer_par, &machines, &pet, &tasks, 4, &|_| 0.0);
+        for (i, task) in tasks.iter().enumerate() {
+            for (m, machine) in machines.iter().enumerate() {
+                let direct = scorer_ref.score(machine, &pet, task);
+                for (label, table) in [("seq", &table_seq), ("par", &table_par)] {
+                    let got = table.get(i, m).expect("free slot scored");
+                    assert!(
+                        got.robustness.to_bits() == direct.robustness.to_bits()
+                            && got.expected_completion.to_bits()
+                                == direct.expected_completion.to_bits()
+                            && got.mean_exec.to_bits() == direct.mean_exec.to_bits(),
+                        "{label} table ({i},{m}) diverged: {got:?} vs {direct:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_table_incremental_updates_track_live_state() {
+        let (pet, mut machines) = fanout_fixture(6);
+        let mut tasks: Vec<Task> = (0..5u32)
+            .map(|i| Task {
+                id: TaskId(500 + i),
+                type_id: TaskTypeId((i % 2) as u16),
+                arrival: 0,
+                deadline: 50 + u64::from(i) * 20,
+            })
+            .collect();
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(3);
+        let mut table = ScoreTable::new();
+        table.rebuild(&mut scorer, &machines, &pet, &tasks, 1, &|_| 0.0);
+        assert_eq!(table.rows(), 5);
+        // "Assign" task row 1 to machine 2: mutate the machine, drop the
+        // row, refresh the column — the table must equal a fresh rebuild.
+        let assigned = tasks.remove(1);
+        assert!(testkit::apply(&mut machines[2], testkit::QueueOp::Push(assigned)));
+        table.remove_row(1);
+        table.refresh_machine(&mut scorer, &machines, &pet, &tasks, 2);
+        // A new batch task slides into the window.
+        let fresh = Task { id: TaskId(900), type_id: TaskTypeId(1), arrival: 0, deadline: 220 };
+        tasks.push(fresh);
+        table.push_row(&mut scorer, &machines, &pet, &fresh, &|_| 0.0);
+        let mut reference = ScoreTable::new();
+        let mut ref_scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        ref_scorer.begin_event(3);
+        reference.rebuild(&mut ref_scorer, &machines, &pet, &tasks, 1, &|_| 0.0);
+        assert_eq!(table.rows(), reference.rows());
+        for i in 0..tasks.len() {
+            for m in 0..machines.len() {
+                let (a, b) = (table.get(i, m), reference.get(i, m));
+                match (a, b) {
+                    (Some(a), Some(b)) => {
+                        assert!(
+                            a.robustness.to_bits() == b.robustness.to_bits()
+                                && a.expected_completion.to_bits()
+                                    == b.expected_completion.to_bits(),
+                            "({i},{m}): {a:?} vs {b:?}"
+                        );
+                    }
+                    (None, None) => {}
+                    other => panic!("presence mismatch at ({i},{m}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_table_skips_full_machines() {
+        let pet = pet_single(&[(2, 0.5), (4, 0.5)]);
+        let pending: Vec<Task> = (0..2u32)
+            .map(|i| Task { id: TaskId(i), type_id: TaskTypeId(0), arrival: 0, deadline: 100 })
+            .collect();
+        let full = testkit::machine_with_pending(MachineId(0), 2, &pending);
+        assert!(!full.has_free_slot());
+        let machines = vec![full];
+        let tasks = vec![Task { id: TaskId(9), type_id: TaskTypeId(0), arrival: 0, deadline: 50 }];
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(0);
+        let mut table = ScoreTable::new();
+        table.rebuild(&mut scorer, &machines, &pet, &tasks, 4, &|_| 0.0);
+        assert_eq!(table.get(0, 0), None);
+        assert!(table.best_for_row(&machines, 0).is_none());
+    }
+
+    #[test]
+    fn warm_caches_is_thread_count_invariant() {
+        let (pet, machines) = fanout_fixture(20);
+        let mut warm = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let mut cold = ProbScorer::new(&pet, DropPolicy::All, 16);
+        warm.begin_event(7);
+        cold.begin_event(7);
+        warm.warm_caches(&machines, &pet, true, 4);
+        for machine in &machines {
+            if machine.occupancy() == 0 {
+                continue;
+            }
+            let a = warm.slot_scores(machine, &pet).to_vec();
+            let b = cold.slot_scores(machine, &pet).to_vec();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!(
+                    x.robustness.to_bits() == y.robustness.to_bits()
+                        && x.skewness.to_bits() == y.skewness.to_bits(),
+                    "machine {} diverged",
+                    machine.id()
+                );
+            }
+            // The tails must also be byte-identical.
+            assert_eq!(warm.tail(machine, &pet).clone(), cold.tail(machine, &pet).clone());
+        }
     }
 
     mod props {

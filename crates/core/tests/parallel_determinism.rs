@@ -1,0 +1,133 @@
+//! Thread-count invariance of the per-machine scoring fan-out.
+//!
+//! The parallel fan-out's contract is *bit-identical* results at any
+//! `threads` value: per-machine computations are deterministic in the
+//! machine state alone and merge in machine-index order, so the thread
+//! knob must be a pure performance knob. These tests drive whole
+//! simulations — PAM (with its pruner drop passes engaged) and MOC — on a
+//! cluster large enough to cross the `PARALLEL_MIN_MACHINES` gate, and
+//! require byte-identical reports between `threads = 1` and a genuinely
+//! multi-threaded run. A seed-golden pin on the `cluster_64m` bench
+//! scenario (reduced task count) guards the cluster-scale trajectory
+//! against behavioral drift from future perf work.
+//!
+//! The multi-threaded side honours `HCSIM_TEST_THREADS` (default 4) so CI
+//! can run the same suite across a thread matrix.
+
+use hcsim_core::{HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
+use hcsim_sim::{run_simulation, SimConfig, SimReport};
+use hcsim_stats::SeedSequence;
+use hcsim_workload::{specint_cluster, WorkloadConfig, WorkloadGenerator};
+use proptest::prelude::*;
+
+/// Thread count for the parallel side; `HCSIM_TEST_THREADS` lets the CI
+/// matrix pin it.
+fn test_threads() -> usize {
+    std::env::var("HCSIM_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// One cluster trial: `machines` machines, arrival rate scaled with the
+/// cluster so the per-machine load stays in the oversubscribed regime.
+fn cluster_trial(
+    kind: HeuristicKind,
+    machines: usize,
+    num_tasks: usize,
+    oversubscription: f64,
+    seed: u64,
+    threads: usize,
+) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks,
+        oversubscription,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let mut mapper = kind.build(PruningConfig { threads, ..PruningConfig::default() });
+    let mut rng = seeds.stream(2);
+    run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng)
+}
+
+/// Byte-comparable rendering of everything a trial decides: per-task
+/// records (outcome, machine, timing), metrics, and cost accounting.
+fn fingerprint(report: &SimReport) -> String {
+    format!("{:?}\n{:?}\n{:?}", report.metrics, report.records, report.cost)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// PAM at cluster scale: phase-1 fan-out, pruner warm-up fan-out, and
+    /// the incremental score table must leave every `PairScore`, every
+    /// prune decision, and therefore the entire report bit-identical
+    /// between sequential and parallel runs.
+    #[test]
+    fn pam_reports_are_thread_count_invariant(
+        seed in 0u64..10_000,
+        oversub_scale in 1u64..4,
+    ) {
+        // 20 machines: past the PARALLEL_MIN_MACHINES gate, small enough
+        // for debug-mode test runtime; 160 tasks exceed the cluster's 120
+        // queue slots so deferral, misses, and the pruner all engage.
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let oversub = 110_000.0 * oversub_scale as f64;
+        let seq = cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, 1);
+        let par = cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, test_threads());
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+
+    /// Same invariance for MOC's phase-1 fan-out and permutation phase.
+    #[test]
+    fn moc_reports_are_thread_count_invariant(seed in 0u64..10_000) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let seq = cluster_trial(HeuristicKind::Moc, machines, 160, 220_000.0, seed, 1);
+        let par = cluster_trial(HeuristicKind::Moc, machines, 160, 220_000.0, seed, test_threads());
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+    }
+}
+
+/// Seed-golden pin of the `cluster_64m` bench scenario (reduced to 400
+/// tasks so debug-mode CI stays fast, which still oversubscribes the
+/// cluster's 384 queue slots): 64 machines, arrival rate scaled 8× over
+/// the paper's 34k level. Catches any behavioral drift in the
+/// cluster-scale path — and runs the pinned scenario at both thread
+/// counts, so the pin itself re-proves parallel determinism on every CI
+/// leg.
+#[test]
+fn cluster_64m_seed_golden_pin() {
+    let report = cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, 1);
+    let parallel = cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, test_threads());
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&parallel),
+        "threads=1 and threads={} diverged on the pinned cluster scenario",
+        test_threads()
+    );
+    let o = &report.metrics.outcomes;
+    eprintln!(
+        "golden: on_time={} late={} pruned={} exp_unstarted={} exp_executing={} events={} end={}",
+        o.on_time,
+        o.late,
+        o.pruned,
+        o.expired_unstarted,
+        o.expired_executing,
+        report.mapping_events,
+        report.end_time,
+    );
+    assert_eq!(o.on_time, GOLDEN_ON_TIME);
+    assert_eq!(o.late, GOLDEN_LATE);
+    assert_eq!(o.pruned, GOLDEN_PRUNED);
+    assert_eq!(o.expired_unstarted, GOLDEN_EXPIRED_UNSTARTED);
+    assert_eq!(o.expired_executing, GOLDEN_EXPIRED_EXECUTING);
+    assert_eq!(report.mapping_events, GOLDEN_MAPPING_EVENTS);
+    assert_eq!(report.end_time, GOLDEN_END_TIME);
+}
+
+const GOLDEN_ON_TIME: usize = 322;
+const GOLDEN_LATE: usize = 0;
+const GOLDEN_PRUNED: usize = 14;
+const GOLDEN_EXPIRED_UNSTARTED: usize = 62;
+const GOLDEN_EXPIRED_EXECUTING: usize = 2;
+const GOLDEN_MAPPING_EVENTS: u64 = 727;
+const GOLDEN_END_TIME: u64 = 542;

@@ -27,7 +27,7 @@ use hcsim_model::{MachineId, SystemSpec, Task, TaskId, TaskTypeId};
 use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf, Time};
 use hcsim_sim::{run_simulation, testkit, SimConfig};
 use hcsim_stats::{Gamma, Histogram, SeedSequence};
-use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
+use hcsim_workload::{specint_cluster, specint_system, WorkloadConfig, WorkloadGenerator};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -325,6 +325,10 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
     // The task count is the SAME in quick and full mode — quick only trims
     // sample counts — so trial ids always match the committed baselines
     // and the CI gate covers the whole-trial path, not just the micro ops.
+    // PAM/MOC run with threads=4 (the acceptance configuration of the
+    // fan-out); on the paper's 8-machine system that is below the
+    // PARALLEL_MIN_MACHINES gate, so the fan-out stays sequential and the
+    // number remains comparable to the threads=1 baselines.
     let seeds = SeedSequence::new(99);
     let n_tasks = 200;
     let gen = WorkloadGenerator::new(WorkloadConfig {
@@ -337,7 +341,7 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
     for kind in [HeuristicKind::Pam, HeuristicKind::Moc, HeuristicKind::Mm] {
         let mut events = 0u64;
         let timing = trial_timer.run(|| {
-            let mut mapper = kind.build(PruningConfig::default());
+            let mut mapper = kind.build(PruningConfig { threads: 4, ..PruningConfig::default() });
             let mut rng = seeds.stream(2);
             let report =
                 run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
@@ -347,6 +351,53 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
         let mut r = result(format!("trial_{n_tasks}t_34k/{}", kind.name()), &trial_timer, timing);
         r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
         results.push(r);
+    }
+
+    // Cluster-scale scenario (arXiv:1905.04456's regime): 64 machines with
+    // the arrival rate scaled 8× so the per-machine load matches the 34k
+    // level of the 8-machine trials. This is where the per-event scaling
+    // term lives — every mapping event rebuilds/scores 64 machine chains —
+    // and the threads sweep makes the fan-out's contribution visible (on a
+    // single-core host the sweep is flat; the ids pin the shape either
+    // way).
+    let cluster_spec = specint_cluster(64, 6, &mut seeds.stream(3));
+    // Like the 8-machine trials, the task count is the SAME in quick and
+    // full mode (quick only trims sample counts), so the cluster ids stay
+    // comparable to the committed baselines and the CI gate keeps its
+    // full 2x strength on the cluster path.
+    let cluster_tasks_n = 250;
+    let cluster_gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: cluster_tasks_n,
+        oversubscription: 272_000.0,
+        ..Default::default()
+    });
+    let cluster_tasks = cluster_gen.generate(&cluster_spec, &mut seeds.stream(4));
+    let cluster_timer = Timer { samples: if quick { 2 } else { 4 }, min_sample_ns: 0.0 };
+    let cluster_trial = |kind: HeuristicKind, threads: usize, results: &mut Vec<BenchResult>| {
+        let mut events = 0u64;
+        let timing = cluster_timer.run(|| {
+            let mut mapper = kind.build(PruningConfig { threads, ..PruningConfig::default() });
+            let mut rng = seeds.stream(5);
+            let report = run_simulation(
+                &cluster_spec,
+                SimConfig::untrimmed(),
+                &cluster_tasks,
+                &mut mapper,
+                &mut rng,
+            );
+            events = report.mapping_events;
+            std::hint::black_box(report.metrics.counted);
+        });
+        let mut r =
+            result(format!("cluster_64m/{}_t{threads}", kind.name()), &cluster_timer, timing);
+        r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
+        results.push(r);
+    };
+    for threads in [1usize, 2, 4, 8] {
+        cluster_trial(HeuristicKind::Pam, threads, &mut results);
+    }
+    for threads in [1usize, 4] {
+        cluster_trial(HeuristicKind::Moc, threads, &mut results);
     }
 
     BenchSuite { name: "mapping", results }

@@ -42,7 +42,13 @@ options:
   --trials N        workload trials per data point
   --tasks N         tasks per trial
   --seed N          master seed (default 2019)
-  --threads N       worker threads (default: available parallelism)
+  --threads N       worker threads for trial-level parallelism (default:
+                    available parallelism). The in-event per-machine
+                    scoring fan-out has its own knob (PruningConfig/
+                    MocConfig/SimConfig `threads`, 0 = auto) and is
+                    bit-identical at any value; `bench` pins it per
+                    scenario (threads sweep in cluster_64m) and ignores
+                    this flag
   --csv             print CSV instead of Markdown
   --out DIR         write <fig>.md and <fig>.csv (bench: BENCH_*.json) into DIR
   --against DIR     bench: record DIR's BENCH_*.json numbers as the baseline

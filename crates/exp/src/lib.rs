@@ -28,10 +28,9 @@ pub mod ablations;
 pub mod bench;
 pub mod cli;
 pub mod figures;
-mod parallel;
 mod report;
 mod runner;
 
-pub use parallel::parallel_map;
+pub use hcsim_parallel::parallel_map;
 pub use report::Table;
 pub use runner::{Aggregate, FigOptions, Scenario, SystemKind, TrialOutcome};

@@ -16,9 +16,9 @@
 //! * per trial `t`: `child(100 + t)` → stream 0 for arrivals, stream 1 for
 //!   actual execution times.
 
-use crate::parallel::parallel_map;
 use hcsim_core::{HeuristicKind, PruningConfig};
 use hcsim_model::SystemSpec;
+use hcsim_parallel::parallel_map;
 use hcsim_sim::{run_simulation, SimConfig};
 use hcsim_stats::{mean_ci95, ConfidenceInterval, SeedSequence};
 use hcsim_workload::{

@@ -79,9 +79,20 @@ pub(crate) fn compact_in_place(times: &mut Vec<Time>, masses: &mut Vec<f64>, max
 }
 
 /// Merges runs of equal times in sorted parallel columns (summing mass).
+///
+/// Like the pair-buffer merge in `pmf`, this walk is prefixed by a 4-wide
+/// unrolled adjacency scan over the dense time column: the compacting
+/// copy only starts at the first collision, and the common no-collision
+/// case (weighted-mean rounding rarely makes neighbours collide) costs a
+/// single read-only pass. Masses still sum in input order — bit-identical
+/// to the plain walk.
 pub(crate) fn merge_sorted_columns(times: &mut Vec<Time>, masses: &mut Vec<f64>) {
-    let mut write = 0usize;
-    for read in 1..times.len() {
+    let n = times.len();
+    let Some(first) = first_adjacent_duplicate_by(times, |&t| t) else {
+        return;
+    };
+    let mut write = first - 1;
+    for read in first..n {
         if times[read] == times[write] {
             masses[write] += masses[read];
         } else {
@@ -92,6 +103,39 @@ pub(crate) fn merge_sorted_columns(times: &mut Vec<Time>, masses: &mut Vec<f64>)
     }
     times.truncate(write + 1);
     masses.truncate(write + 1);
+}
+
+/// Index of the first element whose key equals its predecessor's, found
+/// with a 4-wide unrolled scan — the shared fast-path probe of the
+/// duplicate merges here and in `pmf`.
+pub(crate) fn first_adjacent_duplicate_by<T>(
+    items: &[T],
+    key: impl Fn(&T) -> Time,
+) -> Option<usize> {
+    let n = items.len();
+    let mut i = 1usize;
+    while i + 3 < n {
+        if key(&items[i]) == key(&items[i - 1]) {
+            return Some(i);
+        }
+        if key(&items[i + 1]) == key(&items[i]) {
+            return Some(i + 1);
+        }
+        if key(&items[i + 2]) == key(&items[i + 1]) {
+            return Some(i + 2);
+        }
+        if key(&items[i + 3]) == key(&items[i + 2]) {
+            return Some(i + 3);
+        }
+        i += 4;
+    }
+    while i < n {
+        if key(&items[i]) == key(&items[i - 1]) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
 }
 
 #[cfg(test)]

@@ -61,9 +61,21 @@ pub struct ConvScratch {
     pairs: Vec<Impulse>,
     /// Auxiliary buffer for the radix sort's stable scatter passes.
     radix: Vec<Impulse>,
+    /// Dense accumulator for narrow-range convolutions (mass per rebased
+    /// time slot).
+    acc: Vec<f64>,
+    /// Epoch stamps marking which `acc` slots the current convolution
+    /// touched — avoids clearing the whole accumulator per call and
+    /// distinguishes "slot holds 0.0 mass" from "slot untouched".
+    stamp: Vec<u32>,
+    /// Current epoch for `stamp`.
+    epoch: u32,
     /// Retired PMF storage, reused for outputs.
     pool: Vec<(Vec<Time>, Vec<f64>)>,
 }
+
+/// Rebased time-range ceiling for the dense-accumulator convolution path.
+const DENSE_RANGE: u64 = 2048;
 
 impl ConvScratch {
     /// Creates an empty scratch buffer.
@@ -96,7 +108,7 @@ impl ConvScratch {
     }
 
     /// Takes storage from the pool (or allocates) with both columns empty.
-    fn take_storage(&mut self) -> (Vec<Time>, Vec<f64>) {
+    pub(crate) fn take_storage(&mut self) -> (Vec<Time>, Vec<f64>) {
         match self.pool.pop() {
             Some((mut t, mut m)) => {
                 t.clear();
@@ -107,14 +119,69 @@ impl ConvScratch {
         }
     }
 
-    /// Builds a pooled PMF from the sorted, merged pairing buffer.
+    /// Builds a pooled PMF from the sorted, merged pairing buffer. Two
+    /// column-wise passes (exact-size iterators → one reserve + dense
+    /// copy loop each) instead of interleaved per-element pushes.
     fn pmf_from_pairs(&mut self) -> Pmf {
         let (mut times, mut masses) = self.take_storage();
-        times.reserve(self.pairs.len());
-        masses.reserve(self.pairs.len());
-        for i in &self.pairs {
-            times.push(i.t);
-            masses.push(i.p);
+        times.extend(self.pairs.iter().map(|i| i.t));
+        masses.extend(self.pairs.iter().map(|i| i.p));
+        Pmf::from_parts_unchecked(times, masses)
+    }
+
+    /// Dense-accumulator convolution for narrow rebased time ranges: every
+    /// product mass lands directly in its output slot, so sorting, the
+    /// duplicate merge, and the column copy all disappear. Equal-time
+    /// masses accumulate in row-major `(availability, execution)` order —
+    /// exactly the order the stable radix sort presents them to the merge
+    /// — so the result is bit-identical to the sort-and-merge path.
+    fn dense_convolve(
+        &mut self,
+        a: (&[Time], &[f64]),
+        b: (&[Time], &[f64]),
+        min: Time,
+        range: u64,
+    ) -> Pmf {
+        let width = range as usize + 1;
+        if self.acc.len() < DENSE_RANGE as usize {
+            self.acc.resize(DENSE_RANGE as usize, 0.0);
+            self.stamp.resize(DENSE_RANGE as usize, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        {
+            let acc = &mut self.acc[..width];
+            let stamp = &mut self.stamp[..width];
+            let (at, am) = a;
+            let (bt, bm) = b;
+            // `min = at[0] + bt[0]`, so the rebased slot splits into two
+            // non-negative offsets.
+            let (a0, b0) = (at[0], bt[0]);
+            for (&ta, &pa) in at.iter().zip(am) {
+                let base = ta - a0;
+                for (&tb, &pb) in bt.iter().zip(bm) {
+                    let slot = (base + (tb - b0)) as usize;
+                    let mass = pa * pb;
+                    if stamp[slot] == epoch {
+                        acc[slot] += mass;
+                    } else {
+                        stamp[slot] = epoch;
+                        acc[slot] = mass;
+                    }
+                }
+            }
+        }
+        let (mut times, mut masses) = self.take_storage();
+        for (slot, (&mark, &mass)) in self.stamp[..width].iter().zip(&self.acc[..width]).enumerate()
+        {
+            if mark == epoch {
+                times.push(min + slot as u64);
+                masses.push(mass);
+            }
         }
         Pmf::from_parts_unchecked(times, masses)
     }
@@ -144,15 +211,41 @@ pub fn convolve_into(a: &Pmf, b: &Pmf, scratch: &mut ConvScratch) -> Pmf {
 
 /// Convolves an availability *prefix* (the Eq. 3 startable slice) with an
 /// execution PMF without materializing the prefix as a PMF.
+///
+/// The pair-generation loop is ~30% of a `queue_step`, so it is written
+/// as a 4-wide manually unrolled row fill over a pre-sized buffer: each
+/// output row is `(ta + bt[j], pa * bm[j])` — a pure element-wise
+/// shift/scale with no loop-carried accumulation, which the compiler
+/// turns into vector adds/muls and which emits pairs in exactly the same
+/// row-major order as the naive nested push loop (the stable radix sort
+/// and the duplicate merge downstream depend on that order).
 fn convolve_slices(a: (&[Time], &[f64]), b: &Pmf, scratch: &mut ConvScratch) -> Pmf {
     let (at, am) = a;
     let (bt, bm) = (b.times(), b.masses());
+    // Both inputs are sorted, so the output extrema — and therefore the
+    // rebased range — are known without materializing a single pair.
+    let pairs = at.len() * bt.len();
+    let range = (at[at.len() - 1] + bt[bt.len() - 1]) - (at[0] + bt[0]);
+    if pairs > 32 && range < DENSE_RANGE && range <= 4 * pairs as u64 {
+        return scratch.dense_convolve((at, am), (bt, bm), at[0] + bt[0], range);
+    }
     let (buf, aux) = (&mut scratch.pairs, &mut scratch.radix);
     buf.clear();
-    buf.reserve(at.len() * bt.len());
-    for (&ta, &pa) in at.iter().zip(am) {
-        for (&tb, &pb) in bt.iter().zip(bm) {
-            buf.push(Impulse { t: ta + tb, p: pa * pb });
+    buf.resize(at.len() * bt.len(), Impulse { t: 0, p: 0.0 });
+    for ((&ta, &pa), row) in at.iter().zip(am).zip(buf.chunks_exact_mut(bt.len())) {
+        let mut out4 = row.chunks_exact_mut(4);
+        let mut bt4 = bt.chunks_exact(4);
+        let mut bm4 = bm.chunks_exact(4);
+        for ((out, ct), cm) in (&mut out4).zip(&mut bt4).zip(&mut bm4) {
+            out[0] = Impulse { t: ta + ct[0], p: pa * cm[0] };
+            out[1] = Impulse { t: ta + ct[1], p: pa * cm[1] };
+            out[2] = Impulse { t: ta + ct[2], p: pa * cm[2] };
+            out[3] = Impulse { t: ta + ct[3], p: pa * cm[3] };
+        }
+        for ((out, &tb), &pb) in
+            out4.into_remainder().iter_mut().zip(bt4.remainder()).zip(bm4.remainder())
+        {
+            *out = Impulse { t: ta + tb, p: pa * pb };
         }
     }
     radix_sort_by_time(buf, aux);
@@ -160,16 +253,19 @@ fn convolve_slices(a: (&[Time], &[f64]), b: &Pmf, scratch: &mut ConvScratch) -> 
     scratch.pmf_from_pairs()
 }
 
-/// Stable LSB-radix sort of impulse pairs by time, byte-wise over only the
-/// bytes the (rebased) key range actually needs. For the mapping loop's
-/// pair buffers (hundreds of entries, time ranges in the thousands) this
-/// runs in 1–2 linear passes where a comparison sort pays `n log n`
-/// branchy compares — the single hottest win in the whole pipeline.
+/// Stable LSB-radix sort of impulse pairs by time, over only the digits
+/// the (rebased) key range actually needs. For the mapping loop's pair
+/// buffers (hundreds of entries, time ranges in the thousands) this runs
+/// in a single 11-bit pass — or 1–2 byte passes for wider ranges — where
+/// a comparison sort pays `n log n` branchy compares; the single hottest
+/// win in the whole pipeline.
 ///
 /// Stability makes the order of equal times *defined* (input order, i.e.
 /// lexicographic in the convolution's (availability, execution) indices)
 /// rather than whatever an unstable comparison sort leaves; downstream
-/// duplicate-merging sums masses in exactly that order.
+/// duplicate-merging sums masses in exactly that order. Digit-width
+/// selection never changes the output (any stable sort of the same keys
+/// yields the same permutation), only the pass count.
 fn radix_sort_by_time(buf: &mut Vec<Impulse>, aux: &mut Vec<Impulse>) {
     let n = buf.len();
     if n < 2 {
@@ -194,9 +290,31 @@ fn radix_sort_by_time(buf: &mut Vec<Impulse>, aux: &mut Vec<Impulse>) {
     if range == 0 {
         return; // all keys equal: already "sorted", order untouched
     }
-    let bytes = (8 - (range.leading_zeros() / 8) as usize).max(1);
     aux.clear();
     aux.resize(n, Impulse { t: 0, p: 0.0 });
+    // Queue-step pair buffers almost always span < 2048 time units (a
+    // compacted availability plus one execution PMF): one 11-bit counting
+    // pass (16 KiB of counts, L1-resident) replaces two byte passes.
+    if range < 2048 {
+        let mut counts = [0usize; 2048];
+        for imp in buf.iter() {
+            counts[(imp.t - min) as usize] += 1;
+        }
+        let mut acc = 0usize;
+        for c in counts.iter_mut().take(range as usize + 1) {
+            let start = acc;
+            acc += *c;
+            *c = start;
+        }
+        for imp in buf.iter() {
+            let bucket = (imp.t - min) as usize;
+            aux[counts[bucket]] = *imp;
+            counts[bucket] += 1;
+        }
+        std::mem::swap(buf, aux);
+        return;
+    }
+    let bytes = (8 - (range.leading_zeros() / 8) as usize).max(1);
     let mut counts = [0usize; 256];
     for pass in 0..bytes {
         let shift = pass * 8;

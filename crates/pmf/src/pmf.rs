@@ -388,12 +388,42 @@ impl Pmf {
     /// ```
     #[must_use]
     pub fn residual(&self, elapsed: Time) -> Pmf {
+        let mut scratch = crate::ConvScratch::new();
+        self.residual_shifted_into(elapsed, 0, &mut scratch)
+    }
+
+    /// [`Pmf::residual`] with the result shifted `dt` later and its
+    /// storage drawn from `scratch`'s free-list — the allocation-free form
+    /// the mapping loop uses for preempted queue entries and conditioned
+    /// executing heads (recycle the result via
+    /// [`crate::ConvScratch::recycle`]). Bit-identical to
+    /// `residual(elapsed).shift(dt)`: the time arithmetic is the same
+    /// integer sum and normalization scales the same mass column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shifted time overflows the time domain.
+    #[must_use]
+    pub fn residual_shifted_into(
+        &self,
+        elapsed: Time,
+        dt: Time,
+        scratch: &mut crate::ConvScratch,
+    ) -> Pmf {
+        let (mut times, mut masses) = scratch.take_storage();
         let split = self.times.partition_point(|&x| x <= elapsed);
         if split == self.len() {
-            return Pmf::delta(1);
+            // Overdue: the model collapses to "any moment now".
+            times.push(1u64.checked_add(dt).expect("time overflow in residual shift"));
+            masses.push(1.0);
+            return Pmf::from_parts_unchecked(times, masses);
         }
-        let times: Vec<Time> = self.times[split..].iter().map(|&t| t - elapsed).collect();
-        let masses: Vec<f64> = self.masses[split..].to_vec();
+        times.extend(
+            self.times[split..]
+                .iter()
+                .map(|&t| (t - elapsed).checked_add(dt).expect("time overflow in residual shift")),
+        );
+        masses.extend_from_slice(&self.masses[split..]);
         let mut residual = Pmf::from_parts_unchecked(times, masses);
         residual.normalize();
         residual
@@ -423,9 +453,20 @@ impl Pmf {
 
 /// Merges runs of equal-time impulses in a sorted pair buffer (summing
 /// mass) — the post-sort fixup shared by the constructors and convolution.
+///
+/// The leading duplicate-free prefix is detected by a 4-wide unrolled
+/// adjacency scan first, so the compacting read/write walk — which copies
+/// every element — only starts at the first collision. Buffers with no
+/// collisions at all (common for post-compaction columns) cost one linear
+/// scan and zero writes. Masses still sum in input order, so results are
+/// bit-identical to the plain walk.
 pub(crate) fn merge_sorted_pairs(pairs: &mut Vec<Impulse>) {
-    let mut write = 0usize;
-    for read in 1..pairs.len() {
+    let n = pairs.len();
+    let Some(first) = crate::compact::first_adjacent_duplicate_by(pairs, |i| i.t) else {
+        return;
+    };
+    let mut write = first - 1;
+    for read in first..n {
         if pairs[read].t == pairs[write].t {
             pairs[write].p += pairs[read].p;
         } else {

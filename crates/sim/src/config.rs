@@ -23,11 +23,18 @@ pub struct SimConfig {
     /// result was delivered. `None` disables the feature (the paper's
     /// published model).
     pub approx_min_progress: Option<f64>,
+    /// Worker threads available to the mapper's in-event per-machine
+    /// fan-out (`0` = auto: the host's available parallelism). Exposed to
+    /// heuristics via [`crate::MapContext::threads`]; a mapper-level knob
+    /// (e.g. `PruningConfig::threads` in `hcsim-core`) takes precedence
+    /// when set. Parallel scoring merges in machine-index order, so this
+    /// is a pure performance knob: reports are bit-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { drop_policy: DropPolicy::All, trim: 100, approx_min_progress: None }
+        Self { drop_policy: DropPolicy::All, trim: 100, approx_min_progress: None, threads: 0 }
     }
 }
 
@@ -50,6 +57,7 @@ mod tests {
         assert_eq!(c.drop_policy, DropPolicy::All);
         assert_eq!(c.trim, 100);
         assert!(c.approx_min_progress.is_none(), "approximate computing is opt-in");
+        assert_eq!(c.threads, 0, "fan-out threads default to auto");
     }
 
     #[test]

@@ -261,6 +261,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             now,
             missed_since_last: self.missed_since_last,
             drop_policy: self.config.drop_policy,
+            threads: self.config.threads,
             spec: self.spec,
             batch: &mut self.batch,
             machines: &mut self.machines,

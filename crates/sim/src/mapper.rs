@@ -54,6 +54,7 @@ pub struct MapContext<'a> {
     pub(crate) now: Time,
     pub(crate) missed_since_last: usize,
     pub(crate) drop_policy: DropPolicy,
+    pub(crate) threads: usize,
     pub(crate) spec: &'a SystemSpec,
     pub(crate) batch: &'a mut Vec<Task>,
     pub(crate) machines: &'a mut [MachineState],
@@ -89,6 +90,14 @@ impl<'a> MapContext<'a> {
     #[must_use]
     pub fn drop_policy(&self) -> DropPolicy {
         self.drop_policy
+    }
+
+    /// The engine-level fan-out thread knob ([`crate::SimConfig::threads`];
+    /// `0` = auto). Heuristics consult this when their own configuration
+    /// leaves the thread count on auto.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Unmapped tasks in arrival order.
@@ -343,6 +352,7 @@ mod tests {
                 now: 0,
                 missed_since_last: 0,
                 drop_policy: DropPolicy::All,
+                threads: 0,
                 spec: &self.spec,
                 batch: &mut self.batch,
                 machines: &mut self.machines,

@@ -26,8 +26,8 @@ mod transcode;
 
 pub use gen::{WorkloadConfig, WorkloadGenerator};
 pub use specint::{
-    specint_means, specint_system, specint_system_with_model_error, SPECINT_BENCHMARKS,
-    SPECINT_MACHINES,
+    specint_cluster, specint_means, specint_system, specint_system_with_model_error,
+    SPECINT_BENCHMARKS, SPECINT_MACHINES,
 };
 pub use trace::{load_tasks_csv, save_tasks_csv, TraceError};
 pub use transcode::{transcode_means, transcode_system, TRANSCODE_OPS, TRANSCODE_VMS};

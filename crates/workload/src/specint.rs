@@ -125,6 +125,49 @@ pub fn specint_system_with_model_error<R: rand::Rng>(
     .validated()
 }
 
+/// A cluster-scale SPECint system: `num_machines` machines built by tiling
+/// the eight §VI-A machine profiles (speed + price repeat every eight
+/// machines) while the affinity perturbation keeps walking its full
+/// residue cycle over the *global* machine index — so replicas of the same
+/// profile still disagree about which benchmarks they favor, preserving
+/// the inconsistent heterogeneity the paper's systems exhibit.
+///
+/// This is the system behind the `cluster_64m` bench scenario and the
+/// follow-up serverless work's scale regime (arXiv:1905.04456): the
+/// per-event cost of a mapping heuristic grows with the machine count, so
+/// only a cluster this size makes the per-machine scoring fan-out's
+/// scaling term observable.
+#[must_use]
+pub fn specint_cluster<R: rand::Rng>(
+    num_machines: usize,
+    queue_capacity: usize,
+    rng: &mut R,
+) -> SystemSpec {
+    assert!(num_machines >= 1, "a cluster needs at least one machine");
+    let means: Vec<Vec<f64>> = (0..12)
+        .map(|tt| {
+            (0..num_machines)
+                .map(|m| (BASE_MS[tt] * SPEED[m % 8] * (1.0 + affinity(tt, m))).clamp(50.0, 200.0))
+                .collect()
+        })
+        .collect();
+    let (pet, truth) = PetBuilder::new().build(&means, rng);
+    SystemSpec {
+        machines: (0..num_machines)
+            .map(|m| MachineSpec { name: format!("{} #{}", SPECINT_MACHINES[m % 8], m / 8) })
+            .collect(),
+        task_types: SPECINT_BENCHMARKS
+            .iter()
+            .map(|name| TaskTypeSpec { name: (*name).to_string() })
+            .collect(),
+        pet,
+        truth,
+        prices: PriceTable::new((0..num_machines).map(|m| PRICES[m % 8]).collect()),
+        queue_capacity,
+    }
+    .validated()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +234,33 @@ mod tests {
         assert_eq!(spec.num_task_types(), 12);
         assert_eq!(spec.queue_capacity, 6);
         assert_eq!(spec.prices.machines(), 8);
+    }
+
+    #[test]
+    fn cluster_tiles_profiles_with_distinct_affinities() {
+        let mut rng = SeedSequence::new(5).stream(0);
+        let spec = specint_cluster(64, 6, &mut rng);
+        assert_eq!(spec.num_machines(), 64);
+        assert_eq!(spec.num_task_types(), 12);
+        assert_eq!(spec.prices.machines(), 64);
+        // Replicas share the speed/price profile but not the affinity
+        // perturbation: machine 0 and machine 8 must differ on some type.
+        let m0: Vec<f64> = (0..12usize)
+            .map(|tt| spec.pet.pmf(TaskTypeId::from(tt), MachineId(0)).mean())
+            .collect();
+        let m8: Vec<f64> = (0..12usize)
+            .map(|tt| spec.pet.pmf(TaskTypeId::from(tt), MachineId(8)).mean())
+            .collect();
+        assert_ne!(m0, m8, "tiled replicas must keep distinct affinities");
+        // Names stay readable: "profile #rack".
+        assert!(spec.machines[9].name.ends_with("#1"), "{}", spec.machines[9].name);
+    }
+
+    #[test]
+    fn cluster_is_seed_deterministic() {
+        let mut a = SeedSequence::new(11).stream(0);
+        let mut b = SeedSequence::new(11).stream(0);
+        assert_eq!(specint_cluster(16, 6, &mut a), specint_cluster(16, 6, &mut b));
     }
 
     #[test]
