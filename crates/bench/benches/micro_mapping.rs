@@ -54,7 +54,7 @@ fn bench_scorer(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for task in &tasks {
-                acc += scorer.score(&machine, &spec.pet, black_box(task)).robustness;
+                acc += scorer.score(&machine, black_box(task)).robustness;
             }
             black_box(acc)
         });
@@ -94,7 +94,7 @@ fn bench_tail_after_append(c: &mut Criterion) {
                     deadline: 2_000 + u64::from(i % 16) * 125,
                 };
                 testkit::replace_last_pending(&mut machine, t);
-                black_box(scorer.tail(&machine, &spec.pet).len())
+                black_box(scorer.tail(&machine).len())
             });
         });
     }

@@ -67,6 +67,7 @@ mod scorer;
 pub use baselines::{Phase2Rule, ScalarMapper};
 pub use factory::HeuristicKind;
 pub use fairness::SufferageTable;
+pub use hcsim_parallel::FanoutBackend;
 pub use moc::{Moc, MocConfig};
 pub use pam::Pam;
 pub use pruner::{OversubscriptionDetector, Pruner, PruningConfig};
@@ -81,4 +82,19 @@ pub use scorer::{PairScore, ProbScorer, ScoreTable, SlotScore, PARALLEL_MIN_MACH
 pub fn effective_threads(mapper_threads: usize, ctx: &hcsim_sim::MapContext<'_>) -> usize {
     let requested = if mapper_threads > 0 { mapper_threads } else { ctx.threads() };
     hcsim_parallel::resolve_threads(requested)
+}
+
+/// Resolves a heuristic-level fan-out backend knob against the
+/// engine-level one: a non-`Auto` mapper knob wins, else a non-`Auto`
+/// [`SimConfig::backend`], else the persistent worker pool.
+///
+/// [`SimConfig::backend`]: hcsim_sim::SimConfig
+#[must_use]
+pub fn effective_backend(
+    mapper_backend: FanoutBackend,
+    ctx: &hcsim_sim::MapContext<'_>,
+) -> FanoutBackend {
+    let requested =
+        if mapper_backend != FanoutBackend::Auto { mapper_backend } else { ctx.backend() };
+    hcsim_parallel::resolve_backend(requested)
 }

@@ -18,6 +18,8 @@
 
 use crate::scorer::{PairScore, ProbScorer, ScoreTable};
 use hcsim_model::{MachineId, TaskId};
+use hcsim_parallel::FanoutBackend;
+use hcsim_pmf::Pmf;
 use hcsim_sim::{MapContext, Mapper};
 
 /// Configuration for [`Moc`].
@@ -36,6 +38,9 @@ pub struct MocConfig {
     /// auto, same resolution and bit-identical-merge guarantee as
     /// [`crate::PruningConfig::threads`]).
     pub threads: usize,
+    /// Fan-out engine (same resolution and guarantees as
+    /// [`crate::PruningConfig::backend`]).
+    pub backend: FanoutBackend,
 }
 
 impl Default for MocConfig {
@@ -46,6 +51,7 @@ impl Default for MocConfig {
             impulse_budget: 24,
             batch_window: 192,
             threads: 0,
+            backend: FanoutBackend::Auto,
         }
     }
 }
@@ -58,6 +64,9 @@ pub struct Moc {
     /// Reused (window × machine) score matrix; rebuilt per event, updated
     /// incrementally between assignments.
     table: ScoreTable,
+    /// Owned-tail scratch for the permutation phase, reused across
+    /// candidates and events (keeps mapping events allocation-free).
+    tail_scratch: Pmf,
 }
 
 impl Moc {
@@ -72,7 +81,7 @@ impl Moc {
     pub fn with_config(config: MocConfig) -> Self {
         assert!((0.0..=1.0).contains(&config.cull_threshold));
         assert!(config.permute_top >= 1);
-        Self { config, scorer: None, table: ScoreTable::new() }
+        Self { config, scorer: None, table: ScoreTable::new(), tail_scratch: Pmf::delta(0) }
     }
 
     /// The configuration.
@@ -118,7 +127,10 @@ impl Mapper for Moc {
         // machine's column is rescored between assignments. The reduction
         // reads exactly the values per-pair rescoring would compute, so
         // culling and permutation decisions are unchanged.
-        let threads = crate::effective_threads(self.config.threads, ctx);
+        scorer.set_parallelism(
+            crate::effective_threads(self.config.threads, ctx),
+            crate::effective_backend(self.config.backend, ctx),
+        );
         // Rows the bound pass proves below the culling threshold would be
         // discarded by the reduction anyway — skip scoring them.
         let cull = self.config.cull_threshold;
@@ -134,14 +146,7 @@ impl Mapper for Moc {
                 break;
             }
             if !table_fresh {
-                table.rebuild(
-                    &mut scorer,
-                    ctx.machines(),
-                    &ctx.spec().pet,
-                    &ctx.batch()[..window],
-                    threads,
-                    &skip_below,
-                );
+                table.rebuild(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
                 table_fresh = true;
             }
             debug_assert_eq!(table.rows(), window, "table drifted from batch window");
@@ -174,9 +179,11 @@ impl Mapper for Moc {
                 let mut best_idx = 0;
                 for (idx, cand) in candidates.iter().enumerate() {
                     let mut total = cand.score.robustness;
-                    // Hypothetical tail of cand's machine after assignment.
+                    // Hypothetical tail of cand's machine after assignment
+                    // (single copy into the reused scratch).
                     let machine = ctx.machine(cand.machine);
-                    let tail = scorer.tail(machine, &ctx.spec().pet).clone();
+                    let tail = &mut self.tail_scratch;
+                    scorer.tail_into(machine, tail);
                     let task = ctx
                         .batch()
                         .iter()
@@ -186,7 +193,7 @@ impl Mapper for Moc {
                     let pet_pmf = ctx.spec().pet.pmf(task.type_id, cand.machine);
                     // Pooled hypothetical append: the scorer compacts to
                     // its own budget (== ours) and pools the storage.
-                    let hypo_tail = scorer.append_availability(&tail, pet_pmf, task.deadline);
+                    let hypo_tail = scorer.append_availability(tail, pet_pmf, task.deadline);
                     let slot_left = machine.free_slots() > 1;
                     for (jdx, other) in candidates.iter().enumerate() {
                         if jdx == idx {
@@ -231,18 +238,11 @@ impl Mapper for Moc {
             let next_window = self.config.batch_window.min(ctx.batch().len());
             while table.rows() < next_window {
                 let admitted = ctx.batch()[table.rows()];
-                table.push_row(
-                    &mut scorer,
-                    ctx.machines(),
-                    &ctx.spec().pet,
-                    &admitted,
-                    &skip_below,
-                );
+                table.push_row(&mut scorer, ctx.machines(), &admitted, &skip_below);
             }
             table.refresh_machine(
                 &mut scorer,
                 ctx.machines(),
-                &ctx.spec().pet,
                 &ctx.batch()[..next_window],
                 chosen.machine.index(),
             );

@@ -122,6 +122,13 @@ impl Mapper for Pam {
         }
         let mut scorer = self.scorer.take().expect("initialized above");
         scorer.begin_event(ctx.now());
+        // Resolve the fan-out engine once per event: at cluster scale the
+        // persistent worker pool serves both the pruner warm-up and the
+        // score-table rounds below.
+        scorer.set_parallelism(
+            crate::effective_threads(self.config.threads, ctx),
+            crate::effective_backend(self.config.backend, ctx),
+        );
 
         // Aggression control (§V-C).
         let was_engaged = self.detector.dropping_engaged();
@@ -150,7 +157,6 @@ impl Mapper for Pam {
         // row when a batch task slides into the window). Every score the
         // reduction reads is bit-identical to what per-pair rescoring
         // would produce, so decisions are unchanged.
-        let threads = crate::effective_threads(self.config.threads, ctx);
         let sufferage = &self.sufferage;
         let defer_base = self.config.defer_threshold;
         // Same thresholds the reduction applies below — a row skipped by
@@ -170,14 +176,7 @@ impl Mapper for Pam {
                 break;
             }
             if !table_fresh {
-                table.rebuild(
-                    &mut scorer,
-                    ctx.machines(),
-                    &ctx.spec().pet,
-                    &ctx.batch()[..window],
-                    threads,
-                    &skip_below,
-                );
+                table.rebuild(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
                 table_fresh = true;
             }
             debug_assert_eq!(table.rows(), window, "table drifted from batch window");
@@ -214,18 +213,11 @@ impl Mapper for Pam {
             let next_window = self.config.batch_window.min(ctx.batch().len());
             while table.rows() < next_window {
                 let admitted = ctx.batch()[table.rows()];
-                table.push_row(
-                    &mut scorer,
-                    ctx.machines(),
-                    &ctx.spec().pet,
-                    &admitted,
-                    &skip_below,
-                );
+                table.push_row(&mut scorer, ctx.machines(), &admitted, &skip_below);
             }
             table.refresh_machine(
                 &mut scorer,
                 ctx.machines(),
-                &ctx.spec().pet,
                 &ctx.batch()[..next_window],
                 machine.index(),
             );

@@ -4,6 +4,7 @@
 
 use crate::scorer::ProbScorer;
 use hcsim_model::{MachineId, TaskTypeId};
+use hcsim_parallel::FanoutBackend;
 use hcsim_sim::MapContext;
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +57,12 @@ pub struct PruningConfig {
     /// deterministic, so results are **bit-identical at any thread
     /// count** — this is purely a performance knob.
     pub threads: usize,
+    /// Fan-out engine for the per-machine scoring work
+    /// ([`FanoutBackend::Auto`] = defer to [`hcsim_sim::SimConfig`]'s
+    /// knob, bottoming out at the persistent worker pool). Like
+    /// `threads`, a pure performance knob: scoped and pooled execution
+    /// produce byte-identical reports.
+    pub backend: FanoutBackend,
 }
 
 impl Default for PruningConfig {
@@ -74,6 +81,7 @@ impl Default for PruningConfig {
             fairness_factor: 0.05,
             preemption: false,
             threads: 0,
+            backend: FanoutBackend::Auto,
         }
     }
 }
@@ -230,9 +238,15 @@ impl Pruner {
         // across cores before the sequential decision walk below: the
         // first `slot_scores` query per machine then hits a warm cache,
         // and only machines that actually drop pay for re-analysis. The
-        // warm-up is bit-identical to lazy sequential evaluation.
-        let threads = crate::effective_threads(self.config.threads, ctx);
-        scorer.warm_caches(ctx.machines(), &ctx.spec().pet, true, threads);
+        // warm-up is bit-identical to lazy sequential evaluation. On the
+        // pool backend this is one request/response round over the
+        // persistent workers; the per-machine queries in the walk below
+        // are direct cell accesses either way.
+        scorer.set_parallelism(
+            crate::effective_threads(self.config.threads, ctx),
+            crate::effective_backend(self.config.backend, ctx),
+        );
+        scorer.warm_caches(ctx.machines(), true);
         let may_evict = self.config.drop_executing && scorer.policy() == hcsim_pmf::DropPolicy::All;
         for m in 0..ctx.num_machines() {
             let machine_id = MachineId::from(m);
@@ -242,7 +256,7 @@ impl Pruner {
                 if machine.occupancy() == 0 {
                     break;
                 }
-                let slots = scorer.slot_scores(machine, &ctx.spec().pet);
+                let slots = scorer.slot_scores(machine);
                 let mut removal: Option<(hcsim_model::TaskId, bool)> = None;
                 for slot in slots {
                     let base = threshold_for(slot.task.type_id);

@@ -46,30 +46,51 @@
 //! # Parallel per-machine fan-out
 //!
 //! Each [`MachineCache`] is a self-contained mutable cell: its chain, its
-//! slot statistics, *and* its convolution scratch pool. That is what lets
-//! [`ScoreTable::rebuild`] and [`ProbScorer::warm_caches`] fan the
-//! per-machine work out over scoped worker threads
-//! ([`hcsim_parallel::parallel_for_each_mut`]) with no locking: every
-//! worker owns a disjoint set of machine cells, and results merge in
-//! machine-index order. Because every per-machine computation is
-//! deterministic in the machine's state alone (the replay-equivalence
-//! invariant above), the fan-out is **bit-identical** to sequential
-//! evaluation at any thread count — `threads` is purely a performance
-//! knob. Small fan-outs fall back to a single thread (see
-//! [`PARALLEL_MIN_MACHINES`]) so scoped-spawn overhead never lands on the
-//! small-cluster hot path.
+//! slot statistics, its column scratch, *and* its convolution scratch
+//! pool. That is what lets [`ScoreTable::rebuild`] and
+//! [`ProbScorer::warm_caches`] fan the per-machine work out across worker
+//! threads with no locking contention: every worker owns a disjoint set of
+//! machine cells, and results merge in machine-index order. Because every
+//! per-machine computation is deterministic in the machine's state alone
+//! (the replay-equivalence invariant above), the fan-out is
+//! **bit-identical** to sequential evaluation at any thread count —
+//! `threads` is purely a performance knob. Small fan-outs fall back to a
+//! single thread (see [`PARALLEL_MIN_MACHINES`]) so fan-out overhead never
+//! lands on the small-cluster hot path.
+//!
+//! Two fan-out engines exist, selected by [`FanoutBackend`] via
+//! [`ProbScorer::set_parallelism`]:
+//!
+//! * **scoped** ([`hcsim_parallel::parallel_for_each_mut`]) — threads are
+//!   spawned and joined inside every fan-out, borrowing the cells. Simple,
+//!   but pays ~7–15 µs of spawn tax per thread per fan-out, several times
+//!   per event.
+//! * **pool** ([`hcsim_parallel::WorkerPool`], the default at cluster
+//!   scale) — the machine cells *move into* a persistent pool whose
+//!   workers own one shard each for the lifetime of the scorer; a fan-out
+//!   becomes a request/response round over channels. Per-round inputs
+//!   (machine snapshots, the live window rows) cross the channel as
+//!   pooled `Arc` buffers, so the steady state stays allocation-free.
+//!   Between rounds the scorer reaches individual cells through the
+//!   pool's shared handle ([`hcsim_parallel::WorkerPool::with_cell`]),
+//!   which is what keeps single-machine requests — a column refresh after
+//!   an assignment, a pruner slot query after a drop — at direct-call
+//!   cost instead of a channel round-trip.
 
 use crate::chain::{analyze_queue, QueueAnalysis};
 use hcsim_model::{MachineId, PetMatrix, Task, TaskId, TaskTypeId, Time};
-use hcsim_parallel::parallel_for_each_mut;
+use hcsim_parallel::{parallel_for_each_mut, FanoutBackend, WorkerPool};
 use hcsim_pmf::{queue_step_into, ConvScratch, DropPolicy, Pmf};
 use hcsim_sim::MachineState;
+use std::sync::Arc;
 
 /// Minimum number of active per-machine jobs before a fan-out actually
-/// spawns worker threads. Below this the scoped-spawn overhead (tens of
-/// microseconds per thread) exceeds the work itself on paper-sized
-/// clusters (8 machines), so the fan-out degenerates to the sequential
-/// path — which produces bit-identical results by construction.
+/// goes parallel (and minimum cluster size before the worker pool is
+/// built). Below this the fan-out overhead (channel round-trips for the
+/// pool, tens of microseconds of spawns for scoped threads) exceeds the
+/// work itself on paper-sized clusters (8 machines), so the fan-out
+/// degenerates to the sequential path — which produces bit-identical
+/// results by construction.
 pub const PARALLEL_MIN_MACHINES: usize = 16;
 
 /// The two scalars phase 1/2 of the probabilistic heuristics consume.
@@ -182,8 +203,10 @@ impl TailCache {
 }
 
 /// The scorer state shared *read-only* across every machine cell during a
-/// fan-out: the drop policy, the compaction budget, the prefix CDFs of
-/// every PET cell, and the current event clock.
+/// fan-out: the drop policy, the compaction budget, and the prefix CDFs of
+/// every PET cell. Immutable after construction, so one `Arc` serves both
+/// the caller and the pool workers; the per-event clock travels separately
+/// (it changes every event).
 #[derive(Debug)]
 struct ScorerShared {
     policy: DropPolicy,
@@ -191,7 +214,6 @@ struct ScorerShared {
     /// Prefix CDFs, row-major `(task_type, machine)`, built once.
     cdfs: Vec<PetCdf>,
     machines: usize,
-    event_now: Time,
 }
 
 impl ScorerShared {
@@ -202,29 +224,37 @@ impl ScorerShared {
 }
 
 /// One machine's independently-borrowable scoring cell: the incremental
-/// tail cache plus the convolution scratch pool that feeds it. Workers in
-/// a fan-out own one cell each; nothing is shared mutably across cells.
+/// tail cache, the convolution scratch pool that feeds it, and a column
+/// scratch the pooled fan-out fills in place. Workers in a fan-out own one
+/// cell each; nothing is shared mutably across cells.
 #[derive(Debug, Default)]
 struct MachineCache {
     cache: TailCache,
     /// Convolution scratch + PMF storage pool private to this machine.
     scratch: ConvScratch,
+    /// Score-column scratch for pooled [`ScoreTable::rebuild`] rounds:
+    /// workers cannot write into the caller-owned table, so they fill this
+    /// and the caller swaps it into the table column in machine-index
+    /// order (buffers recycle across events through the same swap).
+    col: Vec<Option<PairScore>>,
 }
 
 impl MachineCache {
-    /// Brings the cache up to date against `machine` (see module docs for
-    /// the incremental strategy). `want_stats` additionally guarantees
-    /// every slot's skewness is populated, rebuilding the chain in stats
-    /// mode when a previous stats-free extension left placeholders.
+    /// Brings the cache up to date against `machine` at event time `now`
+    /// (see module docs for the incremental strategy). `want_stats`
+    /// additionally guarantees every slot's skewness is populated,
+    /// rebuilding the chain in stats mode when a previous stats-free
+    /// extension left placeholders.
     fn ensure(
         &mut self,
         shared: &ScorerShared,
+        now: Time,
         machine: &MachineState,
         pet: &PetMatrix,
         want_stats: bool,
     ) {
-        let (policy, budget, now) = (shared.policy, shared.budget, shared.event_now);
-        let Self { cache, scratch } = self;
+        let (policy, budget) = (shared.policy, shared.budget);
+        let Self { cache, scratch, .. } = self;
         if cache.valid
             && cache.version == machine.version()
             && cache.now == now
@@ -317,27 +347,80 @@ impl MachineCache {
         cache.version = machine.version();
         cache.now = now;
     }
+}
 
-    fn tail(&self) -> &Pmf {
-        self.cache.tail()
+/// Where the per-machine cells live: locally in the scorer (sequential and
+/// scoped fan-outs borrow them), or moved into a persistent
+/// [`WorkerPool`] whose workers own one shard each (pooled fan-outs are
+/// request/response rounds; between rounds the scorer reaches cells
+/// through the pool's shared handle).
+#[derive(Debug)]
+enum CellStore {
+    Local(Vec<MachineCache>),
+    Pooled(WorkerPool<MachineCache>),
+}
+
+impl CellStore {
+    /// Runs `f` against cell `i` on the calling thread — the single-cell
+    /// request path (scores, tail/slot queries, column refreshes).
+    fn with<R>(&mut self, i: usize, f: impl FnOnce(&mut MachineCache) -> R) -> R {
+        match self {
+            CellStore::Local(cells) => f(&mut cells[i]),
+            CellStore::Pooled(pool) => pool.with_cell(i, f),
+        }
+    }
+}
+
+/// Which machines a warm-up fan-out touches. A tiny `Copy` enum (rather
+/// than a closure) so the pooled round can ship the filter to `'static`
+/// workers.
+#[derive(Debug, Clone, Copy)]
+enum WarmFilter {
+    /// Machines with at least one queued task (the pruner's view).
+    Occupied,
+    /// Machines that can accept an assignment (the score table's view).
+    FreeSlot,
+}
+
+impl WarmFilter {
+    fn admits(self, machine: &MachineState) -> bool {
+        match self {
+            WarmFilter::Occupied => machine.occupancy() > 0,
+            WarmFilter::FreeSlot => machine.has_free_slot(),
+        }
     }
 }
 
 /// Robustness/expected-completion scorer with incremental tail caching.
 #[derive(Debug)]
 pub struct ProbScorer {
-    shared: ScorerShared,
+    shared: Arc<ScorerShared>,
+    /// The PET the scorer was built from, `Arc`-shared with pool workers.
+    pet: Arc<PetMatrix>,
+    /// Current event clock (set by [`ProbScorer::begin_event`]).
+    now: Time,
+    /// Resolved fan-out width (set by [`ProbScorer::set_parallelism`]).
+    threads: usize,
     /// Per-machine incremental availability chains, index-aligned with
     /// machine ids.
-    caches: Vec<MachineCache>,
+    cells: CellStore,
     /// Scratch for scorer-level (machine-independent) operations:
     /// hypothetical appends and their recycling.
     hypo_scratch: ConvScratch,
+    /// Pooled-round input buffers, reclaimed via `Arc::get_mut` once the
+    /// workers drop their clones at the end of each round.
+    snapshot: Option<Arc<Vec<MachineState>>>,
+    live_shared: Option<Arc<Vec<(usize, Task)>>>,
+    /// Copy-out buffers for single-cell queries in pooled mode (borrows
+    /// cannot escape a cell lock).
+    slots_buf: Vec<SlotScore>,
+    tail_buf: Pmf,
 }
 
 impl ProbScorer {
     /// Builds a scorer for `pet` under `policy`, compacting intermediate
-    /// availability PMFs to `budget` impulses.
+    /// availability PMFs to `budget` impulses. The PET is cloned once into
+    /// shared storage; every later query scores against it.
     #[must_use]
     pub fn new(pet: &PetMatrix, policy: DropPolicy, budget: usize) -> Self {
         let mut cdfs = Vec::with_capacity(pet.task_types() * pet.machines());
@@ -346,11 +429,18 @@ impl ProbScorer {
                 cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
             }
         }
-        let caches = (0..pet.machines()).map(|_| MachineCache::default()).collect();
+        let cells = (0..pet.machines()).map(|_| MachineCache::default()).collect();
         Self {
-            shared: ScorerShared { policy, budget, cdfs, machines: pet.machines(), event_now: 0 },
-            caches,
+            shared: Arc::new(ScorerShared { policy, budget, cdfs, machines: pet.machines() }),
+            pet: Arc::new(pet.clone()),
+            now: 0,
+            threads: 1,
+            cells: CellStore::Local(cells),
             hypo_scratch: ConvScratch::new(),
+            snapshot: None,
+            live_shared: None,
+            slots_buf: Vec::new(),
+            tail_buf: Pmf::delta(0),
         }
     }
 
@@ -366,7 +456,50 @@ impl ProbScorer {
     /// chain, and a moved clock rebuilds only the machines actually
     /// queried.
     pub fn begin_event(&mut self, now: Time) {
-        self.shared.event_now = now;
+        self.now = now;
+    }
+
+    /// Configures the fan-out engine: `threads` workers (resolved — pass
+    /// the output of [`crate::effective_threads`]) on the given `backend`.
+    /// With [`FanoutBackend::Pool`] (or `Auto`) and a cluster large enough
+    /// to fan out at all, the machine cells move into a persistent
+    /// [`WorkerPool`] — built once, reused for every event, re-sharded
+    /// only if the knobs change. Scoped/sequential configurations keep (or
+    /// move back to) local cells. Idempotent and cheap when nothing
+    /// changed, so mappers call it every event.
+    pub fn set_parallelism(&mut self, threads: usize, backend: FanoutBackend) {
+        let threads = threads.max(1);
+        self.threads = threads;
+        let machines = self.shared.machines;
+        let want_pool = hcsim_parallel::resolve_backend(backend) == FanoutBackend::Pool
+            && threads > 1
+            && machines >= PARALLEL_MIN_MACHINES;
+        let pool_threads = threads.clamp(1, machines.max(1));
+        let needs_change = match &self.cells {
+            CellStore::Local(_) => want_pool,
+            CellStore::Pooled(pool) => !want_pool || pool.threads() != pool_threads,
+        };
+        if !needs_change {
+            return;
+        }
+        let cells = match std::mem::replace(&mut self.cells, CellStore::Local(Vec::new())) {
+            CellStore::Local(cells) => cells,
+            CellStore::Pooled(pool) => pool.into_cells(),
+        };
+        self.cells = if want_pool {
+            // Built with the clamped count so the `needs_change` compare
+            // above is structural, not a coincidence of matching clamps.
+            CellStore::Pooled(WorkerPool::new(cells, pool_threads))
+        } else {
+            CellStore::Local(cells)
+        };
+    }
+
+    /// True when the machine cells currently live in a persistent worker
+    /// pool (diagnostics/tests).
+    #[must_use]
+    pub fn pool_active(&self) -> bool {
+        matches!(self.cells, CellStore::Pooled(_))
     }
 
     /// Full queue analysis built from scratch — the reference
@@ -374,37 +507,77 @@ impl ProbScorer {
     /// source of per-slot completion PMFs when a caller needs more than
     /// [`SlotScore`] scalars.
     #[must_use]
-    pub fn analyze(&self, machine: &MachineState, pet: &PetMatrix, now: Time) -> QueueAnalysis {
-        analyze_queue(machine, pet, now, self.shared.policy, self.shared.budget)
+    pub fn analyze(&self, machine: &MachineState, now: Time) -> QueueAnalysis {
+        analyze_queue(machine, &self.pet, now, self.shared.policy, self.shared.budget)
     }
 
     /// The machine's tail availability PMF, maintained incrementally.
-    pub fn tail(&mut self, machine: &MachineState, pet: &PetMatrix) -> &Pmf {
-        let cell = &mut self.caches[machine.id().index()];
-        cell.ensure(&self.shared, machine, pet, false);
-        cell.tail()
+    pub fn tail(&mut self, machine: &MachineState) -> &Pmf {
+        let i = machine.id().index();
+        let Self { shared, pet, now, cells, tail_buf, .. } = self;
+        match cells {
+            CellStore::Local(cells) => {
+                let cell = &mut cells[i];
+                cell.ensure(shared, *now, machine, pet, false);
+                cell.cache.tail()
+            }
+            CellStore::Pooled(pool) => {
+                pool.with_cell(i, |cell| {
+                    cell.ensure(shared, *now, machine, pet, false);
+                    tail_buf.clone_from(cell.cache.tail());
+                });
+                tail_buf
+            }
+        }
+    }
+
+    /// Clones the machine's tail into `out`, reusing `out`'s buffers —
+    /// the single-copy path for callers that need an *owned* tail (MOC's
+    /// permutation phase): in pooled mode a borrow cannot escape the cell
+    /// lock, so [`ProbScorer::tail`] + `clone()` would copy twice.
+    pub fn tail_into(&mut self, machine: &MachineState, out: &mut Pmf) {
+        let Self { shared, pet, now, cells, .. } = self;
+        cells.with(machine.id().index(), |cell| {
+            cell.ensure(shared, *now, machine, pet, false);
+            out.clone_from(cell.cache.tail());
+        });
     }
 
     /// Per-slot robustness/skewness for every queued task (head first) —
     /// what the pruner's dropping pass consumes. Served from the
     /// incremental cache, so re-evaluating a queue after a mid-queue drop
     /// reconvolves only the suffix behind the removed task.
-    pub fn slot_scores(&mut self, machine: &MachineState, pet: &PetMatrix) -> &[SlotScore] {
-        let cell = &mut self.caches[machine.id().index()];
-        cell.ensure(&self.shared, machine, pet, true);
-        &cell.cache.slots
+    pub fn slot_scores(&mut self, machine: &MachineState) -> &[SlotScore] {
+        let i = machine.id().index();
+        let Self { shared, pet, now, cells, slots_buf, .. } = self;
+        match cells {
+            CellStore::Local(cells) => {
+                let cell = &mut cells[i];
+                cell.ensure(shared, *now, machine, pet, true);
+                &cell.cache.slots
+            }
+            CellStore::Pooled(pool) => {
+                pool.with_cell(i, |cell| {
+                    cell.ensure(shared, *now, machine, pet, true);
+                    slots_buf.clone_from(&cell.cache.slots);
+                });
+                slots_buf
+            }
+        }
     }
 
     /// Scores appending `task` to `machine`'s queue.
-    pub fn score(&mut self, machine: &MachineState, pet: &PetMatrix, task: &Task) -> PairScore {
-        let cell = &mut self.caches[machine.id().index()];
-        cell.ensure(&self.shared, machine, pet, false);
-        score_against(
-            cell.tail(),
-            self.shared.cdf(task.type_id, machine.id()),
-            task.deadline,
-            self.shared.policy,
-        )
+    pub fn score(&mut self, machine: &MachineState, task: &Task) -> PairScore {
+        let Self { shared, pet, now, cells, .. } = self;
+        cells.with(machine.id().index(), |cell| {
+            cell.ensure(shared, *now, machine, pet, false);
+            score_against(
+                cell.cache.tail(),
+                shared.cdf(task.type_id, machine.id()),
+                task.deadline,
+                shared.policy,
+            )
+        })
     }
 
     /// Scores `task` against an explicit tail (used by MOC's permutation
@@ -444,54 +617,223 @@ impl ProbScorer {
     /// dropping walk so the expensive chain/statistics work runs across
     /// cores while the drop *decisions* stay in machine-index order.
     ///
-    /// Results are bit-identical at any `threads` (each cell's update is
-    /// deterministic in the machine state alone); fan-outs smaller than
-    /// [`PARALLEL_MIN_MACHINES`] run sequentially.
-    pub fn warm_caches(
-        &mut self,
-        machines: &[MachineState],
-        pet: &PetMatrix,
-        want_stats: bool,
-        threads: usize,
-    ) {
+    /// Results are bit-identical at any `threads`/backend (each cell's
+    /// update is deterministic in the machine state alone); fan-outs
+    /// smaller than [`PARALLEL_MIN_MACHINES`] run sequentially.
+    pub fn warm_caches(&mut self, machines: &[MachineState], want_stats: bool) {
         debug_assert_machine_alignment(machines);
-        let Self { shared, caches, .. } = self;
-        let shared = &*shared;
-        struct WarmJob<'a> {
-            cell: &'a mut MachineCache,
-            machine: &'a MachineState,
-        }
-        let mut jobs: Vec<WarmJob<'_>> = caches
-            .iter_mut()
-            .zip(machines)
-            .filter(|(_, machine)| machine.occupancy() > 0)
-            .map(|(cell, machine)| WarmJob { cell, machine })
-            .collect();
-        let threads = if jobs.len() >= PARALLEL_MIN_MACHINES { threads } else { 1 };
-        parallel_for_each_mut(&mut jobs, threads, |_, job| {
-            job.cell.ensure(shared, job.machine, pet, want_stats);
-        });
+        let eligible = machines.iter().filter(|m| m.occupancy() > 0).count();
+        let parallel = eligible >= PARALLEL_MIN_MACHINES;
+        self.warm(machines, WarmFilter::Occupied, want_stats, parallel);
     }
 
-    /// Fan-out 1 of [`ScoreTable::rebuild`]: brings every *free* machine's
-    /// availability chain up to date (callers pre-gate `threads`).
-    fn warm_free_machines(&mut self, machines: &[MachineState], pet: &PetMatrix, threads: usize) {
-        let Self { shared, caches, .. } = self;
-        let shared = &*shared;
-        struct WarmJob<'a> {
-            cell: &'a mut MachineCache,
-            machine: &'a MachineState,
+    /// One warm-up fan-out over the machines `filter` admits: a pool round
+    /// in pooled mode, a scoped fan-out over the filtered cells otherwise;
+    /// `parallel = false` forces the sequential path on the calling
+    /// thread.
+    fn warm(
+        &mut self,
+        machines: &[MachineState],
+        filter: WarmFilter,
+        want_stats: bool,
+        parallel: bool,
+    ) {
+        let Self { shared, pet, now, threads, cells, snapshot, .. } = self;
+        let now = *now;
+        match cells {
+            CellStore::Pooled(pool) if parallel => {
+                let snap = share_snapshot(snapshot, machines);
+                let shared = Arc::clone(shared);
+                let pet = Arc::clone(pet);
+                pool.run(move |i, cell| {
+                    let machine = &snap[i];
+                    if filter.admits(machine) {
+                        cell.ensure(&shared, now, machine, &pet, want_stats);
+                    }
+                });
+            }
+            CellStore::Pooled(pool) => {
+                for (i, machine) in machines.iter().enumerate() {
+                    if filter.admits(machine) {
+                        pool.with_cell(i, |cell| {
+                            cell.ensure(shared, now, machine, pet, want_stats)
+                        });
+                    }
+                }
+            }
+            CellStore::Local(cells) => {
+                let threads = if parallel { *threads } else { 1 };
+                struct WarmJob<'a> {
+                    cell: &'a mut MachineCache,
+                    machine: &'a MachineState,
+                }
+                let mut jobs: Vec<WarmJob<'_>> = cells
+                    .iter_mut()
+                    .zip(machines)
+                    .filter(|(_, machine)| filter.admits(machine))
+                    .map(|(cell, machine)| WarmJob { cell, machine })
+                    .collect();
+                let shared: &ScorerShared = shared;
+                let pet: &PetMatrix = pet;
+                parallel_for_each_mut(&mut jobs, threads, |_, job| {
+                    job.cell.ensure(shared, now, job.machine, pet, want_stats);
+                });
+            }
         }
-        let mut jobs: Vec<WarmJob<'_>> = caches
-            .iter_mut()
-            .zip(machines)
-            .filter(|(_, machine)| machine.has_free_slot())
-            .map(|(cell, machine)| WarmJob { cell, machine })
-            .collect();
-        parallel_for_each_mut(&mut jobs, threads, |_, job| {
-            job.cell.ensure(shared, job.machine, pet, false);
-        });
     }
+
+    /// Earliest possible start per free machine (`None`: no free slot),
+    /// gathered in machine-index order for the [`ScoreTable`] bound pass.
+    /// Cells must already be warm for the free machines.
+    fn collect_tail_mins(&mut self, machines: &[MachineState], out: &mut Vec<Option<Time>>) {
+        out.clear();
+        for (i, machine) in machines.iter().enumerate() {
+            let earliest = machine
+                .has_free_slot()
+                .then(|| self.cells.with(i, |cell| cell.cache.tail().min_time()));
+            out.push(earliest);
+        }
+    }
+
+    /// Fan-out 2 of [`ScoreTable::rebuild`]: scores the bound-surviving
+    /// `live` rows against every free machine's tail, one column per
+    /// machine, merged into `cols` in machine-index order.
+    fn fill_columns(
+        &mut self,
+        machines: &[MachineState],
+        live: &[(usize, Task)],
+        rows: usize,
+        cols: &mut [Vec<Option<PairScore>>],
+        parallel: bool,
+    ) {
+        let Self { shared, pet: _, now: _, threads, cells, snapshot, live_shared, .. } = self;
+        match cells {
+            CellStore::Pooled(pool) if parallel => {
+                let snap = share_snapshot(snapshot, machines);
+                let live = share_live(live_shared, live);
+                let shared = Arc::clone(shared);
+                pool.run(move |i, cell| {
+                    let machine = &snap[i];
+                    let MachineCache { cache, col, .. } = cell;
+                    col.clear();
+                    col.resize(rows, None);
+                    if !machine.has_free_slot() {
+                        return;
+                    }
+                    score_column_scatter(cache.tail(), &shared, machine.id(), &live, col);
+                });
+                // Index-ordered merge: swap each worker-filled column into
+                // the table (and recycle the table's old buffer as the
+                // cell's next scratch).
+                for (i, col) in cols.iter_mut().enumerate() {
+                    pool.with_cell(i, |cell| std::mem::swap(col, &mut cell.col));
+                }
+            }
+            CellStore::Pooled(pool) => {
+                for ((i, machine), col) in machines.iter().enumerate().zip(cols.iter_mut()) {
+                    col.clear();
+                    col.resize(rows, None);
+                    if !machine.has_free_slot() {
+                        continue;
+                    }
+                    pool.with_cell(i, |cell| {
+                        score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
+                    });
+                }
+            }
+            CellStore::Local(cells) => {
+                let threads = if parallel { *threads } else { 1 };
+                struct ColJob<'a> {
+                    cell: &'a mut MachineCache,
+                    machine: &'a MachineState,
+                    col: &'a mut Vec<Option<PairScore>>,
+                }
+                let mut jobs: Vec<ColJob<'_>> = cells
+                    .iter_mut()
+                    .zip(machines)
+                    .zip(cols.iter_mut())
+                    .map(|((cell, machine), col)| ColJob { cell, machine, col })
+                    .collect();
+                let shared: &ScorerShared = shared;
+                parallel_for_each_mut(&mut jobs, threads, |_, job| {
+                    job.col.clear();
+                    job.col.resize(rows, None);
+                    if !job.machine.has_free_slot() {
+                        return;
+                    }
+                    score_column_scatter(
+                        job.cell.cache.tail(),
+                        shared,
+                        job.machine.id(),
+                        live,
+                        job.col,
+                    );
+                });
+            }
+        }
+    }
+
+    /// Ensures `machine`'s cell and returns its tail's earliest start —
+    /// the single-machine bound probe [`ScoreTable::push_row`] uses.
+    fn ensure_tail_min(&mut self, machine: &MachineState) -> Time {
+        let Self { shared, pet, now, cells, .. } = self;
+        cells.with(machine.id().index(), |cell| {
+            cell.ensure(shared, *now, machine, pet, false);
+            cell.cache.tail().min_time()
+        })
+    }
+}
+
+/// Clones `machines` into the reusable `Arc` snapshot buffer a pooled
+/// round ships to its `'static` workers. Workers drop their `Arc` clones
+/// before acknowledging the round, so `Arc::get_mut` reclaims the buffer
+/// — and `MachineState::clone_from` the per-machine queue buffers — every
+/// time after the first.
+///
+/// The update is **version-delta**: a buffered machine whose
+/// `(id, version)` already matches the live one is skipped entirely —
+/// `MachineState::version()` bumps on every mutation, and the whole
+/// incremental-cache layer already keys on it, so an equal version means
+/// identical content. In particular the second round of a
+/// [`ScoreTable::rebuild`] (machines untouched since the warm round)
+/// costs a scalar compare per machine, not a re-clone.
+fn share_snapshot(
+    slot: &mut Option<Arc<Vec<MachineState>>>,
+    machines: &[MachineState],
+) -> Arc<Vec<MachineState>> {
+    let mut arc = slot.take().unwrap_or_else(|| Arc::new(Vec::new()));
+    match Arc::get_mut(&mut arc) {
+        Some(buf) => {
+            buf.truncate(machines.len());
+            let filled = buf.len();
+            for (dst, src) in buf.iter_mut().zip(machines) {
+                if dst.id() != src.id() || dst.version() != src.version() {
+                    dst.clone_from(src);
+                }
+            }
+            buf.extend(machines[filled..].iter().cloned());
+        }
+        None => arc = Arc::new(machines.to_vec()),
+    }
+    *slot = Some(Arc::clone(&arc));
+    arc
+}
+
+/// Same reuse pattern for the live window rows of a column round.
+fn share_live(
+    slot: &mut Option<Arc<Vec<(usize, Task)>>>,
+    live: &[(usize, Task)],
+) -> Arc<Vec<(usize, Task)>> {
+    let mut arc = slot.take().unwrap_or_else(|| Arc::new(Vec::new()));
+    match Arc::get_mut(&mut arc) {
+        Some(buf) => {
+            buf.clear();
+            buf.extend_from_slice(live);
+        }
+        None => arc = Arc::new(live.to_vec()),
+    }
+    *slot = Some(Arc::clone(&arc));
+    arc
 }
 
 /// Slop added to the robustness upper bound before comparing it against a
@@ -509,9 +851,10 @@ const BOUND_MARGIN: f64 = 1e-8;
 /// what makes the update paths cheap:
 ///
 /// * [`ScoreTable::rebuild`] — once per mapping event — ensures every
-///   free machine's tail cache in a per-machine scoped-thread fan-out,
-///   then scores the batch window against the tails in a second fan-out
-///   (columns are disjoint `&mut` cells, merged in machine-index order);
+///   free machine's tail cache in a per-machine fan-out (a worker-pool
+///   round at cluster scale), then scores the batch window against the
+///   tails in a second fan-out (columns are disjoint cells, merged in
+///   machine-index order);
 /// * between the two fan-outs, a **bound pass** proves most window rows
 ///   deferred without scoring them: the robustness of (task, machine) is
 ///   at most `CDF_E(δ − tail.min_time())` (every startable impulse has at
@@ -521,7 +864,10 @@ const BOUND_MARGIN: f64 = 1e-8;
 ///   and its scores are consumed by nothing else. Skipped rows keep
 ///   `None` entries, which the reductions already treat exactly like a
 ///   deferral. [`BOUND_MARGIN`] absorbs float slop, so decisions are
-///   *identical* to exact scoring, not just approximately so.
+///   *identical* to exact scoring, not just approximately so. The bound
+///   needs only each tail's earliest impulse, gathered once per rebuild —
+///   so the pass itself runs on the caller's thread against plain scalars,
+///   regardless of where the cells live.
 /// * between assignments, only the *assigned* machine's column changes
 ///   ([`ScoreTable::refresh_machine`]), plus one appended row when a new
 ///   batch task slides into the window ([`ScoreTable::push_row`]). Every
@@ -546,6 +892,9 @@ pub struct ScoreTable {
     scored: Vec<bool>,
     /// Scratch: `(row, task)` pairs surviving the bound pass.
     live: Vec<(usize, Task)>,
+    /// Scratch: earliest tail impulse per free machine, for the bound
+    /// pass.
+    tail_mins: Vec<Option<Time>>,
 }
 
 impl ScoreTable {
@@ -562,44 +911,41 @@ impl ScoreTable {
     }
 
     /// Recomputes the whole table for `tasks` (the batch window) against
-    /// every machine, fanning the per-machine work out over up to
-    /// `threads` scoped workers. `skip_below` gives, per task type, the
-    /// robustness threshold under which the caller's reduction would
-    /// defer/cull the task anyway — rows whose bound proves that are left
-    /// unscored. Machines without a free slot get an all-`None` column.
-    /// Bit-identical at any thread count.
+    /// every machine, fanning the per-machine work out on the scorer's
+    /// configured engine ([`ProbScorer::set_parallelism`]). `skip_below`
+    /// gives, per task type, the robustness threshold under which the
+    /// caller's reduction would defer/cull the task anyway — rows whose
+    /// bound proves that are left unscored. Machines without a free slot
+    /// get an all-`None` column. Bit-identical at any thread count and on
+    /// either backend.
     pub fn rebuild(
         &mut self,
         scorer: &mut ProbScorer,
         machines: &[MachineState],
-        pet: &PetMatrix,
         tasks: &[Task],
-        threads: usize,
         skip_below: &dyn Fn(TaskTypeId) -> f64,
     ) {
         debug_assert_machine_alignment(machines);
         self.cols.resize_with(machines.len(), Vec::new);
         let free = machines.iter().filter(|m| m.has_free_slot()).count();
-        let threads = if free >= PARALLEL_MIN_MACHINES { threads } else { 1 };
+        let parallel = free >= PARALLEL_MIN_MACHINES;
 
         // Fan-out 1: bring every free machine's availability chain up to
-        // date (the convolution-heavy part).
-        scorer.warm_free_machines(machines, pet, threads);
+        // date (the convolution-heavy part), then gather the bound
+        // scalars.
+        scorer.warm(machines, WarmFilter::FreeSlot, false, parallel);
+        scorer.collect_tail_mins(machines, &mut self.tail_mins);
 
         // Bound pass: prove rows deferred where possible.
-        let ProbScorer { shared, caches, .. } = scorer;
-        let shared = &*shared;
         self.scored.clear();
         self.live.clear();
         for (row, task) in tasks.iter().enumerate() {
             let threshold = skip_below(task.type_id);
             let mut provable = true;
-            for (cell, machine) in caches.iter().zip(machines) {
-                if !machine.has_free_slot() {
-                    continue;
-                }
-                let cdf = shared.cdf(task.type_id, machine.id());
-                if robustness_bound(cell.tail(), cdf, task.deadline) + BOUND_MARGIN >= threshold {
+            for (m, machine) in machines.iter().enumerate() {
+                let Some(earliest) = self.tail_mins[m] else { continue };
+                let cdf = scorer.shared.cdf(task.type_id, machine.id());
+                if robustness_bound(earliest, cdf, task.deadline) + BOUND_MARGIN >= threshold {
                     provable = false;
                     break;
                 }
@@ -612,26 +958,7 @@ impl ScoreTable {
 
         // Fan-out 2: exact scores for the surviving rows, one column per
         // machine.
-        let live = &self.live;
-        struct ColJob<'a> {
-            cell: &'a mut MachineCache,
-            machine: &'a MachineState,
-            col: &'a mut Vec<Option<PairScore>>,
-        }
-        let mut jobs: Vec<ColJob<'_>> = caches
-            .iter_mut()
-            .zip(machines)
-            .zip(&mut self.cols)
-            .map(|((cell, machine), col)| ColJob { cell, machine, col })
-            .collect();
-        parallel_for_each_mut(&mut jobs, threads, |_, job| {
-            job.col.clear();
-            job.col.resize(tasks.len(), None);
-            if !job.machine.has_free_slot() {
-                return;
-            }
-            score_column_scatter(job.cell.tail(), shared, job.machine.id(), live, job.col);
-        });
+        scorer.fill_columns(machines, &self.live, tasks.len(), &mut self.cols, parallel);
     }
 
     /// Drops window row `row` (its task was assigned or left the batch).
@@ -649,7 +976,6 @@ impl ScoreTable {
         &mut self,
         scorer: &mut ProbScorer,
         machines: &[MachineState],
-        pet: &PetMatrix,
         task: &Task,
         skip_below: &dyn Fn(TaskTypeId) -> f64,
     ) {
@@ -659,32 +985,30 @@ impl ScoreTable {
             if !machine.has_free_slot() {
                 continue;
             }
-            let cell = &mut scorer.caches[machine.id().index()];
-            cell.ensure(&scorer.shared, machine, pet, false);
+            let earliest = scorer.ensure_tail_min(machine);
             let cdf = scorer.shared.cdf(task.type_id, machine.id());
-            if robustness_bound(cell.tail(), cdf, task.deadline) + BOUND_MARGIN >= threshold {
+            if robustness_bound(earliest, cdf, task.deadline) + BOUND_MARGIN >= threshold {
                 provable = false;
                 break;
             }
         }
         self.scored.push(!provable);
         for (machine, col) in machines.iter().zip(&mut self.cols) {
-            let value =
-                (!provable && machine.has_free_slot()).then(|| scorer.score(machine, pet, task));
+            let value = (!provable && machine.has_free_slot()).then(|| scorer.score(machine, task));
             col.push(value);
         }
     }
 
     /// Rescores machine `m`'s column against the current window `tasks`
-    /// (its queue changed). A machine that filled up gets an all-`None`
-    /// column; within one mapping event machines never go full → free and
-    /// skipped rows never resurrect (their bound only tightens), so stale
-    /// entries cannot resurface.
+    /// (its queue changed) — a single-cell request to wherever the cell
+    /// lives. A machine that filled up gets an all-`None` column; within
+    /// one mapping event machines never go full → free and skipped rows
+    /// never resurrect (their bound only tightens), so stale entries
+    /// cannot resurface.
     pub fn refresh_machine(
         &mut self,
         scorer: &mut ProbScorer,
         machines: &[MachineState],
-        pet: &PetMatrix,
         tasks: &[Task],
         m: usize,
     ) {
@@ -702,9 +1026,12 @@ impl ScoreTable {
                 self.live.push((row, *task));
             }
         }
-        let cell = &mut scorer.caches[m];
-        cell.ensure(&scorer.shared, machine, pet, false);
-        score_column_scatter(cell.tail(), &scorer.shared, machine.id(), &self.live, col);
+        let live = &self.live;
+        let ProbScorer { shared, pet, now, cells, .. } = scorer;
+        cells.with(m, |cell| {
+            cell.ensure(shared, *now, machine, pet, false);
+            score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
+        });
     }
 
     /// The score of window task `row` on machine `m`, if it was scored.
@@ -785,13 +1112,12 @@ impl<'a> CdfCursor<'a> {
 }
 
 /// Upper bound on the Eq. 1 robustness of appending a task with deadline
-/// `deadline` behind `tail`: every startable impulse leaves at most
-/// `δ − tail.min_time()` slack, and the tail carries at most unit mass,
-/// so `Σ p_u · CDF_E(δ−u) ≤ CDF_E(δ − u_min)`. One CDF lookup — the
-/// [`ScoreTable`] bound pass runs this per (row, machine) in place of the
-/// full scoring walk.
-fn robustness_bound(tail: &Pmf, cdf: &PetCdf, deadline: Time) -> f64 {
-    let earliest = tail.min_time();
+/// `deadline` behind a tail whose earliest impulse is `earliest`: every
+/// startable impulse leaves at most `δ − earliest` slack, and the tail
+/// carries at most unit mass, so `Σ p_u · CDF_E(δ−u) ≤ CDF_E(δ − u_min)`.
+/// One CDF lookup — the [`ScoreTable`] bound pass runs this per
+/// (row, machine) in place of the full scoring walk.
+fn robustness_bound(earliest: Time, cdf: &PetCdf, deadline: Time) -> f64 {
     if earliest >= deadline {
         0.0
     } else {
@@ -1015,14 +1341,14 @@ mod tests {
         let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
         let machine = MachineState::new(MachineId(0), 4);
         scorer.begin_event(100);
-        let t1 = scorer.tail(&machine, &pet).clone();
+        let t1 = scorer.tail(&machine).clone();
         assert_eq!(t1.min_time(), 100, "idle tail anchors at now");
         // Same event: cached.
-        let t2 = scorer.tail(&machine, &pet).clone();
+        let t2 = scorer.tail(&machine).clone();
         assert_eq!(t1, t2);
         // New event at a later time: idle tail must move to the new now.
         scorer.begin_event(250);
-        let t3 = scorer.tail(&machine, &pet).clone();
+        let t3 = scorer.tail(&machine).clone();
         assert_eq!(t3.min_time(), 250);
     }
 
@@ -1043,7 +1369,7 @@ mod tests {
                 deadline: 30 + u64::from(i) * 20,
             };
             assert!(testkit::apply(&mut machine, testkit::QueueOp::Push(t)));
-            let cached = scorer.tail(&machine, &pet).clone();
+            let cached = scorer.tail(&machine).clone();
             let scratch = analyze_queue(&machine, &pet, 10, DropPolicy::All, 16);
             assert_eq!(cached, scratch.tail, "append {i}");
         }
@@ -1064,10 +1390,10 @@ mod tests {
             };
             testkit::apply(&mut machine, testkit::QueueOp::Push(t));
         }
-        let _ = scorer.tail(&machine, &pet);
+        let _ = scorer.tail(&machine);
         // Drop the middle task: the cache reuses the prefix ahead of it.
         testkit::apply(&mut machine, testkit::QueueOp::RemovePending(TaskId(2)));
-        let cached = scorer.tail(&machine, &pet).clone();
+        let cached = scorer.tail(&machine).clone();
         let scratch = analyze_queue(&machine, &pet, 0, DropPolicy::All, 16);
         assert_eq!(cached, scratch.tail);
     }
@@ -1088,7 +1414,7 @@ mod tests {
         testkit::apply(&mut machine, testkit::QueueOp::StartNext { now: 2, total_exec: 6 });
         let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
         scorer.begin_event(5);
-        let slots = scorer.slot_scores(&machine, &pet).to_vec();
+        let slots = scorer.slot_scores(&machine).to_vec();
         let reference = analyze_queue(&machine, &pet, 5, DropPolicy::All, 16);
         assert_eq!(slots.len(), reference.slots.len());
         for (got, want) in slots.iter().zip(&reference.slots) {
@@ -1106,7 +1432,7 @@ mod tests {
         let machine = MachineState::new(MachineId(0), 4);
         scorer.begin_event(10);
         let task = task_with_deadline(14);
-        let score = scorer.score(&machine, &pet, &task);
+        let score = scorer.score(&machine, &task);
         // Start at 10; completes by 14 iff exec <= 4 → 0.75.
         assert!((score.robustness - 0.75).abs() < 1e-12);
     }
@@ -1153,9 +1479,10 @@ mod tests {
 
     #[test]
     fn score_table_matches_pairwise_scoring_bitwise() {
-        // 20 machines crosses PARALLEL_MIN_MACHINES, so threads=4 takes
-        // the real fan-out path; every table entry must equal a direct
-        // `score` call bit for bit, and threads=1 must equal threads=4.
+        // 20 machines crosses PARALLEL_MIN_MACHINES, so threads=4 takes a
+        // real fan-out — on both engines. Every table entry must equal a
+        // direct `score` call bit for bit, across sequential, scoped, and
+        // pooled execution.
         let (pet, machines) = fanout_fixture(20);
         let tasks: Vec<Task> = (0..7u32)
             .map(|i| Task {
@@ -1165,20 +1492,22 @@ mod tests {
                 deadline: 40 + u64::from(i) * 30,
             })
             .collect();
-        let mut table_seq = ScoreTable::new();
-        let mut table_par = ScoreTable::new();
-        let mut scorer_seq = ProbScorer::new(&pet, DropPolicy::All, 16);
-        let mut scorer_par = ProbScorer::new(&pet, DropPolicy::All, 16);
         let mut scorer_ref = ProbScorer::new(&pet, DropPolicy::All, 16);
-        scorer_seq.begin_event(5);
-        scorer_par.begin_event(5);
         scorer_ref.begin_event(5);
-        table_seq.rebuild(&mut scorer_seq, &machines, &pet, &tasks, 1, &|_| 0.0);
-        table_par.rebuild(&mut scorer_par, &machines, &pet, &tasks, 4, &|_| 0.0);
-        for (i, task) in tasks.iter().enumerate() {
-            for (m, machine) in machines.iter().enumerate() {
-                let direct = scorer_ref.score(machine, &pet, task);
-                for (label, table) in [("seq", &table_seq), ("par", &table_par)] {
+        for (label, threads, backend) in [
+            ("seq", 1, FanoutBackend::Scoped),
+            ("scoped", 4, FanoutBackend::Scoped),
+            ("pool", 4, FanoutBackend::Pool),
+        ] {
+            let mut table = ScoreTable::new();
+            let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+            scorer.begin_event(5);
+            scorer.set_parallelism(threads, backend);
+            assert_eq!(scorer.pool_active(), backend == FanoutBackend::Pool && threads > 1);
+            table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
+            for (i, task) in tasks.iter().enumerate() {
+                for (m, machine) in machines.iter().enumerate() {
+                    let direct = scorer_ref.score(machine, task);
                     let got = table.get(i, m).expect("free slot scored");
                     assert!(
                         got.robustness.to_bits() == direct.robustness.to_bits()
@@ -1206,22 +1535,22 @@ mod tests {
         let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
         scorer.begin_event(3);
         let mut table = ScoreTable::new();
-        table.rebuild(&mut scorer, &machines, &pet, &tasks, 1, &|_| 0.0);
+        table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
         assert_eq!(table.rows(), 5);
         // "Assign" task row 1 to machine 2: mutate the machine, drop the
         // row, refresh the column — the table must equal a fresh rebuild.
         let assigned = tasks.remove(1);
         assert!(testkit::apply(&mut machines[2], testkit::QueueOp::Push(assigned)));
         table.remove_row(1);
-        table.refresh_machine(&mut scorer, &machines, &pet, &tasks, 2);
+        table.refresh_machine(&mut scorer, &machines, &tasks, 2);
         // A new batch task slides into the window.
         let fresh = Task { id: TaskId(900), type_id: TaskTypeId(1), arrival: 0, deadline: 220 };
         tasks.push(fresh);
-        table.push_row(&mut scorer, &machines, &pet, &fresh, &|_| 0.0);
+        table.push_row(&mut scorer, &machines, &fresh, &|_| 0.0);
         let mut reference = ScoreTable::new();
         let mut ref_scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
         ref_scorer.begin_event(3);
-        reference.rebuild(&mut ref_scorer, &machines, &pet, &tasks, 1, &|_| 0.0);
+        reference.rebuild(&mut ref_scorer, &machines, &tasks, &|_| 0.0);
         assert_eq!(table.rows(), reference.rows());
         for i in 0..tasks.len() {
             for m in 0..machines.len() {
@@ -1254,37 +1583,89 @@ mod tests {
         let tasks = vec![Task { id: TaskId(9), type_id: TaskTypeId(0), arrival: 0, deadline: 50 }];
         let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
         scorer.begin_event(0);
+        scorer.set_parallelism(4, FanoutBackend::Pool);
+        assert!(!scorer.pool_active(), "1-machine system stays below the pool gate");
         let mut table = ScoreTable::new();
-        table.rebuild(&mut scorer, &machines, &pet, &tasks, 4, &|_| 0.0);
+        table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
         assert_eq!(table.get(0, 0), None);
         assert!(table.best_for_row(&machines, 0).is_none());
     }
 
     #[test]
-    fn warm_caches_is_thread_count_invariant() {
+    fn warm_caches_is_execution_mode_invariant() {
         let (pet, machines) = fanout_fixture(20);
-        let mut warm = ProbScorer::new(&pet, DropPolicy::All, 16);
         let mut cold = ProbScorer::new(&pet, DropPolicy::All, 16);
-        warm.begin_event(7);
         cold.begin_event(7);
-        warm.warm_caches(&machines, &pet, true, 4);
+        for (label, threads, backend) in
+            [("scoped", 4, FanoutBackend::Scoped), ("pool", 4, FanoutBackend::Pool)]
+        {
+            let mut warm = ProbScorer::new(&pet, DropPolicy::All, 16);
+            warm.begin_event(7);
+            warm.set_parallelism(threads, backend);
+            warm.warm_caches(&machines, true);
+            for machine in &machines {
+                if machine.occupancy() == 0 {
+                    continue;
+                }
+                let a = warm.slot_scores(machine).to_vec();
+                let b = cold.slot_scores(machine).to_vec();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert!(
+                        x.robustness.to_bits() == y.robustness.to_bits()
+                            && x.skewness.to_bits() == y.skewness.to_bits(),
+                        "{label}: machine {} diverged",
+                        machine.id()
+                    );
+                }
+                // The tails must also be byte-identical.
+                assert_eq!(warm.tail(machine).clone(), cold.tail(machine).clone());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_single_cell_queries_match_local() {
+        // The between-rounds request path (score / tail / slot_scores
+        // through the pool's cell handle) must serve exactly what local
+        // cells serve.
+        let (pet, machines) = fanout_fixture(PARALLEL_MIN_MACHINES + 2);
+        let mut local = ProbScorer::new(&pet, DropPolicy::All, 16);
+        let mut pooled = ProbScorer::new(&pet, DropPolicy::All, 16);
+        local.begin_event(9);
+        pooled.begin_event(9);
+        pooled.set_parallelism(4, FanoutBackend::Pool);
+        assert!(pooled.pool_active());
+        let task = Task { id: TaskId(77), type_id: TaskTypeId(1), arrival: 0, deadline: 90 };
         for machine in &machines {
-            if machine.occupancy() == 0 {
-                continue;
+            let a = local.score(machine, &task);
+            let b = pooled.score(machine, &task);
+            assert_eq!(a.robustness.to_bits(), b.robustness.to_bits());
+            assert_eq!(a.expected_completion.to_bits(), b.expected_completion.to_bits());
+            assert_eq!(local.tail(machine).clone(), pooled.tail(machine).clone());
+            if machine.occupancy() > 0 {
+                assert_eq!(local.slot_scores(machine), pooled.slot_scores(machine));
             }
-            let a = warm.slot_scores(machine, &pet).to_vec();
-            let b = cold.slot_scores(machine, &pet).to_vec();
-            assert_eq!(a.len(), b.len());
-            for (x, y) in a.iter().zip(&b) {
-                assert!(
-                    x.robustness.to_bits() == y.robustness.to_bits()
-                        && x.skewness.to_bits() == y.skewness.to_bits(),
-                    "machine {} diverged",
-                    machine.id()
-                );
-            }
-            // The tails must also be byte-identical.
-            assert_eq!(warm.tail(machine, &pet).clone(), cold.tail(machine, &pet).clone());
+        }
+    }
+
+    #[test]
+    fn set_parallelism_migrates_cells_without_losing_state() {
+        // Local → pooled → local round-trips keep every cached chain: the
+        // tails served after each migration are identical, and the reshard
+        // path (different thread count) works.
+        let (pet, machines) = fanout_fixture(PARALLEL_MIN_MACHINES);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(4);
+        let baseline: Vec<Pmf> = machines.iter().map(|m| scorer.tail(m).clone()).collect();
+        scorer.set_parallelism(4, FanoutBackend::Pool);
+        assert!(scorer.pool_active());
+        scorer.set_parallelism(2, FanoutBackend::Pool); // reshard
+        assert!(scorer.pool_active());
+        scorer.set_parallelism(4, FanoutBackend::Scoped); // move back
+        assert!(!scorer.pool_active());
+        for (machine, want) in machines.iter().zip(&baseline) {
+            assert_eq!(scorer.tail(machine), want, "machine {} lost its chain", machine.id());
         }
     }
 
@@ -1334,7 +1715,7 @@ mod tests {
         let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
         let machine = MachineState::new(MachineId(0), 4);
         scorer.begin_event(100);
-        let score = scorer.score(&machine, &pet, &task_with_deadline(50));
+        let score = scorer.score(&machine, &task_with_deadline(50));
         assert_eq!(score.robustness, 0.0);
         assert!(score.expected_completion.is_infinite());
     }

@@ -1,20 +1,31 @@
-//! Thread-count invariance of the per-machine scoring fan-out.
+//! Thread-count and backend invariance of the per-machine scoring
+//! fan-out.
 //!
 //! The parallel fan-out's contract is *bit-identical* results at any
-//! `threads` value: per-machine computations are deterministic in the
-//! machine state alone and merge in machine-index order, so the thread
-//! knob must be a pure performance knob. These tests drive whole
+//! `threads` value and on either execution engine: per-machine
+//! computations are deterministic in the machine state alone and merge in
+//! machine-index order, so the thread knob and the scoped-vs-pool backend
+//! knob must both be pure performance knobs. These tests drive whole
 //! simulations — PAM (with its pruner drop passes engaged) and MOC — on a
 //! cluster large enough to cross the `PARALLEL_MIN_MACHINES` gate, and
-//! require byte-identical reports between `threads = 1` and a genuinely
-//! multi-threaded run. A seed-golden pin on the `cluster_64m` bench
-//! scenario (reduced task count) guards the cluster-scale trajectory
-//! against behavioral drift from future perf work.
+//! require byte-identical reports across three execution modes:
 //!
-//! The multi-threaded side honours `HCSIM_TEST_THREADS` (default 4) so CI
-//! can run the same suite across a thread matrix.
+//! * sequential (`threads = 1`),
+//! * scoped fan-out (`threads = N`, threads spawned per event),
+//! * persistent worker pool (`threads = N`, cells owned by pool workers).
+//!
+//! A seed-golden pin on the `cluster_64m` bench scenario (reduced task
+//! count) guards the cluster-scale trajectory against behavioral drift
+//! from future perf work.
+//!
+//! The multi-threaded side honours `HCSIM_TEST_THREADS` (default 4) and
+//! `HCSIM_TEST_POOL` (`1` = run the pin's parallel leg on the worker
+//! pool, default scoped) so CI can run the same suite across a
+//! threads × backend matrix — every leg asserts the same pinned
+//! constants, which is what proves all modes agree even if one leg's
+//! in-test comparison is degenerate.
 
-use hcsim_core::{HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
+use hcsim_core::{FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
 use hcsim_sim::{run_simulation, SimConfig, SimReport};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{specint_cluster, WorkloadConfig, WorkloadGenerator};
@@ -26,6 +37,16 @@ fn test_threads() -> usize {
     std::env::var("HCSIM_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
 }
 
+/// Backend for the golden pin's parallel leg; `HCSIM_TEST_POOL=1` selects
+/// the persistent worker pool, anything else the scoped fan-out.
+fn test_backend() -> FanoutBackend {
+    if std::env::var("HCSIM_TEST_POOL").as_deref() == Ok("1") {
+        FanoutBackend::Pool
+    } else {
+        FanoutBackend::Scoped
+    }
+}
+
 /// One cluster trial: `machines` machines, arrival rate scaled with the
 /// cluster so the per-machine load stays in the oversubscribed regime.
 fn cluster_trial(
@@ -35,6 +56,7 @@ fn cluster_trial(
     oversubscription: f64,
     seed: u64,
     threads: usize,
+    backend: FanoutBackend,
 ) -> SimReport {
     let seeds = SeedSequence::new(seed);
     let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
@@ -44,7 +66,7 @@ fn cluster_trial(
         ..Default::default()
     });
     let tasks = gen.generate(&spec, &mut seeds.stream(1));
-    let mut mapper = kind.build(PruningConfig { threads, ..PruningConfig::default() });
+    let mut mapper = kind.build(PruningConfig { threads, backend, ..PruningConfig::default() });
     let mut rng = seeds.stream(2);
     run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng)
 }
@@ -61,9 +83,9 @@ proptest! {
     /// PAM at cluster scale: phase-1 fan-out, pruner warm-up fan-out, and
     /// the incremental score table must leave every `PairScore`, every
     /// prune decision, and therefore the entire report bit-identical
-    /// between sequential and parallel runs.
+    /// between sequential, scoped-parallel, and pool-parallel runs.
     #[test]
-    fn pam_reports_are_thread_count_invariant(
+    fn pam_reports_are_execution_mode_invariant(
         seed in 0u64..10_000,
         oversub_scale in 1u64..4,
     ) {
@@ -72,18 +94,30 @@ proptest! {
         // queue slots so deferral, misses, and the pruner all engage.
         let machines = PARALLEL_MIN_MACHINES + 4;
         let oversub = 110_000.0 * oversub_scale as f64;
-        let seq = cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, 1);
-        let par = cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, test_threads());
-        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+        let t = test_threads();
+        let seq =
+            cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, 1, FanoutBackend::Scoped);
+        let scoped =
+            cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, t, FanoutBackend::Scoped);
+        let pool =
+            cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, t, FanoutBackend::Pool);
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
     }
 
     /// Same invariance for MOC's phase-1 fan-out and permutation phase.
     #[test]
-    fn moc_reports_are_thread_count_invariant(seed in 0u64..10_000) {
+    fn moc_reports_are_execution_mode_invariant(seed in 0u64..10_000) {
         let machines = PARALLEL_MIN_MACHINES + 4;
-        let seq = cluster_trial(HeuristicKind::Moc, machines, 160, 220_000.0, seed, 1);
-        let par = cluster_trial(HeuristicKind::Moc, machines, 160, 220_000.0, seed, test_threads());
-        prop_assert_eq!(fingerprint(&seq), fingerprint(&par));
+        let t = test_threads();
+        let seq = cluster_trial(
+            HeuristicKind::Moc, machines, 160, 220_000.0, seed, 1, FanoutBackend::Scoped);
+        let scoped = cluster_trial(
+            HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, FanoutBackend::Scoped);
+        let pool = cluster_trial(
+            HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, FanoutBackend::Pool);
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
     }
 }
 
@@ -91,18 +125,22 @@ proptest! {
 /// tasks so debug-mode CI stays fast, which still oversubscribes the
 /// cluster's 384 queue slots): 64 machines, arrival rate scaled 8× over
 /// the paper's 34k level. Catches any behavioral drift in the
-/// cluster-scale path — and runs the pinned scenario at both thread
-/// counts, so the pin itself re-proves parallel determinism on every CI
-/// leg.
+/// cluster-scale path — and runs the pinned scenario sequentially *and*
+/// on the matrix-selected parallel mode (`HCSIM_TEST_THREADS` ×
+/// `HCSIM_TEST_POOL`), so the pin itself re-proves execution-mode
+/// determinism on every CI leg.
 #[test]
 fn cluster_64m_seed_golden_pin() {
-    let report = cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, 1);
-    let parallel = cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, test_threads());
+    let report =
+        cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, 1, FanoutBackend::Scoped);
+    let parallel =
+        cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, test_threads(), test_backend());
     assert_eq!(
         fingerprint(&report),
         fingerprint(&parallel),
-        "threads=1 and threads={} diverged on the pinned cluster scenario",
-        test_threads()
+        "threads=1 and threads={} ({:?}) diverged on the pinned cluster scenario",
+        test_threads(),
+        test_backend(),
     );
     let o = &report.metrics.outcomes;
     eprintln!(

@@ -98,7 +98,7 @@ fn probe_scores() -> Vec<(f64, f64, f64)> {
     probes
         .iter()
         .map(|&(tt, deadline)| {
-            let s = scorer.score(&machine, &spec.pet, &task(100 + u32::from(tt), tt, deadline));
+            let s = scorer.score(&machine, &task(100 + u32::from(tt), tt, deadline));
             (s.robustness, s.expected_completion, s.mean_exec)
         })
         .collect()

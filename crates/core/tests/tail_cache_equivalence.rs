@@ -129,7 +129,7 @@ proptest! {
             now += step.advance;
             scorer.begin_event(now);
             apply_step(&mut machine, step.op, now, &mut next_id);
-            let cached = scorer.tail(&machine, &pet).clone();
+            let cached = scorer.tail(&machine).clone();
             let reference = analyze_queue(&machine, &pet, now, policy, BUDGET);
             // Bitwise equality: times and masses must match exactly.
             prop_assert_eq!(cached.times(), reference.tail.times(), "times diverged at t={}", now);
@@ -167,9 +167,9 @@ proptest! {
             // Alternate access order so stats-free extensions (tail first)
             // and stats rebuilds (slots first) both get exercised.
             if i % 2 == 0 {
-                let _ = scorer.tail(&machine, &pet);
+                let _ = scorer.tail(&machine);
             }
-            let slots = scorer.slot_scores(&machine, &pet).to_vec();
+            let slots = scorer.slot_scores(&machine).to_vec();
             let reference = analyze_queue(&machine, &pet, now, policy, BUDGET);
             prop_assert_eq!(slots.len(), reference.slots.len());
             for (got, want) in slots.iter().zip(&reference.slots) {

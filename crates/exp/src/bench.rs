@@ -24,6 +24,7 @@
 use crate::runner::FigOptions;
 use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
 use hcsim_model::{MachineId, SystemSpec, Task, TaskId, TaskTypeId};
+use hcsim_parallel::{parallel_for_each_mut, WorkerPool};
 use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf, Time};
 use hcsim_sim::{run_simulation, testkit, SimConfig};
 use hcsim_stats::{Gamma, Histogram, SeedSequence};
@@ -301,7 +302,7 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
                 i = i.wrapping_add(1);
                 let t = bench_task(i, (i % 12) as u16, 2_000 + u64::from(i % 16) * 125);
                 testkit::replace_last_pending(&mut machine, t);
-                std::hint::black_box(scorer.tail(&machine, &spec.pet).len());
+                std::hint::black_box(scorer.tail(&machine).len());
             }),
         ));
     }
@@ -316,7 +317,7 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
             "queue_analysis/depth6",
             &timer,
             timer.run(|| {
-                std::hint::black_box(scorer.analyze(&machine, &spec.pet, now).slots.len());
+                std::hint::black_box(scorer.analyze(&machine, now).slots.len());
             }),
         ));
     }
@@ -353,18 +354,57 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
         results.push(r);
     }
 
-    // Cluster-scale scenario (arXiv:1905.04456's regime): 64 machines with
-    // the arrival rate scaled 8× so the per-machine load matches the 34k
-    // level of the 8-machine trials. This is where the per-event scaling
-    // term lives — every mapping event rebuilds/scores 64 machine chains —
-    // and the threads sweep makes the fan-out's contribution visible (on a
-    // single-core host the sweep is flat; the ids pin the shape either
-    // way).
+    // Fan-out dispatch overhead, isolated: the same 64-cell trivial job
+    // fanned out over 4 workers through per-call scoped spawns versus one
+    // persistent-pool request/response round. The gap between these two
+    // rows is exactly the per-fan-out tax the pool amortizes away at
+    // cluster scale (the cluster_64m threads sweep below shows the same
+    // gap end-to-end).
+    {
+        let mut cells = vec![0u64; 64];
+        results.push(result(
+            "fanout/scoped_spawn_t4",
+            &timer,
+            timer.run(|| {
+                parallel_for_each_mut(&mut cells, 4, |i, c| *c = c.wrapping_add(i as u64));
+                std::hint::black_box(cells[0]);
+            }),
+        ));
+        let pool = WorkerPool::new(std::mem::take(&mut cells), 4);
+        results.push(result(
+            "fanout/pool_roundtrip_t4",
+            &timer,
+            timer.run(|| {
+                pool.run(|i, c| *c = c.wrapping_add(i as u64));
+                std::hint::black_box(pool.with_cell(0, |c| *c));
+            }),
+        ));
+    }
+
+    // Cluster-scale scenario: the full threads sweep, shared with the
+    // `scaling` subcommand.
+    cluster_sweep(quick, &mut results);
+
+    BenchSuite { name: "mapping", results }
+}
+
+/// The cluster-scale scenario (arXiv:1905.04456's regime): 64 machines
+/// with the arrival rate scaled 8× so the per-machine load matches the
+/// 34k level of the 8-machine trials. This is where the per-event scaling
+/// term lives — every mapping event rebuilds/scores 64 machine chains —
+/// and the threads sweep makes the fan-out's contribution visible. The
+/// sweep runs on the default backend (the persistent worker pool at this
+/// scale, except `t1`, which stays sequential), so the committed rows
+/// track pool-round dispatch rather than scoped-spawn cost.
+///
+/// Feeds both [`mapping_suite`] (regression gate) and [`scaling_suite`]
+/// (the multi-core scaling table + CI gate). The task count is the SAME
+/// in quick and full mode (quick only trims sample counts), so the
+/// cluster ids stay comparable to the committed baselines and the CI gate
+/// keeps its full 2x strength on the cluster path.
+fn cluster_sweep(quick: bool, results: &mut Vec<BenchResult>) {
+    let seeds = SeedSequence::new(99);
     let cluster_spec = specint_cluster(64, 6, &mut seeds.stream(3));
-    // Like the 8-machine trials, the task count is the SAME in quick and
-    // full mode (quick only trims sample counts), so the cluster ids stay
-    // comparable to the committed baselines and the CI gate keeps its
-    // full 2x strength on the cluster path.
     let cluster_tasks_n = 250;
     let cluster_gen = WorkloadGenerator::new(WorkloadConfig {
         num_tasks: cluster_tasks_n,
@@ -373,7 +413,7 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
     });
     let cluster_tasks = cluster_gen.generate(&cluster_spec, &mut seeds.stream(4));
     let cluster_timer = Timer { samples: if quick { 2 } else { 4 }, min_sample_ns: 0.0 };
-    let cluster_trial = |kind: HeuristicKind, threads: usize, results: &mut Vec<BenchResult>| {
+    let mut cluster_trial = |kind: HeuristicKind, threads: usize| {
         let mut events = 0u64;
         let timing = cluster_timer.run(|| {
             let mut mapper = kind.build(PruningConfig { threads, ..PruningConfig::default() });
@@ -394,13 +434,131 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
         results.push(r);
     };
     for threads in [1usize, 2, 4, 8] {
-        cluster_trial(HeuristicKind::Pam, threads, &mut results);
+        cluster_trial(HeuristicKind::Pam, threads);
     }
     for threads in [1usize, 4] {
-        cluster_trial(HeuristicKind::Moc, threads, &mut results);
+        cluster_trial(HeuristicKind::Moc, threads);
     }
+}
 
-    BenchSuite { name: "mapping", results }
+// ---------------------------------------------------------------------------
+// Scaling table (the `scaling` subcommand)
+// ---------------------------------------------------------------------------
+
+/// Just the `cluster_64m` threads sweep, as its own suite — what the CI
+/// `scaling` job runs on a multi-core runner to capture the real-speedup
+/// table the single-core bench container cannot produce.
+#[must_use]
+pub fn scaling_suite(quick: bool) -> BenchSuite {
+    let mut results = Vec::new();
+    cluster_sweep(quick, &mut results);
+    BenchSuite { name: "scaling", results }
+}
+
+/// Options for [`run_scaling`].
+#[derive(Debug, Clone)]
+pub struct ScalingOptions {
+    /// Reduced sample counts for smoke runs.
+    pub quick: bool,
+    /// Directory to write `SCALING_cluster64.{json,md}` into.
+    pub out_dir: PathBuf,
+    /// Fail unless the PAM t=4 leg beats the t=1 leg (events/sec) — the
+    /// real-speedup gate; only meaningful on a host with ≥4 cores.
+    pub gate: bool,
+}
+
+/// Renders the scaling sweep as a Markdown table: one row per
+/// (heuristic, threads), with events/sec and the speedup over that
+/// heuristic's t=1 leg.
+#[must_use]
+pub fn render_scaling_markdown(suite: &BenchSuite) -> String {
+    let mut out = String::from(
+        "# cluster_64m scaling table\n\n\
+         64 machines, 8x arrival rate, 250 tasks; PAM (t=1/2/4/8) and MOC\n\
+         (t=1/4) threads sweeps on the persistent worker-pool backend\n\
+         (t1 = sequential fast path).\n\n\
+         | id | threads | ns/op (best) | events/sec | speedup vs t1 |\n\
+         |---|---|---|---|---|\n",
+    );
+    for r in &suite.results {
+        let (kind, threads) = split_cluster_id(&r.id);
+        let t1 = suite
+            .results
+            .iter()
+            .find(|b| split_cluster_id(&b.id) == (kind, 1))
+            .map_or(f64::NAN, |b| b.ns_min);
+        out.push_str(&format!(
+            "| {} | {} | {:.0} | {:.0} | {:.2}x |\n",
+            r.id,
+            threads,
+            r.ns_min,
+            r.events_per_sec.unwrap_or(0.0),
+            t1 / r.ns_min,
+        ));
+    }
+    out
+}
+
+/// Splits `cluster_64m/PAM_t4` into `("PAM", 4)`.
+fn split_cluster_id(id: &str) -> (&str, usize) {
+    let tail = id.rsplit('/').next().unwrap_or(id);
+    match tail.rsplit_once("_t") {
+        Some((kind, t)) => (kind, t.parse().unwrap_or(0)),
+        None => (tail, 0),
+    }
+}
+
+/// Noise band for the scaling gate: the gate fails only when the PAM t=4
+/// best sample is more than this factor of the t=1 best sample. A healthy
+/// multi-core host puts t4 *well below* t1 (the fan-out covers most of
+/// the event) and a scaling regression puts it at 2× and beyond, so the
+/// 5% band changes nothing about what the gate catches — it only keeps a
+/// parity-tie under shared-runner contention from flapping CI red.
+pub const SCALING_GATE_TOLERANCE: f64 = 1.05;
+
+/// Runs the scaling sweep, writes `SCALING_cluster64.json` /
+/// `SCALING_cluster64.md` into the output directory, and — with `gate` —
+/// verifies that PAM at t=4 actually outruns t=1 (by best sample, the
+/// statistic robust to CI load spikes; see [`SCALING_GATE_TOLERANCE`]).
+///
+/// # Errors
+///
+/// Returns human-readable messages when the gate fails or output cannot
+/// be written.
+pub fn run_scaling(opts: &ScalingOptions) -> Result<(), Vec<String>> {
+    std::fs::create_dir_all(&opts.out_dir)
+        .map_err(|e| vec![format!("cannot create {}: {e}", opts.out_dir.display())])?;
+    let suite = scaling_suite(opts.quick);
+    for r in &suite.results {
+        let eps = r.events_per_sec.map_or(String::new(), |e| format!("  [{e:.0} events/s]"));
+        eprintln!("  {:<32} {:>12.1} ns/op{eps}", r.id, r.ns_per_op);
+    }
+    let json_path = opts.out_dir.join("SCALING_cluster64.json");
+    std::fs::write(&json_path, render_json(&suite, opts.quick))
+        .map_err(|e| vec![format!("cannot write {}: {e}", json_path.display())])?;
+    let md = render_scaling_markdown(&suite);
+    let md_path = opts.out_dir.join("SCALING_cluster64.md");
+    std::fs::write(&md_path, &md)
+        .map_err(|e| vec![format!("cannot write {}: {e}", md_path.display())])?;
+    eprintln!("  wrote {} and {}", json_path.display(), md_path.display());
+    print!("{md}");
+    if !opts.gate {
+        return Ok(());
+    }
+    let best = |kind: &str, t: usize| {
+        suite.results.iter().find(|r| split_cluster_id(&r.id) == (kind, t)).map(|r| r.ns_min)
+    };
+    match (best("PAM", 1), best("PAM", 4)) {
+        (Some(t1), Some(t4)) if t4 < t1 * SCALING_GATE_TOLERANCE => {
+            eprintln!("scaling gate: PAM t4 is {:.2}x the speed of t1 — pass", t1 / t4);
+            Ok(())
+        }
+        (Some(t1), Some(t4)) => Err(vec![format!(
+            "scaling gate: PAM t4 ({t4:.0} ns/op best) is not faster than t1 ({t1:.0} ns/op \
+             best) — the fan-out is not yielding real parallel speedup on this host"
+        )]),
+        _ => Err(vec!["scaling gate: PAM t1/t4 rows missing from the sweep".to_string()]),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +640,15 @@ pub fn attach_baseline(suite: &mut BenchSuite, dir: &Path) -> Option<Vec<String>
     for r in &mut suite.results {
         if let Some(&b) = baseline.get(&r.id) {
             r.baseline_ns_per_op = Some(b);
+            // The fanout/* rows time raw thread-dispatch (spawns, channel
+            // wakeups) whose best sample still swings several-fold with
+            // OS scheduling on shared runners — they exist to *record*
+            // the scoped-vs-pool gap, not to gate on it, so they are
+            // exempt from the regression check (the baseline comparison
+            // is still embedded in the JSON for the record).
+            if r.id.starts_with("fanout/") {
+                continue;
+            }
             // Gate on the *fastest* sample: the minimum is far more robust
             // to transient CI load spikes than the mean, while a genuine
             // regression (reintroduced allocation, broken cache) slows
@@ -606,7 +773,8 @@ mod tests {
             dir.join("BENCH_pmf.json"),
             "{\"results\": [\
              {\"id\": \"fast\", \"ns_per_op\": 100.0, \"samples\": 3},\
-             {\"id\": \"slow\", \"ns_per_op\": 100.0, \"samples\": 3}]}",
+             {\"id\": \"slow\", \"ns_per_op\": 100.0, \"samples\": 3},\
+             {\"id\": \"fanout/dispatch\", \"ns_per_op\": 100.0, \"samples\": 3}]}",
         )
         .unwrap();
         let mk = |id: &str, min: f64| BenchResult {
@@ -622,10 +790,22 @@ mod tests {
             name: "pmf",
             // "fast": noisy mean (240) but healthy best sample (within 2x).
             // "slow": even the best sample is 3x the baseline → regression.
-            results: vec![mk("fast", 190.0), mk("slow", 300.0), mk("unknown", 9e9)],
+            // "fanout/dispatch": 5x over baseline but dispatch rows are
+            // exempt from the gate (recorded, never failed on).
+            results: vec![
+                mk("fast", 190.0),
+                mk("slow", 300.0),
+                mk("unknown", 9e9),
+                mk("fanout/dispatch", 500.0),
+            ],
         };
         let regressions = attach_baseline(&mut suite, &dir).expect("baseline file exists");
         assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(
+            suite.results[3].baseline_ns_per_op,
+            Some(100.0),
+            "exempt rows still record their baseline"
+        );
         assert!(
             attach_baseline(&mut BenchSuite { name: "mapping", results: Vec::new() }, &dir)
                 .is_none(),

@@ -23,18 +23,22 @@ pub struct Cli {
     pub against: Option<PathBuf>,
     /// bench: fail on a >2× regression versus the `--against` baseline.
     pub check: bool,
+    /// scaling: fail unless the t=4 leg beats t=1 (multi-core hosts only).
+    pub gate: bool,
 }
 
 /// CLI usage text.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: hcsim-exp <fig4|fig5|fig6|fig7|fig8|fig9|all|levels|ablate|bench> [options]
+    "usage: hcsim-exp <fig4|fig5|fig6|fig7|fig8|fig9|all|levels|ablate|bench|scaling> [options]
 
 figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           'levels' sweeps all heuristics over six oversubscription levels;
           'ablate' runs the design-choice ablation suite (see DESIGN.md);
           'bench' times the PMF calculus and the mapping loop, writing
-          BENCH_pmf.json / BENCH_mapping.json
+          BENCH_pmf.json / BENCH_mapping.json;
+          'scaling' runs just the cluster_64m threads sweep and writes
+          SCALING_cluster64.{json,md} (the multi-core scaling table)
 
 options:
   --quick           5 trials x 300 tasks (smoke run; bench: fewer samples)
@@ -53,6 +57,8 @@ options:
   --out DIR         write <fig>.md and <fig>.csv (bench: BENCH_*.json) into DIR
   --against DIR     bench: record DIR's BENCH_*.json numbers as the baseline
   --check           bench: exit nonzero if any op regresses >2x vs --against
+  --gate            scaling: exit nonzero unless PAM t=4 beats t=1 (use on
+                    hosts with at least 4 cores; the CI scaling job does)
   -h, --help        this text"
 }
 
@@ -70,6 +76,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut quick = false;
     let mut against = None;
     let mut check = false;
+    let mut gate = false;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -85,6 +92,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--csv" => csv = true,
             "--check" => check = true,
+            "--gate" => gate = true,
             "--against" => {
                 let value = iter.next().ok_or_else(|| format!("{arg} requires a value"))?;
                 against = Some(PathBuf::from(value));
@@ -113,6 +121,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
             "all" => figures.extend(ALL_FIGURES.iter().map(|s| (*s).to_string())),
             "ablate" => figures.push("ablate".to_string()),
             "bench" => figures.push("bench".to_string()),
+            "scaling" => figures.push("scaling".to_string()),
             name if ALL_FIGURES.contains(&name) || EXTRA_FIGURES.contains(&name) => {
                 figures.push(name.to_string())
             }
@@ -126,7 +135,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, String> {
         return Err("--trials and --tasks must be positive".to_string());
     }
     figures.dedup();
-    Ok(Cli { figures, opts, csv, out_dir, quick, against, check })
+    Ok(Cli { figures, opts, csv, out_dir, quick, against, check, gate })
 }
 
 #[cfg(test)]

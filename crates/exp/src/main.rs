@@ -66,6 +66,18 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::FAILURE;
             }
+        } else if name == "scaling" {
+            let scaling_opts = bench::ScalingOptions {
+                quick: cli.quick,
+                out_dir: cli.out_dir.clone().unwrap_or_else(|| std::path::PathBuf::from(".")),
+                gate: cli.gate,
+            };
+            if let Err(failures) = bench::run_scaling(&scaling_opts) {
+                for f in failures {
+                    eprintln!("{f}");
+                }
+                return ExitCode::FAILURE;
+            }
         } else if name == "ablate" {
             for (i, table) in ablations::all(&cli.opts).into_iter().enumerate() {
                 if let Err(e) = emit(&table, &format!("ablation_{}", i + 1), &cli) {

@@ -1,23 +1,29 @@
-//! Deterministic scoped-thread fan-out primitives.
+//! Deterministic fan-out primitives: scoped spawns and a persistent pool.
 //!
-//! Two layers of the workspace fan work out across cores:
+//! Three layers of the workspace fan work out across cores:
 //!
 //! * the experiment harness runs 30 independent workload trials per
 //!   configuration (§VII-A) — [`parallel_map`];
 //! * the mapping event scores a candidate task against *every* machine's
 //!   completion-time chain independently (§IV), and the per-machine tail
-//!   caches are disjoint mutable cells — [`parallel_for_each_mut`].
+//!   caches are disjoint mutable cells — [`parallel_for_each_mut`] for
+//!   one-shot scoped fan-outs, [`WorkerPool`] when the same cells are
+//!   fanned out every event and the scoped-spawn tax would dominate.
 //!
-//! Both primitives guarantee **index-ordered, scheduling-independent
+//! All primitives guarantee **index-ordered, scheduling-independent
 //! results**: callers get the same output for the same input regardless of
 //! thread count or interleaving, so determinism comes from per-index
 //! derivation (RNG streams, machine indices), never from scheduling order.
-//! This crate sits below `hcsim-core` in the dependency DAG (it depends on
-//! nothing but `std`), so the mapping hot loop can use it without pulling
-//! in the experiment harness.
+//! This crate sits below `hcsim-core` in the dependency DAG (it depends
+//! on nothing but `std` and the workspace's no-op serde markers), so the
+//! mapping hot loop can use it without pulling in the experiment harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{resolve_backend, FanoutBackend, WorkerPool};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

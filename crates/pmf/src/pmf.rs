@@ -56,10 +56,27 @@ impl std::error::Error for PmfError {}
 /// Total mass is *usually* 1 but sub-distributions (e.g. the deadline-
 /// truncated completion PMFs of Eq. 3–4 before carry-over is added) are
 /// legal; [`Pmf::is_normalized`] distinguishes the two.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct Pmf {
     times: Vec<Time>,
     masses: Vec<f64>,
+}
+
+/// Hand-written so `clone_from` reuses the destination's column buffers —
+/// the scorer's pooled-mode copy-out paths clone tails into long-lived
+/// buffers on every query, and the derived impl would reallocate both
+/// `Vec`s each time.
+impl Clone for Pmf {
+    fn clone(&self) -> Self {
+        Self { times: self.times.clone(), masses: self.masses.clone() }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Destructured so a new field cannot be silently skipped.
+        let Self { times, masses } = source;
+        self.times.clone_from(times);
+        self.masses.clone_from(masses);
+    }
 }
 
 impl Pmf {

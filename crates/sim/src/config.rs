@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use hcsim_parallel::FanoutBackend;
 use hcsim_pmf::DropPolicy;
 use serde::{Deserialize, Serialize};
 
@@ -30,11 +31,22 @@ pub struct SimConfig {
     /// when set. Parallel scoring merges in machine-index order, so this
     /// is a pure performance knob: reports are bit-identical at any value.
     pub threads: usize,
+    /// Which engine executes the fan-out ([`FanoutBackend::Auto`] = defer
+    /// to the mapper's knob, bottoming out at the persistent worker
+    /// pool). Like `threads`, a pure performance knob: the scoped and
+    /// pooled paths produce byte-identical reports.
+    pub backend: FanoutBackend,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { drop_policy: DropPolicy::All, trim: 100, approx_min_progress: None, threads: 0 }
+        Self {
+            drop_policy: DropPolicy::All,
+            trim: 100,
+            approx_min_progress: None,
+            threads: 0,
+            backend: FanoutBackend::Auto,
+        }
     }
 }
 
@@ -58,6 +70,7 @@ mod tests {
         assert_eq!(c.trim, 100);
         assert!(c.approx_min_progress.is_none(), "approximate computing is opt-in");
         assert_eq!(c.threads, 0, "fan-out threads default to auto");
+        assert_eq!(c.backend, FanoutBackend::Auto, "fan-out backend defaults to auto");
     }
 
     #[test]

@@ -262,6 +262,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             missed_since_last: self.missed_since_last,
             drop_policy: self.config.drop_policy,
             threads: self.config.threads,
+            backend: self.config.backend,
             spec: self.spec,
             batch: &mut self.batch,
             machines: &mut self.machines,

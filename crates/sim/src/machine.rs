@@ -58,7 +58,7 @@ impl ExecutingTask {
 }
 
 /// One machine's queue: the executing task plus pending FCFS entries.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MachineState {
     id: MachineId,
     capacity: usize,
@@ -68,6 +68,36 @@ pub struct MachineState {
     version: u64,
     /// Invalidates in-flight completion events after an eviction.
     pub(crate) run_token: u64,
+}
+
+/// Hand-written so that `clone_from` reuses the destination's pending
+/// buffer: the worker-pool scoring path snapshots every machine once per
+/// fan-out round, and derived `clone_from` would reallocate the `VecDeque`
+/// each time.
+impl Clone for MachineState {
+    fn clone(&self) -> Self {
+        Self {
+            id: self.id,
+            capacity: self.capacity,
+            executing: self.executing,
+            pending: self.pending.clone(),
+            version: self.version,
+            run_token: self.run_token,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Destructured so adding a field to MachineState is a compile
+        // error here (a silently-skipped field would desynchronize the
+        // scorer's reused snapshot buffers from live machines).
+        let Self { id, capacity, executing, pending, version, run_token } = source;
+        self.id = *id;
+        self.capacity = *capacity;
+        self.executing = *executing;
+        self.pending.clone_from(pending);
+        self.version = *version;
+        self.run_token = *run_token;
+    }
 }
 
 impl MachineState {

@@ -9,6 +9,7 @@
 
 use crate::machine::MachineState;
 use hcsim_model::{MachineId, SystemSpec, Task, TaskId, Time};
+use hcsim_parallel::FanoutBackend;
 use hcsim_pmf::DropPolicy;
 
 /// Why an assignment was rejected.
@@ -55,6 +56,7 @@ pub struct MapContext<'a> {
     pub(crate) missed_since_last: usize,
     pub(crate) drop_policy: DropPolicy,
     pub(crate) threads: usize,
+    pub(crate) backend: FanoutBackend,
     pub(crate) spec: &'a SystemSpec,
     pub(crate) batch: &'a mut Vec<Task>,
     pub(crate) machines: &'a mut [MachineState],
@@ -98,6 +100,14 @@ impl<'a> MapContext<'a> {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The engine-level fan-out backend knob
+    /// ([`crate::SimConfig::backend`]). Heuristics consult this when their
+    /// own configuration leaves the backend on auto.
+    #[must_use]
+    pub fn backend(&self) -> FanoutBackend {
+        self.backend
     }
 
     /// Unmapped tasks in arrival order.
@@ -353,6 +363,7 @@ mod tests {
                 missed_since_last: 0,
                 drop_policy: DropPolicy::All,
                 threads: 0,
+                backend: FanoutBackend::Auto,
                 spec: &self.spec,
                 batch: &mut self.batch,
                 machines: &mut self.machines,
