@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
 use hcsim_model::{SystemSpec, Task, TaskId, TaskTypeId};
-use hcsim_pmf::DropPolicy;
+use hcsim_pmf::{convolve, DropPolicy, Pmf};
 use hcsim_sim::{run_simulation, testkit, MachineState, SimConfig};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{specint_system, WorkloadConfig, WorkloadGenerator};
@@ -101,12 +101,33 @@ fn bench_tail_after_append(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Eq. 6 moment pass of a stats-mode chain extension: mean, variance,
+/// and skewness over the *uncompacted* completion PMF (a convolution
+/// product, thousands of impulses) in one fused kernel — the drop-pass
+/// hot spot the ROADMAP perf item targets.
+fn bench_moments(c: &mut Criterion) {
+    let seeds = SeedSequence::new(99);
+    let spec = specint_system(8, &mut seeds.stream(0));
+    let cell = |tt: u16, m: u16| spec.pet.pmf(TaskTypeId(tt), hcsim_model::MachineId(m));
+    let mut group = c.benchmark_group("moments");
+    for (label, pmf) in [
+        ("pet_cell", cell(0, 0).clone()),
+        ("uncompacted_conv", convolve(cell(0, 0), cell(3, 0))),
+        ("uncompacted_chain3", convolve(&convolve(cell(0, 0), cell(3, 0)), cell(7, 0))),
+    ] {
+        group.bench_with_input(BenchmarkId::new("fused", label), &pmf, |b, p: &Pmf| {
+            b.iter(|| black_box(p.moments()));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_trial_per_heuristic, bench_scorer, bench_tail_after_append
+    targets = bench_trial_per_heuristic, bench_scorer, bench_tail_after_append, bench_moments
 }
 criterion_main!(benches);

@@ -121,6 +121,9 @@ impl Mapper for Moc {
         }
         let mut scorer = self.scorer.take().expect("initialized above");
         scorer.begin_event(ctx.now());
+        // Track cluster churn (pool re-gating + departed-machine cache
+        // release; one compare per event while membership is stable).
+        scorer.sync_membership(ctx.membership_epoch(), ctx.machines());
 
         // Phase 1 runs over the incremental (window × machine) score
         // table: one per-machine fan-out per event, then only the assigned

@@ -122,6 +122,10 @@ impl Mapper for Pam {
         }
         let mut scorer = self.scorer.take().expect("initialized above");
         scorer.begin_event(ctx.now());
+        // Track cluster churn: a membership change re-gates the pool on
+        // the live machine count and releases the chains of departed
+        // machines (one compare per event while nothing changes).
+        scorer.sync_membership(ctx.membership_epoch(), ctx.machines());
         // Resolve the fan-out engine once per event: at cluster scale the
         // persistent worker pool serves both the pruner warm-up and the
         // score-table rounds below.

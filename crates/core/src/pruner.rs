@@ -232,8 +232,10 @@ impl Pruner {
         let mut dropped = 0;
         // Anchor the cache to this event's clock (a no-op when the mapper
         // already began the event; required when the pruner is driven
-        // standalone, as the behavioral tests do).
+        // standalone, as the behavioral tests do). Same for the
+        // membership epoch: churn re-gates the pool on the live cluster.
         scorer.begin_event(ctx.now());
+        scorer.sync_membership(ctx.membership_epoch(), ctx.machines());
         // Fan the expensive per-machine chain/statistics computation out
         // across cores before the sequential decision walk below: the
         // first `slot_scores` query per machine then hits a warm cache,

@@ -240,6 +240,27 @@ struct MachineCache {
 }
 
 impl MachineCache {
+    /// Drops the cached chain — the machine left the cluster. Every PMF is
+    /// recycled into the cell's own scratch pool, so a later re-join
+    /// rebuilds from the free-list instead of the allocator; the cell
+    /// itself (and its shard slot in a pooled store) stays put, which is
+    /// what keeps surviving machines' warmth intact across membership
+    /// changes.
+    fn release(&mut self) {
+        let Self { cache, scratch, .. } = self;
+        for link in cache.links.drain(..) {
+            scratch.recycle(link);
+        }
+        if let Some(head) = cache.head.take() {
+            scratch.recycle(head);
+        }
+        cache.pending_sig.clear();
+        cache.slots.clear();
+        cache.exec_sig = None;
+        cache.valid = false;
+        cache.stats_valid = false;
+    }
+
     /// Brings the cache up to date against `machine` at event time `now`
     /// (see module docs for the incremental strategy). `want_stats`
     /// additionally guarantees every slot's skewness is populated,
@@ -401,6 +422,13 @@ pub struct ProbScorer {
     now: Time,
     /// Resolved fan-out width (set by [`ProbScorer::set_parallelism`]).
     threads: usize,
+    /// Last cluster-membership epoch synchronized
+    /// ([`ProbScorer::sync_membership`]); `None` until the first sync.
+    membership_epoch: Option<u64>,
+    /// Schedulable machines as of the last sync — what gates the worker
+    /// pool (the fan-out should track the *live* cluster, not the machine
+    /// universe).
+    schedulable: usize,
     /// Per-machine incremental availability chains, index-aligned with
     /// machine ids.
     cells: CellStore,
@@ -435,6 +463,8 @@ impl ProbScorer {
             pet: Arc::new(pet.clone()),
             now: 0,
             threads: 1,
+            membership_epoch: None,
+            schedulable: pet.machines(),
             cells: CellStore::Local(cells),
             hypo_scratch: ConvScratch::new(),
             snapshot: None,
@@ -470,11 +500,16 @@ impl ProbScorer {
     pub fn set_parallelism(&mut self, threads: usize, backend: FanoutBackend) {
         let threads = threads.max(1);
         self.threads = threads;
-        let machines = self.shared.machines;
+        // Gate on the *schedulable* machine count (the live cluster after
+        // churn, synced by [`ProbScorer::sync_membership`]; the full
+        // machine universe for a static cluster), so a cluster that
+        // shrinks below the fan-out floor dissolves its pool and one that
+        // grows back re-builds it.
+        let live = self.schedulable;
         let want_pool = hcsim_parallel::resolve_backend(backend) == FanoutBackend::Pool
             && threads > 1
-            && machines >= PARALLEL_MIN_MACHINES;
-        let pool_threads = threads.clamp(1, machines.max(1));
+            && live >= PARALLEL_MIN_MACHINES;
+        let pool_threads = threads.clamp(1, live.max(1));
         let needs_change = match &self.cells {
             CellStore::Local(_) => want_pool,
             CellStore::Pooled(pool) => !want_pool || pool.threads() != pool_threads,
@@ -482,17 +517,60 @@ impl ProbScorer {
         if !needs_change {
             return;
         }
-        let cells = match std::mem::replace(&mut self.cells, CellStore::Local(Vec::new())) {
-            CellStore::Local(cells) => cells,
-            CellStore::Pooled(pool) => pool.into_cells(),
+        self.cells = match std::mem::replace(&mut self.cells, CellStore::Local(Vec::new())) {
+            // Pooled → pooled with a different width: the membership-epoch
+            // re-shard. Cells move intact, so surviving machines keep
+            // their cached chains.
+            CellStore::Pooled(pool) if want_pool => {
+                // Built with the clamped count so the `needs_change`
+                // compare above is structural, not a coincidence of
+                // matching clamps.
+                CellStore::Pooled(pool.reshard(pool_threads))
+            }
+            CellStore::Pooled(pool) => CellStore::Local(pool.into_cells()),
+            CellStore::Local(cells) if want_pool => {
+                CellStore::Pooled(WorkerPool::new(cells, pool_threads))
+            }
+            local => local,
         };
-        self.cells = if want_pool {
-            // Built with the clamped count so the `needs_change` compare
-            // above is structural, not a coincidence of matching clamps.
-            CellStore::Pooled(WorkerPool::new(cells, pool_threads))
-        } else {
-            CellStore::Local(cells)
-        };
+    }
+
+    /// Synchronizes the scorer with the cluster's membership epoch (see
+    /// [`hcsim_sim::MapContext::membership_epoch`]). A no-op while the
+    /// epoch is unchanged — the per-event steady state costs one compare.
+    /// On a new epoch:
+    ///
+    /// * the schedulable-machine count that gates the worker pool is
+    ///   refreshed (the next [`ProbScorer::set_parallelism`] call then
+    ///   re-shards via [`WorkerPool::reshard`] if the clamp moved —
+    ///   surviving machines' cells migrate with their cache warmth);
+    /// * machines that left the cluster with empty queues have their
+    ///   cached availability chains released back into their cells'
+    ///   scratch pools (a re-join starts from a fresh, empty queue anyway,
+    ///   and the version bump of the join would invalidate the chain —
+    ///   releasing eagerly just returns the memory).
+    ///
+    /// Purely a resource-management hook: results are bit-identical with
+    /// or without it, because cache validity is keyed on machine versions,
+    /// which every lifecycle transition bumps.
+    pub fn sync_membership(&mut self, epoch: u64, machines: &[MachineState]) {
+        if self.membership_epoch == Some(epoch) {
+            return;
+        }
+        self.membership_epoch = Some(epoch);
+        debug_assert_machine_alignment(machines);
+        self.schedulable = machines.iter().filter(|m| m.is_schedulable()).count();
+        for (i, machine) in machines.iter().enumerate() {
+            if !machine.is_schedulable() && machine.occupancy() == 0 {
+                self.cells.with(i, MachineCache::release);
+            }
+        }
+    }
+
+    /// Schedulable machines as of the last membership sync (diagnostics).
+    #[must_use]
+    pub fn schedulable_machines(&self) -> usize {
+        self.schedulable
     }
 
     /// True when the machine cells currently live in a persistent worker
@@ -1647,6 +1725,71 @@ mod tests {
                 assert_eq!(local.slot_scores(machine), pooled.slot_scores(machine));
             }
         }
+    }
+
+    #[test]
+    fn membership_sync_regates_pool_and_releases_departed_chains() {
+        let n = PARALLEL_MIN_MACHINES + 4;
+        let (pet, mut machines) = fanout_fixture(n);
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(3);
+        scorer.sync_membership(0, &machines);
+        assert_eq!(scorer.schedulable_machines(), n);
+        scorer.set_parallelism(4, FanoutBackend::Pool);
+        assert!(scorer.pool_active());
+        scorer.warm_caches(&machines, false);
+        // Churn: fail 5 and drain 4 machines → below the fan-out floor.
+        for m in machines.iter_mut().take(5) {
+            assert!(testkit::apply(m, testkit::QueueOp::Fail));
+        }
+        for m in machines.iter_mut().skip(5).take(4) {
+            testkit::apply(m, testkit::QueueOp::BeginDrain);
+        }
+        scorer.sync_membership(1, &machines);
+        assert_eq!(scorer.schedulable_machines(), n - 9);
+        scorer.set_parallelism(4, FanoutBackend::Pool);
+        assert!(!scorer.pool_active(), "cluster shrank below the pool gate");
+        // Every tail — survivors from their migrated warm cells, departed
+        // machines rebuilt from scratch — must match a cold scorer.
+        let mut cold = ProbScorer::new(&pet, DropPolicy::All, 16);
+        cold.begin_event(3);
+        for machine in &machines {
+            assert_eq!(
+                scorer.tail(machine).clone(),
+                cold.tail(machine).clone(),
+                "machine {} diverged after churn",
+                machine.id()
+            );
+        }
+        // Re-join the failed machines: the pool comes back, warm state
+        // (whatever survived) migrates in.
+        for m in machines.iter_mut().take(5) {
+            assert!(testkit::apply(m, testkit::QueueOp::Join));
+        }
+        scorer.sync_membership(2, &machines);
+        scorer.set_parallelism(4, FanoutBackend::Pool);
+        assert!(scorer.pool_active(), "grown cluster re-builds the pool");
+        // Same epoch again: a no-op (the steady-state path).
+        scorer.sync_membership(2, &machines);
+        assert_eq!(scorer.schedulable_machines(), n - 4);
+    }
+
+    #[test]
+    fn score_table_gives_absent_machines_empty_columns() {
+        let (pet, mut machines) = fanout_fixture(6);
+        testkit::apply(&mut machines[1], testkit::QueueOp::BeginDrain);
+        testkit::apply(&mut machines[2], testkit::QueueOp::Fail);
+        let tasks = vec![Task { id: TaskId(9), type_id: TaskTypeId(0), arrival: 0, deadline: 400 }];
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(0);
+        scorer.sync_membership(1, &machines);
+        let mut table = ScoreTable::new();
+        table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
+        for m in [1usize, 2] {
+            assert_eq!(table.get(0, m), None, "absent machine {m} must not be scored");
+        }
+        let (best_machine, _) = table.best_for_row(&machines, 0).expect("survivors scored");
+        assert!(machines[best_machine.index()].is_schedulable());
     }
 
     #[test]

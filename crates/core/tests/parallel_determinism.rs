@@ -26,9 +26,11 @@
 //! in-test comparison is degenerate.
 
 use hcsim_core::{FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
-use hcsim_sim::{run_simulation, SimConfig, SimReport};
+use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig, SimReport};
 use hcsim_stats::SeedSequence;
-use hcsim_workload::{specint_cluster, WorkloadConfig, WorkloadGenerator};
+use hcsim_workload::{
+    cluster_churn, specint_cluster, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+};
 use proptest::prelude::*;
 
 /// Thread count for the parallel side; `HCSIM_TEST_THREADS` lets the CI
@@ -77,6 +79,57 @@ fn fingerprint(report: &SimReport) -> String {
     format!("{:?}\n{:?}\n{:?}", report.metrics, report.records, report.cost)
 }
 
+/// Like [`cluster_trial`] but with a generated membership-churn timeline:
+/// a quarter of the cluster joins late, and drains + failures (with task
+/// requeue through the mapper) land mid-run. Exercises the scorer's cell
+/// release, the pool re-gating across epochs, and the engine's requeue
+/// path under every execution mode.
+fn churn_cluster_trial(
+    kind: HeuristicKind,
+    machines: usize,
+    num_tasks: usize,
+    oversubscription: f64,
+    seed: u64,
+    threads: usize,
+    backend: FanoutBackend,
+) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks,
+        oversubscription,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    // Churn spread across the arrival burst and its drain-out tail; the
+    // floor keeps the run above the pool gate part of the time so both
+    // pooled and local cell stores are exercised within one trial.
+    let churn = cluster_churn(
+        &ChurnConfig {
+            num_machines: machines,
+            initial_absent: machines / 4,
+            drains: 3,
+            fails: 3,
+            span: (num_tasks as u64) * 2,
+            min_active: machines / 2,
+        },
+        &mut seeds.stream(3),
+    );
+    let mut mapper = kind.build(PruningConfig { threads, backend, ..PruningConfig::default() });
+    let mut rng = seeds.stream(2);
+    run_simulation_with_churn(&spec, SimConfig::untrimmed(), &tasks, &churn, &mut mapper, &mut rng)
+}
+
+/// Proptest case count for the churn invariance proptest; the CI churn
+/// leg (`HCSIM_TEST_CHURN=1`) runs a deeper sweep.
+fn churn_cases() -> u32 {
+    if std::env::var("HCSIM_TEST_CHURN").as_deref() == Ok("1") {
+        8
+    } else {
+        3
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
@@ -118,6 +171,34 @@ proptest! {
             HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, FanoutBackend::Pool);
         prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
         prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: churn_cases(), ..ProptestConfig::default() })]
+
+    /// PAM under cluster churn: joins, drains, and failures (with their
+    /// task requeues) land mid-run, the scorer releases departed cells
+    /// and re-gates the pool across membership epochs — and the report
+    /// must still be byte-identical across sequential, scoped, and
+    /// pooled execution. `HCSIM_TEST_CHURN=1` (the CI churn leg) widens
+    /// the seed sweep.
+    #[test]
+    fn pam_churn_reports_are_execution_mode_invariant(seed in 0u64..10_000) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let t = test_threads();
+        let seq = churn_cluster_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, 1, FanoutBackend::Scoped);
+        let scoped = churn_cluster_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, FanoutBackend::Scoped);
+        let pool = churn_cluster_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, FanoutBackend::Pool);
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        // Membership bookkeeping is decided before execution-mode
+        // choices, so it must agree byte-for-byte too.
+        prop_assert_eq!(seq.churn, pool.churn);
+        prop_assert_eq!(seq.epochs, pool.epochs);
     }
 }
 
@@ -169,3 +250,74 @@ const GOLDEN_EXPIRED_UNSTARTED: usize = 62;
 const GOLDEN_EXPIRED_EXECUTING: usize = 2;
 const GOLDEN_MAPPING_EVENTS: u64 = 727;
 const GOLDEN_END_TIME: u64 = 542;
+
+/// Seed-golden pin of the `cluster_64m_churn` bench scenario (reduced
+/// task count): the static pin above, but with 16 machines joining late
+/// and 3 drains + 3 fails landing mid-run. Pins the whole dynamic
+/// trajectory — membership ordering, failure requeue, per-epoch
+/// attribution — against behavioral drift, and re-proves execution-mode
+/// agreement on every CI leg (the churn leg sets `HCSIM_TEST_CHURN=1`
+/// for the wider proptest sweep; the pin itself runs everywhere).
+#[test]
+fn cluster_64m_churn_seed_golden_pin() {
+    let report =
+        churn_cluster_trial(HeuristicKind::Pam, 64, 400, 272_000.0, 2019, 1, FanoutBackend::Scoped);
+    let parallel = churn_cluster_trial(
+        HeuristicKind::Pam,
+        64,
+        400,
+        272_000.0,
+        2019,
+        test_threads(),
+        test_backend(),
+    );
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&parallel),
+        "threads=1 and threads={} ({:?}) diverged on the pinned churn scenario",
+        test_threads(),
+        test_backend(),
+    );
+    assert_eq!(report.churn, parallel.churn);
+    assert_eq!(report.epochs, parallel.epochs);
+    let o = &report.metrics.outcomes;
+    eprintln!(
+        "churn golden: on_time={} late={} pruned={} exp_unstarted={} exp_executing={} \
+         events={} end={} joins={} drains={} fails={} requeued={} epochs={}",
+        o.on_time,
+        o.late,
+        o.pruned,
+        o.expired_unstarted,
+        o.expired_executing,
+        report.mapping_events,
+        report.end_time,
+        report.churn.joins,
+        report.churn.drains,
+        report.churn.fails,
+        report.churn.requeued,
+        report.epochs.len(),
+    );
+    assert_eq!(o.on_time, CHURN_GOLDEN_ON_TIME);
+    assert_eq!(o.pruned, CHURN_GOLDEN_PRUNED);
+    assert_eq!(o.expired_unstarted, CHURN_GOLDEN_EXPIRED_UNSTARTED);
+    assert_eq!(o.expired_executing, CHURN_GOLDEN_EXPIRED_EXECUTING);
+    assert_eq!(report.mapping_events, CHURN_GOLDEN_MAPPING_EVENTS);
+    assert_eq!(report.end_time, CHURN_GOLDEN_END_TIME);
+    assert_eq!(report.churn.joins, 16);
+    assert_eq!(report.churn.drains, 3);
+    assert_eq!(report.churn.fails, 3);
+    assert_eq!(report.churn.requeued, CHURN_GOLDEN_REQUEUED);
+    assert_eq!(report.epochs.len(), CHURN_GOLDEN_EPOCHS);
+    // Every terminal record lands in exactly one epoch slice.
+    let sliced: usize = report.epochs.iter().map(|e| e.finished).sum();
+    assert_eq!(sliced, report.records.len());
+}
+
+const CHURN_GOLDEN_ON_TIME: usize = 271;
+const CHURN_GOLDEN_PRUNED: usize = 10;
+const CHURN_GOLDEN_EXPIRED_UNSTARTED: usize = 117;
+const CHURN_GOLDEN_EXPIRED_EXECUTING: usize = 2;
+const CHURN_GOLDEN_MAPPING_EVENTS: u64 = 695;
+const CHURN_GOLDEN_END_TIME: u64 = 749;
+const CHURN_GOLDEN_REQUEUED: u64 = 2;
+const CHURN_GOLDEN_EPOCHS: usize = 23;

@@ -26,9 +26,11 @@ use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
 use hcsim_model::{MachineId, SystemSpec, Task, TaskId, TaskTypeId};
 use hcsim_parallel::{parallel_for_each_mut, WorkerPool};
 use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf, Time};
-use hcsim_sim::{run_simulation, testkit, SimConfig};
+use hcsim_sim::{run_simulation, run_simulation_with_churn, testkit, SimConfig};
 use hcsim_stats::{Gamma, Histogram, SeedSequence};
-use hcsim_workload::{specint_cluster, specint_system, WorkloadConfig, WorkloadGenerator};
+use hcsim_workload::{
+    cluster_churn, specint_cluster, specint_system, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -307,6 +309,24 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
         ));
     }
 
+    // The Eq. 6 stats pass the pruner pays per stats-mode chain
+    // extension: one fused moments pass over a wide *uncompacted*
+    // completion PMF (a convolution product, thousands of impulses).
+    {
+        let wide = convolve(&gamma_pmf(300.0, 2.0, 64, 10), &gamma_pmf(260.0, 3.0, 64, 11));
+        // Stable id (no embedded width): a drift in the convolved length
+        // would otherwise rename the row and silently drop it from the
+        // `--against --check` gate, which skips unknown ids.
+        eprintln!("  (moments fixture: {} impulses)", wide.len());
+        results.push(result(
+            "moments/uncompacted",
+            &timer,
+            timer.run(|| {
+                std::hint::black_box(wide.moments());
+            }),
+        ));
+    }
+
     // From-scratch full-queue analysis (the pruner's view), for reference.
     {
         let pending: Vec<Task> =
@@ -439,6 +459,48 @@ fn cluster_sweep(quick: bool, results: &mut Vec<BenchResult>) {
     for threads in [1usize, 4] {
         cluster_trial(HeuristicKind::Moc, threads);
     }
+
+    // The same cluster under membership churn: 56 machines at t=0, 8
+    // joining mid-run, 6 drains + 4 fails (floor 40) spread over the
+    // run's time window. This exercises the full dynamic path — event
+    // pipeline, failure requeue, scorer cache release, pool re-gating —
+    // at bench scale, so membership handling showing up on the per-event
+    // hot path is caught by the regression gate like any other slowdown.
+    let churn_trace = cluster_churn(
+        &ChurnConfig {
+            num_machines: 64,
+            initial_absent: 8,
+            drains: 6,
+            fails: 4,
+            span: 400,
+            min_active: 40,
+        },
+        &mut seeds.stream(6),
+    );
+    let mut churn_cluster_trial = |kind: HeuristicKind, threads: usize| {
+        let mut events = 0u64;
+        let timing = cluster_timer.run(|| {
+            let mut mapper = kind.build(PruningConfig { threads, ..PruningConfig::default() });
+            let mut rng = seeds.stream(5);
+            let report = run_simulation_with_churn(
+                &cluster_spec,
+                SimConfig::untrimmed(),
+                &cluster_tasks,
+                &churn_trace,
+                &mut mapper,
+                &mut rng,
+            );
+            events = report.mapping_events;
+            std::hint::black_box(report.metrics.counted);
+        });
+        let mut r =
+            result(format!("cluster_64m_churn/{}_t{threads}", kind.name()), &cluster_timer, timing);
+        r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
+        results.push(r);
+    };
+    for threads in [1usize, 4] {
+        churn_cluster_trial(HeuristicKind::Pam, threads);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -476,7 +538,10 @@ pub fn render_scaling_markdown(suite: &BenchSuite) -> String {
         "# cluster_64m scaling table\n\n\
          64 machines, 8x arrival rate, 250 tasks; PAM (t=1/2/4/8) and MOC\n\
          (t=1/4) threads sweeps on the persistent worker-pool backend\n\
-         (t1 = sequential fast path).\n\n\
+         (t1 = sequential fast path). The cluster_64m_churn rows run the\n\
+         same cluster under membership churn (8 late joins, 6 drains,\n\
+         4 fails with task requeue); their speedups compare against the\n\
+         churn scenario's own t1 leg.\n\n\
          | id | threads | ns/op (best) | events/sec | speedup vs t1 |\n\
          |---|---|---|---|---|\n",
     );
@@ -499,12 +564,14 @@ pub fn render_scaling_markdown(suite: &BenchSuite) -> String {
     out
 }
 
-/// Splits `cluster_64m/PAM_t4` into `("PAM", 4)`.
+/// Splits `cluster_64m/PAM_t4` into `("cluster_64m/PAM", 4)`. Keeping the
+/// scenario prefix in the key is what stops the churn rows
+/// (`cluster_64m_churn/PAM_t1`) from aliasing the static rows in the
+/// per-leg t1 lookups.
 fn split_cluster_id(id: &str) -> (&str, usize) {
-    let tail = id.rsplit('/').next().unwrap_or(id);
-    match tail.rsplit_once("_t") {
+    match id.rsplit_once("_t") {
         Some((kind, t)) => (kind, t.parse().unwrap_or(0)),
-        None => (tail, 0),
+        None => (id, 0),
     }
 }
 
@@ -548,7 +615,7 @@ pub fn run_scaling(opts: &ScalingOptions) -> Result<(), Vec<String>> {
     let best = |kind: &str, t: usize| {
         suite.results.iter().find(|r| split_cluster_id(&r.id) == (kind, t)).map(|r| r.ns_min)
     };
-    match (best("PAM", 1), best("PAM", 4)) {
+    match (best("cluster_64m/PAM", 1), best("cluster_64m/PAM", 4)) {
         (Some(t1), Some(t4)) if t4 < t1 * SCALING_GATE_TOLERANCE => {
             eprintln!("scaling gate: PAM t4 is {:.2}x the speed of t1 — pass", t1 / t4);
             Ok(())

@@ -30,15 +30,19 @@ pub struct Cli {
 /// CLI usage text.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: hcsim-exp <fig4|fig5|fig6|fig7|fig8|fig9|all|levels|ablate|bench|scaling> [options]
+    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|ablate|bench|scaling> [options]
 
 figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           'levels' sweeps all heuristics over six oversubscription levels;
+          'churn' compares static vs dynamic cluster membership (late
+          joins, drains, failures with task requeue) on a 32-machine
+          cluster;
           'ablate' runs the design-choice ablation suite (see DESIGN.md);
-          'bench' times the PMF calculus and the mapping loop, writing
+          'bench' times the PMF calculus and the mapping loop (incl. the
+          cluster_64m and cluster_64m_churn scenarios), writing
           BENCH_pmf.json / BENCH_mapping.json;
-          'scaling' runs just the cluster_64m threads sweep and writes
-          SCALING_cluster64.{json,md} (the multi-core scaling table)
+          'scaling' runs just the cluster_64m(+churn) threads sweep and
+          writes SCALING_cluster64.{json,md} (the multi-core scaling table)
 
 options:
   --quick           5 trials x 300 tasks (smoke run; bench: fewer samples)

@@ -4,8 +4,12 @@
 use crate::report::Table;
 use crate::runner::{FigOptions, Scenario, SystemKind};
 use hcsim_core::{HeuristicKind, PruningConfig};
-use hcsim_stats::ConfidenceInterval;
-use hcsim_workload::WorkloadConfig;
+use hcsim_parallel::parallel_map;
+use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig};
+use hcsim_stats::{mean_ci95, ConfidenceInterval, SeedSequence};
+use hcsim_workload::{
+    cluster_churn, specint_cluster, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+};
 
 fn ci(ci: &ConfidenceInterval) -> String {
     format!("{:.1} ± {:.1}", ci.mean, ci.half_width)
@@ -286,6 +290,97 @@ pub fn levels(opts: &FigOptions) -> Table {
     table
 }
 
+/// Churn — robustness under dynamic cluster membership. Not in the
+/// paper: the machine set there is frozen, yet the premise is *robust
+/// dynamic* resource allocation. This scenario runs each heuristic on a
+/// 32-machine cluster twice per trial — once static, once under a
+/// generated churn timeline (late joins, drains, failures with task
+/// requeue) — and reports how much robustness the churn costs, plus the
+/// failure-requeue volume and the per-capacity-epoch trajectory length.
+#[must_use]
+pub fn churn(opts: &FigOptions) -> Table {
+    const MACHINES: usize = 32;
+    let mut table = Table::new(
+        "Churn — robustness under dynamic cluster membership (32 machines)",
+        vec![
+            "heuristic".into(),
+            "static (%)".into(),
+            "churn (%)".into(),
+            "delta (pp)".into(),
+            "requeued/trial".into(),
+            "capacity epochs/trial".into(),
+        ],
+    );
+    table.note(format!(
+        "{} trials x {} tasks; 26 machines at t=0, 6 join mid-run, 4 drains + 3 fails \
+         (floor 16); failed machines requeue their queued tasks through the mapper",
+        opts.trials, opts.num_tasks
+    ));
+    let seeds = SeedSequence::new(opts.seed);
+    let spec = specint_cluster(MACHINES, 6, &mut seeds.stream(0));
+    // Per-machine load matched to the 8-machine 34k level; churn spread
+    // over the arrival window plus drain-out tail.
+    let workload = WorkloadConfig {
+        num_tasks: opts.num_tasks,
+        oversubscription: 34_000.0 * (MACHINES as f64 / 8.0),
+        ..Default::default()
+    };
+    let generator = WorkloadGenerator::new(workload);
+    let churn_config = ChurnConfig {
+        num_machines: MACHINES,
+        initial_absent: 6,
+        drains: 4,
+        fails: 3,
+        span: (opts.num_tasks as hcsim_model::Time) * 2,
+        min_active: 16,
+    };
+    for kind in [HeuristicKind::Pam, HeuristicKind::Pamf, HeuristicKind::Moc, HeuristicKind::Mm] {
+        let outcomes: Vec<(f64, f64, f64, f64)> =
+            parallel_map(opts.trials, opts.threads, |trial| {
+                let trial_seeds = seeds.child(100 + trial as u64);
+                let tasks = generator.generate(&spec, &mut trial_seeds.stream(0));
+                let churn_trace = cluster_churn(&churn_config, &mut trial_seeds.stream(2));
+                let static_report = {
+                    let mut mapper = kind.build(PruningConfig::default());
+                    let mut rng = trial_seeds.stream(1);
+                    run_simulation(&spec, SimConfig::default(), &tasks, &mut mapper, &mut rng)
+                };
+                let churn_report = {
+                    let mut mapper = kind.build(PruningConfig::default());
+                    let mut rng = trial_seeds.stream(1);
+                    run_simulation_with_churn(
+                        &spec,
+                        SimConfig::default(),
+                        &tasks,
+                        &churn_trace,
+                        &mut mapper,
+                        &mut rng,
+                    )
+                };
+                (
+                    static_report.metrics.pct_on_time,
+                    churn_report.metrics.pct_on_time,
+                    churn_report.churn.requeued as f64,
+                    churn_report.epochs.len() as f64,
+                )
+            });
+        progress(&format!("{} churn @ {MACHINES}m", kind.name()));
+        let stat = mean_ci95(&outcomes.iter().map(|o| o.0).collect::<Vec<_>>());
+        let churned = mean_ci95(&outcomes.iter().map(|o| o.1).collect::<Vec<_>>());
+        let requeued = outcomes.iter().map(|o| o.2).sum::<f64>() / outcomes.len().max(1) as f64;
+        let epochs = outcomes.iter().map(|o| o.3).sum::<f64>() / outcomes.len().max(1) as f64;
+        table.push_row(vec![
+            kind.name().to_string(),
+            ci(&stat),
+            ci(&churned),
+            format!("{:+.1}", churned.mean - stat.mean),
+            format!("{requeued:.1}"),
+            format!("{epochs:.1}"),
+        ]);
+    }
+    table
+}
+
 /// Dispatches a figure by CLI name ("fig4" … "fig9").
 #[must_use]
 pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
@@ -297,6 +392,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
         "fig8" => Some(fig8(opts)),
         "fig9" => Some(fig9(opts)),
         "levels" => Some(levels(opts)),
+        "churn" => Some(churn(opts)),
         _ => None,
     }
 }
@@ -305,7 +401,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
 pub const ALL_FIGURES: [&str; 6] = ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"];
 
 /// Supplementary (non-paper) sweeps runnable by name.
-pub const EXTRA_FIGURES: [&str; 1] = ["levels"];
+pub const EXTRA_FIGURES: [&str; 2] = ["levels", "churn"];
 
 #[cfg(test)]
 mod tests {
@@ -336,5 +432,18 @@ mod tests {
     fn by_name_dispatch() {
         assert!(by_name("nope", &smoke()).is_none());
         assert_eq!(ALL_FIGURES.len(), 6);
+    }
+
+    #[test]
+    fn churn_table_shape() {
+        let t = churn(&FigOptions { trials: 2, num_tasks: 80, seed: 3, threads: 2 });
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.headers.len(), 6);
+        assert_eq!(t.rows[0][0], "PAM");
+        // Churn trials must actually have churned: capacity epochs > 1.
+        for row in &t.rows {
+            let epochs: f64 = row[5].parse().unwrap();
+            assert!(epochs > 1.0, "no capacity changes in {row:?}");
+        }
     }
 }

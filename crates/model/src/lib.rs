@@ -16,17 +16,22 @@
 //!   separate lets experiments study model error;
 //! * **tasks** with hard individual deadlines ([`Task`]);
 //! * a cloud **price table** for the cost experiments of §VII-F
-//!   ([`PriceTable`]).
+//!   ([`PriceTable`]);
+//! * **cluster-membership timelines** ([`ChurnTrace`]) — machines joining,
+//!   draining, and failing mid-run, the dynamic-resource extension the
+//!   simulator replays alongside the task trace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod cost;
 mod ids;
 mod pet;
 mod spec;
 mod task;
 
+pub use churn::{ChurnEvent, ChurnKind, ChurnTrace};
 pub use cost::{CostTracker, PriceTable};
 pub use ids::{MachineId, TaskId, TaskTypeId};
 pub use pet::{GroundTruth, PetBuilder, PetMatrix};

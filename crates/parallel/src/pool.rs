@@ -232,6 +232,21 @@ impl<S: Send + 'static> WorkerPool<S> {
         f(&mut cell)
     }
 
+    /// Rebuilds the pool with a different worker count: joins the old
+    /// workers, moves the cells — *with all their accumulated state* —
+    /// into a fresh shard layout, and spawns the new workers. This is the
+    /// membership-epoch reshard: when machines join or leave a cluster the
+    /// desired fan-out width changes, but surviving machines' cells (and
+    /// the cache warmth inside them) must carry over untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell was poisoned by a panicked job.
+    #[must_use]
+    pub fn reshard(self, threads: usize) -> Self {
+        Self::new(self.into_cells(), threads)
+    }
+
     /// Joins every worker and hands the cells back, ending the pool's
     /// ownership (e.g. to re-shard with a different worker count).
     ///
@@ -331,5 +346,20 @@ mod tests {
         pool.run(|_, c| *c *= 2);
         let cells = pool.into_cells();
         assert_eq!(cells, (0..10u32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reshard_preserves_cell_state_across_layouts() {
+        let mut pool = WorkerPool::new(vec![0u64; 17], 4);
+        pool.run(|i, c| *c += i as u64);
+        for threads in [2usize, 8, 1, 3] {
+            pool = pool.reshard(threads);
+            assert_eq!(pool.threads(), threads.clamp(1, 17));
+            pool.run(|i, c| *c += i as u64);
+        }
+        // 5 rounds total, each adding the index once.
+        for i in 0..17 {
+            assert_eq!(pool.with_cell(i, |c| *c), 5 * i as u64, "cell {i}");
+        }
     }
 }

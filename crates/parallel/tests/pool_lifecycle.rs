@@ -94,3 +94,23 @@ fn into_cells_round_trips_ownership() {
         assert_eq!(pool.with_cell(i, |c| *c), i as u32 + 101);
     }
 }
+
+#[test]
+fn membership_epoch_reshard_sequence() {
+    // A churn-driven lifetime: the pool resizes on every membership epoch
+    // (machines joining/leaving change the desired fan-out width) while
+    // the per-cell state — the scorer's cache warmth — survives every
+    // re-shard, including collapse to a single worker and back.
+    let mut pool = WorkerPool::new(vec![0u64; 33], 4);
+    let mut rounds = 0u64;
+    for &threads in &[4usize, 6, 2, 1, 8, 3] {
+        pool = pool.reshard(threads);
+        for _ in 0..5 {
+            pool.run(|i, c| *c = c.wrapping_add(i as u64 + 1));
+            rounds += 1;
+        }
+    }
+    for i in 0..33 {
+        assert_eq!(pool.with_cell(i, |c| *c), rounds * (i as u64 + 1), "cell {i}");
+    }
+}

@@ -46,7 +46,7 @@ mod pmf;
 pub use convolve::{
     convolve, convolve_into, queue_step, queue_step_into, ConvScratch, DropPolicy, QueueStep,
 };
-pub use pmf::{Impulse, Pmf, PmfError};
+pub use pmf::{Impulse, Moments, Pmf, PmfError};
 
 /// Discrete simulation time. One unit is interpreted as a millisecond by
 /// the workload layer, but nothing in this crate depends on the unit.

@@ -8,7 +8,6 @@
 //! never touch the time column.
 
 use crate::{Time, MASS_EPSILON};
-use hcsim_stats::moments::WeightedMoments;
 use hcsim_stats::Histogram;
 use serde::{Deserialize, Serialize};
 
@@ -24,6 +23,26 @@ pub struct Impulse {
     pub t: Time,
     /// Probability mass at `t` (non-negative, finite).
     pub p: f64,
+}
+
+/// Mean / variance / skewness of a [`Pmf`], produced by the fused
+/// single-pass kernel [`Pmf::moments`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Third standardized moment (0 for degenerate distributions).
+    pub skewness: f64,
+}
+
+impl Moments {
+    /// Eq. 6 bounded skewness `s ∈ [-1, 1]`.
+    #[must_use]
+    pub fn bounded_skewness(&self) -> f64 {
+        self.skewness.clamp(-1.0, 1.0)
+    }
 }
 
 /// Error produced when constructing a [`Pmf`] from invalid data.
@@ -245,7 +264,7 @@ impl Pmf {
     /// Population variance of the distribution.
     #[must_use]
     pub fn variance(&self) -> f64 {
-        self.weighted_moments().variance()
+        self.moments().variance
     }
 
     /// Skewness of the distribution (third standardized moment).
@@ -255,21 +274,56 @@ impl Pmf {
     /// to finish early ⇒ keep it.
     #[must_use]
     pub fn skewness(&self) -> f64 {
-        self.weighted_moments().skewness()
+        self.moments().skewness
     }
 
     /// Eq. 6 bounded skewness `s ∈ [-1, 1]`.
     #[must_use]
     pub fn bounded_skewness(&self) -> f64 {
-        self.skewness().clamp(-1.0, 1.0)
+        self.moments().bounded_skewness()
     }
 
-    fn weighted_moments(&self) -> WeightedMoments {
-        let mut acc = WeightedMoments::new();
+    /// Mean, variance, and Eq. 6 skewness in **one fused pass** over the
+    /// impulses — the moment kernel behind the pruner's stats-mode drop
+    /// pass, which runs it on the *uncompacted* completion PMF of every
+    /// chain extension (hundreds of impulses; the priciest part of a
+    /// stats-mode append).
+    ///
+    /// The kernel accumulates shifted raw power sums `Σp·xᵏ` with
+    /// `x = t − t₀` anchored at the first impulse: three fused multiplies
+    /// per impulse with independent accumulator chains (vectorizable, no
+    /// per-impulse divisions), where the previous per-impulse Pébay update
+    /// cost three divisions on a serial dependency chain. Anchoring at
+    /// `t₀` keeps the sums on the scale of the *support width* rather than
+    /// absolute simulation time, so converting raw to central moments
+    /// loses no meaningful precision (central moments are shift-
+    /// invariant; a reference test pins the kernel against the online
+    /// accumulator to 1e-9).
+    #[must_use]
+    pub fn moments(&self) -> Moments {
+        let t0 = self.times[0];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
         for (&t, &p) in self.times.iter().zip(&self.masses) {
-            acc.push(t as f64, p);
+            let x = (t - t0) as f64;
+            let xp = x * p;
+            let x2p = x * xp;
+            s0 += p;
+            s1 += xp;
+            s2 += x2p;
+            s3 += x * x2p;
         }
-        acc
+        if s0 <= 0.0 {
+            return Moments { mean: 0.0, variance: 0.0, skewness: 0.0 };
+        }
+        let mu = s1 / s0;
+        let variance = (s2 / s0 - mu * mu).max(0.0);
+        let mean = t0 as f64 + mu;
+        if variance <= 1e-300 {
+            return Moments { mean, variance: 0.0, skewness: 0.0 };
+        }
+        // E[(x−µ)³] = E[x³] − 3µE[x²] + 2µ³, standardized by σ³.
+        let m3 = s3 / s0 - 3.0 * mu * (s2 / s0) + 2.0 * mu * mu * mu;
+        Moments { mean, variance, skewness: m3 / (variance * variance.sqrt()) }
     }
 
     /// Shifts every impulse later by `dt`.
@@ -650,6 +704,61 @@ mod tests {
         let extreme = pmf(&[(1, 0.97), (100, 0.03)]);
         assert!(extreme.skewness() > 1.0);
         assert_eq!(extreme.bounded_skewness(), 1.0);
+    }
+
+    #[test]
+    fn fused_moments_match_online_accumulator() {
+        // The fused raw-power-sum kernel against the Pébay-style online
+        // accumulator it replaced, including far-from-origin supports
+        // (where the t0 anchor is what preserves precision).
+        use hcsim_stats::moments::WeightedMoments;
+        let cases: Vec<Vec<(Time, f64)>> = vec![
+            vec![(1, 0.25), (2, 0.5), (3, 0.25)],
+            vec![(2, 0.50), (3, 0.25), (4, 0.25)],
+            vec![(1, 0.97), (100, 0.03)],
+            vec![(5, 1.0)],
+            // A wide support anchored far from the origin: the regime the
+            // drop pass sees (completion times in the thousands, spread
+            // over tens of units).
+            (0..400).map(|i| (1_000_000 + 3 * i, 1.0 / 400.0)).collect(),
+            (0..97).map(|i| (250_000 + i * i, ((i % 7) + 1) as f64 / 400.0)).collect(),
+        ];
+        for pts in cases {
+            let p = pmf(&pts);
+            let m = p.moments();
+            let mut reference = WeightedMoments::new();
+            for (&t, &w) in p.times().iter().zip(p.masses()) {
+                reference.push(t as f64, w);
+            }
+            let scale = reference.variance().max(1.0);
+            assert!((m.mean - reference.mean()).abs() < 1e-9 * reference.mean().max(1.0));
+            assert!(
+                (m.variance - reference.variance()).abs() < 1e-9 * scale,
+                "variance {} vs {}",
+                m.variance,
+                reference.variance()
+            );
+            assert!(
+                (m.skewness - reference.skewness()).abs() < 1e-9,
+                "skewness {} vs {}",
+                m.skewness,
+                reference.skewness()
+            );
+            assert_eq!(m.bounded_skewness(), m.skewness.clamp(-1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn fused_moments_degenerate_cases() {
+        let single = pmf(&[(42, 1.0)]);
+        let m = single.moments();
+        assert_eq!(m.mean, 42.0);
+        assert_eq!(m.variance, 0.0);
+        assert_eq!(m.skewness, 0.0);
+        // All-zero masses (legal sub-distribution boundary).
+        let zero = Pmf::from_parts_unchecked(vec![5, 9], vec![0.0, 0.0]);
+        let mz = zero.moments();
+        assert_eq!((mz.mean, mz.variance, mz.skewness), (0.0, 0.0, 0.0));
     }
 
     #[test]

@@ -1,35 +1,77 @@
-//! The event loop driving one simulation trial.
+//! The event loop driving one simulation trial, built on an **open,
+//! typed event pipeline**.
 //!
-//! Event types:
+//! Everything that happens in a trial is a [`SimEvent`] on one ordered
+//! heap:
 //!
 //! * **Arrival** — a workload task enters the batch queue.
-//! * **Finish** — the executing task on a machine completes (or is evicted
-//!   at its deadline under [`DropPolicy::All`]). Finish events carry the
-//!   machine's `run_token`; a pruner eviction bumps the token, turning the
-//!   stale event into a no-op.
+//! * **Completion** — the executing task on a machine completes (or is
+//!   evicted at its deadline under [`DropPolicy::All`]). Completion events
+//!   carry the machine's `run_token`; a pruner eviction or machine failure
+//!   bumps the token, turning the stale event into a no-op.
+//! * **MachineJoin / MachineDrain / MachineFail** — cluster-membership
+//!   changes (see [`hcsim_model::ChurnTrace`]): a join brings an offline
+//!   machine online with an empty queue, a drain stops new assignments
+//!   while the queue runs dry, and a failure removes the machine
+//!   immediately — its pending *and* executing tasks re-enter the batch
+//!   queue as re-arrivals with their deadlines unchanged (§III's "once
+//!   mapped, never remapped" rule is waived exactly when the mapping
+//!   target ceases to exist).
 //! * **DeadlineSweep** — scheduled only when the event heap would drain
-//!   while unmapped tasks remain (all machines idle, mapper deferring);
-//!   guarantees those tasks eventually expire and the simulation
-//!   terminates.
+//!   while unmapped tasks remain (all machines idle or absent, mapper
+//!   deferring); guarantees those tasks eventually expire and the
+//!   simulation terminates.
 //!
-//! Every event is a *mapping event* (§III: "a mapping event occurs upon
-//! arrival of a new task or when a task gets completed"): expired tasks
-//! are culled, the mapper runs, then idle machines start the head of
-//! their queue with an execution time sampled from the ground truth.
+//! External inputs are **composable [`EventSource`]s** drained into the
+//! heap at construction: the task trace ([`TaskTraceSource`]) and the
+//! churn trace ([`ChurnSource`]) are both just sources, and callers can
+//! add their own. Events are ordered by `(time, emission order)`, so a
+//! fixed source list is fully deterministic.
+//!
+//! Every event is a *mapping event* (§III generalized: task arrivals,
+//! completions, and membership changes all change what the mapper should
+//! do): expired tasks are culled, the mapper runs, then idle machines
+//! start the head of their queue with an execution time sampled from the
+//! ground truth.
 
 use crate::config::SimConfig;
-use crate::machine::MachineState;
+use crate::machine::{MachineLifecycle, MachineState};
 use crate::mapper::{MapContext, Mapper, PrunedTask};
 use crate::metrics::Metrics;
-use hcsim_model::{CostTracker, MachineId, SystemSpec, Task, TaskOutcome, TaskRecord, Time};
+use hcsim_model::{
+    ChurnKind, ChurnTrace, CostTracker, MachineId, SystemSpec, Task, TaskOutcome, TaskRecord, Time,
+};
 use hcsim_pmf::DropPolicy;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// One simulation event. `Arrival` and the membership events are the
+/// *external* vocabulary (what an [`EventSource`] may emit); `Completion`
+/// and `DeadlineSweep` are engine-scheduled but share the same heap and
+/// ordering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
-    Arrival(u32),
-    Finish { machine: MachineId, token: u64, evict: bool },
+pub enum SimEvent {
+    /// A task arrives into the batch queue.
+    Arrival(Task),
+    /// The executing task on `machine` finishes (`evict` = removed at its
+    /// deadline under [`DropPolicy::All`]). Stale when `token` no longer
+    /// matches the machine's run token.
+    Completion {
+        /// The machine whose executing task finishes.
+        machine: MachineId,
+        /// Run token at scheduling time; a mismatch marks the event stale.
+        token: u64,
+        /// True when this is a deadline eviction rather than a completion.
+        evict: bool,
+    },
+    /// An offline machine joins (or re-joins) the cluster, queue empty.
+    MachineJoin(MachineId),
+    /// The machine stops accepting work and leaves once its queue drains.
+    MachineDrain(MachineId),
+    /// The machine fails immediately; its queued tasks re-enter the batch.
+    MachineFail(MachineId),
+    /// Liveness tick: forces a mapping event so deferred tasks expire.
     DeadlineSweep,
 }
 
@@ -37,7 +79,7 @@ enum EventKind {
 struct Event {
     time: Time,
     seq: u64,
-    kind: EventKind,
+    kind: SimEvent,
 }
 
 impl Ord for Event {
@@ -49,6 +91,156 @@ impl Ord for Event {
 impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Where an [`EventSource`] deposits its events. Events pushed earlier win
+/// ties at the same timestamp, so the source list order is part of the
+/// deterministic contract.
+pub struct EventSink<'a> {
+    events: &'a mut BinaryHeap<Reverse<Event>>,
+    seq: &'a mut u64,
+    num_task_slots: &'a mut usize,
+    num_machines: usize,
+}
+
+impl EventSink<'_> {
+    /// Schedules `event` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a membership event names a machine outside the system
+    /// spec — the pipeline is open to arbitrary sources (hand-written
+    /// traces, CSV imports), so the range check happens here, at intake,
+    /// rather than as an index panic mid-run.
+    pub fn push(&mut self, time: Time, event: SimEvent) {
+        match &event {
+            SimEvent::Arrival(task) => {
+                *self.num_task_slots = (*self.num_task_slots).max(task.id.index() + 1);
+            }
+            SimEvent::MachineJoin(m) | SimEvent::MachineDrain(m) | SimEvent::MachineFail(m) => {
+                assert!(
+                    m.index() < self.num_machines,
+                    "membership event machine {m} out of range (system has {} machines)",
+                    self.num_machines
+                );
+            }
+            SimEvent::Completion { .. } | SimEvent::DeadlineSweep => {}
+        }
+        self.events.push(Reverse(Event { time, seq: *self.seq, kind: event }));
+        *self.seq += 1;
+    }
+}
+
+/// A composable producer of simulation events. The engine drains every
+/// source once at construction (sources are *traces*, not live streams);
+/// `initially_offline` lets a source also shape the starting membership.
+///
+/// Task ids across all sources must be unique, dense indices `0..n` —
+/// they index the per-task record table.
+pub trait EventSource {
+    /// Machines that start the run offline (typically joining later).
+    fn initially_offline(&self) -> &[MachineId] {
+        &[]
+    }
+
+    /// Emits every event this source contributes.
+    fn emit(&mut self, sink: &mut EventSink<'_>);
+}
+
+/// The classic input: a task trace, arrival-ordered with ids = indices.
+#[derive(Debug)]
+pub struct TaskTraceSource<'a> {
+    tasks: &'a [Task],
+}
+
+impl<'a> TaskTraceSource<'a> {
+    /// Wraps an arrival-ordered task list.
+    #[must_use]
+    pub fn new(tasks: &'a [Task]) -> Self {
+        Self { tasks }
+    }
+}
+
+impl EventSource for TaskTraceSource<'_> {
+    fn emit(&mut self, sink: &mut EventSink<'_>) {
+        for (i, t) in self.tasks.iter().enumerate() {
+            debug_assert_eq!(t.id.index(), i, "task ids must be arrival-ordered indices");
+            sink.push(t.arrival, SimEvent::Arrival(*t));
+        }
+    }
+}
+
+/// Cluster-membership changes as an event source.
+#[derive(Debug)]
+pub struct ChurnSource<'a> {
+    trace: &'a ChurnTrace,
+}
+
+impl<'a> ChurnSource<'a> {
+    /// Wraps a validated churn trace.
+    #[must_use]
+    pub fn new(trace: &'a ChurnTrace) -> Self {
+        Self { trace }
+    }
+}
+
+impl EventSource for ChurnSource<'_> {
+    fn initially_offline(&self) -> &[MachineId] {
+        &self.trace.initially_offline
+    }
+
+    fn emit(&mut self, sink: &mut EventSink<'_>) {
+        for e in &self.trace.events {
+            let event = match e.kind {
+                ChurnKind::Join => SimEvent::MachineJoin(e.machine),
+                ChurnKind::Drain => SimEvent::MachineDrain(e.machine),
+                ChurnKind::Fail => SimEvent::MachineFail(e.machine),
+            };
+            sink.push(e.time, event);
+        }
+    }
+}
+
+/// Membership-churn accounting over one trial.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnStats {
+    /// Machines that joined (offline → active).
+    pub joins: u64,
+    /// Drains initiated (active → draining/offline).
+    pub drains: u64,
+    /// Failures applied (non-offline machine removed).
+    pub fails: u64,
+    /// Tasks returned to the batch queue by failures.
+    pub requeued: u64,
+}
+
+/// Robustness accounting for one capacity epoch — the interval between
+/// membership changes that altered the number of schedulable machines.
+/// Terminal task records are attributed to the epoch they land in, so a
+/// churn trace yields a per-epoch robustness trajectory (how the system
+/// degrades and recovers as capacity moves under it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochSlice {
+    /// When this capacity level took effect.
+    pub start: Time,
+    /// Schedulable machines during the epoch.
+    pub active_machines: usize,
+    /// Tasks completed on time within the epoch.
+    pub on_time: usize,
+    /// Terminal records (all outcomes) within the epoch.
+    pub finished: usize,
+}
+
+impl EpochSlice {
+    /// On-time percentage within the epoch (0 when nothing finished).
+    #[must_use]
+    pub fn robustness(&self) -> f64 {
+        if self.finished == 0 {
+            0.0
+        } else {
+            100.0 * self.on_time as f64 / self.finished as f64
+        }
     }
 }
 
@@ -69,6 +261,10 @@ pub struct SimReport {
     pub mapping_events: u64,
     /// Time of the last processed event.
     pub end_time: Time,
+    /// Membership-churn accounting (all zeros for a static cluster).
+    pub churn: ChurnStats,
+    /// Per-capacity-epoch robustness; a single slice for a static cluster.
+    pub epochs: Vec<EpochSlice>,
 }
 
 struct Engine<'a, M: Mapper, R: rand::Rng> {
@@ -85,38 +281,50 @@ struct Engine<'a, M: Mapper, R: rand::Rng> {
     missed_since_last: usize,
     mapping_events: u64,
     now: Time,
+    /// Bumped on every lifecycle transition; exposed to mappers so their
+    /// scorer caches/pools can re-shard exactly once per membership change.
+    membership_epoch: u64,
+    churn: ChurnStats,
+    epochs: Vec<EpochSlice>,
     /// Scratch buffers reused across events.
     expired_buf: Vec<Task>,
     pruned_buf: Vec<PrunedTask>,
     segment_charges_buf: Vec<(MachineId, Time)>,
+    requeue_buf: Vec<Task>,
 }
 
 impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
     fn new(
         spec: &'a SystemSpec,
         config: SimConfig,
-        tasks: &[Task],
+        sources: &mut [&mut dyn EventSource],
         mapper: &'a mut M,
         rng: &'a mut R,
     ) -> Self {
-        let mut events = BinaryHeap::with_capacity(tasks.len() * 2);
-        let mut seq = 0u64;
-        for (i, t) in tasks.iter().enumerate() {
-            debug_assert_eq!(t.id.index(), i, "task ids must be arrival-ordered indices");
-            events.push(Reverse(Event {
-                time: t.arrival,
-                seq,
-                kind: EventKind::Arrival(i as u32),
-            }));
-            seq += 1;
-        }
-        let machines: Vec<MachineState> = (0..spec.num_machines())
+        let mut machines: Vec<MachineState> = (0..spec.num_machines())
             .map(|m| MachineState::new(MachineId::from(m), spec.queue_capacity))
             .collect();
+        let mut events = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut num_task_slots = 0usize;
+        for source in sources.iter_mut() {
+            for &m in source.initially_offline() {
+                assert!(m.index() < machines.len(), "initially-offline machine {m} out of range");
+                machines[m.index()].set_initially_offline();
+            }
+            let mut sink = EventSink {
+                events: &mut events,
+                seq: &mut seq,
+                num_task_slots: &mut num_task_slots,
+                num_machines: machines.len(),
+            };
+            source.emit(&mut sink);
+        }
+        let active = machines.iter().filter(|m| m.is_schedulable()).count();
         // Pre-size the per-event scratch from workload statistics: the
         // batch can hold every task at once (burst arrivals under heavy
-        // oversubscription), and an expiry/prune sweep can at most empty
-        // every machine queue in one event.
+        // oversubscription), and an expiry/prune/failure sweep can at most
+        // empty every machine queue in one event.
         let queue_slots = spec.num_machines() * spec.queue_capacity;
         Self {
             spec,
@@ -125,20 +333,24 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             rng,
             events,
             seq,
-            batch: Vec::with_capacity(tasks.len()),
+            batch: Vec::with_capacity(num_task_slots),
             machines,
-            records: vec![None; tasks.len()],
+            records: vec![None; num_task_slots],
             cost: CostTracker::new(spec.num_machines()),
             missed_since_last: 0,
             mapping_events: 0,
             now: 0,
+            membership_epoch: 0,
+            churn: ChurnStats::default(),
+            epochs: vec![EpochSlice { start: 0, active_machines: active, on_time: 0, finished: 0 }],
             expired_buf: Vec::with_capacity(queue_slots),
             pruned_buf: Vec::with_capacity(queue_slots),
             segment_charges_buf: Vec::with_capacity(spec.num_machines()),
+            requeue_buf: Vec::with_capacity(spec.queue_capacity),
         }
     }
 
-    fn push_event(&mut self, time: Time, kind: EventKind) {
+    fn push_event(&mut self, time: Time, kind: SimEvent) {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Reverse(Event { time, seq, kind }));
@@ -157,32 +369,68 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         let slot = &mut self.records[task.id.index()];
         debug_assert!(slot.is_none(), "task {} finished twice", task.id);
         *slot = Some(rec);
+        let epoch = self.epochs.last_mut().expect("at least one epoch");
+        epoch.finished += 1;
+        if outcome == TaskOutcome::CompletedOnTime {
+            epoch.on_time += 1;
+        }
         self.mapper.on_task_finished(&task, outcome.is_success());
     }
 
-    fn run(mut self, tasks: &[Task]) -> SimReport {
+    /// Registers a lifecycle transition: bumps the membership epoch (the
+    /// mapper-visible cache/pool invalidation signal) and opens a new
+    /// report slice whenever the schedulable-machine count moved.
+    fn membership_changed(&mut self) {
+        self.membership_epoch += 1;
+        let active = self.machines.iter().filter(|m| m.is_schedulable()).count();
+        let last = self.epochs.last().expect("at least one epoch");
+        if last.active_machines != active {
+            self.epochs.push(EpochSlice {
+                start: self.now,
+                active_machines: active,
+                on_time: 0,
+                finished: 0,
+            });
+        }
+    }
+
+    fn run(mut self) -> SimReport {
         while let Some(Reverse(event)) = self.events.pop() {
             debug_assert!(event.time >= self.now, "time went backwards");
             self.now = event.time;
             match event.kind {
-                EventKind::Arrival(idx) => {
-                    self.batch.push(tasks[idx as usize]);
+                SimEvent::Arrival(task) => {
+                    self.batch.push(task);
                 }
-                EventKind::Finish { machine, token, evict } => {
+                SimEvent::Completion { machine, token, evict } => {
                     if self.machines[machine.index()].run_token != token {
-                        // Stale: the pruner evicted this task during an
-                        // earlier mapping event. Not a mapping event itself,
-                        // but the progress guarantee must still hold (this
-                        // could be the last event in the heap).
+                        // Stale: the pruner evicted this task (or the
+                        // machine failed) since scheduling. Not a mapping
+                        // event itself, but the progress guarantee must
+                        // still hold (this could be the last heap event).
                         self.ensure_progress();
                         continue;
                     }
                     self.handle_finish(machine, evict);
                 }
-                EventKind::DeadlineSweep => {}
+                SimEvent::MachineJoin(m) => {
+                    if self.machines[m.index()].activate() {
+                        self.churn.joins += 1;
+                        self.membership_changed();
+                    }
+                }
+                SimEvent::MachineDrain(m) => {
+                    if self.machines[m.index()].begin_drain() {
+                        self.churn.drains += 1;
+                        self.membership_changed();
+                    }
+                }
+                SimEvent::MachineFail(m) => self.handle_fail(m),
+                SimEvent::DeadlineSweep => {}
             }
             self.mapping_event();
             self.start_idle_machines();
+            self.complete_drains();
             self.ensure_progress();
         }
 
@@ -192,7 +440,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
     fn handle_finish(&mut self, machine: MachineId, evict: bool) {
         let exec = self.machines[machine.index()]
             .finish_executing()
-            .expect("finish event for idle machine");
+            .expect("completion event for idle machine");
         // Only the current segment is new busy time (earlier segments were
         // charged at preemption); the record reports total machine time.
         let segment = self.now - exec.started_at;
@@ -215,6 +463,47 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             TaskOutcome::CompletedLate
         };
         self.record(exec.task, outcome, Some(machine), Some(exec.started_at), elapsed);
+    }
+
+    /// A machine failure: every queued task goes back to the batch queue
+    /// as a re-arrival (deadline unchanged, no terminal record — the task
+    /// is still in the system), the interrupted execution segment is
+    /// billed to the failed machine, and in-flight completion events are
+    /// staled by the run-token bump inside [`MachineState::fail`].
+    fn handle_fail(&mut self, machine: MachineId) {
+        let i = machine.index();
+        if self.machines[i].lifecycle() == MachineLifecycle::Offline {
+            return; // failing an absent machine changes nothing
+        }
+        let mut requeue = std::mem::take(&mut self.requeue_buf);
+        debug_assert!(requeue.is_empty(), "requeue scratch is always drained before return");
+        let interrupted = self.machines[i].fail(&mut requeue);
+        if let Some(exec) = interrupted {
+            // The segment occupied the machine even though the work is
+            // lost; the task itself restarts from scratch elsewhere, so
+            // nothing is added to its (eventual) record's machine time.
+            let segment = self.now - exec.started_at;
+            if segment > 0 {
+                self.cost.record_busy(machine, segment);
+            }
+        }
+        self.churn.requeued += requeue.len() as u64;
+        // Re-arrivals append behind the current batch in FCFS order
+        // (executing task first); an already-expired re-arrival is culled
+        // by the mapping event that follows immediately.
+        self.batch.append(&mut requeue);
+        self.requeue_buf = requeue;
+        self.churn.fails += 1;
+        self.membership_changed();
+    }
+
+    /// Draining machines whose queues ran dry leave the cluster.
+    fn complete_drains(&mut self) {
+        for m in 0..self.machines.len() {
+            if self.machines[m].try_complete_drain() {
+                self.membership_changed();
+            }
+        }
     }
 
     /// Culls expired tasks, runs the mapper, applies pruner removals.
@@ -263,6 +552,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             drop_policy: self.config.drop_policy,
             threads: self.config.threads,
             backend: self.config.backend,
+            membership_epoch: self.membership_epoch,
             spec: self.spec,
             batch: &mut self.batch,
             machines: &mut self.machines,
@@ -296,7 +586,8 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
     }
 
     /// Starts the queue head on every idle machine, sampling actual
-    /// execution times from the ground truth.
+    /// execution times from the ground truth. Draining machines keep
+    /// starting their remaining queue; offline machines have none.
     fn start_idle_machines(&mut self) {
         let drop_all = self.config.drop_policy == DropPolicy::All;
         let cull_pending = self.config.drop_policy != DropPolicy::None;
@@ -326,10 +617,10 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                     // semantics): machine frees at δ, outcome is a miss.
                     self.push_event(
                         task.deadline,
-                        EventKind::Finish { machine, token, evict: true },
+                        SimEvent::Completion { machine, token, evict: true },
                     );
                 } else {
-                    self.push_event(finish, EventKind::Finish { machine, token, evict: false });
+                    self.push_event(finish, SimEvent::Completion { machine, token, evict: false });
                 }
             }
         }
@@ -342,7 +633,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         if self.events.is_empty() && !self.batch.is_empty() {
             let next_deadline = self.batch.iter().map(|t| t.deadline).min().expect("non-empty");
             let when = next_deadline.max(self.now) + 1;
-            self.push_event(when, EventKind::DeadlineSweep);
+            self.push_event(when, SimEvent::DeadlineSweep);
         }
     }
 
@@ -388,12 +679,15 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             cost_per_percent,
             mapping_events: self.mapping_events,
             end_time: now,
+            churn: self.churn,
+            epochs: self.epochs,
         }
     }
 }
 
 /// Runs one trial: `tasks` (arrival-ordered, ids = indices) through
-/// `mapper` on the system `spec`.
+/// `mapper` on the system `spec`, with the machine set fixed for the whole
+/// run (the paper's published model).
 ///
 /// Actual execution times are drawn from `rng`; pass a dedicated stream
 /// per trial for reproducibility.
@@ -404,14 +698,53 @@ pub fn run_simulation<M: Mapper, R: rand::Rng>(
     mapper: &mut M,
     rng: &mut R,
 ) -> SimReport {
-    Engine::new(spec, config, tasks, mapper, rng).run(tasks)
+    let mut source = TaskTraceSource::new(tasks);
+    run_simulation_with_sources(spec, config, &mut [&mut source], mapper, rng)
+}
+
+/// [`run_simulation`] with a cluster-membership timeline: machines join,
+/// drain, and fail mid-run per `churn`, and the report carries per-epoch
+/// robustness plus churn accounting.
+pub fn run_simulation_with_churn<M: Mapper, R: rand::Rng>(
+    spec: &SystemSpec,
+    config: SimConfig,
+    tasks: &[Task],
+    churn: &ChurnTrace,
+    mapper: &mut M,
+    rng: &mut R,
+) -> SimReport {
+    churn.validate(spec.num_machines());
+    let mut task_source = TaskTraceSource::new(tasks);
+    let mut churn_source = ChurnSource::new(churn);
+    run_simulation_with_sources(
+        spec,
+        config,
+        &mut [&mut task_source, &mut churn_source],
+        mapper,
+        rng,
+    )
+}
+
+/// The open form of the pipeline: any list of [`EventSource`]s. Sources
+/// are drained in list order (earlier sources win same-time ties), so a
+/// fixed source list is fully deterministic.
+pub fn run_simulation_with_sources<M: Mapper, R: rand::Rng>(
+    spec: &SystemSpec,
+    config: SimConfig,
+    sources: &mut [&mut dyn EventSource],
+    mapper: &mut M,
+    rng: &mut R,
+) -> SimReport {
+    Engine::new(spec, config, sources, mapper, rng).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mapper::FirstFitMapper;
-    use hcsim_model::{MachineSpec, PetBuilder, PriceTable, TaskId, TaskTypeId, TaskTypeSpec};
+    use hcsim_model::{
+        ChurnEvent, MachineSpec, PetBuilder, PriceTable, TaskId, TaskTypeId, TaskTypeSpec,
+    };
     use hcsim_stats::SeedSequence;
 
     /// 1 task type, 2 machines, deterministic-ish exec around 10 / 20 ms.
@@ -463,6 +796,12 @@ mod tests {
         assert_eq!(report.metrics.counted, 10);
         assert_eq!(report.metrics.outcomes.on_time, 10, "{:?}", report.metrics.outcomes);
         assert!((report.metrics.pct_on_time - 100.0).abs() < 1e-12);
+        // Static cluster: no churn, one epoch covering everything.
+        assert_eq!(report.churn, ChurnStats::default());
+        assert_eq!(report.epochs.len(), 1);
+        assert_eq!(report.epochs[0].active_machines, 2);
+        assert_eq!(report.epochs[0].finished, 10);
+        assert!((report.epochs[0].robustness() - 100.0).abs() < 1e-12);
     }
 
     #[test]
@@ -628,7 +967,8 @@ mod tests {
         let pruned_rec =
             report.records.iter().find(|r| r.outcome == TaskOutcome::PrunedDropped).unwrap();
         assert!(pruned_rec.started_at.is_some());
-        // All three tasks still terminate (stale Finish event is skipped).
+        // All three tasks still terminate (stale Completion event is
+        // skipped).
         assert_eq!(report.metrics.outcomes.total(), 3);
     }
 
@@ -640,5 +980,176 @@ mod tests {
         // Both tasks arrive at t=0; FirstFit puts both on machine 0.
         let machines: Vec<_> = report.records.iter().filter_map(|r| r.machine).collect();
         assert_eq!(machines, vec![MachineId(0), MachineId(0)]);
+    }
+
+    // ---- churn pipeline ----
+
+    fn churn_run(spec: &SystemSpec, tasks: &[Task], churn: &ChurnTrace, seed: u64) -> SimReport {
+        let mut rng = SeedSequence::new(seed).stream(9);
+        let mut mapper = FirstFitMapper;
+        run_simulation_with_churn(spec, SimConfig::untrimmed(), tasks, churn, &mut mapper, &mut rng)
+    }
+
+    #[test]
+    fn empty_churn_trace_matches_static_run() {
+        let spec = small_spec(4);
+        let tasks = tasks_every(20, 5, 80);
+        let static_run = run(&spec, &tasks, 21);
+        let churned = churn_run(&spec, &tasks, &ChurnTrace::none(), 21);
+        assert_eq!(static_run.records, churned.records);
+        assert_eq!(static_run.mapping_events, churned.mapping_events);
+    }
+
+    #[test]
+    fn failed_machine_requeues_tasks_and_survivors_finish_them() {
+        let spec = small_spec(6);
+        // Relaxed load; everything would normally run on machine 0.
+        let tasks = tasks_every(4, 0, 2_000);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            // Fail machine 0 at t=5: its executing + pending tasks must
+            // re-enter the batch and be remapped to machine 1.
+            events: vec![ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail }],
+        };
+        let report = churn_run(&spec, &tasks, &churn, 22);
+        assert_eq!(report.churn.fails, 1);
+        assert_eq!(report.churn.requeued, 4, "{:?}", report.churn);
+        assert_eq!(report.metrics.outcomes.on_time, 4, "{:?}", report.metrics.outcomes);
+        for r in &report.records {
+            assert_eq!(r.machine, Some(MachineId(1)), "{r:?}");
+        }
+        // Machine 0's interrupted segment is still billed.
+        assert!(report.cost.busy_time(MachineId(0)) > 0);
+    }
+
+    #[test]
+    fn drained_machine_finishes_queue_but_takes_no_new_work() {
+        let spec = small_spec(6);
+        let tasks = tasks_every(6, 4, 2_000);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![ChurnEvent { time: 2, machine: MachineId(0), kind: ChurnKind::Drain }],
+        };
+        let report = churn_run(&spec, &tasks, &churn, 23);
+        assert_eq!(report.churn.drains, 1);
+        assert_eq!(report.metrics.outcomes.on_time, 6, "{:?}", report.metrics.outcomes);
+        // Tasks assigned before the drain finish on machine 0; everything
+        // arriving after t=2 lands on machine 1.
+        for r in &report.records {
+            if r.task.arrival > 2 {
+                assert_eq!(r.machine, Some(MachineId(1)), "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn joining_machine_adds_capacity_mid_run() {
+        let spec = small_spec(1); // queue capacity 1: one task per machine
+        let tasks = tasks_every(2, 0, 2_000);
+        let churn = ChurnTrace {
+            initially_offline: vec![MachineId(1)],
+            events: vec![ChurnEvent { time: 3, machine: MachineId(1), kind: ChurnKind::Join }],
+        };
+        let report = churn_run(&spec, &tasks, &churn, 24);
+        assert_eq!(report.churn.joins, 1);
+        // Before the join only machine 0 exists; after t=3 the deferred
+        // task can start on machine 1.
+        assert_eq!(report.metrics.outcomes.on_time, 2, "{:?}", report.metrics.outcomes);
+        let m1_rec = report.records.iter().find(|r| r.machine == Some(MachineId(1))).unwrap();
+        assert!(m1_rec.started_at.unwrap() >= 3, "{m1_rec:?}");
+        // Epoch slices: 1 active → 2 active.
+        assert_eq!(report.epochs.len(), 2);
+        assert_eq!(report.epochs[0].active_machines, 1);
+        assert_eq!(report.epochs[1].active_machines, 2);
+        assert_eq!(report.epochs[1].start, 3);
+    }
+
+    #[test]
+    fn all_machines_failing_expires_remaining_tasks() {
+        let spec = small_spec(4);
+        let tasks = tasks_every(6, 0, 60);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![
+                ChurnEvent { time: 1, machine: MachineId(0), kind: ChurnKind::Fail },
+                ChurnEvent { time: 1, machine: MachineId(1), kind: ChurnKind::Fail },
+            ],
+        };
+        let report = churn_run(&spec, &tasks, &churn, 25);
+        assert_eq!(report.churn.fails, 2);
+        // Every task terminates (no stall, no duplicates): requeued tasks
+        // expire in the batch via deadline sweeps.
+        assert_eq!(report.metrics.outcomes.total(), 6);
+        assert_eq!(report.metrics.outcomes.unfinished, 0);
+        assert!(report.metrics.outcomes.expired_unstarted > 0);
+        let last = report.epochs.last().unwrap();
+        assert_eq!(last.active_machines, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_membership_event_is_rejected_at_intake() {
+        // The open pipeline accepts arbitrary sources (hand-written
+        // traces, CSV imports), so a bad machine id must fail with a
+        // clear message at emit time, not an index panic mid-run.
+        let spec = small_spec(2);
+        let tasks = tasks_every(1, 0, 100);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![ChurnEvent { time: 5, machine: MachineId(9), kind: ChurnKind::Fail }],
+        };
+        let mut task_source = TaskTraceSource::new(&tasks);
+        let mut churn_source = ChurnSource::new(&churn);
+        let mut mapper = FirstFitMapper;
+        let mut rng = SeedSequence::new(1).stream(0);
+        let _ = run_simulation_with_sources(
+            &spec,
+            SimConfig::untrimmed(),
+            &mut [&mut task_source, &mut churn_source],
+            &mut mapper,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn membership_epoch_is_visible_to_the_mapper() {
+        #[derive(Default)]
+        struct EpochProbe {
+            inner: FirstFitMapper,
+            epochs_seen: Vec<u64>,
+        }
+        impl Mapper for EpochProbe {
+            fn name(&self) -> &str {
+                "epoch-probe"
+            }
+            fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
+                if self.epochs_seen.last() != Some(&ctx.membership_epoch()) {
+                    self.epochs_seen.push(ctx.membership_epoch());
+                }
+                self.inner.on_mapping_event(ctx);
+            }
+        }
+        let spec = small_spec(4);
+        let tasks = tasks_every(8, 5, 300);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![
+                ChurnEvent { time: 7, machine: MachineId(1), kind: ChurnKind::Drain },
+                ChurnEvent { time: 20, machine: MachineId(1), kind: ChurnKind::Join },
+            ],
+        };
+        let mut mapper = EpochProbe::default();
+        let mut rng = SeedSequence::new(26).stream(9);
+        let report = run_simulation_with_churn(
+            &spec,
+            SimConfig::untrimmed(),
+            &tasks,
+            &churn,
+            &mut mapper,
+            &mut rng,
+        );
+        assert!(mapper.epochs_seen.len() >= 3, "{:?}", mapper.epochs_seen);
+        assert!(mapper.epochs_seen.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(report.metrics.outcomes.total(), 8);
     }
 }

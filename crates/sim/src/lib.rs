@@ -22,6 +22,14 @@
 //! [`SimReport`] with per-task records, trimmed robustness metrics
 //! (§VI-B removes the first and last 100 tasks from analysis), per-type
 //! fairness statistics, and priced machine utilization.
+//!
+//! The machine set itself is **dynamic**: the event loop is an open
+//! pipeline of [`SimEvent`]s fed by composable [`EventSource`]s, so a
+//! [`ChurnTrace`] of machine joins, drains, and failures replays alongside
+//! the task trace ([`run_simulation_with_churn`]). A failed machine's
+//! pending and executing tasks re-enter the batch queue as re-arrivals;
+//! the report then carries per-capacity-epoch robustness ([`EpochSlice`])
+//! and churn accounting ([`ChurnStats`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,10 +42,13 @@ mod metrics;
 pub mod testkit;
 
 pub use config::SimConfig;
-pub use engine::{run_simulation, SimReport};
-pub use machine::{ExecutingTask, MachineState, PendingEntry};
+pub use engine::{
+    run_simulation, run_simulation_with_churn, run_simulation_with_sources, ChurnSource,
+    ChurnStats, EpochSlice, EventSink, EventSource, SimEvent, SimReport, TaskTraceSource,
+};
+pub use machine::{ExecutingTask, MachineLifecycle, MachineState, PendingEntry};
 pub use mapper::{AssignError, FirstFitMapper, MapContext, Mapper, MapperInstrumentation};
 pub use metrics::{Metrics, OutcomeCounts};
 
-pub use hcsim_model::Time;
+pub use hcsim_model::{ChurnEvent, ChurnKind, ChurnTrace, Time};
 pub use hcsim_pmf::DropPolicy;

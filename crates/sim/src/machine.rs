@@ -8,6 +8,24 @@
 use hcsim_model::{MachineId, Task, TaskId, Time};
 use std::collections::VecDeque;
 
+/// Cluster-membership state of one machine.
+///
+/// The engine drives transitions from [`hcsim_model::ChurnTrace`] events:
+/// `Join` activates an offline machine with a fresh queue, `Drain` stops
+/// new assignments while the queue runs dry, and `Fail` empties the queue
+/// immediately (its tasks re-enter the batch). A draining machine whose
+/// queue empties goes offline automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineLifecycle {
+    /// In the cluster and accepting work.
+    #[default]
+    Active,
+    /// Finishing its queue; accepts no new assignments (planned removal).
+    Draining,
+    /// Not in the cluster: empty queue, invisible to mappers.
+    Offline,
+}
+
 /// A mapped-but-not-executing queue entry. `progress` is non-zero only for
 /// tasks that were preempted mid-execution (§VIII future work): the work
 /// already done is retained and the engine resumes the remainder.
@@ -64,6 +82,9 @@ pub struct MachineState {
     capacity: usize,
     executing: Option<ExecutingTask>,
     pending: VecDeque<PendingEntry>,
+    /// Cluster-membership state; only [`MachineLifecycle::Active`]
+    /// machines are schedulable.
+    lifecycle: MachineLifecycle,
     /// Bumped on every mutation; robustness caches key on this.
     version: u64,
     /// Invalidates in-flight completion events after an eviction.
@@ -81,6 +102,7 @@ impl Clone for MachineState {
             capacity: self.capacity,
             executing: self.executing,
             pending: self.pending.clone(),
+            lifecycle: self.lifecycle,
             version: self.version,
             run_token: self.run_token,
         }
@@ -90,11 +112,12 @@ impl Clone for MachineState {
         // Destructured so adding a field to MachineState is a compile
         // error here (a silently-skipped field would desynchronize the
         // scorer's reused snapshot buffers from live machines).
-        let Self { id, capacity, executing, pending, version, run_token } = source;
+        let Self { id, capacity, executing, pending, lifecycle, version, run_token } = source;
         self.id = *id;
         self.capacity = *capacity;
         self.executing = *executing;
         self.pending.clone_from(pending);
+        self.lifecycle = *lifecycle;
         self.version = *version;
         self.run_token = *run_token;
     }
@@ -110,7 +133,28 @@ impl MachineState {
     #[must_use]
     pub fn new(id: MachineId, capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity must include the executing slot");
-        Self { id, capacity, executing: None, pending: VecDeque::new(), version: 0, run_token: 0 }
+        Self {
+            id,
+            capacity,
+            executing: None,
+            pending: VecDeque::new(),
+            lifecycle: MachineLifecycle::Active,
+            version: 0,
+            run_token: 0,
+        }
+    }
+
+    /// The machine's cluster-membership state.
+    #[must_use]
+    pub fn lifecycle(&self) -> MachineLifecycle {
+        self.lifecycle
+    }
+
+    /// True when the mapper may queue new work here (active members only;
+    /// draining and offline machines refuse assignments).
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        self.lifecycle == MachineLifecycle::Active
     }
 
     /// The machine's id.
@@ -147,10 +191,15 @@ impl MachineState {
         usize::from(self.executing.is_some()) + self.pending.len()
     }
 
-    /// Free queue slots.
+    /// Free queue slots *available to the mapper*: zero for machines that
+    /// are draining or offline, physical free capacity otherwise.
     #[must_use]
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.occupancy()
+        if self.is_schedulable() {
+            self.capacity - self.occupancy()
+        } else {
+            0
+        }
     }
 
     /// True when a new task can be queued.
@@ -249,6 +298,82 @@ impl MachineState {
         let e = self.pending.remove(pos);
         self.version += 1;
         e.map(|e| e.task)
+    }
+
+    // ---- membership lifecycle (driven by churn events) ----
+
+    /// Marks an offline machine for the initial membership of a run.
+    /// Only valid before the machine has been touched (empty queue).
+    pub(crate) fn set_initially_offline(&mut self) {
+        debug_assert!(self.is_idle(), "initial membership set on a used machine");
+        self.lifecycle = MachineLifecycle::Offline;
+        self.version += 1;
+    }
+
+    /// `Join`: brings the machine (back) into the cluster with its queue
+    /// empty. Returns false (no change) when already active. Re-activating
+    /// a draining machine cancels the drain and keeps its queue.
+    pub(crate) fn activate(&mut self) -> bool {
+        if self.lifecycle == MachineLifecycle::Active {
+            return false;
+        }
+        debug_assert!(
+            self.lifecycle != MachineLifecycle::Offline || self.is_idle(),
+            "offline machine {} must have an empty queue",
+            self.id
+        );
+        self.lifecycle = MachineLifecycle::Active;
+        self.version += 1;
+        true
+    }
+
+    /// `Drain`: the machine stops accepting work; an idle machine leaves
+    /// immediately, a busy one finishes its queue first (see
+    /// [`MachineState::try_complete_drain`]). Returns false when the
+    /// machine is not active.
+    pub(crate) fn begin_drain(&mut self) -> bool {
+        if self.lifecycle != MachineLifecycle::Active {
+            return false;
+        }
+        self.lifecycle =
+            if self.is_idle() { MachineLifecycle::Offline } else { MachineLifecycle::Draining };
+        self.version += 1;
+        true
+    }
+
+    /// Completes a drain whose queue has run dry: Draining + idle →
+    /// Offline. Returns whether the transition fired.
+    pub(crate) fn try_complete_drain(&mut self) -> bool {
+        if self.lifecycle == MachineLifecycle::Draining && self.is_idle() {
+            self.lifecycle = MachineLifecycle::Offline;
+            self.version += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `Fail`: the machine leaves the cluster immediately. Every queued
+    /// task (executing first, then pending in FCFS order) is pushed into
+    /// `requeue` for the engine to return to the batch; the in-flight
+    /// completion event is invalidated via the run token. Returns the
+    /// interrupted executing task (for busy-time accounting), or `None`
+    /// if the machine was already offline (no-op).
+    pub(crate) fn fail(&mut self, requeue: &mut Vec<Task>) -> Option<ExecutingTask> {
+        if self.lifecycle == MachineLifecycle::Offline {
+            return None;
+        }
+        let exec = self.executing.take();
+        if let Some(e) = &exec {
+            requeue.push(e.task);
+        }
+        for entry in self.pending.drain(..) {
+            requeue.push(entry.task);
+        }
+        self.lifecycle = MachineLifecycle::Offline;
+        self.version += 1;
+        self.run_token += 1; // stale any scheduled completion
+        exec
     }
 
     /// Removes all pending tasks whose deadline has passed at `now`.
@@ -408,6 +533,78 @@ mod tests {
         // FCFS order: preempted task resumes before task 2.
         let ids: Vec<u32> = m.pending().map(|t| t.id.0).collect();
         assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn lifecycle_transitions_and_free_slots() {
+        let mut m = MachineState::new(MachineId(0), 3);
+        assert_eq!(m.lifecycle(), MachineLifecycle::Active);
+        assert!(m.is_schedulable());
+        m.push_pending(task(1, 100));
+        let v = m.version();
+        // Drain with work queued: Draining, no free slots for the mapper.
+        assert!(m.begin_drain());
+        assert_eq!(m.lifecycle(), MachineLifecycle::Draining);
+        assert!(!m.is_schedulable());
+        assert_eq!(m.free_slots(), 0, "draining machines refuse new work");
+        assert!(!m.has_free_slot());
+        assert!(m.version() > v);
+        assert!(!m.begin_drain(), "drain is idempotent");
+        // Queue still runs: starting the head is legal while draining.
+        let entry = m.pop_next_pending().unwrap();
+        m.start(entry, 0, 10);
+        assert!(!m.try_complete_drain(), "still executing");
+        m.finish_executing();
+        assert!(m.try_complete_drain());
+        assert_eq!(m.lifecycle(), MachineLifecycle::Offline);
+        // Join brings it back with full capacity.
+        assert!(m.activate());
+        assert!(!m.activate(), "join is idempotent");
+        assert_eq!(m.free_slots(), 3);
+    }
+
+    #[test]
+    fn drain_of_idle_machine_goes_straight_offline() {
+        let mut m = MachineState::new(MachineId(0), 2);
+        assert!(m.begin_drain());
+        assert_eq!(m.lifecycle(), MachineLifecycle::Offline);
+    }
+
+    #[test]
+    fn fail_requeues_executing_then_pending_and_stales_completions() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.push_pending(task(1, 500));
+        m.push_pending(task(2, 500));
+        m.push_pending(task(3, 500));
+        let head = m.pop_next_pending().unwrap();
+        m.start(head, 10, 100);
+        let token = m.run_token;
+        let mut requeue = Vec::new();
+        let exec = m.fail(&mut requeue).expect("machine was executing");
+        assert_eq!(exec.task.id, TaskId(1));
+        assert_eq!(exec.started_at, 10);
+        assert_eq!(
+            requeue.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "executing first, pending in FCFS order"
+        );
+        assert_eq!(m.lifecycle(), MachineLifecycle::Offline);
+        assert!(m.is_idle());
+        assert!(m.run_token > token, "in-flight completion must be staled");
+        // Failing an offline machine is a no-op.
+        let mut again = Vec::new();
+        assert!(m.fail(&mut again).is_none());
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn initially_offline_machines_refuse_work_until_joined() {
+        let mut m = MachineState::new(MachineId(0), 2);
+        m.set_initially_offline();
+        assert_eq!(m.lifecycle(), MachineLifecycle::Offline);
+        assert_eq!(m.free_slots(), 0);
+        assert!(m.activate());
+        assert!(m.has_free_slot());
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub enum AssignError {
     MachineFull,
     /// A preemption was requested on a machine with no executing task.
     MachineNotExecuting,
+    /// The target machine is draining or offline (not a cluster member).
+    MachineUnavailable,
 }
 
 impl std::fmt::Display for AssignError {
@@ -30,6 +32,9 @@ impl std::fmt::Display for AssignError {
             AssignError::MachineFull => write!(f, "machine queue is full"),
             AssignError::MachineNotExecuting => {
                 write!(f, "machine has no executing task to preempt")
+            }
+            AssignError::MachineUnavailable => {
+                write!(f, "machine is draining or offline")
             }
         }
     }
@@ -57,6 +62,7 @@ pub struct MapContext<'a> {
     pub(crate) drop_policy: DropPolicy,
     pub(crate) threads: usize,
     pub(crate) backend: FanoutBackend,
+    pub(crate) membership_epoch: u64,
     pub(crate) spec: &'a SystemSpec,
     pub(crate) batch: &'a mut Vec<Task>,
     pub(crate) machines: &'a mut [MachineState],
@@ -110,6 +116,22 @@ impl<'a> MapContext<'a> {
         self.backend
     }
 
+    /// Monotone counter of cluster-membership changes (joins, drains,
+    /// drain completions, failures). Heuristics key scorer-cache and
+    /// worker-pool resharding on this: an unchanged epoch guarantees the
+    /// machine set is exactly what the previous mapping event saw.
+    #[must_use]
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    /// Number of schedulable (active) machines — the cluster size the
+    /// mapper can actually use this event.
+    #[must_use]
+    pub fn active_machines(&self) -> usize {
+        self.machines.iter().filter(|m| m.is_schedulable()).count()
+    }
+
     /// Unmapped tasks in arrival order.
     #[must_use]
     pub fn batch(&self) -> &[Task] {
@@ -142,8 +164,13 @@ impl<'a> MapContext<'a> {
 
     /// Moves a batch task to the tail of machine `m`'s queue.
     ///
-    /// §III: once mapped, a task cannot be remapped.
+    /// §III: once mapped, a task cannot be remapped (the one exception is
+    /// a machine *failure*, where the engine itself returns the queue to
+    /// the batch).
     pub fn assign(&mut self, task_id: TaskId, m: MachineId) -> Result<(), AssignError> {
+        if !self.machines[m.index()].is_schedulable() {
+            return Err(AssignError::MachineUnavailable);
+        }
         if !self.machines[m.index()].has_free_slot() {
             return Err(AssignError::MachineFull);
         }
@@ -195,6 +222,9 @@ impl<'a> MapContext<'a> {
     /// occupancy is unchanged (executing → pending), so capacity is never
     /// an obstacle.
     pub fn preempt_and_assign(&mut self, m: MachineId, task_id: TaskId) -> Result<(), AssignError> {
+        if !self.machines[m.index()].is_schedulable() {
+            return Err(AssignError::MachineUnavailable);
+        }
         if self.machines[m.index()].executing().is_none() {
             return Err(AssignError::MachineNotExecuting);
         }
@@ -364,6 +394,7 @@ mod tests {
                 drop_policy: DropPolicy::All,
                 threads: 0,
                 backend: FanoutBackend::Auto,
+                membership_epoch: 0,
                 spec: &self.spec,
                 batch: &mut self.batch,
                 machines: &mut self.machines,
@@ -463,5 +494,14 @@ mod tests {
         assert!(AssignError::NotInBatch.to_string().contains("batch"));
         assert!(AssignError::MachineFull.to_string().contains("full"));
         assert!(AssignError::MachineNotExecuting.to_string().contains("preempt"));
+        assert!(AssignError::MachineUnavailable.to_string().contains("offline"));
+    }
+
+    #[test]
+    fn active_machines_and_epoch_exposed() {
+        let mut fx = Fixture::new(vec![task(1)]);
+        let ctx = fx.ctx();
+        assert_eq!(ctx.active_machines(), 2);
+        assert_eq!(ctx.membership_epoch(), 0);
     }
 }

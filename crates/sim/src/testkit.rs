@@ -46,6 +46,16 @@ pub enum QueueOp {
         /// Current simulation time.
         now: Time,
     },
+    /// Bring the machine online with an empty queue (engine:
+    /// `MachineJoin`).
+    Join,
+    /// Stop accepting work; leave once the queue drains (engine:
+    /// `MachineDrain` + the automatic drain completion).
+    BeginDrain,
+    /// Remove the machine immediately, discarding its queue (engine:
+    /// `MachineFail`; the engine re-queues the discarded tasks, this op
+    /// drops them).
+    Fail,
 }
 
 /// Applies `op` to `machine`; returns whether the transition was legal and
@@ -79,6 +89,18 @@ pub fn apply(machine: &mut MachineState, op: QueueOp) -> bool {
             let mut out = Vec::new();
             machine.drain_expired_pending(now, &mut out);
             !out.is_empty()
+        }
+        QueueOp::Join => machine.activate(),
+        QueueOp::BeginDrain => {
+            let applied = machine.begin_drain();
+            machine.try_complete_drain();
+            applied
+        }
+        QueueOp::Fail => {
+            let was_member = machine.lifecycle() != crate::MachineLifecycle::Offline;
+            let mut dropped = Vec::new();
+            let _ = machine.fail(&mut dropped);
+            was_member
         }
     }
 }
@@ -163,6 +185,22 @@ mod tests {
         assert!(!apply(&mut m, QueueOp::DrainExpired { now: 0 }));
         assert!(apply(&mut m, QueueOp::DrainExpired { now: 1_000 }));
         assert!(m.is_idle());
+    }
+
+    #[test]
+    fn lifecycle_ops_mirror_churn_events() {
+        let mut m = MachineState::new(MachineId(0), 3);
+        assert!(!apply(&mut m, QueueOp::Join), "already active");
+        assert!(apply(&mut m, QueueOp::Push(task(1, 100))));
+        assert!(apply(&mut m, QueueOp::BeginDrain));
+        assert_eq!(m.lifecycle(), crate::MachineLifecycle::Draining);
+        assert!(!apply(&mut m, QueueOp::Push(task(2, 100))), "draining refuses work");
+        assert!(apply(&mut m, QueueOp::Fail));
+        assert_eq!(m.lifecycle(), crate::MachineLifecycle::Offline);
+        assert!(m.is_idle());
+        assert!(!apply(&mut m, QueueOp::Fail), "already offline");
+        assert!(apply(&mut m, QueueOp::Join));
+        assert!(m.is_schedulable());
     }
 
     #[test]

@@ -65,11 +65,18 @@ pub mod prelude {
         SufferageTable,
     };
     pub use hcsim_model::{
-        MachineId, MachineSpec, PetBuilder, PetMatrix, PriceTable, SystemSpec, Task, TaskId,
-        TaskOutcome, TaskRecord, TaskTypeId, TaskTypeSpec, Time,
+        ChurnEvent, ChurnKind, ChurnTrace, MachineId, MachineSpec, PetBuilder, PetMatrix,
+        PriceTable, SystemSpec, Task, TaskId, TaskOutcome, TaskRecord, TaskTypeId, TaskTypeSpec,
+        Time,
     };
     pub use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf};
-    pub use hcsim_sim::{run_simulation, MapContext, Mapper, Metrics, SimConfig, SimReport};
+    pub use hcsim_sim::{
+        run_simulation, run_simulation_with_churn, MapContext, Mapper, Metrics, SimConfig,
+        SimReport,
+    };
     pub use hcsim_stats::{mean_ci95, Gamma, Histogram, SeedSequence};
-    pub use hcsim_workload::{specint_system, transcode_system, WorkloadConfig, WorkloadGenerator};
+    pub use hcsim_workload::{
+        cluster_churn, specint_cluster, specint_system, transcode_system, ChurnConfig,
+        WorkloadConfig, WorkloadGenerator,
+    };
 }
