@@ -41,6 +41,10 @@ pub struct MocConfig {
     /// Fan-out engine (same resolution and guarantees as
     /// [`crate::PruningConfig::backend`]).
     pub backend: FanoutBackend,
+    /// Same-tick score-table reuse across burst mapping events (same
+    /// semantics as [`crate::PruningConfig::table_reuse`]; MOC's culling
+    /// threshold is static, so no invalidation path is needed).
+    pub table_reuse: bool,
 }
 
 impl Default for MocConfig {
@@ -52,6 +56,7 @@ impl Default for MocConfig {
             batch_window: 192,
             threads: 0,
             backend: FanoutBackend::Auto,
+            table_reuse: true,
         }
     }
 }
@@ -149,7 +154,13 @@ impl Mapper for Moc {
                 break;
             }
             if !table_fresh {
-                table.rebuild(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
+                // Same-tick burst reuse, mirroring PAM's (MOC's culling
+                // threshold never moves, so no invalidation is needed).
+                if self.config.table_reuse {
+                    table.ensure(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
+                } else {
+                    table.rebuild(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
+                }
                 table_fresh = true;
             }
             debug_assert_eq!(table.rows(), window, "table drifted from batch window");

@@ -180,7 +180,22 @@ impl Mapper for Pam {
                 break;
             }
             if !table_fresh {
-                table.rebuild(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
+                // Same-tick burst reuse: a second mapping event at the same
+                // instant (and membership epoch) revalidates the previous
+                // event's table — rescoring only version-changed machines —
+                // instead of rebuilding from scratch.
+                if self.config.table_reuse {
+                    if table.ensure(
+                        &mut scorer,
+                        ctx.machines(),
+                        &ctx.batch()[..window],
+                        &skip_below,
+                    ) {
+                        self.instr.table_reuses += 1;
+                    }
+                } else {
+                    table.rebuild(&mut scorer, ctx.machines(), &ctx.batch()[..window], &skip_below);
+                }
                 table_fresh = true;
             }
             debug_assert_eq!(table.rows(), window, "table drifted from batch window");
@@ -240,6 +255,10 @@ impl Mapper for Pam {
     fn on_task_finished(&mut self, task: &Task, success: bool) {
         if let Some(s) = &mut self.sufferage {
             s.on_task_finished(task.type_id, success);
+            // Sufferage drift moves PAMF's skip thresholds between events;
+            // same-tick reuse only rechecks bounds that a *machine* change
+            // loosened, so a threshold change forces a full rebuild.
+            self.table.invalidate();
         }
     }
 

@@ -63,6 +63,13 @@ pub struct PruningConfig {
     /// `threads`, a pure performance knob: scoped and pooled execution
     /// produce byte-identical reports.
     pub backend: FanoutBackend,
+    /// Reuse the score table across mapping events fired at the same
+    /// simulated instant (burst arrivals): only version-changed machines
+    /// are rescored and the window diff is applied incrementally, instead
+    /// of rebuilding from scratch per event. Decision-identical by
+    /// construction (see [`crate::scorer::ScoreTable::ensure`]) — another
+    /// pure performance knob, on by default.
+    pub table_reuse: bool,
 }
 
 impl Default for PruningConfig {
@@ -82,6 +89,7 @@ impl Default for PruningConfig {
             preemption: false,
             threads: 0,
             backend: FanoutBackend::Auto,
+            table_reuse: true,
         }
     }
 }

@@ -93,6 +93,19 @@ use std::sync::Arc;
 /// results by construction.
 pub const PARALLEL_MIN_MACHINES: usize = 16;
 
+/// Machines per [`ScoreTable`] shard. The table's bound pass works on
+/// shard-level *envelope* bounds first and only descends into shards that
+/// can clear the caller's threshold, so per-row bound work is
+/// O(machines / width) instead of O(machines) for the (dominant, under
+/// oversubscription) provably-deferred rows. Deliberately independent of
+/// the thread count: shard boundaries affect only which *aggregates* are
+/// consulted, never any exact score, so results stay bit-identical across
+/// thread counts and backends — but a deterministic width also keeps the
+/// aggregate layout itself reproducible. 32 puts a 1024-machine cluster
+/// at 32 shards (bound sweep and phase-2 reduction both 32× narrower)
+/// while an 8-machine paper system degenerates to a single shard.
+pub const TABLE_SHARD_WIDTH: usize = 32;
+
 /// The two scalars phase 1/2 of the probabilistic heuristics consume.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PairScore {
@@ -214,6 +227,16 @@ struct ScorerShared {
     /// Prefix CDFs, row-major `(task_type, machine)`, built once.
     cdfs: Vec<PetCdf>,
     machines: usize,
+    /// Shard envelope CDFs, row-major `(task_type, shard)`: the pointwise
+    /// max of the shard members' prefix CDFs. `CDF_env(t) ≥ CDF_m(t)` for
+    /// every member `m`, so a shard-level robustness bound computed from
+    /// the envelope dominates every member's individual bound — a shard
+    /// the envelope proves below a threshold needs no per-machine work at
+    /// all. Built once (the PET is static); the `mean` field of an
+    /// envelope is unused and left NaN.
+    shard_cdfs: Vec<PetCdf>,
+    /// Number of [`TABLE_SHARD_WIDTH`]-machine shards.
+    shards: usize,
 }
 
 impl ScorerShared {
@@ -221,6 +244,38 @@ impl ScorerShared {
     fn cdf(&self, tt: TaskTypeId, m: MachineId) -> &PetCdf {
         &self.cdfs[tt.index() * self.machines + m.index()]
     }
+
+    #[inline]
+    fn shard_cdf(&self, tt: TaskTypeId, shard: usize) -> &PetCdf {
+        &self.shard_cdfs[tt.index() * self.shards + shard]
+    }
+}
+
+/// Pointwise-max envelope of a shard's member CDFs: breakpoints are the
+/// union of member breakpoints (a max of step functions only steps where
+/// some member steps), values the running max of the member prefixes.
+/// Non-decreasing because every member prefix is.
+fn envelope_cdf(members: &[PetCdf]) -> PetCdf {
+    let mut times: Vec<Time> = members.iter().flat_map(|c| c.times.iter().copied()).collect();
+    times.sort_unstable();
+    times.dedup();
+    let mut cursors = vec![0usize; members.len()];
+    let prefix = times
+        .iter()
+        .map(|&t| {
+            let mut v = 0.0f64;
+            for (cursor, member) in cursors.iter_mut().zip(members) {
+                while *cursor < member.times.len() && member.times[*cursor] <= t {
+                    *cursor += 1;
+                }
+                if *cursor > 0 {
+                    v = v.max(member.prefix[*cursor - 1]);
+                }
+            }
+            v
+        })
+        .collect();
+    PetCdf { times, prefix, mean: f64::NAN }
 }
 
 /// One machine's independently-borrowable scoring cell: the incremental
@@ -412,6 +467,11 @@ impl WarmFilter {
     }
 }
 
+/// Shard-grouped live window rows shipped to pooled column rounds:
+/// one `(row index, task)` list per shard, shared with workers as an
+/// `Arc` and reclaimed via `Arc::get_mut` after the round.
+type SharedLiveRows = Arc<Vec<Vec<(usize, Task)>>>;
+
 /// Robustness/expected-completion scorer with incremental tail caching.
 #[derive(Debug)]
 pub struct ProbScorer {
@@ -438,7 +498,7 @@ pub struct ProbScorer {
     /// Pooled-round input buffers, reclaimed via `Arc::get_mut` once the
     /// workers drop their clones at the end of each round.
     snapshot: Option<Arc<Vec<MachineState>>>,
-    live_shared: Option<Arc<Vec<(usize, Task)>>>,
+    live_shared: Option<SharedLiveRows>,
     /// Copy-out buffers for single-cell queries in pooled mode (borrows
     /// cannot escape a cell lock).
     slots_buf: Vec<SlotScore>,
@@ -457,9 +517,24 @@ impl ProbScorer {
                 cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
             }
         }
+        let shards = pet.machines().div_ceil(TABLE_SHARD_WIDTH);
+        let mut shard_cdfs = Vec::with_capacity(pet.task_types() * shards);
+        for tt in 0..pet.task_types() {
+            let row = &cdfs[tt * pet.machines()..(tt + 1) * pet.machines()];
+            for members in row.chunks(TABLE_SHARD_WIDTH) {
+                shard_cdfs.push(envelope_cdf(members));
+            }
+        }
         let cells = (0..pet.machines()).map(|_| MachineCache::default()).collect();
         Self {
-            shared: Arc::new(ScorerShared { policy, budget, cdfs, machines: pet.machines() }),
+            shared: Arc::new(ScorerShared {
+                policy,
+                budget,
+                cdfs,
+                machines: pet.machines(),
+                shard_cdfs,
+                shards,
+            }),
             pet: Arc::new(pet.clone()),
             now: 0,
             threads: 1,
@@ -506,30 +581,39 @@ impl ProbScorer {
         // shrinks below the fan-out floor dissolves its pool and one that
         // grows back re-builds it.
         let live = self.schedulable;
-        let want_pool = hcsim_parallel::resolve_backend(backend) == FanoutBackend::Pool
+        let resolved = hcsim_parallel::resolve_backend(backend);
+        let want_stealing = resolved == FanoutBackend::Stealing;
+        let want_pool = matches!(resolved, FanoutBackend::Pool | FanoutBackend::Stealing)
             && threads > 1
             && live >= PARALLEL_MIN_MACHINES;
         let pool_threads = threads.clamp(1, live.max(1));
         let needs_change = match &self.cells {
             CellStore::Local(_) => want_pool,
-            CellStore::Pooled(pool) => !want_pool || pool.threads() != pool_threads,
+            CellStore::Pooled(pool) => {
+                !want_pool || pool.threads() != pool_threads || pool.stealing() != want_stealing
+            }
         };
         if !needs_change {
             return;
         }
         self.cells = match std::mem::replace(&mut self.cells, CellStore::Local(Vec::new())) {
-            // Pooled → pooled with a different width: the membership-epoch
-            // re-shard. Cells move intact, so surviving machines keep
-            // their cached chains.
+            // Pooled → pooled with a different width or round mode: the
+            // membership-epoch re-shard (or a backend flip between owned
+            // and stealing rounds). Cells move intact, so surviving
+            // machines keep their cached chains.
             CellStore::Pooled(pool) if want_pool => {
                 // Built with the clamped count so the `needs_change`
                 // compare above is structural, not a coincidence of
                 // matching clamps.
-                CellStore::Pooled(pool.reshard(pool_threads))
+                CellStore::Pooled(WorkerPool::with_mode(
+                    pool.into_cells(),
+                    pool_threads,
+                    want_stealing,
+                ))
             }
             CellStore::Pooled(pool) => CellStore::Local(pool.into_cells()),
             CellStore::Local(cells) if want_pool => {
-                CellStore::Pooled(WorkerPool::new(cells, pool_threads))
+                CellStore::Pooled(WorkerPool::with_mode(cells, pool_threads, want_stealing))
             }
             local => local,
         };
@@ -774,12 +858,14 @@ impl ProbScorer {
     }
 
     /// Fan-out 2 of [`ScoreTable::rebuild`]: scores the bound-surviving
-    /// `live` rows against every free machine's tail, one column per
-    /// machine, merged into `cols` in machine-index order.
+    /// rows against the free machines of the shards they survived in —
+    /// `live_by_shard[s]` lists the `(row, task)` pairs live in shard `s`,
+    /// and machine `m` scores exactly `live_by_shard[m / width]` — one
+    /// column per machine, merged into `cols` in machine-index order.
     fn fill_columns(
         &mut self,
         machines: &[MachineState],
-        live: &[(usize, Task)],
+        live_by_shard: &[Vec<(usize, Task)>],
         rows: usize,
         cols: &mut [Vec<Option<PairScore>>],
         parallel: bool,
@@ -788,7 +874,7 @@ impl ProbScorer {
         match cells {
             CellStore::Pooled(pool) if parallel => {
                 let snap = share_snapshot(snapshot, machines);
-                let live = share_live(live_shared, live);
+                let live = share_live(live_shared, live_by_shard);
                 let shared = Arc::clone(shared);
                 pool.run(move |i, cell| {
                     let machine = &snap[i];
@@ -798,7 +884,8 @@ impl ProbScorer {
                     if !machine.has_free_slot() {
                         return;
                     }
-                    score_column_scatter(cache.tail(), &shared, machine.id(), &live, col);
+                    let live = &live[i / TABLE_SHARD_WIDTH];
+                    score_column_scatter(cache.tail(), &shared, machine.id(), live, col);
                 });
                 // Index-ordered merge: swap each worker-filled column into
                 // the table (and recycle the table's old buffer as the
@@ -814,6 +901,7 @@ impl ProbScorer {
                     if !machine.has_free_slot() {
                         continue;
                     }
+                    let live = &live_by_shard[i / TABLE_SHARD_WIDTH];
                     pool.with_cell(i, |cell| {
                         score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
                     });
@@ -839,6 +927,7 @@ impl ProbScorer {
                     if !job.machine.has_free_slot() {
                         return;
                     }
+                    let live = &live_by_shard[job.machine.id().index() / TABLE_SHARD_WIDTH];
                     score_column_scatter(
                         job.cell.cache.tail(),
                         shared,
@@ -897,18 +986,22 @@ fn share_snapshot(
     arc
 }
 
-/// Same reuse pattern for the live window rows of a column round.
+/// Same reuse pattern for the per-shard live window rows of a column
+/// round (inner buffers keep their capacity across events).
 fn share_live(
-    slot: &mut Option<Arc<Vec<(usize, Task)>>>,
-    live: &[(usize, Task)],
-) -> Arc<Vec<(usize, Task)>> {
+    slot: &mut Option<SharedLiveRows>,
+    live_by_shard: &[Vec<(usize, Task)>],
+) -> SharedLiveRows {
     let mut arc = slot.take().unwrap_or_else(|| Arc::new(Vec::new()));
     match Arc::get_mut(&mut arc) {
         Some(buf) => {
-            buf.clear();
-            buf.extend_from_slice(live);
+            buf.resize_with(live_by_shard.len(), Vec::new);
+            for (dst, src) in buf.iter_mut().zip(live_by_shard) {
+                dst.clear();
+                dst.extend_from_slice(src);
+            }
         }
-        None => arc = Arc::new(live.to_vec()),
+        None => arc = Arc::new(live_by_shard.to_vec()),
     }
     *slot = Some(Arc::clone(&arc));
     arc
@@ -923,56 +1016,163 @@ fn share_live(
 const BOUND_MARGIN: f64 = 1e-8;
 
 /// The (window task × machine) score matrix PAM and MOC reduce over,
-/// maintained *incrementally* within a mapping event.
+/// maintained *hierarchically* and *incrementally* — within a mapping
+/// event and, when nothing invalidates it, across the events of a
+/// same-instant arrival burst.
 ///
-/// Layout is machine-major (one contiguous column per machine), which is
-/// what makes the update paths cheap:
+/// Layout is machine-major (one contiguous column per machine), grouped
+/// into contiguous [`TABLE_SHARD_WIDTH`]-machine shards, which is what
+/// makes both the bound pass and the phase-2 reduction cheap at cluster
+/// scale:
 ///
-/// * [`ScoreTable::rebuild`] — once per mapping event — ensures every
-///   free machine's tail cache in a per-machine fan-out (a worker-pool
-///   round at cluster scale), then scores the batch window against the
-///   tails in a second fan-out (columns are disjoint cells, merged in
-///   machine-index order);
-/// * between the two fan-outs, a **bound pass** proves most window rows
-///   deferred without scoring them: the robustness of (task, machine) is
-///   at most `CDF_E(δ − tail.min_time())` (every startable impulse has at
-///   least that much slack, and the tail carries at most unit mass), so a
-///   row whose bound stays below the caller's skip threshold on *every*
-///   free machine would be deferred/culled by the exact reduction too —
-///   and its scores are consumed by nothing else. Skipped rows keep
-///   `None` entries, which the reductions already treat exactly like a
-///   deferral. [`BOUND_MARGIN`] absorbs float slop, so decisions are
-///   *identical* to exact scoring, not just approximately so. The bound
-///   needs only each tail's earliest impulse, gathered once per rebuild —
-///   so the pass itself runs on the caller's thread against plain scalars,
-///   regardless of where the cells live.
-/// * between assignments, only the *assigned* machine's column changes
-///   ([`ScoreTable::refresh_machine`]), plus one appended row when a new
-///   batch task slides into the window ([`ScoreTable::push_row`]). Every
-///   other pair keeps its previously computed score — which is exactly
-///   the value a from-scratch rescore would produce, because pair scores
-///   are deterministic in (machine state, task) alone. Within one event
-///   machines only fill up and bounds only tighten, so a skipped row can
-///   never need resurrection.
+/// * [`ScoreTable::rebuild`] — on the first event of a tick — ensures
+///   every free machine's tail cache in a per-machine fan-out (a
+///   worker-pool round at cluster scale), then scores the surviving
+///   (row, shard) pairs in a second fan-out (columns are disjoint cells,
+///   merged in machine-index order);
+/// * between the two fan-outs, a **hierarchical bound pass** proves most
+///   window rows deferred without scoring them — and most shards of the
+///   remaining rows irrelevant without touching their machines. The
+///   robustness of (task, machine) is at most `CDF_E(δ − tail.min_time())`
+///   (every startable impulse has at least that much slack, and the tail
+///   carries at most unit mass); per shard, the *envelope* CDF (pointwise
+///   max over members, precomputed once) evaluated at the shard's
+///   earliest free start dominates every member's individual bound. A
+///   shard whose envelope bound stays below the caller's skip threshold
+///   is skipped whole; a row dead in *every* shard is deferred without
+///   scoring anything. Per-row bound work is O(shards), not O(machines).
+///   [`BOUND_MARGIN`] absorbs float slop, so skip decisions *provably*
+///   agree with exact scoring: a skipped machine's exact robustness is
+///   strictly below the threshold, so its score could only ever lose the
+///   reduction to deferral anyway. (The shard test is conservative — an
+///   envelope can clear the threshold when no member does — so surviving
+///   shards are scored *exactly*; extra `Some` entries below the
+///   threshold never change a decision, because the reductions defer/cull
+///   on the exact value.)
+/// * each shard also caches its **per-row best candidate**
+///   (first-wins under the exact comparison), so
+///   [`ScoreTable::best_for_row`] reduces over O(shards) precomputed
+///   winners instead of scanning O(machines) columns. Shards are
+///   contiguous index ranges, so the grouped first-wins reduction picks
+///   exactly the machine a flat ascending scan would.
+/// * between assignments, only the *assigned* machine's column (and its
+///   shard's aggregates) change ([`ScoreTable::refresh_machine`]), plus
+///   one appended row when a new batch task slides into the window
+///   ([`ScoreTable::push_row`]). Every other pair keeps its previously
+///   computed score — which is exactly the value a from-scratch rescore
+///   would produce, because pair scores are deterministic in
+///   (machine state, task) alone. Within one event machines only fill up
+///   and bounds only tighten, so a skipped row can never need
+///   resurrection mid-event.
+/// * across the events of a same-tick burst, [`ScoreTable::ensure`]
+///   revalidates the table against `(now, membership epoch, machine
+///   versions, window)` instead of rebuilding: only machines whose
+///   version moved (completions, pruner drops) are rescored, rows whose
+///   bounds those machines *loosened* are resurrected shard-by-shard, and
+///   the window diff is applied as removals + appended rows. Every
+///   surviving entry is byte-identical to what a fresh rebuild would
+///   compute, so burst events cost O(changed), not O(machines).
 ///
 /// The sequential heuristics used to rescore the full window × machines
 /// product on every loop iteration; under oversubscription — where the
 /// batch is dominated by tasks that will be deferred again — the table
-/// turns that into a cheap bound sweep plus O(live rows) exact work,
-/// without changing a single mapping decision.
+/// turns that into a cheap per-shard bound sweep plus O(live) exact
+/// work, without changing a single mapping decision.
 #[derive(Debug, Default)]
 pub struct ScoreTable {
     /// One column per machine; `cols[m][i]` scores window task `i` on
-    /// machine `m` (`None`: no free slot, or row skipped by the bound
-    /// pass).
+    /// machine `m` (`None`: no free slot, or (row, shard) skipped by the
+    /// bound pass).
     cols: Vec<Vec<Option<PairScore>>>,
     /// Row-aligned: false when the bound pass proved the row deferred.
     scored: Vec<bool>,
-    /// Scratch: `(row, task)` pairs surviving the bound pass.
+    /// Row-aligned: which shards the row survived the bound pass in
+    /// (inner length = shards). Entries only flip dead → live, and only
+    /// in [`ScoreTable::ensure`] when a changed machine loosened a bound.
+    shard_live: Vec<Vec<bool>>,
+    /// Recycled `shard_live` lanes (keeps row churn allocation-free).
+    spare_lanes: Vec<Vec<bool>>,
+    /// Per shard, per row: the shard's best candidate under the exact
+    /// first-wins comparison (`None`: no scored member).
+    shard_best: Vec<Vec<Option<(usize, PairScore)>>>,
+    /// Scratch: `(row, task)` pairs live in one shard (column refreshes).
     live: Vec<(usize, Task)>,
-    /// Scratch: earliest tail impulse per free machine, for the bound
-    /// pass.
+    /// Scratch: per-shard `(row, task)` lists for the rebuild fan-out.
+    live_by_shard: Vec<Vec<(usize, Task)>>,
+    /// Earliest tail impulse per free machine (`None`: no free slot),
+    /// kept current by refresh/ensure for the shard bounds.
     tail_mins: Vec<Option<Time>>,
+    /// Per shard: min over members of `tail_mins` (`None`: no free
+    /// member).
+    shard_earliest: Vec<Option<Time>>,
+    /// Same-tick reuse signature: `(now, membership epoch)` of the last
+    /// rebuild, machine versions and window tasks as last scored.
+    sig: Option<(Time, Option<u64>)>,
+    versions: Vec<u64>,
+    row_tasks: Vec<Task>,
+    /// Set by [`ScoreTable::invalidate`] when the caller's thresholds
+    /// drifted (PAMF sufferage): the next ensure falls back to rebuild.
+    stale: bool,
+    /// Ensure scratch: indices/mask of version-changed machines, dirty
+    /// shards, and resurrected `(row, shard)` pairs.
+    changed: Vec<usize>,
+    changed_mask: Vec<bool>,
+    dirty_shards: Vec<bool>,
+    newly_live: Vec<(usize, usize)>,
+}
+
+/// Machine-index range of shard `s` in a `machines`-wide cluster.
+#[inline]
+fn shard_range(s: usize, machines: usize) -> std::ops::Range<usize> {
+    let start = s * TABLE_SHARD_WIDTH;
+    start..(start + TABLE_SHARD_WIDTH).min(machines)
+}
+
+/// The exact phase-1 comparison: higher robustness, tie → lower expected
+/// completion. Strictly-better, so first-wins scans keep the lowest
+/// index among equals — the sequential heuristics' order.
+#[inline]
+fn better_pair(score: &PairScore, best: &PairScore) -> bool {
+    score.robustness > best.robustness
+        || (score.robustness == best.robustness
+            && score.expected_completion < best.expected_completion)
+}
+
+/// First-wins best over shard `s`'s scored entries for `row`.
+fn shard_best_entry(
+    cols: &[Vec<Option<PairScore>>],
+    s: usize,
+    row: usize,
+) -> Option<(usize, PairScore)> {
+    let mut best: Option<(usize, PairScore)> = None;
+    for m in shard_range(s, cols.len()) {
+        let Some(score) = cols[m][row] else { continue };
+        if best.as_ref().is_none_or(|(_, b)| better_pair(&score, b)) {
+            best = Some((m, score));
+        }
+    }
+    best
+}
+
+/// [`shard_best_entry`] restricted to machines that currently have a free
+/// slot — the fallback when a cached shard best went stale-full.
+fn shard_best_live(
+    cols: &[Vec<Option<PairScore>>],
+    s: usize,
+    row: usize,
+    machines: &[MachineState],
+) -> Option<(usize, PairScore)> {
+    let mut best: Option<(usize, PairScore)> = None;
+    for m in shard_range(s, cols.len()) {
+        if !machines[m].has_free_slot() {
+            continue;
+        }
+        let Some(score) = cols[m][row] else { continue };
+        if best.as_ref().is_none_or(|(_, b)| better_pair(&score, b)) {
+            best = Some((m, score));
+        }
+    }
+    best
 }
 
 impl ScoreTable {
@@ -992,10 +1192,10 @@ impl ScoreTable {
     /// every machine, fanning the per-machine work out on the scorer's
     /// configured engine ([`ProbScorer::set_parallelism`]). `skip_below`
     /// gives, per task type, the robustness threshold under which the
-    /// caller's reduction would defer/cull the task anyway — rows whose
-    /// bound proves that are left unscored. Machines without a free slot
-    /// get an all-`None` column. Bit-identical at any thread count and on
-    /// either backend.
+    /// caller's reduction would defer/cull the task anyway — (row, shard)
+    /// pairs whose envelope bound proves that are left unscored. Machines
+    /// without a free slot get an all-`None` column. Bit-identical at any
+    /// thread count and on every backend.
     pub fn rebuild(
         &mut self,
         scorer: &mut ProbScorer,
@@ -1007,36 +1207,253 @@ impl ScoreTable {
         self.cols.resize_with(machines.len(), Vec::new);
         let free = machines.iter().filter(|m| m.has_free_slot()).count();
         let parallel = free >= PARALLEL_MIN_MACHINES;
+        let shards = scorer.shared.shards;
 
         // Fan-out 1: bring every free machine's availability chain up to
         // date (the convolution-heavy part), then gather the bound
-        // scalars.
+        // scalars and fold them into per-shard earliest starts.
         scorer.warm(machines, WarmFilter::FreeSlot, false, parallel);
         scorer.collect_tail_mins(machines, &mut self.tail_mins);
-
-        // Bound pass: prove rows deferred where possible.
-        self.scored.clear();
-        self.live.clear();
-        for (row, task) in tasks.iter().enumerate() {
-            let threshold = skip_below(task.type_id);
-            let mut provable = true;
-            for (m, machine) in machines.iter().enumerate() {
-                let Some(earliest) = self.tail_mins[m] else { continue };
-                let cdf = scorer.shared.cdf(task.type_id, machine.id());
-                if robustness_bound(earliest, cdf, task.deadline) + BOUND_MARGIN >= threshold {
-                    provable = false;
-                    break;
-                }
-            }
-            self.scored.push(!provable);
-            if !provable {
-                self.live.push((row, *task));
+        self.shard_earliest.clear();
+        self.shard_earliest.resize(shards, None);
+        for (m, &tm) in self.tail_mins.iter().enumerate() {
+            if let Some(t) = tm {
+                let e = &mut self.shard_earliest[m / TABLE_SHARD_WIDTH];
+                *e = Some(e.map_or(t, |cur| cur.min(t)));
             }
         }
 
-        // Fan-out 2: exact scores for the surviving rows, one column per
-        // machine.
-        scorer.fill_columns(machines, &self.live, tasks.len(), &mut self.cols, parallel);
+        // Hierarchical bound pass: per row, one envelope probe per shard;
+        // only surviving (row, shard) pairs reach the scoring fan-out.
+        self.scored.clear();
+        self.spare_lanes.append(&mut self.shard_live);
+        self.live_by_shard.resize_with(shards, Vec::new);
+        for lane in &mut self.live_by_shard {
+            lane.clear();
+        }
+        for (row, task) in tasks.iter().enumerate() {
+            let threshold = skip_below(task.type_id);
+            let mut lanes = self.spare_lanes.pop().unwrap_or_default();
+            lanes.clear();
+            lanes.resize(shards, false);
+            let mut any = false;
+            for (s, lane) in lanes.iter_mut().enumerate() {
+                let Some(earliest) = self.shard_earliest[s] else { continue };
+                let env = scorer.shared.shard_cdf(task.type_id, s);
+                if robustness_bound(earliest, env, task.deadline) + BOUND_MARGIN >= threshold {
+                    *lane = true;
+                    any = true;
+                    self.live_by_shard[s].push((row, *task));
+                }
+            }
+            self.scored.push(any);
+            self.shard_live.push(lanes);
+        }
+
+        // Fan-out 2: exact scores for the surviving (row, shard) pairs,
+        // one column per machine.
+        scorer.fill_columns(machines, &self.live_by_shard, tasks.len(), &mut self.cols, parallel);
+
+        // Per-shard phase-1 reduction: cache each shard's best candidate
+        // per live row, so best_for_row touches O(shards) entries.
+        self.shard_best.resize_with(shards, Vec::new);
+        for (s, bests) in self.shard_best.iter_mut().enumerate() {
+            bests.clear();
+            bests.resize(tasks.len(), None);
+            for &(row, _) in &self.live_by_shard[s] {
+                bests[row] = shard_best_entry(&self.cols, s, row);
+            }
+        }
+
+        // Same-tick reuse signature.
+        self.versions.clear();
+        self.versions.extend(machines.iter().map(MachineState::version));
+        self.row_tasks.clear();
+        self.row_tasks.extend_from_slice(tasks);
+        self.sig = Some((scorer.now, scorer.membership_epoch));
+        self.stale = false;
+    }
+
+    /// Marks the table unusable for same-tick reuse: the next
+    /// [`ScoreTable::ensure`] rebuilds from scratch. Callers whose skip
+    /// thresholds drift between events (PAMF sufferage) must invalidate,
+    /// because resurrection only rechecks bounds that a *machine* change
+    /// loosened — a *threshold* change would go unnoticed.
+    pub fn invalidate(&mut self) {
+        self.stale = true;
+    }
+
+    /// Revalidates the table for a new mapping event at the same instant
+    /// instead of rebuilding: when `(now, membership epoch)` match the
+    /// last rebuild, only version-changed machines (completions since the
+    /// last event, pruner drops this event) are rescored, rows whose
+    /// bounds those machines loosened are resurrected, and the window
+    /// diff is applied as removals plus appended rows. Falls back to
+    /// [`ScoreTable::rebuild`] otherwise. Returns `true` when the table
+    /// was reused incrementally.
+    ///
+    /// Every entry after `ensure` that a fresh rebuild would also score
+    /// is byte-identical to the rebuilt value (pair scores are
+    /// deterministic in `(machine state, now, task)`, all of which are
+    /// revalidated); entries `ensure` keeps that a rebuild would have
+    /// bound-skipped are exact scores strictly below the caller's
+    /// threshold, which the reductions defer/cull identically. Decisions
+    /// are therefore unchanged — only the work is.
+    pub fn ensure(
+        &mut self,
+        scorer: &mut ProbScorer,
+        machines: &[MachineState],
+        tasks: &[Task],
+        skip_below: &dyn Fn(TaskTypeId) -> f64,
+    ) -> bool {
+        let shards = scorer.shared.shards;
+        let reusable = !self.stale
+            && self.sig == Some((scorer.now, scorer.membership_epoch))
+            && self.versions.len() == machines.len()
+            && self.shard_earliest.len() == shards;
+        if !reusable {
+            self.rebuild(scorer, machines, tasks, skip_below);
+            return false;
+        }
+        debug_assert_machine_alignment(machines);
+
+        // Phase 1: find version-changed machines and refresh their bound
+        // scalars (and their shards' earliest starts).
+        self.changed.clear();
+        self.changed_mask.clear();
+        self.changed_mask.resize(machines.len(), false);
+        self.dirty_shards.clear();
+        self.dirty_shards.resize(shards, false);
+        for (m, machine) in machines.iter().enumerate() {
+            if self.versions[m] != machine.version() {
+                self.versions[m] = machine.version();
+                self.tail_mins[m] =
+                    machine.has_free_slot().then(|| scorer.ensure_tail_min(machine));
+                self.changed.push(m);
+                self.changed_mask[m] = true;
+                self.dirty_shards[m / TABLE_SHARD_WIDTH] = true;
+            }
+        }
+        for s in 0..shards {
+            if self.dirty_shards[s] {
+                self.recompute_shard_earliest(s);
+            }
+        }
+
+        // Phase 2: resurrection. Only a changed machine can have loosened
+        // a bound (a completion or drop shortens a queue), and only
+        // within its own shard — so rechecking the dirty shards of every
+        // row restores exactly the liveness a fresh bound pass would
+        // compute (unchanged shards kept their bounds; live shards stay
+        // live, which at worst over-scores — see above).
+        self.newly_live.clear();
+        for row in 0..self.scored.len() {
+            let task = self.row_tasks[row];
+            let threshold = skip_below(task.type_id);
+            for s in 0..shards {
+                if !self.dirty_shards[s] || self.shard_live[row][s] {
+                    continue;
+                }
+                let Some(earliest) = self.shard_earliest[s] else { continue };
+                let env = scorer.shared.shard_cdf(task.type_id, s);
+                if robustness_bound(earliest, env, task.deadline) + BOUND_MARGIN >= threshold {
+                    self.shard_live[row][s] = true;
+                    self.scored[row] = true;
+                    self.newly_live.push((row, s));
+                }
+            }
+        }
+
+        // Phase 3: rescore the changed machines' columns (rows live in
+        // their shard — including the just-resurrected ones), then score
+        // resurrected (row, shard) pairs on the shard's unchanged free
+        // machines.
+        for i in 0..self.changed.len() {
+            let m = self.changed[i];
+            self.rescore_column(scorer, machines, m);
+        }
+        for i in 0..self.newly_live.len() {
+            let (row, s) = self.newly_live[i];
+            let task = self.row_tasks[row];
+            for m in shard_range(s, machines.len()) {
+                if self.changed_mask[m] || !machines[m].has_free_slot() {
+                    continue;
+                }
+                self.cols[m][row] = Some(scorer.score(&machines[m], &task));
+            }
+        }
+
+        // Phase 4: refresh the affected shard-best caches.
+        for &m in &self.changed {
+            let s = m / TABLE_SHARD_WIDTH;
+            for row in 0..self.scored.len() {
+                if self.shard_live[row][s] {
+                    self.shard_best[s][row] = shard_best_entry(&self.cols, s, row);
+                }
+            }
+        }
+        for &(row, s) in &self.newly_live {
+            self.shard_best[s][row] = shard_best_entry(&self.cols, s, row);
+        }
+
+        // Phase 5: reconcile the window. The new window is the old one
+        // minus departed tasks (assigned last event, expired this tick)
+        // plus a slid-in suffix; a two-pointer walk applies exactly that
+        // as removals and pushes. Any weirder diff degenerates to
+        // remove-all + push-all — slower, still exact.
+        let mut row = 0;
+        for task in tasks {
+            while row < self.rows() && self.row_tasks[row].id != task.id {
+                self.remove_row(row);
+            }
+            if row < self.rows() {
+                row += 1;
+            } else {
+                self.push_row(scorer, machines, task, skip_below);
+                row += 1;
+            }
+        }
+        while self.rows() > tasks.len() {
+            let last = tasks.len();
+            self.remove_row(last);
+        }
+        true
+    }
+
+    /// Recomputes `shard_earliest[s]` from its members' `tail_mins`.
+    fn recompute_shard_earliest(&mut self, s: usize) {
+        self.shard_earliest[s] =
+            self.tail_mins[shard_range(s, self.tail_mins.len())].iter().flatten().copied().min();
+    }
+
+    /// Rescores machine `m`'s column for the rows live in its shard (or
+    /// clears it when the machine has no free slot). Bound scalars and
+    /// shard aggregates are the caller's responsibility.
+    fn rescore_column(&mut self, scorer: &mut ProbScorer, machines: &[MachineState], m: usize) {
+        let machine = &machines[m];
+        let rows = self.scored.len();
+        if !machine.has_free_slot() {
+            let col = &mut self.cols[m];
+            col.clear();
+            col.resize(rows, None);
+            return;
+        }
+        let s = m / TABLE_SHARD_WIDTH;
+        self.live.clear();
+        for (row, task) in self.row_tasks.iter().enumerate() {
+            if self.shard_live[row][s] {
+                self.live.push((row, *task));
+            }
+        }
+        let col = &mut self.cols[m];
+        col.clear();
+        col.resize(rows, None);
+        let live = &self.live;
+        let ProbScorer { shared, pet, now, cells, .. } = scorer;
+        cells.with(m, |cell| {
+            cell.ensure(shared, *now, machine, pet, false);
+            score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
+        });
     }
 
     /// Drops window row `row` (its task was assigned or left the batch).
@@ -1045,11 +1462,25 @@ impl ScoreTable {
             col.remove(row);
         }
         self.scored.remove(row);
+        let lanes = self.shard_live.remove(row);
+        self.spare_lanes.push(lanes);
+        for bests in &mut self.shard_best {
+            bests.remove(row);
+        }
+        if row < self.row_tasks.len() {
+            self.row_tasks.remove(row);
+        }
     }
 
     /// Appends a row for `task` (a batch task that slid into the window):
-    /// bound-checked first, then scored against every machine that
-    /// currently has a free slot.
+    /// shard-bound-checked against the cached earliest starts, then
+    /// scored on the free machines of its surviving shards.
+    ///
+    /// The cached starts can be stale only for machines assigned to since
+    /// their last refresh — whose queues *grew* — so a stale bound is
+    /// only ever looser than the live one: liveness is a superset of a
+    /// fresh bound pass, never a subset, and the extra entries are exact
+    /// scores below the threshold (deferred either way).
     pub fn push_row(
         &mut self,
         scorer: &mut ProbScorer,
@@ -1057,32 +1488,42 @@ impl ScoreTable {
         task: &Task,
         skip_below: &dyn Fn(TaskTypeId) -> f64,
     ) {
+        let shards = self.shard_earliest.len();
         let threshold = skip_below(task.type_id);
-        let mut provable = true;
-        for machine in machines {
-            if !machine.has_free_slot() {
-                continue;
-            }
-            let earliest = scorer.ensure_tail_min(machine);
-            let cdf = scorer.shared.cdf(task.type_id, machine.id());
-            if robustness_bound(earliest, cdf, task.deadline) + BOUND_MARGIN >= threshold {
-                provable = false;
-                break;
+        let mut lanes = self.spare_lanes.pop().unwrap_or_default();
+        lanes.clear();
+        lanes.resize(shards, false);
+        let mut any = false;
+        for (s, lane) in lanes.iter_mut().enumerate() {
+            let Some(earliest) = self.shard_earliest[s] else { continue };
+            let env = scorer.shared.shard_cdf(task.type_id, s);
+            if robustness_bound(earliest, env, task.deadline) + BOUND_MARGIN >= threshold {
+                *lane = true;
+                any = true;
             }
         }
-        self.scored.push(!provable);
-        for (machine, col) in machines.iter().zip(&mut self.cols) {
-            let value = (!provable && machine.has_free_slot()).then(|| scorer.score(machine, task));
+        let row = self.scored.len();
+        self.scored.push(any);
+        for (m, (machine, col)) in machines.iter().zip(&mut self.cols).enumerate() {
+            let value = (lanes[m / TABLE_SHARD_WIDTH] && machine.has_free_slot())
+                .then(|| scorer.score(machine, task));
             col.push(value);
         }
+        for (s, bests) in self.shard_best.iter_mut().enumerate() {
+            let entry = if lanes[s] { shard_best_entry(&self.cols, s, row) } else { None };
+            bests.push(entry);
+        }
+        self.shard_live.push(lanes);
+        self.row_tasks.push(*task);
     }
 
     /// Rescores machine `m`'s column against the current window `tasks`
     /// (its queue changed) — a single-cell request to wherever the cell
-    /// lives. A machine that filled up gets an all-`None` column; within
-    /// one mapping event machines never go full → free and skipped rows
-    /// never resurrect (their bound only tightens), so stale entries
-    /// cannot resurface.
+    /// lives, plus an update of the shard's aggregates. A machine that
+    /// filled up gets an all-`None` column; within one mapping event
+    /// machines never go full → free and skipped (row, shard) pairs never
+    /// resurrect (their bound only tightens), so stale entries cannot
+    /// resurface.
     pub fn refresh_machine(
         &mut self,
         scorer: &mut ProbScorer,
@@ -1091,25 +1532,25 @@ impl ScoreTable {
         m: usize,
     ) {
         debug_assert_eq!(tasks.len(), self.rows(), "window drifted from table");
+        debug_assert!(
+            tasks.iter().zip(&self.row_tasks).all(|(a, b)| a.id == b.id),
+            "window drifted from table rows"
+        );
+        self.rescore_column(scorer, machines, m);
         let machine = &machines[m];
-        let col = &mut self.cols[m];
-        col.clear();
-        col.resize(tasks.len(), None);
-        if !machine.has_free_slot() {
-            return;
+        if m < self.versions.len() {
+            self.versions[m] = machine.version();
         }
-        self.live.clear();
-        for (row, task) in tasks.iter().enumerate() {
-            if self.scored[row] {
-                self.live.push((row, *task));
+        // The cell is warm after the rescore, so the bound probe is a
+        // cache hit.
+        self.tail_mins[m] = machine.has_free_slot().then(|| scorer.ensure_tail_min(machine));
+        let s = m / TABLE_SHARD_WIDTH;
+        self.recompute_shard_earliest(s);
+        for row in 0..self.scored.len() {
+            if self.shard_live[row][s] {
+                self.shard_best[s][row] = shard_best_entry(&self.cols, s, row);
             }
         }
-        let live = &self.live;
-        let ProbScorer { shared, pet, now, cells, .. } = scorer;
-        cells.with(m, |cell| {
-            cell.ensure(shared, *now, machine, pet, false);
-            score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
-        });
     }
 
     /// The score of window task `row` on machine `m`, if it was scored.
@@ -1120,33 +1561,31 @@ impl ScoreTable {
 
     /// Phase 1 for one window task: the machine offering the highest
     /// robustness among machines with free slots (tie → lower expected
-    /// completion) — the same scan order and comparisons the sequential
-    /// heuristics used, served from the table.
+    /// completion) — the same comparisons and effective scan order the
+    /// sequential heuristics used, reduced over the per-shard best
+    /// caches: shards are contiguous ascending index ranges, so the
+    /// grouped first-wins reduction returns exactly the flat scan's
+    /// winner. A cached best whose machine has since lost its free slot
+    /// falls back to rescanning that shard.
     #[must_use]
     pub fn best_for_row(
         &self,
         machines: &[MachineState],
         row: usize,
     ) -> Option<(MachineId, PairScore)> {
-        let mut best: Option<(MachineId, PairScore)> = None;
-        for (m, col) in self.cols.iter().enumerate() {
-            if !machines[m].has_free_slot() {
-                continue;
-            }
-            let Some(score) = col[row] else { continue };
-            let better = match &best {
-                None => true,
-                Some((_, b)) => {
-                    score.robustness > b.robustness
-                        || (score.robustness == b.robustness
-                            && score.expected_completion < b.expected_completion)
-                }
+        let mut best: Option<(usize, PairScore)> = None;
+        for (s, bests) in self.shard_best.iter().enumerate() {
+            let cand = match bests[row] {
+                None => None,
+                Some((m, score)) if machines[m].has_free_slot() => Some((m, score)),
+                Some(_) => shard_best_live(&self.cols, s, row, machines),
             };
-            if better {
-                best = Some((MachineId::from(m), score));
+            let Some((m, score)) = cand else { continue };
+            if best.as_ref().is_none_or(|(_, b)| better_pair(&score, b)) {
+                best = Some((m, score));
             }
         }
-        best
+        best.map(|(m, score)| (MachineId::from(m), score))
     }
 }
 
@@ -1558,9 +1997,9 @@ mod tests {
     #[test]
     fn score_table_matches_pairwise_scoring_bitwise() {
         // 20 machines crosses PARALLEL_MIN_MACHINES, so threads=4 takes a
-        // real fan-out — on both engines. Every table entry must equal a
-        // direct `score` call bit for bit, across sequential, scoped, and
-        // pooled execution.
+        // real fan-out — on every engine. Every table entry must equal a
+        // direct `score` call bit for bit, across sequential, scoped,
+        // pooled, and work-stealing execution.
         let (pet, machines) = fanout_fixture(20);
         let tasks: Vec<Task> = (0..7u32)
             .map(|i| Task {
@@ -1576,12 +2015,16 @@ mod tests {
             ("seq", 1, FanoutBackend::Scoped),
             ("scoped", 4, FanoutBackend::Scoped),
             ("pool", 4, FanoutBackend::Pool),
+            ("steal", 4, FanoutBackend::Stealing),
         ] {
             let mut table = ScoreTable::new();
             let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
             scorer.begin_event(5);
             scorer.set_parallelism(threads, backend);
-            assert_eq!(scorer.pool_active(), backend == FanoutBackend::Pool && threads > 1);
+            assert_eq!(
+                scorer.pool_active(),
+                matches!(backend, FanoutBackend::Pool | FanoutBackend::Stealing) && threads > 1
+            );
             table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
             for (i, task) in tasks.iter().enumerate() {
                 for (m, machine) in machines.iter().enumerate() {
@@ -1646,6 +2089,248 @@ mod tests {
                     other => panic!("presence mismatch at ({i},{m}): {other:?}"),
                 }
             }
+        }
+    }
+
+    /// Decision-level agreement between a (possibly bound-skipped) table
+    /// and exact scoring: wherever the exact best meets the threshold the
+    /// table must return it bit for bit; wherever it doesn't, the table
+    /// may return nothing or a value the reduction would defer anyway.
+    fn assert_table_agrees_with_exact(
+        table: &ScoreTable,
+        scorer_ref: &mut ProbScorer,
+        machines: &[MachineState],
+        tasks: &[Task],
+        threshold: &dyn Fn(TaskTypeId) -> f64,
+    ) {
+        for (row, task) in tasks.iter().enumerate() {
+            let mut exact: Option<(usize, PairScore)> = None;
+            for (m, machine) in machines.iter().enumerate() {
+                if !machine.has_free_slot() {
+                    continue;
+                }
+                let score = scorer_ref.score(machine, task);
+                if exact.as_ref().is_none_or(|(_, b)| better_pair(&score, b)) {
+                    exact = Some((m, score));
+                }
+            }
+            let got = table.best_for_row(machines, row);
+            let t = threshold(task.type_id);
+            match exact {
+                Some((m, s)) if s.robustness >= t => {
+                    let (gm, gs) = got.unwrap_or_else(|| {
+                        panic!("row {row}: exact best r={} ≥ {t} but table skipped", s.robustness)
+                    });
+                    assert_eq!(gm.index(), m, "row {row}: machine diverged");
+                    assert!(
+                        gs.robustness.to_bits() == s.robustness.to_bits()
+                            && gs.expected_completion.to_bits() == s.expected_completion.to_bits(),
+                        "row {row}: {gs:?} vs {s:?}"
+                    );
+                }
+                _ => {
+                    if let Some((_, gs)) = got {
+                        assert!(
+                            gs.robustness < t,
+                            "row {row}: table returned r={} above threshold {t} \
+                             where exact best was below",
+                            gs.robustness
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_table_ensure_matches_rebuild_after_same_tick_changes() {
+        // Two shards' worth of machines; a burst of mapping events at the
+        // same instant with completions, a queue growth, a departed window
+        // row, and an appended arrival in between. The revalidated table
+        // must be cell-for-cell identical to a from-scratch rebuild.
+        let (pet, mut machines) = fanout_fixture(40);
+        let mut tasks: Vec<Task> = (0..8u32)
+            .map(|i| Task {
+                id: TaskId(1_000 + i),
+                type_id: TaskTypeId((i % 2) as u16),
+                arrival: 0,
+                deadline: 45 + u64::from(i) * 25,
+            })
+            .collect();
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(3);
+        let mut table = ScoreTable::new();
+        assert!(
+            !table.ensure(&mut scorer, &machines, &tasks, &|_| 0.0),
+            "an empty table must rebuild"
+        );
+        // Next burst event, same tick: machine 5's queue grew (assignment),
+        // machine 21 finished its pending task (completion), row 2 left the
+        // window, a fresh arrival slid in.
+        let grown = Task { id: TaskId(800), type_id: TaskTypeId(0), arrival: 0, deadline: 200 };
+        assert!(testkit::apply(&mut machines[5], testkit::QueueOp::Push(grown)));
+        assert!(testkit::apply(&mut machines[21], testkit::QueueOp::RemovePending(TaskId(2100))));
+        tasks.remove(2);
+        tasks.push(Task { id: TaskId(900), type_id: TaskTypeId(1), arrival: 0, deadline: 220 });
+        scorer.begin_event(3);
+        assert!(
+            table.ensure(&mut scorer, &machines, &tasks, &|_| 0.0),
+            "same tick + same epoch must take the reuse path"
+        );
+        let mut reference = ScoreTable::new();
+        let mut ref_scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        ref_scorer.begin_event(3);
+        reference.rebuild(&mut ref_scorer, &machines, &tasks, &|_| 0.0);
+        assert_eq!(table.rows(), reference.rows());
+        for i in 0..tasks.len() {
+            for m in 0..machines.len() {
+                match (table.get(i, m), reference.get(i, m)) {
+                    (Some(a), Some(b)) => assert!(
+                        a.robustness.to_bits() == b.robustness.to_bits()
+                            && a.expected_completion.to_bits() == b.expected_completion.to_bits(),
+                        "({i},{m}): {a:?} vs {b:?}"
+                    ),
+                    (None, None) => {}
+                    other => panic!("presence mismatch at ({i},{m}): {other:?}"),
+                }
+            }
+            assert_eq!(
+                table.best_for_row(&machines, i),
+                reference.best_for_row(&machines, i),
+                "row {i} reduction diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn score_table_ensure_resurrects_rows_loosened_by_completions() {
+        // 64 identical machines (2 shards), all with queues deep enough
+        // that every shard bound falls below the threshold → the row is
+        // fully skipped. A completion then empties one machine: ensure
+        // must resurrect the row through that machine's shard and agree
+        // with exact scoring.
+        let n = 64;
+        let pmfs: Vec<Pmf> = (0..n).map(|_| Pmf::from_points(&[(5, 1.0)]).unwrap()).collect();
+        let pet = PetMatrix::from_pmfs(1, n, pmfs);
+        let mut machines: Vec<MachineState> = (0..n)
+            .map(|m| {
+                let pending: Vec<Task> = (0..3u32)
+                    .map(|i| Task {
+                        id: TaskId(m as u32 * 10 + i),
+                        type_id: TaskTypeId(0),
+                        arrival: 0,
+                        deadline: 500,
+                    })
+                    .collect();
+                testkit::machine_with_pending(MachineId::from(m), 6, &pending)
+            })
+            .collect();
+        let tasks =
+            vec![Task { id: TaskId(9_000), type_id: TaskTypeId(0), arrival: 0, deadline: 12 }];
+        let threshold = |_tt: TaskTypeId| 0.9;
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(0);
+        let mut table = ScoreTable::new();
+        table.rebuild(&mut scorer, &machines, &tasks, &threshold);
+        assert!(
+            table.best_for_row(&machines, 0).is_none(),
+            "deep queues: the row must be bound-skipped everywhere"
+        );
+        // Machine 40 drains completely — its bound loosens to "start now".
+        for i in 0..3u32 {
+            assert!(testkit::apply(
+                &mut machines[40],
+                testkit::QueueOp::RemovePending(TaskId(400 + i))
+            ));
+        }
+        scorer.begin_event(0);
+        assert!(table.ensure(&mut scorer, &machines, &tasks, &threshold), "same tick: reuse");
+        let (m, s) = table.best_for_row(&machines, 0).expect("resurrected through machine 40");
+        assert_eq!(m.index(), 40);
+        assert!((s.robustness - 1.0).abs() < 1e-12, "idle machine, exec 5 ≤ deadline 12");
+        let mut ref_scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        ref_scorer.begin_event(0);
+        assert_table_agrees_with_exact(&table, &mut ref_scorer, &machines, &tasks, &threshold);
+    }
+
+    #[test]
+    fn score_table_ensure_rebuilds_on_tick_epoch_or_invalidate() {
+        let (pet, machines) = fanout_fixture(20);
+        let tasks = vec![Task { id: TaskId(1), type_id: TaskTypeId(0), arrival: 0, deadline: 90 }];
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(3);
+        let mut table = ScoreTable::new();
+        table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
+        // A later tick must rebuild (scores move with `now`).
+        scorer.begin_event(7);
+        assert!(!table.ensure(&mut scorer, &machines, &tasks, &|_| 0.0), "new tick");
+        // A membership epoch bump must rebuild (shard geometry may move).
+        scorer.sync_membership(1, &machines);
+        assert!(!table.ensure(&mut scorer, &machines, &tasks, &|_| 0.0), "new epoch");
+        // Explicit invalidation (PAMF threshold drift) must rebuild.
+        table.invalidate();
+        assert!(!table.ensure(&mut scorer, &machines, &tasks, &|_| 0.0), "invalidated");
+        // And with nothing changed, the reuse path holds.
+        assert!(table.ensure(&mut scorer, &machines, &tasks, &|_| 0.0), "steady state");
+    }
+
+    #[test]
+    fn hierarchical_bound_pass_agrees_with_exact_at_1024_machines() {
+        // Full mega-cluster cardinality (32 shards), post-churn skewed
+        // occupancy (a block of full machines, a block of absent ones),
+        // and a near-tie threshold sitting exactly on the best row score —
+        // the BOUND_MARGIN case the skip decision must survive.
+        let n = 1024;
+        let pmfs: Vec<Pmf> = (0..2 * n)
+            .map(|i| {
+                let base = 2 + (i as u64 % 7);
+                Pmf::from_points(&[(base, 0.3), (base + 4, 0.5), (base + 11, 0.2)]).unwrap()
+            })
+            .collect();
+        let pet = PetMatrix::from_pmfs(2, n, pmfs);
+        let mut machines: Vec<MachineState> = (0..n)
+            .map(|m| {
+                let depth = if m < 300 { 2 } else { m % 3 }; // skewed occupancy
+                let pending: Vec<Task> = (0..depth as u32)
+                    .map(|i| Task {
+                        id: TaskId(m as u32 * 10 + i),
+                        type_id: TaskTypeId((i % 2) as u16),
+                        arrival: 0,
+                        deadline: 70 + u64::from(i) * 30 + (m % 16) as u64,
+                    })
+                    .collect();
+                testkit::machine_with_pending(MachineId::from(m), 2, &pending)
+            })
+            .collect();
+        // Churn skew: machines 600..680 failed.
+        for m in machines.iter_mut().skip(600).take(80) {
+            assert!(testkit::apply(m, testkit::QueueOp::Fail));
+        }
+        let tasks: Vec<Task> = (0..6u32)
+            .map(|i| Task {
+                id: TaskId(50_000 + i),
+                type_id: TaskTypeId((i % 2) as u16),
+                arrival: 0,
+                deadline: 9 + u64::from(i) * 4, // tight: bounds actually skip shards
+            })
+            .collect();
+        let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        scorer.begin_event(1);
+        // Pass 1: threshold 0 (everything live) to learn the exact bests.
+        let mut table = ScoreTable::new();
+        table.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
+        let exact_best: Vec<f64> = (0..tasks.len())
+            .map(|row| table.best_for_row(&machines, row).map_or(0.0, |(_, s)| s.robustness))
+            .collect();
+        let mut ref_scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+        ref_scorer.begin_event(1);
+        // Pass 2: the near-tie threshold — exactly row 0's best score.
+        let tie = exact_best.iter().copied().fold(0.0f64, f64::max);
+        for threshold in [0.25, tie, (tie + 1e-6).min(1.0)] {
+            let t = move |_tt: TaskTypeId| threshold;
+            let mut bounded = ScoreTable::new();
+            bounded.rebuild(&mut scorer, &machines, &tasks, &t);
+            assert_table_agrees_with_exact(&bounded, &mut ref_scorer, &machines, &tasks, &t);
         }
     }
 
@@ -1847,6 +2532,81 @@ mod tests {
                         ),
                         None => prop_assert!(score.expected_completion.is_infinite()),
                     }
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+            /// The hierarchical bound pass never changes a decision: over
+            /// random multi-shard clusters with skewed occupancy (full
+            /// machines, failed machines, empty ones) and an arbitrary
+            /// threshold — including thresholds landing right on a row's
+            /// best score — the bounded table agrees with exact scoring.
+            #[test]
+            fn hierarchical_bound_pass_agrees_with_exact(
+                depths in prop::collection::vec((0usize..5, 0usize..8), 33..72),
+                deadlines in prop::collection::vec(5u64..120, 1..6),
+                threshold in 0.0f64..1.0,
+            ) {
+                let n = depths.len();
+                let pmfs: Vec<Pmf> = (0..2 * n)
+                    .map(|i| {
+                        let base = 2 + (i as u64 % 5);
+                        Pmf::from_points(&[(base, 0.25), (base + 3, 0.5), (base + 7, 0.25)])
+                            .unwrap()
+                    })
+                    .collect();
+                let pet = PetMatrix::from_pmfs(2, n, pmfs);
+                let mut machines: Vec<MachineState> = depths
+                    .iter()
+                    .enumerate()
+                    .map(|(m, &(depth, _))| {
+                        let pending: Vec<Task> = (0..depth as u32)
+                            .map(|i| Task {
+                                id: TaskId(m as u32 * 100 + i),
+                                type_id: TaskTypeId((i % 2) as u16),
+                                arrival: 0,
+                                deadline: 40 + u64::from(i) * 20 + m as u64,
+                            })
+                            .collect();
+                        testkit::machine_with_pending(MachineId::from(m), 4, &pending)
+                    })
+                    .collect();
+                for (machine, &(_, fail)) in machines.iter_mut().zip(&depths) {
+                    if fail == 0 {
+                        testkit::apply(machine, testkit::QueueOp::Fail);
+                    }
+                }
+                let tasks: Vec<Task> = deadlines
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &deadline)| Task {
+                        id: TaskId(40_000 + i as u32),
+                        type_id: TaskTypeId((i % 2) as u16),
+                        arrival: 0,
+                        deadline,
+                    })
+                    .collect();
+                let mut scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+                scorer.begin_event(2);
+                let mut ref_scorer = ProbScorer::new(&pet, DropPolicy::All, 16);
+                ref_scorer.begin_event(2);
+                // Pass 1: exact bests (threshold 0 keeps everything live).
+                let mut flat = ScoreTable::new();
+                flat.rebuild(&mut scorer, &machines, &tasks, &|_| 0.0);
+                let tie = (0..tasks.len())
+                    .filter_map(|row| flat.best_for_row(&machines, row))
+                    .map(|(_, s)| s.robustness)
+                    .fold(0.0f64, f64::max);
+                // Pass 2: the random threshold AND the exact near-tie one.
+                for t in [threshold, tie] {
+                    let thr = move |_tt: TaskTypeId| t;
+                    let mut bounded = ScoreTable::new();
+                    bounded.rebuild(&mut scorer, &machines, &tasks, &thr);
+                    assert_table_agrees_with_exact(
+                        &bounded, &mut ref_scorer, &machines, &tasks, &thr,
+                    );
                 }
             }
         }

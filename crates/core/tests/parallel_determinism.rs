@@ -12,18 +12,20 @@
 //!
 //! * sequential (`threads = 1`),
 //! * scoped fan-out (`threads = N`, threads spawned per event),
-//! * persistent worker pool (`threads = N`, cells owned by pool workers).
+//! * persistent worker pool (`threads = N`, cells owned by pool workers),
+//! * work-stealing pool (`threads = N`, idle workers claim cells from
+//!   busy shards).
 //!
-//! A seed-golden pin on the `cluster_64m` bench scenario (reduced task
-//! count) guards the cluster-scale trajectory against behavioral drift
-//! from future perf work.
+//! Seed-golden pins on the `cluster_64m` and `cluster_1024m` bench
+//! scenarios (reduced task counts) guard the cluster-scale trajectory
+//! against behavioral drift from future perf work.
 //!
 //! The multi-threaded side honours `HCSIM_TEST_THREADS` (default 4) and
-//! `HCSIM_TEST_POOL` (`1` = run the pin's parallel leg on the worker
-//! pool, default scoped) so CI can run the same suite across a
-//! threads × backend matrix — every leg asserts the same pinned
-//! constants, which is what proves all modes agree even if one leg's
-//! in-test comparison is degenerate.
+//! `HCSIM_TEST_POOL` (`1` = run the pins' parallel leg on the worker
+//! pool, `2` = on the work-stealing pool, default scoped) so CI can run
+//! the same suite across a threads × backend matrix — every leg asserts
+//! the same pinned constants, which is what proves all modes agree even
+//! if one leg's in-test comparison is degenerate.
 
 use hcsim_core::{FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
 use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig, SimReport};
@@ -39,13 +41,14 @@ fn test_threads() -> usize {
     std::env::var("HCSIM_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
 }
 
-/// Backend for the golden pin's parallel leg; `HCSIM_TEST_POOL=1` selects
-/// the persistent worker pool, anything else the scoped fan-out.
+/// Backend for the golden pins' parallel leg; `HCSIM_TEST_POOL=1` selects
+/// the persistent worker pool, `2` the work-stealing pool, anything else
+/// the scoped fan-out.
 fn test_backend() -> FanoutBackend {
-    if std::env::var("HCSIM_TEST_POOL").as_deref() == Ok("1") {
-        FanoutBackend::Pool
-    } else {
-        FanoutBackend::Scoped
+    match std::env::var("HCSIM_TEST_POOL").as_deref() {
+        Ok("1") => FanoutBackend::Pool,
+        Ok("2") => FanoutBackend::Stealing,
+        _ => FanoutBackend::Scoped,
     }
 }
 
@@ -154,8 +157,11 @@ proptest! {
             cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, t, FanoutBackend::Scoped);
         let pool =
             cluster_trial(HeuristicKind::Pam, machines, 160, oversub, seed, t, FanoutBackend::Pool);
+        let steal = cluster_trial(
+            HeuristicKind::Pam, machines, 160, oversub, seed, t, FanoutBackend::Stealing);
         prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
         prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
     }
 
     /// Same invariance for MOC's phase-1 fan-out and permutation phase.
@@ -169,8 +175,11 @@ proptest! {
             HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, FanoutBackend::Scoped);
         let pool = cluster_trial(
             HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, FanoutBackend::Pool);
+        let steal = cluster_trial(
+            HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, FanoutBackend::Stealing);
         prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
         prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
     }
 }
 
@@ -193,8 +202,11 @@ proptest! {
             HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, FanoutBackend::Scoped);
         let pool = churn_cluster_trial(
             HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, FanoutBackend::Pool);
+        let steal = churn_cluster_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, FanoutBackend::Stealing);
         prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
         prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
         // Membership bookkeeping is decided before execution-mode
         // choices, so it must agree byte-for-byte too.
         prop_assert_eq!(seq.churn, pool.churn);
@@ -312,6 +324,62 @@ fn cluster_64m_churn_seed_golden_pin() {
     let sliced: usize = report.epochs.iter().map(|e| e.finished).sum();
     assert_eq!(sliced, report.records.len());
 }
+
+/// Seed-golden pin at mega-cluster cardinality: 1024 machines (32 score-
+/// table shards), arrival rate scaled 128× over the paper's 34k level so
+/// the burst regime engages, task count reduced so debug-mode CI stays
+/// fast. Runs sequentially and on the matrix-selected parallel mode
+/// (`HCSIM_TEST_THREADS` × `HCSIM_TEST_POOL`, including the work-stealing
+/// pool on `HCSIM_TEST_POOL=2`) and asserts the same pinned constants on
+/// every leg — proving the hierarchical bound pass, same-tick reuse, and
+/// all four execution modes agree byte-for-byte at the new scale.
+#[test]
+fn cluster_1024m_seed_golden_pin() {
+    let report =
+        cluster_trial(HeuristicKind::Pam, 1024, 300, 4_352_000.0, 2019, 1, FanoutBackend::Scoped);
+    let parallel = cluster_trial(
+        HeuristicKind::Pam,
+        1024,
+        300,
+        4_352_000.0,
+        2019,
+        test_threads(),
+        test_backend(),
+    );
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&parallel),
+        "threads=1 and threads={} ({:?}) diverged on the pinned 1024-machine scenario",
+        test_threads(),
+        test_backend(),
+    );
+    let o = &report.metrics.outcomes;
+    eprintln!(
+        "1024m golden: on_time={} late={} pruned={} exp_unstarted={} exp_executing={} events={} end={}",
+        o.on_time,
+        o.late,
+        o.pruned,
+        o.expired_unstarted,
+        o.expired_executing,
+        report.mapping_events,
+        report.end_time,
+    );
+    assert_eq!(o.on_time, MEGA_GOLDEN_ON_TIME);
+    assert_eq!(o.late, MEGA_GOLDEN_LATE);
+    assert_eq!(o.pruned, MEGA_GOLDEN_PRUNED);
+    assert_eq!(o.expired_unstarted, MEGA_GOLDEN_EXPIRED_UNSTARTED);
+    assert_eq!(o.expired_executing, MEGA_GOLDEN_EXPIRED_EXECUTING);
+    assert_eq!(report.mapping_events, MEGA_GOLDEN_MAPPING_EVENTS);
+    assert_eq!(report.end_time, MEGA_GOLDEN_END_TIME);
+}
+
+const MEGA_GOLDEN_ON_TIME: usize = 300;
+const MEGA_GOLDEN_LATE: usize = 0;
+const MEGA_GOLDEN_PRUNED: usize = 0;
+const MEGA_GOLDEN_EXPIRED_UNSTARTED: usize = 0;
+const MEGA_GOLDEN_EXPIRED_EXECUTING: usize = 0;
+const MEGA_GOLDEN_MAPPING_EVENTS: u64 = 600;
+const MEGA_GOLDEN_END_TIME: u64 = 256;
 
 const CHURN_GOLDEN_ON_TIME: usize = 271;
 const CHURN_GOLDEN_PRUNED: usize = 10;

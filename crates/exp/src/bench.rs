@@ -19,7 +19,20 @@
 //! `speedup_vs_baseline` ratio) in the fresh output — this is how the
 //! repo's committed files record the before/after trajectory of perf PRs.
 //! `--check` turns the comparison into a CI gate: any op slower than 2×
-//! its baseline fails the run.
+//! its baseline fails the run, and any `cluster_*` row *absent* from the
+//! baseline fails it too (see [`attach_baseline`]).
+//!
+//! **Host sensitivity.** Absolute `ns_per_op` numbers move with the host
+//! class: a container-generation change, a different CPU family, or even
+//! a different core count can shift every row by tens of percent in
+//! either direction without any code change. The committed baselines must
+//! therefore be regenerated (full mode, on the CI host class) whenever
+//! the rows drift toward the edge of the 2× [`REGRESSION_FACTOR`] band —
+//! stale baselines eat the gate's headroom from one side or mask real
+//! regressions from the other. `speedup_vs_baseline` in freshly generated
+//! files is the tell: values far from 1.0 across the board mean the
+//! baseline no longer describes this host, not that the code got
+//! uniformly faster or slower.
 
 use crate::runner::FigOptions;
 use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
@@ -501,6 +514,49 @@ fn cluster_sweep(quick: bool, results: &mut Vec<BenchResult>) {
     for threads in [1usize, 4] {
         churn_cluster_trial(HeuristicKind::Pam, threads);
     }
+
+    // Mega-cluster scenario: 1024 machines (32 score-table shards) with
+    // the arrival rate scaled 128× so the per-machine load stays at the
+    // 34k level. At this rate arrivals pile onto shared ticks, so the
+    // same-tick table-reuse path dominates; the hierarchical bound pass
+    // keeps phase-2 candidate work at O(shards-that-can-win) rather than
+    // O(machines). The `_noreuse` ablation row runs the identical
+    // scenario with same-tick reuse disabled — the gap to
+    // `cluster_1024m/PAM_t4` is the measured burst win.
+    let mega_spec = specint_cluster(1024, 6, &mut seeds.stream(7));
+    let mega_gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: cluster_tasks_n,
+        oversubscription: 4_352_000.0,
+        ..Default::default()
+    });
+    let mega_tasks = mega_gen.generate(&mega_spec, &mut seeds.stream(8));
+    let mut mega_trial = |label: &str, threads: usize, table_reuse: bool| {
+        let mut events = 0u64;
+        let timing = cluster_timer.run(|| {
+            let mut mapper = HeuristicKind::Pam.build(PruningConfig {
+                threads,
+                table_reuse,
+                ..PruningConfig::default()
+            });
+            let mut rng = seeds.stream(5);
+            let report = run_simulation(
+                &mega_spec,
+                SimConfig::untrimmed(),
+                &mega_tasks,
+                &mut mapper,
+                &mut rng,
+            );
+            events = report.mapping_events;
+            std::hint::black_box(report.metrics.counted);
+        });
+        let mut r = result(format!("{label}/PAM_t{threads}"), &cluster_timer, timing);
+        r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
+        results.push(r);
+    };
+    for threads in [1usize, 4] {
+        mega_trial("cluster_1024m", threads, true);
+    }
+    mega_trial("cluster_1024m_noreuse", 4, false);
 }
 
 // ---------------------------------------------------------------------------
@@ -524,8 +580,9 @@ pub struct ScalingOptions {
     pub quick: bool,
     /// Directory to write `SCALING_cluster64.{json,md}` into.
     pub out_dir: PathBuf,
-    /// Fail unless the PAM t=4 leg beats the t=1 leg (events/sec) — the
-    /// real-speedup gate; only meaningful on a host with ≥4 cores.
+    /// Fail unless every swept scenario's t=4 leg beats its t=1 leg (see
+    /// [`gate_scaling_suite`]) — the real-speedup gate; only meaningful on
+    /// a host with ≥4 cores.
     pub gate: bool,
 }
 
@@ -535,30 +592,34 @@ pub struct ScalingOptions {
 #[must_use]
 pub fn render_scaling_markdown(suite: &BenchSuite) -> String {
     let mut out = String::from(
-        "# cluster_64m scaling table\n\n\
-         64 machines, 8x arrival rate, 250 tasks; PAM (t=1/2/4/8) and MOC\n\
-         (t=1/4) threads sweeps on the persistent worker-pool backend\n\
-         (t1 = sequential fast path). The cluster_64m_churn rows run the\n\
-         same cluster under membership churn (8 late joins, 6 drains,\n\
-         4 fails with task requeue); their speedups compare against the\n\
-         churn scenario's own t1 leg.\n\n\
+        "# cluster scaling table\n\n\
+         cluster_64m: 64 machines, 8x arrival rate, 250 tasks; PAM\n\
+         (t=1/2/4/8) and MOC (t=1/4) threads sweeps on the persistent\n\
+         worker-pool backend (t1 = sequential fast path). The\n\
+         cluster_64m_churn rows run the same cluster under membership\n\
+         churn (8 late joins, 6 drains, 4 fails with task requeue). The\n\
+         cluster_1024m rows run the mega-cluster scenario (1024 machines,\n\
+         128x arrival rate, 32 score-table shards); cluster_1024m_noreuse\n\
+         is the same scenario with same-tick table reuse disabled, so its\n\
+         gap to cluster_1024m/PAM_t4 is the measured burst-reuse win.\n\
+         Every scenario's speedups compare against its own t1 leg.\n\n\
          | id | threads | ns/op (best) | events/sec | speedup vs t1 |\n\
          |---|---|---|---|---|\n",
     );
     for r in &suite.results {
         let (kind, threads) = split_cluster_id(&r.id);
-        let t1 = suite
+        let speedup = suite
             .results
             .iter()
             .find(|b| split_cluster_id(&b.id) == (kind, 1))
-            .map_or(f64::NAN, |b| b.ns_min);
+            .map_or("\u{2014}".into(), |b| format!("{:.2}x", b.ns_min / r.ns_min));
         out.push_str(&format!(
-            "| {} | {} | {:.0} | {:.0} | {:.2}x |\n",
+            "| {} | {} | {:.0} | {:.0} | {} |\n",
             r.id,
             threads,
             r.ns_min,
             r.events_per_sec.unwrap_or(0.0),
-            t1 / r.ns_min,
+            speedup,
         ));
     }
     out
@@ -612,19 +673,57 @@ pub fn run_scaling(opts: &ScalingOptions) -> Result<(), Vec<String>> {
     if !opts.gate {
         return Ok(());
     }
+    gate_scaling_suite(&suite)
+}
+
+/// The `--gate` check over a scaling sweep: every swept scenario prefix
+/// (`cluster_64m/PAM`, `cluster_64m/MOC`, `cluster_64m_churn/PAM`,
+/// `cluster_1024m/PAM`, …) that has both a t1 and a t4 leg must show the
+/// t4 best sample beating the t1 best sample (within
+/// [`SCALING_GATE_TOLERANCE`]). All failures are reported, not just the
+/// first; prefixes with only one leg (like the `_noreuse` ablation row)
+/// are skipped; a sweep in which *nothing* was gateable is itself a
+/// failure — that is how the gate stays honest when rows get renamed.
+///
+/// # Errors
+///
+/// One human-readable message per failed (or missing) scenario gate.
+pub fn gate_scaling_suite(suite: &BenchSuite) -> Result<(), Vec<String>> {
     let best = |kind: &str, t: usize| {
         suite.results.iter().find(|r| split_cluster_id(&r.id) == (kind, t)).map(|r| r.ns_min)
     };
-    match (best("cluster_64m/PAM", 1), best("cluster_64m/PAM", 4)) {
-        (Some(t1), Some(t4)) if t4 < t1 * SCALING_GATE_TOLERANCE => {
-            eprintln!("scaling gate: PAM t4 is {:.2}x the speed of t1 — pass", t1 / t4);
-            Ok(())
+    let mut prefixes: Vec<&str> = Vec::new();
+    for r in &suite.results {
+        let (kind, _) = split_cluster_id(&r.id);
+        if !prefixes.contains(&kind) {
+            prefixes.push(kind);
         }
-        (Some(t1), Some(t4)) => Err(vec![format!(
-            "scaling gate: PAM t4 ({t4:.0} ns/op best) is not faster than t1 ({t1:.0} ns/op \
-             best) — the fan-out is not yielding real parallel speedup on this host"
-        )]),
-        _ => Err(vec!["scaling gate: PAM t1/t4 rows missing from the sweep".to_string()]),
+    }
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for kind in prefixes {
+        let (Some(t1), Some(t4)) = (best(kind, 1), best(kind, 4)) else { continue };
+        gated += 1;
+        if t4 < t1 * SCALING_GATE_TOLERANCE {
+            eprintln!("scaling gate: {kind} t4 is {:.2}x the speed of t1 — pass", t1 / t4);
+        } else {
+            failures.push(format!(
+                "scaling gate: {kind} t4 ({t4:.0} ns/op best) is not faster than t1 ({t1:.0} \
+                 ns/op best) — the fan-out is not yielding real parallel speedup on this host"
+            ));
+        }
+    }
+    if gated == 0 {
+        failures.push(
+            "scaling gate: no scenario had both t1 and t4 rows to gate — the sweep ids have \
+             drifted"
+                .to_string(),
+        );
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
     }
 }
 
@@ -692,10 +791,16 @@ pub fn parse_baseline(doc: &str) -> BTreeMap<String, f64> {
 }
 
 /// Attaches baselines from `dir/BENCH_<suite>.json` to `suite`'s results.
-/// Returns the ids that regressed beyond [`REGRESSION_FACTOR`], or `None`
-/// when the baseline file does not exist — callers running as a gate must
+/// Returns the failures — ids that regressed beyond [`REGRESSION_FACTOR`],
+/// plus any `cluster_*` row with *no* baseline entry at all — or `None`
+/// when the baseline file does not exist; callers running as a gate must
 /// treat that as a failure, not a pass (a silently skipped comparison
 /// would let the CI guarantee rot).
+///
+/// Unknown ids used to be skipped silently, which meant a brand-new
+/// cluster scenario was never gated until someone remembered to
+/// regenerate the baseline. Now every unknown id warns, and unknown
+/// `cluster_*` rows (the scaling-critical ones) fail the check outright.
 pub fn attach_baseline(suite: &mut BenchSuite, dir: &Path) -> Option<Vec<String>> {
     let path = dir.join(format!("BENCH_{}.json", suite.name));
     let Ok(doc) = std::fs::read_to_string(&path) else {
@@ -705,6 +810,20 @@ pub fn attach_baseline(suite: &mut BenchSuite, dir: &Path) -> Option<Vec<String>
     let baseline = parse_baseline(&doc);
     let mut regressions = Vec::new();
     for r in &mut suite.results {
+        if !baseline.contains_key(&r.id) {
+            eprintln!(
+                "  WARNING: result id `{}` has no entry in {} — it is not being gated",
+                r.id,
+                path.display()
+            );
+            if r.id.starts_with("cluster_") {
+                regressions.push(format!(
+                    "{}: no baseline entry in BENCH_{}.json — cluster rows must be gated; \
+                     regenerate the committed baseline",
+                    r.id, suite.name
+                ));
+            }
+        }
         if let Some(&b) = baseline.get(&r.id) {
             r.baseline_ns_per_op = Some(b);
             // The fanout/* rows time raw thread-dispatch (spawns, channel
@@ -864,10 +983,15 @@ mod tests {
                 mk("slow", 300.0),
                 mk("unknown", 9e9),
                 mk("fanout/dispatch", 500.0),
+                // A cluster row missing from the baseline is a FAILURE,
+                // not a silent skip — the regression test for the
+                // unknown-id hole that let new cluster scenarios sail
+                // through `--check` ungated.
+                mk("cluster_1024m/PAM_t4", 100.0),
             ],
         };
         let regressions = attach_baseline(&mut suite, &dir).expect("baseline file exists");
-        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert_eq!(regressions.len(), 2, "{regressions:?}");
         assert_eq!(
             suite.results[3].baseline_ns_per_op,
             Some(100.0),
@@ -879,9 +1003,63 @@ mod tests {
             "missing baseline file must be distinguishable from a clean pass"
         );
         assert!(regressions[0].starts_with("slow:"));
+        assert!(
+            regressions[1].starts_with("cluster_1024m/PAM_t4:")
+                && regressions[1].contains("no baseline entry"),
+            "{regressions:?}"
+        );
         assert_eq!(suite.results[0].baseline_ns_per_op, Some(100.0));
         assert_eq!(suite.results[2].baseline_ns_per_op, None, "unknown ids are not compared");
+        assert_eq!(
+            suite.results[4].baseline_ns_per_op, None,
+            "missing cluster baseline is reported, not invented"
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scaling_gate_covers_every_swept_prefix() {
+        let mk = |id: &str, min: f64| BenchResult {
+            id: id.into(),
+            ns_per_op: min,
+            ns_min: min,
+            ns_max: min,
+            samples: 2,
+            events_per_sec: None,
+            baseline_ns_per_op: None,
+        };
+        // Healthy sweep: every prefix's t4 beats its t1; the lone-leg
+        // ablation row is skipped, not failed.
+        let healthy = BenchSuite {
+            name: "scaling",
+            results: vec![
+                mk("cluster_64m/PAM_t1", 100.0),
+                mk("cluster_64m/PAM_t4", 40.0),
+                mk("cluster_64m/MOC_t1", 90.0),
+                mk("cluster_64m/MOC_t4", 50.0),
+                mk("cluster_64m_churn/PAM_t1", 110.0),
+                mk("cluster_64m_churn/PAM_t4", 60.0),
+                mk("cluster_1024m/PAM_t1", 500.0),
+                mk("cluster_1024m/PAM_t4", 200.0),
+                mk("cluster_1024m_noreuse/PAM_t4", 400.0),
+            ],
+        };
+        assert!(gate_scaling_suite(&healthy).is_ok());
+        // A churn-scaling regression — the case the old hard-coded
+        // cluster_64m/PAM gate let through — must now fail, and the 1024m
+        // regression must be reported alongside it (all failures listed).
+        let mut regressed = healthy.clone();
+        regressed.results[5].ns_min = 150.0; // churn t4 slower than t1
+        regressed.results[7].ns_min = 600.0; // 1024m t4 slower than t1
+        let failures = gate_scaling_suite(&regressed).unwrap_err();
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("cluster_64m_churn/PAM"));
+        assert!(failures[1].contains("cluster_1024m/PAM"));
+        // A sweep whose ids drifted until nothing is gateable fails too.
+        let empty = BenchSuite { name: "scaling", results: vec![mk("cluster_64m/PAM_t4", 1.0)] };
+        let failures = gate_scaling_suite(&empty).unwrap_err();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("no scenario"), "{failures:?}");
     }
 
     #[test]

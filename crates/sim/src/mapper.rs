@@ -255,6 +255,10 @@ pub struct MapperInstrumentation {
     /// Executing tasks preempted in favor of urgent arrivals (§VIII
     /// extension; zero unless preemption is enabled).
     pub preemptions: u64,
+    /// Mapping events served by same-tick score-table reuse (burst
+    /// arrivals revalidating the previous event's table instead of
+    /// rebuilding it).
+    pub table_reuses: u64,
 }
 
 /// A mapping heuristic driven by the engine at every mapping event.
