@@ -72,6 +72,24 @@ impl SufferageTable {
     pub fn relax(&self, tt: TaskTypeId, threshold: f64) -> f64 {
         (threshold - self.sufferage(tt)).clamp(0.0, 1.0)
     }
+
+    /// The full per-type sufferage vector, for snapshotting.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Rebuilds a table from a snapshotted sufferage vector and the
+    /// configured fairness factor ϑ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ϑ is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn from_values(values: Vec<f64>, factor: f64) -> Self {
+        assert!(factor.is_finite() && (0.0..=1.0).contains(&factor), "fairness factor in [0,1]");
+        Self { values, factor }
+    }
 }
 
 #[cfg(test)]

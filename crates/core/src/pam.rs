@@ -106,19 +106,19 @@ impl Mapper for Pam {
     }
 
     fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
-        // Lazy one-time initialization against the system spec.
+        // Lazy one-time initialization against the system spec. The
+        // sufferage table is guarded separately: `restore_state` may have
+        // re-seated it before the first event, and it must not be reset.
         if self.scorer.is_none() {
             self.scorer = Some(ProbScorer::new(
                 &ctx.spec().pet,
                 ctx.drop_policy(),
                 self.config.impulse_budget,
             ));
-            if self.is_fair() {
-                self.sufferage = Some(SufferageTable::new(
-                    ctx.spec().num_task_types(),
-                    self.config.fairness_factor,
-                ));
-            }
+        }
+        if self.is_fair() && self.sufferage.is_none() {
+            self.sufferage =
+                Some(SufferageTable::new(ctx.spec().num_task_types(), self.config.fairness_factor));
         }
         let mut scorer = self.scorer.take().expect("initialized above");
         scorer.begin_event(ctx.now());
@@ -264,6 +264,103 @@ impl Mapper for Pam {
 
     fn instrumentation(&self) -> Option<MapperInstrumentation> {
         Some(self.instr)
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        // History-dependent state only: detector level/toggle, sufferage
+        // vector, instrumentation counters. The scorer and score table are
+        // pure caches — decision-identical when rebuilt cold — so they are
+        // deliberately not captured (only `table_reuses` may then diverge
+        // after a restore, and it feeds no report field).
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(&PAM_BLOB_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.detector.level().to_bits().to_le_bytes());
+        buf.push(u8::from(self.detector.dropping_engaged()));
+        match &self.sufferage {
+            Some(s) => {
+                buf.push(1);
+                buf.extend_from_slice(&(s.values().len() as u64).to_le_bytes());
+                for v in s.values() {
+                    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            None => buf.push(0),
+        }
+        for counter in [
+            self.instr.mapping_events,
+            self.instr.events_dropping_engaged,
+            self.instr.toggle_transitions,
+            self.instr.pruner_drops,
+            self.instr.preemptions,
+            self.instr.table_reuses,
+        ] {
+            buf.extend_from_slice(&counter.to_le_bytes());
+        }
+        buf
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        // The blob is opaque to the engine, so unlike the engine snapshot
+        // this panics (rather than erroring) on a malformed buffer.
+        if bytes.is_empty() {
+            return; // fresh mapper: nothing to restore
+        }
+        let mut r = BlobReader { buf: bytes, pos: 0 };
+        let version = u32::from_le_bytes(r.take(4).try_into().expect("4 bytes"));
+        assert_eq!(version, PAM_BLOB_VERSION, "unsupported PAM state blob version {version}");
+        let level = f64::from_bits(r.u64());
+        let engaged = r.u8() != 0;
+        self.detector.restore(level, engaged);
+        self.sufferage = match r.u8() {
+            0 => None,
+            1 => {
+                let n = usize::try_from(r.u64()).expect("sufferage length");
+                let values = (0..n).map(|_| f64::from_bits(r.u64())).collect();
+                Some(SufferageTable::from_values(values, self.config.fairness_factor))
+            }
+            other => panic!("corrupt PAM state blob: sufferage flag {other}"),
+        };
+        self.instr.mapping_events = r.u64();
+        self.instr.events_dropping_engaged = r.u64();
+        self.instr.toggle_transitions = r.u64();
+        self.instr.pruner_drops = r.u64();
+        self.instr.preemptions = r.u64();
+        self.instr.table_reuses = r.u64();
+        assert_eq!(r.pos, bytes.len(), "corrupt PAM state blob: trailing bytes");
+        // The score table belongs to the pre-snapshot event stream.
+        self.table.invalidate();
+    }
+
+    fn on_shutdown(&mut self) {
+        if let Some(scorer) = &mut self.scorer {
+            scorer.shutdown(std::time::Duration::from_secs(5));
+        }
+    }
+}
+
+/// Format version of the PAM `snapshot_state` blob.
+const PAM_BLOB_VERSION: u32 = 1;
+
+/// Minimal cursor for decoding the PAM state blob (panics on truncation —
+/// the blob never leaves the snapshot the engine already validated).
+struct BlobReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl BlobReader<'_> {
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
     }
 }
 
@@ -470,5 +567,96 @@ mod tests {
         let pam = Pam::new(PruningConfig::default());
         assert_eq!(pam.oversubscription_level(), 0.0);
         assert!(!pam.dropping_engaged());
+    }
+
+    #[test]
+    fn pam_snapshot_roundtrip_is_bit_identical() {
+        // Mid-run snapshot of the full stack (engine + PAM/PAMF history
+        // state), restored into a *fresh* mapper and an unrelated-seed rng,
+        // must finish with a byte-for-byte identical report. Heavy
+        // oversubscription so the detector has engaged and (for PAMF)
+        // sufferage values have drifted by the snapshot point.
+        for kind in ["PAM", "PAMF"] {
+            let seeds = SeedSequence::new(77);
+            let spec = specint_system(6, &mut seeds.stream(0));
+            let gen = WorkloadGenerator::new(WorkloadConfig {
+                num_tasks: 250,
+                oversubscription: 34_000.0,
+                ..Default::default()
+            });
+            let tasks = gen.generate(&spec, &mut seeds.stream(1));
+            let config = SimConfig { trim: 25, ..SimConfig::default() };
+            let make_mapper = || match kind {
+                "PAM" => Pam::new(PruningConfig::default()),
+                _ => Pam::with_fairness(PruningConfig::default()),
+            };
+
+            // Uninterrupted reference run.
+            let mut baseline_mapper = make_mapper();
+            let mut baseline_rng = seeds.stream(2);
+            let mut source = hcsim_sim::TaskTraceSource::new(&tasks);
+            let baseline = hcsim_sim::SimSession::new(
+                &spec,
+                config,
+                &mut [&mut source],
+                &mut baseline_mapper,
+                &mut baseline_rng,
+            )
+            .run_to_completion();
+
+            // Interrupted run: step partway, snapshot, abandon, restore.
+            let mut first_mapper = make_mapper();
+            let mut first_rng = seeds.stream(2);
+            let mut source = hcsim_sim::TaskTraceSource::new(&tasks);
+            let mut session = hcsim_sim::SimSession::new(
+                &spec,
+                config,
+                &mut [&mut source],
+                &mut first_mapper,
+                &mut first_rng,
+            );
+            for _ in 0..150 {
+                assert!(session.step(), "run ended before the snapshot point");
+            }
+            let bytes = session.snapshot();
+            drop(session);
+
+            let mut restored_mapper = make_mapper();
+            let mut restored_rng = seeds.stream(9); // overwritten by restore
+            let resumed = hcsim_sim::SimSession::restore(
+                &spec,
+                config,
+                &bytes,
+                &mut restored_mapper,
+                &mut restored_rng,
+            )
+            .unwrap_or_else(|e| panic!("{kind} restore failed: {e}"))
+            .run_to_completion();
+
+            assert_eq!(
+                format!("{baseline:?}"),
+                format!("{resumed:?}"),
+                "{kind} resumed run diverged from the uninterrupted baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn pam_shutdown_is_safe_before_and_after_init() {
+        let mut pam = Pam::new(PruningConfig::default());
+        pam.on_shutdown(); // no scorer yet: must be a no-op
+        let _ = oversubscribed_report("PAM", 19_000.0, 7); // sanity anchor
+        let seeds = SeedSequence::new(8);
+        let spec = specint_system(6, &mut seeds.stream(0));
+        let gen = WorkloadGenerator::new(WorkloadConfig {
+            num_tasks: 60,
+            oversubscription: 19_000.0,
+            ..Default::default()
+        });
+        let tasks = gen.generate(&spec, &mut seeds.stream(1));
+        let mut rng = seeds.stream(2);
+        let _ = run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut pam, &mut rng);
+        pam.on_shutdown();
+        pam.on_shutdown(); // idempotent
     }
 }

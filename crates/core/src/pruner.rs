@@ -198,6 +198,14 @@ impl OversubscriptionDetector {
     pub fn dropping_engaged(&self) -> bool {
         self.engaged
     }
+
+    /// Overwrites the smoothed level and toggle state with values captured
+    /// from a snapshot. The λ/toggle parameters stay as configured — only
+    /// the dynamic state is restored.
+    pub fn restore(&mut self, level: f64, engaged: bool) {
+        self.level = level;
+        self.engaged = engaged;
+    }
 }
 
 /// The dropping stage of the pruner (§V-A): walk each machine queue from

@@ -664,6 +664,34 @@ impl ProbScorer {
         matches!(self.cells, CellStore::Pooled(_))
     }
 
+    /// Drains and joins the worker pool (if one is active) within
+    /// `timeout`, moving the machine cells back to local storage. Returns
+    /// `false` when a wedged worker forced the pool to be abandoned — the
+    /// cells are then rebuilt empty, which is decision-neutral (caches are
+    /// a pure accelerator) but loses their warmth. Idempotent; a scorer
+    /// with local cells returns `true` immediately.
+    pub fn shutdown(&mut self, timeout: std::time::Duration) -> bool {
+        match std::mem::replace(&mut self.cells, CellStore::Local(Vec::new())) {
+            CellStore::Local(cells) => {
+                self.cells = CellStore::Local(cells);
+                true
+            }
+            CellStore::Pooled(mut pool) => {
+                if pool.shutdown(timeout) {
+                    self.cells = CellStore::Local(pool.into_cells());
+                    true
+                } else {
+                    // Workers still hold the shared cells; start over with
+                    // cold caches rather than blocking on the wedged pool.
+                    let machines = self.shared.machines;
+                    self.cells =
+                        CellStore::Local((0..machines).map(|_| MachineCache::default()).collect());
+                    false
+                }
+            }
+        }
+    }
+
     /// Full queue analysis built from scratch — the reference
     /// implementation the incremental cache is verified against, and the
     /// source of per-slot completion PMFs when a caller needs more than

@@ -1,0 +1,210 @@
+//! Snapshot/restore bit-identity across execution modes.
+//!
+//! The engine's checkpoint contract is that a snapshot taken at *any*
+//! inter-event boundary, restored into a freshly built mapper and RNG,
+//! resumes the run **bit-identically** — the restored run's `SimReport`
+//! equals the uninterrupted run's byte for byte. These tests prove the
+//! contract on whole churn-scale simulations (PAM with pruner, fairness
+//! off, joins/drains/fails mid-run) at a proptest-chosen snapshot step,
+//! and on MOC whose mapper blob is empty by design.
+//!
+//! Execution-mode coverage mirrors `parallel_determinism.rs`: every trial
+//! runs sequentially *and* on the matrix-selected parallel mode
+//! (`HCSIM_TEST_THREADS` × `HCSIM_TEST_POOL`), so the CI matrix sweeps
+//! the snapshot/restore path across all four modes — sequential, scoped
+//! fan-out, persistent pool, and work-stealing pool. The pooled modes are
+//! the interesting ones: a snapshot must not depend on which worker owns
+//! which scorer cell, and a restore rebuilds the pool cold.
+//!
+//! A seed-golden pin re-runs the `cluster_64m_churn` bench scenario
+//! interrupted at a fixed step and requires the restored run to reproduce
+//! the same pinned constants as the uninterrupted pin in
+//! `parallel_determinism.rs` — restore may not drift even if both sides
+//! of an equality comparison drift together.
+
+use hcsim_core::{FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
+use hcsim_sim::{ChurnSource, EventSource, SimConfig, SimReport, SimSession, TaskTraceSource};
+use hcsim_stats::SeedSequence;
+use hcsim_workload::{
+    cluster_churn, specint_cluster, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+};
+use proptest::prelude::*;
+
+/// Thread count for the parallel side; `HCSIM_TEST_THREADS` lets the CI
+/// matrix pin it.
+fn test_threads() -> usize {
+    std::env::var("HCSIM_TEST_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// Backend for the parallel leg; `HCSIM_TEST_POOL=1` selects the
+/// persistent worker pool, `2` the work-stealing pool, anything else the
+/// scoped fan-out.
+fn test_backend() -> FanoutBackend {
+    match std::env::var("HCSIM_TEST_POOL").as_deref() {
+        Ok("1") => FanoutBackend::Pool,
+        Ok("2") => FanoutBackend::Stealing,
+        _ => FanoutBackend::Scoped,
+    }
+}
+
+/// Byte-comparable rendering of everything a run decided: records,
+/// metrics, cost accounting, churn bookkeeping, and per-epoch slices.
+fn fingerprint(report: &SimReport) -> String {
+    format!("{report:?}")
+}
+
+/// One churn-cluster trial through the stepwise [`SimSession`] API.
+///
+/// With `snapshot_at == None` the session runs straight to completion
+/// (the baseline). With `Some(n)` the session is stepped `n` times (or
+/// until the heap drains), snapshotted, torn down, restored into a fresh
+/// identically configured mapper and a fresh RNG — whose state the
+/// snapshot overwrites, so its seed is deliberately different — and only
+/// then run to completion.
+#[allow(clippy::too_many_arguments)]
+fn session_trial(
+    kind: HeuristicKind,
+    machines: usize,
+    num_tasks: usize,
+    oversubscription: f64,
+    seed: u64,
+    threads: usize,
+    backend: FanoutBackend,
+    snapshot_at: Option<usize>,
+) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks,
+        oversubscription,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let churn = cluster_churn(
+        &ChurnConfig {
+            num_machines: machines,
+            initial_absent: machines / 4,
+            drains: 3,
+            fails: 3,
+            span: (num_tasks as u64) * 2,
+            min_active: machines / 2,
+        },
+        &mut seeds.stream(3),
+    );
+    let config = PruningConfig { threads, backend, ..PruningConfig::default() };
+    let mut mapper = kind.build(config);
+    let mut rng = seeds.stream(2);
+    let mut task_source = TaskTraceSource::new(&tasks);
+    let mut churn_source = ChurnSource::new(&churn);
+    let mut sources: Vec<&mut dyn EventSource> = vec![&mut task_source, &mut churn_source];
+    let mut session =
+        SimSession::new(&spec, SimConfig::untrimmed(), &mut sources, &mut mapper, &mut rng);
+
+    let Some(steps) = snapshot_at else {
+        return session.run_to_completion();
+    };
+    for _ in 0..steps {
+        if !session.step() {
+            break;
+        }
+    }
+    let bytes = session.snapshot();
+    drop(session);
+    drop(mapper);
+
+    // Second life: the mapper is rebuilt from config + blob, the RNG seed
+    // is garbage on purpose (restore overwrites its state).
+    let mut mapper = kind.build(config);
+    let mut rng = seeds.stream(9);
+    let session = SimSession::restore(&spec, SimConfig::untrimmed(), &bytes, &mut mapper, &mut rng)
+        .expect("inter-event-boundary snapshot must restore");
+    session.run_to_completion()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// PAM under churn, interrupted at an arbitrary step: the restored
+    /// run must be byte-identical to never having stopped, sequentially
+    /// and on the matrix-selected parallel mode.
+    #[test]
+    fn pam_snapshot_restore_is_bit_identical_at_any_step(
+        seed in 0u64..10_000,
+        snap_step in 0usize..600,
+    ) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let t = test_threads();
+        let b = test_backend();
+        let baseline = session_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, 1, FanoutBackend::Scoped, None);
+        let resumed = session_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, 1, FanoutBackend::Scoped,
+            Some(snap_step));
+        prop_assert_eq!(fingerprint(&baseline), fingerprint(&resumed));
+
+        let par_baseline = session_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, b, None);
+        let par_resumed = session_trial(
+            HeuristicKind::Pam, machines, 160, 110_000.0, seed, t, b, Some(snap_step));
+        prop_assert_eq!(fingerprint(&par_baseline), fingerprint(&par_resumed));
+        // And the parallel leg agrees with the sequential leg, so the
+        // snapshot path cannot hide an execution-mode divergence.
+        prop_assert_eq!(fingerprint(&baseline), fingerprint(&par_resumed));
+    }
+
+    /// MOC's mapper blob is empty (its state is pure caches); restore
+    /// must still resume bit-identically around the empty blob.
+    #[test]
+    fn moc_snapshot_restore_is_bit_identical_at_any_step(
+        seed in 0u64..10_000,
+        snap_step in 0usize..600,
+    ) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let t = test_threads();
+        let b = test_backend();
+        let baseline = session_trial(
+            HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, b, None);
+        let resumed = session_trial(
+            HeuristicKind::Moc, machines, 160, 220_000.0, seed, t, b, Some(snap_step));
+        prop_assert_eq!(fingerprint(&baseline), fingerprint(&resumed));
+    }
+}
+
+/// Seed-golden pin: the `cluster_64m_churn` scenario interrupted at a
+/// fixed mid-run step must reproduce the exact constants the
+/// uninterrupted pin in `parallel_determinism.rs` asserts — the restored
+/// trajectory is pinned to the recorded one, not merely to a twin run
+/// that could drift with it. Runs on the matrix-selected execution mode.
+#[test]
+fn cluster_64m_churn_restored_seed_golden_pin() {
+    let report = session_trial(
+        HeuristicKind::Pam,
+        64,
+        400,
+        272_000.0,
+        2019,
+        test_threads(),
+        test_backend(),
+        Some(300),
+    );
+    let o = &report.metrics.outcomes;
+    assert_eq!(o.on_time, CHURN_GOLDEN_ON_TIME);
+    assert_eq!(o.pruned, CHURN_GOLDEN_PRUNED);
+    assert_eq!(o.expired_unstarted, CHURN_GOLDEN_EXPIRED_UNSTARTED);
+    assert_eq!(o.expired_executing, CHURN_GOLDEN_EXPIRED_EXECUTING);
+    assert_eq!(report.mapping_events, CHURN_GOLDEN_MAPPING_EVENTS);
+    assert_eq!(report.end_time, CHURN_GOLDEN_END_TIME);
+    assert_eq!(report.churn.requeued, CHURN_GOLDEN_REQUEUED);
+    assert_eq!(report.epochs.len(), CHURN_GOLDEN_EPOCHS);
+}
+
+// Mirrors of the `cluster_64m_churn` pin in `parallel_determinism.rs`;
+// a restored run must land on the same trajectory.
+const CHURN_GOLDEN_ON_TIME: usize = 271;
+const CHURN_GOLDEN_PRUNED: usize = 10;
+const CHURN_GOLDEN_EXPIRED_UNSTARTED: usize = 117;
+const CHURN_GOLDEN_EXPIRED_EXECUTING: usize = 2;
+const CHURN_GOLDEN_MAPPING_EVENTS: u64 = 695;
+const CHURN_GOLDEN_END_TIME: u64 = 749;
+const CHURN_GOLDEN_REQUEUED: u64 = 2;
+const CHURN_GOLDEN_EPOCHS: usize = 23;

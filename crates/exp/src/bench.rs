@@ -39,7 +39,10 @@ use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
 use hcsim_model::{MachineId, SystemSpec, Task, TaskId, TaskTypeId};
 use hcsim_parallel::{parallel_for_each_mut, WorkerPool};
 use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf, Time};
-use hcsim_sim::{run_simulation, run_simulation_with_churn, testkit, SimConfig};
+use hcsim_sim::{
+    run_simulation, run_simulation_with_churn, testkit, EventSource, SimConfig, SimSession,
+    TaskTraceSource,
+};
 use hcsim_stats::{Gamma, Histogram, SeedSequence};
 use hcsim_workload::{
     cluster_churn, specint_cluster, specint_system, ChurnConfig, WorkloadConfig, WorkloadGenerator,
@@ -385,6 +388,55 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
         let mut r = result(format!("trial_{n_tasks}t_34k/{}", kind.name()), &trial_timer, timing);
         r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
         results.push(r);
+    }
+
+    // Service-mode checkpointing: what a crash-safe deployment pays. The
+    // snapshot row serializes a mid-run engine (150 events into the
+    // trial_200t_34k scenario, PAM with warm pruner state); the restore
+    // row deserializes those bytes into a freshly built mapper and steps
+    // to the first post-restore decision — the recovery-critical path of
+    // the service driver.
+    {
+        let mut mapper =
+            HeuristicKind::Pam.build(PruningConfig { threads: 4, ..PruningConfig::default() });
+        let mut rng = seeds.stream(2);
+        let mut source = TaskTraceSource::new(&tasks);
+        let mut sources: Vec<&mut dyn EventSource> = vec![&mut source];
+        let mut session =
+            SimSession::new(&spec, SimConfig::untrimmed(), &mut sources, &mut mapper, &mut rng);
+        for _ in 0..150 {
+            if !session.step() {
+                break;
+            }
+        }
+        results.push(result(
+            "service_restore/snapshot",
+            &timer,
+            timer.run(|| {
+                std::hint::black_box(session.snapshot().len());
+            }),
+        ));
+        let bytes = session.snapshot();
+        drop(session);
+        results.push(result(
+            "service_restore/restore_first_decision",
+            &timer,
+            timer.run(|| {
+                let mut mapper = HeuristicKind::Pam
+                    .build(PruningConfig { threads: 4, ..PruningConfig::default() });
+                let mut rng = seeds.stream(4);
+                let mut s = SimSession::restore(
+                    &spec,
+                    SimConfig::untrimmed(),
+                    &bytes,
+                    &mut mapper,
+                    &mut rng,
+                )
+                .expect("bench snapshot restores");
+                s.step();
+                std::hint::black_box(s.now());
+            }),
+        ));
     }
 
     // Fan-out dispatch overhead, isolated: the same 64-cell trivial job

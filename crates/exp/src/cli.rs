@@ -30,13 +30,17 @@ pub struct Cli {
 /// CLI usage text.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|ablate|bench|scaling> [options]
+    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|service|ablate|bench|scaling> [options]
 
 figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           'levels' sweeps all heuristics over six oversubscription levels;
           'churn' compares static vs dynamic cluster membership (late
           joins, drains, failures with task requeue) on a 32-machine
           cluster;
+          'service' runs the crash-safe online scheduler: uninterrupted
+          baseline, crash at a membership epoch -> restore -> resume
+          (bit-identity check + recovery time), and 10x-overload
+          admission shedding with full accounting;
           'ablate' runs the design-choice ablation suite (see DESIGN.md);
           'bench' times the PMF calculus and the mapping loop (incl. the
           cluster_64m and cluster_64m_churn scenarios), writing

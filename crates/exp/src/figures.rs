@@ -5,10 +5,12 @@ use crate::report::Table;
 use crate::runner::{FigOptions, Scenario, SystemKind};
 use hcsim_core::{HeuristicKind, PruningConfig};
 use hcsim_parallel::parallel_map;
+use hcsim_service::{run_with_recovery, FaultPlan, ServiceConfig};
 use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig};
 use hcsim_stats::{mean_ci95, ConfidenceInterval, SeedSequence};
 use hcsim_workload::{
-    cluster_churn, specint_cluster, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+    cluster_churn, specint_cluster, specint_system, ArrivalSchedule, ChurnConfig, WorkloadConfig,
+    WorkloadGenerator,
 };
 
 fn ci(ci: &ConfidenceInterval) -> String {
@@ -381,6 +383,164 @@ pub fn churn(opts: &FigOptions) -> Table {
     table
 }
 
+/// Service — crash-safe online scheduling. Not in the paper: the
+/// experiments there are offline trials, but the premise is a scheduler
+/// that keeps running. This scenario drives the service driver three
+/// ways per trial on the paper's 8-machine system under churn: an
+/// uninterrupted run; a crash at membership epoch 2 followed by
+/// restore + resume (the resumed report must be bit-identical to the
+/// uninterrupted one, and the recovery time is measured); and a 10×
+/// overload (oversubscription 340k) against a tight admission bound,
+/// where every arrival must be accounted as admitted or shed.
+#[must_use]
+pub fn service(opts: &FigOptions) -> Table {
+    let mut table = Table::new(
+        "Service — crash recovery and overload shedding (8 machines, PAM)",
+        vec![
+            "scenario".into(),
+            "robustness (%)".into(),
+            "admitted/trial".into(),
+            "shed/trial".into(),
+            "bit-identical".into(),
+            "restore µs".into(),
+            "recovery ms".into(),
+        ],
+    );
+    table.note(format!(
+        "{} trials x {} tasks; crash at membership epoch 2, restore from checkpoint \
+         bytes, resume against a full schedule replay; overload at 10x the 34k \
+         arrival intensity with backlog bound 16",
+        opts.trials, opts.num_tasks
+    ));
+    let seeds = SeedSequence::new(opts.seed);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let generator = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: opts.num_tasks,
+        oversubscription: 34_000.0,
+        ..Default::default()
+    });
+    let churn_config = ChurnConfig {
+        num_machines: spec.machines.len(),
+        initial_absent: 2,
+        drains: 2,
+        fails: 2,
+        span: 150_000,
+        min_active: 4,
+    };
+    let run = |service: &ServiceConfig,
+               fault: &FaultPlan,
+               churn: Option<&hcsim_model::ChurnTrace>,
+               schedule: &ArrivalSchedule,
+               trial_seeds: &SeedSequence| {
+        run_with_recovery(
+            &spec,
+            SimConfig::untrimmed(),
+            service,
+            fault,
+            churn,
+            schedule.entries(),
+            32,
+            || HeuristicKind::Pam.build(PruningConfig::default()),
+            || trial_seeds.stream(1),
+        )
+    };
+
+    // Baseline + crash@epoch2 on the same trial inputs.
+    let cycles: Vec<(f64, f64, f64, f64, f64, f64, f64)> =
+        parallel_map(opts.trials, opts.threads, |trial| {
+            let trial_seeds = seeds.child(200 + trial as u64);
+            let tasks = generator.generate(&spec, &mut trial_seeds.stream(0));
+            let churn_trace = cluster_churn(&churn_config, &mut trial_seeds.stream(2));
+            let schedule = ArrivalSchedule::from_tasks(&tasks);
+            let service = ServiceConfig::default();
+            let baseline =
+                run(&service, &FaultPlan::none(), Some(&churn_trace), &schedule, &trial_seeds);
+            let fault = FaultPlan { kill_at_epoch: Some(2), ..FaultPlan::none() };
+            let crashed = run(&service, &fault, Some(&churn_trace), &schedule, &trial_seeds);
+            let identical = format!("{:?}", crashed.report.sim)
+                == format!("{:?}", baseline.report.sim)
+                && crashed.killed_at_epoch == Some(2);
+            (
+                baseline.report.sim.metrics.pct_on_time,
+                crashed.report.sim.metrics.pct_on_time,
+                baseline.report.stats.admitted as f64,
+                baseline.report.stats.shed as f64,
+                if identical { 1.0 } else { 0.0 },
+                crashed.restore_nanos.unwrap_or(0) as f64,
+                crashed.resume_run_nanos.unwrap_or(0) as f64,
+            )
+        });
+    progress("service baseline + crash@epoch2");
+
+    // Overload leg: 10x the arrival intensity, tight admission bound.
+    let overload_gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks: opts.num_tasks,
+        oversubscription: 340_000.0,
+        ..Default::default()
+    });
+    let overload: Vec<(f64, f64, f64)> = parallel_map(opts.trials, opts.threads, |trial| {
+        let trial_seeds = seeds.child(300 + trial as u64);
+        let tasks = overload_gen.generate(&spec, &mut trial_seeds.stream(0));
+        let schedule = ArrivalSchedule::from_tasks(&tasks);
+        let service = ServiceConfig { backlog_bound: 16, ..ServiceConfig::default() };
+        let out = run(&service, &FaultPlan::none(), None, &schedule, &trial_seeds);
+        assert_eq!(
+            out.report.stats.admitted + out.report.stats.shed,
+            opts.num_tasks as u64,
+            "overload accounting: every arrival is admitted or shed"
+        );
+        (
+            out.report.sim.metrics.pct_on_time,
+            out.report.stats.admitted as f64,
+            out.report.stats.shed as f64,
+        )
+    });
+    progress("service overload 340k");
+
+    let mean = |it: &mut dyn Iterator<Item = f64>| {
+        let v: Vec<f64> = it.collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let base_rob = mean_ci95(&cycles.iter().map(|c| c.0).collect::<Vec<_>>());
+    let crash_rob = mean_ci95(&cycles.iter().map(|c| c.1).collect::<Vec<_>>());
+    let admitted = mean(&mut cycles.iter().map(|c| c.2));
+    let shed = mean(&mut cycles.iter().map(|c| c.3));
+    let identical = cycles.iter().filter(|c| c.4 > 0.5).count();
+    let restore_us = mean(&mut cycles.iter().map(|c| c.5)) / 1e3;
+    let recovery_ms = mean(&mut cycles.iter().map(|c| c.6)) / 1e6;
+    table.push_row(vec![
+        "uninterrupted".into(),
+        ci(&base_rob),
+        format!("{admitted:.1}"),
+        format!("{shed:.1}"),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+    ]);
+    table.push_row(vec![
+        "crash@epoch2 → restore → resume".into(),
+        ci(&crash_rob),
+        format!("{admitted:.1}"),
+        format!("{shed:.1}"),
+        format!("{identical}/{}", cycles.len()),
+        format!("{restore_us:.1}"),
+        format!("{recovery_ms:.1}"),
+    ]);
+    let over_rob = mean_ci95(&overload.iter().map(|o| o.0).collect::<Vec<_>>());
+    let over_admitted = mean(&mut overload.iter().map(|o| o.1));
+    let over_shed = mean(&mut overload.iter().map(|o| o.2));
+    table.push_row(vec![
+        "overload 10x (340k, bound 16)".into(),
+        ci(&over_rob),
+        format!("{over_admitted:.1}"),
+        format!("{over_shed:.1}"),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+    ]);
+    table
+}
+
 /// Dispatches a figure by CLI name ("fig4" … "fig9").
 #[must_use]
 pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
@@ -393,6 +553,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
         "fig9" => Some(fig9(opts)),
         "levels" => Some(levels(opts)),
         "churn" => Some(churn(opts)),
+        "service" => Some(service(opts)),
         _ => None,
     }
 }
@@ -401,7 +562,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
 pub const ALL_FIGURES: [&str; 6] = ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"];
 
 /// Supplementary (non-paper) sweeps runnable by name.
-pub const EXTRA_FIGURES: [&str; 2] = ["levels", "churn"];
+pub const EXTRA_FIGURES: [&str; 3] = ["levels", "churn", "service"];
 
 #[cfg(test)]
 mod tests {
@@ -445,5 +606,19 @@ mod tests {
             let epochs: f64 = row[5].parse().unwrap();
             assert!(epochs > 1.0, "no capacity changes in {row:?}");
         }
+    }
+
+    #[test]
+    fn service_table_shape() {
+        let t = service(&FigOptions { trials: 2, num_tasks: 120, seed: 3, threads: 2 });
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.headers.len(), 7);
+        assert_eq!(t.rows[0][0], "uninterrupted");
+        // Every crash trial must have fired at epoch 2 and resumed onto
+        // the uninterrupted trajectory.
+        assert_eq!(t.rows[1][4], "2/2", "crash recovery must be bit-identical");
+        // The overload leg must actually shed.
+        let shed: f64 = t.rows[2][3].parse().unwrap();
+        assert!(shed > 0.0, "340k oversubscription must trigger shedding");
     }
 }

@@ -61,6 +61,11 @@ pub enum TaskOutcome {
     /// Still in the batch queue when the simulation ended (deadline not yet
     /// reached); counted as unsuccessful.
     Unfinished,
+    /// Removed by a system policy outside the paper's model: admission-level
+    /// load shedding in service mode, or the failure-requeue retry cap
+    /// (`SimConfig::max_requeues`). Always accounted — a shed task still gets
+    /// a terminal record and counts against robustness.
+    Shed,
 }
 
 impl TaskOutcome {
@@ -144,6 +149,7 @@ mod tests {
             TaskOutcome::ExpiredExecuting,
             TaskOutcome::PrunedDropped,
             TaskOutcome::Unfinished,
+            TaskOutcome::Shed,
         ] {
             assert!(!o.is_success(), "{o:?}");
         }
@@ -158,5 +164,6 @@ mod tests {
         assert!(!TaskOutcome::ExpiredUnstarted.consumed_machine_time());
         assert!(!TaskOutcome::PrunedDropped.consumed_machine_time());
         assert!(!TaskOutcome::Unfinished.consumed_machine_time());
+        assert!(!TaskOutcome::Shed.consumed_machine_time());
     }
 }

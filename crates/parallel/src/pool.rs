@@ -50,6 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Which engine executes the per-machine scoring fan-outs.
 ///
@@ -336,7 +337,7 @@ impl<S: Send + 'static> WorkerPool<S> {
     /// Panics if a cell was poisoned by a panicked job.
     #[must_use]
     pub fn into_cells(mut self) -> Vec<S> {
-        self.shutdown();
+        self.join_workers();
         let cells = Arc::clone(&self.cells);
         drop(self);
         let cells = Arc::try_unwrap(cells)
@@ -344,11 +345,44 @@ impl<S: Send + 'static> WorkerPool<S> {
         cells.into_iter().map(|c| c.into_inner().expect("cell poisoned")).collect()
     }
 
+    /// Graceful, bounded shutdown for service exit paths: closes the job
+    /// channels (workers drain any queued round and exit their loop), then
+    /// waits up to `timeout` for every worker thread to finish. Returns
+    /// true when all workers exited within the deadline — their handles
+    /// are then joined, so no thread outlives the call. On timeout the
+    /// stragglers are **detached** (handles dropped) and false is
+    /// returned: the caller's exit path never deadlocks behind a wedged
+    /// worker, at the cost of leaking that thread until process exit.
+    ///
+    /// The pool accepts no further rounds afterwards either way; reclaim
+    /// state with [`WorkerPool::into_cells`] only after a `true` return.
+    pub fn shutdown(&mut self, timeout: Duration) -> bool {
+        for worker in &mut self.workers {
+            worker.job_tx.take();
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let all_finished =
+                self.workers.iter().all(|w| w.handle.as_ref().is_none_or(JoinHandle::is_finished));
+            if all_finished {
+                // Every thread has exited its loop; joining is now
+                // instantaneous and cannot block past the deadline.
+                self.join_workers();
+                return true;
+            }
+            if Instant::now() >= deadline {
+                self.workers.clear(); // detach stragglers
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     /// Closes the job channels (workers drain and exit their loop) and
     /// joins every worker thread. Join errors from already-panicked
     /// workers are swallowed: the panic was surfaced to the caller by the
     /// round that triggered it.
-    fn shutdown(&mut self) {
+    fn join_workers(&mut self) {
         for worker in &mut self.workers {
             worker.job_tx.take();
         }
@@ -363,7 +397,7 @@ impl<S: Send + 'static> WorkerPool<S> {
 
 impl<S: Send + 'static> Drop for WorkerPool<S> {
     fn drop(&mut self) {
-        self.shutdown();
+        self.join_workers();
     }
 }
 
@@ -475,6 +509,47 @@ mod tests {
         pool.run(|_, c| *c *= 2);
         let cells = pool.into_cells();
         assert_eq!(cells, (0..10u32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_joins_within_timeout_and_preserves_cells() {
+        let mut pool = WorkerPool::new((0..10u32).collect::<Vec<_>>(), 3);
+        pool.run(|_, c| *c *= 2);
+        assert!(pool.shutdown(Duration::from_secs(5)), "idle workers must exit promptly");
+        assert_eq!(pool.threads(), 0, "no worker threads survive a clean shutdown");
+        // State is intact and reclaimable after a clean shutdown.
+        let cells = pool.into_cells();
+        assert_eq!(cells, (0..10u32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_does_not_deadlock() {
+        let mut pool = WorkerPool::new(vec![0u8; 4], 2);
+        assert!(pool.shutdown(Duration::from_secs(5)));
+        assert!(pool.shutdown(Duration::from_millis(1)), "second shutdown is a no-op");
+    }
+
+    #[test]
+    fn shutdown_times_out_on_wedged_worker_instead_of_hanging() {
+        // A worker stuck inside a job never sees the closed job channel;
+        // shutdown must give up at the deadline rather than join forever.
+        let mut pool = WorkerPool::new(vec![0u8; 1], 1);
+        // Hand the worker a job that blocks forever, bypassing `run` so
+        // this thread is not itself blocked on the acknowledgement. The
+        // leaked sender keeps the channel open, parking the worker.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        std::mem::forget(block_tx);
+        let block_rx = Mutex::new(block_rx);
+        let job: Job<u8> = Arc::new(move |_, _| {
+            let _ = block_rx.lock().unwrap().recv();
+        });
+        pool.workers[0].job_tx.as_ref().unwrap().send(job).unwrap();
+        let start = Instant::now();
+        assert!(!pool.shutdown(Duration::from_millis(100)), "wedged worker must time out");
+        assert!(start.elapsed() < Duration::from_secs(2), "deadline must be honored");
+        // Dropping the pool afterwards must not block on the detached
+        // worker either.
+        drop(pool);
     }
 
     #[test]

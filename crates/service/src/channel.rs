@@ -1,0 +1,262 @@
+//! A bounded multi-producer single-consumer channel bridging arrival
+//! feeders (any thread) to the async service driver.
+//!
+//! The send side is synchronous — [`Sender::try_send`] reports a full
+//! queue instead of blocking, and [`Sender::send`] blocks with
+//! backpressure — because feeders are plain threads. The receive side is
+//! asynchronous — [`Receiver::recv`] is a future the driver awaits inside
+//! [`crate::exec::block_on`]. Nothing is ever dropped silently: a rejected
+//! send hands the value back to the caller, who decides (and accounts for)
+//! its fate.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+    recv_waker: Option<Waker>,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when space frees up (blocking sends) or the receiver
+    /// drops.
+    space: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn wake_receiver(inner: &mut Inner<T>) {
+        if let Some(w) = inner.recv_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+/// Why a send did not enqueue; the value comes back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// The queue is at capacity (only from [`Sender::try_send`]).
+    Full(T),
+    /// The receiver is gone; the channel will never drain.
+    Closed(T),
+}
+
+/// The producing half; clonable across feeder threads.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half, owned by the service driver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `capacity` in-flight values.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "channel capacity must be positive");
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            senders: 1,
+            receiver_alive: true,
+            recv_waker: None,
+        }),
+        space: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Enqueues without blocking; a full queue returns the value so the
+    /// caller can apply its own overflow policy.
+    pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if !inner.receiver_alive {
+            return Err(SendError::Closed(value));
+        }
+        if inner.queue.len() >= inner.capacity {
+            return Err(SendError::Full(value));
+        }
+        inner.queue.push_back(value);
+        Shared::wake_receiver(&mut inner);
+        Ok(())
+    }
+
+    /// Enqueues, blocking (backpressure) while the queue is full. Fails
+    /// only when the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if !inner.receiver_alive {
+                return Err(SendError::Closed(value));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                Shared::wake_receiver(&mut inner);
+                return Ok(());
+            }
+            inner = self.shared.space.wait(inner).expect("channel poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().expect("channel poisoned").senders += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // The receiver must observe the close and finish draining.
+            Shared::wake_receiver(&mut inner);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues without waiting. `None` means "empty right now", not
+    /// necessarily closed — pair with [`Receiver::is_closed`].
+    pub fn try_recv(&mut self) -> Option<T> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        let v = inner.queue.pop_front();
+        if v.is_some() {
+            self.shared.space.notify_one();
+        }
+        v
+    }
+
+    /// True when every sender is gone *and* the queue is drained.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        let inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.senders == 0 && inner.queue.is_empty()
+    }
+
+    /// Values currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().expect("channel poisoned").queue.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Waits for the next value; resolves to `None` once the channel is
+    /// closed and drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        inner.receiver_alive = false;
+        // Release every sender blocked on backpressure.
+        drop(inner);
+        self.shared.space.notify_all();
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    receiver: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let this = self.get_mut();
+        let mut inner = this.receiver.shared.inner.lock().expect("channel poisoned");
+        if let Some(v) = inner.queue.pop_front() {
+            this.receiver.shared.space.notify_one();
+            return Poll::Ready(Some(v));
+        }
+        if inner.senders == 0 {
+            return Poll::Ready(None);
+        }
+        inner.recv_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::block_on;
+
+    #[test]
+    fn try_send_reports_full_and_returns_the_value() {
+        let (tx, mut rx) = bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(SendError::Full(3)));
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_resolves_none_after_close() {
+        let (tx, mut rx) = bounded::<u32>(4);
+        tx.try_send(7).unwrap();
+        drop(tx);
+        block_on(async {
+            assert_eq!(rx.recv().await, Some(7));
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn blocking_send_applies_backpressure_across_threads() {
+        let (tx, mut rx) = bounded::<u32>(1);
+        std::thread::scope(|s| {
+            let feeder = s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got = block_on(async {
+                let mut got = Vec::new();
+                while let Some(v) = rx.recv().await {
+                    got.push(v);
+                }
+                got
+            });
+            feeder.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails_instead_of_hanging() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(0).unwrap(); // fill it so a blocking send would wait
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError::Closed(1)));
+        assert_eq!(tx.try_send(2), Err(SendError::Closed(2)));
+    }
+}

@@ -1,0 +1,546 @@
+//! The online scheduler: a long-lived driver over [`SimSession`].
+//!
+//! [`serve`] turns the offline engine into a service. Arrivals flow in
+//! through a bounded [`crate::channel`]; the driver catches the engine up
+//! to each arrival's timestamp, decides admission, and paces event
+//! processing against the wall clock (or fast-forwards). Three robustness
+//! mechanisms live here:
+//!
+//! * **Bounded-backpressure admission.** When the engine's batch backlog
+//!   reaches `backlog_bound`, arrivals are *probabilistically shed*: the
+//!   task's best-case completion probability — `max_m P(exec_m ≤ slack)`
+//!   from the PET, adjusted by the Eq. 6 bounded skewness exactly as the
+//!   pruner's Eq. 7 does — becomes its admission probability. Past twice
+//!   the bound every arrival is shed. A shed task still receives a
+//!   terminal [`TaskOutcome::Shed`](hcsim_model::TaskOutcome) record via
+//!   [`SimSession::shed`]: nothing panics, nothing is silently lost.
+//! * **Epoch checkpoints.** At every membership-epoch boundary the driver
+//!   captures a [`ServiceCheckpoint`] — the engine snapshot plus the
+//!   driver's own state (dedup set, shedding RNG, counters) — so a crash
+//!   loses at most one epoch of decisions.
+//! * **Deterministic resume.** [`resume`] rebuilds the driver from a
+//!   checkpoint; re-fed arrivals are deduplicated against the restored
+//!   dedup set, so at-least-once delivery after a crash converges to the
+//!   exact uninterrupted schedule.
+//!
+//! Determinism contract: in fast-forward mode (`pace: None`) the engine is
+//! only ever stepped *up to* the next arrival's timestamp before that
+//! arrival is admitted, so every admission decision is a pure function of
+//! the (deduplicated) arrival sequence and the shedding RNG stream —
+//! independent of channel timing, feeder thread scheduling, and crash
+//! points.
+
+use std::collections::HashSet;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+use hcsim_model::{SystemSpec, Task, Time};
+use hcsim_sim::{Mapper, SimConfig, SimReport, SimSession, SnapshotError, SnapshotRng};
+use hcsim_stats::Xoshiro256pp;
+
+use crate::channel::Receiver;
+use crate::exec::{self, Sleep};
+use crate::fault::FaultPlan;
+
+/// Magic bytes opening a [`ServiceCheckpoint`] (distinct from the engine
+/// snapshot's own magic, which follows inside).
+const CHECKPOINT_MAGIC: [u8; 4] = *b"HCSV";
+
+/// Tuning knobs of the service driver.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Wall-clock duration per unit of simulated time. `None` fast-forwards
+    /// (process events as fast as they can be computed) — the mode every
+    /// determinism test uses.
+    pub pace: Option<Duration>,
+    /// Engine backlog (batch-queue length) at which probabilistic shedding
+    /// engages; at twice this bound shedding becomes unconditional.
+    pub backlog_bound: usize,
+    /// Seed of the dedicated admission-shedding RNG stream (separate from
+    /// the simulation's execution-time stream, so shedding never perturbs
+    /// drawn execution times).
+    pub shed_seed: u64,
+    /// Skewness weight reused from the pruner's Eq. 7 adjustment.
+    pub rho: f64,
+    /// Capture a [`ServiceCheckpoint`] at every membership-epoch boundary.
+    pub checkpoint_at_epochs: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            pace: None,
+            backlog_bound: 512,
+            shed_seed: 0x5EED_5EED,
+            rho: 0.1,
+            checkpoint_at_epochs: true,
+        }
+    }
+}
+
+/// Service-level accounting, alongside the engine's own [`SimReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Arrivals admitted into the engine.
+    pub admitted: u64,
+    /// Arrivals refused under overload (each has a `Shed` record).
+    pub shed: u64,
+    /// Redelivered arrivals dropped by the dedup set.
+    pub duplicates_dropped: u64,
+    /// Epoch checkpoints captured.
+    pub checkpoints: u64,
+    /// Times this run was resumed from a checkpoint.
+    pub restores: u64,
+}
+
+/// Everything [`serve`] hands back on a clean exit.
+#[derive(Debug)]
+pub struct ServiceReport {
+    /// The engine's report — bit-identical to an offline run of the same
+    /// admitted schedule.
+    pub sim: SimReport,
+    /// Driver-level accounting.
+    pub stats: ServiceStats,
+}
+
+/// A crash-consistent capture of the whole service: engine snapshot plus
+/// driver state. Everything [`resume`] needs travels in these bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceCheckpoint {
+    engine: Vec<u8>,
+    seen: Vec<u32>,
+    shed_rng: [u64; 4],
+    stats: ServiceStats,
+    last_epoch: u64,
+}
+
+impl ServiceCheckpoint {
+    /// The membership epoch at which this checkpoint was taken.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Serializes the checkpoint (little-endian, fixed-width).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.engine.len() + self.seen.len() * 4);
+        buf.extend_from_slice(&CHECKPOINT_MAGIC);
+        buf.extend_from_slice(&(self.engine.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&self.engine);
+        buf.extend_from_slice(&(self.seen.len() as u64).to_le_bytes());
+        for id in &self.seen {
+            buf.extend_from_slice(&id.to_le_bytes());
+        }
+        for w in self.shed_rng {
+            buf.extend_from_slice(&w.to_le_bytes());
+        }
+        for c in [
+            self.stats.admitted,
+            self.stats.shed,
+            self.stats.duplicates_dropped,
+            self.stats.checkpoints,
+            self.stats.restores,
+            self.last_epoch,
+        ] {
+            buf.extend_from_slice(&c.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Deserializes checkpoint bytes, validating shape but deferring
+    /// engine-snapshot validation to [`resume`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], SnapshotError> {
+            let end = pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+            if end > bytes.len() {
+                return Err(SnapshotError::Truncated);
+            }
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        };
+        let u64_at = |pos: &mut usize| -> Result<u64, SnapshotError> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().expect("8 bytes")))
+        };
+        if take(&mut pos, 4)? != CHECKPOINT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let engine_len = usize::try_from(u64_at(&mut pos)?)
+            .map_err(|_| SnapshotError::Corrupt("engine length overflows usize"))?;
+        let engine = take(&mut pos, engine_len)?.to_vec();
+        let n_seen = usize::try_from(u64_at(&mut pos)?)
+            .map_err(|_| SnapshotError::Corrupt("seen length overflows usize"))?;
+        if n_seen.saturating_mul(4) > bytes.len() - pos {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut seen = Vec::with_capacity(n_seen);
+        for _ in 0..n_seen {
+            seen.push(u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")));
+        }
+        let mut shed_rng = [0u64; 4];
+        for w in &mut shed_rng {
+            *w = u64_at(&mut pos)?;
+        }
+        let stats = ServiceStats {
+            admitted: u64_at(&mut pos)?,
+            shed: u64_at(&mut pos)?,
+            duplicates_dropped: u64_at(&mut pos)?,
+            checkpoints: u64_at(&mut pos)?,
+            restores: u64_at(&mut pos)?,
+        };
+        let last_epoch = u64_at(&mut pos)?;
+        if pos != bytes.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes after checkpoint"));
+        }
+        Ok(Self { engine, seen, shed_rng, stats, last_epoch })
+    }
+}
+
+/// How a service run ended.
+#[derive(Debug)]
+pub enum ServiceExit {
+    /// The arrival channel closed and every event drained.
+    Completed(ServiceReport),
+    /// The fault plan killed the service at an epoch boundary. The
+    /// checkpoint resumes the run via [`resume`].
+    Killed {
+        /// Crash-consistent state as of the kill epoch.
+        checkpoint: ServiceCheckpoint,
+        /// Accounting up to the kill.
+        stats: ServiceStats,
+    },
+}
+
+impl ServiceExit {
+    /// Unwraps the completed report, panicking on a killed exit (test
+    /// convenience).
+    #[must_use]
+    pub fn expect_completed(self) -> ServiceReport {
+        match self {
+            ServiceExit::Completed(r) => r,
+            ServiceExit::Killed { checkpoint, .. } => {
+                panic!("service was killed at epoch {}", checkpoint.epoch())
+            }
+        }
+    }
+}
+
+/// Mutable driver state that must survive a crash (everything here is in
+/// the checkpoint).
+struct DriverState {
+    seen: HashSet<u32>,
+    shed_rng: Xoshiro256pp,
+    stats: ServiceStats,
+    last_epoch: u64,
+    last_checkpoint: Option<ServiceCheckpoint>,
+}
+
+impl DriverState {
+    fn new(shed_seed: u64) -> Self {
+        Self {
+            seen: HashSet::new(),
+            shed_rng: Xoshiro256pp::new(shed_seed),
+            stats: ServiceStats::default(),
+            last_epoch: 0,
+            last_checkpoint: None,
+        }
+    }
+
+    fn from_checkpoint(cp: &ServiceCheckpoint) -> Self {
+        Self {
+            seen: cp.seen.iter().copied().collect(),
+            shed_rng: Xoshiro256pp::from_state(cp.shed_rng),
+            stats: ServiceStats { restores: cp.stats.restores + 1, ..cp.stats },
+            last_epoch: cp.last_epoch,
+            last_checkpoint: Some(cp.clone()),
+        }
+    }
+
+    fn checkpoint<M: Mapper, R: SnapshotRng>(
+        &self,
+        session: &SimSession<'_, M, R>,
+    ) -> ServiceCheckpoint {
+        let mut seen: Vec<u32> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        ServiceCheckpoint {
+            engine: session.snapshot(),
+            seen,
+            shed_rng: self.shed_rng.state(),
+            stats: self.stats,
+            last_epoch: self.last_epoch,
+        }
+    }
+}
+
+/// Best-case completion probability of `task` started right now, adjusted
+/// by Eq. 6 bounded skewness with the pruner's Eq. 7 weighting (position
+/// 0): the admission-worth a shedding decision is drawn against.
+#[must_use]
+pub fn admission_worth(spec: &SystemSpec, task: &Task, now: Time, rho: f64) -> f64 {
+    let slack = task.deadline.saturating_sub(now);
+    let mut best_p = 0.0_f64;
+    let mut best_skew = 0.0_f64;
+    for m in 0..spec.pet.machines() {
+        let pmf = spec.pet.pmf(task.type_id, hcsim_model::MachineId::from(m));
+        let p = pmf.cdf_at(slack);
+        if p > best_p {
+            best_p = p;
+            best_skew = pmf.bounded_skewness();
+        }
+    }
+    // Eq. 7 with κ = 0: positively skewed (likely-early) tasks are
+    // protected, negatively skewed ones shed more eagerly.
+    (best_p + best_skew * rho).clamp(0.0, 1.0)
+}
+
+/// Polls an arrival and an optional pacing timer together; whichever is
+/// ready first wins (arrivals take priority on a tie).
+struct RecvOrSleep<'a, 'b> {
+    recv: crate::channel::Recv<'a, Task>,
+    sleep: Option<&'b mut Sleep>,
+}
+
+enum Wakeup {
+    Arrival(Option<Task>),
+    Timer,
+}
+
+impl Future for RecvOrSleep<'_, '_> {
+    type Output = Wakeup;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Wakeup> {
+        let this = self.get_mut();
+        if let Poll::Ready(v) = Pin::new(&mut this.recv).poll(cx) {
+            return Poll::Ready(Wakeup::Arrival(v));
+        }
+        if let Some(sleep) = this.sleep.as_deref_mut() {
+            if Pin::new(sleep).poll(cx).is_ready() {
+                return Poll::Ready(Wakeup::Timer);
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Runs a fresh service: live arrivals come from `arrivals`; `sources`
+/// contributes pre-known traces (typically a
+/// [`ChurnSource`](hcsim_sim::ChurnSource) — membership epochs, and with
+/// them checkpoints and kill points, only exist if churn events flow).
+/// Returns when the channel closes and the engine drains (`Completed`),
+/// or at the fault plan's kill epoch (`Killed`). A resumed run needs no
+/// sources: undrained source events travel inside the checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn serve<M: Mapper, R: SnapshotRng>(
+    spec: &SystemSpec,
+    sim_config: SimConfig,
+    service: &ServiceConfig,
+    fault: &FaultPlan,
+    sources: &mut [&mut dyn hcsim_sim::EventSource],
+    arrivals: Receiver<Task>,
+    mapper: &mut M,
+    rng: &mut R,
+) -> ServiceExit {
+    let session = SimSession::new(spec, sim_config, sources, mapper, rng);
+    run_driver(spec, service, fault, arrivals, session, DriverState::new(service.shed_seed))
+}
+
+/// Resumes a killed service from a checkpoint, runs it to its next exit,
+/// and reports the wall-clock nanoseconds the restore itself took (engine
+/// rebuild + driver-state rebuild, excluding the resumed run). The feeder
+/// may replay the *entire* arrival schedule: the restored dedup set drops
+/// everything already delivered before the crash.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] when the checkpoint's engine bytes fail
+/// validation against `spec`/`sim_config`.
+#[allow(clippy::too_many_arguments)]
+pub fn resume<'a, M: Mapper, R: SnapshotRng>(
+    spec: &'a SystemSpec,
+    sim_config: SimConfig,
+    service: &ServiceConfig,
+    fault: &FaultPlan,
+    arrivals: Receiver<Task>,
+    checkpoint: &ServiceCheckpoint,
+    mapper: &'a mut M,
+    rng: &'a mut R,
+) -> Result<(ServiceExit, u64), SnapshotError> {
+    let t0 = Instant::now();
+    let session = SimSession::restore(spec, sim_config, &checkpoint.engine, mapper, rng)?;
+    let state = DriverState::from_checkpoint(checkpoint);
+    let restore_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Ok((run_driver(spec, service, fault, arrivals, session, state), restore_nanos))
+}
+
+fn run_driver<M: Mapper, R: SnapshotRng>(
+    spec: &SystemSpec,
+    cfg: &ServiceConfig,
+    fault: &FaultPlan,
+    mut arrivals: Receiver<Task>,
+    mut session: SimSession<'_, M, R>,
+    mut state: DriverState,
+) -> ServiceExit {
+    // Wall-clock anchor: sim time t maps to `anchor + t * pace`. On resume
+    // the anchor shifts so the restored `now` maps to the present.
+    fn wall_offset(pace: Duration, t: Time) -> Duration {
+        Duration::from_nanos(u64::try_from(pace.as_nanos()).unwrap_or(u64::MAX).saturating_mul(t))
+    }
+    let anchor = cfg.pace.map(|p| {
+        let now = Instant::now();
+        now.checked_sub(wall_offset(p, session.now())).unwrap_or(now)
+    });
+
+    enum Flow {
+        Drained,
+        Killed(ServiceCheckpoint),
+    }
+
+    // Steps one event, then runs the epoch-boundary bookkeeping. Returns a
+    // kill checkpoint when the fault plan says this epoch is fatal.
+    fn step_once<M: Mapper, R: SnapshotRng>(
+        session: &mut SimSession<'_, M, R>,
+        state: &mut DriverState,
+        cfg: &ServiceConfig,
+        fault: &FaultPlan,
+    ) -> Option<ServiceCheckpoint> {
+        session.step();
+        let epoch = session.membership_epoch();
+        if epoch != state.last_epoch {
+            state.last_epoch = epoch;
+            let kill = fault.kill_at_epoch == Some(epoch);
+            if cfg.checkpoint_at_epochs || kill {
+                let cp = state.checkpoint(session);
+                state.stats.checkpoints += 1;
+                if kill {
+                    return Some(cp);
+                }
+                state.last_checkpoint = Some(cp);
+            }
+        }
+        None
+    }
+
+    // Admission: dedup, catch the engine up to the arrival's timestamp
+    // (the determinism keystone), then admit or shed.
+    fn admit<M: Mapper, R: SnapshotRng>(
+        session: &mut SimSession<'_, M, R>,
+        state: &mut DriverState,
+        spec: &SystemSpec,
+        cfg: &ServiceConfig,
+        fault: &FaultPlan,
+        task: Task,
+    ) -> Option<ServiceCheckpoint> {
+        if state.seen.contains(&task.id.0) {
+            state.stats.duplicates_dropped += 1;
+            return None;
+        }
+        while session.next_event_time().is_some_and(|t| t <= task.arrival) {
+            if let Some(cp) = step_once(session, state, cfg, fault) {
+                // Killed mid-catch-up: the task is deliberately NOT in the
+                // dedup set yet, so its redelivery after resume is
+                // admitted, not dropped.
+                return Some(cp);
+            }
+        }
+        state.seen.insert(task.id.0);
+        let backlog = session.backlog();
+        if backlog >= cfg.backlog_bound {
+            let overloaded_hard = backlog >= cfg.backlog_bound.saturating_mul(2);
+            if overloaded_hard
+                || state.shed_rng.next_f64() >= admission_worth(spec, &task, session.now(), cfg.rho)
+            {
+                session.shed(task);
+                state.stats.shed += 1;
+                return None;
+            }
+        }
+        session.inject_arrival(task);
+        state.stats.admitted += 1;
+        None
+    }
+
+    let flow = exec::block_on(async {
+        loop {
+            // Drain whatever the feeder has queued before doing anything
+            // else — arrivals order the whole loop.
+            while let Some(task) = arrivals.try_recv() {
+                if let Some(cp) = admit(&mut session, &mut state, spec, cfg, fault, task) {
+                    return Flow::Killed(cp);
+                }
+            }
+            match session.next_event_time() {
+                Some(t) => {
+                    if let (Some(pace), Some(anchor)) = (cfg.pace, anchor) {
+                        // Paced: wait for the event's wall-clock due time,
+                        // but let an earlier arrival preempt the wait.
+                        let due = anchor + wall_offset(pace, t);
+                        if Instant::now() < due {
+                            let mut sleep = exec::sleep_until(due);
+                            match (RecvOrSleep { recv: arrivals.recv(), sleep: Some(&mut sleep) })
+                                .await
+                            {
+                                Wakeup::Arrival(Some(task)) => {
+                                    if let Some(cp) =
+                                        admit(&mut session, &mut state, spec, cfg, fault, task)
+                                    {
+                                        return Flow::Killed(cp);
+                                    }
+                                    continue;
+                                }
+                                Wakeup::Arrival(None) | Wakeup::Timer => {}
+                            }
+                        }
+                        if let Some(cp) = step_once(&mut session, &mut state, cfg, fault) {
+                            return Flow::Killed(cp);
+                        }
+                    } else if arrivals.is_closed() {
+                        // Fast-forward with no feeder left: drain freely.
+                        if let Some(cp) = step_once(&mut session, &mut state, cfg, fault) {
+                            return Flow::Killed(cp);
+                        }
+                    } else {
+                        // Fast-forward with a live feeder: never run ahead
+                        // of an arrival we have not seen — block for it.
+                        match arrivals.recv().await {
+                            Some(task) => {
+                                if let Some(cp) =
+                                    admit(&mut session, &mut state, spec, cfg, fault, task)
+                                {
+                                    return Flow::Killed(cp);
+                                }
+                            }
+                            None => continue, // closed: drain on next pass
+                        }
+                    }
+                }
+                None => {
+                    if arrivals.is_closed() {
+                        return Flow::Drained;
+                    }
+                    match arrivals.recv().await {
+                        Some(task) => {
+                            if let Some(cp) =
+                                admit(&mut session, &mut state, spec, cfg, fault, task)
+                            {
+                                return Flow::Killed(cp);
+                            }
+                        }
+                        None => return Flow::Drained,
+                    }
+                }
+            }
+        }
+    });
+
+    match flow {
+        Flow::Drained => {
+            let stats = state.stats;
+            ServiceExit::Completed(ServiceReport { sim: session.finish(), stats })
+        }
+        Flow::Killed(checkpoint) => ServiceExit::Killed { checkpoint, stats: state.stats },
+    }
+}

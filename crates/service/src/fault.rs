@@ -1,0 +1,193 @@
+//! Fault injection: declarative plans driving crash → restore → resume
+//! cycles and adversarial arrival delivery.
+//!
+//! A [`FaultPlan`] has two halves. The *crash* half (`kill_at_epoch`,
+//! `poison_pool`) is consumed by the driver and the recovery harness: the
+//! service dies at a membership-epoch boundary, with or without a graceful
+//! mapper shutdown, and [`run_with_recovery`] restores it from the kill
+//! checkpoint and proves the resumed run against an uninterrupted
+//! baseline. The *delivery* half (delay / duplication / reordering) is
+//! applied to the arrival schedule by `ArrivalSchedule` (in
+//! `hcsim-workload`) in the feeder. Duplicates are absorbed *exactly* by
+//! the driver's dedup set (bit-identical to faithful delivery); delayed
+//! and reordered deliveries degrade *gracefully* — a task delivered after
+//! the engine moved past its arrival time is admitted at the present
+//! instead (or shed, with a record), never panicking and never silently
+//! lost.
+
+use std::time::{Duration, Instant};
+
+use hcsim_model::{ChurnTrace, SystemSpec, Task, Time};
+use hcsim_sim::{ChurnSource, Mapper, SimConfig, SnapshotRng};
+
+use crate::channel::{bounded, Receiver, SendError, Sender};
+use crate::driver::{resume, serve, ServiceConfig, ServiceExit, ServiceReport};
+
+/// What goes wrong, and when.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Kill the service when this membership epoch begins. The driver
+    /// returns [`ServiceExit::Killed`] with a crash-consistent checkpoint.
+    pub kill_at_epoch: Option<u64>,
+    /// Simulate a wedged worker pool at the crash: the recovery harness
+    /// skips the graceful mapper shutdown, so restore must succeed from
+    /// the checkpoint alone.
+    pub poison_pool: bool,
+    /// Delay every n-th delivered arrival by the given simulated duration
+    /// (delivery-time fault; the task's own timestamps are untouched).
+    pub delay_every: Option<(u64, Time)>,
+    /// Deliver every n-th arrival twice (at-least-once delivery).
+    pub duplicate_every: Option<u64>,
+    /// Shuffle deliveries within a sliding window of this size (deliveries
+    /// arrive out of arrival-time order; timestamps are untouched).
+    pub reorder_window: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The no-fault plan.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Outcome of a crash → restore → resume cycle.
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// The resumed run's final report.
+    pub report: ServiceReport,
+    /// The epoch the kill fired at, if it fired (a plan whose kill epoch
+    /// is never reached completes uninterrupted).
+    pub killed_at_epoch: Option<u64>,
+    /// Wall-clock nanoseconds from "checkpoint bytes in hand" to "resumed
+    /// engine ready" (deserialize + restore validation + state rebuild).
+    pub restore_nanos: Option<u64>,
+    /// Wall-clock nanoseconds from "checkpoint bytes in hand" to the
+    /// resumed run's completion — the full recovery cost.
+    pub resume_run_nanos: Option<u64>,
+}
+
+/// Feeds `schedule` (delivery-ordered `(delivery_time, task)` pairs, as
+/// produced by [`hcsim_workload::ArrivalSchedule`]) into `tx` with
+/// blocking backpressure. Returns the number of deliveries refused because
+/// the receiver vanished (a killed service); the caller replays the full
+/// schedule on resume.
+pub fn feed_schedule(tx: &Sender<Task>, schedule: &[(Time, Task)]) -> usize {
+    let mut undelivered = 0usize;
+    for (_, task) in schedule {
+        if let Err(SendError::Closed(_) | SendError::Full(_)) = tx.send(*task) {
+            undelivered += 1;
+        }
+    }
+    undelivered
+}
+
+fn spawn_feeder<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    schedule: &'scope [(Time, Task)],
+    capacity: usize,
+) -> Receiver<Task> {
+    let (tx, rx) = bounded::<Task>(capacity);
+    scope.spawn(move || {
+        let _ = feed_schedule(&tx, schedule);
+    });
+    rx
+}
+
+/// Runs the full fault-injection cycle: serve under `fault`; if the plan
+/// kills the service, optionally shut the mapper down gracefully
+/// (`poison_pool` skips it), restore from the kill checkpoint into a
+/// *fresh* mapper and RNG, replay the schedule, and resume to completion.
+///
+/// `make_mapper` must build an identically configured mapper each call;
+/// `make_rng` likewise (the restored engine overwrites the RNG state, so
+/// the second RNG's seed is irrelevant — it only has to be the same type).
+///
+/// # Panics
+///
+/// Panics if the checkpoint produced by the kill fails to restore — in a
+/// fault-injection harness that is a test failure, not a recoverable
+/// condition.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_recovery<M, R, FM, FR>(
+    spec: &SystemSpec,
+    sim_config: SimConfig,
+    service: &ServiceConfig,
+    fault: &FaultPlan,
+    churn: Option<&ChurnTrace>,
+    schedule: &[(Time, Task)],
+    channel_capacity: usize,
+    mut make_mapper: FM,
+    mut make_rng: FR,
+) -> RecoveryOutcome
+where
+    M: Mapper,
+    R: SnapshotRng,
+    FM: FnMut() -> M,
+    FR: FnMut() -> R,
+{
+    // First life.
+    let mut mapper = make_mapper();
+    let mut rng = make_rng();
+    let exit = std::thread::scope(|s| {
+        let rx = spawn_feeder(s, schedule, channel_capacity);
+        let mut churn_source = churn.map(ChurnSource::new);
+        let mut sources: Vec<&mut dyn hcsim_sim::EventSource> = Vec::new();
+        if let Some(cs) = churn_source.as_mut() {
+            sources.push(cs);
+        }
+        serve(spec, sim_config, service, fault, &mut sources, rx, &mut mapper, &mut rng)
+    });
+
+    match exit {
+        ServiceExit::Completed(report) => RecoveryOutcome {
+            report,
+            killed_at_epoch: None,
+            restore_nanos: None,
+            resume_run_nanos: None,
+        },
+        ServiceExit::Killed { checkpoint, .. } => {
+            let killed_at = checkpoint.epoch();
+            if !fault.poison_pool {
+                mapper.on_shutdown();
+            }
+            drop(mapper);
+
+            // Second life: crash-consistent bytes only.
+            let bytes = checkpoint.to_bytes();
+            let mut mapper = make_mapper();
+            let mut rng = make_rng();
+            let resumed_fault = FaultPlan { kill_at_epoch: None, ..*fault };
+            let (report, restore_nanos, resume_run_nanos) = std::thread::scope(|s| {
+                let rx = spawn_feeder(s, schedule, channel_capacity);
+                let t0 = Instant::now();
+                let checkpoint = crate::driver::ServiceCheckpoint::from_bytes(&bytes)
+                    .expect("kill checkpoint must deserialize");
+                let (exit, restore_nanos) = resume(
+                    spec,
+                    sim_config,
+                    service,
+                    &resumed_fault,
+                    rx,
+                    &checkpoint,
+                    &mut mapper,
+                    &mut rng,
+                )
+                .expect("kill checkpoint must restore");
+                let report = exit.expect_completed();
+                (report, restore_nanos, clamp_nanos(t0.elapsed()))
+            });
+            mapper.on_shutdown();
+            RecoveryOutcome {
+                report,
+                killed_at_epoch: Some(killed_at),
+                restore_nanos: Some(restore_nanos),
+                resume_run_nanos: Some(resume_run_nanos),
+            }
+        }
+    }
+}
+
+fn clamp_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}

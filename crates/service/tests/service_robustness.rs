@@ -1,0 +1,204 @@
+//! Service-mode robustness: crash → restore → resume bit-identity,
+//! graceful overload shedding with full accounting, and delivery-fault
+//! absorption — the fault-injection acceptance tests.
+
+use std::time::Duration;
+
+use hcsim_core::{Pam, PruningConfig};
+use hcsim_model::{SystemSpec, Task, TaskOutcome};
+use hcsim_service::{run_with_recovery, FaultPlan, RecoveryOutcome, ServiceConfig};
+use hcsim_sim::{SimConfig, SimReport};
+use hcsim_stats::{SeedSequence, Xoshiro256pp};
+use hcsim_workload::{
+    cluster_churn, specint_system, ArrivalSchedule, ChurnConfig, ChurnTrace, WorkloadConfig,
+    WorkloadGenerator,
+};
+
+const RNG_SEED: u64 = 0xFEED;
+
+fn system(seed: u64, num_tasks: usize, oversub: f64) -> (SystemSpec, Vec<Task>) {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks,
+        oversubscription: oversub,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    (spec, tasks)
+}
+
+fn churn_for(spec: &SystemSpec, seed: u64) -> ChurnTrace {
+    cluster_churn(
+        &ChurnConfig {
+            num_machines: spec.machines.len(),
+            initial_absent: 2,
+            drains: 2,
+            fails: 2,
+            span: 150_000,
+            min_active: 4,
+        },
+        &mut SeedSequence::new(seed).stream(3),
+    )
+}
+
+fn run(
+    spec: &SystemSpec,
+    service: &ServiceConfig,
+    fault: &FaultPlan,
+    churn: Option<&ChurnTrace>,
+    schedule: &[(u64, Task)],
+) -> RecoveryOutcome {
+    run_with_recovery(
+        spec,
+        SimConfig::untrimmed(),
+        service,
+        fault,
+        churn,
+        schedule,
+        32,
+        || Pam::new(PruningConfig::default()),
+        || Xoshiro256pp::new(RNG_SEED),
+    )
+}
+
+/// The whole-run fingerprint the bit-identity assertions compare.
+fn fingerprint(report: &SimReport) -> String {
+    format!("{report:?}")
+}
+
+#[test]
+fn uninterrupted_service_accounts_for_every_task() {
+    let (spec, tasks) = system(301, 120, 19_000.0);
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let outcome =
+        run(&spec, &ServiceConfig::default(), &FaultPlan::none(), None, schedule.entries());
+    assert_eq!(outcome.killed_at_epoch, None);
+    let r = &outcome.report;
+    assert_eq!(r.stats.admitted, 120, "no overload: everything admitted");
+    assert_eq!(r.stats.shed, 0);
+    assert_eq!(r.sim.records.len(), 120, "every task has a terminal record");
+}
+
+#[test]
+fn crash_restore_resume_is_bit_identical_to_uninterrupted() {
+    let (spec, tasks) = system(302, 160, 34_000.0);
+    let churn = churn_for(&spec, 302);
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let service = ServiceConfig::default();
+
+    let baseline = run(&spec, &service, &FaultPlan::none(), Some(&churn), schedule.entries());
+    assert_eq!(baseline.killed_at_epoch, None);
+
+    for kill_epoch in [1, 2, 3] {
+        let fault = FaultPlan { kill_at_epoch: Some(kill_epoch), ..FaultPlan::none() };
+        let recovered = run(&spec, &service, &fault, Some(&churn), schedule.entries());
+        assert_eq!(
+            recovered.killed_at_epoch,
+            Some(kill_epoch),
+            "the kill must actually have fired"
+        );
+        assert_eq!(recovered.report.stats.restores, 1);
+        assert!(recovered.restore_nanos.is_some());
+        assert_eq!(
+            fingerprint(&recovered.report.sim),
+            fingerprint(&baseline.report.sim),
+            "kill@{kill_epoch}: resumed run must equal never having crashed"
+        );
+        assert_eq!(recovered.report.stats.admitted, baseline.report.stats.admitted);
+        assert_eq!(recovered.report.stats.shed, baseline.report.stats.shed);
+    }
+}
+
+#[test]
+fn poisoned_pool_crash_still_restores_bit_identically() {
+    let (spec, tasks) = system(303, 120, 34_000.0);
+    let churn = churn_for(&spec, 303);
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let service = ServiceConfig::default();
+
+    let baseline = run(&spec, &service, &FaultPlan::none(), Some(&churn), schedule.entries());
+    let fault = FaultPlan { kill_at_epoch: Some(2), poison_pool: true, ..FaultPlan::none() };
+    let recovered = run(&spec, &service, &fault, Some(&churn), schedule.entries());
+    assert_eq!(recovered.killed_at_epoch, Some(2));
+    assert_eq!(
+        fingerprint(&recovered.report.sim),
+        fingerprint(&baseline.report.sim),
+        "an abandoned (poisoned) pool must not affect checkpoint recovery"
+    );
+}
+
+#[test]
+fn duplicate_deliveries_are_absorbed_bit_identically() {
+    let (spec, tasks) = system(304, 120, 34_000.0);
+    let faithful = ArrivalSchedule::from_tasks(&tasks);
+    let duplicated = ArrivalSchedule::from_tasks(&tasks).with_duplicates(3);
+    assert!(duplicated.len() > faithful.len());
+    let service = ServiceConfig::default();
+
+    let base = run(&spec, &service, &FaultPlan::none(), None, faithful.entries());
+    let dup = run(&spec, &service, &FaultPlan::none(), None, duplicated.entries());
+    assert!(dup.report.stats.duplicates_dropped > 0);
+    assert_eq!(
+        fingerprint(&dup.report.sim),
+        fingerprint(&base.report.sim),
+        "at-least-once delivery must not change a single decision"
+    );
+}
+
+#[test]
+fn delayed_and_reordered_deliveries_degrade_gracefully() {
+    let (spec, tasks) = system(305, 120, 34_000.0);
+    let mut rng = Xoshiro256pp::new(305);
+    let perturbed =
+        ArrivalSchedule::from_tasks(&tasks).with_delay(5, 2_000).with_reordering(4, &mut rng);
+    let service = ServiceConfig::default();
+    let outcome = run(&spec, &service, &FaultPlan::none(), None, perturbed.entries());
+    let r = &outcome.report;
+    // No panic, no silent loss: every task is accounted exactly once.
+    assert_eq!(r.stats.admitted + r.stats.shed, 120);
+    assert_eq!(r.sim.records.len(), 120);
+}
+
+#[test]
+fn overload_sheds_gracefully_with_full_accounting() {
+    // The acceptance bar: 10x the trial_200t_34k arrival intensity
+    // (oversubscription 340_000) against a tight admission bound. The
+    // service must neither panic nor lose a task — every shed arrival
+    // carries a terminal Shed record.
+    let (spec, tasks) = system(306, 200, 340_000.0);
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let service = ServiceConfig { backlog_bound: 16, ..ServiceConfig::default() };
+    let outcome = run(&spec, &service, &FaultPlan::none(), None, schedule.entries());
+    let r = &outcome.report;
+
+    assert!(r.stats.shed > 0, "340k oversubscription must trigger shedding");
+    assert_eq!(r.stats.admitted + r.stats.shed, 200, "admit + shed covers every arrival");
+    assert_eq!(r.sim.records.len(), 200, "no task vanished");
+    let shed_records =
+        r.sim.records.iter().filter(|rec| rec.outcome == TaskOutcome::Shed).count() as u64;
+    assert_eq!(shed_records, r.stats.shed, "every shed is accounted as a record");
+}
+
+#[test]
+fn paced_mode_completes_against_the_wall_clock() {
+    // Tiny pace so the test stays fast while still exercising the timer
+    // path; the wall-clock floor is derived from the run's actual span.
+    let (spec, tasks) = system(307, 20, 19_000.0);
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let pace = Duration::from_micros(20);
+    let service = ServiceConfig { pace: Some(pace), ..ServiceConfig::default() };
+    let start = std::time::Instant::now();
+    let outcome = run(&spec, &service, &FaultPlan::none(), None, schedule.entries());
+    let elapsed = start.elapsed();
+    assert_eq!(outcome.report.sim.records.len(), 20);
+    // The final event sits at end_time, so the paced run cannot finish
+    // before (roughly) end_time * pace of wall time has passed.
+    let floor = pace * u32::try_from(outcome.report.sim.end_time).unwrap_or(u32::MAX) / 2;
+    assert!(
+        elapsed >= floor,
+        "pacing must slow the run down: elapsed {elapsed:?} < floor {floor:?} \
+         (end_time {})",
+        outcome.report.sim.end_time
+    );
+}

@@ -36,6 +36,14 @@ pub struct SimConfig {
     /// pool). Like `threads`, a pure performance knob: the scoped and
     /// pooled paths produce byte-identical reports.
     pub backend: FanoutBackend,
+    /// Retry cap on failure requeues: a task already requeued this many
+    /// times by [`MachineFail`](crate::SimEvent::MachineFail) events is
+    /// dropped with a [`Shed`](hcsim_model::TaskOutcome::Shed) record
+    /// instead of re-entering the batch (counted in
+    /// [`ChurnStats::dropped_after_retry`](crate::ChurnStats)). `None` (the
+    /// default, preserving the published model and the seed goldens) retries
+    /// without bound.
+    pub max_requeues: Option<u32>,
 }
 
 impl Default for SimConfig {
@@ -46,6 +54,7 @@ impl Default for SimConfig {
             approx_min_progress: None,
             threads: 0,
             backend: FanoutBackend::Auto,
+            max_requeues: None,
         }
     }
 }
@@ -71,6 +80,7 @@ mod tests {
         assert!(c.approx_min_progress.is_none(), "approximate computing is opt-in");
         assert_eq!(c.threads, 0, "fan-out threads default to auto");
         assert_eq!(c.backend, FanoutBackend::Auto, "fan-out backend defaults to auto");
+        assert!(c.max_requeues.is_none(), "failure requeues are unbounded by default");
     }
 
     #[test]

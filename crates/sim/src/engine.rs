@@ -35,16 +35,18 @@
 //! ground truth.
 
 use crate::config::SimConfig;
-use crate::machine::{MachineLifecycle, MachineState};
+use crate::machine::{ExecutingTask, MachineLifecycle, MachineState, PendingEntry};
 use crate::mapper::{MapContext, Mapper, PrunedTask};
 use crate::metrics::Metrics;
+use crate::snapshot::{ByteReader, ByteWriter, SnapshotError, SnapshotRng};
 use hcsim_model::{
-    ChurnKind, ChurnTrace, CostTracker, MachineId, SystemSpec, Task, TaskOutcome, TaskRecord, Time,
+    ChurnKind, ChurnTrace, CostTracker, MachineId, SystemSpec, Task, TaskId, TaskOutcome,
+    TaskRecord, TaskTypeId, Time,
 };
 use hcsim_pmf::DropPolicy;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One simulation event. `Arrival` and the membership events are the
 /// *external* vocabulary (what an [`EventSource`] may emit); `Completion`
@@ -213,6 +215,9 @@ pub struct ChurnStats {
     pub fails: u64,
     /// Tasks returned to the batch queue by failures.
     pub requeued: u64,
+    /// Requeue candidates dropped by the [`SimConfig::max_requeues`] retry
+    /// cap instead of re-entering the batch (zero when the cap is off).
+    pub dropped_after_retry: u64,
 }
 
 /// Robustness accounting for one capacity epoch — the interval between
@@ -286,6 +291,10 @@ struct Engine<'a, M: Mapper, R: rand::Rng> {
     membership_epoch: u64,
     churn: ChurnStats,
     epochs: Vec<EpochSlice>,
+    /// Per-task failure-requeue counts (indexed like `records`); consulted
+    /// only when `config.max_requeues` is set, but maintained always so a
+    /// snapshot taken before the cap is toggled restores exactly.
+    requeue_counts: Vec<u32>,
     /// Scratch buffers reused across events.
     expired_buf: Vec<Task>,
     pruned_buf: Vec<PrunedTask>,
@@ -343,6 +352,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             membership_epoch: 0,
             churn: ChurnStats::default(),
             epochs: vec![EpochSlice { start: 0, active_machines: active, on_time: 0, finished: 0 }],
+            requeue_counts: vec![0; num_task_slots],
             expired_buf: Vec::with_capacity(queue_slots),
             pruned_buf: Vec::with_capacity(queue_slots),
             segment_charges_buf: Vec::with_capacity(spec.num_machines()),
@@ -395,46 +405,56 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
     }
 
     fn run(mut self) -> SimReport {
-        while let Some(Reverse(event)) = self.events.pop() {
-            debug_assert!(event.time >= self.now, "time went backwards");
-            self.now = event.time;
-            match event.kind {
-                SimEvent::Arrival(task) => {
-                    self.batch.push(task);
-                }
-                SimEvent::Completion { machine, token, evict } => {
-                    if self.machines[machine.index()].run_token != token {
-                        // Stale: the pruner evicted this task (or the
-                        // machine failed) since scheduling. Not a mapping
-                        // event itself, but the progress guarantee must
-                        // still hold (this could be the last heap event).
-                        self.ensure_progress();
-                        continue;
-                    }
-                    self.handle_finish(machine, evict);
-                }
-                SimEvent::MachineJoin(m) => {
-                    if self.machines[m.index()].activate() {
-                        self.churn.joins += 1;
-                        self.membership_changed();
-                    }
-                }
-                SimEvent::MachineDrain(m) => {
-                    if self.machines[m.index()].begin_drain() {
-                        self.churn.drains += 1;
-                        self.membership_changed();
-                    }
-                }
-                SimEvent::MachineFail(m) => self.handle_fail(m),
-                SimEvent::DeadlineSweep => {}
-            }
-            self.mapping_event();
-            self.start_idle_machines();
-            self.complete_drains();
-            self.ensure_progress();
-        }
-
+        while self.step() {}
         self.finish_report()
+    }
+
+    /// Processes exactly one heap event (and the full post-event sequence:
+    /// mapping event, machine starts, drain completions, progress
+    /// guarantee). Returns false when the heap is empty — between any two
+    /// `step` calls the engine is at a consistent inter-event boundary,
+    /// which is where snapshots are taken.
+    fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        match event.kind {
+            SimEvent::Arrival(task) => {
+                self.batch.push(task);
+            }
+            SimEvent::Completion { machine, token, evict } => {
+                if self.machines[machine.index()].run_token != token {
+                    // Stale: the pruner evicted this task (or the
+                    // machine failed) since scheduling. Not a mapping
+                    // event itself, but the progress guarantee must
+                    // still hold (this could be the last heap event).
+                    self.ensure_progress();
+                    return true;
+                }
+                self.handle_finish(machine, evict);
+            }
+            SimEvent::MachineJoin(m) => {
+                if self.machines[m.index()].activate() {
+                    self.churn.joins += 1;
+                    self.membership_changed();
+                }
+            }
+            SimEvent::MachineDrain(m) => {
+                if self.machines[m.index()].begin_drain() {
+                    self.churn.drains += 1;
+                    self.membership_changed();
+                }
+            }
+            SimEvent::MachineFail(m) => self.handle_fail(m),
+            SimEvent::DeadlineSweep => {}
+        }
+        self.mapping_event();
+        self.start_idle_machines();
+        self.complete_drains();
+        self.ensure_progress();
+        true
     }
 
     fn handle_finish(&mut self, machine: MachineId, evict: bool) {
@@ -487,11 +507,21 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                 self.cost.record_busy(machine, segment);
             }
         }
-        self.churn.requeued += requeue.len() as u64;
         // Re-arrivals append behind the current batch in FCFS order
         // (executing task first); an already-expired re-arrival is culled
-        // by the mapping event that follows immediately.
-        self.batch.append(&mut requeue);
+        // by the mapping event that follows immediately. Tasks that have
+        // already burned their retry budget are shed instead.
+        for task in requeue.drain(..) {
+            let count = &mut self.requeue_counts[task.id.index()];
+            if self.config.max_requeues.is_some_and(|cap| *count >= cap) {
+                self.churn.dropped_after_retry += 1;
+                self.record(task, TaskOutcome::Shed, Some(machine), None, 0);
+            } else {
+                *count += 1;
+                self.churn.requeued += 1;
+                self.batch.push(task);
+            }
+        }
         self.requeue_buf = requeue;
         self.churn.fails += 1;
         self.membership_changed();
@@ -682,6 +712,588 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             churn: self.churn,
             epochs: self.epochs,
         }
+    }
+}
+
+// ---- snapshot wire helpers ----
+//
+// The engine owns the field layout; `snapshot.rs` owns the primitives.
+// Ids travel as u32 (wider than their u16 reprs) so the layout survives a
+// future repr widening without a format change.
+
+fn write_task(w: &mut ByteWriter, t: &Task) {
+    w.u32(t.id.0);
+    w.u32(u32::from(t.type_id.0));
+    w.u64(t.arrival);
+    w.u64(t.deadline);
+}
+
+fn read_task(r: &mut ByteReader<'_>, num_task_types: usize) -> Result<Task, SnapshotError> {
+    let id = TaskId(r.u32()?);
+    let type_id =
+        u16::try_from(r.u32()?).map_err(|_| SnapshotError::Corrupt("task type id overflow"))?;
+    if usize::from(type_id) >= num_task_types {
+        return Err(SnapshotError::Corrupt("task type id out of range"));
+    }
+    let arrival = r.u64()?;
+    let deadline = r.u64()?;
+    Ok(Task { id, type_id: TaskTypeId(type_id), arrival, deadline })
+}
+
+fn write_machine_id(w: &mut ByteWriter, m: MachineId) {
+    w.u32(u32::from(m.0));
+}
+
+fn read_machine_id(
+    r: &mut ByteReader<'_>,
+    num_machines: usize,
+) -> Result<MachineId, SnapshotError> {
+    let id = u16::try_from(r.u32()?).map_err(|_| SnapshotError::Corrupt("machine id overflow"))?;
+    if usize::from(id) >= num_machines {
+        return Err(SnapshotError::Corrupt("machine id out of range"));
+    }
+    Ok(MachineId(id))
+}
+
+fn write_event(w: &mut ByteWriter, e: &Event) {
+    w.u64(e.time);
+    w.u64(e.seq);
+    match e.kind {
+        SimEvent::Arrival(task) => {
+            w.u8(0);
+            write_task(w, &task);
+        }
+        SimEvent::Completion { machine, token, evict } => {
+            w.u8(1);
+            write_machine_id(w, machine);
+            w.u64(token);
+            w.u8(u8::from(evict));
+        }
+        SimEvent::MachineJoin(m) => {
+            w.u8(2);
+            write_machine_id(w, m);
+        }
+        SimEvent::MachineDrain(m) => {
+            w.u8(3);
+            write_machine_id(w, m);
+        }
+        SimEvent::MachineFail(m) => {
+            w.u8(4);
+            write_machine_id(w, m);
+        }
+        SimEvent::DeadlineSweep => w.u8(5),
+    }
+}
+
+fn read_event(
+    r: &mut ByteReader<'_>,
+    num_machines: usize,
+    num_task_types: usize,
+) -> Result<Event, SnapshotError> {
+    let time = r.u64()?;
+    let seq = r.u64()?;
+    let kind = match r.u8()? {
+        0 => SimEvent::Arrival(read_task(r, num_task_types)?),
+        1 => SimEvent::Completion {
+            machine: read_machine_id(r, num_machines)?,
+            token: r.u64()?,
+            evict: r.bool()?,
+        },
+        2 => SimEvent::MachineJoin(read_machine_id(r, num_machines)?),
+        3 => SimEvent::MachineDrain(read_machine_id(r, num_machines)?),
+        4 => SimEvent::MachineFail(read_machine_id(r, num_machines)?),
+        5 => SimEvent::DeadlineSweep,
+        _ => return Err(SnapshotError::Corrupt("event tag")),
+    };
+    Ok(Event { time, seq, kind })
+}
+
+fn outcome_tag(o: TaskOutcome) -> u8 {
+    match o {
+        TaskOutcome::CompletedOnTime => 0,
+        TaskOutcome::CompletedLate => 1,
+        TaskOutcome::CompletedApprox => 2,
+        TaskOutcome::ExpiredUnstarted => 3,
+        TaskOutcome::ExpiredExecuting => 4,
+        TaskOutcome::PrunedDropped => 5,
+        TaskOutcome::Unfinished => 6,
+        TaskOutcome::Shed => 7,
+    }
+}
+
+fn outcome_from_tag(tag: u8) -> Result<TaskOutcome, SnapshotError> {
+    Ok(match tag {
+        0 => TaskOutcome::CompletedOnTime,
+        1 => TaskOutcome::CompletedLate,
+        2 => TaskOutcome::CompletedApprox,
+        3 => TaskOutcome::ExpiredUnstarted,
+        4 => TaskOutcome::ExpiredExecuting,
+        5 => TaskOutcome::PrunedDropped,
+        6 => TaskOutcome::Unfinished,
+        7 => TaskOutcome::Shed,
+        _ => return Err(SnapshotError::Corrupt("outcome tag")),
+    })
+}
+
+fn lifecycle_tag(l: MachineLifecycle) -> u8 {
+    match l {
+        MachineLifecycle::Active => 0,
+        MachineLifecycle::Draining => 1,
+        MachineLifecycle::Offline => 2,
+    }
+}
+
+fn lifecycle_from_tag(tag: u8) -> Result<MachineLifecycle, SnapshotError> {
+    Ok(match tag {
+        0 => MachineLifecycle::Active,
+        1 => MachineLifecycle::Draining,
+        2 => MachineLifecycle::Offline,
+        _ => return Err(SnapshotError::Corrupt("lifecycle tag")),
+    })
+}
+
+impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
+    /// Serializes the complete engine state at an inter-event boundary.
+    /// Everything a resumed run consumes is captured — event heap, batch
+    /// queue, machine queues with sampled ground truths, terminal records,
+    /// cost ledger, RNG state, and the mapper's own blob — so restore is
+    /// bit-identical, not merely statistically equivalent.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_header();
+        // System shape, validated on restore before anything is rebuilt.
+        w.usize(self.machines.len());
+        w.usize(self.spec.queue_capacity);
+        w.usize(self.spec.num_task_types());
+        w.usize(self.records.len());
+        // Engine scalars.
+        w.u64(self.now);
+        w.u64(self.seq);
+        w.u64(self.membership_epoch);
+        w.u64(self.mapping_events);
+        w.usize(self.missed_since_last);
+        // Churn counters.
+        w.u64(self.churn.joins);
+        w.u64(self.churn.drains);
+        w.u64(self.churn.fails);
+        w.u64(self.churn.requeued);
+        w.u64(self.churn.dropped_after_retry);
+        // Capacity epochs.
+        w.usize(self.epochs.len());
+        for e in &self.epochs {
+            w.u64(e.start);
+            w.usize(e.active_machines);
+            w.usize(e.on_time);
+            w.usize(e.finished);
+        }
+        // Event heap in (time, seq) order — BinaryHeap iteration order is
+        // unspecified, so the heap is canonicalized before encoding.
+        let mut events: Vec<Event> = self.events.iter().map(|Reverse(e)| *e).collect();
+        events.sort_unstable_by_key(|e| (e.time, e.seq));
+        w.usize(events.len());
+        for e in &events {
+            write_event(&mut w, e);
+        }
+        // Batch queue (order is part of the FCFS contract).
+        w.usize(self.batch.len());
+        for t in &self.batch {
+            write_task(&mut w, t);
+        }
+        // Machine queues, index order.
+        for m in &self.machines {
+            w.u8(lifecycle_tag(m.lifecycle()));
+            w.u64(m.version());
+            w.u64(m.run_token);
+            match m.executing() {
+                Some(e) => {
+                    w.u8(1);
+                    write_task(&mut w, &e.task);
+                    w.u64(e.started_at);
+                    w.u64(e.progress_before);
+                    w.u64(e.total_exec);
+                }
+                None => w.u8(0),
+            }
+            w.usize(m.pending_entries().len());
+            for p in m.pending_entries() {
+                write_task(&mut w, &p.task);
+                w.u64(p.progress);
+                w.opt_u64(p.sampled_total);
+            }
+        }
+        // Terminal records (count pinned by the header's slot count).
+        for rec in &self.records {
+            match rec {
+                Some(r) => {
+                    w.u8(1);
+                    write_task(&mut w, &r.task);
+                    w.u8(outcome_tag(r.outcome));
+                    match r.machine {
+                        Some(m) => {
+                            w.u8(1);
+                            write_machine_id(&mut w, m);
+                        }
+                        None => w.u8(0),
+                    }
+                    w.opt_u64(r.started_at);
+                    w.u64(r.finished_at);
+                    w.u64(r.machine_time);
+                }
+                None => w.u8(0),
+            }
+        }
+        // Failure-requeue counts (slot count from the header).
+        for &c in &self.requeue_counts {
+            w.u32(c);
+        }
+        // Busy time per machine; the tracker is rebuilt via `record_busy`.
+        for m in 0..self.machines.len() {
+            w.u64(self.cost.busy_time(MachineId::from(m)));
+        }
+        // RNG state and the mapper's own snapshot blob.
+        for s in self.rng.capture_state() {
+            w.u64(s);
+        }
+        w.bytes(&self.mapper.snapshot_state());
+        w.into_bytes()
+    }
+
+    /// Rebuilds an engine from [`Engine::snapshot`] bytes. `rng` is
+    /// overwritten with the captured generator state and `mapper` receives
+    /// the captured mapper blob, so any pre-existing state in either is
+    /// irrelevant. Fails (never panics) on foreign, corrupt, or
+    /// wrong-system snapshots.
+    fn from_snapshot(
+        spec: &'a SystemSpec,
+        config: SimConfig,
+        bytes: &[u8],
+        mapper: &'a mut M,
+        rng: &'a mut R,
+    ) -> Result<Self, SnapshotError> {
+        let mut r = ByteReader::with_header(bytes)?;
+        let num_machines = r.usize()?;
+        if num_machines != spec.num_machines() {
+            return Err(SnapshotError::SpecMismatch(format!(
+                "snapshot has {num_machines} machines, spec has {}",
+                spec.num_machines()
+            )));
+        }
+        let queue_capacity = r.usize()?;
+        if queue_capacity != spec.queue_capacity {
+            return Err(SnapshotError::SpecMismatch(format!(
+                "snapshot queue capacity {queue_capacity}, spec has {}",
+                spec.queue_capacity
+            )));
+        }
+        let num_task_types = r.usize()?;
+        if num_task_types != spec.num_task_types() {
+            return Err(SnapshotError::SpecMismatch(format!(
+                "snapshot has {num_task_types} task types, spec has {}",
+                spec.num_task_types()
+            )));
+        }
+        let num_task_slots = r.usize()?;
+        // Each slot costs at least 5 bytes downstream (record flag +
+        // requeue count); reject absurd counts before allocating.
+        if num_task_slots.saturating_mul(5) > bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let now = r.u64()?;
+        let seq = r.u64()?;
+        let membership_epoch = r.u64()?;
+        let mapping_events = r.u64()?;
+        let missed_since_last = r.usize()?;
+        let churn = ChurnStats {
+            joins: r.u64()?,
+            drains: r.u64()?,
+            fails: r.u64()?,
+            requeued: r.u64()?,
+            dropped_after_retry: r.u64()?,
+        };
+        let n_epochs = r.seq_len(32)?;
+        if n_epochs == 0 {
+            return Err(SnapshotError::Corrupt("no epochs"));
+        }
+        let mut epochs = Vec::with_capacity(n_epochs);
+        for _ in 0..n_epochs {
+            epochs.push(EpochSlice {
+                start: r.u64()?,
+                active_machines: r.usize()?,
+                on_time: r.usize()?,
+                finished: r.usize()?,
+            });
+        }
+        let n_events = r.seq_len(17)?;
+        let mut events = BinaryHeap::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(Reverse(read_event(&mut r, num_machines, num_task_types)?));
+        }
+        let n_batch = r.seq_len(24)?;
+        let mut batch = Vec::with_capacity(n_batch.max(num_task_slots));
+        for _ in 0..n_batch {
+            batch.push(read_task(&mut r, num_task_types)?);
+        }
+        let mut machines = Vec::with_capacity(num_machines);
+        for i in 0..num_machines {
+            let lifecycle = lifecycle_from_tag(r.u8()?)?;
+            let version = r.u64()?;
+            let run_token = r.u64()?;
+            let executing = match r.u8()? {
+                0 => None,
+                1 => {
+                    let task = read_task(&mut r, num_task_types)?;
+                    Some(ExecutingTask {
+                        task,
+                        started_at: r.u64()?,
+                        progress_before: r.u64()?,
+                        total_exec: r.u64()?,
+                    })
+                }
+                _ => return Err(SnapshotError::Corrupt("executing flag")),
+            };
+            let n_pending = r.seq_len(24)?;
+            if 1 + n_pending > queue_capacity {
+                return Err(SnapshotError::Corrupt("pending queue exceeds capacity"));
+            }
+            let mut pending = VecDeque::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                let task = read_task(&mut r, num_task_types)?;
+                let progress = r.u64()?;
+                let sampled_total = r.opt_u64()?;
+                pending.push_back(PendingEntry { task, progress, sampled_total });
+            }
+            machines.push(MachineState::from_parts(
+                MachineId::from(i),
+                queue_capacity,
+                executing,
+                pending,
+                lifecycle,
+                version,
+                run_token,
+            ));
+        }
+        let mut records = Vec::with_capacity(num_task_slots);
+        for _ in 0..num_task_slots {
+            records.push(match r.u8()? {
+                0 => None,
+                1 => {
+                    let task = read_task(&mut r, num_task_types)?;
+                    let outcome = outcome_from_tag(r.u8()?)?;
+                    let machine = match r.u8()? {
+                        0 => None,
+                        1 => Some(read_machine_id(&mut r, num_machines)?),
+                        _ => return Err(SnapshotError::Corrupt("record machine flag")),
+                    };
+                    let started_at = r.opt_u64()?;
+                    Some(TaskRecord {
+                        task,
+                        outcome,
+                        machine,
+                        started_at,
+                        finished_at: r.u64()?,
+                        machine_time: r.u64()?,
+                    })
+                }
+                _ => return Err(SnapshotError::Corrupt("record flag")),
+            });
+        }
+        let mut requeue_counts = Vec::with_capacity(num_task_slots);
+        for _ in 0..num_task_slots {
+            requeue_counts.push(r.u32()?);
+        }
+        let mut cost = CostTracker::new(num_machines);
+        for m in 0..num_machines {
+            let busy = r.u64()?;
+            if busy > 0 {
+                cost.record_busy(MachineId::from(m), busy);
+            }
+        }
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let mapper_blob = r.bytes()?;
+        if !r.at_end() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        rng.reseat_state(rng_state);
+        mapper.restore_state(mapper_blob);
+        let queue_slots = spec.num_machines() * spec.queue_capacity;
+        Ok(Self {
+            spec,
+            config,
+            mapper,
+            rng,
+            events,
+            seq,
+            batch,
+            machines,
+            records,
+            cost,
+            missed_since_last,
+            mapping_events,
+            now,
+            membership_epoch,
+            churn,
+            epochs,
+            requeue_counts,
+            expired_buf: Vec::with_capacity(queue_slots),
+            pruned_buf: Vec::with_capacity(queue_slots),
+            segment_charges_buf: Vec::with_capacity(spec.num_machines()),
+            requeue_buf: Vec::with_capacity(spec.queue_capacity),
+        })
+    }
+}
+
+/// A stepwise simulation handle for **service mode**: instead of running a
+/// trial to completion, the caller advances the engine one event at a
+/// time, injects live arrivals as they are admitted, sheds work under
+/// overload (with full accounting — a shed task still gets a terminal
+/// record), and checkpoints/restores the complete engine state between
+/// steps.
+///
+/// Between any two [`step`](SimSession::step) calls the engine sits at a
+/// consistent inter-event boundary; [`snapshot`](SimSession::snapshot) at
+/// such a boundary followed by [`restore`](SimSession::restore) resumes
+/// the run **bit-identically** — the restored run's [`SimReport`] equals
+/// the uninterrupted run's, byte for byte.
+pub struct SimSession<'a, M: Mapper, R: rand::Rng> {
+    engine: Engine<'a, M, R>,
+}
+
+impl<'a, M: Mapper, R: rand::Rng> SimSession<'a, M, R> {
+    /// Opens a session over the usual pipeline inputs. `sources` may be
+    /// empty: a service feeds tasks in later via
+    /// [`inject_arrival`](SimSession::inject_arrival).
+    pub fn new(
+        spec: &'a SystemSpec,
+        config: SimConfig,
+        sources: &mut [&mut dyn EventSource],
+        mapper: &'a mut M,
+        rng: &'a mut R,
+    ) -> Self {
+        Self { engine: Engine::new(spec, config, sources, mapper, rng) }
+    }
+
+    /// Processes one event (plus the full post-event sequence). Returns
+    /// false when the event heap is empty — which is not necessarily the
+    /// end of a *service*: injecting an arrival makes `step` productive
+    /// again.
+    pub fn step(&mut self) -> bool {
+        self.engine.step()
+    }
+
+    /// Simulation time of the last processed event.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.engine.now
+    }
+
+    /// Monotone membership-epoch counter (bumps on lifecycle changes).
+    #[must_use]
+    pub fn membership_epoch(&self) -> u64 {
+        self.engine.membership_epoch
+    }
+
+    /// Events still scheduled on the heap.
+    #[must_use]
+    pub fn events_remaining(&self) -> usize {
+        self.engine.events.len()
+    }
+
+    /// Simulation time of the next scheduled event, if any — what a
+    /// wall-clock pacing driver sleeps towards, and what an admission
+    /// loop compares against an arrival's timestamp to catch the engine
+    /// up deterministically before deciding.
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.engine.events.peek().map(|std::cmp::Reverse(e)| e.time)
+    }
+
+    /// Tasks in the batch queue awaiting a mapping decision — the
+    /// engine-side backlog an admission controller watches.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.engine.batch.len()
+    }
+
+    /// Terminal records produced so far (admitted + shed).
+    #[must_use]
+    pub fn finished_tasks(&self) -> usize {
+        self.engine.records.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Admits a live arrival. The task enters the pipeline as an
+    /// [`SimEvent::Arrival`] no earlier than the current simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id already has a terminal record — service ids
+    /// must be fresh (the driver deduplicates duplicated deliveries).
+    pub fn inject_arrival(&mut self, task: Task) {
+        let idx = task.id.index();
+        self.grow_slots(idx + 1);
+        assert!(
+            self.engine.records[idx].is_none(),
+            "task {} already has a terminal record",
+            task.id
+        );
+        let time = task.arrival.max(self.engine.now);
+        self.engine.push_event(time, SimEvent::Arrival(task));
+    }
+
+    /// Records a task the admission controller refused under overload:
+    /// the task never enters the pipeline but still gets a terminal
+    /// [`TaskOutcome::Shed`] record, so nothing is silently lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task id already has a terminal record.
+    pub fn shed(&mut self, task: Task) {
+        let idx = task.id.index();
+        self.grow_slots(idx + 1);
+        self.engine.record(task, TaskOutcome::Shed, None, None, 0);
+    }
+
+    fn grow_slots(&mut self, len: usize) {
+        if len > self.engine.records.len() {
+            self.engine.records.resize(len, None);
+            self.engine.requeue_counts.resize(len, 0);
+        }
+    }
+
+    /// Drains every remaining event and produces the report.
+    #[must_use]
+    pub fn run_to_completion(mut self) -> SimReport {
+        while self.engine.step() {}
+        self.engine.finish_report()
+    }
+
+    /// Produces the report for the events processed so far. Call when the
+    /// heap is drained (`step` returned false); finishing mid-run marks
+    /// still-live tasks [`TaskOutcome::Unfinished`].
+    #[must_use]
+    pub fn finish(self) -> SimReport {
+        self.engine.finish_report()
+    }
+}
+
+impl<'a, M: Mapper, R: SnapshotRng> SimSession<'a, M, R> {
+    /// Serializes the complete session state at the current inter-event
+    /// boundary. See [`SimSession`] for the bit-identity guarantee.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.engine.snapshot()
+    }
+
+    /// Resumes a session from [`snapshot`](SimSession::snapshot) bytes
+    /// against the same system spec and config. `rng` is overwritten with
+    /// the captured state; `mapper` receives the captured mapper blob via
+    /// [`Mapper::restore_state`].
+    pub fn restore(
+        spec: &'a SystemSpec,
+        config: SimConfig,
+        bytes: &[u8],
+        mapper: &'a mut M,
+        rng: &'a mut R,
+    ) -> Result<Self, SnapshotError> {
+        Ok(Self { engine: Engine::from_snapshot(spec, config, bytes, mapper, rng)? })
     }
 }
 
@@ -1151,5 +1763,257 @@ mod tests {
         assert!(mapper.epochs_seen.len() >= 3, "{:?}", mapper.epochs_seen);
         assert!(mapper.epochs_seen.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(report.metrics.outcomes.total(), 8);
+    }
+
+    // ---- failure-requeue retry cap ----
+
+    #[test]
+    fn max_requeues_zero_sheds_on_first_failure() {
+        let spec = small_spec(6);
+        // Both tasks land on machine 0 (FirstFit); it fails at t=5.
+        let tasks = tasks_every(2, 0, 2_000);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail }],
+        };
+        let mut rng = SeedSequence::new(30).stream(9);
+        let mut mapper = FirstFitMapper;
+        let config = SimConfig { trim: 0, max_requeues: Some(0), ..SimConfig::default() };
+        let report =
+            run_simulation_with_churn(&spec, config, &tasks, &churn, &mut mapper, &mut rng);
+        assert_eq!(report.churn.fails, 1);
+        assert_eq!(report.churn.requeued, 0, "cap 0 never requeues");
+        assert_eq!(report.churn.dropped_after_retry, 2, "{:?}", report.churn);
+        assert_eq!(report.metrics.outcomes.shed, 2, "{:?}", report.metrics.outcomes);
+        assert_eq!(report.metrics.outcomes.total(), 2, "shed tasks still get records");
+        for r in &report.records {
+            assert_eq!(r.outcome, TaskOutcome::Shed);
+            assert_eq!(r.machine, Some(MachineId(0)), "shed at the failed machine");
+        }
+    }
+
+    #[test]
+    fn max_requeues_one_allows_a_single_retry() {
+        let spec = small_spec(6);
+        let tasks = tasks_every(4, 0, 2_000);
+        // First failure requeues everything (retry 1 of 1); tasks remap to
+        // machine 1, whose failure at t=7 exceeds the cap.
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![
+                ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail },
+                ChurnEvent { time: 7, machine: MachineId(1), kind: ChurnKind::Fail },
+            ],
+        };
+        let mut rng = SeedSequence::new(31).stream(9);
+        let mut mapper = FirstFitMapper;
+        let config = SimConfig { trim: 0, max_requeues: Some(1), ..SimConfig::default() };
+        let report =
+            run_simulation_with_churn(&spec, config, &tasks, &churn, &mut mapper, &mut rng);
+        assert_eq!(report.churn.fails, 2);
+        assert_eq!(report.churn.requeued, 4, "first failure retries all four");
+        assert_eq!(report.churn.dropped_after_retry, 4, "{:?}", report.churn);
+        assert_eq!(report.metrics.outcomes.shed, 4, "{:?}", report.metrics.outcomes);
+        assert_eq!(report.metrics.outcomes.total(), 4);
+    }
+
+    #[test]
+    fn unbounded_requeues_match_the_default() {
+        // `max_requeues: None` must be byte-identical to the seed behavior.
+        let spec = small_spec(6);
+        let tasks = tasks_every(4, 0, 2_000);
+        let churn = ChurnTrace {
+            initially_offline: vec![],
+            events: vec![ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail }],
+        };
+        let baseline = churn_run(&spec, &tasks, &churn, 22);
+        let mut rng = SeedSequence::new(22).stream(9);
+        let mut mapper = FirstFitMapper;
+        let config = SimConfig { trim: 0, max_requeues: None, ..SimConfig::default() };
+        let explicit =
+            run_simulation_with_churn(&spec, config, &tasks, &churn, &mut mapper, &mut rng);
+        assert_eq!(baseline.records, explicit.records);
+        assert_eq!(baseline.churn, explicit.churn);
+    }
+
+    // ---- service mode: stepwise session + snapshot/restore ----
+
+    fn service_churn() -> ChurnTrace {
+        ChurnTrace {
+            initially_offline: vec![],
+            events: vec![
+                ChurnEvent { time: 20, machine: MachineId(1), kind: ChurnKind::Drain },
+                ChurnEvent { time: 45, machine: MachineId(1), kind: ChurnKind::Join },
+                ChurnEvent { time: 70, machine: MachineId(0), kind: ChurnKind::Fail },
+                ChurnEvent { time: 95, machine: MachineId(0), kind: ChurnKind::Join },
+            ],
+        }
+    }
+
+    fn report_fingerprint(r: &SimReport) -> String {
+        format!(
+            "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{}",
+            r.metrics, r.records, r.cost, r.churn, r.epochs, r.mapping_events
+        )
+    }
+
+    #[test]
+    fn session_stepping_matches_run_simulation() {
+        let spec = small_spec(4);
+        let tasks = tasks_every(30, 2, 50);
+        let churn = service_churn();
+        let baseline = churn_run(&spec, &tasks, &churn, 42);
+
+        let mut rng = SeedSequence::new(42).stream(9);
+        let mut mapper = FirstFitMapper;
+        let mut task_source = TaskTraceSource::new(&tasks);
+        let mut churn_source = ChurnSource::new(&churn);
+        let session = SimSession::new(
+            &spec,
+            SimConfig::untrimmed(),
+            &mut [&mut task_source, &mut churn_source],
+            &mut mapper,
+            &mut rng,
+        );
+        let stepped = session.run_to_completion();
+        assert_eq!(report_fingerprint(&baseline), report_fingerprint(&stepped));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically_at_any_boundary() {
+        let spec = small_spec(4);
+        let tasks = tasks_every(30, 2, 50);
+        let churn = service_churn();
+        let baseline = churn_run(&spec, &tasks, &churn, 42);
+        let expected = report_fingerprint(&baseline);
+
+        for steps in [0usize, 1, 3, 17, 60, 10_000] {
+            let mut rng = SeedSequence::new(42).stream(9);
+            let mut mapper = FirstFitMapper;
+            let mut task_source = TaskTraceSource::new(&tasks);
+            let mut churn_source = ChurnSource::new(&churn);
+            let mut session = SimSession::new(
+                &spec,
+                SimConfig::untrimmed(),
+                &mut [&mut task_source, &mut churn_source],
+                &mut mapper,
+                &mut rng,
+            );
+            for _ in 0..steps {
+                if !session.step() {
+                    break;
+                }
+            }
+            let bytes = session.snapshot();
+            drop(session);
+
+            // Restore into a *fresh* mapper and an RNG with unrelated
+            // state: everything that matters must come from the snapshot.
+            let mut mapper2 = FirstFitMapper;
+            let mut rng2 = SeedSequence::new(777).stream(3);
+            let resumed =
+                SimSession::restore(&spec, SimConfig::untrimmed(), &bytes, &mut mapper2, &mut rng2)
+                    .expect("restore");
+            let report = resumed.run_to_completion();
+            assert_eq!(expected, report_fingerprint(&report), "diverged after {steps} steps");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_system_shape() {
+        let spec = small_spec(4);
+        let tasks = tasks_every(5, 2, 50);
+        let mut rng = SeedSequence::new(1).stream(0);
+        let mut mapper = FirstFitMapper;
+        let mut source = TaskTraceSource::new(&tasks);
+        let session = SimSession::new(
+            &spec,
+            SimConfig::untrimmed(),
+            &mut [&mut source],
+            &mut mapper,
+            &mut rng,
+        );
+        let bytes = session.snapshot();
+        drop(session);
+
+        let other = small_spec(2); // different queue capacity
+        let mut mapper2 = FirstFitMapper;
+        let mut rng2 = SeedSequence::new(1).stream(0);
+        let err =
+            SimSession::restore(&other, SimConfig::untrimmed(), &bytes, &mut mapper2, &mut rng2)
+                .err()
+                .expect("mismatched spec must be rejected");
+        assert!(matches!(err, SnapshotError::SpecMismatch(_)), "{err}");
+
+        // Corruption (a chopped buffer) errors instead of panicking.
+        let err = SimSession::<FirstFitMapper, _>::restore(
+            &spec,
+            SimConfig::untrimmed(),
+            &bytes[..bytes.len() / 2],
+            &mut mapper2,
+            &mut rng2,
+        )
+        .err()
+        .expect("truncated snapshot must be rejected");
+        assert!(matches!(err, SnapshotError::Truncated | SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn injected_arrivals_and_sheds_are_fully_accounted() {
+        let spec = small_spec(6);
+        let mut rng = SeedSequence::new(50).stream(0);
+        let mut mapper = FirstFitMapper;
+        let mut session =
+            SimSession::new(&spec, SimConfig::untrimmed(), &mut [], &mut mapper, &mut rng);
+        assert!(!session.step(), "no sources, nothing scheduled");
+
+        // A service admits three tasks and refuses a fourth under load.
+        for i in 0..3u32 {
+            session.inject_arrival(Task {
+                id: TaskId(i),
+                type_id: TaskTypeId(0),
+                arrival: u64::from(i) * 5,
+                deadline: u64::from(i) * 5 + 500,
+            });
+        }
+        session.shed(Task { id: TaskId(3), type_id: TaskTypeId(0), arrival: 12, deadline: 512 });
+        assert_eq!(session.finished_tasks(), 1, "the shed task is already terminal");
+        let report = session.run_to_completion();
+        assert_eq!(report.records.len(), 4);
+        assert_eq!(report.metrics.outcomes.total(), 4, "{:?}", report.metrics.outcomes);
+        assert_eq!(report.metrics.outcomes.shed, 1);
+        assert_eq!(report.metrics.outcomes.on_time, 3);
+        assert_eq!(report.metrics.outcomes.unfinished, 0, "nothing silently lost");
+    }
+
+    #[test]
+    fn arrivals_injected_mid_run_are_processed() {
+        let spec = small_spec(6);
+        let tasks = tasks_every(2, 0, 500);
+        let mut rng = SeedSequence::new(51).stream(0);
+        let mut mapper = FirstFitMapper;
+        let mut source = TaskTraceSource::new(&tasks);
+        let mut session = SimSession::new(
+            &spec,
+            SimConfig::untrimmed(),
+            &mut [&mut source],
+            &mut mapper,
+            &mut rng,
+        );
+        // Drain the trace completely…
+        while session.step() {}
+        let t = session.now();
+        // …then a late arrival shows up with a timestamp in the past: it
+        // is clamped to `now` rather than time-traveling.
+        session.inject_arrival(Task {
+            id: TaskId(2),
+            type_id: TaskTypeId(0),
+            arrival: 0,
+            deadline: t + 500,
+        });
+        let report = session.run_to_completion();
+        assert_eq!(report.metrics.outcomes.on_time, 3, "{:?}", report.metrics.outcomes);
+        let late = &report.records[2];
+        assert!(late.started_at.unwrap() >= t, "{late:?}");
     }
 }

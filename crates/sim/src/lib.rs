@@ -30,6 +30,11 @@
 //! pending and executing tasks re-enter the batch queue as re-arrivals;
 //! the report then carries per-capacity-epoch robustness ([`EpochSlice`])
 //! and churn accounting ([`ChurnStats`]).
+//!
+//! **Service mode**: [`SimSession`] exposes the same engine stepwise — a
+//! long-lived scheduler advances one event at a time, injects live
+//! arrivals, sheds overload with full accounting, and checkpoints/restores
+//! the complete engine state ([`SimSession::snapshot`]) bit-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,16 +44,19 @@ mod engine;
 mod machine;
 mod mapper;
 mod metrics;
+mod snapshot;
 pub mod testkit;
 
 pub use config::SimConfig;
 pub use engine::{
     run_simulation, run_simulation_with_churn, run_simulation_with_sources, ChurnSource,
-    ChurnStats, EpochSlice, EventSink, EventSource, SimEvent, SimReport, TaskTraceSource,
+    ChurnStats, EpochSlice, EventSink, EventSource, SimEvent, SimReport, SimSession,
+    TaskTraceSource,
 };
 pub use machine::{ExecutingTask, MachineLifecycle, MachineState, PendingEntry};
 pub use mapper::{AssignError, FirstFitMapper, MapContext, Mapper, MapperInstrumentation};
 pub use metrics::{Metrics, OutcomeCounts};
+pub use snapshot::{SnapshotError, SnapshotRng, SNAPSHOT_VERSION};
 
 pub use hcsim_model::{ChurnEvent, ChurnKind, ChurnTrace, Time};
 pub use hcsim_pmf::DropPolicy;

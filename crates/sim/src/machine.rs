@@ -144,6 +144,22 @@ impl MachineState {
         }
     }
 
+    /// Rebuilds a machine wholesale from snapshot parts. Crate-private:
+    /// only the snapshot restore path may bypass the mutator invariants,
+    /// and it only ever replays fields captured from a live machine.
+    pub(crate) fn from_parts(
+        id: MachineId,
+        capacity: usize,
+        executing: Option<ExecutingTask>,
+        pending: VecDeque<PendingEntry>,
+        lifecycle: MachineLifecycle,
+        version: u64,
+        run_token: u64,
+    ) -> Self {
+        assert!(capacity >= 1, "capacity must include the executing slot");
+        Self { id, capacity, executing, pending, lifecycle, version, run_token }
+    }
+
     /// The machine's cluster-membership state.
     #[must_use]
     pub fn lifecycle(&self) -> MachineLifecycle {

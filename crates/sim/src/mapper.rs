@@ -283,6 +283,28 @@ pub trait Mapper {
     fn instrumentation(&self) -> Option<MapperInstrumentation> {
         None
     }
+
+    /// Captures the mapper's *decision-relevant* internal state for a
+    /// simulation snapshot. Pure caches that rebuild deterministically from
+    /// the engine state (score tables, scorer windows) need not be
+    /// captured; anything whose value depends on run *history* (detector
+    /// levels, sufferage values) must be. Stateless mappers return the
+    /// default empty blob.
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Mapper::snapshot_state`] into a
+    /// freshly constructed mapper of the same kind. The blob is opaque to
+    /// the engine; implementations own its format and versioning.
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let _ = bytes;
+    }
+
+    /// Invoked when a long-lived (service-mode) run exits, before the
+    /// mapper is dropped: the place to join worker pools gracefully rather
+    /// than in `Drop` on an unwinding thread.
+    fn on_shutdown(&mut self) {}
 }
 
 impl<M: Mapper + ?Sized> Mapper for &mut M {
@@ -301,6 +323,18 @@ impl<M: Mapper + ?Sized> Mapper for &mut M {
     fn instrumentation(&self) -> Option<MapperInstrumentation> {
         (**self).instrumentation()
     }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        (**self).restore_state(bytes);
+    }
+
+    fn on_shutdown(&mut self) {
+        (**self).on_shutdown();
+    }
 }
 
 impl<M: Mapper + ?Sized> Mapper for Box<M> {
@@ -318,6 +352,18 @@ impl<M: Mapper + ?Sized> Mapper for Box<M> {
 
     fn instrumentation(&self) -> Option<MapperInstrumentation> {
         (**self).instrumentation()
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        (**self).restore_state(bytes);
+    }
+
+    fn on_shutdown(&mut self) {
+        (**self).on_shutdown();
     }
 }
 

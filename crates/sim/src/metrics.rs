@@ -29,6 +29,9 @@ pub struct OutcomeCounts {
     pub pruned: usize,
     /// Still in the system when the simulation ended.
     pub unfinished: usize,
+    /// Removed by a system policy outside the paper's model (admission-level
+    /// load shedding, failure-requeue retry cap).
+    pub shed: usize,
 }
 
 impl OutcomeCounts {
@@ -41,6 +44,7 @@ impl OutcomeCounts {
             TaskOutcome::ExpiredExecuting => self.expired_executing += 1,
             TaskOutcome::PrunedDropped => self.pruned += 1,
             TaskOutcome::Unfinished => self.unfinished += 1,
+            TaskOutcome::Shed => self.shed += 1,
         }
     }
 
@@ -54,6 +58,7 @@ impl OutcomeCounts {
             + self.expired_executing
             + self.pruned
             + self.unfinished
+            + self.shed
     }
 }
 
@@ -241,9 +246,10 @@ mod tests {
             record(4, 0, TaskOutcome::PrunedDropped),
             record(5, 0, TaskOutcome::Unfinished),
             record(6, 0, TaskOutcome::CompletedApprox),
+            record(7, 0, TaskOutcome::Shed),
         ];
         let m = Metrics::compute(&records, 1, 0);
-        assert_eq!(m.outcomes.total(), 7);
+        assert_eq!(m.outcomes.total(), 8);
         assert_eq!(m.outcomes.on_time, 1);
         assert_eq!(m.outcomes.late, 1);
         assert_eq!(m.outcomes.approx, 1);
@@ -251,8 +257,9 @@ mod tests {
         assert_eq!(m.outcomes.expired_executing, 1);
         assert_eq!(m.outcomes.pruned, 1);
         assert_eq!(m.outcomes.unfinished, 1);
+        assert_eq!(m.outcomes.shed, 1);
         // pct_useful counts on-time + approx.
-        assert!((m.pct_useful - 100.0 * 2.0 / 7.0).abs() < 1e-9);
+        assert!((m.pct_useful - 100.0 * 2.0 / 8.0).abs() < 1e-9);
         assert!(m.pct_useful > m.pct_on_time);
     }
 

@@ -1,0 +1,165 @@
+//! Delivery schedules for service mode: when each task *reaches the
+//! scheduler*, as opposed to when it nominally arrives.
+//!
+//! An offline trace equates the two. A live service does not: the network
+//! delays, duplicates, and reorders deliveries. [`ArrivalSchedule`] models
+//! the delivery stream as `(delivery_time, task)` pairs and offers
+//! deterministic perturbations for fault-injection tests. Task
+//! *timestamps* (arrival, deadline) are never touched — only the order
+//! and moment of delivery — so the service driver can absorb duplicates
+//! exactly (dedup) and must degrade gracefully, never panic, on delayed
+//! or reordered deliveries.
+
+use hcsim_model::{Task, Time};
+use rand::Rng;
+
+/// A delivery-ordered stream of `(delivery_time, task)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    entries: Vec<(Time, Task)>,
+}
+
+impl ArrivalSchedule {
+    /// The faithful schedule: every task delivered exactly at its arrival
+    /// time, in arrival order.
+    #[must_use]
+    pub fn from_tasks(tasks: &[Task]) -> Self {
+        let mut entries: Vec<(Time, Task)> = tasks.iter().map(|t| (t.arrival, *t)).collect();
+        entries.sort_by_key(|(d, t)| (*d, t.id.0));
+        Self { entries }
+    }
+
+    /// The `(delivery_time, task)` pairs in delivery order.
+    #[must_use]
+    pub fn entries(&self) -> &[(Time, Task)] {
+        &self.entries
+    }
+
+    /// Number of deliveries (≥ task count once duplicates are injected).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Delays every `every`-th delivery (1-based) by `delay`, then
+    /// restores delivery order. Task timestamps are untouched, so a
+    /// delayed delivery reaches the scheduler *after* its nominal arrival
+    /// — the driver clamps its injection to the current simulation time.
+    #[must_use]
+    pub fn with_delay(mut self, every: u64, delay: Time) -> Self {
+        if every == 0 {
+            return self;
+        }
+        for (i, (d, _)) in self.entries.iter_mut().enumerate() {
+            if (i as u64 + 1).is_multiple_of(every) {
+                *d += delay;
+            }
+        }
+        self.entries.sort_by_key(|(d, t)| (*d, t.id.0));
+        self
+    }
+
+    /// Duplicates every `every`-th delivery (1-based) at the same delivery
+    /// time — at-least-once delivery. The service dedup set must drop the
+    /// copies.
+    #[must_use]
+    pub fn with_duplicates(mut self, every: u64) -> Self {
+        if every == 0 {
+            return self;
+        }
+        let mut out = Vec::with_capacity(self.entries.len() * 2);
+        for (i, entry) in self.entries.iter().enumerate() {
+            out.push(*entry);
+            if (i as u64 + 1).is_multiple_of(every) {
+                out.push(*entry);
+            }
+        }
+        self.entries = out;
+        self
+    }
+
+    /// Deterministically shuffles deliveries within a sliding window:
+    /// each delivery swaps with a random earlier position at most
+    /// `window - 1` slots back (a bounded Fisher–Yates), modeling bounded
+    /// network reordering. `window <= 1` is a no-op.
+    #[must_use]
+    pub fn with_reordering<R: Rng>(mut self, window: usize, rng: &mut R) -> Self {
+        if window <= 1 {
+            return self;
+        }
+        for i in 1..self.entries.len() {
+            let lo = i.saturating_sub(window - 1);
+            let j = rng.gen_range(lo..=i);
+            self.entries.swap(i, j);
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcsim_model::{TaskId, TaskTypeId};
+    use hcsim_stats::Xoshiro256pp;
+
+    fn tasks(n: u32) -> Vec<Task> {
+        (0..n)
+            .map(|i| Task {
+                id: TaskId(i),
+                type_id: TaskTypeId(0),
+                arrival: Time::from(i) * 10,
+                deadline: Time::from(i) * 10 + 100,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn faithful_schedule_delivers_at_arrival() {
+        let s = ArrivalSchedule::from_tasks(&tasks(5));
+        assert_eq!(s.len(), 5);
+        for (d, t) in s.entries() {
+            assert_eq!(*d, t.arrival);
+        }
+    }
+
+    #[test]
+    fn delay_moves_delivery_not_timestamps() {
+        let s = ArrivalSchedule::from_tasks(&tasks(4)).with_delay(2, 1000);
+        // Every 2nd delivery delayed by 1000 and re-sorted to the back.
+        let delayed: Vec<_> = s.entries().iter().filter(|(d, t)| *d > t.arrival).collect();
+        assert_eq!(delayed.len(), 2);
+        for (d, t) in &delayed {
+            assert_eq!(*d, t.arrival + 1000);
+        }
+        // Delivery order is non-decreasing after the sort.
+        assert!(s.entries().windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn duplicates_double_selected_deliveries() {
+        let s = ArrivalSchedule::from_tasks(&tasks(6)).with_duplicates(3);
+        assert_eq!(s.len(), 8);
+        let copies = s.entries().iter().filter(|(_, t)| t.id == TaskId(2)).count();
+        assert_eq!(copies, 2);
+    }
+
+    #[test]
+    fn reordering_is_deterministic_and_preserves_multiset() {
+        let base = ArrivalSchedule::from_tasks(&tasks(20));
+        let mut rng_a = Xoshiro256pp::new(9);
+        let mut rng_b = Xoshiro256pp::new(9);
+        let a = base.clone().with_reordering(4, &mut rng_a);
+        let b = base.clone().with_reordering(4, &mut rng_b);
+        assert_eq!(a, b, "same seed must produce the same shuffle");
+        let mut ids: Vec<u32> = a.entries().iter().map(|(_, t)| t.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..20).collect::<Vec<_>>());
+        assert_ne!(a, base, "window 4 over 20 deliveries should move something");
+    }
+}
