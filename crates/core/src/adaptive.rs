@@ -1,0 +1,822 @@
+//! The adaptive pruning controller: closes the §V threshold loop online.
+//!
+//! The paper fixes the dropping and deferring thresholds offline (§VII-C
+//! sweeps them and settles on 50 % / 90 % for its stationary workloads).
+//! Under non-stationary load — bursts, diurnal ramps, regime switches —
+//! and cluster churn, no single static pair is right for the whole run:
+//! the best aggression level moves with the load. The
+//! [`AdaptiveController`] runs the §VII-C sweep *online*, from two
+//! complementary signals:
+//!
+//! * **Feed-forward pressure** — task outcomes *lag* a load storm: the
+//!   flood only registers once its casualties miss their deadlines, after
+//!   the machines are already clogged with weak admissions. The Eq. 8
+//!   oversubscription detector watches queue misses per mapping event and
+//!   fires first, so it schedules the operating point directly. While it
+//!   is *engaged* the thresholds jump to base plus
+//!   [`AdaptiveConfig::pressure_boost`] (the Fig. 7 direction — prune
+//!   harder under oversubscription — applied the moment oversubscription
+//!   is *detected* rather than a window after it is suffered). In the
+//!   opposite direction, a slow average of the detector *level* with its
+//!   own hysteresis certifies *sustained deep calm*, and only then do the
+//!   thresholds drop [`AdaptiveConfig::calm_relax`] *below* base (§VII-C's
+//!   own sweeps show conservative pairs dominate at low oversubscription —
+//!   deferral wastes healthy capacity). The toggle being merely off is not
+//!   enough: during a gradual ramp-up the fast toggle lags the queue
+//!   build-up, and relaxing into that would admit weak work exactly when
+//!   capacity is about to run out.
+//! * **Gain-scheduled perturb-and-observe trim** — the windowed loop
+//!   maximizes the on-time completion rate directly, and it learns *two*
+//!   operating points, one per detector phase: a calm trim (applied while
+//!   the detector is disengaged, first probing toward admitting more)
+//!   and a storm trim (applied on top of the boost while engaged, first
+//!   probing toward shedding more). Each window of terminal outcomes
+//!   moves the active phase's trim one step along the sweep ray and
+//!   keeps the direction while the windowed on-time rate improves,
+//!   reversing when it degrades; a phase flip *jumps* to the other
+//!   phase's remembered trim instead of re-traveling the distance.
+//!   Crucially the objective counts *pruned tasks against* the rate: a
+//!   controller targeting the deadline-miss rate alone can always
+//!   flatter its signal by dropping more (a dropped task cannot miss a
+//!   deadline), and walks to maximum aggression on every workload.
+//!   Extremum-seeking on the on-time rate has no such perverse incentive
+//!   — more dropping only sticks when completions actually rise.
+//! * **Per-class relief** — a workload class whose failure share (missed
+//!   *or pruned*) overshoots the global rate accumulates *relief*, which
+//!   relaxes (lowers) both of its thresholds exactly like PAMF's
+//!   sufferage knob — shielding the class from starvation — and decays
+//!   once the class recovers. Per-class thresholds thereby subsume the
+//!   static fairness factor.
+//!
+//! The controller is driven from [`Mapper::on_task_finished`]
+//! (terminal-record order equals event order, so its trajectory is
+//! bit-identical across all fan-out execution modes), and its full dynamic
+//! state rides in the PAM snapshot blob, so a crash/restore resumes the
+//! adaptation trajectory exactly.
+//!
+//! [`Mapper::on_task_finished`]: hcsim_sim::Mapper::on_task_finished
+
+use hcsim_model::{TaskOutcome, TaskTypeId};
+use serde::{Deserialize, Serialize};
+
+/// How far deferral moves per unit of *upward* dropping movement along
+/// the sweep ray: the §VII-C sweeps move the defer threshold a few points
+/// where they move dropping by twenty (it already sits close to 1).
+/// *Downward* the ray runs at unit slope — the sweep grid keeps the
+/// defer−drop gap constant on the conservative side (50/90 → 30/70) —
+/// see [`defer_shift`].
+const DEFER_RATIO: f64 = 0.25;
+
+/// Maps a dropping-threshold shift onto the deferral axis following the
+/// §VII-C sweep geometry: quarter gain upward, unit gain downward.
+fn defer_shift(drop_shift: f64) -> f64 {
+    if drop_shift < 0.0 {
+        drop_shift
+    } else {
+        DEFER_RATIO * drop_shift
+    }
+}
+
+/// A class must overshoot the global failure rate by this margin before
+/// relief accumulates (keeps sampling noise from feeding the fairness
+/// loop).
+const RELIEF_MARGIN: f64 = 0.05;
+
+/// Smoothing factor of the slow detector-level average behind the
+/// deep-calm signal (the detector's own λ = 0.9 EWMA reacts within one
+/// mapping event; the calm signal must instead certify *sustained*
+/// health, so it averages the fast level over roughly the last ten
+/// events).
+const SLOW_LAMBDA: f64 = 0.1;
+
+/// Deep calm engages once the slow level average falls to this fraction
+/// of the detector's toggle-on point…
+const DEEP_CALM_ENTER: f64 = 0.2;
+
+/// …and disengages once it climbs back to this fraction (hysteresis, like
+/// the detector's own Schmitt trigger, so the relaxation cannot flap).
+const DEEP_CALM_EXIT: f64 = 0.4;
+
+/// Knobs of the adaptive threshold controller, with conservative defaults
+/// (small steps, wide clamps) that track load without oscillating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Terminal outcomes per adjustment window: the controller re-decides
+    /// every `window` finished tasks. Smaller reacts faster; larger
+    /// estimates the on-time rate more stably.
+    pub window: usize,
+    /// Dropping-threshold movement per adjustment, in robustness units
+    /// (deferral follows at quarter gain).
+    pub step: f64,
+    /// Per-class relief gained per window while a class's failure rate
+    /// overshoots the global rate (and lost per window once it recovers) —
+    /// the dynamic replacement for PAMF's static fairness factor.
+    pub relief_step: f64,
+    /// Cap on accumulated per-class relief.
+    pub relief_max: f64,
+    /// Feed-forward aggression added to the dropping threshold (quarter
+    /// gain on deferral) the moment the Eq. 8 oversubscription detector
+    /// engages, removed the moment it disengages.
+    pub pressure_boost: f64,
+    /// Feed-forward *relaxation* subtracted from both thresholds (unit
+    /// gain on deferral, down the sweep ray) while the slow-averaged
+    /// detector level certifies sustained deep calm: a healthy system
+    /// should defer far less readily than the storm-tuned base pair does.
+    pub calm_relax: f64,
+    /// Clamp range for the effective dropping threshold.
+    pub drop_min: f64,
+    /// Upper clamp for the effective dropping threshold.
+    pub drop_max: f64,
+    /// Clamp range for the effective deferring threshold.
+    pub defer_min: f64,
+    /// Upper clamp for the effective deferring threshold.
+    pub defer_max: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            step: 0.01,
+            relief_step: 0.05,
+            relief_max: 0.30,
+            pressure_boost: 0.0,
+            calm_relax: 0.20,
+            drop_min: 0.20,
+            drop_max: 0.90,
+            defer_min: 0.50,
+            defer_max: 0.98,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window, non-positive steps, rates outside
+    /// `[0, 1]`, or inverted clamp ranges.
+    pub fn validate(&self) {
+        assert!(self.window >= 1, "adaptive window must be positive");
+        assert!(self.step > 0.0 && self.step.is_finite(), "step must be positive");
+        assert!(self.relief_step >= 0.0, "relief step must be non-negative");
+        assert!((0.0..=1.0).contains(&self.relief_max), "relief cap in [0,1]");
+        assert!(
+            self.pressure_boost >= 0.0 && self.pressure_boost.is_finite(),
+            "pressure boost must be non-negative"
+        );
+        assert!(
+            self.calm_relax >= 0.0 && self.calm_relax.is_finite(),
+            "calm relax must be non-negative"
+        );
+        assert!(
+            0.0 <= self.drop_min && self.drop_min <= self.drop_max && self.drop_max <= 1.0,
+            "drop clamp range must satisfy 0 <= min <= max <= 1"
+        );
+        assert!(
+            0.0 <= self.defer_min && self.defer_min <= self.defer_max && self.defer_max <= 1.0,
+            "defer clamp range must satisfy 0 <= min <= max <= 1"
+        );
+    }
+}
+
+/// Sliding-window outcome counters for one adjustment period.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct WindowCounts {
+    on_time: u64,
+    late: u64,
+    expired_unstarted: u64,
+    expired_on_machine: u64,
+    pruned: u64,
+    shed: u64,
+}
+
+impl WindowCounts {
+    fn add(&mut self, outcome: TaskOutcome) {
+        match outcome {
+            TaskOutcome::CompletedOnTime | TaskOutcome::CompletedApprox => self.on_time += 1,
+            TaskOutcome::CompletedLate => self.late += 1,
+            TaskOutcome::ExpiredUnstarted => self.expired_unstarted += 1,
+            TaskOutcome::ExpiredExecuting | TaskOutcome::Unfinished => {
+                self.expired_on_machine += 1;
+            }
+            TaskOutcome::PrunedDropped => self.pruned += 1,
+            TaskOutcome::Shed => self.shed += 1,
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.on_time
+            + self.late
+            + self.expired_unstarted
+            + self.expired_on_machine
+            + self.pruned
+            + self.shed
+    }
+}
+
+/// Per-workload-class window state: failure accounting plus accumulated
+/// fairness relief.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ClassState {
+    failed: u64,
+    seen: u64,
+    relief: f64,
+}
+
+/// The per-workload-class feedback controller. Owned by PAM when
+/// [`crate::PruningConfig::adaptive`] is set; fed one terminal outcome at
+/// a time via [`AdaptiveController::observe`] and the detector toggle via
+/// [`AdaptiveController::set_pressure`], queried per task type for the
+/// current effective thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    base_drop: f64,
+    base_defer: f64,
+    /// Per-phase trim on the dropping threshold (index 0 = calm, 1 =
+    /// storm): the gain-scheduled perturb-and-observe state. Deferral is
+    /// derived from the same shift via the sweep-ray geometry.
+    trims: [f64; 2],
+    /// Per-phase perturbation direction: +1.0 (more aggressive) or -1.0.
+    dirs: [f64; 2],
+    /// Per-phase perturbation magnitude: starts at [`AdaptiveConfig::step`]
+    /// and halves on every reversal after the first (floor `step / 4`), so
+    /// the climb converges onto an off-grid optimum instead of oscillating
+    /// around it with full-size probes. The first reversal is free: the
+    /// initial probe direction is a guess, and correcting a wrong guess
+    /// must happen at full speed.
+    steps: [f64; 2],
+    /// Per-phase count of direction reversals (drives the step decay).
+    reversals: [u64; 2],
+    /// Per-phase on-time rate of that phase's previous window (the
+    /// objective being climbed).
+    last_rates: [f64; 2],
+    /// Per-phase windows processed (the first window of a phase has no
+    /// reference rate and probes the phase's natural direction).
+    phase_windows: [u64; 2],
+    window: WindowCounts,
+    classes: Vec<ClassState>,
+    /// Windows processed so far (instrumentation + state fingerprint).
+    adjustments: u64,
+    /// Feed-forward state: true while the Eq. 8 detector is engaged.
+    pressure: bool,
+    /// Slow EWMA of the detector level as a fraction of its toggle-on
+    /// point (see [`SLOW_LAMBDA`]).
+    slow_ratio: f64,
+    /// True while the slow level average certifies sustained health —
+    /// the only state in which [`AdaptiveConfig::calm_relax`] applies.
+    deep_calm: bool,
+}
+
+impl AdaptiveController {
+    /// Creates a controller for `num_task_types` workload classes around
+    /// the static base thresholds it modulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid.
+    #[must_use]
+    pub fn new(
+        config: AdaptiveConfig,
+        num_task_types: usize,
+        base_drop: f64,
+        base_defer: f64,
+    ) -> Self {
+        config.validate();
+        Self {
+            config,
+            base_drop,
+            base_defer,
+            trims: [0.0; 2],
+            // Calm probes toward admitting more (under-load wastes
+            // capacity on deferral); storm probes toward shedding more
+            // (the Fig. 7 direction) on top of the boost.
+            dirs: [-1.0, 1.0],
+            steps: [config.step; 2],
+            reversals: [0; 2],
+            last_rates: [0.0; 2],
+            phase_windows: [0; 2],
+            window: WindowCounts::default(),
+            classes: vec![ClassState::default(); num_task_types],
+            adjustments: 0,
+            pressure: false,
+            slow_ratio: 0.0,
+            deep_calm: true,
+        }
+    }
+
+    /// The controller configuration.
+    #[must_use]
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Feed-forward input: the Eq. 8 oversubscription detector's toggle
+    /// and its raw level as a fraction of the toggle-on point, fed once
+    /// per mapping event *before* any threshold query. The toggle drives
+    /// the storm schedule directly (outcome windows lag a flood; the
+    /// detector does not); the level ratio feeds a slow average whose
+    /// hysteresis gates the deep-calm relaxation. Returns `true` when
+    /// either state flipped (thresholds jumped — cached score bounds are
+    /// stale).
+    pub fn set_pressure(&mut self, engaged: bool, level_ratio: f64) -> bool {
+        let was = (self.pressure, self.deep_calm);
+        self.pressure = engaged;
+        self.slow_ratio = level_ratio * SLOW_LAMBDA + self.slow_ratio * (1.0 - SLOW_LAMBDA);
+        if engaged || self.slow_ratio >= DEEP_CALM_EXIT {
+            self.deep_calm = false;
+        } else if self.slow_ratio <= DEEP_CALM_ENTER {
+            self.deep_calm = true;
+        }
+        // Between the bounds: hold the previous state.
+        (self.pressure, self.deep_calm) != was
+    }
+
+    /// The active phase index (0 = calm, 1 = storm).
+    fn phase(&self) -> usize {
+        usize::from(self.pressure)
+    }
+
+    /// Net dropping-threshold shift for the active phase: its learned
+    /// trim, plus the feed-forward schedule — boost while the detector is
+    /// engaged, relaxation while the system is in sustained deep calm,
+    /// nothing in the transitional band between.
+    fn drop_shift(&self) -> f64 {
+        let feed_forward = if self.pressure {
+            self.config.pressure_boost
+        } else if self.deep_calm {
+            -self.config.calm_relax
+        } else {
+            0.0
+        };
+        self.trims[self.phase()] + feed_forward
+    }
+
+    /// Current effective dropping threshold for a class.
+    #[must_use]
+    pub fn drop_threshold_for(&self, tt: TaskTypeId) -> f64 {
+        let relief = self.classes.get(tt.index()).map_or(0.0, |c| c.relief);
+        (self.base_drop + self.drop_shift() - relief)
+            .clamp(self.config.drop_min, self.config.drop_max)
+    }
+
+    /// Current effective deferring threshold for a class (follows the
+    /// dropping shift along the sweep-ray geometry).
+    #[must_use]
+    pub fn defer_threshold_for(&self, tt: TaskTypeId) -> f64 {
+        let relief = self.classes.get(tt.index()).map_or(0.0, |c| c.relief);
+        let t = (self.base_defer + defer_shift(self.drop_shift()) - relief)
+            .clamp(self.config.defer_min, self.config.defer_max);
+        // The §V-B2 invariant (defer >= drop) must survive adaptation.
+        t.max(self.drop_threshold_for(tt))
+    }
+
+    /// Number of window-boundary adjustments performed so far.
+    #[must_use]
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// True while the slow-averaged detector level sits in sustained deep
+    /// calm (the feed-forward relaxation is active).
+    #[must_use]
+    pub fn deep_calm(&self) -> bool {
+        self.deep_calm
+    }
+
+    /// Feeds one terminal task outcome. Returns `true` when a window
+    /// boundary was crossed and thresholds may have moved (the caller
+    /// invalidates score-table bound caches keyed on thresholds).
+    pub fn observe(&mut self, tt: TaskTypeId, outcome: TaskOutcome) -> bool {
+        self.window.add(outcome);
+        if let Some(c) = self.classes.get_mut(tt.index()) {
+            c.seen += 1;
+            if !matches!(outcome, TaskOutcome::CompletedOnTime | TaskOutcome::CompletedApprox) {
+                c.failed += 1;
+            }
+        }
+        if self.window.total() < self.config.window as u64 {
+            return false;
+        }
+        self.adjust();
+        true
+    }
+
+    /// One perturb-and-observe decision at a window boundary, charged to
+    /// the phase the detector reports *now* (outcome windows lag their
+    /// causes either way; the climb self-corrects).
+    fn adjust(&mut self) {
+        let total = self.window.total() as f64;
+        let rate = self.window.on_time as f64 / total;
+        let p = self.phase();
+
+        // Keep climbing while this phase's objective improves (or holds);
+        // reverse when it degrades, shrinking the probe so the walk
+        // converges onto the optimum rather than orbiting it. A phase's
+        // first window has no reference — it probes the phase's natural
+        // direction.
+        if self.phase_windows[p] > 0 && rate < self.last_rates[p] {
+            self.dirs[p] = -self.dirs[p];
+            if self.reversals[p] > 0 {
+                self.steps[p] = (self.steps[p] * 0.5).max(self.config.step * 0.25);
+            }
+            self.reversals[p] += 1;
+        }
+        self.last_rates[p] = rate;
+        self.phase_windows[p] += 1;
+        // Deferral rides the same ray rather than hunting independently
+        // (one noisy objective cannot steer two coupled knobs apart), so
+        // only the dropping trim is walked; clamp it to where the ray
+        // still moves the thresholds.
+        self.trims[p] = (self.trims[p] + self.dirs[p] * self.steps[p])
+            .clamp(self.config.drop_min - self.base_drop, self.config.drop_max - self.base_drop);
+
+        // Per-class fairness relief: classes failing (missing *or* being
+        // pruned) beyond the global failure rate get shielded; recovered
+        // classes give the relief back. A class needs a minimum sample
+        // count this window to move.
+        let global_fail = 1.0 - rate;
+        let min_samples = (self.config.window as u64 / 8).max(1);
+        for c in &mut self.classes {
+            if c.seen >= min_samples {
+                let class_fail = c.failed as f64 / c.seen as f64;
+                if class_fail > global_fail + RELIEF_MARGIN {
+                    c.relief = (c.relief + self.config.relief_step).min(self.config.relief_max);
+                } else {
+                    c.relief = decay(c.relief, self.config.relief_step);
+                }
+            }
+            c.failed = 0;
+            c.seen = 0;
+        }
+
+        self.window = WindowCounts::default();
+        self.adjustments += 1;
+    }
+
+    /// Serializes the dynamic state (per-phase trims/directions/last
+    /// objectives, relief vector, in-progress window counters) for the
+    /// PAM snapshot blob.
+    #[must_use]
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128 + self.classes.len() * 24);
+        for p in 0..2 {
+            buf.extend_from_slice(&self.trims[p].to_bits().to_le_bytes());
+            buf.extend_from_slice(&self.dirs[p].to_bits().to_le_bytes());
+            buf.extend_from_slice(&self.steps[p].to_bits().to_le_bytes());
+            buf.extend_from_slice(&self.reversals[p].to_le_bytes());
+            buf.extend_from_slice(&self.last_rates[p].to_bits().to_le_bytes());
+            buf.extend_from_slice(&self.phase_windows[p].to_le_bytes());
+        }
+        buf.extend_from_slice(&self.adjustments.to_le_bytes());
+        for v in [
+            self.window.on_time,
+            self.window.late,
+            self.window.expired_unstarted,
+            self.window.expired_on_machine,
+            self.window.pruned,
+            self.window.shed,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.classes.len() as u64).to_le_bytes());
+        for c in &self.classes {
+            buf.extend_from_slice(&c.failed.to_le_bytes());
+            buf.extend_from_slice(&c.seen.to_le_bytes());
+            buf.extend_from_slice(&c.relief.to_bits().to_le_bytes());
+        }
+        buf.push(u8::from(self.pressure));
+        buf.extend_from_slice(&self.slow_ratio.to_bits().to_le_bytes());
+        buf.push(u8::from(self.deep_calm));
+        buf
+    }
+
+    /// Restores state captured by [`AdaptiveController::state_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed buffer (the blob never leaves the snapshot
+    /// the engine already validated).
+    pub fn restore_state(&mut self, bytes: &[u8]) {
+        let mut pos = 0usize;
+        let u64_at = |p: &mut usize| {
+            let v = u64::from_le_bytes(bytes[*p..*p + 8].try_into().expect("8 bytes"));
+            *p += 8;
+            v
+        };
+        for p in 0..2 {
+            self.trims[p] = f64::from_bits(u64_at(&mut pos));
+            self.dirs[p] = f64::from_bits(u64_at(&mut pos));
+            self.steps[p] = f64::from_bits(u64_at(&mut pos));
+            self.reversals[p] = u64_at(&mut pos);
+            self.last_rates[p] = f64::from_bits(u64_at(&mut pos));
+            self.phase_windows[p] = u64_at(&mut pos);
+        }
+        self.adjustments = u64_at(&mut pos);
+        self.window = WindowCounts {
+            on_time: u64_at(&mut pos),
+            late: u64_at(&mut pos),
+            expired_unstarted: u64_at(&mut pos),
+            expired_on_machine: u64_at(&mut pos),
+            pruned: u64_at(&mut pos),
+            shed: u64_at(&mut pos),
+        };
+        let n = usize::try_from(u64_at(&mut pos)).expect("class count");
+        self.classes = (0..n)
+            .map(|_| ClassState {
+                failed: u64_at(&mut pos),
+                seen: u64_at(&mut pos),
+                relief: f64::from_bits(u64_at(&mut pos)),
+            })
+            .collect();
+        self.pressure = bytes[pos] != 0;
+        pos += 1;
+        self.slow_ratio = f64::from_bits(u64_at(&mut pos));
+        self.deep_calm = bytes[pos] != 0;
+        pos += 1;
+        assert_eq!(pos, bytes.len(), "corrupt adaptive controller state: trailing bytes");
+    }
+}
+
+/// Moves `value` toward zero by `step` without overshooting.
+fn decay(value: f64, step: f64) -> f64 {
+    if value > step {
+        value - step
+    } else if value < -step {
+        value + step
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(window: usize) -> AdaptiveController {
+        let config = AdaptiveConfig { window, ..Default::default() };
+        AdaptiveController::new(config, 3, 0.50, 0.90)
+    }
+
+    fn feed(c: &mut AdaptiveController, tt: u16, outcome: TaskOutcome, n: usize) {
+        for _ in 0..n {
+            c.observe(TaskTypeId(tt), outcome);
+        }
+    }
+
+    #[test]
+    fn starts_calm_relaxed_below_base() {
+        // The detector starts disengaged, so the schedule opens at the
+        // calm point: calm_relax below base along the sweep ray.
+        let c = controller(8);
+        let relax = c.config().calm_relax;
+        assert!((c.drop_threshold_for(TaskTypeId(0)) - (0.50 - relax)).abs() < 1e-12);
+        assert!((c.defer_threshold_for(TaskTypeId(0)) - (0.90 - relax)).abs() < 1e-12);
+        assert_eq!(c.adjustments(), 0);
+    }
+
+    #[test]
+    fn calm_probes_toward_admission_storm_toward_aggression() {
+        let mut calm = controller(8);
+        feed(&mut calm, 0, TaskOutcome::ExpiredExecuting, 8);
+        assert_eq!(calm.adjustments(), 1);
+        assert!(
+            calm.drop_threshold_for(TaskTypeId(0)) < 0.50 - calm.config().calm_relax,
+            "calm first probe admits more, not less"
+        );
+        let mut storm = controller(8);
+        storm.set_pressure(true, 1.0);
+        feed(&mut storm, 0, TaskOutcome::ExpiredExecuting, 8);
+        assert!(
+            storm.drop_threshold_for(TaskTypeId(0)) > 0.50 + storm.config().pressure_boost,
+            "storm first probe sheds more, on top of the boost"
+        );
+        assert!(storm.defer_threshold_for(TaskTypeId(0)) > 0.90, "deferral rides the same ray");
+    }
+
+    #[test]
+    fn improving_rate_keeps_the_direction() {
+        let mut c = controller(8);
+        feed(&mut c, 0, TaskOutcome::ExpiredExecuting, 8); // rate 0: calm probes down
+        let after_one = c.drop_threshold_for(TaskTypeId(0));
+        feed(&mut c, 0, TaskOutcome::CompletedOnTime, 8); // rate 1 > 0: keep going
+        assert!(c.drop_threshold_for(TaskTypeId(0)) < after_one);
+    }
+
+    #[test]
+    fn degrading_rate_reverses_the_direction() {
+        let mut c = controller(8);
+        feed(&mut c, 0, TaskOutcome::CompletedOnTime, 8); // rate 1, calm probes down
+        let after_one = c.drop_threshold_for(TaskTypeId(0));
+        feed(&mut c, 0, TaskOutcome::ExpiredExecuting, 8); // rate 0 < 1: reverse
+        assert!(
+            c.drop_threshold_for(TaskTypeId(0)) > after_one,
+            "worse objective must reverse the perturbation"
+        );
+    }
+
+    #[test]
+    fn phase_flip_recalls_the_other_phases_trim() {
+        let mut c = controller(8);
+        // Calm descends for two windows (0 -> -step -> -2·step).
+        feed(&mut c, 0, TaskOutcome::ExpiredExecuting, 8);
+        feed(&mut c, 0, TaskOutcome::CompletedOnTime, 8);
+        let calm_point = c.drop_threshold_for(TaskTypeId(0));
+        assert!(calm_point < 0.50 - c.config().calm_relax);
+        // Storm: jumps to base + boost instantly, untouched by the calm
+        // descent.
+        c.set_pressure(true, 1.0);
+        assert!(
+            (c.drop_threshold_for(TaskTypeId(0)) - (0.50 + c.config().pressure_boost)).abs()
+                < 1e-12,
+            "storm trim starts fresh at the boosted point"
+        );
+        // And flipping back recalls the calm trim exactly.
+        c.set_pressure(false, 0.0);
+        assert!((c.drop_threshold_for(TaskTypeId(0)) - calm_point).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropping_more_is_not_rewarded_for_its_own_sake() {
+        // A miss-rate-targeting law walks to max aggression because pruned
+        // tasks cannot miss deadlines; the on-time objective must treat a
+        // pruned-away window exactly like an expired one. Two controllers
+        // fed the two failure shapes must walk identical trajectories.
+        let mut pruned = controller(8);
+        pruned.set_pressure(true, 1.0);
+        let mut expired = controller(8);
+        expired.set_pressure(true, 1.0);
+        for _ in 0..4 {
+            feed(&mut pruned, 0, TaskOutcome::PrunedDropped, 8);
+            feed(&mut expired, 0, TaskOutcome::ExpiredExecuting, 8);
+        }
+        assert!(
+            (pruned.drop_threshold_for(TaskTypeId(1)) - expired.drop_threshold_for(TaskTypeId(1)))
+                .abs()
+                < 1e-12,
+            "an all-pruned window must not score better than an all-expired one"
+        );
+    }
+
+    #[test]
+    fn suffering_class_accumulates_relief() {
+        let mut c = controller(16);
+        c.set_pressure(true, 1.0); // keep the shared point off the lower clamp
+                                   // Class 0 fails everything; classes 1/2 are fine → class 0's
+                                   // failure rate (100 %) overshoots the global rate (25 %).
+        for _ in 0..4 {
+            feed(&mut c, 0, TaskOutcome::ExpiredUnstarted, 4);
+            feed(&mut c, 1, TaskOutcome::CompletedOnTime, 6);
+            feed(&mut c, 2, TaskOutcome::CompletedOnTime, 6);
+        }
+        let relieved = c.drop_threshold_for(TaskTypeId(0));
+        let normal = c.drop_threshold_for(TaskTypeId(1));
+        assert!(
+            relieved < normal,
+            "suffering class gets relaxed thresholds: {relieved} vs {normal}"
+        );
+        assert!(c.defer_threshold_for(TaskTypeId(0)) < c.defer_threshold_for(TaskTypeId(1)));
+    }
+
+    #[test]
+    fn pruned_away_class_counts_as_suffering() {
+        // Fairness must see pruning: a class whose tasks are dropped by
+        // the pruner is being sacrificed even though it never "misses".
+        let mut c = controller(16);
+        c.set_pressure(true, 1.0);
+        for _ in 0..4 {
+            feed(&mut c, 0, TaskOutcome::PrunedDropped, 4);
+            feed(&mut c, 1, TaskOutcome::CompletedOnTime, 6);
+            feed(&mut c, 2, TaskOutcome::CompletedOnTime, 6);
+        }
+        assert!(
+            c.drop_threshold_for(TaskTypeId(0)) < c.drop_threshold_for(TaskTypeId(1)),
+            "a pruned-away class accumulates relief"
+        );
+    }
+
+    #[test]
+    fn relief_is_capped_and_decays() {
+        let mut c = controller(16);
+        c.set_pressure(true, 1.0);
+        for _ in 0..20 {
+            feed(&mut c, 0, TaskOutcome::ExpiredUnstarted, 4);
+            feed(&mut c, 1, TaskOutcome::CompletedOnTime, 12);
+        }
+        let floor = c.drop_threshold_for(TaskTypeId(0));
+        assert!(floor >= c.config().drop_min - 1e-12);
+        // Class 0 recovers: relief drains away again.
+        for _ in 0..20 {
+            feed(&mut c, 0, TaskOutcome::CompletedOnTime, 4);
+            feed(&mut c, 1, TaskOutcome::CompletedOnTime, 12);
+        }
+        assert!(c.drop_threshold_for(TaskTypeId(0)) >= floor);
+        assert!(
+            (c.drop_threshold_for(TaskTypeId(0)) - c.drop_threshold_for(TaskTypeId(1))).abs()
+                < 1e-12,
+            "recovered class returns to the shared thresholds"
+        );
+    }
+
+    #[test]
+    fn thresholds_stay_inside_clamps_and_ordered() {
+        let mut c = controller(4);
+        c.set_pressure(true, 1.0);
+        // Hammer it with pathological windows in both directions.
+        for _ in 0..50 {
+            feed(&mut c, 0, TaskOutcome::ExpiredExecuting, 4);
+        }
+        for tt in 0..3u16 {
+            let drop = c.drop_threshold_for(TaskTypeId(tt));
+            let defer = c.defer_threshold_for(TaskTypeId(tt));
+            assert!((c.config().drop_min..=c.config().drop_max).contains(&drop));
+            assert!(
+                (c.config().defer_min..=c.config().defer_max).contains(&defer) || defer == drop
+            );
+            assert!(defer >= drop, "§V-B2 invariant must survive adaptation");
+        }
+        for _ in 0..50 {
+            feed(&mut c, 0, TaskOutcome::ExpiredUnstarted, 4);
+        }
+        for tt in 0..3u16 {
+            assert!(c.defer_threshold_for(TaskTypeId(tt)) >= c.drop_threshold_for(TaskTypeId(tt)));
+        }
+    }
+
+    #[test]
+    fn pressure_boost_is_immediate_and_reversible() {
+        // Non-neutral feed-forward schedule: +0.20 while engaged, −0.10
+        // while calm (the defaults are neutral; the mechanism is not).
+        let config = AdaptiveConfig {
+            window: 8,
+            pressure_boost: 0.20,
+            calm_relax: 0.10,
+            ..Default::default()
+        };
+        let mut c = AdaptiveController::new(config, 3, 0.50, 0.90);
+        assert!(!c.set_pressure(false, 0.0), "no flip: nothing changed");
+        assert!(c.set_pressure(true, 1.0), "engage flips");
+        let boosted = c.drop_threshold_for(TaskTypeId(0));
+        assert!(
+            (boosted - (0.50 + 0.20)).abs() < 1e-12,
+            "boost applies with zero windowed outcomes: {boosted}"
+        );
+        assert!(c.defer_threshold_for(TaskTypeId(0)) > 0.90);
+        assert!(!c.set_pressure(true, 1.0), "steady state: no flip");
+        assert!(c.set_pressure(false, 0.0), "disengage flips");
+        assert!((c.drop_threshold_for(TaskTypeId(0)) - (0.50 - 0.10)).abs() < 1e-12);
+        assert!((c.defer_threshold_for(TaskTypeId(0)) - (0.90 - 0.10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relax_requires_sustained_deep_calm() {
+        let mut c = controller(8);
+        let relax = c.config().calm_relax;
+        // Fresh controller: deep calm, relaxed below base.
+        assert!((c.drop_threshold_for(TaskTypeId(0)) - (0.50 - relax)).abs() < 1e-12);
+        // Detector level climbs (toggle still off — a gradual ramp):
+        // the slow average crosses the exit bound and the relaxation is
+        // withdrawn even though pressure never engaged.
+        for _ in 0..8 {
+            c.set_pressure(false, 1.0);
+        }
+        assert!(
+            (c.drop_threshold_for(TaskTypeId(0)) - 0.50).abs() < 1e-12,
+            "transitional band holds base"
+        );
+        // One quiet event is not enough to relax again…
+        c.set_pressure(false, 0.0);
+        assert!((c.drop_threshold_for(TaskTypeId(0)) - 0.50).abs() < 1e-12);
+        // …but sustained quiet is.
+        for _ in 0..20 {
+            c.set_pressure(false, 0.0);
+        }
+        assert!((c.drop_threshold_for(TaskTypeId(0)) - (0.50 - relax)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_roundtrip_is_exact() {
+        let mut c = controller(8);
+        feed(&mut c, 0, TaskOutcome::ExpiredUnstarted, 5);
+        feed(&mut c, 1, TaskOutcome::CompletedOnTime, 6);
+        feed(&mut c, 2, TaskOutcome::PrunedDropped, 3);
+        c.set_pressure(true, 1.0);
+        // Mid-window on purpose: partial counters must survive too.
+        let bytes = c.state_bytes();
+        let mut restored = controller(8);
+        restored.restore_state(&bytes);
+        assert_eq!(c, restored);
+        // And the trajectories stay identical afterwards.
+        feed(&mut c, 0, TaskOutcome::ExpiredExecuting, 10);
+        feed(&mut restored, 0, TaskOutcome::ExpiredExecuting, 10);
+        assert_eq!(c, restored);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        AdaptiveConfig { window: 0, ..Default::default() }.validate();
+    }
+}

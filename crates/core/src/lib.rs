@@ -17,6 +17,10 @@
 //! * [`Pam`] / [`Pam::with_fairness`] — the two-phase pruning-aware mapper
 //!   (§V-D) and its fairness-aware extension PAMF built on per-type
 //!   sufferage values ([`SufferageTable`]).
+//! * [`AdaptiveController`] — closed-loop per-class threshold adaptation:
+//!   a sliding window of terminal outcomes steers the drop/defer
+//!   thresholds mid-run (enabled via [`PruningConfig::adaptive`], subsumes
+//!   the sufferage fairness knob).
 //! * [`ScalarMapper`] — MM / MSD / MMU baselines.
 //! * [`Moc`] — the Max On-time Completions baseline of [Salehi et al.,
 //!   JPDC 2016] with its 30 % culling threshold and top-3 permutation
@@ -54,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod baselines;
 pub mod chain;
 mod factory;
@@ -64,6 +69,7 @@ mod pruner;
 pub mod scalar;
 mod scorer;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController};
 pub use baselines::{Phase2Rule, ScalarMapper};
 pub use factory::HeuristicKind;
 pub use fairness::SufferageTable;

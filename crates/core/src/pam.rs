@@ -22,10 +22,11 @@
 //! pruning thresholds for that type, shielding it from starvation at a
 //! small cost in overall robustness (Fig. 6).
 
+use crate::adaptive::AdaptiveController;
 use crate::fairness::SufferageTable;
 use crate::pruner::{OversubscriptionDetector, Pruner, PruningConfig};
 use crate::scorer::{PairScore, ProbScorer, ScoreTable};
-use hcsim_model::{MachineId, Task, TaskId, TaskTypeId};
+use hcsim_model::{MachineId, Task, TaskId, TaskOutcome, TaskTypeId};
 use hcsim_pmf::{queue_step, Pmf};
 use hcsim_sim::{MapContext, Mapper, MapperInstrumentation};
 
@@ -40,6 +41,10 @@ pub struct Pam {
     /// incrementally between assignments.
     table: ScoreTable,
     sufferage: Option<SufferageTable>,
+    /// Online threshold controller ([`PruningConfig::adaptive`]); its
+    /// per-class thresholds replace both the static thresholds and the
+    /// sufferage relaxation while present.
+    adaptive: Option<AdaptiveController>,
     name: &'static str,
     instr: MapperInstrumentation,
 }
@@ -56,6 +61,7 @@ impl Pam {
             scorer: None,
             table: ScoreTable::new(),
             sufferage: None,
+            adaptive: None,
             name: "PAM",
             instr: MapperInstrumentation::default(),
         }
@@ -92,7 +98,16 @@ impl Pam {
         self.name == "PAMF"
     }
 
+    /// The adaptive controller, when threshold adaptation is on.
+    #[must_use]
+    pub fn adaptive(&self) -> Option<&AdaptiveController> {
+        self.adaptive.as_ref()
+    }
+
     fn defer_threshold_for(&self, tt: TaskTypeId) -> f64 {
+        if let Some(a) = &self.adaptive {
+            return a.defer_threshold_for(tt);
+        }
         match &self.sufferage {
             Some(s) => s.relax(tt, self.config.defer_threshold),
             None => self.config.defer_threshold,
@@ -116,7 +131,18 @@ impl Mapper for Pam {
                 self.config.impulse_budget,
             ));
         }
-        if self.is_fair() && self.sufferage.is_none() {
+        if let Some(acfg) = self.config.adaptive {
+            // Adaptation subsumes the sufferage knob: per-class relief
+            // plays its role, so the static table is never built.
+            if self.adaptive.is_none() {
+                self.adaptive = Some(AdaptiveController::new(
+                    acfg,
+                    ctx.spec().num_task_types(),
+                    self.config.drop_threshold,
+                    self.config.defer_threshold,
+                ));
+            }
+        } else if self.is_fair() && self.sufferage.is_none() {
             self.sufferage =
                 Some(SufferageTable::new(ctx.spec().num_task_types(), self.config.fairness_factor));
         }
@@ -141,13 +167,28 @@ impl Mapper for Pam {
         if self.detector.dropping_engaged() != was_engaged {
             self.instr.toggle_transitions += 1;
         }
+        // Feed-forward: the detector leads the outcome window by the width
+        // of a task lifetime, so the controller learns about a storm here,
+        // not when its casualties finish. A flip moves both thresholds at
+        // once — cached score bounds are stale.
+        if let Some(a) = &mut self.adaptive {
+            let ratio = self.detector.level() / self.config.toggle_on.max(f64::MIN_POSITIVE);
+            if a.set_pressure(self.detector.dropping_engaged(), ratio) {
+                self.table.invalidate();
+            }
+            if a.deep_calm() {
+                self.instr.events_deep_calm += 1;
+            }
+        }
         if self.detector.dropping_engaged() {
             self.instr.events_dropping_engaged += 1;
+            let adaptive = &self.adaptive;
             let sufferage = &self.sufferage;
             let drop_base = self.config.drop_threshold;
-            let threshold_for = move |tt: TaskTypeId| match sufferage {
-                Some(s) => s.relax(tt, drop_base),
-                None => drop_base,
+            let threshold_for = move |tt: TaskTypeId| match (adaptive, sufferage) {
+                (Some(a), _) => a.drop_threshold_for(tt),
+                (None, Some(s)) => s.relax(tt, drop_base),
+                (None, None) => drop_base,
             };
             self.instr.pruner_drops +=
                 self.pruner.drop_pass(ctx, &mut scorer, &threshold_for) as u64;
@@ -161,13 +202,15 @@ impl Mapper for Pam {
         // row when a batch task slides into the window). Every score the
         // reduction reads is bit-identical to what per-pair rescoring
         // would produce, so decisions are unchanged.
+        let adaptive = &self.adaptive;
         let sufferage = &self.sufferage;
         let defer_base = self.config.defer_threshold;
         // Same thresholds the reduction applies below — a row skipped by
         // the bound pass is exactly a row the reduction would defer.
-        let skip_below = move |tt: TaskTypeId| match sufferage {
-            Some(s) => s.relax(tt, defer_base),
-            None => defer_base,
+        let skip_below = move |tt: TaskTypeId| match (adaptive, sufferage) {
+            (Some(a), _) => a.defer_threshold_for(tt),
+            (None, Some(s)) => s.relax(tt, defer_base),
+            (None, None) => defer_base,
         };
         let mut table = std::mem::take(&mut self.table);
         let mut table_fresh = false;
@@ -252,12 +295,17 @@ impl Mapper for Pam {
         self.scorer = Some(scorer);
     }
 
-    fn on_task_finished(&mut self, task: &Task, success: bool) {
-        if let Some(s) = &mut self.sufferage {
-            s.on_task_finished(task.type_id, success);
-            // Sufferage drift moves PAMF's skip thresholds between events;
+    fn on_task_finished(&mut self, task: &Task, outcome: TaskOutcome) {
+        if let Some(a) = &mut self.adaptive {
+            // Threshold drift moves the skip thresholds between events;
             // same-tick reuse only rechecks bounds that a *machine* change
-            // loosened, so a threshold change forces a full rebuild.
+            // loosened, so a window-boundary adjustment forces a rebuild.
+            if a.observe(task.type_id, outcome) {
+                self.table.invalidate();
+            }
+        } else if let Some(s) = &mut self.sufferage {
+            s.on_task_finished(task.type_id, outcome.is_success());
+            // Same reasoning for sufferage drift.
             self.table.invalidate();
         }
     }
@@ -268,10 +316,11 @@ impl Mapper for Pam {
 
     fn snapshot_state(&self) -> Vec<u8> {
         // History-dependent state only: detector level/toggle, sufferage
-        // vector, instrumentation counters. The scorer and score table are
-        // pure caches — decision-identical when rebuilt cold — so they are
-        // deliberately not captured (only `table_reuses` may then diverge
-        // after a restore, and it feeds no report field).
+        // vector, instrumentation counters, adaptive-controller state. The
+        // scorer and score table are pure caches — decision-identical when
+        // rebuilt cold — so they are deliberately not captured (only
+        // `table_reuses` may then diverge after a restore, and it feeds no
+        // report field).
         let mut buf = Vec::with_capacity(96);
         buf.extend_from_slice(&PAM_BLOB_VERSION.to_le_bytes());
         buf.extend_from_slice(&self.detector.level().to_bits().to_le_bytes());
@@ -296,6 +345,19 @@ impl Mapper for Pam {
         ] {
             buf.extend_from_slice(&counter.to_le_bytes());
         }
+        // v2 appendix: the deep-calm occupancy counter plus the adaptive
+        // controller's dynamic state. v1 blobs simply end after the six
+        // counters above, which `restore_state` still accepts.
+        buf.extend_from_slice(&self.instr.events_deep_calm.to_le_bytes());
+        match &self.adaptive {
+            Some(a) => {
+                buf.push(1);
+                let state = a.state_bytes();
+                buf.extend_from_slice(&(state.len() as u64).to_le_bytes());
+                buf.extend_from_slice(&state);
+            }
+            None => buf.push(0),
+        }
         buf
     }
 
@@ -307,7 +369,10 @@ impl Mapper for Pam {
         }
         let mut r = BlobReader { buf: bytes, pos: 0 };
         let version = u32::from_le_bytes(r.take(4).try_into().expect("4 bytes"));
-        assert_eq!(version, PAM_BLOB_VERSION, "unsupported PAM state blob version {version}");
+        assert!(
+            (1..=PAM_BLOB_VERSION).contains(&version),
+            "unsupported PAM state blob version {version}"
+        );
         let level = f64::from_bits(r.u64());
         let engaged = r.u8() != 0;
         self.detector.restore(level, engaged);
@@ -326,6 +391,30 @@ impl Mapper for Pam {
         self.instr.pruner_drops = r.u64();
         self.instr.preemptions = r.u64();
         self.instr.table_reuses = r.u64();
+        // v1 blobs (from checkpoints taken before the adaptive controller
+        // existed) end here; the controller then starts fresh at the next
+        // mapping event, exactly as a pre-adaptation run would.
+        self.adaptive = None;
+        self.instr.events_deep_calm = 0;
+        if version >= 2 {
+            self.instr.events_deep_calm = r.u64();
+            match r.u8() {
+                0 => {}
+                1 => {
+                    let n = usize::try_from(r.u64()).expect("adaptive state length");
+                    let acfg = self.config.adaptive.unwrap_or_default();
+                    let mut controller = AdaptiveController::new(
+                        acfg,
+                        0, // class table is overwritten by the state below
+                        self.config.drop_threshold,
+                        self.config.defer_threshold,
+                    );
+                    controller.restore_state(r.take(n));
+                    self.adaptive = Some(controller);
+                }
+                other => panic!("corrupt PAM state blob: adaptive flag {other}"),
+            }
+        }
         assert_eq!(r.pos, bytes.len(), "corrupt PAM state blob: trailing bytes");
         // The score table belongs to the pre-snapshot event stream.
         self.table.invalidate();
@@ -338,8 +427,10 @@ impl Mapper for Pam {
     }
 }
 
-/// Format version of the PAM `snapshot_state` blob.
-const PAM_BLOB_VERSION: u32 = 1;
+/// Format version of the PAM `snapshot_state` blob. v2 appends the
+/// adaptive-controller section; v1 blobs are still restorable (the
+/// controller then starts fresh).
+const PAM_BLOB_VERSION: u32 = 2;
 
 /// Minimal cursor for decoding the PAM state blob (panics on truncation —
 /// the blob never leaves the snapshot the engine already validated).
@@ -575,8 +666,10 @@ mod tests {
         // state), restored into a *fresh* mapper and an unrelated-seed rng,
         // must finish with a byte-for-byte identical report. Heavy
         // oversubscription so the detector has engaged and (for PAMF)
-        // sufferage values have drifted by the snapshot point.
-        for kind in ["PAM", "PAMF"] {
+        // sufferage values have drifted by the snapshot point. The
+        // ADAPTIVE variant additionally requires the controller's window
+        // counters, deltas, and per-class relief to survive the blob.
+        for kind in ["PAM", "PAMF", "ADAPTIVE"] {
             let seeds = SeedSequence::new(77);
             let spec = specint_system(6, &mut seeds.stream(0));
             let gen = WorkloadGenerator::new(WorkloadConfig {
@@ -588,6 +681,10 @@ mod tests {
             let config = SimConfig { trim: 25, ..SimConfig::default() };
             let make_mapper = || match kind {
                 "PAM" => Pam::new(PruningConfig::default()),
+                "ADAPTIVE" => Pam::new(PruningConfig {
+                    adaptive: Some(crate::AdaptiveConfig::default()),
+                    ..PruningConfig::default()
+                }),
                 _ => Pam::with_fairness(PruningConfig::default()),
             };
 
@@ -639,6 +736,65 @@ mod tests {
                 "{kind} resumed run diverged from the uninterrupted baseline"
             );
         }
+    }
+
+    #[test]
+    fn v1_blob_still_restores() {
+        // Checkpoints written before the adaptive controller existed carry
+        // a version-1 blob that simply ends after the instrumentation
+        // counters. Restoring one must succeed, leaving the controller
+        // unset so it starts fresh at the next mapping event.
+        let pam = Pam::new(PruningConfig::default());
+        let v2 = pam.snapshot_state();
+        // A fresh PAM has no adaptive state: the v2 blob is exactly the v1
+        // payload plus the deep-calm counter (u64) and the trailing
+        // presence flag (0).
+        assert_eq!(*v2.last().unwrap(), 0, "fresh PAM must have no adaptive section");
+        let mut v1 = v2.clone();
+        v1.truncate(v2.len() - 9);
+        v1[..4].copy_from_slice(&1u32.to_le_bytes());
+
+        let mut restored = Pam::new(PruningConfig {
+            adaptive: Some(crate::AdaptiveConfig::default()),
+            ..PruningConfig::default()
+        });
+        restored.restore_state(&v1);
+        assert!(restored.adaptive().is_none(), "v1 blob cannot carry controller state");
+    }
+
+    #[test]
+    fn adaptive_state_survives_blob_roundtrip() {
+        // Drive an adaptive PAM through an oversubscribed run so the
+        // controller has adjusted at least once, then round-trip its state
+        // through the v2 blob into a fresh mapper.
+        let seeds = SeedSequence::new(88);
+        let spec = specint_system(6, &mut seeds.stream(0));
+        let gen = WorkloadGenerator::new(WorkloadConfig {
+            num_tasks: 250,
+            oversubscription: 34_000.0,
+            ..Default::default()
+        });
+        let tasks = gen.generate(&spec, &mut seeds.stream(1));
+        let cfg = PruningConfig {
+            adaptive: Some(crate::AdaptiveConfig::default()),
+            ..PruningConfig::default()
+        };
+        let mut mapper = Pam::new(cfg);
+        let mut rng = seeds.stream(2);
+        let _ = run_simulation(
+            &spec,
+            SimConfig { trim: 25, ..SimConfig::default() },
+            &tasks,
+            &mut mapper,
+            &mut rng,
+        );
+        let controller = mapper.adaptive().expect("controller must have been built").clone();
+        assert!(controller.adjustments() > 0, "250 tasks must cross at least one window");
+
+        let blob = mapper.snapshot_state();
+        let mut fresh = Pam::new(cfg);
+        fresh.restore_state(&blob);
+        assert_eq!(fresh.adaptive(), Some(&controller));
     }
 
     #[test]

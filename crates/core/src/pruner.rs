@@ -2,6 +2,7 @@
 //! detector with its Schmitt trigger, the Eq. 7 per-task drop-threshold
 //! adjustment, and the dropping pass over machine queues.
 
+use crate::adaptive::AdaptiveConfig;
 use crate::scorer::ProbScorer;
 use hcsim_model::{MachineId, TaskTypeId};
 use hcsim_parallel::FanoutBackend;
@@ -70,6 +71,17 @@ pub struct PruningConfig {
     /// construction (see [`crate::scorer::ScoreTable::ensure`]) — another
     /// pure performance knob, on by default.
     pub table_reuse: bool,
+    /// Close the threshold loop online: when set, PAM drives its dropping
+    /// and deferring thresholds through an
+    /// [`AdaptiveController`](crate::AdaptiveController) observing a
+    /// sliding window of terminal outcomes, with `drop_threshold` /
+    /// `defer_threshold` as the bases it modulates. The controller's
+    /// per-class thresholds subsume the sufferage fairness knob, so PAMF's
+    /// static table is bypassed while adaptation is on. `None` (the
+    /// default, preserving the published model and the seed goldens) keeps
+    /// the thresholds static. MOC's cull threshold is a candidate-filter
+    /// bound, not an outcome threshold, and stays static either way.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for PruningConfig {
@@ -90,6 +102,7 @@ impl Default for PruningConfig {
             threads: 0,
             backend: FanoutBackend::Auto,
             table_reuse: true,
+            adaptive: None,
         }
     }
 }
@@ -114,6 +127,9 @@ impl PruningConfig {
         assert!(self.impulse_budget >= 2, "impulse budget too small");
         assert!(self.batch_window >= 1, "batch window must be positive");
         assert!((0.0..=1.0).contains(&self.fairness_factor), "fairness factor in [0,1]");
+        if let Some(a) = &self.adaptive {
+            a.validate();
+        }
     }
 }
 
@@ -333,6 +349,7 @@ mod tests {
         assert!((c.lambda - 0.9).abs() < 1e-12);
         assert!((c.toggle_on - 1.0).abs() < 1e-12);
         assert!(c.schmitt);
+        assert!(c.adaptive.is_none(), "threshold adaptation is opt-in");
     }
 
     #[test]

@@ -756,15 +756,19 @@ impl ProbScorer {
         }
     }
 
-    /// Scores appending `task` to `machine`'s queue.
+    /// Scores appending `task` to `machine`'s queue. A machine with an
+    /// announced departure scores against `min(δ, departs_at)` — the
+    /// churn-aware bias that steers phase 2 away from soon-to-leave
+    /// machines (see [`effective_deadline`]).
     pub fn score(&mut self, machine: &MachineState, task: &Task) -> PairScore {
         let Self { shared, pet, now, cells, .. } = self;
+        let deadline = effective_deadline(task.deadline, machine.announced_departure());
         cells.with(machine.id().index(), |cell| {
             cell.ensure(shared, *now, machine, pet, false);
             score_against(
                 cell.cache.tail(),
                 shared.cdf(task.type_id, machine.id()),
-                task.deadline,
+                deadline,
                 shared.policy,
             )
         })
@@ -913,7 +917,14 @@ impl ProbScorer {
                         return;
                     }
                     let live = &live[i / TABLE_SHARD_WIDTH];
-                    score_column_scatter(cache.tail(), &shared, machine.id(), live, col);
+                    score_column_scatter(
+                        cache.tail(),
+                        &shared,
+                        machine.id(),
+                        machine.announced_departure(),
+                        live,
+                        col,
+                    );
                 });
                 // Index-ordered merge: swap each worker-filled column into
                 // the table (and recycle the table's old buffer as the
@@ -931,7 +942,14 @@ impl ProbScorer {
                     }
                     let live = &live_by_shard[i / TABLE_SHARD_WIDTH];
                     pool.with_cell(i, |cell| {
-                        score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
+                        score_column_scatter(
+                            cell.cache.tail(),
+                            shared,
+                            machine.id(),
+                            machine.announced_departure(),
+                            live,
+                            col,
+                        );
                     });
                 }
             }
@@ -960,6 +978,7 @@ impl ProbScorer {
                         job.cell.cache.tail(),
                         shared,
                         job.machine.id(),
+                        job.machine.announced_departure(),
                         live,
                         job.col,
                     );
@@ -1480,7 +1499,14 @@ impl ScoreTable {
         let ProbScorer { shared, pet, now, cells, .. } = scorer;
         cells.with(m, |cell| {
             cell.ensure(shared, *now, machine, pet, false);
-            score_column_scatter(cell.cache.tail(), shared, machine.id(), live, col);
+            score_column_scatter(
+                cell.cache.tail(),
+                shared,
+                machine.id(),
+                machine.announced_departure(),
+                live,
+                col,
+            );
         });
     }
 
@@ -1670,6 +1696,21 @@ fn robustness_bound(earliest: Time, cdf: &PetCdf, deadline: Time) -> f64 {
     }
 }
 
+/// Effective scoring deadline on one machine: a task on a machine with an
+/// announced departure cannot be counted on past the departure instant —
+/// a drain stops the queue, a fail requeues it — so its robustness is
+/// computed against `min(δ, departs_at)`. Machines without an
+/// announcement score against the plain deadline. The bound pass keeps
+/// the unclamped deadline: clamping only *lowers* robustness, so the
+/// unclamped bound stays a valid upper bound.
+#[inline]
+fn effective_deadline(deadline: Time, cap: Option<Time>) -> Time {
+    match cap {
+        Some(departs_at) => deadline.min(departs_at),
+        None => deadline,
+    }
+}
+
 /// Fills one machine column of a [`ScoreTable`] for the bound-surviving
 /// `(row, task)` pairs, every task scored against the same tail. Tasks
 /// are processed four at a time — one shared walk over the tail drives
@@ -1678,18 +1719,20 @@ fn robustness_bound(earliest: Time, cdf: &PetCdf, deadline: Time) -> f64 {
 /// dependency chains instead of one. Each lane performs exactly the
 /// per-task walk of [`score_against`] (same impulse order, same CDF
 /// values, same float operations), so the column is bit-identical to
-/// per-pair scoring; the remainder lanes literally call it.
+/// per-pair scoring; the remainder lanes literally call it. `cap` is the
+/// machine's announced departure (see [`effective_deadline`]).
 fn score_column_scatter(
     tail: &Pmf,
     shared: &ScorerShared,
     machine: MachineId,
+    cap: Option<Time>,
     live: &[(usize, Task)],
     col: &mut [Option<PairScore>],
 ) {
     let mut quads = live.chunks_exact(4);
     for quad in &mut quads {
         let tasks = [quad[0].1, quad[1].1, quad[2].1, quad[3].1];
-        let scores = score_quad(tail, shared, machine, &tasks);
+        let scores = score_quad(tail, shared, machine, cap, &tasks);
         for (&(row, _), score) in quad.iter().zip(scores) {
             col[row] = Some(score);
         }
@@ -1698,7 +1741,7 @@ fn score_column_scatter(
         col[row] = Some(score_against(
             tail,
             shared.cdf(task.type_id, machine),
-            task.deadline,
+            effective_deadline(task.deadline, cap),
             shared.policy,
         ));
     }
@@ -1711,6 +1754,7 @@ fn score_quad(
     tail: &Pmf,
     shared: &ScorerShared,
     machine: MachineId,
+    cap: Option<Time>,
     quad: &[Task],
 ) -> [PairScore; 4] {
     let cdfs = [
@@ -1719,7 +1763,12 @@ fn score_quad(
         shared.cdf(quad[2].type_id, machine),
         shared.cdf(quad[3].type_id, machine),
     ];
-    let deadlines = [quad[0].deadline, quad[1].deadline, quad[2].deadline, quad[3].deadline];
+    let deadlines = [
+        effective_deadline(quad[0].deadline, cap),
+        effective_deadline(quad[1].deadline, cap),
+        effective_deadline(quad[2].deadline, cap),
+        effective_deadline(quad[3].deadline, cap),
+    ];
     if shared.policy == DropPolicy::None {
         return [0, 1, 2, 3].map(|l| score_against(tail, cdfs[l], deadlines[l], shared.policy));
     }

@@ -27,7 +27,9 @@
 //! the same pinned constants, which is what proves all modes agree even
 //! if one leg's in-test comparison is degenerate.
 
-use hcsim_core::{FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
+use hcsim_core::{
+    AdaptiveConfig, FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES,
+};
 use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig, SimReport};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{
@@ -133,6 +135,90 @@ fn churn_cases() -> u32 {
     }
 }
 
+/// Proptest case count for the adaptive-controller invariance proptests;
+/// the CI adaptive leg (`HCSIM_TEST_ADAPTIVE=1`) runs a deeper sweep.
+fn adaptive_cases() -> u32 {
+    if std::env::var("HCSIM_TEST_ADAPTIVE").as_deref() == Ok("1") {
+        8
+    } else {
+        3
+    }
+}
+
+/// [`cluster_trial`] with the closed-loop controller steering thresholds.
+/// The controller's observations (windowed outcomes, pressure detector)
+/// are fed from mapper-visible events only, so its trims must be
+/// identical across execution modes — any fan-out ordering leak would
+/// change a threshold mid-run and fork the whole trajectory.
+fn adaptive_cluster_trial(
+    machines: usize,
+    num_tasks: usize,
+    oversubscription: f64,
+    seed: u64,
+    threads: usize,
+    backend: FanoutBackend,
+) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks,
+        oversubscription,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let mut mapper = HeuristicKind::Pam.build(PruningConfig {
+        threads,
+        backend,
+        adaptive: Some(AdaptiveConfig::default()),
+        ..PruningConfig::default()
+    });
+    let mut rng = seeds.stream(2);
+    run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng)
+}
+
+/// [`churn_cluster_trial`] with the controller on AND failure-requeued
+/// tasks carrying completed progress (`carry_progress`). Covers the
+/// migration semantics end to end: residual-PMF scoring of carried
+/// tasks, progress-aware restarts, and the adaptive trims reacting to
+/// requeue outcomes — all of which must agree across execution modes.
+fn adaptive_carry_churn_trial(
+    machines: usize,
+    num_tasks: usize,
+    oversubscription: f64,
+    seed: u64,
+    threads: usize,
+    backend: FanoutBackend,
+) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
+    let gen = WorkloadGenerator::new(WorkloadConfig {
+        num_tasks,
+        oversubscription,
+        ..Default::default()
+    });
+    let tasks = gen.generate(&spec, &mut seeds.stream(1));
+    let churn = cluster_churn(
+        &ChurnConfig {
+            num_machines: machines,
+            initial_absent: machines / 4,
+            drains: 3,
+            fails: 3,
+            span: (num_tasks as u64) * 2,
+            min_active: machines / 2,
+        },
+        &mut seeds.stream(3),
+    );
+    let mut mapper = HeuristicKind::Pam.build(PruningConfig {
+        threads,
+        backend,
+        adaptive: Some(AdaptiveConfig::default()),
+        ..PruningConfig::default()
+    });
+    let mut rng = seeds.stream(2);
+    let config = SimConfig { carry_progress: true, ..SimConfig::untrimmed() };
+    run_simulation_with_churn(&spec, config, &tasks, &churn, &mut mapper, &mut rng)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
@@ -209,6 +295,52 @@ proptest! {
         prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
         // Membership bookkeeping is decided before execution-mode
         // choices, so it must agree byte-for-byte too.
+        prop_assert_eq!(seq.churn, pool.churn);
+        prop_assert_eq!(seq.epochs, pool.epochs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: adaptive_cases(), ..ProptestConfig::default() })]
+
+    /// PAM with the closed-loop controller on: the controller's windowed
+    /// observations and pressure detector are part of the mapper state,
+    /// so its threshold trims — and the full report they shape — must be
+    /// bit-identical across all four execution modes. `HCSIM_TEST_ADAPTIVE=1`
+    /// (the CI adaptive leg) widens the seed sweep.
+    #[test]
+    fn adaptive_reports_are_execution_mode_invariant(seed in 0u64..10_000) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let t = test_threads();
+        let seq = adaptive_cluster_trial(machines, 160, 110_000.0, seed, 1, FanoutBackend::Scoped);
+        let scoped = adaptive_cluster_trial(machines, 160, 110_000.0, seed, t, FanoutBackend::Scoped);
+        let pool = adaptive_cluster_trial(machines, 160, 110_000.0, seed, t, FanoutBackend::Pool);
+        let steal =
+            adaptive_cluster_trial(machines, 160, 110_000.0, seed, t, FanoutBackend::Stealing);
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
+    }
+
+    /// Controller on, churn landing mid-run, and failure-requeued tasks
+    /// carrying completed progress: the requeued-with-progress tasks (and
+    /// the residual-PMF scoring they get) must be identical across all
+    /// four execution modes, byte for byte.
+    #[test]
+    fn adaptive_carry_churn_reports_are_execution_mode_invariant(seed in 0u64..10_000) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let t = test_threads();
+        let seq =
+            adaptive_carry_churn_trial(machines, 160, 110_000.0, seed, 1, FanoutBackend::Scoped);
+        let scoped =
+            adaptive_carry_churn_trial(machines, 160, 110_000.0, seed, t, FanoutBackend::Scoped);
+        let pool =
+            adaptive_carry_churn_trial(machines, 160, 110_000.0, seed, t, FanoutBackend::Pool);
+        let steal =
+            adaptive_carry_churn_trial(machines, 160, 110_000.0, seed, t, FanoutBackend::Stealing);
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
         prop_assert_eq!(seq.churn, pool.churn);
         prop_assert_eq!(seq.epochs, pool.epochs);
     }

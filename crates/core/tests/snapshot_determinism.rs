@@ -22,7 +22,9 @@
 //! `parallel_determinism.rs` — restore may not drift even if both sides
 //! of an equality comparison drift together.
 
-use hcsim_core::{FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES};
+use hcsim_core::{
+    AdaptiveConfig, FanoutBackend, HeuristicKind, PruningConfig, PARALLEL_MIN_MACHINES,
+};
 use hcsim_sim::{ChurnSource, EventSource, SimConfig, SimReport, SimSession, TaskTraceSource};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{
@@ -72,6 +74,34 @@ fn session_trial(
     backend: FanoutBackend,
     snapshot_at: Option<usize>,
 ) -> SimReport {
+    let pruning = PruningConfig { threads, backend, ..PruningConfig::default() };
+    session_trial_with(
+        kind,
+        pruning,
+        SimConfig::untrimmed(),
+        machines,
+        num_tasks,
+        oversubscription,
+        seed,
+        snapshot_at,
+    )
+}
+
+/// [`session_trial`] with the mapper and sim configs fully caller-chosen
+/// (the adaptive-controller trial needs `adaptive` on and
+/// `carry_progress` set so failure-requeued tasks carry progress through
+/// the snapshot).
+#[allow(clippy::too_many_arguments)]
+fn session_trial_with(
+    kind: HeuristicKind,
+    config: PruningConfig,
+    sim: SimConfig,
+    machines: usize,
+    num_tasks: usize,
+    oversubscription: f64,
+    seed: u64,
+    snapshot_at: Option<usize>,
+) -> SimReport {
     let seeds = SeedSequence::new(seed);
     let spec = specint_cluster(machines, 6, &mut seeds.stream(0));
     let gen = WorkloadGenerator::new(WorkloadConfig {
@@ -91,14 +121,12 @@ fn session_trial(
         },
         &mut seeds.stream(3),
     );
-    let config = PruningConfig { threads, backend, ..PruningConfig::default() };
     let mut mapper = kind.build(config);
     let mut rng = seeds.stream(2);
     let mut task_source = TaskTraceSource::new(&tasks);
     let mut churn_source = ChurnSource::new(&churn);
     let mut sources: Vec<&mut dyn EventSource> = vec![&mut task_source, &mut churn_source];
-    let mut session =
-        SimSession::new(&spec, SimConfig::untrimmed(), &mut sources, &mut mapper, &mut rng);
+    let mut session = SimSession::new(&spec, sim, &mut sources, &mut mapper, &mut rng);
 
     let Some(steps) = snapshot_at else {
         return session.run_to_completion();
@@ -116,7 +144,7 @@ fn session_trial(
     // is garbage on purpose (restore overwrites its state).
     let mut mapper = kind.build(config);
     let mut rng = seeds.stream(9);
-    let session = SimSession::restore(&spec, SimConfig::untrimmed(), &bytes, &mut mapper, &mut rng)
+    let session = SimSession::restore(&spec, sim, &bytes, &mut mapper, &mut rng)
         .expect("inter-event-boundary snapshot must restore");
     session.run_to_completion()
 }
@@ -150,6 +178,31 @@ proptest! {
         // And the parallel leg agrees with the sequential leg, so the
         // snapshot path cannot hide an execution-mode divergence.
         prop_assert_eq!(fingerprint(&baseline), fingerprint(&par_resumed));
+    }
+
+    /// PAM with the closed-loop controller active AND failure-requeued
+    /// tasks carrying progress: the snapshot now includes the v2 blob
+    /// appendix (controller trims, step schedules, outcome window,
+    /// deep-calm counter) and the engine's carried-progress table, and a
+    /// restore at any step must still resume bit-identically.
+    #[test]
+    fn adaptive_snapshot_restore_is_bit_identical_at_any_step(
+        seed in 0u64..10_000,
+        snap_step in 0usize..600,
+    ) {
+        let machines = PARALLEL_MIN_MACHINES + 4;
+        let pruning = PruningConfig {
+            threads: test_threads(),
+            backend: test_backend(),
+            adaptive: Some(AdaptiveConfig::default()),
+            ..PruningConfig::default()
+        };
+        let sim = SimConfig { carry_progress: true, ..SimConfig::untrimmed() };
+        let baseline = session_trial_with(
+            HeuristicKind::Pam, pruning, sim, machines, 160, 110_000.0, seed, None);
+        let resumed = session_trial_with(
+            HeuristicKind::Pam, pruning, sim, machines, 160, 110_000.0, seed, Some(snap_step));
+        prop_assert_eq!(fingerprint(&baseline), fingerprint(&resumed));
     }
 
     /// MOC's mapper blob is empty (its state is pure caches); restore

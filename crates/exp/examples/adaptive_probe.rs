@@ -1,0 +1,51 @@
+//! Diagnostic: per-trace phase occupancy of the adaptive controller
+//! (engaged / deep-calm / transitional fractions plus toggle counts).
+//! Useful when retuning [`AdaptiveConfig`] — a healthy controller spends
+//! most of a non-stationary trace in deep calm, engages only during
+//! overload, and toggles a handful of times per trial.
+
+use hcsim_core::{AdaptiveConfig, HeuristicKind, PruningConfig};
+use hcsim_exp::figures::adaptive_traces;
+use hcsim_sim::{run_simulation, SimConfig};
+use hcsim_stats::SeedSequence;
+use hcsim_workload::{generate_nonstationary, specint_system};
+
+fn main() {
+    let trials = 40usize;
+    let num_tasks = 300usize;
+    let seeds = SeedSequence::new(2019);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    for (name, trace) in adaptive_traces(num_tasks) {
+        let mut events = 0u64;
+        let mut engaged = 0u64;
+        let mut deep = 0u64;
+        let mut toggles = 0u64;
+        let mut on_time = 0.0f64;
+        for trial in 0..trials {
+            let trial_seeds = seeds.child(400 + trial as u64);
+            let tasks = generate_nonstationary(&trace, &spec, &mut trial_seeds.stream(0));
+            let mut mapper = HeuristicKind::Pam.build(PruningConfig {
+                adaptive: Some(AdaptiveConfig::default()),
+                ..PruningConfig::default()
+            });
+            let mut rng = trial_seeds.stream(1);
+            let report = run_simulation(&spec, SimConfig::default(), &tasks, &mut mapper, &mut rng);
+            on_time += report.metrics.pct_on_time;
+            let instr = mapper.instrumentation().expect("PAM exposes instrumentation");
+            events += instr.mapping_events;
+            engaged += instr.events_dropping_engaged;
+            deep += instr.events_deep_calm;
+            toggles += instr.toggle_transitions;
+        }
+        let f = |n: u64| n as f64 / events as f64 * 100.0;
+        println!(
+            "{name:>14}: on_time {:.1}%  events {events}  engaged {:.1}%  deep_calm {:.1}%  \
+             transitional {:.1}%  toggles/trial {:.1}",
+            on_time / trials as f64,
+            f(engaged),
+            f(deep),
+            f(events - engaged - deep),
+            toggles as f64 / trials as f64,
+        );
+    }
+}

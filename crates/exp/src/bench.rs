@@ -35,7 +35,7 @@
 //! uniformly faster or slower.
 
 use crate::runner::FigOptions;
-use hcsim_core::{HeuristicKind, ProbScorer, PruningConfig};
+use hcsim_core::{AdaptiveConfig, HeuristicKind, ProbScorer, PruningConfig};
 use hcsim_model::{MachineId, SystemSpec, Task, TaskId, TaskTypeId};
 use hcsim_parallel::{parallel_for_each_mut, WorkerPool};
 use hcsim_pmf::{convolve, queue_step, DropPolicy, Pmf, Time};
@@ -54,6 +54,14 @@ use std::time::Instant;
 /// Factor by which an op must slow down versus its recorded baseline for
 /// `--check` to fail the run.
 pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Ceiling on the closed-loop controller's whole-trial cost relative to
+/// static PAM, gated under `--check`. The comparison is *within one run*
+/// (`trial_200t_34k/PAM_adaptive` vs `trial_200t_34k/PAM` best samples),
+/// so machine speed cancels out and the bound can be far tighter than
+/// [`REGRESSION_FACTOR`]: the controller is a few dozen arithmetic ops
+/// per mapping event against a full PMF-convolution scoring pass.
+pub const ADAPTIVE_OVERHEAD_FACTOR: f64 = 1.05;
 
 /// One benched operation.
 #[derive(Debug, Clone)]
@@ -375,7 +383,64 @@ pub fn mapping_suite(quick: bool) -> BenchSuite {
     });
     let tasks = gen.generate(&spec, &mut seeds.stream(1));
     let trial_timer = Timer { samples: if quick { 3 } else { 10 }, min_sample_ns: 0.0 };
-    for kind in [HeuristicKind::Pam, HeuristicKind::Moc, HeuristicKind::Mm] {
+
+    // PAM static vs PAM with the closed-loop controller, sampled
+    // *interleaved* (static, adaptive, static, ...) so frequency scaling
+    // and background load on shared runners hit both configs equally —
+    // block-at-a-time sampling drifts several percent between blocks,
+    // which would swamp the in-run [`ADAPTIVE_OVERHEAD_FACTOR`] gate
+    // pairing these two rows (adaptation must stay within 5% of static
+    // PAM's whole-trial cost). Each trial is ~10 ms, far past the
+    // batch-out-the-timer threshold, so single-iteration samples are
+    // sound.
+    {
+        let run_trial = |adaptive: Option<AdaptiveConfig>| -> u64 {
+            let mut mapper = HeuristicKind::Pam.build(PruningConfig {
+                threads: 4,
+                adaptive,
+                ..PruningConfig::default()
+            });
+            let mut rng = seeds.stream(2);
+            let report =
+                run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng);
+            std::hint::black_box(report.metrics.counted);
+            report.mapping_events
+        };
+        // Fixed sample count even in quick mode: the gate needs the best
+        // sample of each side to converge onto the clean (uninterrupted)
+        // run time, and min-of-3 on a shared runner is still several
+        // percent contaminated. 20 paired trials cost well under a
+        // second.
+        let paired_timer = Timer { samples: 20, min_sample_ns: 0.0 };
+        // Warm-up pass for each config (page-in, allocator steady state).
+        let mut stat_events = run_trial(None);
+        let mut adap_events = run_trial(Some(AdaptiveConfig::default()));
+        let mut stat_ns = Vec::with_capacity(paired_timer.samples);
+        let mut adap_ns = Vec::with_capacity(paired_timer.samples);
+        for _ in 0..paired_timer.samples {
+            let t = Instant::now();
+            stat_events = run_trial(None);
+            stat_ns.push(t.elapsed().as_nanos() as f64);
+            let t = Instant::now();
+            adap_events = run_trial(Some(AdaptiveConfig::default()));
+            adap_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        let fold = |ns: &[f64]| {
+            let min = ns.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = ns.iter().copied().fold(0.0f64, f64::max);
+            (ns.iter().sum::<f64>() / ns.len() as f64, min, max)
+        };
+        for (id, ns, events) in [
+            (format!("trial_{n_tasks}t_34k/PAM"), &stat_ns, stat_events),
+            (format!("trial_{n_tasks}t_34k/PAM_adaptive"), &adap_ns, adap_events),
+        ] {
+            let mut r = result(id, &paired_timer, fold(ns));
+            r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
+            results.push(r);
+        }
+    }
+
+    for kind in [HeuristicKind::Moc, HeuristicKind::Mm] {
         let mut events = 0u64;
         let timing = trial_timer.run(|| {
             let mut mapper = kind.build(PruningConfig { threads: 4, ..PruningConfig::default() });
@@ -905,6 +970,35 @@ pub fn attach_baseline(suite: &mut BenchSuite, dir: &Path) -> Option<Vec<String>
     Some(regressions)
 }
 
+/// Checks the in-run adaptive-vs-static pairing: the
+/// `trial_200t_34k/PAM_adaptive` best sample must stay within
+/// [`ADAPTIVE_OVERHEAD_FACTOR`] of `trial_200t_34k/PAM`'s. Returns the
+/// failure messages (empty when healthy); a suite missing either row —
+/// including the pmf suite — passes vacuously. Unlike the baseline gate
+/// this needs no committed JSON: both rows come from the same process on
+/// the same machine.
+#[must_use]
+pub fn adaptive_overhead_failures(suite: &BenchSuite) -> Vec<String> {
+    let find = |id: &str| suite.results.iter().find(|r| r.id == id);
+    let (Some(stat), Some(adap)) =
+        (find("trial_200t_34k/PAM"), find("trial_200t_34k/PAM_adaptive"))
+    else {
+        return Vec::new();
+    };
+    if adap.ns_min > stat.ns_min * ADAPTIVE_OVERHEAD_FACTOR {
+        vec![format!(
+            "{}: best sample {:.0} ns/op is {:.3}x static PAM's {:.0} ns/op \
+             (controller overhead bound is {ADAPTIVE_OVERHEAD_FACTOR}x)",
+            adap.id,
+            adap.ns_min,
+            adap.ns_min / stat.ns_min,
+            stat.ns_min
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
 /// Runs both suites, writes `BENCH_pmf.json` / `BENCH_mapping.json`, prints
 /// a summary, and returns `Err` with the regression list when `--check`
 /// failed.
@@ -946,6 +1040,7 @@ pub fn run_and_emit(opts: &BenchOptions) -> Result<(), Vec<String>> {
         eprintln!("  wrote {}", path.display());
         if opts.check {
             failures.extend(regressions);
+            failures.extend(adaptive_overhead_failures(&suite));
         }
     }
     if failures.is_empty() {
@@ -991,6 +1086,42 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert!((parsed["convolve/24x24"] - 1234.5).abs() < 1e-9);
         assert!((parsed["cdf_at/64"] - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_overhead_gate_is_in_run_and_paired() {
+        let mk = |id: &str, min: f64| BenchResult {
+            id: id.into(),
+            ns_per_op: min * 1.2,
+            ns_min: min,
+            ns_max: min * 2.0,
+            samples: 3,
+            events_per_sec: None,
+            baseline_ns_per_op: None,
+        };
+        // Missing either row (e.g. the pmf suite): vacuous pass.
+        let pmf = BenchSuite { name: "pmf", results: vec![mk("convolve/24x24", 100.0)] };
+        assert!(adaptive_overhead_failures(&pmf).is_empty());
+        // Within the 1.05x bound: pass, even though the *mean* is noisier.
+        let ok = BenchSuite {
+            name: "mapping",
+            results: vec![
+                mk("trial_200t_34k/PAM", 1000.0),
+                mk("trial_200t_34k/PAM_adaptive", 1049.0),
+            ],
+        };
+        assert!(adaptive_overhead_failures(&ok).is_empty());
+        // Past the bound: one failure naming the ratio.
+        let slow = BenchSuite {
+            name: "mapping",
+            results: vec![
+                mk("trial_200t_34k/PAM", 1000.0),
+                mk("trial_200t_34k/PAM_adaptive", 1100.0),
+            ],
+        };
+        let failures = adaptive_overhead_failures(&slow);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("1.100x"), "{failures:?}");
     }
 
     #[test]

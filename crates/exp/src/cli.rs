@@ -30,7 +30,7 @@ pub struct Cli {
 /// CLI usage text.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|service|ablate|bench|scaling> [options]
+    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|service|adaptive|ablate|bench|scaling> [options]
 
 figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           'levels' sweeps all heuristics over six oversubscription levels;

@@ -3,14 +3,15 @@
 
 use crate::report::Table;
 use crate::runner::{FigOptions, Scenario, SystemKind};
-use hcsim_core::{HeuristicKind, PruningConfig};
+use hcsim_core::{AdaptiveConfig, HeuristicKind, PruningConfig};
+use hcsim_model::Time;
 use hcsim_parallel::parallel_map;
 use hcsim_service::{run_with_recovery, FaultPlan, ServiceConfig};
 use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig};
 use hcsim_stats::{mean_ci95, ConfidenceInterval, SeedSequence};
 use hcsim_workload::{
-    cluster_churn, specint_cluster, specint_system, ArrivalSchedule, ChurnConfig, WorkloadConfig,
-    WorkloadGenerator,
+    cluster_churn, generate_nonstationary, specint_cluster, specint_system, ArrivalSchedule,
+    ChurnConfig, LoadPattern, NonStationaryConfig, WorkloadConfig, WorkloadGenerator,
 };
 
 fn ci(ci: &ConfidenceInterval) -> String {
@@ -541,6 +542,166 @@ pub fn service(opts: &FigOptions) -> Table {
     table
 }
 
+/// The static `(drop, defer)` pairs the adaptive controller is swept
+/// against: conservative, the paper default, and aggressive.
+pub const ADAPTIVE_STATICS: [(f64, f64); 3] = [(0.30, 0.70), (0.50, 0.90), (0.70, 0.95)];
+
+/// Non-stationary traces for the adaptive sweep, scaled to the actual
+/// arrival window of `num_tasks` at the 10k base intensity (~`span ·
+/// num_tasks / oversubscription` time units — the profile has to move
+/// *within* the trial, not after it ends). The tight 0.35 slack puts the
+/// calm phases in the admission-friendly regime and the storm phases in
+/// the shed-early regime, so no single static pair fits a whole trace.
+#[must_use]
+pub fn adaptive_traces(num_tasks: usize) -> Vec<(&'static str, NonStationaryConfig)> {
+    let base = WorkloadConfig {
+        num_tasks,
+        oversubscription: 10_000.0,
+        slack_beta: 0.35,
+        ..WorkloadConfig::default()
+    };
+    let window = (base.span as f64 * num_tasks as f64 / base.oversubscription) as Time;
+    vec![
+        (
+            "bursts",
+            NonStationaryConfig {
+                base,
+                // Two moderate bursts, each long enough (≳ a task
+                // lifetime) for the detector to engage mid-burst and the
+                // controller to act within it, with calm recovery gaps.
+                pattern: LoadPattern::Bursts { period: window / 2, duty: 0.3, peak: 3.0 },
+            },
+        ),
+        (
+            "diurnal",
+            NonStationaryConfig {
+                base,
+                // A gentle hump (1× → 3× → 1×): calm tails where the
+                // conservative pair wins, a mid-storm where the base pair
+                // does — the tracking problem, not a flood.
+                pattern: LoadPattern::DiurnalRamp { span: window, peak: 3.0 },
+            },
+        ),
+        (
+            "regime-switch",
+            NonStationaryConfig {
+                base,
+                // A long calm opening before a sustained 4× storm tail:
+                // equal task mass on the two sides, and a tail long enough
+                // that mid-storm adaptation matters (an instantaneous
+                // cliff shorter than one task lifetime would be over
+                // before any feedback signal exists).
+                pattern: LoadPattern::RegimeSwitch { regimes: vec![(window / 2, 4.0)] },
+            },
+        ),
+    ]
+}
+
+/// One trace's outcome in the adaptive sweep: mean on-time percentage
+/// under each static pair of [`ADAPTIVE_STATICS`] and under the
+/// closed-loop controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSweepRow {
+    /// Trace name ("bursts", "diurnal", "regime-switch").
+    pub trace: &'static str,
+    /// Mean on-time % per static pair, in [`ADAPTIVE_STATICS`] order.
+    pub statics: Vec<f64>,
+    /// Mean on-time % under the [`AdaptiveConfig`] default controller.
+    pub adaptive: f64,
+}
+
+impl AdaptiveSweepRow {
+    /// The best static pair's mean — the bar the controller must clear.
+    #[must_use]
+    pub fn best_static(&self) -> f64 {
+        self.statics.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Runs the adaptive sweep and returns the raw per-trace means (the
+/// acceptance data behind the [`adaptive`] table).
+#[must_use]
+pub fn adaptive_sweep(opts: &FigOptions) -> Vec<AdaptiveSweepRow> {
+    let seeds = SeedSequence::new(opts.seed);
+    let spec = specint_system(6, &mut seeds.stream(0));
+    let run_config = |trace: &NonStationaryConfig, pruning: PruningConfig| -> f64 {
+        let outcomes: Vec<f64> = parallel_map(opts.trials, opts.threads, |trial| {
+            let trial_seeds = seeds.child(400 + trial as u64);
+            let tasks = generate_nonstationary(trace, &spec, &mut trial_seeds.stream(0));
+            let mut mapper = HeuristicKind::Pam.build(pruning);
+            let mut rng = trial_seeds.stream(1);
+            run_simulation(&spec, SimConfig::default(), &tasks, &mut mapper, &mut rng)
+                .metrics
+                .pct_on_time
+        });
+        outcomes.iter().sum::<f64>() / outcomes.len().max(1) as f64
+    };
+    adaptive_traces(opts.num_tasks)
+        .into_iter()
+        .map(|(name, trace)| {
+            let statics = ADAPTIVE_STATICS
+                .iter()
+                .map(|&(drop, defer)| {
+                    run_config(
+                        &trace,
+                        PruningConfig {
+                            drop_threshold: drop,
+                            defer_threshold: defer,
+                            ..PruningConfig::default()
+                        },
+                    )
+                })
+                .collect();
+            let adaptive = run_config(
+                &trace,
+                PruningConfig {
+                    adaptive: Some(AdaptiveConfig::default()),
+                    ..PruningConfig::default()
+                },
+            );
+            progress(&format!("adaptive trace {name}"));
+            AdaptiveSweepRow { trace: name, statics, adaptive }
+        })
+        .collect()
+}
+
+/// Adaptive — closed-loop threshold control vs static sweeps. Not in the
+/// paper: its thresholds are fixed offline per oversubscription level,
+/// but under *non-stationary* load (bursts, a diurnal ramp, regime
+/// switches) no single `(drop, defer)` pair fits the whole run. Each
+/// trace is run under every static pair of [`ADAPTIVE_STATICS`] and under
+/// the [`AdaptiveConfig`] controller, which steers per-class thresholds
+/// from a sliding window of recent outcomes.
+#[must_use]
+pub fn adaptive(opts: &FigOptions) -> Table {
+    let mut table = Table::new(
+        "Adaptive — closed-loop thresholds vs static sweeps on non-stationary load",
+        vec![
+            "trace".into(),
+            "drop30/defer70 (%)".into(),
+            "drop50/defer90 (%)".into(),
+            "drop70/defer95 (%)".into(),
+            "adaptive (%)".into(),
+            "adaptive vs best static (pp)".into(),
+        ],
+    );
+    table.note(format!(
+        "PAM, {} trials x {} tasks, 10k base intensity reshaped by each profile; \
+         the controller observes a {}-outcome window and steers drop/defer online",
+        opts.trials,
+        opts.num_tasks,
+        AdaptiveConfig::default().window,
+    ));
+    for row in adaptive_sweep(opts) {
+        let mut cells = vec![row.trace.to_string()];
+        cells.extend(row.statics.iter().map(|m| format!("{m:.1}")));
+        cells.push(format!("{:.1}", row.adaptive));
+        cells.push(format!("{:+.1}", row.adaptive - row.best_static()));
+        table.push_row(cells);
+    }
+    table
+}
+
 /// Dispatches a figure by CLI name ("fig4" … "fig9").
 #[must_use]
 pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
@@ -554,6 +715,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
         "levels" => Some(levels(opts)),
         "churn" => Some(churn(opts)),
         "service" => Some(service(opts)),
+        "adaptive" => Some(adaptive(opts)),
         _ => None,
     }
 }
@@ -562,7 +724,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
 pub const ALL_FIGURES: [&str; 6] = ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"];
 
 /// Supplementary (non-paper) sweeps runnable by name.
-pub const EXTRA_FIGURES: [&str; 3] = ["levels", "churn", "service"];
+pub const EXTRA_FIGURES: [&str; 4] = ["levels", "churn", "service", "adaptive"];
 
 #[cfg(test)]
 mod tests {
@@ -606,6 +768,50 @@ mod tests {
             let epochs: f64 = row[5].parse().unwrap();
             assert!(epochs > 1.0, "no capacity changes in {row:?}");
         }
+    }
+
+    #[test]
+    fn adaptive_table_shape() {
+        let t = adaptive(&smoke());
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.headers.len(), ADAPTIVE_STATICS.len() + 3);
+        assert_eq!(t.rows[0][0], "bursts");
+        assert_eq!(t.rows[2][0], "regime-switch");
+        // Every cell past the trace name must be a finite percentage.
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v.is_finite(), "non-finite cell in {row:?}");
+            }
+        }
+    }
+
+    /// The acceptance sweep: at full fidelity the controller must match or
+    /// beat the best static pair on every trace and strictly beat every
+    /// static pair on at least one. Runs the real 30x800 sweep, so it is
+    /// gated behind `HCSIM_TEST_ADAPTIVE=1` (one CI matrix leg).
+    #[test]
+    fn adaptive_beats_statics_at_full_fidelity() {
+        if std::env::var("HCSIM_TEST_ADAPTIVE").as_deref() != Ok("1") {
+            return;
+        }
+        let rows = adaptive_sweep(&FigOptions::default());
+        assert_eq!(rows.len(), 3);
+        let mut strict_somewhere = false;
+        for row in &rows {
+            let best = row.best_static();
+            assert!(
+                row.adaptive >= best,
+                "{}: adaptive {:.2} below best static {:.2}",
+                row.trace,
+                row.adaptive,
+                best
+            );
+            if row.statics.iter().all(|&s| row.adaptive > s) {
+                strict_somewhere = true;
+            }
+        }
+        assert!(strict_somewhere, "controller never strictly beat all statics: {rows:?}");
     }
 
     #[test]

@@ -31,7 +31,7 @@ mod pet;
 mod spec;
 mod task;
 
-pub use churn::{ChurnEvent, ChurnKind, ChurnTrace};
+pub use churn::{ChurnEvent, ChurnKind, ChurnTrace, DepartureNotice};
 pub use cost::{CostTracker, PriceTable};
 pub use ids::{MachineId, TaskId, TaskTypeId};
 pub use pet::{GroundTruth, PetBuilder, PetMatrix};

@@ -946,4 +946,48 @@ mod tests {
         assert!((masses[1] - 0.25).abs() < 1e-15);
         assert!((masses.iter().sum::<f64>() - 0.8).abs() < 1e-15);
     }
+
+    // ------------------------------------------------------------------
+    // Property-based invariants of the residual (migration) path.
+    // ------------------------------------------------------------------
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_pmf(max_t: Time, max_n: usize) -> impl Strategy<Value = Pmf> {
+            prop::collection::vec((0..max_t, 0.01f64..1.0), 1..max_n).prop_map(|pts| {
+                let mut p = Pmf::from_points(&pts).unwrap();
+                p.normalize();
+                p
+            })
+        }
+
+        proptest! {
+            /// The migration path's core soundness property: conditioning
+            /// an execution PMF on `elapsed` progress conserves unit mass
+            /// — a requeued task that carries progress must be exactly as
+            /// probable to finish as a fresh one, just sooner.
+            #[test]
+            fn residual_conserves_mass(p in arb_pmf(100, 8), elapsed in 0u64..150) {
+                let r = p.residual(elapsed);
+                prop_assert!((r.mass() - 1.0).abs() < 1e-9);
+                prop_assert!(r.min_time() >= 1);
+            }
+
+            /// The scratch-reusing shifted form the scorer's chain cache
+            /// calls must agree with the compositional definition.
+            #[test]
+            fn residual_shifted_matches_residual_then_shift(
+                p in arb_pmf(100, 8),
+                elapsed in 0u64..150,
+                dt in 0u64..100,
+            ) {
+                let mut scratch = crate::ConvScratch::new();
+                let fused = p.residual_shifted_into(elapsed, dt, &mut scratch);
+                let composed = p.residual(elapsed).shift(dt);
+                prop_assert_eq!(fused, composed);
+            }
+        }
+    }
 }

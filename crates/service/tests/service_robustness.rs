@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use hcsim_core::{Pam, PruningConfig};
+use hcsim_core::{AdaptiveConfig, Pam, PruningConfig};
 use hcsim_model::{SystemSpec, Task, TaskOutcome};
 use hcsim_service::{run_with_recovery, FaultPlan, RecoveryOutcome, ServiceConfig};
 use hcsim_sim::{SimConfig, SimReport};
@@ -107,6 +107,51 @@ fn crash_restore_resume_is_bit_identical_to_uninterrupted() {
         );
         assert_eq!(recovered.report.stats.admitted, baseline.report.stats.admitted);
         assert_eq!(recovered.report.stats.shed, baseline.report.stats.shed);
+    }
+}
+
+#[test]
+fn crash_restore_with_adaptation_enabled_is_bit_identical() {
+    // Same kill-at-epoch matrix, but with the closed-loop controller
+    // steering thresholds AND failure-requeued tasks carrying progress:
+    // the checkpoint now includes the controller's trims, step schedule,
+    // outcome window, and pressure-detector state (the v2 mapper blob)
+    // plus the engine's carried-progress table — losing any of it would
+    // fork the resumed trajectory.
+    let (spec, tasks) = system(308, 160, 34_000.0);
+    let churn = churn_for(&spec, 308);
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let service = ServiceConfig::default();
+    let pruning =
+        PruningConfig { adaptive: Some(AdaptiveConfig::default()), ..PruningConfig::default() };
+    let sim = SimConfig { carry_progress: true, ..SimConfig::untrimmed() };
+    let run_adaptive = |fault: &FaultPlan| {
+        run_with_recovery(
+            &spec,
+            sim,
+            &service,
+            fault,
+            Some(&churn),
+            schedule.entries(),
+            32,
+            || Pam::new(pruning),
+            || Xoshiro256pp::new(RNG_SEED),
+        )
+    };
+
+    let baseline = run_adaptive(&FaultPlan::none());
+    assert_eq!(baseline.killed_at_epoch, None);
+
+    for kill_epoch in [1, 2, 3] {
+        let fault = FaultPlan { kill_at_epoch: Some(kill_epoch), ..FaultPlan::none() };
+        let recovered = run_adaptive(&fault);
+        assert_eq!(recovered.killed_at_epoch, Some(kill_epoch), "the kill must actually fire");
+        assert_eq!(recovered.report.stats.restores, 1);
+        assert_eq!(
+            fingerprint(&recovered.report.sim),
+            fingerprint(&baseline.report.sim),
+            "kill@{kill_epoch} with adaptation: resumed run must equal never having crashed"
+        );
     }
 }
 

@@ -44,6 +44,15 @@ pub struct SimConfig {
     /// default, preserving the published model and the seed goldens) retries
     /// without bound.
     pub max_requeues: Option<u32>,
+    /// Migration semantics for failure requeues: when `true`, a task
+    /// requeued by a [`MachineFail`](crate::SimEvent::MachineFail) event
+    /// carries the execution progress it had completed, and resumes on its
+    /// next machine from the residual (that machine re-samples its own
+    /// ground-truth total and the carried progress is subtracted — the
+    /// scorer convolves the matching residual PMF). `false` (the default,
+    /// preserving the published model and the seed goldens) restarts
+    /// requeued tasks cold, losing the work in progress.
+    pub carry_progress: bool,
 }
 
 impl Default for SimConfig {
@@ -55,6 +64,7 @@ impl Default for SimConfig {
             threads: 0,
             backend: FanoutBackend::Auto,
             max_requeues: None,
+            carry_progress: false,
         }
     }
 }
@@ -81,6 +91,7 @@ mod tests {
         assert_eq!(c.threads, 0, "fan-out threads default to auto");
         assert_eq!(c.backend, FanoutBackend::Auto, "fan-out backend defaults to auto");
         assert!(c.max_requeues.is_none(), "failure requeues are unbounded by default");
+        assert!(!c.carry_progress, "migration progress carrying is opt-in");
     }
 
     #[test]

@@ -73,6 +73,16 @@ pub enum SimEvent {
     MachineDrain(MachineId),
     /// The machine fails immediately; its queued tasks re-enter the batch.
     MachineFail(MachineId),
+    /// Advance warning that `machine` will leave the cluster at
+    /// `departs_at` (see [`hcsim_model::DepartureNotice`]). Membership is
+    /// unchanged; the machine is flagged so mappers bias placement away
+    /// from it before the departure lands.
+    MachineNotice {
+        /// The machine expected to leave.
+        machine: MachineId,
+        /// When it is expected to leave.
+        departs_at: Time,
+    },
     /// Liveness tick: forces a mapping event so deferred tasks expire.
     DeadlineSweep,
 }
@@ -120,7 +130,10 @@ impl EventSink<'_> {
             SimEvent::Arrival(task) => {
                 *self.num_task_slots = (*self.num_task_slots).max(task.id.index() + 1);
             }
-            SimEvent::MachineJoin(m) | SimEvent::MachineDrain(m) | SimEvent::MachineFail(m) => {
+            SimEvent::MachineJoin(m)
+            | SimEvent::MachineDrain(m)
+            | SimEvent::MachineFail(m)
+            | SimEvent::MachineNotice { machine: m, .. } => {
                 assert!(
                     m.index() < self.num_machines,
                     "membership event machine {m} out of range (system has {} machines)",
@@ -193,6 +206,12 @@ impl EventSource for ChurnSource<'_> {
     }
 
     fn emit(&mut self, sink: &mut EventSink<'_>) {
+        for n in &self.trace.notices {
+            sink.push(
+                n.time,
+                SimEvent::MachineNotice { machine: n.machine, departs_at: n.departs_at },
+            );
+        }
         for e in &self.trace.events {
             let event = match e.kind {
                 ChurnKind::Join => SimEvent::MachineJoin(e.machine),
@@ -295,11 +314,15 @@ struct Engine<'a, M: Mapper, R: rand::Rng> {
     /// only when `config.max_requeues` is set, but maintained always so a
     /// snapshot taken before the cap is toggled restores exactly.
     requeue_counts: Vec<u32>,
+    /// Per-task progress salvaged from failed machines (indexed like
+    /// `records`); populated only under [`SimConfig::carry_progress`],
+    /// consumed by [`MapContext`] when the task is next assigned.
+    carried: Vec<Time>,
     /// Scratch buffers reused across events.
     expired_buf: Vec<Task>,
     pruned_buf: Vec<PrunedTask>,
     segment_charges_buf: Vec<(MachineId, Time)>,
-    requeue_buf: Vec<Task>,
+    requeue_buf: Vec<(Task, Time)>,
 }
 
 impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
@@ -353,6 +376,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             churn: ChurnStats::default(),
             epochs: vec![EpochSlice { start: 0, active_machines: active, on_time: 0, finished: 0 }],
             requeue_counts: vec![0; num_task_slots],
+            carried: vec![0; num_task_slots],
             expired_buf: Vec::with_capacity(queue_slots),
             pruned_buf: Vec::with_capacity(queue_slots),
             segment_charges_buf: Vec::with_capacity(spec.num_machines()),
@@ -384,7 +408,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         if outcome == TaskOutcome::CompletedOnTime {
             epoch.on_time += 1;
         }
-        self.mapper.on_task_finished(&task, outcome.is_success());
+        self.mapper.on_task_finished(&task, outcome);
     }
 
     /// Registers a lifecycle transition: bumps the membership epoch (the
@@ -448,6 +472,12 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                 }
             }
             SimEvent::MachineFail(m) => self.handle_fail(m),
+            SimEvent::MachineNotice { machine, departs_at } => {
+                // Not a membership change (the schedulable count is
+                // untouched) — the machine's version bump re-keys scorer
+                // caches, and the mapping event below lets phase 2 react.
+                self.machines[machine.index()].set_announced_departure(Some(departs_at));
+            }
             SimEvent::DeadlineSweep => {}
         }
         self.mapping_event();
@@ -497,11 +527,13 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         }
         let mut requeue = std::mem::take(&mut self.requeue_buf);
         debug_assert!(requeue.is_empty(), "requeue scratch is always drained before return");
-        let interrupted = self.machines[i].fail(&mut requeue);
+        let interrupted = self.machines[i].fail(self.now, &mut requeue);
         if let Some(exec) = interrupted {
-            // The segment occupied the machine even though the work is
-            // lost; the task itself restarts from scratch elsewhere, so
-            // nothing is added to its (eventual) record's machine time.
+            // The segment occupied the machine even though the machine is
+            // gone; under the default (cold-restart) semantics the work is
+            // lost too, so nothing is added to the task's (eventual)
+            // record's machine time. Under `carry_progress` the salvaged
+            // progress travels with the requeue entry below.
             let segment = self.now - exec.started_at;
             if segment > 0 {
                 self.cost.record_busy(machine, segment);
@@ -511,7 +543,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         // (executing task first); an already-expired re-arrival is culled
         // by the mapping event that follows immediately. Tasks that have
         // already burned their retry budget are shed instead.
-        for task in requeue.drain(..) {
+        for (task, progress) in requeue.drain(..) {
             let count = &mut self.requeue_counts[task.id.index()];
             if self.config.max_requeues.is_some_and(|cap| *count >= cap) {
                 self.churn.dropped_after_retry += 1;
@@ -519,6 +551,12 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             } else {
                 *count += 1;
                 self.churn.requeued += 1;
+                if self.config.carry_progress && progress > 0 {
+                    // Migration semantics: the completed progress resumes
+                    // on the next machine (which re-samples its own total;
+                    // the carried time is subtracted from it).
+                    self.carried[task.id.index()] = progress;
+                }
                 self.batch.push(task);
             }
         }
@@ -588,6 +626,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             machines: &mut self.machines,
             pruned: &mut pruned,
             segment_charges: &mut segment_charges,
+            carried: &mut self.carried,
         };
         self.mapper.on_mapping_event(&mut ctx);
         self.missed_since_last = 0;
@@ -782,6 +821,11 @@ fn write_event(w: &mut ByteWriter, e: &Event) {
             write_machine_id(w, m);
         }
         SimEvent::DeadlineSweep => w.u8(5),
+        SimEvent::MachineNotice { machine, departs_at } => {
+            w.u8(6);
+            write_machine_id(w, machine);
+            w.u64(departs_at);
+        }
     }
 }
 
@@ -803,6 +847,10 @@ fn read_event(
         3 => SimEvent::MachineDrain(read_machine_id(r, num_machines)?),
         4 => SimEvent::MachineFail(read_machine_id(r, num_machines)?),
         5 => SimEvent::DeadlineSweep,
+        6 => SimEvent::MachineNotice {
+            machine: read_machine_id(r, num_machines)?,
+            departs_at: r.u64()?,
+        },
         _ => return Err(SnapshotError::Corrupt("event tag")),
     };
     Ok(Event { time, seq, kind })
@@ -903,6 +951,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
             w.u8(lifecycle_tag(m.lifecycle()));
             w.u64(m.version());
             w.u64(m.run_token);
+            w.opt_u64(m.announced_departure());
             match m.executing() {
                 Some(e) => {
                     w.u8(1);
@@ -944,6 +993,10 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
         // Failure-requeue counts (slot count from the header).
         for &c in &self.requeue_counts {
             w.u32(c);
+        }
+        // Carried migration progress (slot count from the header).
+        for &p in &self.carried {
+            w.u64(p);
         }
         // Busy time per machine; the tracker is rebuilt via `record_busy`.
         for m in 0..self.machines.len() {
@@ -1037,6 +1090,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
             let lifecycle = lifecycle_from_tag(r.u8()?)?;
             let version = r.u64()?;
             let run_token = r.u64()?;
+            let announced_departure = r.opt_u64()?;
             let executing = match r.u8()? {
                 0 => None,
                 1 => {
@@ -1069,6 +1123,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
                 lifecycle,
                 version,
                 run_token,
+                announced_departure,
             ));
         }
         let mut records = Vec::with_capacity(num_task_slots);
@@ -1099,6 +1154,10 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
         let mut requeue_counts = Vec::with_capacity(num_task_slots);
         for _ in 0..num_task_slots {
             requeue_counts.push(r.u32()?);
+        }
+        let mut carried = Vec::with_capacity(num_task_slots);
+        for _ in 0..num_task_slots {
+            carried.push(r.u64()?);
         }
         let mut cost = CostTracker::new(num_machines);
         for m in 0..num_machines {
@@ -1133,6 +1192,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
             churn,
             epochs,
             requeue_counts,
+            carried,
             expired_buf: Vec::with_capacity(queue_slots),
             pruned_buf: Vec::with_capacity(queue_slots),
             segment_charges_buf: Vec::with_capacity(spec.num_machines()),
@@ -1255,6 +1315,7 @@ impl<'a, M: Mapper, R: rand::Rng> SimSession<'a, M, R> {
         if len > self.engine.records.len() {
             self.engine.records.resize(len, None);
             self.engine.requeue_counts.resize(len, 0);
+            self.engine.carried.resize(len, 0);
         }
     }
 
@@ -1521,9 +1582,9 @@ mod tests {
             fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
                 self.inner.on_mapping_event(ctx);
             }
-            fn on_task_finished(&mut self, _task: &Task, success: bool) {
+            fn on_task_finished(&mut self, _task: &Task, outcome: TaskOutcome) {
                 self.finished += 1;
-                if success {
+                if outcome.is_success() {
                     self.successes += 1;
                 }
             }
@@ -1622,6 +1683,7 @@ mod tests {
             // Fail machine 0 at t=5: its executing + pending tasks must
             // re-enter the batch and be remapped to machine 1.
             events: vec![ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail }],
+            notices: vec![],
         };
         let report = churn_run(&spec, &tasks, &churn, 22);
         assert_eq!(report.churn.fails, 1);
@@ -1641,6 +1703,7 @@ mod tests {
         let churn = ChurnTrace {
             initially_offline: vec![],
             events: vec![ChurnEvent { time: 2, machine: MachineId(0), kind: ChurnKind::Drain }],
+            notices: vec![],
         };
         let report = churn_run(&spec, &tasks, &churn, 23);
         assert_eq!(report.churn.drains, 1);
@@ -1661,6 +1724,7 @@ mod tests {
         let churn = ChurnTrace {
             initially_offline: vec![MachineId(1)],
             events: vec![ChurnEvent { time: 3, machine: MachineId(1), kind: ChurnKind::Join }],
+            notices: vec![],
         };
         let report = churn_run(&spec, &tasks, &churn, 24);
         assert_eq!(report.churn.joins, 1);
@@ -1686,6 +1750,7 @@ mod tests {
                 ChurnEvent { time: 1, machine: MachineId(0), kind: ChurnKind::Fail },
                 ChurnEvent { time: 1, machine: MachineId(1), kind: ChurnKind::Fail },
             ],
+            notices: vec![],
         };
         let report = churn_run(&spec, &tasks, &churn, 25);
         assert_eq!(report.churn.fails, 2);
@@ -1709,6 +1774,7 @@ mod tests {
         let churn = ChurnTrace {
             initially_offline: vec![],
             events: vec![ChurnEvent { time: 5, machine: MachineId(9), kind: ChurnKind::Fail }],
+            notices: vec![],
         };
         let mut task_source = TaskTraceSource::new(&tasks);
         let mut churn_source = ChurnSource::new(&churn);
@@ -1749,6 +1815,7 @@ mod tests {
                 ChurnEvent { time: 7, machine: MachineId(1), kind: ChurnKind::Drain },
                 ChurnEvent { time: 20, machine: MachineId(1), kind: ChurnKind::Join },
             ],
+            notices: vec![],
         };
         let mut mapper = EpochProbe::default();
         let mut rng = SeedSequence::new(26).stream(9);
@@ -1775,6 +1842,7 @@ mod tests {
         let churn = ChurnTrace {
             initially_offline: vec![],
             events: vec![ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail }],
+            notices: vec![],
         };
         let mut rng = SeedSequence::new(30).stream(9);
         let mut mapper = FirstFitMapper;
@@ -1804,6 +1872,7 @@ mod tests {
                 ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail },
                 ChurnEvent { time: 7, machine: MachineId(1), kind: ChurnKind::Fail },
             ],
+            notices: vec![],
         };
         let mut rng = SeedSequence::new(31).stream(9);
         let mut mapper = FirstFitMapper;
@@ -1825,6 +1894,7 @@ mod tests {
         let churn = ChurnTrace {
             initially_offline: vec![],
             events: vec![ChurnEvent { time: 5, machine: MachineId(0), kind: ChurnKind::Fail }],
+            notices: vec![],
         };
         let baseline = churn_run(&spec, &tasks, &churn, 22);
         let mut rng = SeedSequence::new(22).stream(9);
@@ -1847,6 +1917,7 @@ mod tests {
                 ChurnEvent { time: 70, machine: MachineId(0), kind: ChurnKind::Fail },
                 ChurnEvent { time: 95, machine: MachineId(0), kind: ChurnKind::Join },
             ],
+            notices: vec![],
         }
     }
 

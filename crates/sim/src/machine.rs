@@ -46,6 +46,17 @@ impl PendingEntry {
     pub fn new(task: Task) -> Self {
         Self { task, progress: 0, sampled_total: None }
     }
+
+    /// An entry resuming with salvaged progress from another machine
+    /// (migration after a failure). The ground-truth total is *not*
+    /// carried: execution time is machine-specific, so the new machine
+    /// re-samples its own total and the salvaged progress is subtracted
+    /// from it — exactly the residual the scorer's
+    /// `Pmf::residual_shifted_into` convolution models.
+    #[must_use]
+    pub fn carrying(task: Task, progress: Time) -> Self {
+        Self { task, progress, sampled_total: None }
+    }
 }
 
 /// The task currently executing on a machine.
@@ -89,6 +100,11 @@ pub struct MachineState {
     version: u64,
     /// Invalidates in-flight completion events after an eviction.
     pub(crate) run_token: u64,
+    /// Announced departure time (drain/fail pre-announcement from the
+    /// churn trace): `Some(t)` means the machine is expected to leave the
+    /// cluster at `t`, so mappers should not queue work that cannot finish
+    /// by then. Cleared when the machine actually leaves or (re)joins.
+    announced_departure: Option<Time>,
 }
 
 /// Hand-written so that `clone_from` reuses the destination's pending
@@ -105,6 +121,7 @@ impl Clone for MachineState {
             lifecycle: self.lifecycle,
             version: self.version,
             run_token: self.run_token,
+            announced_departure: self.announced_departure,
         }
     }
 
@@ -112,7 +129,16 @@ impl Clone for MachineState {
         // Destructured so adding a field to MachineState is a compile
         // error here (a silently-skipped field would desynchronize the
         // scorer's reused snapshot buffers from live machines).
-        let Self { id, capacity, executing, pending, lifecycle, version, run_token } = source;
+        let Self {
+            id,
+            capacity,
+            executing,
+            pending,
+            lifecycle,
+            version,
+            run_token,
+            announced_departure,
+        } = source;
         self.id = *id;
         self.capacity = *capacity;
         self.executing = *executing;
@@ -120,6 +146,7 @@ impl Clone for MachineState {
         self.lifecycle = *lifecycle;
         self.version = *version;
         self.run_token = *run_token;
+        self.announced_departure = *announced_departure;
     }
 }
 
@@ -141,12 +168,14 @@ impl MachineState {
             lifecycle: MachineLifecycle::Active,
             version: 0,
             run_token: 0,
+            announced_departure: None,
         }
     }
 
     /// Rebuilds a machine wholesale from snapshot parts. Crate-private:
     /// only the snapshot restore path may bypass the mutator invariants,
     /// and it only ever replays fields captured from a live machine.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         id: MachineId,
         capacity: usize,
@@ -155,9 +184,19 @@ impl MachineState {
         lifecycle: MachineLifecycle,
         version: u64,
         run_token: u64,
+        announced_departure: Option<Time>,
     ) -> Self {
         assert!(capacity >= 1, "capacity must include the executing slot");
-        Self { id, capacity, executing, pending, lifecycle, version, run_token }
+        Self {
+            id,
+            capacity,
+            executing,
+            pending,
+            lifecycle,
+            version,
+            run_token,
+            announced_departure,
+        }
     }
 
     /// The machine's cluster-membership state.
@@ -237,6 +276,15 @@ impl MachineState {
         self.version
     }
 
+    /// Announced departure time, if a drain or failure of this machine has
+    /// been pre-announced by the churn pipeline. Robustness-aware mappers
+    /// clamp a task's deadline to this when scoring the machine: work that
+    /// cannot finish before the departure contributes nothing.
+    #[must_use]
+    pub fn announced_departure(&self) -> Option<Time> {
+        self.announced_departure
+    }
+
     /// Whole queue from the head: the executing task (position 0, if any)
     /// followed by pending tasks. Matches the paper's queue-position κ
     /// numbering for the Eq. 7 threshold adjustment.
@@ -251,9 +299,24 @@ impl MachineState {
     // ---- mutations (crate-internal: only the engine mutates machines) ----
 
     pub(crate) fn push_pending(&mut self, task: Task) {
+        self.push_pending_carrying(task, 0);
+    }
+
+    /// Queues a task that resumes with salvaged progress (zero for a fresh
+    /// task — the common case).
+    pub(crate) fn push_pending_carrying(&mut self, task: Task, progress: Time) {
         debug_assert!(self.has_free_slot(), "push on full machine {}", self.id);
-        self.pending.push_back(PendingEntry::new(task));
+        self.pending.push_back(PendingEntry::carrying(task, progress));
         self.version += 1;
+    }
+
+    /// Records a departure announcement (or clears it with `None`). Bumps
+    /// the version so scorer caches keyed on machine state re-score.
+    pub(crate) fn set_announced_departure(&mut self, departs_at: Option<Time>) {
+        if self.announced_departure != departs_at {
+            self.announced_departure = departs_at;
+            self.version += 1;
+        }
     }
 
     /// Inserts an entry at the queue front (preemption bookkeeping).
@@ -339,6 +402,7 @@ impl MachineState {
             self.id
         );
         self.lifecycle = MachineLifecycle::Active;
+        self.announced_departure = None;
         self.version += 1;
         true
     }
@@ -353,6 +417,8 @@ impl MachineState {
         }
         self.lifecycle =
             if self.is_idle() { MachineLifecycle::Offline } else { MachineLifecycle::Draining };
+        // The announcement has come true; non-members don't need it.
+        self.announced_departure = None;
         self.version += 1;
         true
     }
@@ -362,6 +428,7 @@ impl MachineState {
     pub(crate) fn try_complete_drain(&mut self) -> bool {
         if self.lifecycle == MachineLifecycle::Draining && self.is_idle() {
             self.lifecycle = MachineLifecycle::Offline;
+            self.announced_departure = None;
             self.version += 1;
             true
         } else {
@@ -371,22 +438,30 @@ impl MachineState {
 
     /// `Fail`: the machine leaves the cluster immediately. Every queued
     /// task (executing first, then pending in FCFS order) is pushed into
-    /// `requeue` for the engine to return to the batch; the in-flight
-    /// completion event is invalidated via the run token. Returns the
-    /// interrupted executing task (for busy-time accounting), or `None`
-    /// if the machine was already offline (no-op).
-    pub(crate) fn fail(&mut self, requeue: &mut Vec<Task>) -> Option<ExecutingTask> {
+    /// `requeue` with the execution progress completed so far (the
+    /// interrupted segment counts, at `now`); the in-flight completion
+    /// event is invalidated via the run token. Whether the progress is
+    /// honored on the next machine is the engine's call
+    /// (`SimConfig::carry_progress`). Returns the interrupted executing
+    /// task (for busy-time accounting), or `None` if the machine was
+    /// already offline (no-op).
+    pub(crate) fn fail(
+        &mut self,
+        now: Time,
+        requeue: &mut Vec<(Task, Time)>,
+    ) -> Option<ExecutingTask> {
         if self.lifecycle == MachineLifecycle::Offline {
             return None;
         }
         let exec = self.executing.take();
         if let Some(e) = &exec {
-            requeue.push(e.task);
+            requeue.push((e.task, e.elapsed_at(now)));
         }
         for entry in self.pending.drain(..) {
-            requeue.push(entry.task);
+            requeue.push((entry.task, entry.progress));
         }
         self.lifecycle = MachineLifecycle::Offline;
+        self.announced_departure = None;
         self.version += 1;
         self.run_token += 1; // stale any scheduled completion
         exec
@@ -596,21 +671,41 @@ mod tests {
         m.start(head, 10, 100);
         let token = m.run_token;
         let mut requeue = Vec::new();
-        let exec = m.fail(&mut requeue).expect("machine was executing");
+        let exec = m.fail(40, &mut requeue).expect("machine was executing");
         assert_eq!(exec.task.id, TaskId(1));
         assert_eq!(exec.started_at, 10);
         assert_eq!(
-            requeue.iter().map(|t| t.id.0).collect::<Vec<_>>(),
-            vec![1, 2, 3],
-            "executing first, pending in FCFS order"
+            requeue.iter().map(|(t, p)| (t.id.0, *p)).collect::<Vec<_>>(),
+            vec![(1, 30), (2, 0), (3, 0)],
+            "executing first (with its interrupted segment), pending in FCFS order"
         );
         assert_eq!(m.lifecycle(), MachineLifecycle::Offline);
         assert!(m.is_idle());
         assert!(m.run_token > token, "in-flight completion must be staled");
         // Failing an offline machine is a no-op.
         let mut again = Vec::new();
-        assert!(m.fail(&mut again).is_none());
+        assert!(m.fail(40, &mut again).is_none());
         assert!(again.is_empty());
+    }
+
+    #[test]
+    fn departure_announcement_bumps_version_and_clears_on_exit() {
+        let mut m = MachineState::new(MachineId(0), 2);
+        let v = m.version();
+        m.set_announced_departure(Some(500));
+        assert_eq!(m.announced_departure(), Some(500));
+        assert!(m.version() > v);
+        let v = m.version();
+        m.set_announced_departure(Some(500));
+        assert_eq!(m.version(), v, "idempotent announcement is version-neutral");
+        let mut requeue = Vec::new();
+        m.fail(10, &mut requeue);
+        assert_eq!(m.announced_departure(), None, "cleared when the machine leaves");
+        m.activate();
+        m.set_announced_departure(Some(900));
+        assert!(m.begin_drain());
+        assert_eq!(m.lifecycle(), MachineLifecycle::Offline, "idle drain leaves immediately");
+        assert_eq!(m.announced_departure(), None, "cleared once the drain fires");
     }
 
     #[test]

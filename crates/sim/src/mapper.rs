@@ -8,7 +8,7 @@
 //! later decisions within the same event see their effects.
 
 use crate::machine::MachineState;
-use hcsim_model::{MachineId, SystemSpec, Task, TaskId, Time};
+use hcsim_model::{MachineId, SystemSpec, Task, TaskId, TaskOutcome, Time};
 use hcsim_parallel::FanoutBackend;
 use hcsim_pmf::DropPolicy;
 
@@ -70,6 +70,10 @@ pub struct MapContext<'a> {
     /// Busy time consumed by interrupted execution segments (preemptions)
     /// during this event, applied by the engine afterwards.
     pub(crate) segment_charges: &'a mut Vec<(MachineId, Time)>,
+    /// Per-task-slot execution progress salvaged from failed machines
+    /// (`SimConfig::carry_progress`); consumed when the task is assigned
+    /// so it resumes from a residual PMF instead of restarting cold.
+    pub(crate) carried: &'a mut Vec<Time>,
 }
 
 impl<'a> MapContext<'a> {
@@ -176,8 +180,22 @@ impl<'a> MapContext<'a> {
         }
         let pos = self.batch.iter().position(|t| t.id == task_id).ok_or(AssignError::NotInBatch)?;
         let task = self.batch.remove(pos);
-        self.machines[m.index()].push_pending(task);
+        let progress = self.take_carried(task.id);
+        self.machines[m.index()].push_pending_carrying(task, progress);
         Ok(())
+    }
+
+    /// Consumes any salvaged progress for a task slot (zero when the task
+    /// never ran, or when progress carrying is disabled).
+    fn take_carried(&mut self, task_id: TaskId) -> Time {
+        self.carried.get_mut(task_id.index()).map_or(0, std::mem::take)
+    }
+
+    /// Salvaged execution progress a requeued batch task would resume
+    /// with, for heuristics that want to prefer resuming migrants.
+    #[must_use]
+    pub fn carried_progress(&self, task_id: TaskId) -> Time {
+        self.carried.get(task_id.index()).copied().unwrap_or(0)
     }
 
     /// Probabilistically drops a *pending* task from machine `m`'s queue
@@ -230,11 +248,12 @@ impl<'a> MapContext<'a> {
         }
         let pos = self.batch.iter().position(|t| t.id == task_id).ok_or(AssignError::NotInBatch)?;
         let task = self.batch.remove(pos);
+        let progress = self.take_carried(task.id);
         let now = self.now;
         let machine = &mut self.machines[m.index()];
         let segment = machine.preempt_executing(now).expect("checked executing above");
         self.segment_charges.push((m, segment));
-        machine.push_pending_front(crate::machine::PendingEntry::new(task));
+        machine.push_pending_front(crate::machine::PendingEntry::carrying(task, progress));
         Ok(())
     }
 }
@@ -259,6 +278,9 @@ pub struct MapperInstrumentation {
     /// arrivals revalidating the previous event's table instead of
     /// rebuilding it).
     pub table_reuses: u64,
+    /// Events the adaptive controller spent in sustained deep calm (its
+    /// feed-forward relaxation active); zero without adaptation.
+    pub events_deep_calm: u64,
 }
 
 /// A mapping heuristic driven by the engine at every mapping event.
@@ -272,10 +294,11 @@ pub trait Mapper {
     fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>);
 
     /// Invoked on every terminal task event — on-time completion, late
-    /// completion, expiry, or prune — with `success` true only for on-time
-    /// completion. PAMF uses this to maintain per-type sufferage values.
-    fn on_task_finished(&mut self, task: &Task, success: bool) {
-        let _ = (task, success);
+    /// completion, expiry, prune, or shed — with the task's terminal
+    /// outcome. PAMF uses this to maintain per-type sufferage values; the
+    /// adaptive controller classifies outcomes into its sliding window.
+    fn on_task_finished(&mut self, task: &Task, outcome: TaskOutcome) {
+        let _ = (task, outcome);
     }
 
     /// Instrumentation counters, when the heuristic tracks them (PAM/PAMF
@@ -316,8 +339,8 @@ impl<M: Mapper + ?Sized> Mapper for &mut M {
         (**self).on_mapping_event(ctx);
     }
 
-    fn on_task_finished(&mut self, task: &Task, success: bool) {
-        (**self).on_task_finished(task, success);
+    fn on_task_finished(&mut self, task: &Task, outcome: TaskOutcome) {
+        (**self).on_task_finished(task, outcome);
     }
 
     fn instrumentation(&self) -> Option<MapperInstrumentation> {
@@ -346,8 +369,8 @@ impl<M: Mapper + ?Sized> Mapper for Box<M> {
         (**self).on_mapping_event(ctx);
     }
 
-    fn on_task_finished(&mut self, task: &Task, success: bool) {
-        (**self).on_task_finished(task, success);
+    fn on_task_finished(&mut self, task: &Task, outcome: TaskOutcome) {
+        (**self).on_task_finished(task, outcome);
     }
 
     fn instrumentation(&self) -> Option<MapperInstrumentation> {
@@ -427,6 +450,7 @@ mod tests {
         machines: Vec<MachineState>,
         pruned: Vec<PrunedTask>,
         segment_charges: Vec<(MachineId, crate::Time)>,
+        carried: Vec<crate::Time>,
     }
 
     impl Fixture {
@@ -434,7 +458,14 @@ mod tests {
             let spec = spec();
             let machines =
                 (0..2).map(|m| MachineState::new(MachineId::from(m as usize), 2)).collect();
-            Self { spec, batch, machines, pruned: Vec::new(), segment_charges: Vec::new() }
+            Self {
+                spec,
+                batch,
+                machines,
+                pruned: Vec::new(),
+                segment_charges: Vec::new(),
+                carried: vec![0; 16],
+            }
         }
 
         fn ctx(&mut self) -> MapContext<'_> {
@@ -450,6 +481,7 @@ mod tests {
                 machines: &mut self.machines,
                 pruned: &mut self.pruned,
                 segment_charges: &mut self.segment_charges,
+                carried: &mut self.carried,
             }
         }
     }

@@ -76,6 +76,12 @@ pub struct Metrics {
     pub per_type_pct: Vec<f64>,
     /// Per-task-type `(on_time, total)` counted tasks.
     pub per_type_counts: Vec<(usize, usize)>,
+    /// Full per-task-type outcome breakdown over counted tasks — the
+    /// per-class miss/shed/prune rates an adaptive threshold controller
+    /// is judged against (absent in serialized metrics from before the
+    /// controller existed).
+    #[serde(default)]
+    pub per_type_outcomes: Vec<OutcomeCounts>,
     /// Population variance of `per_type_pct` over types that appeared —
     /// the fairness metric of Fig. 6 (lower = fairer).
     pub type_variance: f64,
@@ -99,8 +105,10 @@ impl Metrics {
 
         let mut outcomes = OutcomeCounts::default();
         let mut per_type = vec![(0usize, 0usize); num_task_types];
+        let mut per_type_outcomes = vec![OutcomeCounts::default(); num_task_types];
         for rec in counted_records {
             outcomes.add(rec.outcome);
+            per_type_outcomes[rec.task.type_id.index()].add(rec.outcome);
             let cell = &mut per_type[rec.task.type_id.index()];
             cell.1 += 1;
             if rec.is_success() {
@@ -145,6 +153,7 @@ impl Metrics {
             pct_useful,
             per_type_pct,
             per_type_counts: per_type,
+            per_type_outcomes,
             type_variance,
         }
     }
@@ -193,6 +202,9 @@ mod tests {
         assert!((m.per_type_pct[0] - 50.0).abs() < 1e-12);
         assert!((m.per_type_pct[1] - 100.0).abs() < 1e-12);
         assert_eq!(m.per_type_counts, vec![(1, 2), (2, 2)]);
+        assert_eq!(m.per_type_outcomes[0].on_time, 1);
+        assert_eq!(m.per_type_outcomes[0].expired_unstarted, 1);
+        assert_eq!(m.per_type_outcomes[1].on_time, 2);
         // Variance of {50, 100}: mean 75, var 625.
         assert!((m.type_variance - 625.0).abs() < 1e-9);
         assert!((m.type_std_dev() - 25.0).abs() < 1e-9);

@@ -19,8 +19,9 @@ use hcsim_stats::Xoshiro256pp;
 /// Magic bytes opening every snapshot.
 pub(crate) const SNAPSHOT_MAGIC: [u8; 4] = *b"HCSN";
 
-/// Current snapshot format version. Bumped on any layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Bumped on any layout change (v2:
+/// departure announcements, carried migration progress, notice events).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -99,7 +99,7 @@ pub fn apply(machine: &mut MachineState, op: QueueOp) -> bool {
         QueueOp::Fail => {
             let was_member = machine.lifecycle() != crate::MachineLifecycle::Offline;
             let mut dropped = Vec::new();
-            let _ = machine.fail(&mut dropped);
+            let _ = machine.fail(0, &mut dropped);
             was_member
         }
     }

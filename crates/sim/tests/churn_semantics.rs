@@ -12,7 +12,10 @@
 //!   once even across repeated failures;
 //! * drained machines finish their queues without accepting new work and
 //!   can later re-join;
-//! * epoch slices partition the terminal records.
+//! * epoch slices partition the terminal records;
+//! * with `carry_progress` on, a requeued task resumes from its completed
+//!   progress (finishing strictly earlier than a cold restart) and the
+//!   stale completion event of the interrupted attempt stays a no-op.
 
 use hcsim_model::{
     ChurnEvent, ChurnKind, ChurnTrace, MachineId, MachineSpec, PetBuilder, PriceTable, SystemSpec,
@@ -70,16 +73,19 @@ fn run_with_watcher(
     churn: &ChurnTrace,
     seed: u64,
 ) -> (SimReport, Vec<(Time, Vec<u32>)>) {
+    run_with_watcher_cfg(spec, SimConfig::untrimmed(), tasks, churn, seed)
+}
+
+fn run_with_watcher_cfg(
+    spec: &SystemSpec,
+    config: SimConfig,
+    tasks: &[Task],
+    churn: &ChurnTrace,
+    seed: u64,
+) -> (SimReport, Vec<(Time, Vec<u32>)>) {
     let mut mapper = BatchWatcher::default();
     let mut rng = SeedSequence::new(seed).stream(9);
-    let report = run_simulation_with_churn(
-        spec,
-        SimConfig::untrimmed(),
-        tasks,
-        churn,
-        &mut mapper,
-        &mut rng,
-    );
+    let report = run_simulation_with_churn(spec, config, tasks, churn, &mut mapper, &mut rng);
     (report, mapper.snapshots)
 }
 
@@ -93,7 +99,8 @@ fn failed_machine_requeues_pending_and_executing_exactly_once() {
     // Three tasks at t=0: FirstFit queues all on machine 0 (task 0
     // executing, 1–2 pending). Machine 0 fails at t=5.
     let tasks = tasks_at_zero(3, 500);
-    let churn = ChurnTrace { initially_offline: vec![], events: vec![fail_at(5, 0)] };
+    let churn =
+        ChurnTrace { initially_offline: vec![], events: vec![fail_at(5, 0)], notices: vec![] };
     let (report, snapshots) = run_with_watcher(&spec, &tasks, &churn, 1);
 
     // The mapping event fired by the failure sees all three tasks back in
@@ -129,7 +136,8 @@ fn requeued_tasks_keep_their_deadlines() {
             deadline: 400 + u64::from(i) * 13, // distinct, recognizable
         })
         .collect();
-    let churn = ChurnTrace { initially_offline: vec![], events: vec![fail_at(6, 0)] };
+    let churn =
+        ChurnTrace { initially_offline: vec![], events: vec![fail_at(6, 0)], notices: vec![] };
     let (report, _) = run_with_watcher(&spec, &tasks, &churn, 2);
     for (original, rec) in tasks.iter().zip(&report.records) {
         assert_eq!(rec.task, *original, "requeue must not alter the task (deadline included)");
@@ -142,7 +150,8 @@ fn interrupted_completion_event_is_stale_and_records_stay_unique() {
     let tasks = tasks_at_zero(3, 500);
     // Fail machine 0 at t=5, mid-execution of task 0 (≈10 ms exec): the
     // completion event scheduled for ≈t=10 must be a no-op.
-    let churn = ChurnTrace { initially_offline: vec![], events: vec![fail_at(5, 0)] };
+    let churn =
+        ChurnTrace { initially_offline: vec![], events: vec![fail_at(5, 0)], notices: vec![] };
     let (report, _) = run_with_watcher(&spec, &tasks, &churn, 3);
     assert_eq!(report.records.len(), 3);
     for (i, r) in report.records.iter().enumerate() {
@@ -171,6 +180,7 @@ fn repeated_failures_requeue_again_but_record_once() {
             ChurnEvent { time: 30, machine: MachineId(1), kind: ChurnKind::Fail },
             ChurnEvent { time: 35, machine: MachineId(0), kind: ChurnKind::Join },
         ],
+        notices: vec![],
     };
     let (report, _) = run_with_watcher(&spec, &tasks, &churn, 4);
     assert_eq!(report.churn.fails, 2);
@@ -194,7 +204,8 @@ fn expired_requeued_task_is_culled_not_restarted() {
         Task { id: TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline: 500 },
         Task { id: TaskId(1), type_id: TaskTypeId(0), arrival: 0, deadline: 8 },
     ];
-    let churn = ChurnTrace { initially_offline: vec![], events: vec![fail_at(9, 0)] };
+    let churn =
+        ChurnTrace { initially_offline: vec![], events: vec![fail_at(9, 0)], notices: vec![] };
     let (report, _) = run_with_watcher(&spec, &tasks, &churn, 5);
     let r1 = &report.records[1];
     assert_eq!(r1.outcome, TaskOutcome::ExpiredUnstarted, "{r1:?}");
@@ -216,6 +227,7 @@ fn drain_completes_queue_then_leaves_and_can_rejoin() {
             ChurnEvent { time: 2, machine: MachineId(0), kind: ChurnKind::Drain },
             ChurnEvent { time: 80, machine: MachineId(0), kind: ChurnKind::Join },
         ],
+        notices: vec![],
     };
     let (report, _) = run_with_watcher(&spec, &tasks, &churn, 6);
     assert_eq!(report.churn.drains, 1);
@@ -229,6 +241,72 @@ fn drain_completes_queue_then_leaves_and_can_rejoin() {
     assert_eq!(report.records[1].machine, Some(MachineId(0)));
     assert_eq!(report.records[2].machine, Some(MachineId(1)));
     assert_eq!(report.records[3].machine, Some(MachineId(0)));
+}
+
+#[test]
+fn carried_progress_finishes_strictly_earlier_than_cold_restart() {
+    let spec = two_machine_spec(6);
+    // One task, executing on machine 0 (≈10 ms) when it fails at t=5: the
+    // task restarts on machine 1 (≈20 ms). Cold, the restart pays the
+    // full ≈20 ms again; carrying, the ≈5 ms of completed progress is
+    // subtracted from machine 1's freshly sampled total. Both runs share
+    // a seed, so every random draw up to and including the restart's
+    // total is identical and the comparison isolates `carry_progress`.
+    let tasks = tasks_at_zero(1, 500);
+    let churn =
+        ChurnTrace { initially_offline: vec![], events: vec![fail_at(5, 0)], notices: vec![] };
+    let (cold, _) = run_with_watcher_cfg(&spec, SimConfig::untrimmed(), &tasks, &churn, 8);
+    let carry = SimConfig { carry_progress: true, ..SimConfig::untrimmed() };
+    let (carried, _) = run_with_watcher_cfg(&spec, carry, &tasks, &churn, 8);
+
+    let cold_rec = &cold.records[0];
+    let carried_rec = &carried.records[0];
+    assert_eq!(cold_rec.machine, Some(MachineId(1)));
+    assert_eq!(carried_rec.machine, Some(MachineId(1)));
+    assert_eq!(cold_rec.outcome, TaskOutcome::CompletedOnTime);
+    assert_eq!(carried_rec.outcome, TaskOutcome::CompletedOnTime);
+    assert_eq!(cold_rec.started_at, carried_rec.started_at, "restart time is config-independent");
+    assert!(
+        carried_rec.finished_at < cold_rec.finished_at,
+        "carried restart must finish strictly earlier: carried {:?} vs cold {:?}",
+        carried_rec.finished_at,
+        cold_rec.finished_at
+    );
+    // The carried remainder is the sampled total minus ≈5 ms of progress,
+    // never a free instant completion.
+    assert!(carried_rec.finished_at > carried_rec.started_at.unwrap());
+}
+
+#[test]
+fn stale_completion_never_resurrects_under_carry_progress() {
+    let spec = two_machine_spec(6);
+    let tasks = tasks_at_zero(3, 500);
+    // Fail machine 0 at t=5, mid-execution of task 0 (≈10 ms exec): even
+    // with progress carried into the requeue, the completion event the
+    // interrupted attempt left behind (≈t=10, now a stale run-token)
+    // must stay a no-op — the task terminates exactly once, on the
+    // machine that restarted it.
+    let churn =
+        ChurnTrace { initially_offline: vec![], events: vec![fail_at(5, 0)], notices: vec![] };
+    let carry = SimConfig { carry_progress: true, ..SimConfig::untrimmed() };
+    let (report, snapshots) = run_with_watcher_cfg(&spec, carry, &tasks, &churn, 3);
+    assert_eq!(report.records.len(), 3);
+    for (i, r) in report.records.iter().enumerate() {
+        assert_eq!(r.task.id.index(), i, "records stay id-ordered and unique");
+    }
+    assert_eq!(report.metrics.outcomes.total(), 3);
+    assert_eq!(report.metrics.outcomes.unfinished, 0);
+    let r0 = &report.records[0];
+    assert_eq!(r0.machine, Some(MachineId(1)), "terminal record on the restart machine: {r0:?}");
+    assert!(r0.finished_at > 5, "not the interrupted attempt's schedule");
+    // Exactly-once requeue still holds with progress attached.
+    for (t, ids) in &snapshots {
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate batch entry at t={t}: {ids:?}");
+    }
+    assert_eq!(report.churn.requeued, 3);
 }
 
 #[test]
@@ -248,6 +326,7 @@ fn epoch_slices_partition_the_records() {
             ChurnEvent { time: 20, machine: MachineId(1), kind: ChurnKind::Join },
             fail_at(50, 0),
         ],
+        notices: vec![],
     };
     let (report, _) = run_with_watcher(&spec, &tasks, &churn, 7);
     // 1 active → 2 active → 1 active: three slices, boundaries at the

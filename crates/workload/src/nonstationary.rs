@@ -1,0 +1,275 @@
+//! Non-stationary arrival processes — the workloads an *adaptive*
+//! threshold controller is judged against.
+//!
+//! The §VI-B generator draws a stationary gamma arrival process, so any
+//! fixed `(drop, defer)` pair tuned for its intensity stays near-optimal
+//! for the whole run. These generators break that assumption: the
+//! instantaneous arrival intensity is a deterministic function of time
+//! — square-wave bursts, a diurnal ramp, or abrupt regime switches — so
+//! the oversubscription level the thresholds face *drifts mid-run*. A
+//! static sweep can at best match the time-average; a controller tracking
+//! a recent-outcome window can follow the drift.
+//!
+//! Mechanically each task type keeps the per-type gamma stream of
+//! [`WorkloadGenerator`](crate::WorkloadGenerator), but every
+//! inter-arrival draw is stretched by `1 / intensity(t)` at the stream's
+//! current clock `t`: intensity 2 locally doubles the arrival rate,
+//! intensity ½ halves it. Intensity 1 everywhere reproduces the
+//! stationary process draw-for-draw. Deadlines follow the unchanged
+//! §VI-B slack formula, so robustness semantics are untouched — only the
+//! load shape moves.
+
+use crate::gen::WorkloadConfig;
+use hcsim_model::{SystemSpec, Task, TaskId, TaskTypeId, Time};
+use hcsim_stats::Gamma;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic time profile of the arrival intensity (1.0 = the
+/// stationary §VI-B rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadPattern {
+    /// Square-wave bursts: intensity `peak` during the first
+    /// `duty`-fraction of every `period`, 1.0 for the rest.
+    Bursts {
+        /// Length of one on/off cycle, in time units.
+        period: Time,
+        /// Fraction of each period spent at `peak` (0 < duty < 1).
+        duty: f64,
+        /// Burst intensity multiplier (> 0).
+        peak: f64,
+    },
+    /// One smooth diurnal hump over `span`: intensity ramps
+    /// `1 → peak → 1` as `1 + (peak − 1)·sin²(π·t/span)`.
+    DiurnalRamp {
+        /// Span the hump covers (typically [`WorkloadConfig::span`]).
+        span: Time,
+        /// Intensity at the top of the ramp (> 0).
+        peak: f64,
+    },
+    /// Abrupt regime switches: piecewise-constant intensity, 1.0 before
+    /// the first breakpoint, then `intensity` from each `start` on.
+    /// Breakpoints must be sorted by `start`.
+    RegimeSwitch {
+        /// `(start, intensity)` breakpoints, ascending by start.
+        regimes: Vec<(Time, f64)>,
+    },
+}
+
+impl LoadPattern {
+    /// Instantaneous intensity multiplier at time `t`.
+    #[must_use]
+    pub fn intensity(&self, t: f64) -> f64 {
+        match self {
+            LoadPattern::Bursts { period, duty, peak } => {
+                let phase = t.rem_euclid(*period as f64) / *period as f64;
+                if phase < *duty {
+                    *peak
+                } else {
+                    1.0
+                }
+            }
+            LoadPattern::DiurnalRamp { span, peak } => {
+                let x = (t / *span as f64).clamp(0.0, 1.0);
+                1.0 + (peak - 1.0) * (std::f64::consts::PI * x).sin().powi(2)
+            }
+            LoadPattern::RegimeSwitch { regimes } => regimes
+                .iter()
+                .take_while(|(start, _)| (*start as f64) <= t)
+                .last()
+                .map_or(1.0, |&(_, intensity)| intensity),
+        }
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate periods/spans, out-of-range duty cycles,
+    /// non-positive intensities, or unsorted regime breakpoints.
+    pub fn validate(&self) {
+        match self {
+            LoadPattern::Bursts { period, duty, peak } => {
+                assert!(*period > 0, "burst period must be positive");
+                assert!(duty.is_finite() && *duty > 0.0 && *duty < 1.0, "duty must be in (0, 1)");
+                assert!(peak.is_finite() && *peak > 0.0, "burst peak must be positive");
+            }
+            LoadPattern::DiurnalRamp { span, peak } => {
+                assert!(*span > 0, "ramp span must be positive");
+                assert!(peak.is_finite() && *peak > 0.0, "ramp peak must be positive");
+            }
+            LoadPattern::RegimeSwitch { regimes } => {
+                assert!(!regimes.is_empty(), "regime switch needs at least one breakpoint");
+                for w in regimes.windows(2) {
+                    assert!(w[0].0 <= w[1].0, "regime breakpoints must be sorted");
+                }
+                for &(_, intensity) in regimes {
+                    assert!(
+                        intensity.is_finite() && intensity > 0.0,
+                        "regime intensity must be positive"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A stationary workload reshaped by a [`LoadPattern`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NonStationaryConfig {
+    /// The stationary base process (count, span, oversubscription, slack).
+    pub base: WorkloadConfig,
+    /// The intensity profile applied on top.
+    pub pattern: LoadPattern,
+}
+
+impl NonStationaryConfig {
+    /// Validates both halves.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either the base config or the pattern is degenerate.
+    pub fn validate(&self) {
+        self.base.validate();
+        self.pattern.validate();
+    }
+}
+
+/// Generates one non-stationary trial: per-type gamma streams with each
+/// inter-arrival draw stretched by the reciprocal intensity at the
+/// stream's clock, merged, truncated to `num_tasks`, ids dense in arrival
+/// order, §VI-B deadlines. Deterministic for a given `(spec, rng state)`;
+/// a pattern with intensity 1 everywhere reproduces the stationary
+/// generator's output exactly.
+///
+/// # Panics
+///
+/// Panics when `config` is degenerate (see
+/// [`NonStationaryConfig::validate`]).
+pub fn generate_nonstationary<R: rand::Rng>(
+    config: &NonStationaryConfig,
+    spec: &SystemSpec,
+    rng: &mut R,
+) -> Vec<Task> {
+    config.validate();
+    let k = spec.num_task_types();
+    let mean_ia = config.base.per_type_mean_interarrival(k);
+    let variance = config.base.arrival_variance_frac * mean_ia;
+    let gamma = Gamma::from_mean_variance(mean_ia, variance)
+        .expect("config validated: positive mean and variance");
+    let avg_all = spec.truth.grand_mean();
+
+    let mut arrivals: Vec<(f64, TaskTypeId)> = Vec::with_capacity(k * config.base.num_tasks);
+    for tt in 0..k {
+        let type_id = TaskTypeId::from(tt);
+        let mut t = 0.0f64;
+        for _ in 0..config.base.num_tasks {
+            // A draw lands after a gap scaled by the intensity *at the
+            // stream's current clock*: the profile modulates the local
+            // rate without disturbing the underlying draw sequence.
+            t += gamma.sample(rng) / config.pattern.intensity(t);
+            arrivals.push((t, type_id));
+        }
+    }
+    arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrival times"));
+    arrivals.truncate(config.base.num_tasks);
+
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, (arr, type_id))| {
+            let arrival = arr.round().max(0.0) as Time;
+            let avg_i = spec.truth.mean_over_machines(type_id);
+            let slack = (avg_i + config.base.slack_beta * avg_all).round() as Time;
+            Task { id: TaskId::from(i), type_id, arrival, deadline: arrival + slack }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specint::specint_system;
+    use crate::WorkloadGenerator;
+    use hcsim_stats::SeedSequence;
+
+    fn system() -> SystemSpec {
+        specint_system(6, &mut SeedSequence::new(100).stream(0))
+    }
+
+    fn base() -> WorkloadConfig {
+        WorkloadConfig { num_tasks: 400, oversubscription: 19_000.0, ..Default::default() }
+    }
+
+    #[test]
+    fn unit_intensity_reproduces_stationary_generator() {
+        let spec = system();
+        let cfg = NonStationaryConfig {
+            base: base(),
+            pattern: LoadPattern::RegimeSwitch { regimes: vec![(0, 1.0)] },
+        };
+        let mut a = SeedSequence::new(9).stream(0);
+        let mut b = SeedSequence::new(9).stream(0);
+        let flat = generate_nonstationary(&cfg, &spec, &mut a);
+        let stationary = WorkloadGenerator::new(base()).generate(&spec, &mut b);
+        assert_eq!(flat, stationary);
+    }
+
+    #[test]
+    fn bursts_compress_arrivals_inside_the_duty_window() {
+        let spec = system();
+        let cfg = NonStationaryConfig {
+            base: WorkloadConfig { num_tasks: 1200, ..base() },
+            pattern: LoadPattern::Bursts { period: 10_000, duty: 0.3, peak: 6.0 },
+        };
+        let tasks = generate_nonstationary(&cfg, &spec, &mut SeedSequence::new(10).stream(0));
+        let pattern = &cfg.pattern;
+        let in_burst =
+            tasks.iter().filter(|t| pattern.intensity(t.arrival as f64) > 1.0).count() as f64;
+        let frac = in_burst / tasks.len() as f64;
+        // 30 % of the time at 6× intensity carries 6·0.3/(6·0.3+0.7) ≈ 72 %
+        // of arrivals; demand well over the uniform 30 %.
+        assert!(frac > 0.5, "only {frac:.2} of arrivals fell inside bursts");
+    }
+
+    #[test]
+    fn regime_switch_shifts_density() {
+        let spec = system();
+        let cfg = NonStationaryConfig {
+            base: WorkloadConfig { num_tasks: 1000, ..base() },
+            // Calm opening, then a 4× storm. (1000 tasks at the 19k base
+            // rate span only ~8k time units, so the switch sits early.)
+            pattern: LoadPattern::RegimeSwitch { regimes: vec![(4_000, 4.0)] },
+        };
+        let tasks = generate_nonstationary(&cfg, &spec, &mut SeedSequence::new(11).stream(0));
+        let storm_start = tasks.iter().position(|t| t.arrival >= 4_000).unwrap();
+        let calm_span = 4_000f64;
+        let storm_span = (tasks.last().unwrap().arrival - 4_000).max(1) as f64;
+        let calm_rate = storm_start as f64 / calm_span;
+        let storm_rate = (tasks.len() - storm_start) as f64 / storm_span;
+        assert!(
+            storm_rate > 2.0 * calm_rate,
+            "storm rate {storm_rate:.4} should dwarf calm rate {calm_rate:.4}"
+        );
+    }
+
+    #[test]
+    fn diurnal_intensity_peaks_mid_span() {
+        let p = LoadPattern::DiurnalRamp { span: 100, peak: 3.0 };
+        assert!((p.intensity(0.0) - 1.0).abs() < 1e-12);
+        assert!((p.intensity(50.0) - 3.0).abs() < 1e-12);
+        assert!((p.intensity(100.0) - 1.0).abs() < 1e-9);
+        assert!(p.intensity(25.0) > 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn bad_duty_rejected() {
+        LoadPattern::Bursts { period: 100, duty: 1.5, peak: 2.0 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_regimes_rejected() {
+        LoadPattern::RegimeSwitch { regimes: vec![(50, 2.0), (10, 1.0)] }.validate();
+    }
+}

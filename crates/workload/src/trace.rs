@@ -301,6 +301,7 @@ mod tests {
                 ChurnEvent { time: 900, machine: MachineId(3), kind: ChurnKind::Fail },
                 ChurnEvent { time: 900, machine: MachineId(4), kind: ChurnKind::Drain },
             ],
+            notices: vec![],
         };
         let mut buf = Vec::new();
         save_churn_csv(&trace, &mut buf).unwrap();
