@@ -99,6 +99,24 @@ const DEEP_CALM_EXIT: f64 = 0.4;
 
 /// Knobs of the adaptive threshold controller, with conservative defaults
 /// (small steps, wide clamps) that track load without oscillating.
+///
+/// Attach it to a [`PruningConfig`](crate::PruningConfig) to switch PAM
+/// from the paper's static thresholds to the online controller:
+///
+/// ```
+/// use hcsim_core::{AdaptiveConfig, Pam, PruningConfig};
+///
+/// let adaptive = AdaptiveConfig {
+///     window: 16,      // re-decide every 16 terminal outcomes
+///     calm_relax: 0.1, // relax less aggressively in sustained calm
+///     ..AdaptiveConfig::default()
+/// };
+/// adaptive.validate();
+/// let _mapper = Pam::new(PruningConfig {
+///     adaptive: Some(adaptive),
+///     ..PruningConfig::default()
+/// });
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdaptiveConfig {
     /// Terminal outcomes per adjustment window: the controller re-decides

@@ -190,6 +190,7 @@ mod tests {
             truth,
             prices: PriceTable::uniform(2, 1.0),
             queue_capacity: 6,
+            coldstart: None,
         }
         .validated()
     }
@@ -231,6 +232,7 @@ mod tests {
             truth,
             prices: PriceTable::uniform(1, 1.0),
             queue_capacity: 1,
+            coldstart: None,
         }
         .validated()
     }

@@ -9,10 +9,104 @@
 //! it has not finished yet (mass before `now` is impossible and is
 //! renormalized away) — without this, long-running tasks would keep stale
 //! optimistic estimates.
+//!
+//! # Cold-start awareness (serverless)
+//!
+//! When the system carries a [`hcsim_model::ColdStartModel`], a placement
+//! that finds no warm container pays a container spin-up before execution,
+//! so its effective execution PMF is the *cold* PET cell (spin-up ⊛
+//! execution) instead of the warm one. [`PetTables`] bundles both matrices
+//! and is the **single definition** of which cell each queue position
+//! uses — the from-scratch analysis here and the scorer's incremental
+//! cache both go through it, which is what keeps them bit-identical:
+//!
+//! * the executing task uses the cold cell iff its start *was* cold
+//!   (observable via [`hcsim_sim::ExecutingTask::cold_start`]);
+//! * a preempted pending entry keeps the warmth of its first start (its
+//!   total is already fixed);
+//! * a fresh pending entry is warm iff the machine holds a warm container
+//!   for its type *or* an earlier queue position runs the same type (its
+//!   completion re-warms the container just in time — back-to-back reuse);
+//! * a hypothetical append is warm under the same rule applied to the
+//!   whole queue.
+//!
+//! The last two are *predictions*: a container may still expire before a
+//! deep queue position starts. The scorer models warmth at scoring time —
+//! the PET is the scheduler's model of the world, not the world.
 
-use hcsim_model::{PetMatrix, Task, Time};
+use hcsim_model::{PetMatrix, Task, TaskTypeId, Time};
 use hcsim_pmf::{queue_step, queue_step_into, ConvScratch, DropPolicy, Pmf};
-use hcsim_sim::MachineState;
+use hcsim_sim::{MachineState, PendingEntry};
+
+/// The warm PET plus the optional cold (spin-up-convolved) PET, with the
+/// per-queue-position selection rules (see module docs). `Copy`-cheap: two
+/// references.
+#[derive(Debug, Clone, Copy)]
+pub struct PetTables<'a> {
+    /// Warm-container execution PMFs — the classic PET.
+    pub warm: &'a PetMatrix,
+    /// Cold-placement PMFs (spin-up ⊛ execution), `None` in the classic
+    /// HC model where every start is warm.
+    pub cold: Option<&'a PetMatrix>,
+}
+
+impl<'a> PetTables<'a> {
+    /// Classic HC view: every placement is warm.
+    #[must_use]
+    pub fn warm_only(pet: &'a PetMatrix) -> Self {
+        Self { warm: pet, cold: None }
+    }
+
+    /// The matrix the executing task's residual is drawn from.
+    pub(crate) fn for_exec(&self, exec: &hcsim_sim::ExecutingTask) -> &'a PetMatrix {
+        match self.cold {
+            Some(cold) if exec.cold_start => cold,
+            _ => self.warm,
+        }
+    }
+
+    /// The matrix pending entry `idx` (0-based position within the
+    /// pending queue) chains with.
+    pub(crate) fn for_pending(
+        &self,
+        machine: &MachineState,
+        idx: usize,
+        entry: &PendingEntry,
+    ) -> &'a PetMatrix {
+        let Some(cold) = self.cold else { return self.warm };
+        let is_cold = match entry.started_cold() {
+            // Preemption victim: warmth was fixed at its first start.
+            Some(started_cold) => started_cold,
+            None => {
+                let tt = entry.task.type_id;
+                !machine.is_warm(tt)
+                    && !machine.pending_entries().take(idx).any(|e| e.task.type_id == tt)
+            }
+        };
+        if is_cold {
+            cold
+        } else {
+            self.warm
+        }
+    }
+
+    /// Whether hypothetically appending a task of type `tt` to `machine`
+    /// would be a cold placement under the warmth-prediction rule.
+    #[must_use]
+    pub fn append_is_cold(&self, machine: &MachineState, tt: TaskTypeId) -> bool {
+        self.cold.is_some() && append_would_be_cold(machine, tt)
+    }
+}
+
+/// The bare warmth-prediction rule for a hypothetical append, without the
+/// cold-model gate: a placement is cold iff the machine holds no warm
+/// container for the type and no queued entry runs the same type (whose
+/// completion would re-warm the container in time). Shared between
+/// [`PetTables::append_is_cold`] and the scorer's CDF selection so the
+/// closed-form scoring path and the convolution path agree on warmth.
+pub(crate) fn append_would_be_cold(machine: &MachineState, tt: TaskTypeId) -> bool {
+    !machine.is_warm(tt) && !machine.pending_entries().any(|e| e.task.type_id == tt)
+}
 
 /// Analysis of one queue position.
 #[derive(Debug, Clone)]
@@ -56,7 +150,7 @@ pub fn analyze_queue(
     budget: usize,
 ) -> QueueAnalysis {
     let mut scratch = ConvScratch::new();
-    analyze_queue_into(machine, pet, now, policy, budget, &mut scratch)
+    analyze_queue_cold_into(machine, PetTables::warm_only(pet), now, policy, budget, &mut scratch)
 }
 
 /// [`analyze_queue`] with a caller-provided [`ConvScratch`]: intermediate
@@ -72,12 +166,42 @@ pub fn analyze_queue_into(
     budget: usize,
     scratch: &mut ConvScratch,
 ) -> QueueAnalysis {
+    analyze_queue_cold_into(machine, PetTables::warm_only(pet), now, policy, budget, scratch)
+}
+
+/// Cold-start-aware [`analyze_queue`]: each queue position chains with
+/// the warm or cold PET cell [`PetTables`] selects for it. With
+/// `pets.cold == None` this *is* [`analyze_queue`].
+#[must_use]
+pub fn analyze_queue_cold(
+    machine: &MachineState,
+    pets: PetTables<'_>,
+    now: Time,
+    policy: DropPolicy,
+    budget: usize,
+) -> QueueAnalysis {
+    let mut scratch = ConvScratch::new();
+    analyze_queue_cold_into(machine, pets, now, policy, budget, &mut scratch)
+}
+
+/// [`analyze_queue_cold`] drawing intermediates from a caller-provided
+/// [`ConvScratch`] — the single from-scratch walk every other entry point
+/// delegates to.
+#[must_use]
+pub fn analyze_queue_cold_into(
+    machine: &MachineState,
+    pets: PetTables<'_>,
+    now: Time,
+    policy: DropPolicy,
+    budget: usize,
+    scratch: &mut ConvScratch,
+) -> QueueAnalysis {
     let mut slots = Vec::with_capacity(machine.occupancy());
     let mut avail = Pmf::delta(now);
 
     if let Some(exec) = machine.executing() {
         let (completion, robustness, skewness) =
-            conditioned_head(exec, pet, machine.id(), now, budget, scratch);
+            conditioned_head(exec, pets.for_exec(exec), machine.id(), now, budget, scratch);
         let mut after = completion.clone();
         if policy == DropPolicy::All {
             // Eq. 5: the executing task is evicted at its deadline, so the
@@ -94,7 +218,8 @@ pub fn analyze_queue_into(
         avail = after;
     }
 
-    for entry in machine.pending_entries() {
+    for (idx, entry) in machine.pending_entries().enumerate() {
+        let pet = pets.for_pending(machine, idx, entry);
         let (mut step, skewness) =
             chain_extension(&avail, entry, pet, machine.id(), policy, budget, true, scratch);
         slots.push(QueueSlot {
@@ -117,7 +242,9 @@ pub fn analyze_queue_into(
 /// This is the *single* definition of the head-slot float pipeline; the
 /// from-scratch analysis above and the scorer's incremental tail cache
 /// both call it, which is what keeps cached tails bit-identical to
-/// from-scratch analysis. Callers apply the policy-dependent Eq. 5 clamp
+/// from-scratch analysis. `pet` is the matrix [`PetTables::for_exec`]
+/// selected (cold for a cold-started head). Callers apply the
+/// policy-dependent Eq. 5 clamp
 /// themselves (the analysis keeps the unclamped completion for its slot).
 /// The completion's storage is drawn from `scratch`'s free-list.
 pub(crate) fn conditioned_head(
@@ -149,7 +276,8 @@ pub(crate) fn conditioned_head(
 /// start; NaN when `with_skewness` is false — the scorer's stats-free
 /// fast path skips the moment pass over the uncompacted completion).
 /// Shared by the from-scratch analysis and the scorer's incremental
-/// extension — see [`conditioned_head`] for why.
+/// extension — see [`conditioned_head`] for why. `pet` is the matrix
+/// [`PetTables::for_pending`] selected for this entry.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn chain_extension(
     avail: &Pmf,
@@ -260,6 +388,7 @@ mod tests {
             truth,
             prices: hcsim_model::PriceTable::uniform(1, 1.0),
             queue_capacity: 6,
+            coldstart: None,
         }
         .validated();
         let tasks: Vec<Task> = (0..n_tasks)

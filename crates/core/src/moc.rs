@@ -118,8 +118,8 @@ impl Mapper for Moc {
 
     fn on_mapping_event(&mut self, ctx: &mut MapContext<'_>) {
         if self.scorer.is_none() {
-            self.scorer = Some(ProbScorer::new(
-                &ctx.spec().pet,
+            self.scorer = Some(ProbScorer::for_spec(
+                ctx.spec(),
                 ctx.drop_policy(),
                 self.config.impulse_budget,
             ));

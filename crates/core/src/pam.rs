@@ -125,8 +125,8 @@ impl Mapper for Pam {
         // sufferage table is guarded separately: `restore_state` may have
         // re-seated it before the first event, and it must not be reset.
         if self.scorer.is_none() {
-            self.scorer = Some(ProbScorer::new(
-                &ctx.spec().pet,
+            self.scorer = Some(ProbScorer::for_spec(
+                ctx.spec(),
                 ctx.drop_policy(),
                 self.config.impulse_budget,
             ));
@@ -617,6 +617,7 @@ mod tests {
             truth,
             prices: PriceTable::uniform(1, 1.0),
             queue_capacity: 6,
+            coldstart: None,
         }
         .validated();
         let tasks = vec![Task {
@@ -644,6 +645,7 @@ mod tests {
             truth,
             prices: PriceTable::uniform(1, 1.0),
             queue_capacity: 6,
+            coldstart: None,
         }
         .validated();
         let tasks = vec![Task { id: TaskId(0), type_id: TaskTypeId(0), arrival: 0, deadline: 500 }];

@@ -11,6 +11,23 @@ use serde::{Deserialize, Serialize};
 
 /// All knobs of the pruning mechanism (§V), with the values the paper
 /// settles on as defaults.
+///
+/// The struct is `Copy` and uses functional update syntax for overrides;
+/// [`PruningConfig::validate`] (called by every mapper constructor)
+/// rejects inconsistent threshold pairs:
+///
+/// ```
+/// use hcsim_core::{Pam, PruningConfig};
+///
+/// let cfg = PruningConfig {
+///     drop_threshold: 0.30,  // drop a task only below 30% on-time odds
+///     defer_threshold: 0.70, // defer mapping below 70% odds
+///     threads: 4,            // per-machine fan-out (bit-identical at any count)
+///     ..PruningConfig::default()
+/// };
+/// cfg.validate();
+/// let _mapper = Pam::new(cfg);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PruningConfig {
     /// Base dropping threshold (§VII-C settles on 50 %).

@@ -100,6 +100,7 @@ mod tests {
             truth,
             prices: hcsim_model::PriceTable::uniform(1, 1.0),
             queue_capacity: 6,
+            coldstart: None,
         }
         .validated();
         let tasks: Vec<Task> = (0..3)

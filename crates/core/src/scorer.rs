@@ -77,8 +77,8 @@
 //!   an assignment, a pruner slot query after a drop — at direct-call
 //!   cost instead of a channel round-trip.
 
-use crate::chain::{analyze_queue, QueueAnalysis};
-use hcsim_model::{MachineId, PetMatrix, Task, TaskId, TaskTypeId, Time};
+use crate::chain::{analyze_queue_cold, PetTables, QueueAnalysis};
+use hcsim_model::{MachineId, PetMatrix, SystemSpec, Task, TaskId, TaskTypeId, Time};
 use hcsim_parallel::{parallel_for_each_mut, FanoutBackend, WorkerPool};
 use hcsim_pmf::{queue_step_into, ConvScratch, DropPolicy, Pmf};
 use hcsim_sim::MachineState;
@@ -185,6 +185,13 @@ struct TailCache {
     valid: bool,
     /// Machine version the cache reflects.
     version: u64,
+    /// Warm-container revision the cache reflects
+    /// ([`MachineState::warm_rev`]). The head-reuse path deliberately
+    /// ignores `version` (a queue append bumps it without invalidating the
+    /// prefix), but a warm-set change *does* re-select PET cells for the
+    /// whole chain — this separate key forces the rebuild. Constant 0 in
+    /// the classic model, so the check never fires there.
+    warm_rev: u64,
     /// Event time the conditioned head was computed at.
     now: Time,
     /// Executing-task identity: `(id, started_at, progress_before)`.
@@ -226,14 +233,21 @@ struct ScorerShared {
     budget: usize,
     /// Prefix CDFs, row-major `(task_type, machine)`, built once.
     cdfs: Vec<PetCdf>,
+    /// Cold-placement prefix CDFs (spin-up ⊛ execution cells), same
+    /// layout; `None` in the classic HC model where every start is warm.
+    cold_cdfs: Option<Vec<PetCdf>>,
     machines: usize,
     /// Shard envelope CDFs, row-major `(task_type, shard)`: the pointwise
     /// max of the shard members' prefix CDFs. `CDF_env(t) ≥ CDF_m(t)` for
     /// every member `m`, so a shard-level robustness bound computed from
     /// the envelope dominates every member's individual bound — a shard
     /// the envelope proves below a threshold needs no per-machine work at
-    /// all. Built once (the PET is static); the `mean` field of an
-    /// envelope is unused and left NaN.
+    /// all. Under a cold-start model the envelope additionally covers the
+    /// *cold* member CDFs — compaction can locally break the stochastic
+    /// dominance of cold over warm cells, so cold CDFs are folded in
+    /// explicitly to keep the bound valid for whichever cell
+    /// [`ScorerShared::cdf_for`] picks. Built once (the PET is static);
+    /// the `mean` field of an envelope is unused and left NaN.
     shard_cdfs: Vec<PetCdf>,
     /// Number of [`TABLE_SHARD_WIDTH`]-machine shards.
     shards: usize,
@@ -245,6 +259,20 @@ impl ScorerShared {
         &self.cdfs[tt.index() * self.machines + m.index()]
     }
 
+    /// The CDF a hypothetical append of type `tt` to `machine` scores
+    /// with: the cold cell when the placement would pay a spin-up (no warm
+    /// container, no same-type entry already queued — the warmth rule of
+    /// [`PetTables`]), the warm cell otherwise.
+    #[inline]
+    fn cdf_for(&self, tt: TaskTypeId, machine: &MachineState) -> &PetCdf {
+        match &self.cold_cdfs {
+            Some(cold) if crate::chain::append_would_be_cold(machine, tt) => {
+                &cold[tt.index() * self.machines + machine.id().index()]
+            }
+            _ => self.cdf(tt, machine.id()),
+        }
+    }
+
     #[inline]
     fn shard_cdf(&self, tt: TaskTypeId, shard: usize) -> &PetCdf {
         &self.shard_cdfs[tt.index() * self.shards + shard]
@@ -254,8 +282,9 @@ impl ScorerShared {
 /// Pointwise-max envelope of a shard's member CDFs: breakpoints are the
 /// union of member breakpoints (a max of step functions only steps where
 /// some member steps), values the running max of the member prefixes.
-/// Non-decreasing because every member prefix is.
-fn envelope_cdf(members: &[PetCdf]) -> PetCdf {
+/// Non-decreasing because every member prefix is. Members are passed by
+/// reference so warm and cold rows can be enveloped together.
+fn envelope_cdf(members: &[&PetCdf]) -> PetCdf {
     let mut times: Vec<Time> = members.iter().flat_map(|c| c.times.iter().copied()).collect();
     times.sort_unstable();
     times.dedup();
@@ -326,7 +355,7 @@ impl MachineCache {
         shared: &ScorerShared,
         now: Time,
         machine: &MachineState,
-        pet: &PetMatrix,
+        pets: PetTables<'_>,
         want_stats: bool,
     ) {
         let (policy, budget) = (shared.policy, shared.budget);
@@ -343,6 +372,7 @@ impl MachineCache {
         let head_reusable = cache.valid
             && cache.now == now
             && cache.exec_sig == exec_sig
+            && cache.warm_rev == machine.warm_rev()
             && (!want_stats || cache.stats_valid);
         if head_reusable {
             // Layer 2 prefix reuse: keep every chain link up to the first
@@ -370,8 +400,14 @@ impl MachineCache {
             if let Some(exec) = machine.executing() {
                 // Shared head pipeline (`chain::conditioned_head`) keeps
                 // this bit-identical to from-scratch analysis.
-                let (mut completion, robustness, skewness) =
-                    crate::chain::conditioned_head(exec, pet, machine.id(), now, budget, scratch);
+                let (mut completion, robustness, skewness) = crate::chain::conditioned_head(
+                    exec,
+                    pets.for_exec(exec),
+                    machine.id(),
+                    now,
+                    budget,
+                    scratch,
+                );
                 if policy == DropPolicy::All {
                     // Eq. 5: the executing task is evicted at its deadline,
                     // so the machine is free no later than δ.
@@ -391,12 +427,12 @@ impl MachineCache {
         // uncompacted completion is the single most expensive part of an
         // append; only the pruner reads it, so stats-free callers skip it
         // (leaving the NaN placeholder `stats_valid` tracks).
-        for entry in machine.pending_entries().skip(cache.pending_sig.len()) {
+        for (idx, entry) in machine.pending_entries().enumerate().skip(cache.pending_sig.len()) {
             let avail = cache.links.last().or(cache.head.as_ref()).expect("head built above");
             let (mut step, skewness) = crate::chain::chain_extension(
                 avail,
                 entry,
-                pet,
+                pets.for_pending(machine, idx, entry),
                 machine.id(),
                 policy,
                 budget,
@@ -421,6 +457,7 @@ impl MachineCache {
 
         cache.valid = true;
         cache.version = machine.version();
+        cache.warm_rev = machine.warm_rev();
         cache.now = now;
     }
 }
@@ -478,6 +515,9 @@ pub struct ProbScorer {
     shared: Arc<ScorerShared>,
     /// The PET the scorer was built from, `Arc`-shared with pool workers.
     pet: Arc<PetMatrix>,
+    /// Cold-placement PET (spin-up ⊛ execution per cell), `Arc`-shared
+    /// with pool workers; `None` in the classic HC model.
+    cold_pet: Option<Arc<PetMatrix>>,
     /// Current event clock (set by [`ProbScorer::begin_event`]).
     now: Time,
     /// Resolved fan-out width (set by [`ProbScorer::set_parallelism`]).
@@ -511,18 +551,66 @@ impl ProbScorer {
     /// shared storage; every later query scores against it.
     #[must_use]
     pub fn new(pet: &PetMatrix, policy: DropPolicy, budget: usize) -> Self {
+        Self::with_cold(pet, None, policy, budget)
+    }
+
+    /// Builds a scorer for a full system spec: cold-start-aware when the
+    /// spec carries a [`hcsim_model::ColdStartModel`] (the cold PET is
+    /// derived once — spin-up ⊛ execution per cell, compacted to
+    /// `budget`), identical to [`ProbScorer::new`] otherwise.
+    #[must_use]
+    pub fn for_spec(spec: &SystemSpec, policy: DropPolicy, budget: usize) -> Self {
+        let cold = spec.coldstart.as_ref().map(|c| c.cold_pet(&spec.pet, budget));
+        Self::with_cold(&spec.pet, cold.as_ref(), policy, budget)
+    }
+
+    /// [`ProbScorer::new`] with an explicit cold-placement PET (same
+    /// dimensions as `pet`; see [`hcsim_model::ColdStartModel::cold_pet`]).
+    /// Queue chains and append scores then select the warm or cold cell
+    /// per position via the [`PetTables`] warmth rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cold`'s dimensions disagree with `pet`'s.
+    #[must_use]
+    pub fn with_cold(
+        pet: &PetMatrix,
+        cold: Option<&PetMatrix>,
+        policy: DropPolicy,
+        budget: usize,
+    ) -> Self {
         let mut cdfs = Vec::with_capacity(pet.task_types() * pet.machines());
         for tt in 0..pet.task_types() {
             for m in 0..pet.machines() {
                 cdfs.push(PetCdf::build(pet.pmf(TaskTypeId::from(tt), MachineId::from(m))));
             }
         }
+        let cold_cdfs = cold.map(|cold| {
+            assert_eq!(cold.task_types(), pet.task_types(), "cold PET task type count");
+            assert_eq!(cold.machines(), pet.machines(), "cold PET machine count");
+            let mut cdfs = Vec::with_capacity(cold.task_types() * cold.machines());
+            for tt in 0..cold.task_types() {
+                for m in 0..cold.machines() {
+                    cdfs.push(PetCdf::build(cold.pmf(TaskTypeId::from(tt), MachineId::from(m))));
+                }
+            }
+            cdfs
+        });
         let shards = pet.machines().div_ceil(TABLE_SHARD_WIDTH);
         let mut shard_cdfs = Vec::with_capacity(pet.task_types() * shards);
+        let mut members: Vec<&PetCdf> = Vec::with_capacity(2 * TABLE_SHARD_WIDTH);
         for tt in 0..pet.task_types() {
             let row = &cdfs[tt * pet.machines()..(tt + 1) * pet.machines()];
-            for members in row.chunks(TABLE_SHARD_WIDTH) {
-                shard_cdfs.push(envelope_cdf(members));
+            let cold_row =
+                cold_cdfs.as_ref().map(|c| &c[tt * pet.machines()..(tt + 1) * pet.machines()]);
+            for s in 0..shards {
+                let range = shard_range(s, pet.machines());
+                members.clear();
+                members.extend(row[range.clone()].iter());
+                if let Some(cold_row) = cold_row {
+                    members.extend(cold_row[range].iter());
+                }
+                shard_cdfs.push(envelope_cdf(&members));
             }
         }
         let cells = (0..pet.machines()).map(|_| MachineCache::default()).collect();
@@ -531,11 +619,13 @@ impl ProbScorer {
                 policy,
                 budget,
                 cdfs,
+                cold_cdfs,
                 machines: pet.machines(),
                 shard_cdfs,
                 shards,
             }),
             pet: Arc::new(pet.clone()),
+            cold_pet: cold.map(|c| Arc::new(c.clone())),
             now: 0,
             threads: 1,
             membership_epoch: None,
@@ -698,22 +788,30 @@ impl ProbScorer {
     /// [`SlotScore`] scalars.
     #[must_use]
     pub fn analyze(&self, machine: &MachineState, now: Time) -> QueueAnalysis {
-        analyze_queue(machine, &self.pet, now, self.shared.policy, self.shared.budget)
+        analyze_queue_cold(machine, self.pets(), now, self.shared.policy, self.shared.budget)
+    }
+
+    /// The warm/cold PET pair every queue chain selects its cells from
+    /// (cold side absent in the classic model).
+    #[must_use]
+    pub fn pets(&self) -> PetTables<'_> {
+        PetTables { warm: &self.pet, cold: self.cold_pet.as_deref() }
     }
 
     /// The machine's tail availability PMF, maintained incrementally.
     pub fn tail(&mut self, machine: &MachineState) -> &Pmf {
         let i = machine.id().index();
-        let Self { shared, pet, now, cells, tail_buf, .. } = self;
+        let Self { shared, pet, cold_pet, now, cells, tail_buf, .. } = self;
+        let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
         match cells {
             CellStore::Local(cells) => {
                 let cell = &mut cells[i];
-                cell.ensure(shared, *now, machine, pet, false);
+                cell.ensure(shared, *now, machine, pets, false);
                 cell.cache.tail()
             }
             CellStore::Pooled(pool) => {
                 pool.with_cell(i, |cell| {
-                    cell.ensure(shared, *now, machine, pet, false);
+                    cell.ensure(shared, *now, machine, pets, false);
                     tail_buf.clone_from(cell.cache.tail());
                 });
                 tail_buf
@@ -726,9 +824,10 @@ impl ProbScorer {
     /// permutation phase): in pooled mode a borrow cannot escape the cell
     /// lock, so [`ProbScorer::tail`] + `clone()` would copy twice.
     pub fn tail_into(&mut self, machine: &MachineState, out: &mut Pmf) {
-        let Self { shared, pet, now, cells, .. } = self;
+        let Self { shared, pet, cold_pet, now, cells, .. } = self;
+        let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
         cells.with(machine.id().index(), |cell| {
-            cell.ensure(shared, *now, machine, pet, false);
+            cell.ensure(shared, *now, machine, pets, false);
             out.clone_from(cell.cache.tail());
         });
     }
@@ -739,16 +838,17 @@ impl ProbScorer {
     /// reconvolves only the suffix behind the removed task.
     pub fn slot_scores(&mut self, machine: &MachineState) -> &[SlotScore] {
         let i = machine.id().index();
-        let Self { shared, pet, now, cells, slots_buf, .. } = self;
+        let Self { shared, pet, cold_pet, now, cells, slots_buf, .. } = self;
+        let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
         match cells {
             CellStore::Local(cells) => {
                 let cell = &mut cells[i];
-                cell.ensure(shared, *now, machine, pet, true);
+                cell.ensure(shared, *now, machine, pets, true);
                 &cell.cache.slots
             }
             CellStore::Pooled(pool) => {
                 pool.with_cell(i, |cell| {
-                    cell.ensure(shared, *now, machine, pet, true);
+                    cell.ensure(shared, *now, machine, pets, true);
                     slots_buf.clone_from(&cell.cache.slots);
                 });
                 slots_buf
@@ -759,15 +859,16 @@ impl ProbScorer {
     /// Scores appending `task` to `machine`'s queue. A machine with an
     /// announced departure scores against `min(δ, departs_at)` — the
     /// churn-aware bias that steers phase 2 away from soon-to-leave
-    /// machines (see [`effective_deadline`]).
+    /// machines (see `effective_deadline`).
     pub fn score(&mut self, machine: &MachineState, task: &Task) -> PairScore {
-        let Self { shared, pet, now, cells, .. } = self;
+        let Self { shared, pet, cold_pet, now, cells, .. } = self;
+        let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
         let deadline = effective_deadline(task.deadline, machine.announced_departure());
         cells.with(machine.id().index(), |cell| {
-            cell.ensure(shared, *now, machine, pet, false);
+            cell.ensure(shared, *now, machine, pets, false);
             score_against(
                 cell.cache.tail(),
-                shared.cdf(task.type_id, machine.id()),
+                shared.cdf_for(task.type_id, machine),
                 deadline,
                 shared.policy,
             )
@@ -776,6 +877,14 @@ impl ProbScorer {
 
     /// Scores `task` against an explicit tail (used by MOC's permutation
     /// phase, which evaluates hypothetical assignments).
+    ///
+    /// Always scores against the *warm* PET cell: the hypothetical tail
+    /// carries no machine-warmth context. Under a cold-start model this
+    /// overestimates the robustness of what would be a cold placement — an
+    /// accepted approximation for the permutation/preemption probes that
+    /// use this path (the serverless scenario maps with PAM, whose phases
+    /// all go through the warmth-aware [`ProbScorer::score`] and
+    /// [`ScoreTable`] paths).
     #[must_use]
     pub fn score_against_tail(
         &self,
@@ -832,25 +941,28 @@ impl ProbScorer {
         want_stats: bool,
         parallel: bool,
     ) {
-        let Self { shared, pet, now, threads, cells, snapshot, .. } = self;
+        let Self { shared, pet, cold_pet, now, threads, cells, snapshot, .. } = self;
         let now = *now;
         match cells {
             CellStore::Pooled(pool) if parallel => {
                 let snap = share_snapshot(snapshot, machines);
                 let shared = Arc::clone(shared);
                 let pet = Arc::clone(pet);
+                let cold_pet = cold_pet.clone();
                 pool.run(move |i, cell| {
                     let machine = &snap[i];
                     if filter.admits(machine) {
-                        cell.ensure(&shared, now, machine, &pet, want_stats);
+                        let pets = PetTables { warm: &pet, cold: cold_pet.as_deref() };
+                        cell.ensure(&shared, now, machine, pets, want_stats);
                     }
                 });
             }
             CellStore::Pooled(pool) => {
+                let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
                 for (i, machine) in machines.iter().enumerate() {
                     if filter.admits(machine) {
                         pool.with_cell(i, |cell| {
-                            cell.ensure(shared, now, machine, pet, want_stats)
+                            cell.ensure(shared, now, machine, pets, want_stats)
                         });
                     }
                 }
@@ -868,9 +980,9 @@ impl ProbScorer {
                     .map(|(cell, machine)| WarmJob { cell, machine })
                     .collect();
                 let shared: &ScorerShared = shared;
-                let pet: &PetMatrix = pet;
+                let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
                 parallel_for_each_mut(&mut jobs, threads, |_, job| {
-                    job.cell.ensure(shared, now, job.machine, pet, want_stats);
+                    job.cell.ensure(shared, now, job.machine, pets, want_stats);
                 });
             }
         }
@@ -917,14 +1029,7 @@ impl ProbScorer {
                         return;
                     }
                     let live = &live[i / TABLE_SHARD_WIDTH];
-                    score_column_scatter(
-                        cache.tail(),
-                        &shared,
-                        machine.id(),
-                        machine.announced_departure(),
-                        live,
-                        col,
-                    );
+                    score_column_scatter(cache.tail(), &shared, machine, live, col);
                 });
                 // Index-ordered merge: swap each worker-filled column into
                 // the table (and recycle the table's old buffer as the
@@ -942,14 +1047,7 @@ impl ProbScorer {
                     }
                     let live = &live_by_shard[i / TABLE_SHARD_WIDTH];
                     pool.with_cell(i, |cell| {
-                        score_column_scatter(
-                            cell.cache.tail(),
-                            shared,
-                            machine.id(),
-                            machine.announced_departure(),
-                            live,
-                            col,
-                        );
+                        score_column_scatter(cell.cache.tail(), shared, machine, live, col);
                     });
                 }
             }
@@ -974,14 +1072,7 @@ impl ProbScorer {
                         return;
                     }
                     let live = &live_by_shard[job.machine.id().index() / TABLE_SHARD_WIDTH];
-                    score_column_scatter(
-                        job.cell.cache.tail(),
-                        shared,
-                        job.machine.id(),
-                        job.machine.announced_departure(),
-                        live,
-                        job.col,
-                    );
+                    score_column_scatter(job.cell.cache.tail(), shared, job.machine, live, job.col);
                 });
             }
         }
@@ -990,9 +1081,10 @@ impl ProbScorer {
     /// Ensures `machine`'s cell and returns its tail's earliest start —
     /// the single-machine bound probe [`ScoreTable::push_row`] uses.
     fn ensure_tail_min(&mut self, machine: &MachineState) -> Time {
-        let Self { shared, pet, now, cells, .. } = self;
+        let Self { shared, pet, cold_pet, now, cells, .. } = self;
+        let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
         cells.with(machine.id().index(), |cell| {
-            cell.ensure(shared, *now, machine, pet, false);
+            cell.ensure(shared, *now, machine, pets, false);
             cell.cache.tail().min_time()
         })
     }
@@ -1068,7 +1160,7 @@ const BOUND_MARGIN: f64 = 1e-8;
 /// same-instant arrival burst.
 ///
 /// Layout is machine-major (one contiguous column per machine), grouped
-/// into contiguous [`TABLE_SHARD_WIDTH`]-machine shards, which is what
+/// into contiguous `TABLE_SHARD_WIDTH`-machine shards, which is what
 /// makes both the bound pass and the phase-2 reduction cheap at cluster
 /// scale:
 ///
@@ -1088,7 +1180,7 @@ const BOUND_MARGIN: f64 = 1e-8;
 ///   shard whose envelope bound stays below the caller's skip threshold
 ///   is skipped whole; a row dead in *every* shard is deferred without
 ///   scoring anything. Per-row bound work is O(shards), not O(machines).
-///   [`BOUND_MARGIN`] absorbs float slop, so skip decisions *provably*
+///   `BOUND_MARGIN` absorbs float slop, so skip decisions *provably*
 ///   agree with exact scoring: a skipped machine's exact robustness is
 ///   strictly below the threshold, so its score could only ever lose the
 ///   reduction to deferral anyway. (The shard test is conservative — an
@@ -1496,17 +1588,11 @@ impl ScoreTable {
         col.clear();
         col.resize(rows, None);
         let live = &self.live;
-        let ProbScorer { shared, pet, now, cells, .. } = scorer;
+        let ProbScorer { shared, pet, cold_pet, now, cells, .. } = scorer;
+        let pets = PetTables { warm: pet, cold: cold_pet.as_deref() };
         cells.with(m, |cell| {
-            cell.ensure(shared, *now, machine, pet, false);
-            score_column_scatter(
-                cell.cache.tail(),
-                shared,
-                machine.id(),
-                machine.announced_departure(),
-                live,
-                col,
-            );
+            cell.ensure(shared, *now, machine, pets, false);
+            score_column_scatter(cell.cache.tail(), shared, machine, live, col);
         });
     }
 
@@ -1719,20 +1805,22 @@ fn effective_deadline(deadline: Time, cap: Option<Time>) -> Time {
 /// dependency chains instead of one. Each lane performs exactly the
 /// per-task walk of [`score_against`] (same impulse order, same CDF
 /// values, same float operations), so the column is bit-identical to
-/// per-pair scoring; the remainder lanes literally call it. `cap` is the
-/// machine's announced departure (see [`effective_deadline`]).
+/// per-pair scoring; the remainder lanes literally call it. The machine's
+/// announced departure caps each deadline (see [`effective_deadline`]),
+/// and under a cold-start model each task's CDF is selected warm-or-cold
+/// from the machine's warm-container set via [`ScorerShared::cdf_for`].
 fn score_column_scatter(
     tail: &Pmf,
     shared: &ScorerShared,
-    machine: MachineId,
-    cap: Option<Time>,
+    machine: &MachineState,
     live: &[(usize, Task)],
     col: &mut [Option<PairScore>],
 ) {
+    let cap = machine.announced_departure();
     let mut quads = live.chunks_exact(4);
     for quad in &mut quads {
         let tasks = [quad[0].1, quad[1].1, quad[2].1, quad[3].1];
-        let scores = score_quad(tail, shared, machine, cap, &tasks);
+        let scores = score_quad(tail, shared, machine, &tasks);
         for (&(row, _), score) in quad.iter().zip(scores) {
             col[row] = Some(score);
         }
@@ -1740,7 +1828,7 @@ fn score_column_scatter(
     for &(row, task) in quads.remainder() {
         col[row] = Some(score_against(
             tail,
-            shared.cdf(task.type_id, machine),
+            shared.cdf_for(task.type_id, machine),
             effective_deadline(task.deadline, cap),
             shared.policy,
         ));
@@ -1753,15 +1841,15 @@ fn score_column_scatter(
 fn score_quad(
     tail: &Pmf,
     shared: &ScorerShared,
-    machine: MachineId,
-    cap: Option<Time>,
+    machine: &MachineState,
     quad: &[Task],
 ) -> [PairScore; 4] {
+    let cap = machine.announced_departure();
     let cdfs = [
-        shared.cdf(quad[0].type_id, machine),
-        shared.cdf(quad[1].type_id, machine),
-        shared.cdf(quad[2].type_id, machine),
-        shared.cdf(quad[3].type_id, machine),
+        shared.cdf_for(quad[0].type_id, machine),
+        shared.cdf_for(quad[1].type_id, machine),
+        shared.cdf_for(quad[2].type_id, machine),
+        shared.cdf_for(quad[3].type_id, machine),
     ];
     let deadlines = [
         effective_deadline(quad[0].deadline, cap),
@@ -1869,6 +1957,7 @@ fn score_against(tail: &Pmf, cdf: &PetCdf, deadline: Time, policy: DropPolicy) -
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chain::analyze_queue;
     use hcsim_pmf::queue_step;
     use hcsim_sim::testkit;
 

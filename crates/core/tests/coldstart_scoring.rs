@@ -1,0 +1,101 @@
+//! The scorer's warm/cold cell selection against live keep-alive state.
+//!
+//! Under a cold-start model ([`hcsim_model::ColdStartModel`]) the scorer
+//! holds two PETs per (function, machine) cell — the warm execution PMF
+//! and the cold spin-up ⊛ execution PMF — and selects per queue entry
+//! based on the machine's warm-container set. These tests pin the
+//! *transitions*: warming a container must move the scored tail earlier,
+//! and a keep-alive expiry must flip the scorer back to the cold PET
+//! **bit-identically** — the queue signature is unchanged across the
+//! flip, so this is precisely the case the tail cache's `warm_rev`
+//! keying exists for (a cache that ignored warm-set revisions would keep
+//! serving the stale warm tail).
+
+use hcsim_core::ProbScorer;
+use hcsim_model::{MachineId, Task, TaskId, TaskTypeId, Time};
+use hcsim_pmf::DropPolicy;
+use hcsim_sim::testkit;
+use hcsim_stats::SeedSequence;
+use hcsim_workload::{faas_system, FaasConfig};
+
+fn task(id: u32, tt: TaskTypeId, deadline: Time) -> Task {
+    Task { id: TaskId(id), type_id: tt, arrival: 0, deadline }
+}
+
+#[test]
+fn keep_alive_expiry_flips_scorer_back_to_cold_pet() {
+    let seeds = SeedSequence::new(42);
+    let cfg =
+        FaasConfig { num_functions: 8, num_machines: 4, num_tasks: 100, ..FaasConfig::default() };
+    let spec = faas_system(&cfg, &mut seeds.stream(0));
+    let tt = TaskTypeId(3);
+    let mut scorer = ProbScorer::for_spec(&spec, DropPolicy::All, 24);
+    scorer.begin_event(10);
+
+    let mut machine =
+        testkit::machine_with_pending(MachineId(1), spec.queue_capacity, &[task(7, tt, 500)]);
+
+    // No warm container: the pending head pays the spin-up.
+    let cold_tail = scorer.tail(&machine).clone();
+
+    // Warm container resident: same queue, warm cell selected — the tail
+    // must move strictly earlier (spin-up mass removed).
+    testkit::set_warm(&mut machine, tt, 100);
+    let warm_tail = scorer.tail(&machine).clone();
+    assert_ne!(warm_tail, cold_tail, "warming the container must change the scored tail");
+    assert!(
+        warm_tail.mean() < cold_tail.mean(),
+        "warm tail mean {} must beat cold {}",
+        warm_tail.mean(),
+        cold_tail.mean()
+    );
+
+    // The warm-hit view must agree with a classic (cold-model-free)
+    // scorer over the pure execution PET: a warm start IS a classic
+    // start.
+    let mut warm_only = ProbScorer::new(&spec.pet, DropPolicy::All, 24);
+    warm_only.begin_event(10);
+    assert_eq!(
+        warm_tail,
+        warm_only.tail(&machine).clone(),
+        "warm-hit scoring must equal the plain execution PET"
+    );
+
+    // Keep-alive expiry: the container is reclaimed, the queue signature
+    // is untouched, and the scorer must flip back to the cold PET
+    // bit-identically. `warm_rev` is the only thing distinguishing this
+    // machine state from the warm one above for cache purposes.
+    assert!(testkit::expire_warm(&mut machine, tt, 100), "expiry at the exact deadline applies");
+    let flipped_tail = scorer.tail(&machine).clone();
+    assert_eq!(
+        flipped_tail, cold_tail,
+        "after keep-alive expiry the scored tail must be bit-identical to the cold tail"
+    );
+}
+
+#[test]
+fn stale_expiry_leaves_warm_scoring_untouched() {
+    let seeds = SeedSequence::new(42);
+    let cfg =
+        FaasConfig { num_functions: 8, num_machines: 4, num_tasks: 100, ..FaasConfig::default() };
+    let spec = faas_system(&cfg, &mut seeds.stream(0));
+    let tt = TaskTypeId(5);
+    let mut scorer = ProbScorer::for_spec(&spec, DropPolicy::All, 24);
+    scorer.begin_event(10);
+
+    let mut machine =
+        testkit::machine_with_pending(MachineId(0), spec.queue_capacity, &[task(9, tt, 500)]);
+    testkit::set_warm(&mut machine, tt, 200);
+    let warm_tail = scorer.tail(&machine).clone();
+
+    // An expiry event scheduled for an older deadline (the container's
+    // clock restarted since) is a no-op: warmth — and the score — stay.
+    assert!(!testkit::expire_warm(&mut machine, tt, 100), "stale deadline must not apply");
+    assert_eq!(scorer.tail(&machine).clone(), warm_tail);
+
+    // A warm container for a DIFFERENT function does not warm this one.
+    let other = TaskTypeId(2);
+    testkit::set_warm(&mut machine, other, 200);
+    assert!(testkit::expire_warm(&mut machine, other, 200));
+    assert_eq!(scorer.tail(&machine).clone(), warm_tail);
+}

@@ -33,7 +33,8 @@ use hcsim_core::{
 use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig, SimReport};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{
-    cluster_churn, specint_cluster, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+    cluster_churn, faas_system, specint_cluster, ChurnConfig, FaasConfig, FaasGenerator,
+    WorkloadConfig, WorkloadGenerator,
 };
 use proptest::prelude::*;
 
@@ -79,9 +80,10 @@ fn cluster_trial(
 }
 
 /// Byte-comparable rendering of everything a trial decides: per-task
-/// records (outcome, machine, timing), metrics, and cost accounting.
+/// records (outcome, machine, timing), metrics, cost accounting, and the
+/// serverless cold/warm tallies (zero in the classic model).
 fn fingerprint(report: &SimReport) -> String {
-    format!("{:?}\n{:?}\n{:?}", report.metrics, report.records, report.cost)
+    format!("{:?}\n{:?}\n{:?}\n{:?}", report.metrics, report.records, report.cost, report.faas)
 }
 
 /// Like [`cluster_trial`] but with a generated membership-churn timeline:
@@ -143,6 +145,40 @@ fn adaptive_cases() -> u32 {
     } else {
         3
     }
+}
+
+/// Proptest case count for the serverless invariance proptests; the CI
+/// faas leg (`HCSIM_TEST_FAAS=1`) runs a deeper sweep.
+fn faas_cases() -> u32 {
+    if std::env::var("HCSIM_TEST_FAAS").as_deref() == Ok("1") {
+        8
+    } else {
+        3
+    }
+}
+
+/// One serverless trial: a FaaS cluster past the `PARALLEL_MIN_MACHINES`
+/// gate, Zipf-popular bursty request arrivals, container cold starts and
+/// keep-alive expiries live. Machine *warmth* now feeds the scorer's
+/// cell selection, so any fan-out ordering leak would additionally show
+/// up as diverging cold/warm tallies — which the fingerprint includes.
+fn faas_trial(seed: u64, threads: usize, backend: FanoutBackend) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let cfg = FaasConfig {
+        num_functions: 16,
+        num_machines: PARALLEL_MIN_MACHINES + 4,
+        num_tasks: 300,
+        // The 32-machine default intensity scaled to 20 machines, keeping
+        // per-machine load in the >10× overload regime.
+        oversubscription: 218_750.0,
+        ..FaasConfig::default()
+    };
+    let spec = faas_system(&cfg, &mut seeds.stream(0));
+    let tasks = FaasGenerator::new(cfg).generate(&spec, &mut seeds.stream(1));
+    let mut mapper =
+        HeuristicKind::Pam.build(PruningConfig { threads, backend, ..PruningConfig::default() });
+    let mut rng = seeds.stream(2);
+    run_simulation(&spec, SimConfig::untrimmed(), &tasks, &mut mapper, &mut rng)
 }
 
 /// [`cluster_trial`] with the closed-loop controller steering thresholds.
@@ -345,6 +381,78 @@ proptest! {
         prop_assert_eq!(seq.epochs, pool.epochs);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: faas_cases(), ..ProptestConfig::default() })]
+
+    /// PAM on the serverless workload: cold/warm PET selection, warm-set
+    /// revisions invalidating tail caches, and spin-up sampling all ride
+    /// the mapping hot path now — and the report (including the
+    /// cold-start/warm-hit tallies) must stay byte-identical across all
+    /// four execution modes. `HCSIM_TEST_FAAS=1` (the CI faas leg)
+    /// widens the seed sweep.
+    #[test]
+    fn faas_reports_are_execution_mode_invariant(seed in 0u64..10_000) {
+        let t = test_threads();
+        let seq = faas_trial(seed, 1, FanoutBackend::Scoped);
+        let scoped = faas_trial(seed, t, FanoutBackend::Scoped);
+        let pool = faas_trial(seed, t, FanoutBackend::Pool);
+        let steal = faas_trial(seed, t, FanoutBackend::Stealing);
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&scoped));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&pool));
+        prop_assert_eq!(fingerprint(&seq), fingerprint(&steal));
+        // The workload must actually exercise both sides of the cold/warm
+        // split, or the invariance above proves nothing about it.
+        prop_assert!(seq.faas.cold_starts > 0, "no cold starts — scenario degenerate");
+        prop_assert!(seq.faas.warm_hits > 0, "no warm hits — scenario degenerate");
+    }
+}
+
+/// Seed-golden pin of the serverless scenario: runs sequentially and on
+/// the matrix-selected parallel mode, asserts the same constants on
+/// every CI leg — pinning the cold/warm trajectory (not just outcome
+/// counts) against behavioral drift in the keep-alive or spin-up paths.
+#[test]
+fn faas_seed_golden_pin() {
+    let report = faas_trial(2019, 1, FanoutBackend::Scoped);
+    let parallel = faas_trial(2019, test_threads(), test_backend());
+    assert_eq!(
+        fingerprint(&report),
+        fingerprint(&parallel),
+        "threads=1 and threads={} ({:?}) diverged on the pinned faas scenario",
+        test_threads(),
+        test_backend(),
+    );
+    let o = &report.metrics.outcomes;
+    eprintln!(
+        "faas golden: on_time={} late={} pruned={} exp_unstarted={} exp_executing={} \
+         events={} end={} cold={} warm={}",
+        o.on_time,
+        o.late,
+        o.pruned,
+        o.expired_unstarted,
+        o.expired_executing,
+        report.mapping_events,
+        report.end_time,
+        report.faas.cold_starts,
+        report.faas.warm_hits,
+    );
+    assert_eq!(o.on_time, FAAS_GOLDEN_ON_TIME);
+    assert_eq!(o.pruned, FAAS_GOLDEN_PRUNED);
+    assert_eq!(o.expired_unstarted, FAAS_GOLDEN_EXPIRED_UNSTARTED);
+    assert_eq!(report.mapping_events, FAAS_GOLDEN_MAPPING_EVENTS);
+    assert_eq!(report.end_time, FAAS_GOLDEN_END_TIME);
+    assert_eq!(report.faas.cold_starts, FAAS_GOLDEN_COLD_STARTS);
+    assert_eq!(report.faas.warm_hits, FAAS_GOLDEN_WARM_HITS);
+}
+
+const FAAS_GOLDEN_ON_TIME: usize = 161;
+const FAAS_GOLDEN_PRUNED: usize = 0;
+const FAAS_GOLDEN_EXPIRED_UNSTARTED: usize = 139;
+const FAAS_GOLDEN_MAPPING_EVENTS: u64 = 638;
+const FAAS_GOLDEN_END_TIME: u64 = 325;
+const FAAS_GOLDEN_COLD_STARTS: u64 = 16;
+const FAAS_GOLDEN_WARM_HITS: u64 = 145;
 
 /// Seed-golden pin of the `cluster_64m` bench scenario (reduced to 400
 /// tasks so debug-mode CI stays fast, which still oversubscribes the

@@ -20,6 +20,7 @@ fn one_machine_spec() -> SystemSpec {
         truth,
         prices: PriceTable::uniform(1, 1.0),
         queue_capacity: 6,
+        coldstart: None,
     }
     .validated()
 }

@@ -28,7 +28,8 @@ use hcsim_core::{
 use hcsim_sim::{ChurnSource, EventSource, SimConfig, SimReport, SimSession, TaskTraceSource};
 use hcsim_stats::SeedSequence;
 use hcsim_workload::{
-    cluster_churn, specint_cluster, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+    cluster_churn, faas_system, specint_cluster, ChurnConfig, FaasConfig, FaasGenerator,
+    WorkloadConfig, WorkloadGenerator,
 };
 use proptest::prelude::*;
 
@@ -147,6 +148,87 @@ fn session_trial_with(
     let session = SimSession::restore(&spec, sim, &bytes, &mut mapper, &mut rng)
         .expect("inter-event-boundary snapshot must restore");
     session.run_to_completion()
+}
+
+/// One serverless trial through the stepwise [`SimSession`] API, with the
+/// same interrupt-restore shape as [`session_trial`]. The snapshot here
+/// additionally carries warm-container sets (including in-use pins),
+/// pending `ContainerExpiry` heap events, and the cold/warm tallies —
+/// the keep-alive state dimension this scenario exists to cover.
+fn faas_session_trial(
+    seed: u64,
+    threads: usize,
+    backend: FanoutBackend,
+    snapshot_at: Option<usize>,
+) -> SimReport {
+    let seeds = SeedSequence::new(seed);
+    let cfg = FaasConfig {
+        num_functions: 16,
+        num_machines: PARALLEL_MIN_MACHINES + 4,
+        num_tasks: 300,
+        oversubscription: 218_750.0,
+        ..FaasConfig::default()
+    };
+    let spec = faas_system(&cfg, &mut seeds.stream(0));
+    let tasks = FaasGenerator::new(cfg).generate(&spec, &mut seeds.stream(1));
+    let config = PruningConfig { threads, backend, ..PruningConfig::default() };
+    let mut mapper = HeuristicKind::Pam.build(config);
+    let mut rng = seeds.stream(2);
+    let mut task_source = TaskTraceSource::new(&tasks);
+    let mut sources: Vec<&mut dyn EventSource> = vec![&mut task_source];
+    let sim = SimConfig::untrimmed();
+    let mut session = SimSession::new(&spec, sim, &mut sources, &mut mapper, &mut rng);
+
+    let Some(steps) = snapshot_at else {
+        return session.run_to_completion();
+    };
+    for _ in 0..steps {
+        if !session.step() {
+            break;
+        }
+    }
+    let bytes = session.snapshot();
+    drop(session);
+    drop(mapper);
+
+    let mut mapper = HeuristicKind::Pam.build(config);
+    let mut rng = seeds.stream(9);
+    let session = SimSession::restore(&spec, sim, &bytes, &mut mapper, &mut rng)
+        .expect("inter-event-boundary snapshot must restore");
+    session.run_to_completion()
+}
+
+/// Proptest case count for the serverless snapshot proptest; the CI faas
+/// leg (`HCSIM_TEST_FAAS=1`) runs a deeper sweep.
+fn faas_cases() -> u32 {
+    if std::env::var("HCSIM_TEST_FAAS").as_deref() == Ok("1") {
+        8
+    } else {
+        3
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: faas_cases(), ..ProptestConfig::default() })]
+
+    /// The serverless scenario interrupted at an arbitrary step: warm
+    /// containers (possibly pinned in-use), scheduled keep-alive
+    /// expiries, and cold/warm tallies must all round-trip through the
+    /// snapshot so the restored run — on the matrix-selected execution
+    /// mode — is byte-identical to never having stopped.
+    #[test]
+    fn faas_snapshot_restore_is_bit_identical_at_any_step(
+        seed in 0u64..10_000,
+        snap_step in 0usize..600,
+    ) {
+        let t = test_threads();
+        let b = test_backend();
+        let baseline = faas_session_trial(seed, 1, FanoutBackend::Scoped, None);
+        let resumed = faas_session_trial(seed, t, b, Some(snap_step));
+        prop_assert_eq!(fingerprint(&baseline), fingerprint(&resumed));
+        prop_assert_eq!(baseline.faas.cold_starts, resumed.faas.cold_starts);
+        prop_assert_eq!(baseline.faas.warm_hits, resumed.faas.warm_hits);
+    }
 }
 
 proptest! {

@@ -19,8 +19,11 @@
 //! `speedup_vs_baseline` ratio) in the fresh output — this is how the
 //! repo's committed files record the before/after trajectory of perf PRs.
 //! `--check` turns the comparison into a CI gate: any op slower than 2×
-//! its baseline fails the run, and any `cluster_*` row *absent* from the
-//! baseline fails it too (see [`attach_baseline`]).
+//! its baseline fails the run, and any row *absent* from the baseline
+//! fails it too — every missing row is collected and reported in one
+//! pass, so a new scenario that lands several rows at once produces one
+//! complete regeneration list rather than a fail/fix/fail loop (see
+//! [`attach_baseline`]).
 //!
 //! **Host sensitivity.** Absolute `ns_per_op` numbers move with the host
 //! class: a container-generation change, a different CPU family, or even
@@ -45,7 +48,8 @@ use hcsim_sim::{
 };
 use hcsim_stats::{Gamma, Histogram, SeedSequence};
 use hcsim_workload::{
-    cluster_churn, specint_cluster, specint_system, ChurnConfig, WorkloadConfig, WorkloadGenerator,
+    cluster_churn, faas_system, specint_cluster, specint_system, ChurnConfig, FaasConfig,
+    FaasGenerator, WorkloadConfig, WorkloadGenerator,
 };
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -674,6 +678,53 @@ fn cluster_sweep(quick: bool, results: &mut Vec<BenchResult>) {
         mega_trial("cluster_1024m", threads, true);
     }
     mega_trial("cluster_1024m_noreuse", 4, false);
+
+    // Serverless burst scenario (arXiv:1905.04456): a 256-machine FaaS
+    // cluster under Zipf-popular, gamma-bursty request arrivals, with the
+    // aggregate rate scaled 8× so the per-machine load matches the
+    // 32-machine serverless default. Bursty interarrivals (CV² > 1) pile
+    // requests onto shared ticks far harder than the smooth batch
+    // process, and every same-tick reuse hit must additionally survive
+    // the warm-container revision checks (a keep-alive mutation bumps
+    // `warm_rev` and invalidates the cached column) — so these rows
+    // stress the table-reuse path under its adversarial case. The
+    // `_noreuse` ablation gap is the measured burst-reuse win on the
+    // serverless shape.
+    let faas_cfg = FaasConfig {
+        num_machines: 256,
+        num_tasks: cluster_tasks_n,
+        oversubscription: 2_800_000.0,
+        ..FaasConfig::default()
+    };
+    let faas_spec = faas_system(&faas_cfg, &mut seeds.stream(9));
+    let faas_tasks = FaasGenerator::new(faas_cfg).generate(&faas_spec, &mut seeds.stream(10));
+    let mut faas_trial = |label: &str, threads: usize, table_reuse: bool| {
+        let mut events = 0u64;
+        let timing = cluster_timer.run(|| {
+            let mut mapper = HeuristicKind::Pam.build(PruningConfig {
+                threads,
+                table_reuse,
+                ..PruningConfig::default()
+            });
+            let mut rng = seeds.stream(5);
+            let report = run_simulation(
+                &faas_spec,
+                SimConfig::untrimmed(),
+                &faas_tasks,
+                &mut mapper,
+                &mut rng,
+            );
+            events = report.mapping_events;
+            std::hint::black_box(report.metrics.counted);
+        });
+        let mut r = result(format!("{label}/PAM_t{threads}"), &cluster_timer, timing);
+        r.events_per_sec = Some(events as f64 / (r.ns_per_op / 1e9));
+        results.push(r);
+    };
+    for threads in [1usize, 4] {
+        faas_trial("cluster_faas256", threads, true);
+    }
+    faas_trial("cluster_faas256_noreuse", 4, false);
 }
 
 // ---------------------------------------------------------------------------
@@ -719,7 +770,11 @@ pub fn render_scaling_markdown(suite: &BenchSuite) -> String {
          128x arrival rate, 32 score-table shards); cluster_1024m_noreuse\n\
          is the same scenario with same-tick table reuse disabled, so its\n\
          gap to cluster_1024m/PAM_t4 is the measured burst-reuse win.\n\
-         Every scenario's speedups compare against its own t1 leg.\n\n\
+         The cluster_faas256 rows run the serverless burst scenario (256\n\
+         machines, Zipf-popular bursty functions, cold starts +\n\
+         keep-alive); cluster_faas256_noreuse is its same-tick-reuse\n\
+         ablation. Every scenario's speedups compare against its own t1\n\
+         leg.\n\n\
          | id | threads | ns/op (best) | events/sec | speedup vs t1 |\n\
          |---|---|---|---|---|\n",
     );
@@ -909,15 +964,18 @@ pub fn parse_baseline(doc: &str) -> BTreeMap<String, f64> {
 
 /// Attaches baselines from `dir/BENCH_<suite>.json` to `suite`'s results.
 /// Returns the failures — ids that regressed beyond [`REGRESSION_FACTOR`],
-/// plus any `cluster_*` row with *no* baseline entry at all — or `None`
-/// when the baseline file does not exist; callers running as a gate must
-/// treat that as a failure, not a pass (a silently skipped comparison
-/// would let the CI guarantee rot).
+/// plus every row with *no* baseline entry at all — or `None` when the
+/// baseline file does not exist; callers running as a gate must treat
+/// that as a failure, not a pass (a silently skipped comparison would let
+/// the CI guarantee rot).
 ///
 /// Unknown ids used to be skipped silently, which meant a brand-new
-/// cluster scenario was never gated until someone remembered to
-/// regenerate the baseline. Now every unknown id warns, and unknown
-/// `cluster_*` rows (the scaling-critical ones) fail the check outright.
+/// scenario was never gated until someone remembered to regenerate the
+/// baseline; a first hardening pass then failed unknown `cluster_*` rows
+/// but still let micro rows drift out of the gate. Now *every* missing
+/// row is a failure, and all of them are collected before returning —
+/// one `--check` run yields the complete regeneration list instead of
+/// surfacing the misses one fix/rerun cycle at a time.
 pub fn attach_baseline(suite: &mut BenchSuite, dir: &Path) -> Option<Vec<String>> {
     let path = dir.join(format!("BENCH_{}.json", suite.name));
     let Ok(doc) = std::fs::read_to_string(&path) else {
@@ -928,18 +986,12 @@ pub fn attach_baseline(suite: &mut BenchSuite, dir: &Path) -> Option<Vec<String>
     let mut regressions = Vec::new();
     for r in &mut suite.results {
         if !baseline.contains_key(&r.id) {
-            eprintln!(
-                "  WARNING: result id `{}` has no entry in {} — it is not being gated",
-                r.id,
-                path.display()
-            );
-            if r.id.starts_with("cluster_") {
-                regressions.push(format!(
-                    "{}: no baseline entry in BENCH_{}.json — cluster rows must be gated; \
-                     regenerate the committed baseline",
-                    r.id, suite.name
-                ));
-            }
+            eprintln!("  WARNING: result id `{}` has no entry in {}", r.id, path.display());
+            regressions.push(format!(
+                "{}: no baseline entry in BENCH_{}.json — every emitted row must be gated; \
+                 regenerate the committed baseline",
+                r.id, suite.name
+            ));
         }
         if let Some(&b) = baseline.get(&r.id) {
             r.baseline_ns_per_op = Some(b);
@@ -1164,17 +1216,19 @@ mod tests {
             results: vec![
                 mk("fast", 190.0),
                 mk("slow", 300.0),
+                // TWO rows missing from the baseline — a micro row and a
+                // cluster row. Both must fail, and both must be listed in
+                // the SAME pass: the regression test for (a) the
+                // unknown-id hole that let new scenarios sail through
+                // `--check` ungated, and (b) the one-miss-per-run loop
+                // that made baseline regeneration a fail/fix/fail cycle.
                 mk("unknown", 9e9),
                 mk("fanout/dispatch", 500.0),
-                // A cluster row missing from the baseline is a FAILURE,
-                // not a silent skip — the regression test for the
-                // unknown-id hole that let new cluster scenarios sail
-                // through `--check` ungated.
                 mk("cluster_1024m/PAM_t4", 100.0),
             ],
         };
         let regressions = attach_baseline(&mut suite, &dir).expect("baseline file exists");
-        assert_eq!(regressions.len(), 2, "{regressions:?}");
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
         assert_eq!(
             suite.results[3].baseline_ns_per_op,
             Some(100.0),
@@ -1187,8 +1241,12 @@ mod tests {
         );
         assert!(regressions[0].starts_with("slow:"));
         assert!(
-            regressions[1].starts_with("cluster_1024m/PAM_t4:")
-                && regressions[1].contains("no baseline entry"),
+            regressions[1].starts_with("unknown:") && regressions[1].contains("no baseline entry"),
+            "{regressions:?}"
+        );
+        assert!(
+            regressions[2].starts_with("cluster_1024m/PAM_t4:")
+                && regressions[2].contains("no baseline entry"),
             "{regressions:?}"
         );
         assert_eq!(suite.results[0].baseline_ns_per_op, Some(100.0));

@@ -30,7 +30,7 @@ pub struct Cli {
 /// CLI usage text.
 #[must_use]
 pub fn usage() -> &'static str {
-    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|service|adaptive|ablate|bench|scaling> [options]
+    "usage: hcsim-exp <fig4|..|fig9|all|levels|churn|service|adaptive|faas|ablate|bench|scaling> [options]
 
 figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           'levels' sweeps all heuristics over six oversubscription levels;
@@ -41,12 +41,18 @@ figures:  fig4..fig9 reproduce the paper; 'all' runs every figure;
           baseline, crash at a membership epoch -> restore -> resume
           (bit-identity check + recovery time), and 10x-overload
           admission shedding with full accounting;
+          'faas' runs the serverless scenario (arXiv:1905.04456): Zipf-
+          popular bursty functions at >10x the 34k arrival intensity with
+          container cold starts and keep-alive, PAM pruning vs the MM
+          baseline with cold/warm accounting;
           'ablate' runs the design-choice ablation suite (see DESIGN.md);
           'bench' times the PMF calculus and the mapping loop (incl. the
-          cluster_64m and cluster_64m_churn scenarios), writing
-          BENCH_pmf.json / BENCH_mapping.json;
-          'scaling' runs just the cluster_64m(+churn) threads sweep and
-          writes SCALING_cluster64.{json,md} (the multi-core scaling table)
+          cluster_64m, cluster_64m_churn, cluster_1024m, and
+          cluster_faas256 scenarios), writing BENCH_pmf.json /
+          BENCH_mapping.json;
+          'scaling' runs just the cluster threads sweeps (64m, churn,
+          1024m, faas256) and writes SCALING_cluster64.{json,md} (the
+          multi-core scaling table)
 
 options:
   --quick           5 trials x 300 tasks (smoke run; bench: fewer samples)

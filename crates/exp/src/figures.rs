@@ -10,8 +10,9 @@ use hcsim_service::{run_with_recovery, FaultPlan, ServiceConfig};
 use hcsim_sim::{run_simulation, run_simulation_with_churn, SimConfig};
 use hcsim_stats::{mean_ci95, ConfidenceInterval, SeedSequence};
 use hcsim_workload::{
-    cluster_churn, generate_nonstationary, specint_cluster, specint_system, ArrivalSchedule,
-    ChurnConfig, LoadPattern, NonStationaryConfig, WorkloadConfig, WorkloadGenerator,
+    cluster_churn, faas_system, generate_nonstationary, specint_cluster, specint_system,
+    ArrivalSchedule, ChurnConfig, FaasConfig, FaasGenerator, LoadPattern, NonStationaryConfig,
+    WorkloadConfig, WorkloadGenerator,
 };
 
 fn ci(ci: &ConfidenceInterval) -> String {
@@ -542,6 +543,120 @@ pub fn service(opts: &FigOptions) -> Table {
     table
 }
 
+/// One heuristic's aggregate in the serverless sweep (the acceptance data
+/// behind the [`faas`] table).
+#[derive(Debug, Clone)]
+pub struct FaasSweepRow {
+    /// Heuristic name.
+    pub heuristic: &'static str,
+    /// Mean % of requests completed on time.
+    pub on_time: ConfidenceInterval,
+    /// Mean container cold starts per trial.
+    pub cold_starts: f64,
+    /// Mean warm-container hits per trial.
+    pub warm_hits: f64,
+    /// Mean requests removed by the pruner per trial.
+    pub pruned: f64,
+}
+
+/// Runs the serverless sweep and returns per-heuristic aggregates: PAM
+/// (probabilistic pruning, cold-aware scoring) against the MM baseline on
+/// the same trial inputs.
+#[must_use]
+pub fn faas_sweep(opts: &FigOptions) -> Vec<FaasSweepRow> {
+    let cfg = FaasConfig { num_tasks: opts.num_tasks, ..FaasConfig::default() };
+    let seeds = SeedSequence::new(opts.seed);
+    let spec = faas_system(&cfg, &mut seeds.stream(0));
+    let generator = FaasGenerator::new(cfg);
+    [HeuristicKind::Pam, HeuristicKind::Mm]
+        .into_iter()
+        .map(|kind| {
+            let outcomes: Vec<(f64, f64, f64, f64)> =
+                parallel_map(opts.trials, opts.threads, |trial| {
+                    let trial_seeds = seeds.child(500 + trial as u64);
+                    let tasks = generator.generate(&spec, &mut trial_seeds.stream(0));
+                    let mut mapper = kind.build(PruningConfig::default());
+                    let mut rng = trial_seeds.stream(1);
+                    let report =
+                        run_simulation(&spec, SimConfig::default(), &tasks, &mut mapper, &mut rng);
+                    (
+                        report.metrics.pct_on_time,
+                        report.faas.cold_starts as f64,
+                        report.faas.warm_hits as f64,
+                        report.metrics.outcomes.pruned as f64,
+                    )
+                });
+            progress(&format!("faas {}", kind.name()));
+            let n = outcomes.len().max(1) as f64;
+            let mean =
+                |col: fn(&(f64, f64, f64, f64)) -> f64| outcomes.iter().map(col).sum::<f64>() / n;
+            FaasSweepRow {
+                heuristic: kind.name(),
+                on_time: mean_ci95(&outcomes.iter().map(|o| o.0).collect::<Vec<_>>()),
+                cold_starts: mean(|o| o.1),
+                warm_hits: mean(|o| o.2),
+                pruned: mean(|o| o.3),
+            }
+        })
+        .collect()
+}
+
+/// FaaS — probabilistic pruning on a serverless platform, following the
+/// sequel paper (arXiv:1905.04456). Requests are functions: dozens of
+/// millisecond-scale classes under Zipf-popular, bursty traffic at >10×
+/// the batch benchmark's arrival intensity. Machines keep completed
+/// functions' containers warm for a keep-alive window; a request landing
+/// on a machine with no warm container pays a container spin-up 5–15× its
+/// execution mean, and the scorer folds that spin-up PMF into every cold
+/// placement. PAM's function-level pruning is compared against the MM
+/// baseline on identical trial inputs, with cold/warm accounting.
+#[must_use]
+pub fn faas(opts: &FigOptions) -> Table {
+    let cfg = FaasConfig { num_tasks: opts.num_tasks, ..FaasConfig::default() };
+    let classic = WorkloadConfig { oversubscription: 34_000.0, ..Default::default() };
+    let mut table = Table::new(
+        "FaaS — serverless pruning vs baseline under overload",
+        vec![
+            "heuristic".into(),
+            "on time (%)".into(),
+            "cold starts/trial".into(),
+            "warm hits/trial".into(),
+            "warm-hit rate (%)".into(),
+            "pruned/trial".into(),
+        ],
+    );
+    table.note(format!(
+        "{} trials x {} requests; {} functions x {} machines, keep-alive {}, \
+         spin-up {:.0}-{:.0}x exec mean",
+        opts.trials,
+        opts.num_tasks,
+        cfg.num_functions,
+        cfg.num_machines,
+        cfg.keep_alive,
+        cfg.spinup_factor.0,
+        cfg.spinup_factor.1,
+    ));
+    table.note(format!(
+        "arrival intensity {:.1}x the trial_200t_34k benchmark ({:.2} vs {:.2} requests/unit)",
+        cfg.intensity_multiple_of(&classic, 12),
+        cfg.aggregate_arrival_rate(),
+        classic.aggregate_arrival_rate(12),
+    ));
+    for row in faas_sweep(opts) {
+        let started = row.cold_starts + row.warm_hits;
+        let warm_rate = if started > 0.0 { 100.0 * row.warm_hits / started } else { 0.0 };
+        table.push_row(vec![
+            row.heuristic.to_string(),
+            ci(&row.on_time),
+            format!("{:.1}", row.cold_starts),
+            format!("{:.1}", row.warm_hits),
+            format!("{warm_rate:.1}"),
+            format!("{:.1}", row.pruned),
+        ]);
+    }
+    table
+}
+
 /// The static `(drop, defer)` pairs the adaptive controller is swept
 /// against: conservative, the paper default, and aggressive.
 pub const ADAPTIVE_STATICS: [(f64, f64); 3] = [(0.30, 0.70), (0.50, 0.90), (0.70, 0.95)];
@@ -716,6 +831,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
         "churn" => Some(churn(opts)),
         "service" => Some(service(opts)),
         "adaptive" => Some(adaptive(opts)),
+        "faas" => Some(faas(opts)),
         _ => None,
     }
 }
@@ -724,7 +840,7 @@ pub fn by_name(name: &str, opts: &FigOptions) -> Option<Table> {
 pub const ALL_FIGURES: [&str; 6] = ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"];
 
 /// Supplementary (non-paper) sweeps runnable by name.
-pub const EXTRA_FIGURES: [&str; 4] = ["levels", "churn", "service", "adaptive"];
+pub const EXTRA_FIGURES: [&str; 5] = ["levels", "churn", "service", "adaptive", "faas"];
 
 #[cfg(test)]
 mod tests {
@@ -812,6 +928,50 @@ mod tests {
             }
         }
         assert!(strict_somewhere, "controller never strictly beat all statics: {rows:?}");
+    }
+
+    #[test]
+    fn faas_table_shape() {
+        let t = faas(&FigOptions { trials: 2, num_tasks: 150, seed: 3, threads: 2 });
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.headers.len(), 6);
+        assert_eq!(t.rows[0][0], "PAM");
+        assert_eq!(t.rows[1][0], "MM");
+        // The keep-alive machinery must actually fire: both cold starts
+        // and warm hits occur in every configuration.
+        for row in &t.rows {
+            let cold: f64 = row[2].parse().unwrap();
+            let warm: f64 = row[3].parse().unwrap();
+            assert!(cold > 0.0, "no cold starts in {row:?}");
+            assert!(warm > 0.0, "no warm hits in {row:?}");
+        }
+    }
+
+    /// The serverless acceptance sweep: at full fidelity PAM's
+    /// function-level pruning must beat the no-pruning baseline on
+    /// on-time completions under >10x overload. Runs the real 30-trial
+    /// sweep, so it is gated behind `HCSIM_TEST_FAAS=1` (one CI matrix
+    /// leg).
+    #[test]
+    fn faas_pruning_beats_baseline_at_full_fidelity() {
+        if std::env::var("HCSIM_TEST_FAAS").as_deref() != Ok("1") {
+            return;
+        }
+        let rows = faas_sweep(&FigOptions::default());
+        assert_eq!(rows.len(), 2);
+        let (pam, mm) = (&rows[0], &rows[1]);
+        assert_eq!(pam.heuristic, "PAM");
+        assert!(
+            pam.on_time.mean > mm.on_time.mean,
+            "pruning must beat the baseline under overload: PAM {:.2}% vs MM {:.2}%",
+            pam.on_time.mean,
+            mm.on_time.mean
+        );
+        assert!(pam.pruned > 0.0, "PAM must actually prune under 10x overload");
+        for row in &rows {
+            assert!(row.cold_starts > 0.0, "{}: no cold starts", row.heuristic);
+            assert!(row.warm_hits > 0.0, "{}: no warm hits", row.heuristic);
+        }
     }
 
     #[test]

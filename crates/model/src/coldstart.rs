@@ -1,0 +1,189 @@
+//! Serverless cold-start model: container spin-up PMFs and keep-alive.
+//!
+//! The sequel paper (Denninnart, Gentry, Salehi — "Improving Robustness of
+//! Heterogeneous Serverless Computing Systems Via Probabilistic Task
+//! Pruning", arXiv:1905.04456) moves the pruning machinery to FaaS. The
+//! one structural change to the system model: a request arriving at a
+//! machine with no *warm container* for its function first pays a
+//! container spin-up, so its completion PMF is the convolution of the
+//! spin-up PMF with the execution PMF. A completed function leaves its
+//! container warm for a *keep-alive* window; requests of the same
+//! function landing inside that window skip the spin-up entirely.
+//!
+//! [`ColdStartModel`] carries the spin-up side of that world, mirroring
+//! the warm side's split between scheduler belief and simulator truth:
+//!
+//! * `spinup` — the spin-up-time [`PetMatrix`] the *scorer* convolves
+//!   onto cold placements (one PMF per (function, machine) cell);
+//! * `truth` — the [`GroundTruth`] distributions the *simulator* draws
+//!   actual spin-up times from;
+//! * `keep_alive` — how long a container stays warm after its function
+//!   completes.
+
+use crate::{GroundTruth, PetMatrix, Time};
+use hcsim_pmf::{convolve, Pmf};
+use serde::{Deserialize, Serialize};
+
+/// The cold-start side of a serverless system: spin-up PMFs (belief and
+/// truth) plus the keep-alive window. Attached to a system via
+/// [`crate::SystemSpec::coldstart`]; `None` there means the classic HC
+/// model where every start is "warm".
+///
+/// Dimensions must match the system's execution PET — a spin-up cell per
+/// (function, machine) pair — which [`crate::SystemSpec::validated`]
+/// enforces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartModel {
+    /// Scheduler's belief: spin-up-time PMF per (function, machine).
+    pub spinup: PetMatrix,
+    /// Simulator's world: the distributions actual spin-up times are
+    /// drawn from.
+    pub truth: GroundTruth,
+    /// Keep-alive window: a container stays warm for this long after its
+    /// function completes (0 = containers die immediately, every start
+    /// is cold).
+    pub keep_alive: Time,
+}
+
+impl ColdStartModel {
+    /// Asserts the spin-up matrices match the given system dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either spin-up matrix disagrees with
+    /// `(task_types, machines)`.
+    pub fn assert_dims(&self, task_types: usize, machines: usize) {
+        assert_eq!(self.spinup.task_types(), task_types, "spin-up PET task type count");
+        assert_eq!(self.spinup.machines(), machines, "spin-up PET machine count");
+        assert_eq!(self.truth.task_types(), task_types, "spin-up truth task type count");
+        assert_eq!(self.truth.machines(), machines, "spin-up truth machine count");
+    }
+
+    /// The *cold* completion-time PMF of one cell: spin-up ⊛ execution,
+    /// compacted to `budget` impulses (0 = no compaction).
+    ///
+    /// ```
+    /// use hcsim_model::{ColdStartModel, GroundTruth, MachineId, PetMatrix, TaskTypeId};
+    /// use hcsim_pmf::Pmf;
+    ///
+    /// let exec = Pmf::from_points(&[(10, 1.0)]).unwrap();
+    /// let spin = Pmf::from_points(&[(3, 0.5), (5, 0.5)]).unwrap();
+    /// let model = ColdStartModel {
+    ///     spinup: PetMatrix::from_pmfs(1, 1, vec![spin]),
+    ///     truth: GroundTruth::from_params(1, 1, vec![(4.0, 8.0)]),
+    ///     keep_alive: 50,
+    /// };
+    /// let warm = PetMatrix::from_pmfs(1, 1, vec![exec]);
+    /// let cold = model.cold_cell(&warm, TaskTypeId(0), MachineId(0), 32);
+    /// assert_eq!(cold.times(), &[13, 15]); // spin-up prepended
+    /// assert!(cold.is_normalized());
+    /// ```
+    #[must_use]
+    pub fn cold_cell(
+        &self,
+        warm: &PetMatrix,
+        tt: crate::TaskTypeId,
+        m: crate::MachineId,
+        budget: usize,
+    ) -> Pmf {
+        let mut cold = convolve(self.spinup.pmf(tt, m), warm.pmf(tt, m));
+        if budget > 0 {
+            cold.compact(budget);
+        }
+        cold
+    }
+
+    /// The full *cold* PET: every cell of `warm` convolved with its
+    /// spin-up PMF, compacted to `budget` impulses — what the scorer uses
+    /// for placements that would start a fresh container.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `warm`'s dimensions disagree with the spin-up matrix.
+    #[must_use]
+    pub fn cold_pet(&self, warm: &PetMatrix, budget: usize) -> PetMatrix {
+        self.assert_dims(warm.task_types(), warm.machines());
+        let (task_types, machines) = (warm.task_types(), warm.machines());
+        let mut pmfs = Vec::with_capacity(task_types * machines);
+        for tt in 0..task_types {
+            for m in 0..machines {
+                pmfs.push(self.cold_cell(
+                    warm,
+                    crate::TaskTypeId::from(tt),
+                    crate::MachineId::from(m),
+                    budget,
+                ));
+            }
+        }
+        PetMatrix::from_pmfs(task_types, machines, pmfs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MachineId, PetBuilder, TaskTypeId};
+    use hcsim_stats::SeedSequence;
+
+    fn model_and_warm() -> (ColdStartModel, PetMatrix) {
+        let mut rng = SeedSequence::new(7).stream(0);
+        let exec_means = vec![vec![20.0, 40.0], vec![30.0, 15.0]];
+        let spin_means = vec![vec![100.0, 80.0], vec![100.0, 80.0]];
+        let (warm, _) = PetBuilder::new().build(&exec_means, &mut rng);
+        let (spinup, truth) = PetBuilder::new().build(&spin_means, &mut rng);
+        (ColdStartModel { spinup, truth, keep_alive: 500 }, warm)
+    }
+
+    #[test]
+    fn cold_pet_mean_is_sum_of_parts() {
+        let (model, warm) = model_and_warm();
+        // Uncompacted convolution preserves the mean exactly.
+        let cold = model.cold_pet(&warm, 0);
+        for tt in 0..2u16 {
+            for m in 0..2usize {
+                let (tt, m) = (TaskTypeId(tt), MachineId::from(m));
+                let want = warm.mean_exec(tt, m) + model.spinup.mean_exec(tt, m);
+                let got = cold.mean_exec(tt, m);
+                assert!((got - want).abs() < 1e-6, "cell ({tt:?},{m:?}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn cold_pet_respects_budget_and_mass() {
+        let (model, warm) = model_and_warm();
+        let cold = model.cold_pet(&warm, 16);
+        for tt in 0..2u16 {
+            for m in 0..2usize {
+                let pmf = cold.pmf(TaskTypeId(tt), MachineId::from(m));
+                assert!(pmf.len() <= 16);
+                assert!(pmf.is_normalized(), "mass {}", pmf.mass());
+            }
+        }
+    }
+
+    #[test]
+    fn cold_never_beats_warm_stochastically() {
+        let (model, warm) = model_and_warm();
+        let cold = model.cold_pet(&warm, 0);
+        // Spin-up is a non-negative delay: the cold CDF is dominated by
+        // the warm CDF everywhere (first-order stochastic dominance).
+        for tt in 0..2u16 {
+            for m in 0..2usize {
+                let (tt, m) = (TaskTypeId(tt), MachineId::from(m));
+                let w = warm.pmf(tt, m);
+                let c = cold.pmf(tt, m);
+                for t in (0..400).step_by(7) {
+                    assert!(c.cdf_at(t) <= w.cdf_at(t) + 1e-12, "t={t} cell ({tt:?},{m:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spin-up PET machine count")]
+    fn dim_mismatch_caught() {
+        let (model, _) = model_and_warm();
+        model.assert_dims(2, 3);
+    }
+}

@@ -19,12 +19,16 @@
 //!   ([`PriceTable`]);
 //! * **cluster-membership timelines** ([`ChurnTrace`]) — machines joining,
 //!   draining, and failing mid-run, the dynamic-resource extension the
-//!   simulator replays alongside the task trace.
+//!   simulator replays alongside the task trace;
+//! * an optional **cold-start model** ([`ColdStartModel`]) — container
+//!   spin-up PMFs plus a keep-alive window, turning the system into the
+//!   serverless (FaaS) shape of the sequel paper (arXiv:1905.04456).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod churn;
+mod coldstart;
 mod cost;
 mod ids;
 mod pet;
@@ -32,6 +36,7 @@ mod spec;
 mod task;
 
 pub use churn::{ChurnEvent, ChurnKind, ChurnTrace, DepartureNotice};
+pub use coldstart::ColdStartModel;
 pub use cost::{CostTracker, PriceTable};
 pub use ids::{MachineId, TaskId, TaskTypeId};
 pub use pet::{GroundTruth, PetBuilder, PetMatrix};

@@ -1,6 +1,6 @@
 //! The assembled system specification handed to the simulator.
 
-use crate::{GroundTruth, PetMatrix, PriceTable};
+use crate::{ColdStartModel, GroundTruth, PetMatrix, PriceTable};
 use serde::{Deserialize, Serialize};
 
 /// One machine of the HC system.
@@ -40,6 +40,9 @@ pub struct SystemSpec {
     /// Machine-queue capacity *including* the executing task (§VII-A:
     /// "a machine-queue size of six, counting the executing task").
     pub queue_capacity: usize,
+    /// Serverless cold-start model (spin-up PMFs + keep-alive). `None`
+    /// keeps the classic HC semantics where every start is warm.
+    pub coldstart: Option<ColdStartModel>,
 }
 
 impl SystemSpec {
@@ -57,6 +60,9 @@ impl SystemSpec {
         assert_eq!(self.truth.task_types(), self.task_types.len(), "truth task type count");
         assert_eq!(self.prices.machines(), self.machines.len(), "price table size");
         assert!(self.queue_capacity >= 1, "queue capacity must include the executing slot");
+        if let Some(cold) = &self.coldstart {
+            cold.assert_dims(self.task_types.len(), self.machines.len());
+        }
         self
     }
 
@@ -93,6 +99,7 @@ mod tests {
             truth,
             prices: PriceTable::uniform(2, 1.0),
             queue_capacity: 6,
+            coldstart: None,
         }
     }
 

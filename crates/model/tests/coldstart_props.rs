@@ -1,0 +1,134 @@
+//! Property tests for the serverless cold-start calculus.
+//!
+//! The cold completion PMF of a (function, machine) cell is defined as
+//! `spinup ⊛ exec` ([`ColdStartModel::cold_cell`]). These properties pin
+//! the relationship between the warm-hit and cold-start views of the same
+//! cell over arbitrary discrete distributions:
+//!
+//! * **Mass conservation** — convolving the spin-up onto the execution
+//!   PMF moves mass *later*, it never creates or destroys any: the cold
+//!   PMF stays normalized and its mean is exactly the sum of the parts.
+//! * **Delta spin-up is a pure shift** — when the spin-up is
+//!   deterministic, the warm-hit PMF *is* the cold PMF with the spin-up
+//!   mass removed (every impulse shifted back by the spin-up, masses
+//!   untouched). This is the sharp form of "warm = cold minus spin-up"
+//!   that the scorer's warm/cold cell selection relies on.
+//! * **Compaction keeps the books** — the budgeted cold PET the scorer
+//!   actually uses still carries unit mass and an unchanged mean
+//!   (compaction merges impulses into their weighted mean, so only
+//!   integer-time rounding moves the first moment).
+//! * **Dominance** — a non-negative spin-up delay can only make things
+//!   later: the uncompacted cold CDF is dominated by the warm CDF
+//!   everywhere.
+
+use hcsim_model::{ColdStartModel, GroundTruth, MachineId, PetMatrix, TaskTypeId};
+use hcsim_pmf::{Pmf, Time};
+use proptest::prelude::*;
+
+/// A small arbitrary PMF: 1–9 impulses, normalized (duplicate times are
+/// merged by [`Pmf::from_points`]).
+fn arb_pmf(max_t: Time) -> impl Strategy<Value = Pmf> {
+    collection::vec((1..max_t, 0.05f64..10.0), 1..10).prop_map(|points| {
+        let mut pmf = Pmf::from_points(&points).expect("non-empty positive masses");
+        pmf.normalize();
+        pmf
+    })
+}
+
+/// Wraps a single (spin-up, exec) pair as a 1×1 cold-start model; the
+/// ground-truth side is irrelevant to the PMF calculus under test.
+fn one_cell(spin: Pmf, exec: Pmf) -> (ColdStartModel, PetMatrix) {
+    let model = ColdStartModel {
+        spinup: PetMatrix::from_pmfs(1, 1, vec![spin]),
+        truth: GroundTruth::from_params(1, 1, vec![(4.0, 8.0)]),
+        keep_alive: 60,
+    };
+    (model, PetMatrix::from_pmfs(1, 1, vec![exec]))
+}
+
+proptest! {
+    /// Uncompacted cold cell: unit mass in, unit mass out, and the mean
+    /// is exactly warm + spin-up (convolution adds first moments).
+    #[test]
+    fn cold_cell_conserves_mass_and_adds_means(
+        spin in arb_pmf(150),
+        exec in arb_pmf(300),
+    ) {
+        let spin_mean = spin.mean();
+        let exec_mean = exec.mean();
+        let (model, warm) = one_cell(spin, exec);
+        let cold = model.cold_cell(&warm, TaskTypeId(0), MachineId(0), 0);
+        prop_assert!(cold.is_normalized(), "cold mass {}", cold.mass());
+        let want = spin_mean + exec_mean;
+        prop_assert!(
+            (cold.mean() - want).abs() < 1e-6 * want.max(1.0),
+            "cold mean {} vs warm {exec_mean} + spinup {spin_mean}",
+            cold.mean()
+        );
+    }
+
+    /// Deterministic spin-up: the cold PMF is the warm PMF shifted by the
+    /// spin-up, impulse for impulse — so removing the spin-up mass from
+    /// the cold PMF recovers the warm-hit PMF exactly.
+    #[test]
+    fn delta_spinup_is_a_pure_shift(
+        d in 1u64..100,
+        exec in arb_pmf(300),
+    ) {
+        let spin = Pmf::delta(d);
+        let (model, warm) = one_cell(spin, exec);
+        let cold = model.cold_cell(&warm, TaskTypeId(0), MachineId(0), 0);
+        let w = warm.pmf(TaskTypeId(0), MachineId(0));
+        prop_assert_eq!(cold.len(), w.len());
+        for (i, (&ct, &wt)) in cold.times().iter().zip(w.times()).enumerate() {
+            prop_assert_eq!(ct, wt + d, "impulse {i} time");
+            prop_assert!(
+                (cold.masses()[i] - w.masses()[i]).abs() < 1e-12,
+                "impulse {i} mass {} vs {}",
+                cold.masses()[i],
+                w.masses()[i]
+            );
+        }
+    }
+
+    /// The budgeted cold cell (what [`ColdStartModel::cold_pet`] hands the
+    /// scorer) still carries unit mass, respects the budget, and keeps
+    /// the mean up to integer-time rounding of merged impulses.
+    #[test]
+    fn compacted_cold_cell_keeps_the_books(
+        spin in arb_pmf(150),
+        exec in arb_pmf(300),
+    ) {
+        let want = spin.mean() + exec.mean();
+        let (model, warm) = one_cell(spin, exec);
+        let cold = model.cold_cell(&warm, TaskTypeId(0), MachineId(0), 8);
+        prop_assert!(cold.len() <= 8);
+        prop_assert!(cold.is_normalized(), "cold mass {}", cold.mass());
+        // Weighted-mean merging preserves the first moment exactly in
+        // real arithmetic; representative times are integers, so allow
+        // one time unit of rounding.
+        prop_assert!(
+            (cold.mean() - want).abs() <= 1.0,
+            "compacted mean {} drifted from {want}",
+            cold.mean()
+        );
+    }
+
+    /// Spin-up is a non-negative delay: the cold CDF never exceeds the
+    /// warm CDF (first-order stochastic dominance of warm over cold).
+    #[test]
+    fn cold_is_stochastically_dominated_by_warm(
+        spin in arb_pmf(150),
+        exec in arb_pmf(300),
+    ) {
+        let (model, warm) = one_cell(spin, exec);
+        let cold = model.cold_cell(&warm, TaskTypeId(0), MachineId(0), 0);
+        let w = warm.pmf(TaskTypeId(0), MachineId(0));
+        for t in (0..500).step_by(9) {
+            prop_assert!(
+                cold.cdf_at(t) <= w.cdf_at(t) + 1e-12,
+                "cold overtakes warm at t={t}"
+            );
+        }
+    }
+}

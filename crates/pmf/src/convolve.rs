@@ -197,6 +197,21 @@ impl ConvScratch {
 
 /// Plain convolution (Eq. 2): the distribution of `A + B` for independent
 /// `A ~ a`, `B ~ b`. Masses multiply, so `mass(out) = mass(a) · mass(b)`.
+///
+/// This is the whole completion-time calculus in one operator: queue
+/// chains convolve availability with execution, and the serverless
+/// cold-start cell convolves spin-up with execution. Means add exactly:
+///
+/// ```
+/// use hcsim_pmf::{convolve, Pmf};
+///
+/// let spinup = Pmf::from_points(&[(10, 0.5), (20, 0.5)]).unwrap();
+/// let exec = Pmf::from_points(&[(3, 0.25), (5, 0.75)]).unwrap();
+/// let cold = convolve(&spinup, &exec);
+/// assert_eq!(cold.min_time(), 13); // earliest spin-up + earliest exec
+/// assert!((cold.mean() - (spinup.mean() + exec.mean())).abs() < 1e-12);
+/// assert!(cold.is_normalized());
+/// ```
 #[must_use]
 pub fn convolve(a: &Pmf, b: &Pmf) -> Pmf {
     let mut scratch = ConvScratch::with_capacity(a.len() * b.len());

@@ -299,6 +299,16 @@ impl Pmf {
     /// loses no meaningful precision (central moments are shift-
     /// invariant; a reference test pins the kernel against the online
     /// accumulator to 1e-9).
+    ///
+    /// ```
+    /// use hcsim_pmf::Pmf;
+    ///
+    /// let pmf = Pmf::from_points(&[(2, 0.5), (6, 0.5)]).unwrap();
+    /// let m = pmf.moments();
+    /// assert_eq!(m.mean, 4.0);
+    /// assert_eq!(m.variance, 4.0);
+    /// assert_eq!(m.skewness, 0.0); // symmetric
+    /// ```
     #[must_use]
     pub fn moments(&self) -> Moments {
         let t0 = self.times[0];

@@ -203,8 +203,10 @@ impl ServiceCheckpoint {
 /// How a service run ended.
 #[derive(Debug)]
 pub enum ServiceExit {
-    /// The arrival channel closed and every event drained.
-    Completed(ServiceReport),
+    /// The arrival channel closed and every event drained. Boxed: the
+    /// report dwarfs the `Killed` variant and exits move through
+    /// `Result`-like plumbing by value.
+    Completed(Box<ServiceReport>),
     /// The fault plan killed the service at an epoch boundary. The
     /// checkpoint resumes the run via [`resume`].
     Killed {
@@ -221,7 +223,7 @@ impl ServiceExit {
     #[must_use]
     pub fn expect_completed(self) -> ServiceReport {
         match self {
-            ServiceExit::Completed(r) => r,
+            ServiceExit::Completed(r) => *r,
             ServiceExit::Killed { checkpoint, .. } => {
                 panic!("service was killed at epoch {}", checkpoint.epoch())
             }
@@ -491,7 +493,16 @@ fn run_driver<M: Mapper, R: SnapshotRng>(
                                     }
                                     continue;
                                 }
-                                Wakeup::Arrival(None) | Wakeup::Timer => {}
+                                Wakeup::Arrival(None) => {
+                                    // Feeder closed: no arrival can preempt
+                                    // this wait any more. Finish the pace on
+                                    // the timer alone — re-polling the closed
+                                    // channel would resolve instantly every
+                                    // iteration and silently cancel pacing
+                                    // for the rest of the run.
+                                    (&mut sleep).await;
+                                }
+                                Wakeup::Timer => {}
                             }
                         }
                         if let Some(cp) = step_once(&mut session, &mut state, cfg, fault) {
@@ -539,7 +550,7 @@ fn run_driver<M: Mapper, R: SnapshotRng>(
     match flow {
         Flow::Drained => {
             let stats = state.stats;
-            ServiceExit::Completed(ServiceReport { sim: session.finish(), stats })
+            ServiceExit::Completed(Box::new(ServiceReport { sim: session.finish(), stats }))
         }
         Flow::Killed(checkpoint) => ServiceExit::Killed { checkpoint, stats: state.stats },
     }

@@ -68,7 +68,7 @@ pub struct RecoveryOutcome {
 }
 
 /// Feeds `schedule` (delivery-ordered `(delivery_time, task)` pairs, as
-/// produced by [`hcsim_workload::ArrivalSchedule`]) into `tx` with
+/// produced by `hcsim_workload::ArrivalSchedule`) into `tx` with
 /// blocking backpressure. Returns the number of deliveries refused because
 /// the receiver vanished (a killed service); the caller replays the full
 /// schedule on resume.
@@ -141,7 +141,7 @@ where
 
     match exit {
         ServiceExit::Completed(report) => RecoveryOutcome {
-            report,
+            report: *report,
             killed_at_epoch: None,
             restore_nanos: None,
             resume_run_nanos: None,

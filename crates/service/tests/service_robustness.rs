@@ -10,8 +10,8 @@ use hcsim_service::{run_with_recovery, FaultPlan, RecoveryOutcome, ServiceConfig
 use hcsim_sim::{SimConfig, SimReport};
 use hcsim_stats::{SeedSequence, Xoshiro256pp};
 use hcsim_workload::{
-    cluster_churn, specint_system, ArrivalSchedule, ChurnConfig, ChurnTrace, WorkloadConfig,
-    WorkloadGenerator,
+    cluster_churn, faas_system, specint_system, ArrivalSchedule, ChurnConfig, ChurnTrace,
+    FaasConfig, FaasGenerator, WorkloadConfig, WorkloadGenerator,
 };
 
 const RNG_SEED: u64 = 0xFEED;
@@ -156,6 +156,62 @@ fn crash_restore_with_adaptation_enabled_is_bit_identical() {
 }
 
 #[test]
+fn faas_crash_restore_keeps_keep_alive_state_bit_identical() {
+    // The serverless variant of the crash matrix: warm-container sets
+    // (some pinned in-use mid-spin-up), scheduled keep-alive expiries,
+    // and the cold/warm tallies all live in the checkpoint now, and
+    // machine churn additionally clears warm sets on departures. A
+    // restore at any epoch must resume the exact cold/warm trajectory —
+    // one lost container would fork every subsequent PET selection.
+    let seeds = SeedSequence::new(309);
+    let cfg = FaasConfig {
+        num_functions: 12,
+        num_machines: 8,
+        num_tasks: 160,
+        // The 32-machine default intensity scaled to 8 machines.
+        oversubscription: 87_500.0,
+        ..FaasConfig::default()
+    };
+    let spec = faas_system(&cfg, &mut seeds.stream(0));
+    let tasks = FaasGenerator::new(cfg).generate(&spec, &mut seeds.stream(1));
+    // Millisecond-scale requests finish in a few hundred time units, so
+    // the churn window is compressed to land inside the run (the batch
+    // fixture's 150k span would put every epoch past the end).
+    let churn = cluster_churn(
+        &ChurnConfig {
+            num_machines: spec.machines.len(),
+            initial_absent: 2,
+            drains: 2,
+            fails: 2,
+            span: 300,
+            min_active: 4,
+        },
+        &mut SeedSequence::new(309).stream(3),
+    );
+    let schedule = ArrivalSchedule::from_tasks(&tasks);
+    let service = ServiceConfig::default();
+
+    let baseline = run(&spec, &service, &FaultPlan::none(), Some(&churn), schedule.entries());
+    assert_eq!(baseline.killed_at_epoch, None);
+    assert!(baseline.report.sim.faas.cold_starts > 0, "scenario must pay cold starts");
+    assert!(baseline.report.sim.faas.warm_hits > 0, "scenario must land warm hits");
+
+    for kill_epoch in [1, 2, 3] {
+        let fault = FaultPlan { kill_at_epoch: Some(kill_epoch), ..FaultPlan::none() };
+        let recovered = run(&spec, &service, &fault, Some(&churn), schedule.entries());
+        assert_eq!(recovered.killed_at_epoch, Some(kill_epoch), "the kill must actually fire");
+        assert_eq!(recovered.report.stats.restores, 1);
+        assert_eq!(
+            fingerprint(&recovered.report.sim),
+            fingerprint(&baseline.report.sim),
+            "kill@{kill_epoch}: resumed serverless run must equal never having crashed"
+        );
+        assert_eq!(recovered.report.sim.faas.cold_starts, baseline.report.sim.faas.cold_starts);
+        assert_eq!(recovered.report.sim.faas.warm_hits, baseline.report.sim.faas.warm_hits);
+    }
+}
+
+#[test]
 fn poisoned_pool_crash_still_restores_bit_identically() {
     let (spec, tasks) = system(303, 120, 34_000.0);
     let churn = churn_for(&spec, 303);
@@ -237,13 +293,19 @@ fn paced_mode_completes_against_the_wall_clock() {
     let outcome = run(&spec, &service, &FaultPlan::none(), None, schedule.entries());
     let elapsed = start.elapsed();
     assert_eq!(outcome.report.sim.records.len(), 20);
-    // The final event sits at end_time, so the paced run cannot finish
-    // before (roughly) end_time * pace of wall time has passed.
-    let floor = pace * u32::try_from(outcome.report.sim.end_time).unwrap_or(u32::MAX) / 2;
+    // Admission catch-up steps are deliberately unpaced (the driver fast-
+    // forwards the engine to each arrival's timestamp), so only the span
+    // AFTER the last arrival is guaranteed to hit the timer path. Floor
+    // the elapsed time on half of that tail, not the whole run, so the
+    // test does not depend on how fast the feeder floods arrivals in.
+    let last_arrival = tasks.iter().map(|t| t.arrival).max().unwrap_or(0);
+    let paced_tail = outcome.report.sim.end_time.saturating_sub(last_arrival);
+    assert!(paced_tail > 0, "workload must leave a post-arrival tail to pace");
+    let floor = pace * u32::try_from(paced_tail).unwrap_or(u32::MAX) / 2;
     assert!(
         elapsed >= floor,
         "pacing must slow the run down: elapsed {elapsed:?} < floor {floor:?} \
-         (end_time {})",
+         (end_time {}, last arrival {last_arrival})",
         outcome.report.sim.end_time
     );
 }

@@ -85,6 +85,16 @@ pub enum SimEvent {
     },
     /// Liveness tick: forces a mapping event so deferred tasks expire.
     DeadlineSweep,
+    /// Keep-alive expiry of `machine`'s warm container for `type_id`
+    /// (serverless cold-start model). Engine-scheduled at each function
+    /// completion; stale (no-op) when the container was re-pinned or its
+    /// keep-alive clock restarted since scheduling.
+    ContainerExpiry {
+        /// The machine whose container may expire.
+        machine: MachineId,
+        /// The function (task type) the container serves.
+        type_id: TaskTypeId,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,7 +143,8 @@ impl EventSink<'_> {
             SimEvent::MachineJoin(m)
             | SimEvent::MachineDrain(m)
             | SimEvent::MachineFail(m)
-            | SimEvent::MachineNotice { machine: m, .. } => {
+            | SimEvent::MachineNotice { machine: m, .. }
+            | SimEvent::ContainerExpiry { machine: m, .. } => {
                 assert!(
                     m.index() < self.num_machines,
                     "membership event machine {m} out of range (system has {} machines)",
@@ -223,6 +234,31 @@ impl EventSource for ChurnSource<'_> {
     }
 }
 
+/// Serverless cold-start accounting over one trial (all zeros when the
+/// spec carries no [`hcsim_model::ColdStartModel`]). A task counts once,
+/// at its *first* start on a machine; a preempted task resuming later does
+/// not count again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaasStats {
+    /// Task starts that paid a container spin-up.
+    pub cold_starts: u64,
+    /// Task starts that found a warm container.
+    pub warm_hits: u64,
+}
+
+impl FaasStats {
+    /// Fraction of starts that were warm hits (0 when nothing started).
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.cold_starts + self.warm_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Membership-churn accounting over one trial.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChurnStats {
@@ -289,6 +325,9 @@ pub struct SimReport {
     pub churn: ChurnStats,
     /// Per-capacity-epoch robustness; a single slice for a static cluster.
     pub epochs: Vec<EpochSlice>,
+    /// Serverless cold-start accounting (all zeros without a cold-start
+    /// model in the spec).
+    pub faas: FaasStats,
 }
 
 struct Engine<'a, M: Mapper, R: rand::Rng> {
@@ -309,6 +348,7 @@ struct Engine<'a, M: Mapper, R: rand::Rng> {
     /// scorer caches/pools can re-shard exactly once per membership change.
     membership_epoch: u64,
     churn: ChurnStats,
+    faas: FaasStats,
     epochs: Vec<EpochSlice>,
     /// Per-task failure-requeue counts (indexed like `records`); consulted
     /// only when `config.max_requeues` is set, but maintained always so a
@@ -374,6 +414,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             now: 0,
             membership_epoch: 0,
             churn: ChurnStats::default(),
+            faas: FaasStats::default(),
             epochs: vec![EpochSlice { start: 0, active_machines: active, on_time: 0, finished: 0 }],
             requeue_counts: vec![0; num_task_slots],
             carried: vec![0; num_task_slots],
@@ -479,6 +520,15 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                 self.machines[machine.index()].set_announced_departure(Some(departs_at));
             }
             SimEvent::DeadlineSweep => {}
+            SimEvent::ContainerExpiry { machine, type_id } => {
+                // Reclaim iff the container's keep-alive deadline is
+                // exactly this event's time: a re-pin (function started)
+                // or clock restart (later completion) since scheduling
+                // makes the event stale. The warm-set mutation bumps the
+                // machine version and warm revision, so the mapping event
+                // below re-scores the machine against the cold PET.
+                self.machines[machine.index()].expire_warm(type_id, event.time);
+            }
         }
         self.mapping_event();
         self.start_idle_machines();
@@ -487,10 +537,22 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
         true
     }
 
+    /// Serverless cold-start model: a function releasing its container
+    /// (completion, eviction, or prune-after-start) leaves it warm for the
+    /// keep-alive window, with a matching expiry event scheduled. Stale
+    /// expiries (container re-pinned or refreshed first) no-op on arrival.
+    fn release_container(&mut self, machine: MachineId, type_id: TaskTypeId) {
+        let Some(cold) = &self.spec.coldstart else { return };
+        let expires_at = self.now + cold.keep_alive;
+        self.machines[machine.index()].set_warm_expiry(type_id, expires_at);
+        self.push_event(expires_at, SimEvent::ContainerExpiry { machine, type_id });
+    }
+
     fn handle_finish(&mut self, machine: MachineId, evict: bool) {
         let exec = self.machines[machine.index()]
             .finish_executing()
             .expect("completion event for idle machine");
+        self.release_container(machine, exec.task.type_id);
         // Only the current segment is new busy time (earlier segments were
         // charged at preemption); the record reports total machine time.
         let segment = self.now - exec.started_at;
@@ -643,6 +705,12 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                 self.cost.record_busy(p.machine, segment);
             }
             let machine_time = p.progress_before + segment;
+            // A pruned task that had ever started (evicted now, or
+            // preempted earlier and dropped while pending) occupied a
+            // container; pruning releases it into its keep-alive window.
+            if p.started_at.is_some() || p.progress_before > 0 {
+                self.release_container(p.machine, p.task.type_id);
+            }
             self.record(
                 p.task,
                 TaskOutcome::PrunedDropped,
@@ -672,13 +740,34 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
                     self.record(task, TaskOutcome::ExpiredUnstarted, Some(machine), None, 0);
                     continue;
                 }
-                // Preempted tasks resume their remaining work; fresh tasks
-                // sample a ground-truth total once.
-                let total = entry.sampled_total.unwrap_or_else(|| {
-                    self.spec.truth.sample_exec(task.type_id, machine, self.rng)
-                });
+                // Preempted tasks resume their remaining work (container
+                // still resident, warmth decided at first start); fresh
+                // tasks sample a ground-truth total once — plus a spin-up
+                // on a cold machine under the serverless model.
+                let (total, cold) = match entry.sampled_total {
+                    Some(total) => (total, entry.cold_start),
+                    None => {
+                        let exec = self.spec.truth.sample_exec(task.type_id, machine, self.rng);
+                        match &self.spec.coldstart {
+                            Some(cs) if !self.machines[m].is_warm(task.type_id) => {
+                                self.faas.cold_starts += 1;
+                                let spin = cs.truth.sample_exec(task.type_id, machine, self.rng);
+                                (exec + spin, true)
+                            }
+                            Some(_) => {
+                                self.faas.warm_hits += 1;
+                                (exec, false)
+                            }
+                            None => (exec, false),
+                        }
+                    }
+                };
                 let remaining = total.saturating_sub(entry.progress).max(1);
-                self.machines[m].start(entry, self.now, total);
+                self.machines[m].start_with_warmth(entry, self.now, total, cold);
+                if self.spec.coldstart.is_some() {
+                    // Pin the container for the duration of the run.
+                    self.machines[m].pin_warm(task.type_id);
+                }
                 let finish = self.now + remaining;
                 let token = self.machines[m].run_token;
                 if drop_all && finish > task.deadline {
@@ -750,6 +839,7 @@ impl<'a, M: Mapper, R: rand::Rng> Engine<'a, M, R> {
             end_time: now,
             churn: self.churn,
             epochs: self.epochs,
+            faas: self.faas,
         }
     }
 }
@@ -826,7 +916,24 @@ fn write_event(w: &mut ByteWriter, e: &Event) {
             write_machine_id(w, machine);
             w.u64(departs_at);
         }
+        SimEvent::ContainerExpiry { machine, type_id } => {
+            w.u8(7);
+            write_machine_id(w, machine);
+            w.u32(u32::from(type_id.0));
+        }
     }
+}
+
+fn read_task_type_id(
+    r: &mut ByteReader<'_>,
+    num_task_types: usize,
+) -> Result<TaskTypeId, SnapshotError> {
+    let id =
+        u16::try_from(r.u32()?).map_err(|_| SnapshotError::Corrupt("task type id overflow"))?;
+    if usize::from(id) >= num_task_types {
+        return Err(SnapshotError::Corrupt("task type id out of range"));
+    }
+    Ok(TaskTypeId(id))
 }
 
 fn read_event(
@@ -850,6 +957,10 @@ fn read_event(
         6 => SimEvent::MachineNotice {
             machine: read_machine_id(r, num_machines)?,
             departs_at: r.u64()?,
+        },
+        7 => SimEvent::ContainerExpiry {
+            machine: read_machine_id(r, num_machines)?,
+            type_id: read_task_type_id(r, num_task_types)?,
         },
         _ => return Err(SnapshotError::Corrupt("event tag")),
     };
@@ -925,6 +1036,9 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
         w.u64(self.churn.fails);
         w.u64(self.churn.requeued);
         w.u64(self.churn.dropped_after_retry);
+        // Cold-start counters.
+        w.u64(self.faas.cold_starts);
+        w.u64(self.faas.warm_hits);
         // Capacity epochs.
         w.usize(self.epochs.len());
         for e in &self.epochs {
@@ -959,6 +1073,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
                     w.u64(e.started_at);
                     w.u64(e.progress_before);
                     w.u64(e.total_exec);
+                    w.u8(u8::from(e.cold_start));
                 }
                 None => w.u8(0),
             }
@@ -967,7 +1082,15 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
                 write_task(&mut w, &p.task);
                 w.u64(p.progress);
                 w.opt_u64(p.sampled_total);
+                w.u8(u8::from(p.cold_start));
             }
+            // Warm containers, pin/refresh order (part of determinism).
+            w.usize(m.warm_containers().len());
+            for c in m.warm_containers() {
+                w.u32(u32::from(c.type_id.0));
+                w.u64(c.expires_at);
+            }
+            w.u64(m.warm_rev());
         }
         // Terminal records (count pinned by the header's slot count).
         for rec in &self.records {
@@ -1062,6 +1185,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
             requeued: r.u64()?,
             dropped_after_retry: r.u64()?,
         };
+        let faas = FaasStats { cold_starts: r.u64()?, warm_hits: r.u64()? };
         let n_epochs = r.seq_len(32)?;
         if n_epochs == 0 {
             return Err(SnapshotError::Corrupt("no epochs"));
@@ -1100,6 +1224,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
                         started_at: r.u64()?,
                         progress_before: r.u64()?,
                         total_exec: r.u64()?,
+                        cold_start: r.bool()?,
                     })
                 }
                 _ => return Err(SnapshotError::Corrupt("executing flag")),
@@ -1113,8 +1238,22 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
                 let task = read_task(&mut r, num_task_types)?;
                 let progress = r.u64()?;
                 let sampled_total = r.opt_u64()?;
-                pending.push_back(PendingEntry { task, progress, sampled_total });
+                let cold_start = r.bool()?;
+                pending.push_back(PendingEntry { task, progress, sampled_total, cold_start });
             }
+            let n_warm = r.seq_len(13)?;
+            if n_warm > num_task_types {
+                return Err(SnapshotError::Corrupt("warm set exceeds task types"));
+            }
+            let mut warm = Vec::with_capacity(n_warm);
+            for _ in 0..n_warm {
+                let type_id = read_task_type_id(&mut r, num_task_types)?;
+                if warm.iter().any(|c: &crate::WarmContainer| c.type_id == type_id) {
+                    return Err(SnapshotError::Corrupt("duplicate warm container"));
+                }
+                warm.push(crate::WarmContainer { type_id, expires_at: r.u64()? });
+            }
+            let warm_rev = r.u64()?;
             machines.push(MachineState::from_parts(
                 MachineId::from(i),
                 queue_capacity,
@@ -1124,6 +1263,8 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
                 version,
                 run_token,
                 announced_departure,
+                warm,
+                warm_rev,
             ));
         }
         let mut records = Vec::with_capacity(num_task_slots);
@@ -1190,6 +1331,7 @@ impl<'a, M: Mapper, R: SnapshotRng> Engine<'a, M, R> {
             now,
             membership_epoch,
             churn,
+            faas,
             epochs,
             requeue_counts,
             carried,
@@ -1416,7 +1558,8 @@ mod tests {
     use super::*;
     use crate::mapper::FirstFitMapper;
     use hcsim_model::{
-        ChurnEvent, MachineSpec, PetBuilder, PriceTable, TaskId, TaskTypeId, TaskTypeSpec,
+        ChurnEvent, ColdStartModel, MachineSpec, PetBuilder, PriceTable, TaskId, TaskTypeId,
+        TaskTypeSpec,
     };
     use hcsim_stats::SeedSequence;
 
@@ -1436,6 +1579,7 @@ mod tests {
             truth,
             prices: PriceTable::new(vec![2.0, 1.0]),
             queue_capacity,
+            coldstart: None,
         }
         .validated()
     }
@@ -1545,6 +1689,104 @@ mod tests {
         let b = run(&spec, &tasks, 42);
         assert_eq!(a.records, b.records);
         assert_eq!(a.mapping_events, b.mapping_events);
+    }
+
+    // ---- serverless (faas): cold starts, warm hits, keep-alive ----
+
+    /// [`small_spec`] plus a cold-start model: spin-up ≈ 30 ms per cold
+    /// placement, containers kept warm for `keep_alive` after completion.
+    fn faas_spec(queue_capacity: usize, keep_alive: Time) -> SystemSpec {
+        let mut spec = small_spec(queue_capacity);
+        let mut rng = SeedSequence::new(78).stream(0);
+        let (spinup, truth) =
+            PetBuilder::new().shape_range(200.0, 200.0).build(&[vec![30.0, 30.0]], &mut rng);
+        spec.coldstart = Some(ColdStartModel { spinup, truth, keep_alive });
+        spec.validated()
+    }
+
+    #[test]
+    fn classic_spec_reports_zero_faas_stats() {
+        let spec = small_spec(6);
+        let report = run(&spec, &tasks_every(10, 50, 100), 1);
+        assert_eq!(report.faas, FaasStats::default());
+    }
+
+    #[test]
+    fn long_keep_alive_pays_spinup_once_per_machine() {
+        // Spaced tasks (gap 100 ≫ spin-up 30 + exec 10) all land on machine
+        // 0 via FirstFit; with a generous keep-alive only the first start is
+        // cold.
+        let spec = faas_spec(6, 1_000_000);
+        let report = run(&spec, &tasks_every(6, 100, 300), 1);
+        assert_eq!(report.faas.cold_starts, 1, "{:?}", report.faas);
+        assert_eq!(report.faas.warm_hits, 5, "{:?}", report.faas);
+        assert!((report.faas.warm_hit_rate() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(report.metrics.outcomes.on_time, 6);
+    }
+
+    #[test]
+    fn zero_keep_alive_makes_every_spaced_start_cold() {
+        let spec = faas_spec(6, 0);
+        let report = run(&spec, &tasks_every(6, 100, 300), 1);
+        assert_eq!(report.faas.cold_starts, 6, "{:?}", report.faas);
+        assert_eq!(report.faas.warm_hits, 0, "{:?}", report.faas);
+
+        // The repeated spin-up shows up as real occupancy: every record's
+        // machine time covers spin-up + execution.
+        for r in &report.records {
+            assert!(r.machine_time >= 30, "cold start must include spin-up: {r:?}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_queue_reuse_is_warm_even_with_zero_keep_alive() {
+        // Two tasks queued on the same machine: the second starts in the
+        // same step the first completes, before the keep-alive expiry event
+        // fires, so the container is reused.
+        let spec = faas_spec(6, 0);
+        let tasks = tasks_every(2, 0, 500);
+        let report = run(&spec, &tasks, 1);
+        assert_eq!(report.faas.cold_starts, 1, "{:?}", report.faas);
+        assert_eq!(report.faas.warm_hits, 1, "{:?}", report.faas);
+    }
+
+    #[test]
+    fn faas_snapshot_restore_resumes_bit_identically() {
+        let spec = faas_spec(4, 50);
+        let tasks = tasks_every(30, 2, 400);
+        let churn = service_churn();
+        let baseline = churn_run(&spec, &tasks, &churn, 42);
+        let expected = report_fingerprint(&baseline);
+        assert!(baseline.faas.cold_starts > 0, "{:?}", baseline.faas);
+
+        for steps in [0usize, 1, 7, 33, 10_000] {
+            let mut rng = SeedSequence::new(42).stream(9);
+            let mut mapper = FirstFitMapper;
+            let mut task_source = TaskTraceSource::new(&tasks);
+            let mut churn_source = ChurnSource::new(&churn);
+            let mut session = SimSession::new(
+                &spec,
+                SimConfig::untrimmed(),
+                &mut [&mut task_source, &mut churn_source],
+                &mut mapper,
+                &mut rng,
+            );
+            for _ in 0..steps {
+                if !session.step() {
+                    break;
+                }
+            }
+            let bytes = session.snapshot();
+            drop(session);
+
+            let mut mapper2 = FirstFitMapper;
+            let mut rng2 = SeedSequence::new(777).stream(3);
+            let resumed =
+                SimSession::restore(&spec, SimConfig::untrimmed(), &bytes, &mut mapper2, &mut rng2)
+                    .expect("restore");
+            let report = resumed.run_to_completion();
+            assert_eq!(expected, report_fingerprint(&report), "diverged after {steps} steps");
+        }
     }
 
     #[test]
@@ -1923,8 +2165,8 @@ mod tests {
 
     fn report_fingerprint(r: &SimReport) -> String {
         format!(
-            "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{}",
-            r.metrics, r.records, r.cost, r.churn, r.epochs, r.mapping_events
+            "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{}",
+            r.metrics, r.records, r.cost, r.churn, r.faas, r.epochs, r.mapping_events
         )
     }
 

@@ -50,10 +50,10 @@ pub mod testkit;
 pub use config::SimConfig;
 pub use engine::{
     run_simulation, run_simulation_with_churn, run_simulation_with_sources, ChurnSource,
-    ChurnStats, EpochSlice, EventSink, EventSource, SimEvent, SimReport, SimSession,
+    ChurnStats, EpochSlice, EventSink, EventSource, FaasStats, SimEvent, SimReport, SimSession,
     TaskTraceSource,
 };
-pub use machine::{ExecutingTask, MachineLifecycle, MachineState, PendingEntry};
+pub use machine::{ExecutingTask, MachineLifecycle, MachineState, PendingEntry, WarmContainer};
 pub use mapper::{AssignError, FirstFitMapper, MapContext, Mapper, MapperInstrumentation};
 pub use metrics::{Metrics, OutcomeCounts};
 pub use snapshot::{SnapshotError, SnapshotRng, SNAPSHOT_VERSION};

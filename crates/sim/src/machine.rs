@@ -5,8 +5,27 @@
 //! state read-only and reasons about it probabilistically; it never sees
 //! the sampled actual execution time of the executing task.
 
-use hcsim_model::{MachineId, Task, TaskId, Time};
+use hcsim_model::{MachineId, Task, TaskId, TaskTypeId, Time};
 use std::collections::VecDeque;
+
+/// One warm container on a machine (serverless cold-start model).
+///
+/// `expires_at` is the keep-alive deadline after which the container is
+/// reclaimed; [`WarmContainer::IN_USE`] marks a container whose function
+/// is currently queued-after-start or executing (it cannot expire until
+/// the next completion restarts its keep-alive clock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmContainer {
+    /// The function (task type) the container serves.
+    pub type_id: TaskTypeId,
+    /// When keep-alive reclaims it ([`WarmContainer::IN_USE`] = pinned).
+    pub expires_at: Time,
+}
+
+impl WarmContainer {
+    /// Sentinel `expires_at` for a container pinned by a running function.
+    pub const IN_USE: Time = Time::MAX;
+}
 
 /// Cluster-membership state of one machine.
 ///
@@ -38,13 +57,16 @@ pub struct PendingEntry {
     /// Ground-truth total sampled at first start (crate-private; absent
     /// until the task has started once).
     pub(crate) sampled_total: Option<Time>,
+    /// Whether the first start of this task was a cold start (meaningful
+    /// only for preempted entries, whose container is still resident).
+    pub(crate) cold_start: bool,
 }
 
 impl PendingEntry {
     /// A fresh, never-started entry.
     #[must_use]
     pub fn new(task: Task) -> Self {
-        Self { task, progress: 0, sampled_total: None }
+        Self { task, progress: 0, sampled_total: None, cold_start: false }
     }
 
     /// An entry resuming with salvaged progress from another machine
@@ -55,7 +77,18 @@ impl PendingEntry {
     /// `Pmf::residual_shifted_into` convolution models.
     #[must_use]
     pub fn carrying(task: Task, progress: Time) -> Self {
-        Self { task, progress, sampled_total: None }
+        Self { task, progress, sampled_total: None, cold_start: false }
+    }
+
+    /// For an entry that has started before (a preemption victim): whether
+    /// that first start was a cold start, i.e. whether its already-sampled
+    /// total still includes container spin-up. `None` for entries that
+    /// never started — their warmth is decided at start time. Observable
+    /// (the scheduler knew the warmth at placement), so scorers may
+    /// condition on it; the sampled total itself stays hidden.
+    #[must_use]
+    pub fn started_cold(&self) -> Option<bool> {
+        self.sampled_total.map(|_| self.cold_start)
     }
 }
 
@@ -74,6 +107,11 @@ pub struct ExecutingTask {
     /// Execution time completed in earlier segments (non-zero only after
     /// a preemption).
     pub progress_before: Time,
+    /// Whether this execution began with a container spin-up (serverless
+    /// cold-start model; always `false` in the classic HC model). Unlike
+    /// the sampled total, warmth is observable — the scheduler knew it at
+    /// placement time — so the scorer may condition on it.
+    pub cold_start: bool,
     /// Ground-truth total execution time (hidden from mappers).
     pub(crate) total_exec: Time,
 }
@@ -105,6 +143,14 @@ pub struct MachineState {
     /// cluster at `t`, so mappers should not queue work that cannot finish
     /// by then. Cleared when the machine actually leaves or (re)joins.
     announced_departure: Option<Time>,
+    /// Warm containers (serverless cold-start model), in pin/refresh
+    /// order. Empty in the classic HC model — the engine only populates
+    /// this when the spec carries a [`hcsim_model::ColdStartModel`].
+    warm: Vec<WarmContainer>,
+    /// Bumped on every warm-set mutation. Separate from `version` because
+    /// the scorer's incremental tail cache deliberately ignores `version`
+    /// when deciding head reuse; warmth changes must still invalidate it.
+    warm_rev: u64,
 }
 
 /// Hand-written so that `clone_from` reuses the destination's pending
@@ -122,6 +168,8 @@ impl Clone for MachineState {
             version: self.version,
             run_token: self.run_token,
             announced_departure: self.announced_departure,
+            warm: self.warm.clone(),
+            warm_rev: self.warm_rev,
         }
     }
 
@@ -138,6 +186,8 @@ impl Clone for MachineState {
             version,
             run_token,
             announced_departure,
+            warm,
+            warm_rev,
         } = source;
         self.id = *id;
         self.capacity = *capacity;
@@ -147,6 +197,8 @@ impl Clone for MachineState {
         self.version = *version;
         self.run_token = *run_token;
         self.announced_departure = *announced_departure;
+        self.warm.clone_from(warm);
+        self.warm_rev = *warm_rev;
     }
 }
 
@@ -169,6 +221,8 @@ impl MachineState {
             version: 0,
             run_token: 0,
             announced_departure: None,
+            warm: Vec::new(),
+            warm_rev: 0,
         }
     }
 
@@ -185,6 +239,8 @@ impl MachineState {
         version: u64,
         run_token: u64,
         announced_departure: Option<Time>,
+        warm: Vec<WarmContainer>,
+        warm_rev: u64,
     ) -> Self {
         assert!(capacity >= 1, "capacity must include the executing slot");
         Self {
@@ -196,6 +252,8 @@ impl MachineState {
             version,
             run_token,
             announced_departure,
+            warm,
+            warm_rev,
         }
     }
 
@@ -285,6 +343,32 @@ impl MachineState {
         self.announced_departure
     }
 
+    /// Warm containers (serverless cold-start model), in pin/refresh
+    /// order. Always empty in the classic HC model.
+    #[must_use]
+    pub fn warm_containers(&self) -> &[WarmContainer] {
+        &self.warm
+    }
+
+    /// True when a warm container for `tt` is resident — a placement of
+    /// that function starting now would skip the container spin-up.
+    /// Containers are removed *exactly* at their keep-alive expiry (by the
+    /// engine's expiry events), so membership alone decides warmth.
+    #[must_use]
+    pub fn is_warm(&self, tt: TaskTypeId) -> bool {
+        self.warm.iter().any(|c| c.type_id == tt)
+    }
+
+    /// Monotone counter of warm-set mutations. The scorer's tail cache
+    /// keys on this *in addition to* [`MachineState::version`]: its
+    /// longest-common-prefix head reuse deliberately ignores `version`,
+    /// but a keep-alive expiry changes the cold/warm PET selection of
+    /// otherwise-identical queue entries.
+    #[must_use]
+    pub fn warm_rev(&self) -> u64 {
+        self.warm_rev
+    }
+
     /// Whole queue from the head: the executing task (position 0, if any)
     /// followed by pending tasks. Matches the paper's queue-position κ
     /// numbering for the Eq. 7 threshold adjustment.
@@ -335,14 +419,80 @@ impl MachineState {
     }
 
     pub(crate) fn start(&mut self, entry: PendingEntry, now: Time, total_exec: Time) {
+        self.start_with_warmth(entry, now, total_exec, false);
+    }
+
+    /// [`MachineState::start`] with an explicit cold-start flag (serverless
+    /// model; the engine decides warmth from the warm-container set).
+    pub(crate) fn start_with_warmth(
+        &mut self,
+        entry: PendingEntry,
+        now: Time,
+        total_exec: Time,
+        cold_start: bool,
+    ) {
         debug_assert!(self.executing.is_none(), "start on busy machine {}", self.id);
         self.executing = Some(ExecutingTask {
             task: entry.task,
             started_at: now,
             progress_before: entry.progress,
+            cold_start,
             total_exec,
         });
         self.version += 1;
+    }
+
+    // ---- warm-container set (serverless cold-start model) ----
+
+    /// Pins a warm container for `tt` as in-use (function starting); adds
+    /// one if the start was cold.
+    pub(crate) fn pin_warm(&mut self, tt: TaskTypeId) {
+        match self.warm.iter_mut().find(|c| c.type_id == tt) {
+            Some(c) => c.expires_at = WarmContainer::IN_USE,
+            None => {
+                self.warm.push(WarmContainer { type_id: tt, expires_at: WarmContainer::IN_USE })
+            }
+        }
+        self.version += 1;
+        self.warm_rev += 1;
+    }
+
+    /// (Re)starts `tt`'s keep-alive clock: the container expires at
+    /// `expires_at` unless pinned or refreshed again first.
+    pub(crate) fn set_warm_expiry(&mut self, tt: TaskTypeId, expires_at: Time) {
+        match self.warm.iter_mut().find(|c| c.type_id == tt) {
+            Some(c) => c.expires_at = expires_at,
+            None => self.warm.push(WarmContainer { type_id: tt, expires_at }),
+        }
+        self.version += 1;
+        self.warm_rev += 1;
+    }
+
+    /// Reclaims `tt`'s container iff its keep-alive deadline is exactly
+    /// `at` — a stale expiry event (the container was re-pinned or its
+    /// clock restarted since the event was scheduled) is a no-op. Returns
+    /// whether the container was removed.
+    pub(crate) fn expire_warm(&mut self, tt: TaskTypeId, at: Time) -> bool {
+        let Some(pos) = self
+            .warm
+            .iter()
+            .position(|c| c.type_id == tt && c.expires_at == at && at != WarmContainer::IN_USE)
+        else {
+            return false;
+        };
+        self.warm.remove(pos);
+        self.version += 1;
+        self.warm_rev += 1;
+        true
+    }
+
+    /// Drops every warm container (machine leaving the cluster).
+    pub(crate) fn clear_warm(&mut self) {
+        if !self.warm.is_empty() {
+            self.warm.clear();
+            self.version += 1;
+            self.warm_rev += 1;
+        }
     }
 
     /// Preempts the executing task: it returns to the *front* of the
@@ -356,6 +506,7 @@ impl MachineState {
             task: exec.task,
             progress: exec.progress_before + segment,
             sampled_total: Some(exec.total_exec),
+            cold_start: exec.cold_start,
         });
         self.version += 1;
         self.run_token += 1; // stale the scheduled Finish event
@@ -403,6 +554,8 @@ impl MachineState {
         );
         self.lifecycle = MachineLifecycle::Active;
         self.announced_departure = None;
+        // A (re)joining machine brings no warm containers with it.
+        self.clear_warm();
         self.version += 1;
         true
     }
@@ -417,6 +570,9 @@ impl MachineState {
         }
         self.lifecycle =
             if self.is_idle() { MachineLifecycle::Offline } else { MachineLifecycle::Draining };
+        if self.lifecycle == MachineLifecycle::Offline {
+            self.clear_warm();
+        }
         // The announcement has come true; non-members don't need it.
         self.announced_departure = None;
         self.version += 1;
@@ -429,6 +585,7 @@ impl MachineState {
         if self.lifecycle == MachineLifecycle::Draining && self.is_idle() {
             self.lifecycle = MachineLifecycle::Offline;
             self.announced_departure = None;
+            self.clear_warm();
             self.version += 1;
             true
         } else {
@@ -462,6 +619,7 @@ impl MachineState {
         }
         self.lifecycle = MachineLifecycle::Offline;
         self.announced_departure = None;
+        self.clear_warm();
         self.version += 1;
         self.run_token += 1; // stale any scheduled completion
         exec
@@ -737,5 +895,69 @@ mod tests {
         let exec = m.executing().unwrap();
         assert_eq!(exec.progress_before, 40);
         assert_eq!(exec.elapsed_at(90), 60); // 40 earlier + 20 current
+    }
+
+    #[test]
+    fn warm_set_pin_expire_lifecycle() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        let tt = TaskTypeId(3);
+        assert!(!m.is_warm(tt));
+        m.pin_warm(tt);
+        assert!(m.is_warm(tt));
+        // A pinned container never expires.
+        assert!(!m.expire_warm(tt, WarmContainer::IN_USE));
+        m.set_warm_expiry(tt, 500);
+        assert!(m.is_warm(tt));
+        // A stale expiry (wrong timestamp) is a no-op.
+        assert!(!m.expire_warm(tt, 400));
+        assert!(m.is_warm(tt));
+        assert!(m.expire_warm(tt, 500));
+        assert!(!m.is_warm(tt));
+    }
+
+    #[test]
+    fn warm_rev_bumps_on_every_warm_mutation() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        let tt = TaskTypeId(0);
+        let r0 = m.warm_rev();
+        m.pin_warm(tt);
+        let r1 = m.warm_rev();
+        assert_ne!(r0, r1);
+        m.set_warm_expiry(tt, 100);
+        let r2 = m.warm_rev();
+        assert_ne!(r1, r2);
+        assert!(m.expire_warm(tt, 100));
+        assert_ne!(r2, m.warm_rev());
+        // Clearing an already-empty set is a no-op (no spurious bumps).
+        let r3 = m.warm_rev();
+        m.clear_warm();
+        assert_eq!(r3, m.warm_rev());
+    }
+
+    #[test]
+    fn churn_transitions_clear_warm_containers() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.set_warm_expiry(TaskTypeId(1), 800);
+        let mut requeue = Vec::new();
+        m.fail(10, &mut requeue);
+        assert!(m.warm_containers().is_empty(), "failure loses all containers");
+        m.activate();
+        assert!(m.warm_containers().is_empty(), "rejoin starts cold");
+        m.set_warm_expiry(TaskTypeId(1), 900);
+        assert!(m.begin_drain());
+        assert!(m.warm_containers().is_empty(), "idle drain releases containers");
+    }
+
+    #[test]
+    fn preemption_preserves_cold_start_flag() {
+        let mut m = MachineState::new(MachineId(0), 4);
+        m.push_pending(task(1, 1000));
+        let mut e = m.pop_next_pending().unwrap();
+        e.cold_start = true;
+        m.start_with_warmth(e, 0, 100, true);
+        assert!(m.executing().unwrap().cold_start);
+        m.preempt_executing(40);
+        let resumed = m.pop_next_pending().unwrap();
+        assert!(resumed.cold_start, "spin-up already paid; carried through preemption");
     }
 }

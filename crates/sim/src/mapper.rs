@@ -436,6 +436,7 @@ mod tests {
             truth,
             prices: PriceTable::uniform(2, 1.0),
             queue_capacity: 2,
+            coldstart: None,
         }
         .validated()
     }

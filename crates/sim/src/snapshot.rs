@@ -21,7 +21,7 @@ pub(crate) const SNAPSHOT_MAGIC: [u8; 4] = *b"HCSN";
 
 /// Current snapshot format version. Bumped on any layout change (v2:
 /// departure announcements, carried migration progress, notice events).
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -14,7 +14,7 @@
 //! feed arbitrary operation sequences without pre-filtering.
 
 use crate::machine::{MachineState, PendingEntry};
-use hcsim_model::{Task, TaskId, Time};
+use hcsim_model::{Task, TaskId, TaskTypeId, Time};
 
 /// One queue transition, mirroring the engine's machine mutations.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +139,22 @@ pub fn replace_last_pending(machine: &mut MachineState, task: Task) -> bool {
     debug_assert!(removed);
     machine.push_pending(task);
     true
+}
+
+/// (Re)starts a keep-alive clock for `tt` on `machine`, exactly as the
+/// engine does when a function's container is released at completion
+/// (serverless cold-start model): the container stays warm until
+/// `expires_at` unless refreshed or pinned first.
+pub fn set_warm(machine: &mut MachineState, tt: TaskTypeId, expires_at: Time) {
+    machine.set_warm_expiry(tt, expires_at);
+}
+
+/// Reclaims `tt`'s warm container exactly as the engine's
+/// `ContainerExpiry` event does — a stale deadline (container re-pinned
+/// or refreshed since the event was scheduled) is a no-op. Returns
+/// whether the container was removed.
+pub fn expire_warm(machine: &mut MachineState, tt: TaskTypeId, at: Time) -> bool {
+    machine.expire_warm(tt, at)
 }
 
 /// Starts `entry`-style execution directly (bypassing the pending queue):

@@ -38,6 +38,7 @@ fn two_machine_spec(queue_capacity: usize) -> SystemSpec {
         truth,
         prices: PriceTable::new(vec![2.0, 1.0]),
         queue_capacity,
+        coldstart: None,
     }
     .validated()
 }

@@ -52,20 +52,21 @@ const BASE_MS: [f64; 12] =
 
 /// Per-machine speed factor (lower = faster). The IBM System P 570 is the
 /// overall fastest, the Apple iMac the slowest, mirroring the era of the
-/// machines in the paper's footnote.
-const SPEED: [f64; 8] = [1.0, 1.35, 1.30, 0.85, 0.90, 0.60, 1.25, 0.75];
+/// machines in the paper's footnote. Shared with the serverless system
+/// builder, which tiles the same eight hardware profiles.
+pub(crate) const SPEED: [f64; 8] = [1.0, 1.35, 1.30, 0.85, 0.90, 0.60, 1.25, 0.75];
 
 /// EC2-style hourly prices (USD/h) mapped onto the machines for §VII-F.
 /// Faster machines are generally pricier, but not proportionally — that
 /// imperfect correlation is what makes the cost metric interesting.
-const PRICES: [f64; 8] = [0.45, 0.25, 0.27, 0.65, 0.60, 1.50, 0.30, 0.90];
+pub(crate) const PRICES: [f64; 8] = [0.45, 0.25, 0.27, 0.65, 0.60, 1.50, 0.30, 0.90];
 
 /// Deterministic affinity perturbation in `[-0.30, +0.30]`.
 ///
 /// `(tt·7 + m·13) mod 11` walks a full residue cycle, giving every machine
 /// a different benchmark-dependent advantage — this is what makes the
 /// heterogeneity *inconsistent* rather than a uniform speed ranking.
-fn affinity(tt: usize, m: usize) -> f64 {
+pub(crate) fn affinity(tt: usize, m: usize) -> f64 {
     let h = (tt * 7 + m * 13) % 11;
     (h as f64 / 10.0) * 0.6 - 0.3
 }
@@ -121,6 +122,7 @@ pub fn specint_system_with_model_error<R: rand::Rng>(
         truth,
         prices: PriceTable::new(PRICES.to_vec()),
         queue_capacity,
+        coldstart: None,
     }
     .validated()
 }
@@ -164,6 +166,7 @@ pub fn specint_cluster<R: rand::Rng>(
         truth,
         prices: PriceTable::new((0..num_machines).map(|m| PRICES[m % 8]).collect()),
         queue_capacity,
+        coldstart: None,
     }
     .validated()
 }

@@ -73,6 +73,7 @@ pub fn transcode_system<R: rand::Rng>(queue_capacity: usize, rng: &mut R) -> Sys
         truth,
         prices: PriceTable::new(PRICES.to_vec()),
         queue_capacity,
+        coldstart: None,
     }
     .validated()
 }

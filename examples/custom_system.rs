@@ -45,6 +45,7 @@ fn main() {
         truth,
         prices: PriceTable::new(vec![0.526, 0.75, 0.34]),
         queue_capacity: 4,
+        coldstart: None,
     }
     .validated();
 

@@ -32,6 +32,7 @@ fn build_system(
         truth,
         prices: PriceTable::uniform(machines, 1.0),
         queue_capacity,
+        coldstart: None,
     }
     .validated()
 }
